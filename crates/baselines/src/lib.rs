@@ -1,0 +1,37 @@
+//! Baseline positioning middlewares for the paper's §3 comparison.
+//!
+//! Each example in the paper (§3.1–3.3) ends by analysing what the same
+//! adaptation would cost in other middleware. To *execute* that analysis
+//! rather than argue it, this crate provides minimal but faithful
+//! skeletons of the two architecture styles the paper compares against:
+//!
+//! * [`location_stack`] — a **Location Stack / ULF style** layered
+//!   middleware: sensor adapters normalize everything into one fixed
+//!   `Measurement` format, a fixed fusion layer merges them, and nothing
+//!   below the public position API is inspectable. Low-level seams like
+//!   HDOP exist only inside the adapters and are *discarded* at the layer
+//!   boundary — extending the format means changing the middleware source
+//!   (exactly the §3.1 finding).
+//! * [`middlewhere`] — a **MiddleWhere style** world-model middleware:
+//!   all position information lives in a central store with spatial
+//!   queries; sensors and their configuration are invisible by design
+//!   (the §3.3 "this scenario does not apply to their domain" finding).
+//! * [`posim`] — a **PoSIM style** translucent middleware: sensor
+//!   wrappers may expose custom *info* values and accept *control*
+//!   commands, and declarative policies (a small `if <info> <op> <value>
+//!   then set <control> <value>` language) mediate between them. What it
+//!   cannot do — and what the comparison measures — is reach into the
+//!   positioning *process*: info reads are latest-value-only, with no
+//!   timing connection to the positions they refer to (§3.2), and
+//!   positions already produced cannot be retracted (§3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod location_stack;
+pub mod middlewhere;
+pub mod posim;
+
+pub use location_stack::{LocationStack, LsGpsAdapter, LsMeasurement, LsSensor, LsWifiAdapter};
+pub use middlewhere::{WorldEntry, WorldModel};
+pub use posim::{Policy, PolicyError, PoSim, PosimGpsWrapper, SensorWrapper};

@@ -1,0 +1,356 @@
+//! A Location Stack / Unified Location Framework style middleware: fixed
+//! layers, fixed measurement schema, fixed fusion.
+
+use perpos_core::component::ComponentCtx;
+use perpos_core::prelude::*;
+use perpos_geo::{LocalFrame, Point2, Wgs84};
+use perpos_nmea::{parse_sentence, Sentence};
+use perpos_sensors::{GpsSimulator, Trajectory, WifiEnvironment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The Location Stack's *fixed* measurement schema: this struct is the
+/// layer boundary. Note what is **not** here — HDOP, satellite counts,
+/// raw sentences. Sensor adaptation discards them, reproducing the §3.1
+/// observation that exposing them "requires access to the code for the
+/// middleware" (the schema would have to change).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsMeasurement {
+    /// The measured position.
+    pub position: Wgs84,
+    /// 1-sigma accuracy in metres.
+    pub accuracy_m: f64,
+    /// Producing technology, e.g. `"gps"`.
+    pub technology: &'static str,
+    /// Measurement time.
+    pub timestamp: SimTime,
+}
+
+/// A sensor in the Sensors/Measurements layers: produces normalized
+/// measurements, full stop. There is no other way to get data upward.
+pub trait LsSensor: Send {
+    /// Samples the sensor at `now`.
+    fn sample(&mut self, now: SimTime) -> Vec<LsMeasurement>;
+
+    /// The technology name.
+    fn technology(&self) -> &'static str;
+}
+
+/// Adapter putting the PerPos GPS simulator below the Location Stack:
+/// parses the NMEA internally and forwards positions only.
+pub struct LsGpsAdapter {
+    sim: GpsSimulator,
+}
+
+impl LsGpsAdapter {
+    /// Wraps a GPS simulator.
+    pub fn new(sim: GpsSimulator) -> Self {
+        LsGpsAdapter { sim }
+    }
+}
+
+impl LsSensor for LsGpsAdapter {
+    fn sample(&mut self, now: SimTime) -> Vec<LsMeasurement> {
+        let mut ctx = ComponentCtx::new(now);
+        use perpos_core::component::Component;
+        if self.sim.on_tick(&mut ctx).is_err() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for item in ctx.take_emitted() {
+            let Some(text) = item.payload.as_text() else {
+                continue;
+            };
+            let Ok(Sentence::Gga(gga)) = parse_sentence(text) else {
+                continue;
+            };
+            let (Some(lat), Some(lon)) = (gga.lat_deg, gga.lon_deg) else {
+                continue;
+            };
+            if !gga.quality.has_fix() {
+                continue;
+            }
+            let Ok(position) = Wgs84::new(lat, lon, gga.altitude_m) else {
+                continue;
+            };
+            // HDOP and num_satellites are dropped HERE: the fixed schema
+            // has no place for them.
+            out.push(LsMeasurement {
+                position,
+                accuracy_m: gga.hdop * 5.0,
+                technology: "gps",
+                timestamp: now,
+            });
+        }
+        out
+    }
+
+    fn technology(&self) -> &'static str {
+        "gps"
+    }
+}
+
+/// Adapter sampling the WiFi environment directly into measurements.
+pub struct LsWifiAdapter {
+    env: Arc<WifiEnvironment>,
+    map: Arc<perpos_sensors::RadioMap>,
+    trajectory: Trajectory,
+    frame: LocalFrame,
+    rng: StdRng,
+}
+
+impl LsWifiAdapter {
+    /// Creates the adapter.
+    pub fn new(
+        env: Arc<WifiEnvironment>,
+        map: Arc<perpos_sensors::RadioMap>,
+        trajectory: Trajectory,
+        frame: LocalFrame,
+        seed: u64,
+    ) -> Self {
+        LsWifiAdapter {
+            env,
+            map,
+            trajectory,
+            frame,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LsSensor for LsWifiAdapter {
+    fn sample(&mut self, now: SimTime) -> Vec<LsMeasurement> {
+        let p = self.trajectory.position_at(now);
+        let scan = self.env.scan(p, &mut self.rng);
+        let Some((est, acc)) = self.map.estimate(&scan, 3) else {
+            return Vec::new();
+        };
+        vec![LsMeasurement {
+            position: self.frame.from_local(&est),
+            accuracy_m: acc,
+            technology: "wifi",
+            timestamp: now,
+        }]
+    }
+
+    fn technology(&self) -> &'static str {
+        "wifi"
+    }
+}
+
+/// The layered middleware: Sensors -> Measurements -> **fixed** Fusion.
+///
+/// The fusion engine (inverse-variance weighted centroid over a sliding
+/// window) is baked in; plugging a particle filter in "as a new kind of
+/// sensor … will violate the architecture of the middleware" (§1, citing
+/// Graumann et al.) — this type simply offers no seam to do it.
+pub struct LocationStack {
+    sensors: Vec<Box<dyn LsSensor>>,
+    frame: LocalFrame,
+    window: Vec<LsMeasurement>,
+    window_s: f64,
+}
+
+impl LocationStack {
+    /// Creates an empty stack anchored in `frame`.
+    pub fn new(frame: LocalFrame) -> Self {
+        LocationStack {
+            sensors: Vec::new(),
+            frame,
+            window: Vec::new(),
+            window_s: 5.0,
+        }
+    }
+
+    /// Registers a sensor (the only extension point the architecture
+    /// offers).
+    pub fn add_sensor(&mut self, sensor: Box<dyn LsSensor>) {
+        self.sensors.push(sensor);
+    }
+
+    /// Samples all sensors and returns the fused position, if any
+    /// measurement is in the window.
+    pub fn poll(&mut self, now: SimTime) -> Option<(Wgs84, f64)> {
+        for s in &mut self.sensors {
+            self.window.extend(s.sample(now));
+        }
+        let horizon = self.window_s;
+        self.window
+            .retain(|m| now.since(m.timestamp).as_secs_f64() <= horizon);
+        if self.window.is_empty() {
+            return None;
+        }
+        // Fixed fusion: inverse-variance weighted centroid.
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for m in &self.window {
+            let p = self.frame.to_local(&m.position);
+            let w = 1.0 / m.accuracy_m.max(0.5).powi(2);
+            wx += p.x * w;
+            wy += p.y * w;
+            wsum += w;
+        }
+        let est = Point2::new(wx / wsum, wy / wsum);
+        Some((self.frame.from_local(&est), (1.0 / wsum).sqrt()))
+    }
+
+    /// Number of registered sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+}
+
+impl std::fmt::Debug for LocationStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocationStack")
+            .field("sensors", &self.sensors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_sensors::GpsEnvironment;
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn gps(traj: Trajectory) -> GpsSimulator {
+        GpsSimulator::new("gps", frame(), traj)
+            .with_seed(11)
+            .with_environment(GpsEnvironment {
+                dropout_prob: 0.0,
+                ..GpsEnvironment::open_sky()
+            })
+    }
+
+    #[test]
+    fn fuses_gps_measurements() {
+        let mut stack = LocationStack::new(frame());
+        stack.add_sensor(Box::new(LsGpsAdapter::new(gps(Trajectory::stationary(
+            Point2::new(5.0, 5.0),
+        )))));
+        let mut last = None;
+        for t in 0..30 {
+            if let Some((pos, _acc)) = stack.poll(SimTime::from_secs_f64(t as f64)) {
+                last = Some(pos);
+            }
+        }
+        let est = frame().to_local(&last.expect("fused position"));
+        assert!(est.distance(&Point2::new(5.0, 5.0)) < 15.0);
+        assert_eq!(stack.sensor_count(), 1);
+    }
+
+    #[test]
+    fn measurement_schema_has_no_seam_fields() {
+        // Compile-time documentation of the architectural limitation: the
+        // fixed schema carries exactly these four fields.
+        let m = LsMeasurement {
+            position: Wgs84::new(0.0, 0.0, 0.0).unwrap(),
+            accuracy_m: 1.0,
+            technology: "gps",
+            timestamp: SimTime::ZERO,
+        };
+        // There is no m.hdop, m.satellites, m.raw — the §3.1 point.
+        assert_eq!(m.technology, "gps");
+    }
+
+    #[test]
+    fn fusion_weights_by_accuracy_across_sensors() {
+        // Two synthetic sensors: an accurate one at x=0 and a sloppy one
+        // at x=20; the fixed fusion must land near the accurate one.
+        struct Fixed {
+            p: Point2,
+            acc: f64,
+            tech: &'static str,
+        }
+        impl LsSensor for Fixed {
+            fn sample(&mut self, now: SimTime) -> Vec<LsMeasurement> {
+                vec![LsMeasurement {
+                    position: frame().from_local(&self.p),
+                    accuracy_m: self.acc,
+                    technology: self.tech,
+                    timestamp: now,
+                }]
+            }
+            fn technology(&self) -> &'static str {
+                self.tech
+            }
+        }
+        let mut stack = LocationStack::new(frame());
+        stack.add_sensor(Box::new(Fixed {
+            p: Point2::new(0.0, 0.0),
+            acc: 1.0,
+            tech: "gps",
+        }));
+        stack.add_sensor(Box::new(Fixed {
+            p: Point2::new(20.0, 0.0),
+            acc: 15.0,
+            tech: "wifi",
+        }));
+        let (pos, acc) = stack.poll(SimTime::ZERO).unwrap();
+        let local = frame().to_local(&pos);
+        assert!(local.x < 2.0, "fused x = {}", local.x);
+        assert!(acc < 1.5, "fused accuracy improves: {acc}");
+    }
+
+    #[test]
+    fn window_evicts_stale_measurements() {
+        struct Once {
+            fired: bool,
+        }
+        impl LsSensor for Once {
+            fn sample(&mut self, now: SimTime) -> Vec<LsMeasurement> {
+                if self.fired {
+                    return vec![];
+                }
+                self.fired = true;
+                vec![LsMeasurement {
+                    position: frame().from_local(&Point2::new(0.0, 0.0)),
+                    accuracy_m: 1.0,
+                    technology: "gps",
+                    timestamp: now,
+                }]
+            }
+            fn technology(&self) -> &'static str {
+                "gps"
+            }
+        }
+        let mut stack = LocationStack::new(frame());
+        stack.add_sensor(Box::new(Once { fired: false }));
+        assert!(stack.poll(SimTime::ZERO).is_some());
+        // 100 s later the sole measurement has aged out.
+        assert!(stack.poll(SimTime::from_secs_f64(100.0)).is_none());
+    }
+
+    #[test]
+    fn wifi_adapter_produces_positions() {
+        use perpos_sensors::RadioMap;
+        use std::sync::Arc;
+        let building = Arc::new(perpos_model::demo_building());
+        let env = Arc::new(WifiEnvironment::with_ap_per_room(Arc::clone(&building), 0));
+        let map = Arc::new(RadioMap::build(&env, 1.0));
+        let mut adapter = LsWifiAdapter::new(
+            env,
+            map,
+            Trajectory::stationary(Point2::new(7.5, 2.0)),
+            *building.frame(),
+            5,
+        );
+        let out = adapter.sample(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].technology, "wifi");
+        let local = building.frame().to_local(&out[0].position);
+        assert!(local.distance(&Point2::new(7.5, 2.0)) < 6.0);
+    }
+
+    #[test]
+    fn empty_stack_yields_nothing() {
+        let mut stack = LocationStack::new(frame());
+        assert!(stack.poll(SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! A MiddleWhere-style middleware: a central *world model* holding the
+//! latest location of every tracked object, queried spatially by
+//! applications.
+//!
+//! MiddleWhere (Ranganathan et al., Middleware 2004) "provides location
+//! information to applications in a technology agnostic way" through a
+//! world model — all position information is stored centrally, and
+//! applications issue spatial queries. The paper's §3.3 comparison notes
+//! that because of this design "this scenario [sensor power
+//! configuration] does not apply to their domain. Configuration of
+//! sensors is not discussed." — which this skeleton reproduces: sensors
+//! push, applications query, and there is no path from either side to the
+//! sensing process.
+
+use perpos_core::prelude::*;
+use perpos_geo::Wgs84;
+use std::collections::BTreeMap;
+
+/// A located object in the world model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldEntry {
+    /// The object's last known position.
+    pub position: Wgs84,
+    /// Accuracy in metres (MiddleWhere tracks uncertainty per object).
+    pub accuracy_m: f64,
+    /// When the position was stored.
+    pub updated: SimTime,
+}
+
+/// The MiddleWhere-style world model: object id → latest location.
+///
+/// Sensors (or gateways) call [`WorldModel::store`]; applications use the
+/// spatial queries. There is deliberately no API surface for reaching the
+/// producing sensors or the processing between them and the model.
+#[derive(Debug, Default)]
+pub struct WorldModel {
+    objects: BTreeMap<String, WorldEntry>,
+    stores: u64,
+}
+
+impl WorldModel {
+    /// Creates an empty world model.
+    pub fn new() -> Self {
+        WorldModel::default()
+    }
+
+    /// Stores (or replaces) an object's location — the only write path.
+    pub fn store(&mut self, object: impl Into<String>, entry: WorldEntry) {
+        self.stores += 1;
+        self.objects.insert(object.into(), entry);
+    }
+
+    /// The latest entry for an object.
+    pub fn locate(&self, object: &str) -> Option<&WorldEntry> {
+        self.objects.get(object)
+    }
+
+    /// All objects within `radius_m` of `center`, nearest first.
+    pub fn within(&self, center: &Wgs84, radius_m: f64) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .objects
+            .iter()
+            .map(|(id, e)| (id.as_str(), e.position.distance_m(center)))
+            .filter(|(_, d)| *d <= radius_m)
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    /// The `k` objects nearest to `center`.
+    pub fn nearest(&self, center: &Wgs84, k: usize) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .objects
+            .iter()
+            .map(|(id, e)| (id.as_str(), e.position.distance_m(center)))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out.truncate(k);
+        out
+    }
+
+    /// Whether two objects are within `radius_m` of each other — the
+    /// colocation relation MiddleWhere's reasoning offers.
+    pub fn colocated(&self, a: &str, b: &str, radius_m: f64) -> Option<bool> {
+        let ea = self.objects.get(a)?;
+        let eb = self.objects.get(b)?;
+        Some(ea.position.distance_m(&eb.position) <= radius_m)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total store operations (gateway traffic).
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wgs(lat: f64, lon: f64) -> Wgs84 {
+        Wgs84::new(lat, lon, 0.0).unwrap()
+    }
+
+    fn entry(lat: f64, lon: f64, t: f64) -> WorldEntry {
+        WorldEntry {
+            position: wgs(lat, lon),
+            accuracy_m: 5.0,
+            updated: SimTime::from_secs_f64(t),
+        }
+    }
+
+    #[test]
+    fn store_and_locate() {
+        let mut w = WorldModel::new();
+        assert!(w.is_empty());
+        w.store("alice", entry(56.0, 10.0, 0.0));
+        w.store("alice", entry(56.001, 10.0, 1.0));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.stores(), 2);
+        let e = w.locate("alice").unwrap();
+        assert_eq!(e.updated, SimTime::from_secs_f64(1.0));
+        assert!(w.locate("bob").is_none());
+    }
+
+    #[test]
+    fn spatial_queries() {
+        let mut w = WorldModel::new();
+        w.store("alice", entry(56.0, 10.0, 0.0));
+        w.store("bob", entry(56.001, 10.0, 0.0)); // ~111 m north
+        w.store("carol", entry(56.1, 10.0, 0.0)); // ~11 km north
+        let center = wgs(56.0, 10.0);
+        let near = w.within(&center, 500.0);
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].0, "alice");
+        assert_eq!(near[1].0, "bob");
+        let nearest = w.nearest(&center, 1);
+        assert_eq!(nearest[0].0, "alice");
+        assert_eq!(w.nearest(&center, 10).len(), 3);
+        assert_eq!(w.colocated("alice", "bob", 200.0), Some(true));
+        assert_eq!(w.colocated("alice", "carol", 200.0), Some(false));
+        assert_eq!(w.colocated("alice", "nobody", 200.0), None);
+    }
+
+    /// The architectural limitation the paper's comparison leans on,
+    /// executed: the world model answers *where*, but offers no handle on
+    /// *how* — there is no sensor, process, or configuration surface.
+    #[test]
+    fn no_process_surface_exists() {
+        let mut w = WorldModel::new();
+        w.store("alice", entry(56.0, 10.0, 0.0));
+        // Everything an application can do is spatial query; the entry
+        // carries position + accuracy + time and nothing else (no HDOP,
+        // no satellites, no producing-sensor identity).
+        let e = w.locate("alice").unwrap().clone();
+        assert_eq!(
+            e,
+            WorldEntry {
+                position: wgs(56.0, 10.0),
+                accuracy_m: 5.0,
+                updated: SimTime::ZERO,
+            }
+        );
+    }
+}

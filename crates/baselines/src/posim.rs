@@ -1,0 +1,436 @@
+//! A PoSIM-style translucent middleware: sensor wrappers exposing *info*
+//! and *control* features, mediated by declarative policies.
+
+use perpos_core::component::ComponentCtx;
+use perpos_core::prelude::*;
+use perpos_geo::Wgs84;
+use perpos_nmea::{parse_sentence, Sentence};
+use perpos_sensors::GpsSimulator;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A PoSIM sensor wrapper: produces positions and exposes named info
+/// values (read) and control values (write). Wrappers are the only place
+/// custom behaviour lives; there is no processing graph behind them.
+pub trait SensorWrapper: Send {
+    /// The wrapper name.
+    fn name(&self) -> &str;
+
+    /// Samples the sensor; returns technology positions.
+    fn sample(&mut self, now: SimTime) -> Vec<(Wgs84, f64)>;
+
+    /// Reads an info value, e.g. `"hdop"`. PoSIM semantics: this is the
+    /// *latest* value, with no link to any specific position (the §3.2
+    /// staleness problem is inherent to this interface).
+    fn get_info(&self, name: &str) -> Option<Value>;
+
+    /// Writes a control value, e.g. `"power" = "low"`.
+    fn set_control(&mut self, name: &str, value: &Value) -> bool;
+}
+
+/// A wrapper for the GPS simulator exposing `hdop` and `satellites` info
+/// and a `power` control (`"high"` / `"low"` / `"off"`).
+pub struct PosimGpsWrapper {
+    sim: GpsSimulator,
+    latest_info: BTreeMap<String, Value>,
+}
+
+impl PosimGpsWrapper {
+    /// Wraps a GPS simulator.
+    pub fn new(sim: GpsSimulator) -> Self {
+        PosimGpsWrapper {
+            sim,
+            latest_info: BTreeMap::new(),
+        }
+    }
+}
+
+impl SensorWrapper for PosimGpsWrapper {
+    fn name(&self) -> &str {
+        "gps"
+    }
+
+    fn sample(&mut self, now: SimTime) -> Vec<(Wgs84, f64)> {
+        use perpos_core::component::Component;
+        let mut ctx = ComponentCtx::new(now);
+        if self.sim.on_tick(&mut ctx).is_err() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for item in ctx.take_emitted() {
+            let Some(text) = item.payload.as_text() else {
+                continue;
+            };
+            let Ok(Sentence::Gga(gga)) = parse_sentence(text) else {
+                continue;
+            };
+            // Info is overwritten on every sentence: only the latest
+            // value survives (the PoSIM staleness semantics).
+            self.latest_info
+                .insert("hdop".into(), Value::Float(gga.hdop));
+            self.latest_info
+                .insert("satellites".into(), Value::Int(i64::from(gga.num_satellites)));
+            if let (Some(lat), Some(lon), true) =
+                (gga.lat_deg, gga.lon_deg, gga.quality.has_fix())
+            {
+                if let Ok(p) = Wgs84::new(lat, lon, gga.altitude_m) {
+                    out.push((p, gga.hdop * 5.0));
+                }
+            }
+        }
+        out
+    }
+
+    fn get_info(&self, name: &str) -> Option<Value> {
+        self.latest_info.get(name).cloned()
+    }
+
+    fn set_control(&mut self, name: &str, value: &Value) -> bool {
+        use perpos_core::component::Component;
+        match (name, value) {
+            ("power", Value::Text(mode)) => match mode.as_str() {
+                "high" => {
+                    let _ = self.sim.invoke("setEnabled", &[Value::Bool(true)]);
+                    let _ = self.sim.invoke("setSampleInterval", &[Value::Float(1.0)]);
+                    true
+                }
+                "low" => {
+                    let _ = self.sim.invoke("setEnabled", &[Value::Bool(true)]);
+                    let _ = self.sim.invoke("setSampleInterval", &[Value::Float(10.0)]);
+                    true
+                }
+                "off" => {
+                    let _ = self.sim.invoke("setEnabled", &[Value::Bool(false)]);
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Error from parsing a policy string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError(String);
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid policy: {}", self.0)
+    }
+}
+
+impl Error for PolicyError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Gt,
+    Lt,
+    Eq,
+}
+
+/// A declarative PoSIM policy:
+/// `if <info> <op> <value> then set <control> <value>`.
+///
+/// The condition language is deliberately as limited as the paper
+/// describes PoSIM's: "the set of operations for conditions consists of
+/// simple comparison of data values while actions are limited to passing
+/// values to operations of the sensor wrapper" (§5).
+///
+/// ```
+/// use perpos_baselines::Policy;
+/// let p: Policy = "if satellites < 4 then set power off".parse()?;
+/// assert_eq!(p.to_string(), "if satellites < 4 then set power \"off\"");
+/// # Ok::<(), perpos_baselines::PolicyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    info: String,
+    op: Op,
+    threshold: Value,
+    control: String,
+    action_value: Value,
+}
+
+impl std::str::FromStr for Policy {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, PolicyError> {
+        let tokens: Vec<&str> = s.split_whitespace().collect();
+        // if <info> <op> <value> then set <control> <value>
+        if tokens.len() != 8 || tokens[0] != "if" || tokens[4] != "then" || tokens[5] != "set" {
+            return Err(PolicyError(format!(
+                "expected 'if <info> <op> <value> then set <control> <value>', got {s:?}"
+            )));
+        }
+        let op = match tokens[2] {
+            ">" => Op::Gt,
+            "<" => Op::Lt,
+            "==" | "=" => Op::Eq,
+            other => return Err(PolicyError(format!("unknown operator {other:?}"))),
+        };
+        let parse_value = |t: &str| -> Value {
+            if let Ok(i) = t.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = t.parse::<f64>() {
+                Value::Float(f)
+            } else if t == "true" || t == "false" {
+                Value::Bool(t == "true")
+            } else {
+                Value::Text(t.to_string())
+            }
+        };
+        Ok(Policy {
+            info: tokens[1].to_string(),
+            op,
+            threshold: parse_value(tokens[3]),
+            control: tokens[6].to_string(),
+            action_value: parse_value(tokens[7]),
+        })
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            Op::Gt => ">",
+            Op::Lt => "<",
+            Op::Eq => "==",
+        };
+        write!(
+            f,
+            "if {} {op} {} then set {} {}",
+            self.info, self.threshold, self.control, self.action_value
+        )
+    }
+}
+
+impl Policy {
+    fn condition_holds(&self, info: &Value) -> bool {
+        match (&self.op, info.as_f64(), self.threshold.as_f64()) {
+            (Op::Gt, Some(a), Some(b)) => a > b,
+            (Op::Lt, Some(a), Some(b)) => a < b,
+            (Op::Eq, Some(a), Some(b)) => (a - b).abs() < f64::EPSILON,
+            (Op::Eq, None, None) => info == &self.threshold,
+            _ => false,
+        }
+    }
+}
+
+/// The PoSIM-style middleware: wrappers plus a policy engine evaluated on
+/// every poll.
+///
+/// Note what is *not* here, which is what the paper's comparison turns
+/// on: positions returned by [`PoSim::poll`] are final (a policy cannot
+/// retract one — §3.1), and info values read by policies are the
+/// wrapper's latest, not the ones belonging to any particular position
+/// (§3.2).
+pub struct PoSim {
+    wrappers: Vec<Box<dyn SensorWrapper>>,
+    policies: Vec<Policy>,
+    policy_firings: u64,
+}
+
+impl PoSim {
+    /// Creates an empty middleware.
+    pub fn new() -> Self {
+        PoSim {
+            wrappers: Vec::new(),
+            policies: Vec::new(),
+            policy_firings: 0,
+        }
+    }
+
+    /// Registers a sensor wrapper.
+    pub fn add_wrapper(&mut self, w: Box<dyn SensorWrapper>) {
+        self.wrappers.push(w);
+    }
+
+    /// Adds a policy from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] on syntax errors.
+    pub fn add_policy(&mut self, text: &str) -> Result<(), PolicyError> {
+        self.policies.push(text.parse()?);
+        Ok(())
+    }
+
+    /// Samples all wrappers, evaluates policies, and returns every
+    /// position produced this round.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(Wgs84, f64)> {
+        let mut out = Vec::new();
+        for w in &mut self.wrappers {
+            out.extend(w.sample(now));
+        }
+        // Policies run after sampling, on latest info values.
+        for w in &mut self.wrappers {
+            for p in &self.policies {
+                if let Some(info) = w.get_info(&p.info) {
+                    if p.condition_holds(&info) && w.set_control(&p.control, &p.action_value) {
+                        self.policy_firings += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// How many policy actions have fired.
+    pub fn policy_firings(&self) -> u64 {
+        self.policy_firings
+    }
+
+    /// Reads an info value from a named wrapper — PoSIM's translucent
+    /// access path.
+    pub fn info(&self, wrapper: &str, name: &str) -> Option<Value> {
+        self.wrappers
+            .iter()
+            .find(|w| w.name() == wrapper)
+            .and_then(|w| w.get_info(name))
+    }
+}
+
+impl Default for PoSim {
+    fn default() -> Self {
+        PoSim::new()
+    }
+}
+
+impl std::fmt::Debug for PoSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoSim")
+            .field("wrappers", &self.wrappers.len())
+            .field("policies", &self.policies.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_geo::{LocalFrame, Point2};
+    use perpos_sensors::{GpsEnvironment, Trajectory};
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn wrapper(env: GpsEnvironment) -> PosimGpsWrapper {
+        PosimGpsWrapper::new(
+            GpsSimulator::new("gps", frame(), Trajectory::stationary(Point2::new(0.0, 0.0)))
+                .with_seed(2)
+                .with_environment(env),
+        )
+    }
+
+    #[test]
+    fn policy_parsing() {
+        let p: Policy = "if hdop > 5.0 then set power low".parse().unwrap();
+        assert_eq!(p.info, "hdop");
+        assert_eq!(p.op, Op::Gt);
+        assert_eq!(p.control, "power");
+        assert!("if hdop >".parse::<Policy>().is_err());
+        assert!("if hdop ? 5 then set power low".parse::<Policy>().is_err());
+        assert!("when hdop > 5 then set power low".parse::<Policy>().is_err());
+        let eq: Policy = "if satellites == 0 then set power off".parse().unwrap();
+        assert_eq!(eq.op, Op::Eq);
+    }
+
+    #[test]
+    fn wrapper_exposes_info() {
+        let mut posim = PoSim::new();
+        posim.add_wrapper(Box::new(wrapper(GpsEnvironment {
+            dropout_prob: 0.0,
+            ..GpsEnvironment::open_sky()
+        })));
+        for t in 0..5 {
+            posim.poll(SimTime::from_secs_f64(t as f64));
+        }
+        // Translucent access to HDOP works (unlike the Location Stack)…
+        assert!(posim.info("gps", "hdop").is_some());
+        assert!(posim.info("gps", "satellites").is_some());
+        // …but it is the latest value, shared across all positions.
+        assert!(posim.info("gps", "nonexistent").is_none());
+    }
+
+    #[test]
+    fn policies_control_wrappers() {
+        let mut posim = PoSim::new();
+        posim.add_wrapper(Box::new(wrapper(GpsEnvironment::indoor())));
+        // Indoors, satellite counts are low: power down the GPS.
+        posim.add_policy("if satellites < 4 then set power off").unwrap();
+        let mut produced = 0;
+        for t in 0..40 {
+            produced += posim.poll(SimTime::from_secs_f64(t as f64)).len();
+        }
+        assert!(
+            posim.policy_firings() > 0,
+            "the low-satellite policy must fire indoors"
+        );
+        // After the policy fires the GPS is off, so output dries up.
+        assert!(produced < 40);
+    }
+
+    #[test]
+    fn policy_display_round_trips() {
+        for text in [
+            "if hdop > 5 then set power low",
+            "if satellites < 4 then set power off",
+            "if hdop == 1 then set power high",
+        ] {
+            let p: Policy = text.parse().unwrap();
+            let shown = p.to_string();
+            // Textual values render quoted; numeric policies round-trip
+            // structurally.
+            let reparsed: Policy = shown.replace('"', "").parse().unwrap();
+            assert_eq!(p.info, reparsed.info);
+            assert_eq!(p.op, reparsed.op);
+        }
+    }
+
+    #[test]
+    fn condition_operators() {
+        let gt: Policy = "if hdop > 5 then set power low".parse().unwrap();
+        assert!(gt.condition_holds(&Value::Float(6.0)));
+        assert!(!gt.condition_holds(&Value::Float(4.0)));
+        let lt: Policy = "if hdop < 5 then set power high".parse().unwrap();
+        assert!(lt.condition_holds(&Value::Float(4.0)));
+        assert!(!lt.condition_holds(&Value::Float(6.0)));
+        let eq: Policy = "if satellites == 7 then set power low".parse().unwrap();
+        assert!(eq.condition_holds(&Value::Int(7)));
+        assert!(!eq.condition_holds(&Value::Int(8)));
+        // Non-numeric info never satisfies numeric comparisons.
+        assert!(!gt.condition_holds(&Value::from("n/a")));
+    }
+
+    #[test]
+    fn controls_reject_unknown_values() {
+        let mut w = wrapper(GpsEnvironment::open_sky());
+        assert!(!w.set_control("power", &Value::from("warp")));
+        assert!(!w.set_control("gain", &Value::Float(1.0)));
+        assert!(w.set_control("power", &Value::from("low")));
+    }
+
+    #[test]
+    fn positions_cannot_be_retracted() {
+        // The §3.1 limitation, executed: a policy reacting to low
+        // satellite counts cannot remove the position that was already
+        // returned by the same poll.
+        let mut posim = PoSim::new();
+        posim.add_wrapper(Box::new(wrapper(GpsEnvironment {
+            mean_visible_sats: 3.0, // unreliable but still fixing
+            sat_stddev: 0.1,
+            base_noise_m: 20.0,
+            dropout_prob: 0.0,
+        })));
+        posim.add_policy("if satellites < 4 then set power off").unwrap();
+        let first_round = posim.poll(SimTime::ZERO);
+        // The unreliable position was delivered to the application even
+        // though the policy fired in the very same round.
+        if !first_round.is_empty() {
+            assert!(posim.policy_firings() > 0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion bench: channel layer costs — logical-time bookkeeping and
+//! data-tree assembly (the Fig. 4 machinery) at varying pipeline depth.
+
+use std::any::Any;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree};
+use perpos_core::feature::FeatureDescriptor;
+use perpos_core::prelude::*;
+
+struct Consume;
+impl ChannelFeature for Consume {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new("Consume")
+    }
+    fn apply(&mut self, tree: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        std::hint::black_box(tree.len());
+        Ok(())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn setup(depth: usize, with_feature: bool) -> Middleware {
+    let mut mw = Middleware::new();
+    let mut i = 0i64;
+    let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
+        i += 1;
+        Some(Value::Int(i))
+    }));
+    let mut prev = src;
+    for d in 0..depth {
+        let node = mw.add_component(FnProcessor::new(
+            format!("stage{d}"),
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |item| Some(item.payload.clone()),
+        ));
+        mw.connect(prev, node, 0).unwrap();
+        prev = node;
+    }
+    let app = mw.application_sink();
+    mw.connect(prev, app, 0).unwrap();
+    if with_feature {
+        let channel = mw.channel_into(app, 0).unwrap();
+        mw.attach_channel_feature(channel, Consume).unwrap();
+    }
+    mw
+}
+
+fn bench_tree_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_tree_by_depth");
+    for depth in [1usize, 3, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let mut mw = setup(d, true);
+            b.iter(|| {
+                mw.step().unwrap();
+                mw.advance_clock(SimDuration::from_micros(1));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    // Channel derivation cost after a structural change.
+    let mut group = c.benchmark_group("channel_recompute");
+    for depth in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter_with_setup(
+                || setup(d, false),
+                |mut mw| {
+                    // attach_feature triggers a recompute.
+                    let src = mw.graph().sources()[0];
+                    mw.attach_feature(src, perpos_core::feature::TagFeature::new(
+                        "T", "k", Value::Null,
+                    ))
+                    .unwrap();
+                    mw
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_assembly, bench_recompute);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: geodesy primitives on the positioning hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perpos_geo::{Ecef, LocalFrame, Point2, Segment2, Wgs84};
+
+fn bench_conversions(c: &mut Criterion) {
+    let p = Wgs84::new(56.17, 10.19, 30.0).unwrap();
+    let frame = LocalFrame::new(Wgs84::new(56.0, 10.0, 0.0).unwrap());
+    c.bench_function("wgs84_to_ecef", |b| b.iter(|| Ecef::from_wgs84(&p)));
+    let e = Ecef::from_wgs84(&p);
+    c.bench_function("ecef_to_wgs84", |b| b.iter(|| e.to_wgs84()));
+    c.bench_function("to_local", |b| b.iter(|| frame.to_local(&p)));
+    let local = frame.to_local(&p);
+    c.bench_function("from_local", |b| b.iter(|| frame.from_local(&local)));
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let a = Wgs84::new(56.17, 10.19, 0.0).unwrap();
+    let b_ = Wgs84::new(55.67, 12.56, 0.0).unwrap();
+    c.bench_function("haversine", |b| b.iter(|| a.distance_m(&b_)));
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0));
+    let s2 = Segment2::new(Point2::new(0.0, 10.0), Point2::new(10.0, 0.0));
+    c.bench_function("segment_intersect", |b| b.iter(|| s1.intersects(&s2)));
+}
+
+criterion_group!(benches, bench_conversions, bench_distance, bench_segments);
+criterion_main!(benches);

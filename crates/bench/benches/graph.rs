@@ -1,0 +1,73 @@
+//! Criterion bench: processing-graph throughput as pipeline depth and
+//! merge fan-in grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpos_core::prelude::*;
+
+/// Builds a linear pipeline of `depth` pass-through processors.
+fn pipeline(depth: usize) -> Middleware {
+    let mut mw = Middleware::new();
+    let mut i = 0i64;
+    let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
+        i += 1;
+        Some(Value::Int(i))
+    }));
+    let mut prev = src;
+    for d in 0..depth {
+        let node = mw.add_component(FnProcessor::new(
+            format!("stage{d}"),
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |item| Some(item.payload.clone()),
+        ));
+        mw.connect(prev, node, 0).unwrap();
+        prev = node;
+    }
+    let app = mw.application_sink();
+    mw.connect(prev, app, 0).unwrap();
+    mw
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_step_by_depth");
+    for depth in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let mut mw = pipeline(d);
+            b.iter(|| {
+                mw.step().unwrap();
+                mw.advance_clock(SimDuration::from_micros(1));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_step_by_fanin");
+    for sources in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(sources), &sources, |b, &n| {
+            let mut mw = Middleware::new();
+            let app = mw.application_sink();
+            for s in 0..n {
+                let mut i = 0i64;
+                let src = mw.add_component(FnSource::new(
+                    format!("src{s}"),
+                    kinds::RAW_STRING,
+                    move |_| {
+                        i += 1;
+                        Some(Value::Int(i))
+                    },
+                ));
+                mw.connect_to_sink(src, app).unwrap();
+            }
+            b.iter(|| {
+                mw.step().unwrap();
+                mw.advance_clock(SimDuration::from_micros(1));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_fanin);
+criterion_main!(benches);

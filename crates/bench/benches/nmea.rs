@@ -1,0 +1,35 @@
+//! Criterion bench: NMEA parsing/encoding throughput and the stream
+//! splitter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perpos_nmea::{parse_sentence, Sentence, SentenceSplitter};
+
+const GGA: &str = "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47";
+const RMC: &str = "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A";
+const GSV: &str = "$GPGSV,2,1,08,01,40,083,46,02,17,308,41,12,07,344,39,14,22,228,45*75";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_gga", |b| b.iter(|| parse_sentence(GGA).unwrap()));
+    c.bench_function("parse_rmc", |b| b.iter(|| parse_sentence(RMC).unwrap()));
+    c.bench_function("parse_gsv", |b| b.iter(|| parse_sentence(GSV).unwrap()));
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let sentence = parse_sentence(GGA).unwrap();
+    c.bench_function("encode_gga", |b| b.iter(|| sentence.to_nmea_string()));
+    let Sentence::Gga(_) = &sentence else { panic!() };
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let stream: Vec<u8> = format!("{GGA}\r\n{RMC}\r\n{GSV}\r\n").into_bytes();
+    c.bench_function("splitter_3_sentences", |b| {
+        b.iter(|| {
+            let mut s = SentenceSplitter::new();
+            s.push(&stream);
+            s.drain()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_encode, bench_splitter);
+criterion_main!(benches);

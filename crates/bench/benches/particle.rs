@@ -1,0 +1,68 @@
+//! Criterion bench: particle-filter update cost vs particle count (the
+//! knob the paper's probabilistic tracking example exposes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpos_core::component::ComponentCtxProbe;
+use perpos_core::prelude::*;
+use perpos_fusion::ParticleFilter;
+use perpos_geo::{LocalFrame, Point2, Wgs84};
+
+fn frame() -> LocalFrame {
+    LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+}
+
+fn measurement(f: &LocalFrame, p: Point2, t: f64) -> DataItem {
+    DataItem::new(
+        kinds::POSITION_WGS84,
+        SimTime::from_secs_f64(t),
+        Value::from(Position::new(f.from_local(&p), Some(8.0))),
+    )
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pf_update_by_particles");
+    for n in [100usize, 500, 1000, 5000, 10000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = frame();
+            let mut pf = ParticleFilter::new("pf", f, 1)
+                .with_seed(1)
+                .with_particles(n);
+            // Initialize.
+            ComponentCtxProbe::run_input(&mut pf, measurement(&f, Point2::new(0.0, 0.0), 0.0))
+                .unwrap();
+            let mut t = 1.0;
+            b.iter(|| {
+                let item = measurement(&f, Point2::new(t, 0.0), t);
+                t += 1.0;
+                ComponentCtxProbe::run_input(&mut pf, item).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_constrained_update(c: &mut Criterion) {
+    let building = std::sync::Arc::new(perpos_model::demo_building());
+    let mut group = c.benchmark_group("pf_update_constrained");
+    for n in [500usize, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = frame();
+            let mut pf = ParticleFilter::new("pf", f, 1)
+                .with_seed(1)
+                .with_particles(n)
+                .with_building(std::sync::Arc::clone(&building), 0);
+            ComponentCtxProbe::run_input(&mut pf, measurement(&f, Point2::new(10.0, 5.0), 0.0))
+                .unwrap();
+            let mut t = 1.0;
+            b.iter(|| {
+                let item = measurement(&f, Point2::new(10.0 + (t % 5.0), 5.0), t);
+                t += 1.0;
+                ComponentCtxProbe::run_input(&mut pf, item).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_constrained_update);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: service-registry resolution cost as the number of
+//! registered services grows (the OSGi-substrate hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpos_registry::{Capability, Registry, Requirement, ServiceDescriptor};
+
+fn chain_descriptor(i: usize) -> ServiceDescriptor {
+    // Service i provides cap[i] and requires cap[i-1].
+    let mut d = ServiceDescriptor::new(format!("svc{i}")).provides(Capability::new(format!("cap{i}")));
+    if i > 0 {
+        d = d.requires(Requirement::new(format!("cap{}", i - 1)));
+    }
+    d
+}
+
+fn bench_chain_registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_chain_register");
+    for n in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let r: Registry<usize> = Registry::new();
+                // Register in reverse so everything resolves at the end
+                // (worst case for the fixed-point pass).
+                for i in (0..n).rev() {
+                    r.register(chain_descriptor(i), i);
+                }
+                r
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unregister_churn(c: &mut Criterion) {
+    c.bench_function("registry_unregister_rewire", |b| {
+        b.iter_with_setup(
+            || {
+                let r: Registry<usize> = Registry::new();
+                let consumer = r.register(
+                    ServiceDescriptor::new("consumer").requires(Requirement::new("cap")),
+                    0,
+                );
+                let p1 = r.register(
+                    ServiceDescriptor::new("p1").provides(Capability::new("cap")),
+                    1,
+                );
+                let _p2 = r.register(
+                    ServiceDescriptor::new("p2").provides(Capability::new("cap")),
+                    2,
+                );
+                (r, consumer, p1)
+            },
+            |(r, _consumer, p1)| {
+                r.unregister(p1).unwrap();
+                r
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_chain_registration, bench_unregister_churn);
+criterion_main!(benches);

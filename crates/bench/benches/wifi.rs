@@ -1,0 +1,51 @@
+//! Criterion bench: WiFi fingerprinting — radio map construction and
+//! k-NN estimation cost vs map density.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpos_geo::Point2;
+use perpos_model::demo_building;
+use perpos_sensors::{RadioMap, WifiEnvironment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env() -> WifiEnvironment {
+    WifiEnvironment::with_ap_per_room(Arc::new(demo_building()), 0)
+}
+
+fn bench_map_build(c: &mut Criterion) {
+    let e = env();
+    let mut group = c.benchmark_group("radiomap_build");
+    for step in [2.0f64, 1.0, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{step}m")),
+            &step,
+            |b, &s| {
+                b.iter(|| RadioMap::build(&e, s));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let e = env();
+    let mut group = c.benchmark_group("knn_estimate");
+    for step in [2.0f64, 1.0, 0.5] {
+        let map = RadioMap::build(&e, step);
+        let mut rng = StdRng::seed_from_u64(1);
+        let scan = e.scan(Point2::new(7.5, 2.0), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}fp", map.len())),
+            &map,
+            |b, map| {
+                b.iter(|| map.estimate(&scan, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_build, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Experiment F6 — reproduces the paper's Fig. 6: the particle filter
+//! refining an indoor trace, integrated via the HDOP Component Feature
+//! and Likelihood Channel Feature (Fig. 5). Reports error statistics for
+//! raw GPS, a Kalman baseline, and the particle filter with and without
+//! building constraints, plus a particle-count sweep.
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_fig6_particle --release`
+
+use std::sync::Arc;
+
+use perpos_bench::{frame, position_errors, ErrorStats};
+use perpos_core::prelude::*;
+use perpos_fusion::{KalmanFilter, LikelihoodFeature, ParticleFilter};
+use perpos_model::demo_building;
+use perpos_sensors::{
+    GpsEnvironment, GpsSimulator, HdopFeature, Interpreter, Parser, TraceRecorderFeature,
+    Trajectory,
+};
+
+#[derive(Clone, Copy)]
+enum Refiner {
+    None,
+    Kalman,
+    Particle { n: usize, constrained: bool },
+}
+
+fn corridor_walk() -> Trajectory {
+    Trajectory::new(
+        vec![
+            perpos_geo::Point2::new(1.0, 5.25),
+            perpos_geo::Point2::new(12.5, 5.25),
+            perpos_geo::Point2::new(12.5, 8.0),
+            perpos_geo::Point2::new(18.0, 8.0),
+        ],
+        1.0,
+    )
+}
+
+fn run(refiner: Refiner, seed: u64) -> (ErrorStats, ErrorStats) {
+    let building = Arc::new(demo_building());
+    let walk = corridor_walk();
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame(), walk.clone())
+            .with_seed(seed)
+            .with_environment(GpsEnvironment::urban()),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.attach_feature(parser, HdopFeature::new()).unwrap();
+    let recorder = TraceRecorderFeature::new();
+    let raw = recorder.handle();
+    mw.attach_feature(interpreter, recorder).unwrap();
+    let app = mw.application_sink();
+
+    let refined_source = match refiner {
+        Refiner::None => {
+            mw.connect_to_sink(interpreter, app).unwrap();
+            "gps"
+        }
+        Refiner::Kalman => {
+            let kf = mw.add_component(KalmanFilter::new("Kalman", frame()));
+            mw.connect(interpreter, kf, 0).unwrap();
+            mw.connect_to_sink(kf, app).unwrap();
+            "kalman"
+        }
+        Refiner::Particle { n, constrained } => {
+            let likelihood = LikelihoodFeature::new();
+            let handle = likelihood.handle();
+            let mut pf = ParticleFilter::new("PF", frame(), 1)
+                .with_seed(seed + 1000)
+                .with_particles(n)
+                .with_likelihood(handle);
+            if constrained {
+                pf = pf.with_building(Arc::clone(&building), 0);
+            }
+            let pf = mw.add_component(pf);
+            mw.connect(interpreter, pf, 0).unwrap();
+            mw.connect_to_sink(pf, app).unwrap();
+            let channel = mw.channel_into(pf, 0).expect("gps channel");
+            mw.attach_channel_feature(channel, likelihood).unwrap();
+            "fusion"
+        }
+    };
+
+    let provider = mw
+        .location_provider(Criteria::new().source(refined_source))
+        .unwrap();
+    mw.run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+        .unwrap();
+
+    let raw_stats = ErrorStats::from(position_errors(&raw.trace().items, &walk));
+    let refined_stats = ErrorStats::from(position_errors(&provider.history(), &walk));
+    (raw_stats, refined_stats)
+}
+
+fn averaged(refiner: Refiner, seeds: &[u64]) -> (ErrorStats, ErrorStats) {
+    // Report the single-seed stats for the median seed by mean error to
+    // damp run-to-run noise while keeping interpretable percentiles.
+    let mut runs: Vec<(ErrorStats, ErrorStats)> =
+        seeds.iter().map(|s| run(refiner, *s)).collect();
+    runs.sort_by(|a, b| a.1.mean.total_cmp(&b.1.mean));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let seeds = [3, 11, 23, 42, 57];
+    println!("=== Fig. 6: particle-filter trace refinement (urban GPS, indoor walk) ===\n");
+    println!("{:<28} {:>8} {:>8} {:>8} {:>8}", "estimator", "mean", "median", "p95", "rmse");
+    println!("{}", "-".repeat(64));
+
+    let (raw, _) = averaged(Refiner::None, &seeds);
+    println!(
+        "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "raw GPS", raw.mean, raw.median, raw.p95, raw.rmse
+    );
+    let (_, kalman) = averaged(Refiner::Kalman, &seeds);
+    println!(
+        "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "Kalman (CV)", kalman.mean, kalman.median, kalman.p95, kalman.rmse
+    );
+    let (_, free) = averaged(
+        Refiner::Particle {
+            n: 800,
+            constrained: false,
+        },
+        &seeds,
+    );
+    println!(
+        "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "particle filter (800)", free.mean, free.median, free.p95, free.rmse
+    );
+    let (_, constrained) = averaged(
+        Refiner::Particle {
+            n: 800,
+            constrained: true,
+        },
+        &seeds,
+    );
+    println!(
+        "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "particle filter (800, walls)",
+        constrained.mean,
+        constrained.median,
+        constrained.p95,
+        constrained.rmse
+    );
+
+    println!("\nparticle count sweep (with wall constraints):");
+    println!("{:<12} {:>8} {:>8}", "particles", "mean", "p95");
+    for n in [50, 100, 200, 400, 800, 1600] {
+        let (_, s) = averaged(
+            Refiner::Particle {
+                n,
+                constrained: true,
+            },
+            &seeds,
+        );
+        println!("{:<12} {:>8.2} {:>8.2}", n, s.mean, s.p95);
+    }
+    println!("\n(expected shape: PF < Kalman < raw on every statistic; more particles help, saturating.\n Wall constraints are roughly neutral on this in-corridor walk but bound teleport-style\n outliers — see fusion::particle::tests::building_constraint_resists_wall_jumps)");
+}

@@ -1,0 +1,213 @@
+//! Experiment F7 — reproduces the paper's Fig. 7 evaluation target: the
+//! EnTracked power-efficient tracking system rebuilt from PerPos graph
+//! abstractions, compared to always-on and fixed-periodic strategies
+//! across distance thresholds, over a mixed walk/pause scenario.
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_fig7_entracked --release`
+
+use perpos_bench::frame;
+use perpos_core::distribution::{Deployment, LinkModel};
+use perpos_core::prelude::*;
+use perpos_energy::{EnTrackedFeature, EnergyMeter, PowerModel, PowerStrategyFeature};
+use perpos_geo::Point2;
+use perpos_sensors::{GpsSimulator, Interpreter, MotionSensor, Parser, Trajectory};
+
+const SCENARIO_S: u64 = 900; // 15 minutes
+
+#[derive(Clone, Copy, Debug)]
+enum Strategy {
+    AlwaysOn,
+    Periodic { period_s: u64 },
+    EnTracked { threshold_m: f64 },
+}
+
+/// Walk ~5 min, stand ~10 min (the walk ends at 420 m / 1.4 m/s = 300 s).
+fn scenario() -> Trajectory {
+    Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(420.0, 0.0)], 1.4)
+}
+
+struct Outcome {
+    energy_j: f64,
+    mean_power_w: f64,
+    gps_on_s: f64,
+    reports: usize,
+    mean_stale_err_m: f64,
+    max_stale_err_m: f64,
+}
+
+fn run(strategy: Strategy, seed: u64) -> Outcome {
+    let walk = scenario();
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame(), walk.clone())
+            .with_seed(seed)
+            .with_acquisition_delay(SimDuration::from_secs(4)),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let motion = mw.add_component(MotionSensor::new("Motion", walk.clone()).with_seed(seed + 7));
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, app, 0).unwrap();
+    let target = mw.add_target("device");
+    mw.connect(motion, target.node(), 0).unwrap();
+
+    if let Strategy::EnTracked { threshold_m } = strategy {
+        mw.attach_feature(gps, PowerStrategyFeature::new()).unwrap();
+        let channel = mw.channel_into(target.node(), 0).unwrap();
+        mw.attach_channel_feature(
+            channel,
+            EnTrackedFeature::new(gps, interpreter, threshold_m),
+        )
+        .unwrap();
+    }
+
+    let provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    let mut meter = EnergyMeter::new(PowerModel::default());
+    let mut reports: Vec<(SimTime, Point2)> = Vec::new();
+    let mut seen = 0usize;
+    let mut stale_errs = Vec::new();
+    let f = frame();
+
+    for s in 0..SCENARIO_S {
+        // Fixed-periodic control runs outside the middleware (it needs no
+        // adaptation support — that is the point of the comparison).
+        if let Strategy::Periodic { period_s } = strategy {
+            let phase = s % period_s;
+            let want_on = phase < 8; // 8 s on-window per period
+            let is_on = mw.invoke(gps, "isEnabled", &[]).unwrap() == Value::Bool(true);
+            if want_on != is_on {
+                mw.invoke(gps, "setEnabled", &[Value::Bool(want_on)]).unwrap();
+            }
+        }
+        mw.step().unwrap();
+        let on = mw.invoke(gps, "isEnabled", &[]).unwrap() == Value::Bool(true);
+        let acq = mw.invoke(gps, "isAcquiring", &[]).unwrap() == Value::Bool(true);
+        meter.sample(on, acq, true, SimDuration::from_secs(1));
+        let history = provider.history();
+        for item in &history[seen..] {
+            if let Some(p) = item.payload.as_position() {
+                reports.push((item.timestamp, f.to_local(p.coord())));
+            }
+        }
+        meter.add_transmissions((history.len() - seen) as u64);
+        seen = history.len();
+
+        // Staleness error: truth vs last reported position.
+        let t = mw.now();
+        let truth = walk.position_at(t);
+        if let Some((_, p)) = reports.last() {
+            stale_errs.push(p.distance(&truth));
+        }
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+
+    Outcome {
+        energy_j: meter.total_j(),
+        mean_power_w: meter.mean_power_w(),
+        gps_on_s: meter.gps_on_s(),
+        reports: reports.len(),
+        mean_stale_err_m: stale_errs.iter().sum::<f64>() / stale_errs.len().max(1) as f64,
+        max_stale_err_m: stale_errs.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+fn main() {
+    println!("=== Fig. 7: EnTracked power-aware tracking (15 min: walk 5, stand 10) ===\n");
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9}",
+        "strategy", "energy J", "power W", "gps-on s", "reports", "mean err m", "max err m"
+    );
+    println!("{}", "-".repeat(82));
+    let strategies = [
+        Strategy::AlwaysOn,
+        Strategy::Periodic { period_s: 30 },
+        Strategy::Periodic { period_s: 60 },
+        Strategy::EnTracked { threshold_m: 25.0 },
+        Strategy::EnTracked { threshold_m: 50.0 },
+        Strategy::EnTracked { threshold_m: 100.0 },
+        Strategy::EnTracked { threshold_m: 200.0 },
+    ];
+    for strategy in strategies {
+        let o = run(strategy, 31);
+        let label = match strategy {
+            Strategy::AlwaysOn => "always-on".to_string(),
+            Strategy::Periodic { period_s } => format!("periodic ({period_s}s)"),
+            Strategy::EnTracked { threshold_m } => format!("entracked ({threshold_m:.0} m)"),
+        };
+        println!(
+            "{:<22} {:>9.1} {:>8.3} {:>8.0} {:>8} {:>10.1} {:>9.1}",
+            label,
+            o.energy_j,
+            o.mean_power_w,
+            o.gps_on_s,
+            o.reports,
+            o.mean_stale_err_m,
+            o.max_stale_err_m
+        );
+    }
+    println!(
+        "\n(expected shape — EnTracked MobiSys'09: duty-cycling against a motion model cuts\n energy by an order of magnitude at bounded error; fixed periodic saves energy but\n cannot exploit the stationary phase and pays error while moving; tighter EnTracked\n thresholds cost more energy and bound the error lower)"
+    );
+
+    distributed_variant();
+}
+
+/// The Fig. 7 deployment executed literally: GPS + wrapper on the mobile
+/// device, Parser/Interpreter/application on a server, with the EnTracked
+/// control loop crossing the (40 ms) link. Link statistics give the true
+/// transmission count the device pays for.
+fn distributed_variant() {
+    let walk = scenario();
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame(), walk.clone())
+            .with_seed(31)
+            .with_acquisition_delay(SimDuration::from_secs(4)),
+    );
+    let wrapper = mw.add_component(perpos_sensors::SensorWrapper::new("SensorWrapper", "mobile"));
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let motion = mw.add_component(MotionSensor::new("Motion", walk).with_seed(38));
+    let app = mw.application_sink();
+    mw.connect(gps, wrapper, 0).unwrap();
+    mw.connect(wrapper, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, app, 0).unwrap();
+    let target = mw.add_target("device");
+    mw.connect(motion, target.node(), 0).unwrap();
+    mw.attach_feature(gps, PowerStrategyFeature::new()).unwrap();
+    let channel = mw.channel_into(target.node(), 0).unwrap();
+    mw.attach_channel_feature(channel, EnTrackedFeature::new(gps, interpreter, 50.0))
+        .unwrap();
+    mw.set_deployment(
+        Deployment::new("server")
+            .assign(gps, "mobile")
+            .assign(wrapper, "mobile")
+            .assign(motion, "mobile")
+            .default_link(LinkModel {
+                latency: SimDuration::from_millis(40),
+                loss_prob: 0.01,
+            })
+            .with_seed(41),
+    );
+    let provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    for _ in 0..SCENARIO_S {
+        mw.step().unwrap();
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+    println!("\ndistributed Fig. 7 (GPS+wrapper on 'mobile', rest on 'server', 40 ms / 1% link):");
+    println!("  positions delivered to the server application: {}", provider.history().len());
+    for ((from, to), stats) in mw.deployment().unwrap().stats() {
+        println!(
+            "  link {from}->{to}: sent {} delivered {} lost {}",
+            stats.sent, stats.delivered, stats.lost
+        );
+    }
+    println!("  (each 'sent' is a device radio transmission the energy model charges for)");
+}

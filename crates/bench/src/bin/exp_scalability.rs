@@ -1,0 +1,88 @@
+//! Scalability experiment — the paper defers "reliability, scalability
+//! and performance" to future work (§6). This sweep measures how engine
+//! step time and channel derivation scale with the size of the
+//! positioning process: P parallel pipelines of depth D, all delivering
+//! to one application.
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_scalability --release`
+
+use std::time::Instant;
+
+use perpos_core::prelude::*;
+
+fn build(pipelines: usize, depth: usize) -> Middleware {
+    let mut mw = Middleware::new();
+    let app = mw.application_sink();
+    for p in 0..pipelines {
+        let mut i = 0i64;
+        let src = mw.add_component(FnSource::new(
+            format!("src{p}"),
+            kinds::RAW_STRING,
+            move |_| {
+                i += 1;
+                Some(Value::Int(i))
+            },
+        ));
+        let mut prev = src;
+        for d in 0..depth {
+            let node = mw.add_component(FnProcessor::new(
+                format!("p{p}s{d}"),
+                vec![kinds::RAW_STRING],
+                kinds::RAW_STRING,
+                |item| Some(item.payload.clone()),
+            ));
+            mw.connect(prev, node, 0).unwrap();
+            prev = node;
+        }
+        mw.connect_to_sink(prev, app).unwrap();
+    }
+    mw
+}
+
+fn main() {
+    println!("=== scalability: engine step time vs process size ===\n");
+    println!(
+        "{:>10} {:>6} {:>7} {:>9} {:>12} {:>14}",
+        "pipelines", "depth", "nodes", "channels", "step µs", "items/s (est)"
+    );
+    println!("{}", "-".repeat(64));
+    // The default application sink has 16 ports; larger fan-ins use
+    // several sinks in practice, so we cap pipelines at 16 here.
+    for (pipelines, depth) in [
+        (1usize, 2usize),
+        (1, 8),
+        (1, 32),
+        (4, 4),
+        (8, 4),
+        (16, 4),
+        (16, 16),
+    ] {
+        let mut mw = build(pipelines, depth);
+        // Warm-up.
+        for _ in 0..50 {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_micros(1));
+        }
+        let iters = 2_000u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_micros(1));
+        }
+        let us = start.elapsed().as_micros() as f64 / f64::from(iters);
+        let items_per_step = pipelines; // one emission per pipeline per step
+        let throughput = items_per_step as f64 / (us / 1e6);
+        println!(
+            "{:>10} {:>6} {:>7} {:>9} {:>12.1} {:>14.0}",
+            pipelines,
+            depth,
+            mw.structure().len(),
+            mw.channels().len(),
+            us,
+            throughput
+        );
+    }
+    println!(
+        "\n(expected shape: step time grows linearly in total node count — pipelines × depth —\n so a building-sized deployment of tens of sensors stays far below real-time rates)"
+    );
+}

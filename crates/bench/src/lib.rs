@@ -1,0 +1,160 @@
+//! Shared harness code for the PerPos experiment binaries and criterion
+//! benches. See `EXPERIMENTS.md` at the repository root for the map from
+//! paper figures to binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use perpos_core::prelude::*;
+use perpos_geo::{LocalFrame, Point2, Wgs84};
+use perpos_sensors::{GpsEnvironment, GpsSimulator, Interpreter, Parser, Trajectory};
+
+/// Summary statistics over a sample of errors (metres).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Root mean square.
+    pub rmse: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics from raw errors. Returns zeros for an empty
+    /// sample.
+    pub fn from(mut errors: Vec<f64>) -> Self {
+        if errors.is_empty() {
+            return ErrorStats {
+                n: 0,
+                mean: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                rmse: 0.0,
+                max: 0.0,
+            };
+        }
+        errors.sort_by(f64::total_cmp);
+        let n = errors.len();
+        let mean = errors.iter().sum::<f64>() / n as f64;
+        let median = errors[n / 2];
+        let p95 = errors[((n as f64 * 0.95) as usize).min(n - 1)];
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        let max = errors[n - 1];
+        ErrorStats {
+            n,
+            mean,
+            median,
+            p95,
+            rmse,
+            max,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={:<4} mean={:>6.2} median={:>6.2} p95={:>6.2} rmse={:>6.2} max={:>6.2}",
+            self.n, self.mean, self.median, self.p95, self.rmse, self.max
+        )
+    }
+}
+
+/// The shared anchor frame for experiments.
+pub fn frame() -> LocalFrame {
+    LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).expect("valid anchor"))
+}
+
+/// Builds the standard Fig. 1 GPS pipeline into `mw`:
+/// GPS -> Parser -> Interpreter -> application sink.
+/// Returns `(gps, parser, interpreter)`.
+pub fn gps_pipeline(
+    mw: &mut Middleware,
+    trajectory: Trajectory,
+    env: GpsEnvironment,
+    seed: u64,
+) -> (
+    perpos_core::graph::NodeId,
+    perpos_core::graph::NodeId,
+    perpos_core::graph::NodeId,
+) {
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame(), trajectory)
+            .with_seed(seed)
+            .with_environment(env),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).expect("gps -> parser");
+    mw.connect(parser, interpreter, 0).expect("parser -> interp");
+    mw.connect_to_sink(interpreter, app).expect("interp -> app");
+    (gps, parser, interpreter)
+}
+
+/// Position errors of `items` against the trajectory ground truth, in the
+/// experiment frame.
+pub fn position_errors(items: &[DataItem], trajectory: &Trajectory) -> Vec<f64> {
+    let f = frame();
+    items
+        .iter()
+        .filter_map(|i| {
+            let p = i.payload.as_position()?;
+            let truth = trajectory.position_at(i.timestamp);
+            Some(f.to_local(p.coord()).distance(&truth))
+        })
+        .collect()
+}
+
+/// A straight 200 m walk at pedestrian speed.
+pub fn straight_walk() -> Trajectory {
+    Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(200.0, 0.0)], 1.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = ErrorStats::from(vec![1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 22.0).abs() < 1e-9);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.rmse > s.mean);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = ErrorStats::from(vec![]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn pipeline_builder_works() {
+        let mut mw = Middleware::new();
+        let (_gps, _parser, _interp) = gps_pipeline(
+            &mut mw,
+            straight_walk(),
+            GpsEnvironment::open_sky(),
+            1,
+        );
+        mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+            .unwrap();
+        let p = mw
+            .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+            .unwrap();
+        assert!(p.last_position().is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! Dynamic, registry-driven assembly of processing graphs.
+//!
+//! The paper realizes PerPos on OSGi: Processing Components are service
+//! components, and "the dynamic composition mechanisms of OSGi is used for
+//! connecting the components" (§3). Custom components declare
+//! requirements and capabilities; "as custom components are added to the
+//! PerPos middleware the dependencies are resolved and when satisfied the
+//! components are added to the processing graph appropriately" (§2.1).
+//!
+//! [`Assembler`] reproduces that mechanism on top of
+//! [`perpos_registry::Registry`]: component *factories* are registered
+//! with a service descriptor whose capability/requirement namespaces are
+//! data kinds; when the registry resolves a factory, the assembler
+//! instantiates the component, adds it to a [`Middleware`]'s graph and
+//! connects each requirement wire to the node instantiated for its
+//! provider.
+//!
+//! # Examples
+//!
+//! ```
+//! use perpos_core::assembly::Assembler;
+//! use perpos_core::prelude::*;
+//!
+//! let mut mw = Middleware::new();
+//! let mut asm = Assembler::new();
+//! // Register a consumer before its producer: nothing happens yet.
+//! asm.register_factory(
+//!     "parser",
+//!     &[kinds::NMEA_SENTENCE],
+//!     &[kinds::RAW_STRING],
+//!     || {
+//!         Box::new(FnProcessor::new(
+//!             "parser",
+//!             vec![kinds::RAW_STRING],
+//!             kinds::NMEA_SENTENCE,
+//!             |i| Some(i.payload.clone()),
+//!         ))
+//!     },
+//! );
+//! asm.register_factory("gps", &[kinds::RAW_STRING], &[], || {
+//!     Box::new(FnSource::new("gps", kinds::RAW_STRING, |_| Some(Value::from("$GP"))))
+//! });
+//! // Both resolve once the producer exists; the graph now has the edge.
+//! let added = asm.sync(&mut mw)?;
+//! assert_eq!(added, 2);
+//! # Ok::<(), perpos_core::CoreError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use perpos_registry::{
+    Capability, Registry, Requirement, ServiceDescriptor, ServiceEvent, ServiceId,
+};
+
+use crate::component::Component;
+use crate::data::DataKind;
+use crate::graph::NodeId;
+use crate::{CoreError, Middleware};
+
+type Factory = Box<dyn Fn() -> Box<dyn Component> + Send + Sync>;
+
+/// One component instance in a declarative graph configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentConfig {
+    /// Instance name, unique within the configuration.
+    pub name: String,
+    /// Factory type to instantiate, or the reserved `"application"` for
+    /// the middleware's application sink.
+    pub kind: String,
+}
+
+/// One edge in a declarative graph configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionConfig {
+    /// Producing instance name.
+    pub from: String,
+    /// Consuming instance name.
+    pub to: String,
+    /// Input port on the consumer.
+    pub port: usize,
+}
+
+/// A declarative, serializable description of a positioning process —
+/// the paper's third composition path: "connections are established
+/// either by direct calls to the graph manipulation API, based on
+/// **explicitly defined system level configurations** or through dynamic
+/// resolution of dependencies" (§2.1).
+///
+/// The configuration references component *types* by name; the caller
+/// supplies a factory per type, so configurations can be stored as data
+/// (JSON via serde) and applied to any middleware instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Component instances to create.
+    pub components: Vec<ComponentConfig>,
+    /// Edges between them.
+    pub connections: Vec<ConnectionConfig>,
+}
+
+impl GraphConfig {
+    /// Instantiates the configuration into `mw`, using `factories` to
+    /// build each component type. Returns the instance-name → node map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ComponentFailure`] for unknown types or
+    /// instance names, and propagates connection validation errors (the
+    /// same checks as the direct manipulation API).
+    pub fn instantiate(
+        &self,
+        mw: &mut Middleware,
+        factories: &BTreeMap<String, Factory>,
+    ) -> Result<BTreeMap<String, NodeId>, CoreError> {
+        let mut nodes = BTreeMap::new();
+        for c in &self.components {
+            let node = if c.kind == "application" {
+                mw.application_sink()
+            } else {
+                let factory =
+                    factories
+                        .get(&c.kind)
+                        .ok_or_else(|| CoreError::ComponentFailure {
+                            component: c.name.clone(),
+                            reason: format!("no factory registered for type {:?}", c.kind),
+                        })?;
+                mw.add_boxed_component(factory())
+            };
+            if nodes.insert(c.name.clone(), node).is_some() {
+                return Err(CoreError::ComponentFailure {
+                    component: c.name.clone(),
+                    reason: "duplicate instance name in configuration".into(),
+                });
+            }
+        }
+        for edge in &self.connections {
+            let from = *nodes
+                .get(&edge.from)
+                .ok_or_else(|| CoreError::ComponentFailure {
+                    component: edge.from.clone(),
+                    reason: "connection references unknown instance".into(),
+                })?;
+            let to = *nodes
+                .get(&edge.to)
+                .ok_or_else(|| CoreError::ComponentFailure {
+                    component: edge.to.clone(),
+                    reason: "connection references unknown instance".into(),
+                })?;
+            mw.connect(from, to, edge.port)?;
+        }
+        Ok(nodes)
+    }
+}
+
+/// Connects a [`perpos_registry::Registry`] of component factories to a
+/// [`Middleware`] instance, instantiating and wiring components as their
+/// declared dependencies resolve.
+pub struct Assembler {
+    registry: Registry<Factory>,
+    events: crossbeam_channel::Receiver<ServiceEvent>,
+    instantiated: BTreeMap<ServiceId, NodeId>,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Assembler::new()
+    }
+}
+
+impl std::fmt::Debug for Assembler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Assembler")
+            .field("instantiated", &self.instantiated.len())
+            .finish()
+    }
+}
+
+impl Assembler {
+    /// Creates an assembler with an empty factory registry.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let events = registry.subscribe();
+        Assembler {
+            registry,
+            events,
+            instantiated: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a component factory declaring the data kinds it provides
+    /// and requires. Returns the underlying service id.
+    ///
+    /// Each required kind becomes one input port wire: the i-th
+    /// requirement connects the provider's node to input port i of the
+    /// instantiated component.
+    pub fn register_factory(
+        &mut self,
+        name: &str,
+        provides: &[DataKind],
+        requires: &[DataKind],
+        factory: impl Fn() -> Box<dyn Component> + Send + Sync + 'static,
+    ) -> ServiceId {
+        let mut descriptor = ServiceDescriptor::new(name);
+        for p in provides {
+            descriptor = descriptor.provides(Capability::new(p.as_str()));
+        }
+        for r in requires {
+            descriptor = descriptor.requires(Requirement::new(r.as_str()));
+        }
+        self.registry.register(descriptor, Box::new(factory))
+    }
+
+    /// Unregisters a factory and removes its instantiated component (and,
+    /// transitively via unresolution events processed by the next
+    /// [`Assembler::sync`], its dependents' wires).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry and graph errors.
+    pub fn unregister_factory(
+        &mut self,
+        id: ServiceId,
+        mw: &mut Middleware,
+    ) -> Result<(), CoreError> {
+        let _ = self.registry.unregister(id);
+        if let Some(node) = self.instantiated.remove(&id) {
+            mw.remove_component(node)?;
+        }
+        Ok(())
+    }
+
+    /// The node a resolved service was instantiated as, if any.
+    pub fn node_for(&self, id: ServiceId) -> Option<NodeId> {
+        self.instantiated.get(&id).copied()
+    }
+
+    /// Processes pending registry events, instantiating newly resolved
+    /// components into `mw` and wiring their dependencies. Returns the
+    /// number of components instantiated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (e.g. incompatible wires).
+    pub fn sync(&mut self, mw: &mut Middleware) -> Result<usize, CoreError> {
+        let mut added = 0;
+        let events: Vec<ServiceEvent> = self.events.try_iter().collect();
+        for event in events {
+            match event {
+                ServiceEvent::Resolved(sid) => {
+                    if self.instantiated.contains_key(&sid) {
+                        continue;
+                    }
+                    let Some(component) = self.registry.with_payload(sid, |f| f()) else {
+                        continue;
+                    };
+                    let node = mw.add_boxed_component(component);
+                    self.instantiated.insert(sid, node);
+                    added += 1;
+                    // Wire each requirement to its provider's node.
+                    for (port, wire) in self.registry.wires(sid).iter().enumerate() {
+                        if let Some(&provider_node) = self.instantiated.get(&wire.provider) {
+                            mw.connect(provider_node, node, port)?;
+                        }
+                    }
+                    // Wire dependents that resolved before this provider
+                    // was instantiated (possible when events interleave).
+                    let dependents: Vec<(ServiceId, usize)> = self
+                        .registry
+                        .service_ids()
+                        .into_iter()
+                        .flat_map(|other| {
+                            self.registry
+                                .wires(other)
+                                .into_iter()
+                                .enumerate()
+                                .filter(move |(_, w)| w.provider == sid)
+                                .map(move |(port, _)| (other, port))
+                        })
+                        .collect();
+                    for (dependent, port) in dependents {
+                        if let Some(&dep_node) = self.instantiated.get(&dependent) {
+                            if mw.node_info(dep_node)?.inputs[port].is_none() {
+                                mw.connect(node, dep_node, port)?;
+                            }
+                        }
+                    }
+                }
+                ServiceEvent::Unresolved(sid) | ServiceEvent::Unregistered(sid) => {
+                    if let Some(node) = self.instantiated.remove(&sid) {
+                        mw.remove_component(node)?;
+                    }
+                }
+                ServiceEvent::Registered(_) => {}
+            }
+        }
+        Ok(added)
+    }
+
+    /// The underlying registry (for inspection or direct manipulation).
+    pub fn registry(&self) -> &Registry<Factory> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{FnProcessor, FnSource};
+    use crate::data::{kinds, Value};
+    use crate::positioning::Criteria;
+    use crate::SimDuration;
+
+    fn gps_factory() -> Box<dyn Component> {
+        Box::new(FnSource::new("gps", kinds::RAW_STRING, |_| {
+            Some(Value::from("$GPGGA"))
+        }))
+    }
+
+    fn parser_factory() -> Box<dyn Component> {
+        Box::new(FnProcessor::new(
+            "parser",
+            vec![kinds::RAW_STRING],
+            kinds::NMEA_SENTENCE,
+            |i| Some(i.payload.clone()),
+        ))
+    }
+
+    #[test]
+    fn graph_config_instantiates_a_pipeline() {
+        let mut factories: BTreeMap<String, Factory> = BTreeMap::new();
+        factories.insert("gps".into(), Box::new(gps_factory));
+        factories.insert("parser".into(), Box::new(parser_factory));
+        let config = GraphConfig {
+            components: vec![
+                ComponentConfig { name: "gps0".into(), kind: "gps".into() },
+                ComponentConfig { name: "parse0".into(), kind: "parser".into() },
+                ComponentConfig { name: "app".into(), kind: "application".into() },
+            ],
+            connections: vec![
+                ConnectionConfig { from: "gps0".into(), to: "parse0".into(), port: 0 },
+                ConnectionConfig { from: "parse0".into(), to: "app".into(), port: 0 },
+            ],
+        };
+        let mut mw = Middleware::new();
+        let nodes = config.instantiate(&mut mw, &factories).unwrap();
+        assert_eq!(nodes.len(), 3);
+        mw.run_for(SimDuration::from_millis(100), SimDuration::from_millis(100))
+            .unwrap();
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.last_item().unwrap().kind, kinds::NMEA_SENTENCE);
+    }
+
+    #[test]
+    fn graph_config_rejects_bad_references() {
+        let factories: BTreeMap<String, Factory> = BTreeMap::new();
+        let mut mw = Middleware::new();
+        // Unknown type.
+        let bad_type = GraphConfig {
+            components: vec![ComponentConfig { name: "x".into(), kind: "nope".into() }],
+            connections: vec![],
+        };
+        assert!(bad_type.instantiate(&mut mw, &factories).is_err());
+        // Unknown instance in a connection.
+        let bad_edge = GraphConfig {
+            components: vec![ComponentConfig { name: "app".into(), kind: "application".into() }],
+            connections: vec![ConnectionConfig { from: "ghost".into(), to: "app".into(), port: 0 }],
+        };
+        assert!(bad_edge.instantiate(&mut mw, &factories).is_err());
+        // Duplicate instance names.
+        let dup = GraphConfig {
+            components: vec![
+                ComponentConfig { name: "app".into(), kind: "application".into() },
+                ComponentConfig { name: "app".into(), kind: "application".into() },
+            ],
+            connections: vec![],
+        };
+        assert!(dup.instantiate(&mut mw, &factories).is_err());
+    }
+
+    #[test]
+    fn components_assemble_when_dependencies_resolve() {
+        let mut mw = Middleware::new();
+        let mut asm = Assembler::new();
+        let parser_id =
+            asm.register_factory("parser", &[kinds::NMEA_SENTENCE], &[kinds::RAW_STRING], parser_factory);
+        assert_eq!(asm.sync(&mut mw).unwrap(), 0, "unresolved: no instantiation");
+        let gps_id = asm.register_factory("gps", &[kinds::RAW_STRING], &[], gps_factory);
+        assert_eq!(asm.sync(&mut mw).unwrap(), 2);
+        let gps_node = asm.node_for(gps_id).unwrap();
+        let parser_node = asm.node_for(parser_id).unwrap();
+        assert_eq!(mw.graph().downstream(gps_node), vec![(parser_node, 0)]);
+    }
+
+    #[test]
+    fn assembled_pipeline_flows_data() {
+        let mut mw = Middleware::new();
+        let mut asm = Assembler::new();
+        let parser_id = asm.register_factory(
+            "parser",
+            &[kinds::NMEA_SENTENCE],
+            &[kinds::RAW_STRING],
+            parser_factory,
+        );
+        asm.register_factory("gps", &[kinds::RAW_STRING], &[], gps_factory);
+        asm.sync(&mut mw).unwrap();
+        let parser_node = asm.node_for(parser_id).unwrap();
+        let app = mw.application_sink();
+        mw.connect(parser_node, app, 0).unwrap();
+        mw.run_for(SimDuration::from_millis(100), SimDuration::from_millis(100))
+            .unwrap();
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.last_item().unwrap().kind, kinds::NMEA_SENTENCE);
+    }
+
+    #[test]
+    fn unregister_removes_node_and_dependents_unwire() {
+        let mut mw = Middleware::new();
+        let mut asm = Assembler::new();
+        let parser_id = asm.register_factory(
+            "parser",
+            &[kinds::NMEA_SENTENCE],
+            &[kinds::RAW_STRING],
+            parser_factory,
+        );
+        let gps_id = asm.register_factory("gps", &[kinds::RAW_STRING], &[], gps_factory);
+        asm.sync(&mut mw).unwrap();
+        let parser_node = asm.node_for(parser_id).unwrap();
+        asm.unregister_factory(gps_id, &mut mw).unwrap();
+        asm.sync(&mut mw).unwrap();
+        // Parser lost resolution and is removed from the graph too.
+        assert!(!mw.graph().contains(parser_node));
+        assert_eq!(asm.node_for(parser_id), None);
+    }
+
+    #[test]
+    fn alternative_provider_rewires_after_unregister() {
+        let mut mw = Middleware::new();
+        let mut asm = Assembler::new();
+        let parser_id = asm.register_factory(
+            "parser",
+            &[kinds::NMEA_SENTENCE],
+            &[kinds::RAW_STRING],
+            parser_factory,
+        );
+        let gps1 = asm.register_factory("gps1", &[kinds::RAW_STRING], &[], gps_factory);
+        let _gps2 = asm.register_factory("gps2", &[kinds::RAW_STRING], &[], gps_factory);
+        asm.sync(&mut mw).unwrap();
+        asm.unregister_factory(gps1, &mut mw).unwrap();
+        // Registry re-resolves parser onto gps2; sync re-instantiates it.
+        asm.sync(&mut mw).unwrap();
+        let parser_node = asm.node_for(parser_id).expect("parser re-instantiated");
+        let producers = mw.graph().upstream(parser_node);
+        assert!(producers[0].is_some(), "parser rewired to gps2");
+    }
+}

@@ -1,0 +1,1043 @@
+//! The Process Channel Layer: source-to-merge pipelines abstracted as
+//! Channels, with logical-time data trees and Channel Features
+//! (paper §2.2, Fig. 4).
+//!
+//! A *Channel* is the maximal linear run of Processing Components from a
+//! data source (or merge component) towards the next merge component or
+//! application sink. For every data element a channel delivers, the layer
+//! groups *all intermediate data elements that logically contributed to
+//! it* into a [`DataTree`], using per-level logical time exactly as the
+//! paper's Fig. 4 describes: each level carries a monotonically increasing
+//! counter, and each produced element records the contiguous range of the
+//! previous level's counters it consumed.
+//!
+//! [`ChannelFeature`]s receive each tree through
+//! [`ChannelFeature::apply`] — the `apply(dataTree)` method of the paper —
+//! and may expose derived state (e.g. a likelihood estimate from HDOP
+//! values, Fig. 5) through reflective methods or typed handles.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::component::ComponentRole;
+use crate::data::{DataItem, DataKind, Value};
+use crate::feature::FeatureDescriptor;
+use crate::graph::{NodeId, ProcessingGraph};
+use crate::{CoreError, SimTime};
+
+/// Identifier of a channel. Channels are identified by their head node
+/// (the source or merge component they start at), so the id is stable
+/// across graph mutations that do not remove the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) NodeId);
+
+impl ChannelId {
+    /// The id of the channel headed at `node`. Useful when constructing
+    /// [`DataTree`]s manually in tests and tools.
+    pub fn of_head(node: NodeId) -> Self {
+        ChannelId(node)
+    }
+
+    /// The head node this channel starts at.
+    pub fn head(&self) -> NodeId {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel@{}", self.0)
+    }
+}
+
+/// Read-only description of a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelInfo {
+    /// The channel id (head node).
+    pub id: ChannelId,
+    /// Member nodes from head to last in-channel component.
+    pub members: Vec<NodeId>,
+    /// Component names of the members, head first.
+    pub member_names: Vec<String>,
+    /// Where the channel delivers: the consuming merge/sink node and its
+    /// input port, when connected.
+    pub endpoint: Option<(NodeId, usize)>,
+    /// Names of attached Channel Features.
+    pub features: Vec<String>,
+}
+
+/// One node of a [`DataTree`]: a data item plus the logical-time
+/// bookkeeping that located it in the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataNode {
+    /// The graph node that produced the item.
+    pub component: NodeId,
+    /// Name of that component (for diagnostics / rendering).
+    pub component_name: String,
+    /// The produced item.
+    pub item: DataItem,
+    /// The item's logical time at its level (1-based, per level).
+    pub logical: u64,
+    /// The contiguous range of previous-level logical times consumed to
+    /// produce this item; `None` at the leaf level.
+    pub range: Option<(u64, u64)>,
+    /// The contributing items from the previous level.
+    pub children: Vec<DataNode>,
+}
+
+impl DataNode {
+    fn render(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        match self.range {
+            Some((lo, hi)) => out.push_str(&format!(
+                "{}: {} (logical {}, consumed {}-{})\n",
+                self.component_name, self.item, self.logical, lo, hi
+            )),
+            None => out.push_str(&format!(
+                "{}: {} (logical {})\n",
+                self.component_name, self.item, self.logical
+            )),
+        }
+        for c in &self.children {
+            c.render(depth + 1, out);
+        }
+    }
+}
+
+/// The hierarchical grouping of all intermediate data that contributed to
+/// one channel output (paper Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataTree {
+    /// The channel that produced the output.
+    pub channel: ChannelId,
+    /// The output element and, transitively, its contributors.
+    pub root: DataNode,
+}
+
+impl DataTree {
+    /// Depth-first iteration over all nodes (root first).
+    pub fn iter(&self) -> impl Iterator<Item = &DataNode> {
+        // A tree is small; collect into a Vec for a simple iterator type.
+        let mut stack = vec![&self.root];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(n.children.iter());
+        }
+        out.into_iter()
+    }
+
+    /// All nodes whose item has the given kind. This is the paper's
+    /// `dataTree.getData(NMEASentence.class)` (Fig. 5): a Channel Feature
+    /// does not know how many layers or elements of each kind exist, so it
+    /// queries by kind.
+    pub fn items_of_kind(&self, kind: &DataKind) -> Vec<&DataNode> {
+        self.iter().filter(|n| &n.item.kind == kind).collect()
+    }
+
+    /// Total number of data elements in the tree.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Whether the tree consists of the root only.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Number of levels in the tree (1 = root only).
+    pub fn depth(&self) -> usize {
+        fn go(n: &DataNode) -> usize {
+            1 + n.children.iter().map(go).max().unwrap_or(0)
+        }
+        go(&self.root)
+    }
+
+    /// Renders the tree as indented text (the Fig. 4 visualization).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render(0, &mut out);
+        out
+    }
+}
+
+/// The view a running Channel Feature has of its channel.
+///
+/// Grants reflective access to the channel's member components and their
+/// Component Features — the paper's `component.getFeature(HDOP.class)`
+/// idiom (Fig. 5) — without exposing the whole graph.
+pub struct ChannelHost<'a> {
+    graph: &'a mut ProcessingGraph,
+    members: &'a [NodeId],
+    now: SimTime,
+    emitted: Vec<(NodeId, DataItem)>,
+}
+
+impl<'a> ChannelHost<'a> {
+    /// Builds a host over an explicit member list — for unit tests of
+    /// Channel Features outside an engine. Time is fixed at zero.
+    pub fn for_test(graph: &'a mut ProcessingGraph, members: &'a [NodeId]) -> Self {
+        ChannelHost {
+            graph,
+            members,
+            now: SimTime::ZERO,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The channel's member nodes, head first.
+    pub fn members(&self) -> &[NodeId] {
+        self.members
+    }
+
+    /// Reflectively invokes a method on a member component (dispatching
+    /// to its features when the component does not know the method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for non-members and propagates
+    /// reflective errors.
+    pub fn invoke_member(
+        &mut self,
+        node: NodeId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        if !self.members.contains(&node) {
+            return Err(CoreError::UnknownNode(node));
+        }
+        self.invoke_node(node, method, args)
+    }
+
+    /// Reflectively invokes a method on a named Component Feature of a
+    /// member.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ChannelHost::invoke_member`].
+    pub fn invoke_member_feature(
+        &mut self,
+        node: NodeId,
+        feature: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        if !self.members.contains(&node) {
+            return Err(CoreError::UnknownNode(node));
+        }
+        self.invoke_node_feature(node, feature, method, args)
+    }
+
+    /// Reflectively invokes a method on *any* node of the processing
+    /// graph — the paper's "combining the ability to traverse the nodes
+    /// of the processing tree with … state manipulation features"
+    /// (§2.1). The EnTracked Channel Feature uses this to control the GPS
+    /// power strategy from the motion channel (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reflective errors.
+    pub fn invoke_node(
+        &mut self,
+        node: NodeId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        let (value, emitted) = self.graph.invoke(node, method, args, self.now)?;
+        self.emitted.extend(emitted.into_iter().map(|i| (node, i)));
+        Ok(value)
+    }
+
+    /// Reflectively invokes a method on a named Component Feature of any
+    /// node (see [`ChannelHost::invoke_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reflective errors.
+    pub fn invoke_node_feature(
+        &mut self,
+        node: NodeId,
+        feature: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        let (value, emitted) = self.graph.invoke_feature(node, feature, method, args, self.now)?;
+        self.emitted.extend(emitted.into_iter().map(|i| (node, i)));
+        Ok(value)
+    }
+}
+
+impl fmt::Debug for ChannelHost<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelHost")
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+/// A Channel Feature (paper §2.2, Fig. 3b): functionality that depends on
+/// data produced at several stages of the positioning process.
+///
+/// The middleware calls [`ChannelFeature::apply`] every time the channel
+/// delivers a data element, passing the data tree that produced it.
+pub trait ChannelFeature: Send {
+    /// The feature's static declaration (see
+    /// [`FeatureDescriptor::requiring`] for dependency declarations).
+    fn descriptor(&self) -> FeatureDescriptor;
+
+    /// Processes the data tree behind one channel output and updates the
+    /// feature's internal state.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report failures as [`CoreError::ComponentFailure`];
+    /// the engine aborts the running step.
+    fn apply(&mut self, tree: &DataTree, host: &mut ChannelHost<'_>) -> Result<(), CoreError>;
+
+    /// Reflectively invokes one of the feature's methods — how
+    /// applications at the Positioning Layer interact with middleware
+    /// adaptations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchMethod`] for unknown methods.
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let _ = args;
+        Err(CoreError::NoSuchMethod {
+            target: self.descriptor().name,
+            method: method.to_string(),
+        })
+    }
+
+    /// Typed escape hatch (the paper's `inputChannel.getFeature(...)`).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Cap on unclaimed buffered entries per channel level; prevents unbounded
+/// growth when a downstream component consumes nothing for a long time.
+const LEVEL_BUFFER_CAP: usize = 4096;
+
+#[derive(Debug, Default)]
+struct LevelState {
+    counter: u64,
+    /// Highest logical time of this level already claimed by the next.
+    claimed_upto: u64,
+    pending: Vec<PendingEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingEntry {
+    item: DataItem,
+    logical: u64,
+    range: Option<(u64, u64)>,
+}
+
+struct ChannelRuntime {
+    id: ChannelId,
+    members: Vec<NodeId>,
+    member_names: Vec<String>,
+    endpoint: Option<(NodeId, usize)>,
+    levels: Vec<LevelState>,
+    features: Vec<FeatureEntry>,
+}
+
+struct FeatureEntry {
+    descriptor: FeatureDescriptor,
+    feature: Box<dyn ChannelFeature>,
+}
+
+/// The channel layer runtime: derives channels from the graph, performs
+/// logical-time bookkeeping and hosts Channel Features.
+#[derive(Default)]
+pub(crate) struct ChannelLayer {
+    channels: BTreeMap<ChannelId, ChannelRuntime>,
+    /// node -> (channel, level)
+    index: BTreeMap<NodeId, (ChannelId, usize)>,
+}
+
+impl fmt::Debug for ChannelLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelLayer")
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl ChannelLayer {
+    /// Re-derives channels after a graph change, preserving the features
+    /// and buffers of channels whose head survived.
+    pub(crate) fn recompute(&mut self, graph: &ProcessingGraph) {
+        let mut old = std::mem::take(&mut self.channels);
+        self.index.clear();
+        for head in channel_heads(graph) {
+            let (members, endpoint) = walk_channel(graph, head);
+            let id = ChannelId(head);
+            let member_names = members
+                .iter()
+                .map(|m| {
+                    graph
+                        .info(*m)
+                        .map(|i| i.descriptor.name)
+                        .unwrap_or_default()
+                })
+                .collect();
+            let mut runtime = ChannelRuntime {
+                id,
+                member_names,
+                endpoint,
+                levels: members.iter().map(|_| LevelState::default()).collect(),
+                members: members.clone(),
+                features: Vec::new(),
+            };
+            if let Some(mut prior) = old.remove(&id) {
+                runtime.features = std::mem::take(&mut prior.features);
+                if prior.members == runtime.members {
+                    // Unchanged shape: keep logical time and buffers.
+                    runtime.levels = prior.levels;
+                }
+            }
+            for (level, m) in members.iter().enumerate() {
+                self.index.insert(*m, (id, level));
+            }
+            self.channels.insert(id, runtime);
+        }
+    }
+
+    /// Records an emission from `node`. Returns the completed data tree
+    /// when the node is the channel's last member (a channel output).
+    pub(crate) fn record(&mut self, node: NodeId, item: &DataItem) -> Option<DataTree> {
+        let (cid, level) = *self.index.get(&node)?;
+        let rt = self.channels.get_mut(&cid)?;
+        let is_last = level + 1 == rt.levels.len();
+
+        let range = if level == 0 {
+            None
+        } else {
+            let prev = &mut rt.levels[level - 1];
+            let lo = prev.claimed_upto + 1;
+            let hi = prev.counter;
+            prev.claimed_upto = hi.max(prev.claimed_upto);
+            if hi >= lo {
+                Some((lo, hi))
+            } else {
+                // The producer emitted without fresh upstream data (e.g. a
+                // timer-driven component): no contributors this time.
+                None
+            }
+        };
+
+        let state = &mut rt.levels[level];
+        state.counter += 1;
+        let entry = PendingEntry {
+            item: item.clone(),
+            logical: state.counter,
+            range,
+        };
+
+        if is_last {
+            let root = build_node(&rt.levels, &rt.members, &rt.member_names, level, &entry);
+            prune_claimed(&mut rt.levels, level, &entry);
+            Some(DataTree { channel: cid, root })
+        } else {
+            state.pending.push(entry);
+            if state.pending.len() > LEVEL_BUFFER_CAP {
+                let excess = state.pending.len() - LEVEL_BUFFER_CAP;
+                state.pending.drain(..excess);
+            }
+            None
+        }
+    }
+
+    /// Runs every attached Channel Feature on a completed tree.
+    pub(crate) fn apply_features(
+        &mut self,
+        graph: &mut ProcessingGraph,
+        tree: &DataTree,
+        now: SimTime,
+    ) -> Result<Vec<(NodeId, DataItem)>, CoreError> {
+        let Some(rt) = self.channels.get_mut(&tree.channel) else {
+            return Ok(Vec::new());
+        };
+        let mut host = ChannelHost {
+            graph,
+            members: &rt.members,
+            now,
+            emitted: Vec::new(),
+        };
+        for entry in &mut rt.features {
+            entry.feature.apply(tree, &mut host)?;
+        }
+        Ok(host.emitted)
+    }
+
+    /// Attaches a Channel Feature, validating its declared dependencies
+    /// against member component names, attached Component Features and
+    /// already attached Channel Features.
+    pub(crate) fn attach_feature(
+        &mut self,
+        graph: &ProcessingGraph,
+        id: ChannelId,
+        feature: Box<dyn ChannelFeature>,
+    ) -> Result<(), CoreError> {
+        let rt = self
+            .channels
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownChannel(id))?;
+        let descriptor = feature.descriptor();
+        for dep in &descriptor.requires {
+            let mut found = rt.member_names.iter().any(|n| n == dep)
+                || rt
+                    .features
+                    .iter()
+                    .any(|f| &f.descriptor.name == dep);
+            if !found {
+                for m in &rt.members {
+                    if let Ok(info) = graph.info(*m) {
+                        if info.features.iter().any(|f| &f.name == dep) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !found {
+                return Err(CoreError::MissingFeature {
+                    node: id.0,
+                    feature: dep.clone(),
+                });
+            }
+        }
+        rt.features.push(FeatureEntry {
+            descriptor,
+            feature,
+        });
+        Ok(())
+    }
+
+    /// Detaches a Channel Feature by name.
+    pub(crate) fn detach_feature(
+        &mut self,
+        id: ChannelId,
+        name: &str,
+    ) -> Result<Box<dyn ChannelFeature>, CoreError> {
+        let rt = self
+            .channels
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownChannel(id))?;
+        let idx = rt
+            .features
+            .iter()
+            .position(|f| f.descriptor.name == name)
+            .ok_or_else(|| CoreError::UnknownFeatureName {
+                target: id.to_string(),
+                feature: name.to_string(),
+            })?;
+        Ok(rt.features.remove(idx).feature)
+    }
+
+    /// Reflectively invokes a method on an attached Channel Feature.
+    pub(crate) fn invoke_feature(
+        &mut self,
+        id: ChannelId,
+        name: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        let rt = self
+            .channels
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownChannel(id))?;
+        let entry = rt
+            .features
+            .iter_mut()
+            .find(|f| f.descriptor.name == name)
+            .ok_or_else(|| CoreError::UnknownFeatureName {
+                target: id.to_string(),
+                feature: name.to_string(),
+            })?;
+        entry.feature.invoke(method, args)
+    }
+
+    /// Typed access to an attached Channel Feature.
+    pub(crate) fn with_feature_mut<T: 'static, R>(
+        &mut self,
+        id: ChannelId,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, CoreError> {
+        let rt = self
+            .channels
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownChannel(id))?;
+        let entry = rt
+            .features
+            .iter_mut()
+            .find(|e| e.descriptor.name == name)
+            .ok_or_else(|| CoreError::UnknownFeatureName {
+                target: id.to_string(),
+                feature: name.to_string(),
+            })?;
+        let typed = entry
+            .feature
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .ok_or_else(|| CoreError::UnknownFeatureName {
+                target: id.to_string(),
+                feature: name.to_string(),
+            })?;
+        Ok(f(typed))
+    }
+
+    /// Read-only channel descriptions.
+    pub(crate) fn infos(&self) -> Vec<ChannelInfo> {
+        self.channels
+            .values()
+            .map(|rt| ChannelInfo {
+                id: rt.id,
+                members: rt.members.clone(),
+                member_names: rt.member_names.clone(),
+                endpoint: rt.endpoint,
+                features: rt
+                    .features
+                    .iter()
+                    .map(|f| f.descriptor.name.clone())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The channel that delivers into `(node, port)`, if any.
+    pub(crate) fn channel_into(&self, node: NodeId, port: usize) -> Option<ChannelId> {
+        self.channels
+            .values()
+            .find(|rt| rt.endpoint == Some((node, port)))
+            .map(|rt| rt.id)
+    }
+}
+
+/// A channel head is a source or a merge component (paper §2.2: nodes of
+/// the PCL are data sources or merging components).
+fn channel_heads(graph: &ProcessingGraph) -> Vec<NodeId> {
+    graph
+        .node_ids()
+        .into_iter()
+        .filter(|id| {
+            graph
+                .info(*id)
+                .map(|i| {
+                    matches!(
+                        i.descriptor.role,
+                        ComponentRole::Source | ComponentRole::Merge
+                    )
+                })
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Walks the linear run from `head` to the next merge, sink or fan-out.
+fn walk_channel(
+    graph: &ProcessingGraph,
+    head: NodeId,
+) -> (Vec<NodeId>, Option<(NodeId, usize)>) {
+    let mut members = vec![head];
+    let mut cur = head;
+    loop {
+        let outs = graph.downstream(cur);
+        if outs.len() != 1 {
+            return (members, None);
+        }
+        let (next, port) = outs[0];
+        let Ok(info) = graph.info(next) else {
+            return (members, None);
+        };
+        match info.descriptor.role {
+            ComponentRole::Merge | ComponentRole::Sink => {
+                return (members, Some((next, port)));
+            }
+            ComponentRole::Processor => {
+                members.push(next);
+                cur = next;
+            }
+            ComponentRole::Source => {
+                // A source cannot consume; the graph prevents this, but
+                // terminate defensively.
+                return (members, None);
+            }
+        }
+    }
+}
+
+fn build_node(
+    levels: &[LevelState],
+    members: &[NodeId],
+    names: &[String],
+    level: usize,
+    entry: &PendingEntry,
+) -> DataNode {
+    let children = match (level, entry.range) {
+        (0, _) | (_, None) => Vec::new(),
+        (_, Some((lo, hi))) => levels[level - 1]
+            .pending
+            .iter()
+            .filter(|e| e.logical >= lo && e.logical <= hi)
+            .map(|e| build_node(levels, members, names, level - 1, e))
+            .collect(),
+    };
+    DataNode {
+        component: members[level],
+        component_name: names.get(level).cloned().unwrap_or_default(),
+        item: entry.item.clone(),
+        logical: entry.logical,
+        range: entry.range,
+        children,
+    }
+}
+
+/// Removes every buffered entry that the completed output claimed.
+fn prune_claimed(levels: &mut [LevelState], out_level: usize, out_entry: &PendingEntry) {
+    let mut range = out_entry.range;
+    for level in (0..out_level).rev() {
+        let Some((_, hi)) = range else { break };
+        let state = &mut levels[level];
+        // Determine the deepest range claimed transitively.
+        let next_range = state
+            .pending
+            .iter()
+            .filter(|e| e.logical <= hi)
+            .filter_map(|e| e.range)
+            .fold(None, |acc: Option<(u64, u64)>, r| match acc {
+                None => Some(r),
+                Some((lo0, hi0)) => Some((lo0.min(r.0), hi0.max(r.1))),
+            });
+        state.pending.retain(|e| e.logical > hi);
+        range = next_range;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::kinds;
+
+    fn item(kind: DataKind, v: i64) -> DataItem {
+        DataItem::new(kind, SimTime::ZERO, Value::Int(v))
+    }
+
+    /// Builds the Fig. 1 GPS pipeline graph: gps -> parser -> interpreter
+    /// -> app, and returns (graph, layer, gps, parser, interpreter).
+    fn gps_pipeline() -> (
+        ProcessingGraph,
+        ChannelLayer,
+        NodeId,
+        NodeId,
+        NodeId,
+        NodeId,
+    ) {
+        use crate::component::{
+            ComponentCtx, ComponentDescriptor, FnProcessor, FnSource, InputSpec,
+        };
+
+        struct App;
+        impl crate::component::Component for App {
+            fn descriptor(&self) -> ComponentDescriptor {
+                ComponentDescriptor::sink("app", InputSpec::new("in", vec![]))
+            }
+            fn on_input(
+                &mut self,
+                _p: usize,
+                _i: DataItem,
+                _c: &mut ComponentCtx,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+        }
+
+        let mut g = ProcessingGraph::new();
+        let gps = g.add(Box::new(FnSource::new("GPS", kinds::RAW_STRING, |_| None)));
+        let parser = g.add(Box::new(FnProcessor::new(
+            "Parser",
+            vec![kinds::RAW_STRING],
+            kinds::NMEA_SENTENCE,
+            |_| None,
+        )));
+        let interp = g.add(Box::new(FnProcessor::new(
+            "Interpreter",
+            vec![kinds::NMEA_SENTENCE],
+            kinds::POSITION_WGS84,
+            |_| None,
+        )));
+        let app = g.add(Box::new(App));
+        g.connect(gps, parser, 0).unwrap();
+        g.connect(parser, interp, 0).unwrap();
+        g.connect(interp, app, 0).unwrap();
+        let mut layer = ChannelLayer::default();
+        layer.recompute(&g);
+        (g, layer, gps, parser, interp, app)
+    }
+
+    #[test]
+    fn derives_single_channel() {
+        let (_g, layer, gps, parser, interp, app) = gps_pipeline();
+        let infos = layer.infos();
+        assert_eq!(infos.len(), 1);
+        let info = &infos[0];
+        assert_eq!(info.members, vec![gps, parser, interp]);
+        assert_eq!(info.endpoint, Some((app, 0)));
+        assert_eq!(info.member_names, vec!["GPS", "Parser", "Interpreter"]);
+        assert_eq!(layer.channel_into(app, 0), Some(info.id));
+    }
+
+    /// Reproduces the exact data tree of the paper's Fig. 4:
+    /// five GPS strings, two NMEA sentences (consuming strings 1-2 and
+    /// 3-5), one WGS-84 position consuming NMEA 1-2.
+    #[test]
+    fn figure_4_data_tree() {
+        let (_g, mut layer, gps, parser, interp, _app) = gps_pipeline();
+
+        // Strings 1-2 -> NMEA1.
+        assert!(layer.record(gps, &item(kinds::RAW_STRING, 1)).is_none());
+        assert!(layer.record(gps, &item(kinds::RAW_STRING, 2)).is_none());
+        assert!(layer
+            .record(parser, &item(kinds::NMEA_SENTENCE, 1))
+            .is_none());
+        // Strings 3-5 -> NMEA2.
+        for v in 3..=5 {
+            assert!(layer.record(gps, &item(kinds::RAW_STRING, v)).is_none());
+        }
+        assert!(layer
+            .record(parser, &item(kinds::NMEA_SENTENCE, 2))
+            .is_none());
+        // Interpreter consumes NMEA 1-2 -> WGS84_1 (channel output).
+        let tree = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 1))
+            .expect("channel output completes the tree");
+
+        assert_eq!(tree.root.logical, 1);
+        assert_eq!(tree.root.range, Some((1, 2)));
+        assert_eq!(tree.root.children.len(), 2);
+        let nmea1 = &tree.root.children[0];
+        let nmea2 = &tree.root.children[1];
+        assert_eq!(nmea1.range, Some((1, 2)));
+        assert_eq!(nmea2.range, Some((3, 5)));
+        assert_eq!(nmea1.children.len(), 2);
+        assert_eq!(nmea2.children.len(), 3);
+        assert_eq!(tree.len(), 1 + 2 + 5);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.items_of_kind(&kinds::NMEA_SENTENCE).len(), 2);
+        assert_eq!(tree.items_of_kind(&kinds::RAW_STRING).len(), 5);
+        let rendered = tree.render();
+        assert!(rendered.contains("consumed 3-5"), "{rendered}");
+    }
+
+    #[test]
+    fn buffers_pruned_after_output() {
+        let (_g, mut layer, gps, parser, interp, _app) = gps_pipeline();
+        layer.record(gps, &item(kinds::RAW_STRING, 1));
+        layer.record(parser, &item(kinds::NMEA_SENTENCE, 1));
+        let t1 = layer.record(interp, &item(kinds::POSITION_WGS84, 1)).unwrap();
+        assert_eq!(t1.len(), 3);
+        // Next round starts fresh: new string + sentence only.
+        layer.record(gps, &item(kinds::RAW_STRING, 2));
+        layer.record(parser, &item(kinds::NMEA_SENTENCE, 2));
+        let t2 = layer.record(interp, &item(kinds::POSITION_WGS84, 2)).unwrap();
+        assert_eq!(t2.len(), 3, "old entries must not leak into new trees");
+        assert_eq!(t2.root.range, Some((2, 2)));
+    }
+
+    #[test]
+    fn output_without_fresh_input_has_no_children() {
+        let (_g, mut layer, _gps, _parser, interp, _app) = gps_pipeline();
+        let tree = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 1))
+            .unwrap();
+        assert_eq!(tree.root.range, None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn recompute_preserves_features_by_head() {
+        struct Probe {
+            applied: usize,
+        }
+        impl ChannelFeature for Probe {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("Probe")
+            }
+            fn apply(
+                &mut self,
+                _t: &DataTree,
+                _h: &mut ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                self.applied += 1;
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (g, mut layer, gps, _parser, _interp, _app) = gps_pipeline();
+        let id = ChannelId(gps);
+        layer
+            .attach_feature(&g, id, Box::new(Probe { applied: 0 }))
+            .unwrap();
+        layer.recompute(&g);
+        assert_eq!(layer.infos()[0].features, vec!["Probe".to_string()]);
+        let n = layer
+            .with_feature_mut::<Probe, usize>(id, "Probe", |p| p.applied)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn attach_validates_dependencies() {
+        struct Dependent;
+        impl ChannelFeature for Dependent {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("Dependent").requiring("HDOP")
+            }
+            fn apply(
+                &mut self,
+                _t: &DataTree,
+                _h: &mut ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (mut g, mut layer, gps, parser, _interp, _app) = gps_pipeline();
+        let id = ChannelId(gps);
+        assert!(matches!(
+            layer.attach_feature(&g, id, Box::new(Dependent)),
+            Err(CoreError::MissingFeature { .. })
+        ));
+        // Attach the required Component Feature to a member, then retry.
+        g.attach_feature(
+            parser,
+            Box::new(crate::feature::TagFeature::new(
+                "HDOP",
+                "hdop",
+                Value::Float(1.0),
+            )),
+        )
+        .unwrap();
+        layer.attach_feature(&g, id, Box::new(Dependent)).unwrap();
+        // Dependency on a member component name also works.
+        struct OnParser;
+        impl ChannelFeature for OnParser {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("OnParser").requiring("Parser")
+            }
+            fn apply(
+                &mut self,
+                _t: &DataTree,
+                _h: &mut ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        layer.attach_feature(&g, id, Box::new(OnParser)).unwrap();
+        // And on a previously attached channel feature.
+        struct OnDependent;
+        impl ChannelFeature for OnDependent {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("OnDependent").requiring("Dependent")
+            }
+            fn apply(
+                &mut self,
+                _t: &DataTree,
+                _h: &mut ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        layer.attach_feature(&g, id, Box::new(OnDependent)).unwrap();
+        assert_eq!(layer.infos()[0].features.len(), 3);
+        // Detach works and unknown names error.
+        layer.detach_feature(id, "OnDependent").unwrap();
+        assert!(layer.detach_feature(id, "OnDependent").is_err());
+    }
+
+    #[test]
+    fn features_applied_on_output() {
+        struct Collect {
+            kinds_seen: Vec<String>,
+        }
+        impl ChannelFeature for Collect {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("Collect")
+            }
+            fn apply(
+                &mut self,
+                tree: &DataTree,
+                _h: &mut ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                for n in tree.iter() {
+                    self.kinds_seen.push(n.item.kind.to_string());
+                }
+                Ok(())
+            }
+            fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+                if method == "count" {
+                    Ok(Value::Int(self.kinds_seen.len() as i64))
+                } else {
+                    Err(CoreError::NoSuchMethod {
+                        target: "Collect".into(),
+                        method: method.into(),
+                    })
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (mut g, mut layer, gps, parser, interp, _app) = gps_pipeline();
+        let id = ChannelId(gps);
+        layer
+            .attach_feature(&g, id, Box::new(Collect { kinds_seen: vec![] }))
+            .unwrap();
+        layer.record(gps, &item(kinds::RAW_STRING, 1));
+        layer.record(parser, &item(kinds::NMEA_SENTENCE, 1));
+        let tree = layer.record(interp, &item(kinds::POSITION_WGS84, 1)).unwrap();
+        layer
+            .apply_features(&mut g, &tree, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            layer.invoke_feature(id, "Collect", "count", &[]).unwrap(),
+            Value::Int(3)
+        );
+        assert!(layer
+            .invoke_feature(id, "Collect", "nope", &[])
+            .is_err());
+        assert!(layer
+            .invoke_feature(id, "Nope", "count", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn level_buffer_cap_bounds_memory() {
+        let (_g, mut layer, gps, _parser, _interp, _app) = gps_pipeline();
+        for v in 0..(LEVEL_BUFFER_CAP as i64 + 100) {
+            layer.record(gps, &item(kinds::RAW_STRING, v));
+        }
+        let rt = layer.channels.values().next().unwrap();
+        assert_eq!(rt.levels[0].pending.len(), LEVEL_BUFFER_CAP);
+    }
+}

@@ -1,0 +1,536 @@
+//! Processing Components — the nodes of the positioning process graph.
+//!
+//! A [`Component`] consumes data on input ports and produces data on its
+//! single output port (paper §2.1). It declares its ports, the data kinds
+//! they accept/provide, and any Component Features its inputs depend on in
+//! a [`ComponentDescriptor`]; the graph validates connections against
+//! those declarations.
+//!
+//! Components additionally expose a *designed reflection* surface: the
+//! [`Component::invoke`] method dispatches named methods with dynamic
+//! [`Value`] arguments, and [`Component::methods`] lists them. Component
+//! Features use this to read, expose and manipulate component state
+//! (paper §2.1 "Changing Component State").
+
+use std::fmt;
+
+use crate::data::{DataItem, DataKind, Value};
+use crate::{CoreError, SimTime};
+
+/// The role a component plays in the process tree; determines how the PCL
+/// abstracts it (paper §2.2: "data sources, components that merge data
+/// sources, or the root node representing the application").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentRole {
+    /// A leaf producing data (an actual sensor or an emulator).
+    Source,
+    /// An internal single-input processing step.
+    Processor,
+    /// A component merging several data sources (e.g. sensor fusion).
+    Merge,
+    /// The application end-point (root of the process tree).
+    Sink,
+}
+
+impl fmt::Display for ComponentRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentRole::Source => "source",
+            ComponentRole::Processor => "processor",
+            ComponentRole::Merge => "merge",
+            ComponentRole::Sink => "sink",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declaration of one input port.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InputSpec {
+    /// Port name for diagnostics.
+    pub name: String,
+    /// Data kinds this port accepts; empty means *any*.
+    pub accepts: Vec<DataKind>,
+    /// Names of Component Features that must be attached to the producer
+    /// connected to this port (paper §2.1).
+    pub required_features: Vec<String>,
+}
+
+impl InputSpec {
+    /// Creates a port accepting the given kinds (empty = any).
+    pub fn new(name: impl Into<String>, accepts: Vec<DataKind>) -> Self {
+        InputSpec {
+            name: name.into(),
+            accepts,
+            required_features: Vec::new(),
+        }
+    }
+
+    /// Declares a Component Feature dependency (builder style).
+    pub fn requiring_feature(mut self, feature: impl Into<String>) -> Self {
+        self.required_features.push(feature.into());
+        self
+    }
+
+    /// Whether this port accepts items of `kind`.
+    pub fn accepts_kind(&self, kind: &DataKind) -> bool {
+        self.accepts.is_empty() || self.accepts.contains(kind)
+    }
+}
+
+/// Declaration of the output port.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OutputSpec {
+    /// Data kinds the component can produce. Component Features that add
+    /// data extend this set dynamically (paper §2.1 "Adding Data").
+    pub provides: Vec<DataKind>,
+}
+
+impl OutputSpec {
+    /// Creates an output spec for the given kinds.
+    pub fn new(provides: Vec<DataKind>) -> Self {
+        OutputSpec { provides }
+    }
+}
+
+/// A reflective method exposed by a component or feature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// Method name, e.g. `"setThreshold"`.
+    pub name: String,
+    /// Human-readable signature documentation, e.g. `"(meters: float) -> null"`.
+    pub signature: String,
+}
+
+impl MethodSpec {
+    /// Creates a method description.
+    pub fn new(name: impl Into<String>, signature: impl Into<String>) -> Self {
+        MethodSpec {
+            name: name.into(),
+            signature: signature.into(),
+        }
+    }
+}
+
+/// Static description of a Processing Component: name, role and ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDescriptor {
+    /// Component name (diagnostics; need not be unique).
+    pub name: String,
+    /// Structural role.
+    pub role: ComponentRole,
+    /// Input ports, in port-index order. Sources have none.
+    pub inputs: Vec<InputSpec>,
+    /// Output port; sinks have none.
+    pub output: Option<OutputSpec>,
+}
+
+impl ComponentDescriptor {
+    /// Creates a descriptor for a source component producing `provides`.
+    pub fn source(name: impl Into<String>, provides: Vec<DataKind>) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            role: ComponentRole::Source,
+            inputs: Vec::new(),
+            output: Some(OutputSpec::new(provides)),
+        }
+    }
+
+    /// Creates a descriptor for a single-input processor.
+    pub fn processor(
+        name: impl Into<String>,
+        input: InputSpec,
+        provides: Vec<DataKind>,
+    ) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            role: ComponentRole::Processor,
+            inputs: vec![input],
+            output: Some(OutputSpec::new(provides)),
+        }
+    }
+
+    /// Creates a descriptor for a merge component with several inputs.
+    pub fn merge(
+        name: impl Into<String>,
+        inputs: Vec<InputSpec>,
+        provides: Vec<DataKind>,
+    ) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            role: ComponentRole::Merge,
+            inputs,
+            output: Some(OutputSpec::new(provides)),
+        }
+    }
+
+    /// Creates a descriptor for an application sink.
+    pub fn sink(name: impl Into<String>, input: InputSpec) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            role: ComponentRole::Sink,
+            inputs: vec![input],
+            output: None,
+        }
+    }
+}
+
+/// Execution context handed to a component while it runs.
+///
+/// Components produce data by calling [`ComponentCtx::emit`]; the engine
+/// then routes the emissions through attached features, channel
+/// bookkeeping and downstream ports.
+#[derive(Debug)]
+pub struct ComponentCtx {
+    now: SimTime,
+    emitted: Vec<DataItem>,
+}
+
+impl ComponentCtx {
+    /// Creates a context at `now`. Primarily useful when unit-testing
+    /// custom components outside an engine.
+    pub fn new(now: SimTime) -> Self {
+        ComponentCtx {
+            now,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Emits a data item on the component's output port.
+    pub fn emit(&mut self, item: DataItem) {
+        self.emitted.push(item);
+    }
+
+    /// Convenience: emits `payload` as a fresh item of `kind` stamped with
+    /// the current time.
+    pub fn emit_value(&mut self, kind: DataKind, payload: Value) {
+        let item = DataItem::new(kind, self.now, payload);
+        self.emit(item);
+    }
+
+    /// Drains everything emitted so far. The engine calls this after
+    /// each hook; tests may call it to inspect component output.
+    pub fn take_emitted(&mut self) -> Vec<DataItem> {
+        std::mem::take(&mut self.emitted)
+    }
+}
+
+/// A Processing Component: a node in the positioning process graph.
+///
+/// Implementations must be `Send` so graphs can be driven from worker
+/// threads. All hooks are infallible by default where the paper's model
+/// makes them optional.
+pub trait Component: Send {
+    /// The component's static declaration.
+    fn descriptor(&self) -> ComponentDescriptor;
+
+    /// Handles one item arriving on input port `port`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report internal failures as
+    /// [`CoreError::ComponentFailure`]; the engine aborts the running step
+    /// and surfaces the error.
+    fn on_input(
+        &mut self,
+        port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError>;
+
+    /// Called once per engine step; sources override this to sample and
+    /// emit. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Component::on_input`].
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Reflectively invokes a named method (designed reflection surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchMethod`] for unknown methods; the
+    /// default implementation knows none.
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let _ = args;
+        Err(CoreError::NoSuchMethod {
+            target: self.descriptor().name,
+            method: method.to_string(),
+        })
+    }
+
+    /// Lists the methods available through [`Component::invoke`].
+    fn methods(&self) -> Vec<MethodSpec> {
+        Vec::new()
+    }
+}
+
+/// A source component driven by a closure: each tick the closure may
+/// return a payload which is emitted with the configured kind.
+///
+/// Useful in tests, benchmarks and examples.
+///
+/// ```
+/// use perpos_core::prelude::*;
+///
+/// let mut ticks = 0;
+/// let mut src = FnSource::new("counter", kinds::RAW_STRING, move |_now| {
+///     ticks += 1;
+///     Some(Value::Int(ticks))
+/// });
+/// let mut ctx_probe = ComponentCtxProbe::run_tick(&mut src)?;
+/// assert_eq!(ctx_probe.len(), 1);
+/// # Ok::<(), perpos_core::CoreError>(())
+/// ```
+pub struct FnSource<F> {
+    name: String,
+    kind: DataKind,
+    f: F,
+}
+
+impl<F> FnSource<F>
+where
+    F: FnMut(SimTime) -> Option<Value> + Send,
+{
+    /// Creates a closure-driven source emitting items of `kind`.
+    pub fn new(name: impl Into<String>, kind: DataKind, f: F) -> Self {
+        FnSource {
+            name: name.into(),
+            kind,
+            f,
+        }
+    }
+}
+
+impl<F> Component for FnSource<F>
+where
+    F: FnMut(SimTime) -> Option<Value> + Send,
+{
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source(self.name.clone(), vec![self.kind.clone()])
+    }
+
+    fn on_input(
+        &mut self,
+        port: usize,
+        _item: DataItem,
+        _ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Err(CoreError::ComponentFailure {
+            component: self.name.clone(),
+            reason: format!("source received unexpected input on port {port}"),
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        if let Some(v) = (self.f)(ctx.now()) {
+            ctx.emit_value(self.kind.clone(), v);
+        }
+        Ok(())
+    }
+}
+
+impl<F> fmt::Debug for FnSource<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnSource").field("name", &self.name).finish()
+    }
+}
+
+/// A single-input processor driven by a closure mapping each input item to
+/// zero or one output payloads.
+pub struct FnProcessor<F> {
+    name: String,
+    accepts: Vec<DataKind>,
+    provides: DataKind,
+    f: F,
+}
+
+impl<F> FnProcessor<F>
+where
+    F: FnMut(&DataItem) -> Option<Value> + Send,
+{
+    /// Creates a closure-driven processor.
+    pub fn new(
+        name: impl Into<String>,
+        accepts: Vec<DataKind>,
+        provides: DataKind,
+        f: F,
+    ) -> Self {
+        FnProcessor {
+            name: name.into(),
+            accepts,
+            provides,
+            f,
+        }
+    }
+}
+
+impl<F> Component for FnProcessor<F>
+where
+    F: FnMut(&DataItem) -> Option<Value> + Send,
+{
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            self.name.clone(),
+            InputSpec::new("in", self.accepts.clone()),
+            vec![self.provides.clone()],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        if let Some(v) = (self.f)(&item) {
+            ctx.emit_value(self.provides.clone(), v);
+        }
+        Ok(())
+    }
+}
+
+impl<F> fmt::Debug for FnProcessor<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProcessor")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Test helper that drives a single component tick outside an engine.
+///
+/// Primarily useful in doctests and unit tests of custom components.
+#[derive(Debug)]
+pub struct ComponentCtxProbe;
+
+impl ComponentCtxProbe {
+    /// Runs `on_tick` at time zero and returns what the component emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the component's error.
+    pub fn run_tick(c: &mut dyn Component) -> Result<Vec<DataItem>, CoreError> {
+        let mut ctx = ComponentCtx::new(SimTime::ZERO);
+        c.on_tick(&mut ctx)?;
+        Ok(ctx.take_emitted())
+    }
+
+    /// Delivers one item to port 0 at the item's timestamp and returns the
+    /// emissions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the component's error.
+    pub fn run_input(c: &mut dyn Component, item: DataItem) -> Result<Vec<DataItem>, CoreError> {
+        let mut ctx = ComponentCtx::new(item.timestamp);
+        c.on_input(0, item, &mut ctx)?;
+        Ok(ctx.take_emitted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::kinds;
+
+    #[test]
+    fn input_spec_accepts() {
+        let any = InputSpec::new("in", vec![]);
+        assert!(any.accepts_kind(&kinds::RAW_STRING));
+        let only_pos = InputSpec::new("in", vec![kinds::POSITION_WGS84]);
+        assert!(only_pos.accepts_kind(&kinds::POSITION_WGS84));
+        assert!(!only_pos.accepts_kind(&kinds::RAW_STRING));
+    }
+
+    #[test]
+    fn descriptor_constructors() {
+        let s = ComponentDescriptor::source("gps", vec![kinds::RAW_STRING]);
+        assert_eq!(s.role, ComponentRole::Source);
+        assert!(s.inputs.is_empty());
+        assert!(s.output.is_some());
+
+        let p = ComponentDescriptor::processor(
+            "parser",
+            InputSpec::new("in", vec![kinds::RAW_STRING]),
+            vec![kinds::NMEA_SENTENCE],
+        );
+        assert_eq!(p.role, ComponentRole::Processor);
+        assert_eq!(p.inputs.len(), 1);
+
+        let m = ComponentDescriptor::merge(
+            "fusion",
+            vec![InputSpec::default(), InputSpec::default()],
+            vec![kinds::POSITION_WGS84],
+        );
+        assert_eq!(m.role, ComponentRole::Merge);
+
+        let k = ComponentDescriptor::sink("app", InputSpec::default());
+        assert_eq!(k.role, ComponentRole::Sink);
+        assert!(k.output.is_none());
+    }
+
+    #[test]
+    fn fn_source_emits() {
+        let mut n = 0;
+        let mut src = FnSource::new("s", kinds::RAW_STRING, move |_| {
+            n += 1;
+            (n <= 2).then_some(Value::Int(n))
+        });
+        assert_eq!(ComponentCtxProbe::run_tick(&mut src).unwrap().len(), 1);
+        assert_eq!(ComponentCtxProbe::run_tick(&mut src).unwrap().len(), 1);
+        assert_eq!(ComponentCtxProbe::run_tick(&mut src).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn fn_source_rejects_input() {
+        let mut src = FnSource::new("s", kinds::RAW_STRING, |_| None);
+        let item = DataItem::new(kinds::RAW_STRING, SimTime::ZERO, Value::Null);
+        assert!(matches!(
+            ComponentCtxProbe::run_input(&mut src, item),
+            Err(CoreError::ComponentFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn fn_processor_maps() {
+        let mut p = FnProcessor::new(
+            "double",
+            vec![kinds::RAW_STRING],
+            kinds::NMEA_SENTENCE,
+            |item| item.payload.as_i64().map(|i| Value::Int(i * 2)),
+        );
+        let out = ComponentCtxProbe::run_input(
+            &mut p,
+            DataItem::new(kinds::RAW_STRING, SimTime::ZERO, Value::Int(21)),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Value::Int(42));
+        assert_eq!(out[0].kind, kinds::NMEA_SENTENCE);
+    }
+
+    #[test]
+    fn default_invoke_is_no_such_method() {
+        let mut src = FnSource::new("s", kinds::RAW_STRING, |_| None);
+        assert!(matches!(
+            src.invoke("anything", &[]),
+            Err(CoreError::NoSuchMethod { .. })
+        ));
+        assert!(src.methods().is_empty());
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(ComponentRole::Merge.to_string(), "merge");
+    }
+}

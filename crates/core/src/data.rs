@@ -1,0 +1,452 @@
+//! The dynamic data model flowing through the processing graph.
+//!
+//! The paper's middleware moves heterogeneous data — raw byte strings,
+//! NMEA sentences, WGS-84 positions, room identifiers — through one graph,
+//! and lets Component Features attach arbitrary extra data (HDOP values,
+//! satellite counts) to items in flight. A strict type system cannot fix
+//! those types at compile time without closing the system, so PerPos uses
+//! a designed dynamic representation:
+//!
+//! * [`Value`] — a self-describing value (JSON-like, plus positions),
+//! * [`DataKind`] — a namespaced tag describing what an item *is*
+//!   (`"position.wgs84"`, `"nmea.sentence"`, …); ports declare the kinds
+//!   they accept and provide,
+//! * [`DataItem`] — a kind + timestamp + payload + feature-attached
+//!   attributes, the unit that travels along graph edges.
+
+use perpos_geo::Wgs84;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{CoreError, SimTime};
+
+/// A namespaced tag classifying the data carried by a [`DataItem`].
+///
+/// Kinds are cheap to clone and compare. By convention they are
+/// dot-namespaced lowercase, e.g. `"position.wgs84"`. The well-known kinds
+/// used across the PerPos crates live in [`kinds`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataKind(Cow<'static, str>);
+
+impl DataKind {
+    /// Creates a kind from a static string (zero allocation).
+    pub const fn from_static(s: &'static str) -> Self {
+        DataKind(Cow::Borrowed(s))
+    }
+
+    /// Creates a kind from a runtime string.
+    pub fn new(s: impl Into<String>) -> Self {
+        DataKind(Cow::Owned(s.into()))
+    }
+
+    /// The kind name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DataKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&'static str> for DataKind {
+    fn from(s: &'static str) -> Self {
+        DataKind(Cow::Borrowed(s))
+    }
+}
+
+/// Well-known data kinds shared by the PerPos crates.
+pub mod kinds {
+    use super::DataKind;
+
+    /// Raw sensor bytes rendered as text (e.g. NMEA lines off the wire).
+    pub const RAW_STRING: DataKind = DataKind::from_static("raw.string");
+    /// A parsed NMEA sentence (payload is the sentence encoded as a map).
+    pub const NMEA_SENTENCE: DataKind = DataKind::from_static("nmea.sentence");
+    /// A WGS-84 position ([`super::Value::Position`] payload).
+    pub const POSITION_WGS84: DataKind = DataKind::from_static("position.wgs84");
+    /// A symbolic room position (payload is the room id text).
+    pub const POSITION_ROOM: DataKind = DataKind::from_static("position.room");
+    /// A WiFi signal-strength scan (payload maps AP id to RSSI dBm).
+    pub const WIFI_SCAN: DataKind = DataKind::from_static("wifi.scan");
+    /// An accelerometer/motion sample (payload is a map).
+    pub const MOTION_SAMPLE: DataKind = DataKind::from_static("motion.sample");
+}
+
+/// A self-describing dynamic value.
+///
+/// This is the payload representation of [`DataItem`]s and the argument /
+/// return representation of the reflective `invoke` surfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Absence of a value.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A floating point number.
+    Float(f64),
+    /// A text string.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A string-keyed map of values.
+    Map(BTreeMap<String, Value>),
+    /// A position (the primary domain value of a positioning middleware).
+    Position(Position),
+}
+
+impl Value {
+    /// The variant name, used in diagnostics.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+            Value::Position(_) => "position",
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` read as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Position view.
+    pub fn as_position(&self) -> Option<&Position> {
+        match self {
+            Value::Position(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Position view as an error-producing accessor for `?`-style code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PayloadMismatch`] when the value is not a
+    /// position.
+    pub fn expect_position(&self) -> Result<&Position, CoreError> {
+        self.as_position().ok_or(CoreError::PayloadMismatch {
+            expected: "position",
+            found: self.variant_name(),
+        })
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<Position> for Value {
+    fn from(v: Position) -> Self {
+        Value::Position(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(v: BTreeMap<String, Value>) -> Self {
+        Value::Map(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(l) => write!(f, "[{} items]", l.len()),
+            Value::Map(m) => write!(f, "{{{} entries}}", m.len()),
+            Value::Position(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A technology-independent position estimate: WGS-84 coordinates plus an
+/// optional horizontal accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    coord: Wgs84,
+    accuracy_m: Option<f64>,
+}
+
+impl Position {
+    /// Creates a position with an optional 1-sigma horizontal accuracy in
+    /// metres.
+    pub fn new(coord: Wgs84, accuracy_m: Option<f64>) -> Self {
+        Position { coord, accuracy_m }
+    }
+
+    /// The WGS-84 coordinates.
+    pub fn coord(&self) -> &Wgs84 {
+        &self.coord
+    }
+
+    /// The estimated horizontal accuracy in metres, if known.
+    pub fn accuracy_m(&self) -> Option<f64> {
+        self.accuracy_m
+    }
+
+    /// Distance in metres to another position.
+    pub fn distance_m(&self, other: &Position) -> f64 {
+        self.coord.distance_m(&other.coord)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.accuracy_m {
+            Some(a) => write!(f, "{} ±{a:.1}m", self.coord),
+            None => write!(f, "{}", self.coord),
+        }
+    }
+}
+
+/// The unit of data travelling along processing-graph edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataItem {
+    /// What the payload is.
+    pub kind: DataKind,
+    /// Simulated time at which the item was produced.
+    pub timestamp: SimTime,
+    /// The payload itself.
+    pub payload: Value,
+    /// Extra data associated with the item by Component Features
+    /// (paper §2.1 "Adding Data"), keyed by attribute name.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl DataItem {
+    /// Creates an item with no attributes.
+    pub fn new(kind: DataKind, timestamp: SimTime, payload: Value) -> Self {
+        DataItem {
+            kind,
+            timestamp,
+            payload,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute attachment.
+    pub fn with_attr(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Reads an attribute.
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+
+    /// The payload as a position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PayloadMismatch`] when the payload is not a
+    /// position.
+    pub fn position(&self) -> Result<&Position, CoreError> {
+        self.payload.expect_position()
+    }
+}
+
+impl fmt::Display for DataItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @{}] {}", self.kind, self.timestamp, self.payload)?;
+        if !self.attrs.is_empty() {
+            write!(f, " +{:?}", self.attrs.keys().collect::<Vec<_>>())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wgs(lat: f64, lon: f64) -> Wgs84 {
+        Wgs84::new(lat, lon, 0.0).unwrap()
+    }
+
+    #[test]
+    fn kind_equality_and_display() {
+        assert_eq!(kinds::POSITION_WGS84, DataKind::new("position.wgs84"));
+        assert_ne!(kinds::POSITION_WGS84, kinds::POSITION_ROOM);
+        assert_eq!(kinds::RAW_STRING.to_string(), "raw.string");
+    }
+
+    #[test]
+    fn value_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_f64(), None);
+        let p = Position::new(wgs(1.0, 2.0), Some(3.0));
+        assert_eq!(Value::from(p).as_position(), Some(&p));
+    }
+
+    #[test]
+    fn expect_position_reports_mismatch() {
+        let err = Value::Int(1).expect_position().unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::PayloadMismatch {
+                expected: "position",
+                found: "int"
+            }
+        );
+    }
+
+    #[test]
+    fn item_attributes() {
+        let item = DataItem::new(kinds::NMEA_SENTENCE, SimTime::ZERO, Value::from("x"))
+            .with_attr("hdop", Value::Float(1.5));
+        assert_eq!(item.attr("hdop").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(item.attr("nope"), None);
+        assert!(format!("{item}").contains("hdop"));
+    }
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(wgs(0.0, 0.0), None);
+        let b = Position::new(wgs(0.0, 1.0), Some(10.0));
+        assert!(a.distance_m(&b) > 100_000.0);
+        assert!(format!("{b}").contains("±10.0m"));
+    }
+
+    #[test]
+    fn serde_round_trip_items() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        let strategy = (
+            proptest::option::of(-90.0f64..90.0),
+            any::<i64>(),
+            ".{0,20}",
+            0u64..u64::MAX / 2,
+        );
+        runner
+            .run(&strategy, |(lat, int_v, text, ts)| {
+                let payload = match lat {
+                    Some(lat) => Value::from(Position::new(
+                        Wgs84::new(lat, 10.0, 0.0).unwrap(),
+                        Some(5.0),
+                    )),
+                    None => Value::List(vec![Value::Int(int_v), Value::from(text.clone())]),
+                };
+                let item = DataItem::new(
+                    kinds::POSITION_WGS84,
+                    SimTime::from_micros(ts),
+                    payload,
+                )
+                .with_attr("k", Value::Bool(true));
+                let json = serde_json::to_string(&item).unwrap();
+                let back: DataItem = serde_json::from_str(&json).unwrap();
+                prop_assert_eq!(item, back);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn variant_names_cover_all() {
+        for (v, name) in [
+            (Value::Null, "null"),
+            (Value::Bool(true), "bool"),
+            (Value::Int(1), "int"),
+            (Value::Float(1.0), "float"),
+            (Value::from("s"), "text"),
+            (Value::Bytes(vec![1]), "bytes"),
+            (Value::List(vec![]), "list"),
+            (Value::Map(BTreeMap::new()), "map"),
+        ] {
+            assert_eq!(v.variant_name(), name);
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,1214 @@
+//! The [`Middleware`] facade: one object owning the processing graph, the
+//! channel layer, the positioning layer and the simulation clock, and the
+//! execution engine that moves data from sensors to applications.
+//!
+//! Execution model: the engine is deterministic and synchronous. Each
+//! [`Middleware::step`] ticks every source component; emitted items run
+//! through the producing node's Component Features (produce direction),
+//! are recorded by the channel layer (completing a channel output fires
+//! the attached Channel Features), and are then delivered to downstream
+//! ports whose declared kinds accept them, where the consuming node's
+//! features (consume direction) and the component itself process them.
+//! Graph manipulation between steps keeps the channel views causally
+//! connected — they are recomputed from the live graph on every change
+//! (paper §2: "maintaining a causal connection between the positioning
+//! system and the tree").
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::channel::{ChannelFeature, ChannelId, ChannelInfo, ChannelLayer};
+use crate::distribution::Deployment;
+use crate::component::{Component, ComponentCtx, MethodSpec};
+use crate::data::{DataItem, Value};
+use crate::feature::{ComponentFeature, FeatureAction, FeatureHost};
+use crate::graph::{NodeId, NodeInfo, ProcessingGraph};
+use crate::positioning::{ApplicationSink, Criteria, LocationProvider, SinkShared};
+use crate::{CoreError, SimClock, SimDuration, SimTime};
+
+/// A named tracked target: an application end-point of its own, to which
+/// several sensor pipelines may be connected (paper §2.3: "definition of
+/// tracked targets, which may have several sensors attached to them").
+#[derive(Clone)]
+pub struct Target {
+    name: String,
+    node: NodeId,
+    shared: Arc<SinkShared>,
+}
+
+impl Target {
+    /// The target's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sink node representing this target in the graph.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A location provider filtered by `criteria` over this target's data.
+    pub fn provider(&self, criteria: Criteria) -> LocationProvider {
+        LocationProvider::new(Arc::clone(&self.shared), criteria)
+    }
+}
+
+impl fmt::Debug for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Target")
+            .field("name", &self.name)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+/// The PerPos middleware instance.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Middleware {
+    graph: ProcessingGraph,
+    channels: ChannelLayer,
+    clock: SimClock,
+    app_sink: NodeId,
+    app_shared: Arc<SinkShared>,
+    targets: Vec<Target>,
+    steps_run: u64,
+    /// Items emitted by features during out-of-band reflective calls,
+    /// routed at the start of the next step.
+    pending: Vec<(NodeId, DataItem)>,
+    deployment: Option<Deployment>,
+}
+
+impl fmt::Debug for Middleware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Middleware")
+            .field("graph", &self.graph)
+            .field("steps_run", &self.steps_run)
+            .finish()
+    }
+}
+
+impl Default for Middleware {
+    fn default() -> Self {
+        Middleware::new()
+    }
+}
+
+impl Middleware {
+    /// Creates a middleware instance with one application sink.
+    pub fn new() -> Self {
+        let mut graph = ProcessingGraph::new();
+        let (sink, shared) = ApplicationSink::new("application");
+        let app_sink = graph.add(Box::new(sink));
+        let mut channels = ChannelLayer::default();
+        channels.recompute(&graph);
+        Middleware {
+            graph,
+            channels,
+            clock: SimClock::new(),
+            app_sink,
+            app_shared: shared,
+            targets: Vec::new(),
+            steps_run: 0,
+            pending: Vec::new(),
+            deployment: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock
+    // ------------------------------------------------------------------
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Number of engine steps executed so far.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Advances the simulation clock by `d` without running a step —
+    /// for experiment loops that interleave stepping with measurements.
+    pub fn advance_clock(&mut self, d: SimDuration) -> SimTime {
+        self.clock.advance(d)
+    }
+
+    // ------------------------------------------------------------------
+    // Process Structure Layer (PSL) — paper §2.1
+    // ------------------------------------------------------------------
+
+    /// Adds a component to the processing graph.
+    pub fn add_component(&mut self, component: impl Component + 'static) -> NodeId {
+        let id = self.graph.add(Box::new(component));
+        self.channels.recompute(&self.graph);
+        id
+    }
+
+    /// Adds an already boxed component.
+    pub fn add_boxed_component(&mut self, component: Box<dyn Component>) -> NodeId {
+        let id = self.graph.add(component);
+        self.channels.recompute(&self.graph);
+        id
+    }
+
+    /// Removes a component, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn remove_component(&mut self, id: NodeId) -> Result<Box<dyn Component>, CoreError> {
+        let c = self.graph.remove(id)?;
+        self.channels.recompute(&self.graph);
+        Ok(c)
+    }
+
+    /// Connects `from`'s output to `(to, port)` with full validation (see
+    /// [`ProcessingGraph::connect`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph's validation errors.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) -> Result<(), CoreError> {
+        self.graph.connect(from, to, port)?;
+        self.channels.recompute(&self.graph);
+        Ok(())
+    }
+
+    /// Disconnects input `port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph's validation errors.
+    pub fn disconnect(&mut self, to: NodeId, port: usize) -> Result<Option<NodeId>, CoreError> {
+        let r = self.graph.disconnect(to, port)?;
+        self.channels.recompute(&self.graph);
+        Ok(r)
+    }
+
+    /// Connects `from` to the first free input port of `sink` (an
+    /// application sink or target node). Returns the chosen port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PortOccupied`] when every port is taken, or
+    /// the usual connection validation errors.
+    pub fn connect_to_sink(&mut self, from: NodeId, sink: NodeId) -> Result<usize, CoreError> {
+        let info = self.graph.info(sink)?;
+        let port = info
+            .inputs
+            .iter()
+            .position(|p| p.is_none())
+            .ok_or(CoreError::PortOccupied {
+                node: sink,
+                port: info.inputs.len(),
+            })?;
+        self.connect(from, sink, port)?;
+        Ok(port)
+    }
+
+    /// Inserts `new` into the existing edge `from -> (to, port)` (the
+    /// §3.1 "insert a filter after the Parser" operation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph's validation errors.
+    pub fn insert_between(
+        &mut self,
+        new: NodeId,
+        from: NodeId,
+        to: NodeId,
+        port: usize,
+    ) -> Result<(), CoreError> {
+        self.graph.insert_between(new, from, to, port)?;
+        self.channels.recompute(&self.graph);
+        Ok(())
+    }
+
+    /// Attaches a Component Feature to a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn attach_feature(
+        &mut self,
+        id: NodeId,
+        feature: impl ComponentFeature + 'static,
+    ) -> Result<(), CoreError> {
+        self.graph.attach_feature(id, Box::new(feature))?;
+        self.channels.recompute(&self.graph);
+        Ok(())
+    }
+
+    /// Detaches a Component Feature by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeatureName`] when absent.
+    pub fn detach_feature(
+        &mut self,
+        id: NodeId,
+        name: &str,
+    ) -> Result<Box<dyn ComponentFeature>, CoreError> {
+        let f = self.graph.detach_feature(id, name)?;
+        self.channels.recompute(&self.graph);
+        Ok(f)
+    }
+
+    /// Inspection of the full process structure (PSL view).
+    pub fn structure(&self) -> Vec<NodeInfo> {
+        self.graph
+            .node_ids()
+            .into_iter()
+            .filter_map(|id| self.graph.info(id).ok())
+            .collect()
+    }
+
+    /// Inspection record for one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn node_info(&self, id: NodeId) -> Result<NodeInfo, CoreError> {
+        self.graph.info(id)
+    }
+
+    /// Renders the process tree as indented text.
+    pub fn render_process_tree(&self) -> String {
+        self.graph.render_tree()
+    }
+
+    /// Reflectively invokes a method on a node (component first, then its
+    /// features).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchMethod`] when nothing handles it.
+    pub fn invoke(&mut self, id: NodeId, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        let now = self.clock.now();
+        let (value, emitted) = self.graph.invoke(id, method, args, now)?;
+        self.pending.extend(emitted.into_iter().map(|i| (id, i)));
+        Ok(value)
+    }
+
+    /// Reflectively invokes a method on a named Component Feature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reflective errors.
+    pub fn invoke_feature(
+        &mut self,
+        id: NodeId,
+        feature: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        let now = self.clock.now();
+        let (value, emitted) = self.graph.invoke_feature(id, feature, method, args, now)?;
+        self.pending.extend(emitted.into_iter().map(|i| (id, i)));
+        Ok(value)
+    }
+
+    /// All methods a node appears to implement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn methods(&self, id: NodeId) -> Result<Vec<MethodSpec>, CoreError> {
+        self.graph.methods(id)
+    }
+
+    /// Typed access to an attached Component Feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeatureName`] when absent or of another
+    /// type.
+    pub fn with_feature_mut<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, CoreError> {
+        self.graph.with_feature_mut(id, name, f)
+    }
+
+    /// Direct access to the graph for read-only traversals.
+    pub fn graph(&self) -> &ProcessingGraph {
+        &self.graph
+    }
+
+    // ------------------------------------------------------------------
+    // Process Channel Layer (PCL) — paper §2.2
+    // ------------------------------------------------------------------
+
+    /// The current channels (PCL view).
+    pub fn channels(&self) -> Vec<ChannelInfo> {
+        self.channels.infos()
+    }
+
+    /// The channel delivering into `(node, port)`, if any.
+    pub fn channel_into(&self, node: NodeId, port: usize) -> Option<ChannelId> {
+        self.channels.channel_into(node, port)
+    }
+
+    /// Attaches a Channel Feature, validating its declared dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] or
+    /// [`CoreError::MissingFeature`] for unsatisfied dependencies.
+    pub fn attach_channel_feature(
+        &mut self,
+        id: ChannelId,
+        feature: impl ChannelFeature + 'static,
+    ) -> Result<(), CoreError> {
+        self.channels.attach_feature(&self.graph, id, Box::new(feature))
+    }
+
+    /// Detaches a Channel Feature by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeatureName`] when absent.
+    pub fn detach_channel_feature(
+        &mut self,
+        id: ChannelId,
+        name: &str,
+    ) -> Result<Box<dyn ChannelFeature>, CoreError> {
+        self.channels.detach_feature(id, name)
+    }
+
+    /// Reflectively invokes a method on an attached Channel Feature — how
+    /// Positioning Layer code reaches middleware adaptations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reflective errors.
+    pub fn invoke_channel_feature(
+        &mut self,
+        id: ChannelId,
+        feature: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CoreError> {
+        self.channels.invoke_feature(id, feature, method, args)
+    }
+
+    /// Typed access to an attached Channel Feature (the paper's
+    /// `inputChannel.getFeature(Likelihood.class)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeatureName`] when absent or of another
+    /// type.
+    pub fn with_channel_feature_mut<T: 'static, R>(
+        &mut self,
+        id: ChannelId,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, CoreError> {
+        self.channels.with_feature_mut(id, name, f)
+    }
+
+    // ------------------------------------------------------------------
+    // Positioning Layer — paper §2.3
+    // ------------------------------------------------------------------
+
+    /// The default application sink node (root of the process tree).
+    pub fn application_sink(&self) -> NodeId {
+        self.app_sink
+    }
+
+    /// Requests a location provider matching `criteria` over the default
+    /// application sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoMatchingProvider`] when the criteria names
+    /// kinds that no component in the graph can provide.
+    pub fn location_provider(&self, criteria: Criteria) -> Result<LocationProvider, CoreError> {
+        if !criteria.kinds().is_empty() {
+            let available = self
+                .graph
+                .node_ids()
+                .into_iter()
+                .flat_map(|id| self.graph.effective_provides(id))
+                .collect::<Vec<_>>();
+            if !criteria.kinds().iter().any(|k| available.contains(k)) {
+                return Err(CoreError::NoMatchingProvider(criteria.to_string()));
+            }
+        }
+        Ok(LocationProvider::new(
+            Arc::clone(&self.app_shared),
+            criteria,
+        ))
+    }
+
+    /// Creates a named tracked target with its own sink node; connect
+    /// sensor pipelines to `target.node()`.
+    pub fn add_target(&mut self, name: impl Into<String>) -> Target {
+        let name = name.into();
+        let (sink, shared) = ApplicationSink::new(name.clone());
+        let node = self.graph.add(Box::new(sink));
+        self.channels.recompute(&self.graph);
+        let target = Target {
+            name,
+            node,
+            shared,
+        };
+        self.targets.push(target.clone());
+        target
+    }
+
+    /// The registered targets.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// The k nearest targets to a reference position, by each target's
+    /// most recent reported position — the "k-nearest targets" query the
+    /// Positioning Layer offers (paper §2). Targets that have not
+    /// reported a position yet are skipped.
+    pub fn k_nearest_targets(
+        &self,
+        from: &perpos_geo::Wgs84,
+        k: usize,
+    ) -> Vec<(String, crate::data::Position, f64)> {
+        let mut out: Vec<(String, crate::data::Position, f64)> = self
+            .targets
+            .iter()
+            .filter_map(|t| {
+                let pos = t.provider(Criteria::new()).last_position()?;
+                let d = pos.coord().distance_m(from);
+                Some((t.name().to_string(), pos, d))
+            })
+            .collect();
+        out.sort_by(|a, b| a.2.total_cmp(&b.2));
+        out.truncate(k);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Distribution (simulated D-OSGi, paper §3.3)
+    // ------------------------------------------------------------------
+
+    /// Distributes the graph over hosts: items crossing host boundaries
+    /// travel through the deployment's link model (latency/loss) instead
+    /// of being delivered synchronously.
+    pub fn set_deployment(&mut self, deployment: Deployment) {
+        self.deployment = Some(deployment);
+    }
+
+    /// The active deployment, if the graph is distributed.
+    pub fn deployment(&self) -> Option<&Deployment> {
+        self.deployment.as_ref()
+    }
+
+    /// Removes the deployment; the graph becomes co-located again.
+    /// In-flight messages are dropped.
+    pub fn clear_deployment(&mut self) -> Option<Deployment> {
+        self.deployment.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Engine
+    // ------------------------------------------------------------------
+
+    /// Runs one engine step at the current simulated time: ticks all
+    /// sources and propagates emissions through the graph to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Aborts on the first component/feature failure and surfaces it.
+    pub fn step(&mut self) -> Result<(), CoreError> {
+        let now = self.clock.now();
+        self.steps_run += 1;
+        let mut queue: VecDeque<(NodeId, usize, DataItem)> = VecDeque::new();
+
+        // Deliver remote messages that are due.
+        if let Some(dep) = &mut self.deployment {
+            for (target, port, item) in dep.take_due(now) {
+                if self.graph.contains(target) {
+                    queue.push_back((target, port, item));
+                }
+            }
+        }
+
+        // Route feature emissions from out-of-band reflective calls.
+        for (node, item) in std::mem::take(&mut self.pending) {
+            if self.graph.contains(node) {
+                self.route_item(node, item, now, &mut queue)?;
+            }
+        }
+
+        for src in self.graph.sources() {
+            let emitted = self.run_tick(src, now)?;
+            for item in emitted {
+                self.dispatch_output(src, item, now, &mut queue)?;
+            }
+        }
+
+        while let Some((node, port, item)) = queue.pop_front() {
+            let (passed, extras) = self.run_consume_features(node, item, now)?;
+            for extra in extras {
+                self.route_item(node, extra, now, &mut queue)?;
+            }
+            let Some(item) = passed else { continue };
+            let emitted = self.run_on_input(node, port, item, now)?;
+            for item in emitted {
+                self.dispatch_output(node, item, now, &mut queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances simulated time by `tick` after each step until `total`
+    /// has elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero.
+    pub fn run_for(&mut self, total: SimDuration, tick: SimDuration) -> Result<(), CoreError> {
+        assert!(!tick.is_zero(), "tick duration must be non-zero");
+        let end = self.clock.now() + total;
+        while self.clock.now() < end {
+            self.step()?;
+            self.clock.advance(tick);
+        }
+        Ok(())
+    }
+
+    /// Ticks one source component.
+    fn run_tick(&mut self, id: NodeId, now: SimTime) -> Result<Vec<DataItem>, CoreError> {
+        let node = self
+            .graph
+            .node_mut(id)
+            .ok_or(CoreError::UnknownNode(id))?;
+        let mut ctx = ComponentCtx::new(now);
+        node.component.on_tick(&mut ctx)?;
+        Ok(ctx.take_emitted())
+    }
+
+    /// Delivers one item to a component's input port.
+    fn run_on_input(
+        &mut self,
+        id: NodeId,
+        port: usize,
+        item: DataItem,
+        now: SimTime,
+    ) -> Result<Vec<DataItem>, CoreError> {
+        let node = self
+            .graph
+            .node_mut(id)
+            .ok_or(CoreError::UnknownNode(id))?;
+        let mut ctx = ComponentCtx::new(now);
+        node.component.on_input(port, item, &mut ctx)?;
+        Ok(ctx.take_emitted())
+    }
+
+    /// Runs the consume-direction features of a node over an incoming
+    /// item. Returns the (possibly replaced) item and any data the
+    /// features added.
+    fn run_consume_features(
+        &mut self,
+        id: NodeId,
+        item: DataItem,
+        now: SimTime,
+    ) -> Result<(Option<DataItem>, Vec<DataItem>), CoreError> {
+        let node = self
+            .graph
+            .node_mut(id)
+            .ok_or(CoreError::UnknownNode(id))?;
+        let component = &mut node.component;
+        let features = &mut node.features;
+        let mut extras = Vec::new();
+        let mut current = Some(item);
+        for slot in features.iter_mut() {
+            let mut host = FeatureHost::new(component.as_mut(), now);
+            if let Some(it) = current.take() {
+                let kind_before = it.kind.clone();
+                match slot.feature.on_consume(it, &mut host)? {
+                    FeatureAction::Continue(out) => {
+                        if out.kind != kind_before {
+                            return Err(CoreError::ComponentFailure {
+                                component: slot.descriptor.name.clone(),
+                                reason: format!(
+                                    "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
+                                    out.kind
+                                ),
+                            });
+                        }
+                        current = Some(out);
+                    }
+                    FeatureAction::Drop => current = None,
+                }
+            }
+            extras.extend(host.take_emitted());
+        }
+        Ok((current, extras))
+    }
+
+    /// Runs the produce-direction features over an item a node emitted,
+    /// then routes the surviving item plus any feature-added data.
+    fn dispatch_output(
+        &mut self,
+        id: NodeId,
+        item: DataItem,
+        now: SimTime,
+        queue: &mut VecDeque<(NodeId, usize, DataItem)>,
+    ) -> Result<(), CoreError> {
+        let node = self
+            .graph
+            .node_mut(id)
+            .ok_or(CoreError::UnknownNode(id))?;
+        let component = &mut node.component;
+        let features = &mut node.features;
+        let mut outputs = Vec::new();
+        let mut current = Some(item);
+        for slot in features.iter_mut() {
+            let mut host = FeatureHost::new(component.as_mut(), now);
+            if let Some(it) = current.take() {
+                let kind_before = it.kind.clone();
+                match slot.feature.on_produce(it, &mut host)? {
+                    FeatureAction::Continue(out) => {
+                        if out.kind != kind_before {
+                            return Err(CoreError::ComponentFailure {
+                                component: slot.descriptor.name.clone(),
+                                reason: format!(
+                                    "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
+                                    out.kind
+                                ),
+                            });
+                        }
+                        current = Some(out);
+                    }
+                    FeatureAction::Drop => current = None,
+                }
+            }
+            outputs.extend(host.take_emitted());
+        }
+        if let Some(it) = current {
+            outputs.insert(0, it);
+        }
+        for out in outputs {
+            self.route_item(id, out, now, queue)?;
+        }
+        Ok(())
+    }
+
+    /// Channel bookkeeping plus downstream fan-out for one finished item.
+    fn route_item(
+        &mut self,
+        id: NodeId,
+        item: DataItem,
+        now: SimTime,
+        queue: &mut VecDeque<(NodeId, usize, DataItem)>,
+    ) -> Result<(), CoreError> {
+        if let Some(tree) = self.channels.record(id, &item) {
+            let emitted = self.channels.apply_features(&mut self.graph, &tree, now)?;
+            for (node, extra) in emitted {
+                self.route_item(node, extra, now, queue)?;
+            }
+        }
+        for (target, port) in self.graph.downstream(id) {
+            let accepts = self
+                .graph
+                .node(target)
+                .and_then(|n| n.descriptor.inputs.get(port).cloned())
+                .map(|spec| spec.accepts_kind(&item.kind))
+                .unwrap_or(false);
+            if !accepts {
+                continue;
+            }
+            // Cross-host edges go through the deployment's link model.
+            let remote = self
+                .deployment
+                .as_ref()
+                .is_some_and(|d| d.crosses_hosts(id, target));
+            if remote {
+                self.deployment
+                    .as_mut()
+                    .expect("checked above")
+                    .send(now, id, target, port, item.clone());
+            } else {
+                queue.push_back((target, port, item.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{FnProcessor, FnSource};
+    use crate::data::{kinds, Position};
+    use crate::feature::{FeatureDescriptor, TagFeature};
+    use perpos_geo::Wgs84;
+    use std::any::Any;
+
+    fn wgs(lat: f64, lon: f64) -> Wgs84 {
+        Wgs84::new(lat, lon, 0.0).unwrap()
+    }
+
+    fn position_source(mw: &mut Middleware, name: &str, lat: f64, lon: f64) -> NodeId {
+        mw.add_component(FnSource::new(name, kinds::POSITION_WGS84, move |_| {
+            Some(Value::from(Position::new(wgs(lat, lon), Some(5.0))))
+        }))
+    }
+
+    #[test]
+    fn pipeline_delivers_to_provider() {
+        let mut mw = Middleware::new();
+        let src = position_source(&mut mw, "gps", 56.0, 10.0);
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        mw.run_for(SimDuration::from_secs(1), SimDuration::from_millis(100))
+            .unwrap();
+        let provider = mw
+            .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+            .unwrap();
+        assert!(provider.last_position().is_some());
+        assert_eq!(provider.delivered_count(), 10);
+        assert_eq!(mw.steps_run(), 10);
+    }
+
+    #[test]
+    fn provider_requires_available_kind() {
+        let mw = Middleware::new();
+        assert!(matches!(
+            mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84)),
+            Err(CoreError::NoMatchingProvider(_))
+        ));
+        // Criteria with no kinds always succeeds.
+        assert!(mw.location_provider(Criteria::new()).is_ok());
+    }
+
+    #[test]
+    fn produce_features_transform_data() {
+        let mut mw = Middleware::new();
+        let src = position_source(&mut mw, "gps", 56.0, 10.0);
+        mw.attach_feature(src, TagFeature::new("SourceTag", "source", Value::from("gps")))
+            .unwrap();
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        mw.run_for(SimDuration::from_millis(100), SimDuration::from_millis(100))
+            .unwrap();
+        let provider = mw.location_provider(Criteria::new().source("gps")).unwrap();
+        assert!(provider.last_item().is_some());
+    }
+
+    #[test]
+    fn consume_features_can_drop() {
+        struct DropAll;
+        impl ComponentFeature for DropAll {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("DropAll")
+            }
+            fn on_consume(
+                &mut self,
+                _item: DataItem,
+                _host: &mut FeatureHost<'_>,
+            ) -> Result<FeatureAction, CoreError> {
+                Ok(FeatureAction::Drop)
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut mw = Middleware::new();
+        let src = position_source(&mut mw, "gps", 56.0, 10.0);
+        let app = mw.application_sink();
+        mw.attach_feature(app, DropAll).unwrap();
+        mw.connect(src, app, 0).unwrap();
+        mw.run_for(SimDuration::from_secs(1), SimDuration::from_millis(100))
+            .unwrap();
+        let provider = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(provider.delivered_count(), 0);
+    }
+
+    #[test]
+    fn feature_cannot_change_kind() {
+        struct KindChanger;
+        impl ComponentFeature for KindChanger {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("KindChanger")
+            }
+            fn on_produce(
+                &mut self,
+                mut item: DataItem,
+                _host: &mut FeatureHost<'_>,
+            ) -> Result<FeatureAction, CoreError> {
+                item.kind = kinds::RAW_STRING;
+                Ok(FeatureAction::Continue(item))
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut mw = Middleware::new();
+        let src = position_source(&mut mw, "gps", 56.0, 10.0);
+        mw.attach_feature(src, KindChanger).unwrap();
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        assert!(matches!(
+            mw.step(),
+            Err(CoreError::ComponentFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_added_data_reaches_accepting_ports() {
+        // A feature on the source adds room-id items; the sink accepts
+        // anything, so both kinds arrive.
+        struct RoomAdder;
+        impl ComponentFeature for RoomAdder {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("RoomAdder").adds(kinds::POSITION_ROOM)
+            }
+            fn on_produce(
+                &mut self,
+                item: DataItem,
+                host: &mut FeatureHost<'_>,
+            ) -> Result<FeatureAction, CoreError> {
+                host.emit_value(kinds::POSITION_ROOM, Value::from("R1"));
+                Ok(FeatureAction::Continue(item))
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut mw = Middleware::new();
+        let src = position_source(&mut mw, "gps", 56.0, 10.0);
+        mw.attach_feature(src, RoomAdder).unwrap();
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        mw.step().unwrap();
+        let rooms = mw
+            .location_provider(Criteria::new().kind(kinds::POSITION_ROOM))
+            .unwrap();
+        assert_eq!(
+            rooms.last_item().unwrap().payload.as_text(),
+            Some("R1")
+        );
+    }
+
+    #[test]
+    fn multi_stage_pipeline_and_channels() {
+        let mut mw = Middleware::new();
+        let src = mw.add_component(FnSource::new("gps", kinds::RAW_STRING, |_| {
+            Some(Value::from("$GPGGA"))
+        }));
+        let parser = mw.add_component(FnProcessor::new(
+            "parser",
+            vec![kinds::RAW_STRING],
+            kinds::NMEA_SENTENCE,
+            |i| Some(i.payload.clone()),
+        ));
+        let app = mw.application_sink();
+        mw.connect(src, parser, 0).unwrap();
+        mw.connect(parser, app, 0).unwrap();
+        let chans = mw.channels();
+        assert_eq!(chans.len(), 1);
+        assert_eq!(chans[0].member_names, vec!["gps", "parser"]);
+        assert_eq!(chans[0].endpoint, Some((app, 0)));
+        mw.step().unwrap();
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.last_item().unwrap().kind, kinds::NMEA_SENTENCE);
+    }
+
+    #[test]
+    fn channel_feature_sees_trees() {
+        struct TreeCounter {
+            trees: usize,
+            elements: usize,
+        }
+        impl ChannelFeature for TreeCounter {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("TreeCounter")
+            }
+            fn apply(
+                &mut self,
+                tree: &crate::channel::DataTree,
+                _host: &mut crate::channel::ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                self.trees += 1;
+                self.elements += tree.len();
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut mw = Middleware::new();
+        let src = mw.add_component(FnSource::new("gps", kinds::RAW_STRING, |_| {
+            Some(Value::from("raw"))
+        }));
+        let parser = mw.add_component(FnProcessor::new(
+            "parser",
+            vec![kinds::RAW_STRING],
+            kinds::NMEA_SENTENCE,
+            |i| Some(i.payload.clone()),
+        ));
+        let app = mw.application_sink();
+        mw.connect(src, parser, 0).unwrap();
+        mw.connect(parser, app, 0).unwrap();
+        let channel = mw.channel_into(app, 0).unwrap();
+        mw.attach_channel_feature(channel, TreeCounter { trees: 0, elements: 0 })
+            .unwrap();
+        mw.run_for(SimDuration::from_millis(300), SimDuration::from_millis(100))
+            .unwrap();
+        let (trees, elements) = mw
+            .with_channel_feature_mut::<TreeCounter, (usize, usize)>(
+                channel,
+                "TreeCounter",
+                |f| (f.trees, f.elements),
+            )
+            .unwrap();
+        assert_eq!(trees, 3);
+        assert_eq!(elements, 6); // each tree: 1 nmea + 1 raw string
+    }
+
+    #[test]
+    fn mid_run_channel_feature_attachment_preserves_logical_time() {
+        struct Ranges(Vec<u64>);
+        impl ChannelFeature for Ranges {
+            fn descriptor(&self) -> crate::feature::FeatureDescriptor {
+                crate::feature::FeatureDescriptor::new("Ranges")
+            }
+            fn apply(
+                &mut self,
+                tree: &crate::channel::DataTree,
+                _h: &mut crate::channel::ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                self.0.push(tree.root.logical);
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut mw = Middleware::new();
+        let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, |_| {
+            Some(Value::Int(1))
+        }));
+        let stage = mw.add_component(FnProcessor::new(
+            "stage",
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |i| Some(i.payload.clone()),
+        ));
+        let app = mw.application_sink();
+        mw.connect(src, stage, 0).unwrap();
+        mw.connect(stage, app, 0).unwrap();
+        // Run 3 steps before attaching: logical time advances unseen.
+        for _ in 0..3 {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_millis(10));
+        }
+        let channel = mw.channel_into(app, 0).unwrap();
+        mw.attach_channel_feature(channel, Ranges(Vec::new())).unwrap();
+        for _ in 0..2 {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_millis(10));
+        }
+        let logicals = mw
+            .with_channel_feature_mut::<Ranges, Vec<u64>>(channel, "Ranges", |r| r.0.clone())
+            .unwrap();
+        // Attaching a feature does not reset the channel's logical clock:
+        // the first observed outputs are #4 and #5.
+        assert_eq!(logicals, vec![4, 5]);
+    }
+
+    #[test]
+    fn runtime_insertion_takes_effect() {
+        let mut mw = Middleware::new();
+        let mut counter = 0;
+        let src = mw.add_component(FnSource::new("s", kinds::RAW_STRING, move |_| {
+            counter += 1;
+            Some(Value::Int(counter))
+        }));
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        mw.step().unwrap();
+
+        // Insert a filter dropping odd numbers mid-flight.
+        let filter = mw.add_component(FnProcessor::new(
+            "even-only",
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |i| match i.payload.as_i64() {
+                Some(v) if v % 2 == 0 => Some(i.payload.clone()),
+                _ => None,
+            },
+        ));
+        mw.insert_between(filter, src, app, 0).unwrap();
+        for _ in 0..4 {
+            mw.clock.advance(SimDuration::from_millis(100));
+            mw.step().unwrap();
+        }
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        let values: Vec<i64> = p
+            .history()
+            .iter()
+            .filter_map(|i| i.payload.as_i64())
+            .collect();
+        assert_eq!(values, vec![1, 2, 4], "1 pre-insertion, then evens only");
+    }
+
+    #[test]
+    fn targets_have_independent_sinks() {
+        let mut mw = Middleware::new();
+        let t1 = mw.add_target("alice");
+        let t2 = mw.add_target("bob");
+        let s1 = position_source(&mut mw, "gps-alice", 10.0, 10.0);
+        let s2 = position_source(&mut mw, "gps-bob", 20.0, 20.0);
+        mw.connect(s1, t1.node(), 0).unwrap();
+        mw.connect(s2, t2.node(), 0).unwrap();
+        mw.step().unwrap();
+        let p1 = t1.provider(Criteria::new());
+        let p2 = t2.provider(Criteria::new());
+        assert_eq!(p1.last_position().unwrap().coord().lat_deg(), 10.0);
+        assert_eq!(p2.last_position().unwrap().coord().lat_deg(), 20.0);
+        assert_eq!(mw.targets().len(), 2);
+    }
+
+    #[test]
+    fn merge_component_heads_its_own_channel() {
+        // Two sources into a merge, merge into the app: the PCL must
+        // derive three channels — one per source ending at the merge, and
+        // one headed at the merge ending at the app (paper Fig. 2).
+        struct Merge;
+        impl Component for Merge {
+            fn descriptor(&self) -> crate::component::ComponentDescriptor {
+                crate::component::ComponentDescriptor::merge(
+                    "fusion",
+                    vec![
+                        crate::component::InputSpec::new("a", vec![]),
+                        crate::component::InputSpec::new("b", vec![]),
+                    ],
+                    vec![kinds::POSITION_WGS84],
+                )
+            }
+            fn on_input(
+                &mut self,
+                _p: usize,
+                item: DataItem,
+                ctx: &mut ComponentCtx,
+            ) -> Result<(), CoreError> {
+                ctx.emit(DataItem::new(kinds::POSITION_WGS84, ctx.now(), item.payload));
+                Ok(())
+            }
+        }
+        let mut mw = Middleware::new();
+        let s1 = position_source(&mut mw, "gps", 10.0, 10.0);
+        let s2 = position_source(&mut mw, "wifi", 11.0, 11.0);
+        let merge = mw.add_component(Merge);
+        let app = mw.application_sink();
+        mw.connect(s1, merge, 0).unwrap();
+        mw.connect(s2, merge, 1).unwrap();
+        mw.connect(merge, app, 0).unwrap();
+
+        let channels = mw.channels();
+        assert_eq!(channels.len(), 3);
+        let by_head: std::collections::BTreeMap<String, &crate::channel::ChannelInfo> = channels
+            .iter()
+            .map(|c| (c.member_names[0].clone(), c))
+            .collect();
+        assert_eq!(by_head["gps"].endpoint, Some((merge, 0)));
+        assert_eq!(by_head["wifi"].endpoint, Some((merge, 1)));
+        assert_eq!(by_head["fusion"].endpoint, Some((app, 0)));
+
+        // Trees flow on all three channels.
+        struct Count(usize);
+        impl ChannelFeature for Count {
+            fn descriptor(&self) -> crate::feature::FeatureDescriptor {
+                crate::feature::FeatureDescriptor::new("Count")
+            }
+            fn apply(
+                &mut self,
+                _t: &crate::channel::DataTree,
+                _h: &mut crate::channel::ChannelHost<'_>,
+            ) -> Result<(), CoreError> {
+                self.0 += 1;
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let merge_channel = mw.channel_into(app, 0).unwrap();
+        assert_eq!(merge_channel.head(), merge);
+        mw.attach_channel_feature(merge_channel, Count(0)).unwrap();
+        mw.step().unwrap();
+        let n = mw
+            .with_channel_feature_mut::<Count, usize>(merge_channel, "Count", |c| c.0)
+            .unwrap();
+        // Each source delivers one item; the merge emits per input.
+        assert_eq!(n, 2);
+        // The merge channel's trees are rooted at the merge output.
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.delivered_count(), 2);
+    }
+
+    #[test]
+    fn k_nearest_targets_orders_by_distance() {
+        let mut mw = Middleware::new();
+        let near = mw.add_target("near");
+        let far = mw.add_target("far");
+        let silent = mw.add_target("silent");
+        let s1 = position_source(&mut mw, "gps-near", 10.0, 10.0);
+        let s2 = position_source(&mut mw, "gps-far", 20.0, 20.0);
+        mw.connect(s1, near.node(), 0).unwrap();
+        mw.connect(s2, far.node(), 0).unwrap();
+        mw.step().unwrap();
+        let from = wgs(10.0, 10.0);
+        let nearest = mw.k_nearest_targets(&from, 5);
+        // "silent" never reported and is skipped.
+        assert_eq!(nearest.len(), 2);
+        assert_eq!(nearest[0].0, "near");
+        assert_eq!(nearest[1].0, "far");
+        assert!(nearest[0].2 < nearest[1].2);
+        // k truncates.
+        assert_eq!(mw.k_nearest_targets(&from, 1).len(), 1);
+        let _ = silent;
+    }
+
+    #[test]
+    fn error_in_component_aborts_step() {
+        struct Failing;
+        impl Component for Failing {
+            fn descriptor(&self) -> crate::component::ComponentDescriptor {
+                crate::component::ComponentDescriptor::source(
+                    "failing",
+                    vec![kinds::RAW_STRING],
+                )
+            }
+            fn on_input(
+                &mut self,
+                _p: usize,
+                _i: DataItem,
+                _c: &mut ComponentCtx,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn on_tick(&mut self, _ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+                Err(CoreError::ComponentFailure {
+                    component: "failing".into(),
+                    reason: "simulated fault".into(),
+                })
+            }
+        }
+        let mut mw = Middleware::new();
+        mw.add_component(Failing);
+        assert!(matches!(mw.step(), Err(CoreError::ComponentFailure { .. })));
+    }
+}

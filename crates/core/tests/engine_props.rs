@@ -1,0 +1,234 @@
+//! Property tests of engine-level invariants: item conservation through
+//! pass-through pipelines, data-tree partitioning of intermediate items,
+//! and graph-edge consistency under random manipulation sequences.
+
+use std::any::Any;
+
+use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree};
+use perpos_core::feature::FeatureDescriptor;
+use perpos_core::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a pass-through pipeline of the given depth and runs `steps`
+/// engine steps with one item emitted per step.
+fn run_pipeline(depth: usize, steps: usize) -> (Middleware, LocationProvider) {
+    let mut mw = Middleware::new();
+    let mut i = 0i64;
+    let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
+        i += 1;
+        Some(Value::Int(i))
+    }));
+    let mut prev = src;
+    for d in 0..depth {
+        let node = mw.add_component(FnProcessor::new(
+            format!("stage{d}"),
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |item| Some(item.payload.clone()),
+        ));
+        mw.connect(prev, node, 0).unwrap();
+        prev = node;
+    }
+    let app = mw.application_sink();
+    mw.connect(prev, app, 0).unwrap();
+    let provider = mw.location_provider(Criteria::new()).unwrap();
+    for _ in 0..steps {
+        mw.step().unwrap();
+        mw.advance_clock(SimDuration::from_millis(10));
+    }
+    (mw, provider)
+}
+
+struct TreeAccounting {
+    trees: usize,
+    elements: usize,
+    roots_in_order: Vec<i64>,
+}
+
+impl ChannelFeature for TreeAccounting {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new("TreeAccounting")
+    }
+    fn apply(&mut self, tree: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        self.trees += 1;
+        self.elements += tree.len();
+        if let Some(v) = tree.root.item.payload.as_i64() {
+            self.roots_in_order.push(v);
+        }
+        Ok(())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every item the source emits arrives at the application exactly
+    /// once, in order, regardless of pipeline depth.
+    #[test]
+    fn item_conservation(depth in 0usize..8, steps in 1usize..50) {
+        let (_mw, provider) = run_pipeline(depth, steps);
+        let values: Vec<i64> = provider
+            .history()
+            .iter()
+            .filter_map(|i| i.payload.as_i64())
+            .collect();
+        prop_assert_eq!(values.len(), steps);
+        let expected: Vec<i64> = (1..=steps as i64).collect();
+        prop_assert_eq!(values, expected);
+    }
+
+    /// Channel data trees partition the pipeline's emissions: with one
+    /// item per step, each tree contains exactly depth+1 elements
+    /// (one per pipeline level) and trees appear once per output,
+    /// in output order.
+    #[test]
+    fn trees_partition_emissions(depth in 0usize..8, steps in 1usize..30) {
+        let mut mw = Middleware::new();
+        let mut i = 0i64;
+        let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
+            i += 1;
+            Some(Value::Int(i))
+        }));
+        let mut prev = src;
+        for d in 0..depth {
+            let node = mw.add_component(FnProcessor::new(
+                format!("stage{d}"),
+                vec![kinds::RAW_STRING],
+                kinds::RAW_STRING,
+                |item| Some(item.payload.clone()),
+            ));
+            mw.connect(prev, node, 0).unwrap();
+            prev = node;
+        }
+        let app = mw.application_sink();
+        mw.connect(prev, app, 0).unwrap();
+        let channel = mw.channel_into(app, 0).unwrap();
+        mw.attach_channel_feature(
+            channel,
+            TreeAccounting { trees: 0, elements: 0, roots_in_order: vec![] },
+        )
+        .unwrap();
+        for _ in 0..steps {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_millis(10));
+        }
+        let (trees, elements, roots) = mw
+            .with_channel_feature_mut::<TreeAccounting, _>(channel, "TreeAccounting", |f| {
+                (f.trees, f.elements, f.roots_in_order.clone())
+            })
+            .unwrap();
+        prop_assert_eq!(trees, steps);
+        prop_assert_eq!(elements, steps * (depth + 1));
+        let expected: Vec<i64> = (1..=steps as i64).collect();
+        prop_assert_eq!(roots, expected);
+    }
+
+    /// Random add/connect/disconnect/remove sequences keep the edge
+    /// bookkeeping consistent: downstream and upstream views mirror each
+    /// other and never reference missing nodes.
+    #[test]
+    fn graph_edges_stay_consistent(ops in proptest::collection::vec(0u8..4, 1..60)) {
+        let mut mw = Middleware::new();
+        let mut nodes: Vec<perpos_core::graph::NodeId> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op % 4 {
+                0 => {
+                    let id = mw.add_component(FnProcessor::new(
+                        format!("n{step}"),
+                        vec![kinds::RAW_STRING],
+                        kinds::RAW_STRING,
+                        |item| Some(item.payload.clone()),
+                    ));
+                    nodes.push(id);
+                }
+                1 if nodes.len() >= 2 => {
+                    let from = nodes[step % nodes.len()];
+                    let to = nodes[(step / 2) % nodes.len()];
+                    let _ = mw.connect(from, to, 0); // failures are fine
+                }
+                2 if !nodes.is_empty() => {
+                    let n = nodes[step % nodes.len()];
+                    let _ = mw.disconnect(n, 0);
+                }
+                3 if !nodes.is_empty() => {
+                    let idx = step % nodes.len();
+                    let n = nodes.swap_remove(idx);
+                    let _ = mw.remove_component(n);
+                }
+                _ => {}
+            }
+            // Invariant check after every operation.
+            let g = mw.graph();
+            for id in g.node_ids() {
+                for (target, port) in g.downstream(id) {
+                    prop_assert!(g.contains(target), "edge to missing node");
+                    let ups = g.upstream(target);
+                    prop_assert_eq!(ups.get(port).copied().flatten(), Some(id),
+                        "downstream edge has no mirroring upstream slot");
+                }
+                for (port, producer) in g.upstream(id).iter().enumerate() {
+                    if let Some(p) = producer {
+                        prop_assert!(g.contains(*p), "upstream from missing node");
+                        prop_assert!(
+                            g.downstream(*p).contains(&(id, port)),
+                            "upstream slot has no mirroring downstream edge"
+                        );
+                    }
+                }
+            }
+            // The engine keeps stepping whatever the shape.
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_millis(1));
+        }
+    }
+
+    /// Feature-added attributes survive arbitrary pipeline depth.
+    #[test]
+    fn attributes_propagate(depth in 0usize..6) {
+        let mut mw = Middleware::new();
+        let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, |_| {
+            Some(Value::Int(7))
+        }));
+        mw.attach_feature(
+            src,
+            perpos_core::feature::TagFeature::new("Tag", "origin", Value::from("src")),
+        )
+        .unwrap();
+        let mut prev = src;
+        for d in 0..depth {
+            // Pass-through components that preserve the whole item.
+            struct Pass;
+            impl perpos_core::component::Component for Pass {
+                fn descriptor(&self) -> perpos_core::component::ComponentDescriptor {
+                    perpos_core::component::ComponentDescriptor::processor(
+                        "pass",
+                        perpos_core::component::InputSpec::new("in", vec![]),
+                        vec![kinds::RAW_STRING],
+                    )
+                }
+                fn on_input(
+                    &mut self,
+                    _p: usize,
+                    item: DataItem,
+                    ctx: &mut perpos_core::component::ComponentCtx,
+                ) -> Result<(), CoreError> {
+                    ctx.emit(item);
+                    Ok(())
+                }
+            }
+            let node = mw.add_component(Pass);
+            mw.connect(prev, node, 0).unwrap();
+            prev = node;
+            let _ = d;
+        }
+        let app = mw.application_sink();
+        mw.connect(prev, app, 0).unwrap();
+        let provider = mw.location_provider(Criteria::new()).unwrap();
+        mw.step().unwrap();
+        let item = provider.last_item().unwrap();
+        prop_assert_eq!(item.attr("origin").and_then(Value::as_text), Some("src"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Energy models and the EnTracked power-aware tracking strategy
+//! (paper §3.3, Fig. 7).
+//!
+//! The paper validates PerPos by reimplementing key parts of EnTracked
+//! (Kjærgaard et al., MobiSys 2009) purely through the graph
+//! abstractions:
+//!
+//! * a **Power Strategy** Component Feature attached to the device-side
+//!   sensor provides "methods for controlling the operation mode of the
+//!   updating scheme" — [`PowerStrategyFeature`],
+//! * an **EnTracked** Channel Feature "continuously monitors the output
+//!   of the Interpreter component and calls the appropriate methods on
+//!   the Power Strategy feature" based on "threshold levels for the
+//!   maximum distance between two consecutive position updates" —
+//!   [`EnTrackedFeature`],
+//! * a device [`PowerModel`] with published smartphone-class constants
+//!   and an [`EnergyMeter`] integrating consumption over simulated time
+//!   substitute for the phone measurements of the original paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod power;
+mod strategy;
+
+pub use power::{EnergyMeter, PowerModel};
+pub use strategy::{EnTrackedFeature, PowerStrategyFeature};

@@ -1,0 +1,192 @@
+use perpos_core::SimDuration;
+use std::fmt;
+
+/// Power-draw constants for a smartphone-class tracking device, in
+/// watts / joules.
+///
+/// Defaults follow the published EnTracked-era measurements (Nokia N95
+/// class): an active GPS draws roughly 0.30–0.45 W, acquisition is more
+/// expensive than tracking, the accelerometer is two orders of magnitude
+/// cheaper, and each position report transmitted over the cellular radio
+/// costs on the order of a joule once radio ramp-up is accounted for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// GPS draw while tracking with a fix, in watts.
+    pub gps_tracking_w: f64,
+    /// GPS draw while acquiring satellites, in watts.
+    pub gps_acquiring_w: f64,
+    /// Accelerometer draw while sampling, in watts.
+    pub accelerometer_w: f64,
+    /// Baseline device draw (CPU idle, middleware), in watts.
+    pub idle_w: f64,
+    /// Energy per transmitted position report, in joules.
+    pub transmission_j: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            gps_tracking_w: 0.33,
+            gps_acquiring_w: 0.45,
+            accelerometer_w: 0.005,
+            idle_w: 0.035,
+            transmission_j: 1.2,
+        }
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gps {:.2}/{:.2} W, accel {:.3} W, idle {:.3} W, tx {:.1} J",
+            self.gps_tracking_w, self.gps_acquiring_w, self.accelerometer_w, self.idle_w,
+            self.transmission_j
+        )
+    }
+}
+
+/// Integrates a device's energy consumption over simulated time.
+///
+/// The experiment loop samples the device state (GPS on/acquiring,
+/// accelerometer on) once per tick and reports transmissions as they
+/// happen; the meter accumulates joules.
+///
+/// ```
+/// use perpos_core::SimDuration;
+/// use perpos_energy::{EnergyMeter, PowerModel};
+///
+/// let mut meter = EnergyMeter::new(PowerModel::default());
+/// meter.sample(true, false, true, SimDuration::from_secs(60)); // GPS tracking
+/// meter.sample(false, false, true, SimDuration::from_secs(60)); // GPS off
+/// meter.add_transmissions(3);
+/// assert!(meter.total_j() > 20.0);
+/// assert_eq!(meter.gps_on_s(), 60.0);
+/// assert_eq!(meter.transmissions(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    model: PowerModel,
+    total_j: f64,
+    gps_on_s: f64,
+    gps_acquiring_s: f64,
+    transmissions: u64,
+    elapsed_s: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter over the default power model.
+    pub fn new(model: PowerModel) -> Self {
+        EnergyMeter {
+            model,
+            ..EnergyMeter::default()
+        }
+    }
+
+    /// Accounts one interval of device activity.
+    pub fn sample(&mut self, gps_on: bool, gps_acquiring: bool, accel_on: bool, dt: SimDuration) {
+        let dt_s = dt.as_secs_f64();
+        self.elapsed_s += dt_s;
+        let mut w = self.model.idle_w;
+        if gps_on {
+            self.gps_on_s += dt_s;
+            if gps_acquiring {
+                self.gps_acquiring_s += dt_s;
+                w += self.model.gps_acquiring_w;
+            } else {
+                w += self.model.gps_tracking_w;
+            }
+        }
+        if accel_on {
+            w += self.model.accelerometer_w;
+        }
+        self.total_j += w * dt_s;
+    }
+
+    /// Accounts `n` transmitted position reports.
+    pub fn add_transmissions(&mut self, n: u64) {
+        self.transmissions += n;
+        self.total_j += self.model.transmission_j * n as f64;
+    }
+
+    /// Total consumed energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_j
+    }
+
+    /// Mean power over the sampled interval in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.total_j / self.elapsed_s
+        }
+    }
+
+    /// Seconds the GPS spent powered.
+    pub fn gps_on_s(&self) -> f64 {
+        self.gps_on_s
+    }
+
+    /// Seconds the GPS spent acquiring.
+    pub fn gps_acquiring_s(&self) -> f64 {
+        self.gps_acquiring_s
+    }
+
+    /// Number of accounted transmissions.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Total sampled wall time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_device_draws_idle_power() {
+        let mut m = EnergyMeter::new(PowerModel::default());
+        m.sample(false, false, false, SimDuration::from_secs(100));
+        assert!((m.total_j() - 3.5).abs() < 1e-9);
+        assert!((m.mean_power_w() - 0.035).abs() < 1e-12);
+        assert_eq!(m.gps_on_s(), 0.0);
+    }
+
+    #[test]
+    fn gps_dominates_when_active() {
+        let mut on = EnergyMeter::new(PowerModel::default());
+        let mut off = EnergyMeter::new(PowerModel::default());
+        on.sample(true, false, true, SimDuration::from_secs(3600));
+        off.sample(false, false, true, SimDuration::from_secs(3600));
+        assert!(on.total_j() > off.total_j() * 5.0);
+        assert_eq!(on.gps_on_s(), 3600.0);
+    }
+
+    #[test]
+    fn acquisition_costs_more_than_tracking() {
+        let mut acq = EnergyMeter::new(PowerModel::default());
+        let mut track = EnergyMeter::new(PowerModel::default());
+        acq.sample(true, true, false, SimDuration::from_secs(60));
+        track.sample(true, false, false, SimDuration::from_secs(60));
+        assert!(acq.total_j() > track.total_j());
+        assert_eq!(acq.gps_acquiring_s(), 60.0);
+    }
+
+    #[test]
+    fn transmissions_add_energy() {
+        let mut m = EnergyMeter::new(PowerModel::default());
+        m.add_transmissions(10);
+        assert!((m.total_j() - 12.0).abs() < 1e-9);
+        assert_eq!(m.transmissions(), 10);
+    }
+
+    #[test]
+    fn display_model() {
+        assert!(!format!("{}", PowerModel::default()).is_empty());
+    }
+}

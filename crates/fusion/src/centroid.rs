@@ -1,0 +1,187 @@
+//! Accuracy-weighted centroid fusion — the simplest multi-sensor merge,
+//! used as a baseline against the particle filter.
+
+use std::collections::VecDeque;
+
+use perpos_core::component::{
+    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
+};
+use perpos_core::prelude::*;
+use perpos_geo::{LocalFrame, Point2};
+
+/// A merge Processing Component computing the inverse-variance weighted
+/// centroid of the most recent position from each input within a sliding
+/// time window.
+///
+/// Reflective methods: `setWindow(seconds: float)`, `getWindow() -> float`.
+pub struct CentroidFusion {
+    name: String,
+    frame: LocalFrame,
+    inputs: usize,
+    window: SimDuration,
+    recent: VecDeque<(SimTime, Point2, f64)>,
+}
+
+impl CentroidFusion {
+    /// Creates a fusion component over `inputs` position ports with a
+    /// 5-second window.
+    pub fn new(name: impl Into<String>, frame: LocalFrame, inputs: usize) -> Self {
+        assert!(inputs >= 1, "fusion needs at least one input");
+        CentroidFusion {
+            name: name.into(),
+            frame,
+            inputs,
+            window: SimDuration::from_secs(5),
+            recent: VecDeque::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CentroidFusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CentroidFusion").field("name", &self.name).finish()
+    }
+}
+
+impl Component for CentroidFusion {
+    fn descriptor(&self) -> ComponentDescriptor {
+        let inputs = (0..self.inputs)
+            .map(|i| InputSpec::new(format!("in{i}"), vec![kinds::POSITION_WGS84]))
+            .collect();
+        ComponentDescriptor::merge(self.name.clone(), inputs, vec![kinds::POSITION_WGS84])
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let position = item.position()?;
+        let p = self.frame.to_local(position.coord());
+        let acc = position.accuracy_m().unwrap_or(20.0).max(0.5);
+        self.recent.push_back((item.timestamp, p, acc));
+        // Evict samples older than the window.
+        while let Some((t, _, _)) = self.recent.front() {
+            if ctx.now().since(*t) > self.window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for (_, p, acc) in &self.recent {
+            let w = 1.0 / (acc * acc);
+            wx += p.x * w;
+            wy += p.y * w;
+            wsum += w;
+        }
+        if wsum <= 0.0 {
+            return Ok(());
+        }
+        let est = Point2::new(wx / wsum, wy / wsum);
+        let acc_est = (1.0 / wsum).sqrt().max(0.5);
+        let coord = self.frame.from_local(&est);
+        ctx.emit(
+            DataItem::new(
+                kinds::POSITION_WGS84,
+                ctx.now(),
+                Value::from(Position::new(coord, Some(acc_est))),
+            )
+            .with_attr("source", Value::from("centroid")),
+        );
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setWindow" => {
+                let secs = args.first().and_then(Value::as_f64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one float".into(),
+                    }
+                })?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("window must be positive, got {secs}"),
+                    });
+                }
+                self.window = SimDuration::from_secs_f64(secs);
+                Ok(Value::Null)
+            }
+            "getWindow" => Ok(Value::Float(self.window.as_secs_f64())),
+            other => Err(CoreError::NoSuchMethod {
+                target: self.name.clone(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setWindow", "(seconds: float) -> null"),
+            MethodSpec::new("getWindow", "() -> float"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_geo::Wgs84;
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn measurement(f: &LocalFrame, p: Point2, acc: f64, t: f64) -> DataItem {
+        DataItem::new(
+            kinds::POSITION_WGS84,
+            SimTime::from_secs_f64(t),
+            Value::from(Position::new(f.from_local(&p), Some(acc))),
+        )
+    }
+
+    #[test]
+    fn weights_by_accuracy() {
+        let f = frame();
+        let mut c = CentroidFusion::new("c", f, 2);
+        // A very accurate sample at x = 0 and a poor one at x = 10.
+        ComponentCtxProbe::run_input(&mut c, measurement(&f, Point2::new(0.0, 0.0), 1.0, 0.0))
+            .unwrap();
+        let out =
+            ComponentCtxProbe::run_input(&mut c, measurement(&f, Point2::new(10.0, 0.0), 10.0, 0.5))
+                .unwrap();
+        let est = f.to_local(out[0].position().unwrap().coord());
+        assert!(est.x < 1.0, "accurate sample dominates, got x = {}", est.x);
+    }
+
+    #[test]
+    fn window_evicts_old_samples() {
+        let f = frame();
+        let mut c = CentroidFusion::new("c", f, 1);
+        ComponentCtxProbe::run_input(&mut c, measurement(&f, Point2::new(0.0, 0.0), 2.0, 0.0))
+            .unwrap();
+        // 100 s later the old sample is outside the window.
+        let out = ComponentCtxProbe::run_input(
+            &mut c,
+            measurement(&f, Point2::new(20.0, 0.0), 2.0, 100.0),
+        )
+        .unwrap();
+        let est = f.to_local(out[0].position().unwrap().coord());
+        assert!((est.x - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn invoke_surface() {
+        let mut c = CentroidFusion::new("c", frame(), 1);
+        c.invoke("setWindow", &[Value::Float(2.0)]).unwrap();
+        assert_eq!(c.invoke("getWindow", &[]).unwrap(), Value::Float(2.0));
+        assert!(c.invoke("setWindow", &[Value::Float(0.0)]).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! A constant-velocity Kalman filter — the classical smoothing baseline
+//! the particle filter is compared against in the Fig. 6 experiment.
+
+use perpos_core::component::{
+    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
+};
+use perpos_core::prelude::*;
+use perpos_geo::{LocalFrame, Point2};
+
+/// State: `[x, y, vx, vy]`; covariance is a full 4x4 matrix.
+#[derive(Debug, Clone)]
+struct KState {
+    x: [f64; 4],
+    p: [[f64; 4]; 4],
+}
+
+/// A constant-velocity Kalman filter Processing Component: WGS-84
+/// positions in, smoothed WGS-84 positions out.
+///
+/// Process noise is parameterized by an acceleration deviation;
+/// measurement noise follows each measurement's accuracy estimate.
+/// Reflective methods: `setProcessNoise(sigma_a: float)`,
+/// `getProcessNoise() -> float`.
+pub struct KalmanFilter {
+    name: String,
+    frame: LocalFrame,
+    state: Option<KState>,
+    last_update: Option<SimTime>,
+    sigma_a: f64,
+    updates: u64,
+}
+
+impl KalmanFilter {
+    /// Creates a filter with 0.6 m/s² process noise.
+    pub fn new(name: impl Into<String>, frame: LocalFrame) -> Self {
+        KalmanFilter {
+            name: name.into(),
+            frame,
+            state: None,
+            last_update: None,
+            sigma_a: 0.6,
+            updates: 0,
+        }
+    }
+
+    /// Number of measurement updates processed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn predict(state: &mut KState, dt: f64, sigma_a: f64) {
+        // x' = F x with F = [[1,0,dt,0],[0,1,0,dt],[0,0,1,0],[0,0,0,1]].
+        state.x[0] += state.x[2] * dt;
+        state.x[1] += state.x[3] * dt;
+        // P' = F P F^T + Q (discrete white-noise acceleration model).
+        let f = [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        let mut fp = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                for (k, fk) in f[i].iter().enumerate() {
+                    fp[i][j] += fk * state.p[k][j];
+                }
+            }
+        }
+        let mut fpf = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                for (k, fk) in f[j].iter().enumerate() {
+                    fpf[i][j] += fp[i][k] * fk;
+                }
+            }
+        }
+        let q = sigma_a * sigma_a;
+        let dt2 = dt * dt;
+        let dt3 = dt2 * dt / 2.0;
+        let dt4 = dt2 * dt2 / 4.0;
+        let qm = [
+            [dt4 * q, 0.0, dt3 * q, 0.0],
+            [0.0, dt4 * q, 0.0, dt3 * q],
+            [dt3 * q, 0.0, dt2 * q, 0.0],
+            [0.0, dt3 * q, 0.0, dt2 * q],
+        ];
+        for i in 0..4 {
+            for j in 0..4 {
+                state.p[i][j] = fpf[i][j] + qm[i][j];
+            }
+        }
+    }
+
+    fn update(state: &mut KState, z: Point2, r: f64) {
+        // H = [[1,0,0,0],[0,1,0,0]]; S = H P H^T + R (2x2); K = P H^T S^-1.
+        let s00 = state.p[0][0] + r;
+        let s01 = state.p[0][1];
+        let s10 = state.p[1][0];
+        let s11 = state.p[1][1] + r;
+        let det = s00 * s11 - s01 * s10;
+        if det.abs() < 1e-12 {
+            return;
+        }
+        let (i00, i01, i10, i11) = (s11 / det, -s01 / det, -s10 / det, s00 / det);
+        let mut k = [[0.0; 2]; 4];
+        for i in 0..4 {
+            let ph0 = state.p[i][0];
+            let ph1 = state.p[i][1];
+            k[i][0] = ph0 * i00 + ph1 * i10;
+            k[i][1] = ph0 * i01 + ph1 * i11;
+        }
+        let y0 = z.x - state.x[0];
+        let y1 = z.y - state.x[1];
+        for i in 0..4 {
+            state.x[i] += k[i][0] * y0 + k[i][1] * y1;
+        }
+        // P = (I - K H) P.
+        let mut new_p = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let kh = k[i][0] * state.p[0][j] + k[i][1] * state.p[1][j];
+                new_p[i][j] = state.p[i][j] - kh;
+            }
+        }
+        state.p = new_p;
+    }
+}
+
+impl std::fmt::Debug for KalmanFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KalmanFilter").field("name", &self.name).finish()
+    }
+}
+
+impl Component for KalmanFilter {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            self.name.clone(),
+            InputSpec::new("in", vec![kinds::POSITION_WGS84]),
+            vec![kinds::POSITION_WGS84],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let position = item.position()?;
+        let z = self.frame.to_local(position.coord());
+        let r = position.accuracy_m().unwrap_or(10.0).powi(2);
+
+        match &mut self.state {
+            None => {
+                self.state = Some(KState {
+                    x: [z.x, z.y, 0.0, 0.0],
+                    p: [
+                        [r, 0.0, 0.0, 0.0],
+                        [0.0, r, 0.0, 0.0],
+                        [0.0, 0.0, 4.0, 0.0],
+                        [0.0, 0.0, 0.0, 4.0],
+                    ],
+                });
+            }
+            Some(state) => {
+                let dt = ctx
+                    .now()
+                    .since(self.last_update.unwrap_or(ctx.now()))
+                    .as_secs_f64()
+                    .clamp(0.0, 30.0);
+                Self::predict(state, dt, self.sigma_a);
+                Self::update(state, z, r);
+            }
+        }
+        self.last_update = Some(ctx.now());
+        self.updates += 1;
+
+        let state = self.state.as_ref().expect("set above");
+        let est = Point2::new(state.x[0], state.x[1]);
+        let sigma = ((state.p[0][0] + state.p[1][1]) / 2.0).max(0.0).sqrt();
+        let coord = self.frame.from_local(&est);
+        let out = DataItem::new(
+            kinds::POSITION_WGS84,
+            ctx.now(),
+            Value::from(Position::new(coord, Some(sigma.max(0.5)))),
+        )
+        .with_attr("source", Value::from("kalman"));
+        ctx.emit(out);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setProcessNoise" => {
+                let s = args.first().and_then(Value::as_f64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one float".into(),
+                    }
+                })?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("sigma must be positive, got {s}"),
+                    });
+                }
+                self.sigma_a = s;
+                Ok(Value::Null)
+            }
+            "getProcessNoise" => Ok(Value::Float(self.sigma_a)),
+            other => Err(CoreError::NoSuchMethod {
+                target: self.name.clone(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setProcessNoise", "(sigma_a: float) -> null"),
+            MethodSpec::new("getProcessNoise", "() -> float"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_geo::Wgs84;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn measurement(f: &LocalFrame, p: Point2, acc: f64, t: f64) -> DataItem {
+        DataItem::new(
+            kinds::POSITION_WGS84,
+            SimTime::from_secs_f64(t),
+            Value::from(Position::new(f.from_local(&p), Some(acc))),
+        )
+    }
+
+    #[test]
+    fn smooths_noisy_stationary_target() {
+        let f = frame();
+        let mut kf = KalmanFilter::new("kf", f);
+        let mut rng = StdRng::seed_from_u64(17);
+        let truth = Point2::new(5.0, 5.0);
+        let mut raw = 0.0;
+        let mut filtered = 0.0;
+        let mut n = 0.0;
+        for t in 0..60 {
+            let noisy = Point2::new(
+                truth.x + rng.gen_range(-8.0..8.0),
+                truth.y + rng.gen_range(-8.0..8.0),
+            );
+            let out =
+                ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 5.0, t as f64))
+                    .unwrap();
+            let est = f.to_local(out[0].position().unwrap().coord());
+            if t >= 10 {
+                raw += noisy.distance(&truth);
+                filtered += est.distance(&truth);
+                n += 1.0;
+            }
+        }
+        assert!(
+            filtered / n < raw / n * 0.6,
+            "kalman {:.2} m vs raw {:.2} m",
+            filtered / n,
+            raw / n
+        );
+        assert_eq!(kf.updates(), 60);
+    }
+
+    #[test]
+    fn tracks_moving_target() {
+        let f = frame();
+        let mut kf = KalmanFilter::new("kf", f);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut errs = Vec::new();
+        for t in 0..40 {
+            let truth = Point2::new(t as f64 * 1.4, 0.0); // walking east
+            let noisy = Point2::new(
+                truth.x + rng.gen_range(-4.0..4.0),
+                truth.y + rng.gen_range(-4.0..4.0),
+            );
+            let out =
+                ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 4.0, t as f64))
+                    .unwrap();
+            let est = f.to_local(out[0].position().unwrap().coord());
+            if t > 10 {
+                errs.push(est.distance(&truth));
+            }
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean < 3.0, "tracking error {mean}");
+    }
+
+    #[test]
+    fn accuracy_shrinks_with_updates() {
+        let f = frame();
+        let mut kf = KalmanFilter::new("kf", f);
+        let p = Point2::new(0.0, 0.0);
+        let first = ComponentCtxProbe::run_input(&mut kf, measurement(&f, p, 10.0, 0.0)).unwrap();
+        let a1 = first[0].position().unwrap().accuracy_m().unwrap();
+        for t in 1..10 {
+            ComponentCtxProbe::run_input(&mut kf, measurement(&f, p, 10.0, t as f64)).unwrap();
+        }
+        let last = ComponentCtxProbe::run_input(&mut kf, measurement(&f, p, 10.0, 10.0)).unwrap();
+        let a2 = last[0].position().unwrap().accuracy_m().unwrap();
+        assert!(a2 < a1, "covariance should contract: {a1} -> {a2}");
+    }
+
+    #[test]
+    fn invoke_surface() {
+        let mut kf = KalmanFilter::new("kf", frame());
+        kf.invoke("setProcessNoise", &[Value::Float(1.5)]).unwrap();
+        assert_eq!(kf.invoke("getProcessNoise", &[]).unwrap(), Value::Float(1.5));
+        assert!(kf.invoke("setProcessNoise", &[Value::Float(-1.0)]).is_err());
+        assert!(kf.invoke("warp", &[]).is_err());
+    }
+}

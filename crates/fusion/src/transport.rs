@@ -1,0 +1,572 @@
+//! Transportation-mode inference as a processing pipeline.
+//!
+//! The paper's introduction motivates translucency with applications that
+//! "structure the reasoning process when determining transportation mode
+//! of a target by segmentation, feature extraction, decision tree
+//! classification and hidden-markov model post processing" (Zheng et al.,
+//! WWW 2008 — the paper's reference \[4\]). This module provides exactly
+//! that pipeline as ordinary Processing Components, so the reasoning
+//! process is inspectable and adaptable like any other PerPos process:
+//!
+//! `position.wgs84 → [Segmenter] → motion.segment → [ModeClassifier] →
+//! transport.mode → [HmmSmoother] → transport.mode`
+
+use std::collections::VecDeque;
+
+use perpos_core::component::{
+    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
+};
+use perpos_core::data::DataKind;
+use perpos_core::prelude::*;
+use perpos_geo::LocalFrame;
+
+/// Data kind for motion segments (payload: map of features).
+pub const MOTION_SEGMENT: DataKind = DataKind::from_static("motion.segment");
+/// Data kind for transportation modes (payload: mode text).
+pub const TRANSPORT_MODE: DataKind = DataKind::from_static("transport.mode");
+
+/// A transportation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Walking (≲ 2 m/s).
+    Walk,
+    /// Cycling (≲ 7 m/s).
+    Bike,
+    /// Motorized vehicle.
+    Vehicle,
+}
+
+impl Mode {
+    /// All modes in index order (the HMM state space).
+    pub const ALL: [Mode; 3] = [Mode::Walk, Mode::Bike, Mode::Vehicle];
+
+    /// The mode name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Walk => "walk",
+            Mode::Bike => "bike",
+            Mode::Vehicle => "vehicle",
+        }
+    }
+
+    /// Parses a mode name.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "walk" => Some(Mode::Walk),
+            "bike" => Some(Mode::Bike),
+            "vehicle" => Some(Mode::Vehicle),
+            _ => None,
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Mode::Walk => 0,
+            Mode::Bike => 1,
+            Mode::Vehicle => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Segmentation + feature extraction: windows consecutive positions and
+/// emits `motion.segment` items with speed statistics.
+///
+/// Reflective methods: `setWindow(seconds: float)`, `getWindow() -> float`,
+/// `segmentsProduced() -> int`.
+pub struct Segmenter {
+    frame: LocalFrame,
+    window: SimDuration,
+    buffer: VecDeque<(SimTime, perpos_geo::Point2)>,
+    window_start: Option<SimTime>,
+    produced: i64,
+}
+
+impl Segmenter {
+    /// Creates a segmenter with a 10 s window.
+    pub fn new(frame: LocalFrame) -> Self {
+        Segmenter {
+            frame,
+            window: SimDuration::from_secs(10),
+            buffer: VecDeque::new(),
+            window_start: None,
+            produced: 0,
+        }
+    }
+
+    /// Sets the window length (builder style).
+    pub fn with_window(mut self, d: SimDuration) -> Self {
+        self.window = d;
+        self
+    }
+
+    fn flush(&mut self, ctx: &mut ComponentCtx) {
+        if self.buffer.len() < 2 {
+            self.buffer.clear();
+            self.window_start = None;
+            return;
+        }
+        let mut speeds = Vec::new();
+        for pair in self.buffer.make_contiguous().windows(2) {
+            let dt = pair[1].0.since(pair[0].0).as_secs_f64();
+            if dt > 0.0 {
+                speeds.push(pair[0].1.distance(&pair[1].1) / dt);
+            }
+        }
+        if speeds.is_empty() {
+            self.buffer.clear();
+            self.window_start = None;
+            return;
+        }
+        let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        let var = speeds.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / speeds.len() as f64;
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("mean_speed".to_string(), Value::Float(mean));
+        map.insert("max_speed".to_string(), Value::Float(max));
+        map.insert("speed_var".to_string(), Value::Float(var));
+        map.insert("samples".to_string(), Value::Int(speeds.len() as i64 + 1));
+        self.produced += 1;
+        ctx.emit_value(MOTION_SEGMENT, Value::Map(map));
+        self.buffer.clear();
+        self.window_start = None;
+    }
+}
+
+impl std::fmt::Debug for Segmenter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segmenter").field("window", &self.window).finish()
+    }
+}
+
+impl Component for Segmenter {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            "Segmenter",
+            InputSpec::new("positions", vec![kinds::POSITION_WGS84]),
+            vec![MOTION_SEGMENT],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let position = item.position()?;
+        let p = self.frame.to_local(position.coord());
+        if self.window_start.is_none() {
+            self.window_start = Some(item.timestamp);
+        }
+        self.buffer.push_back((item.timestamp, p));
+        if item
+            .timestamp
+            .since(self.window_start.expect("set above"))
+            >= self.window
+        {
+            self.flush(ctx);
+        }
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setWindow" => {
+                let secs = args.first().and_then(Value::as_f64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one float".into(),
+                    }
+                })?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("window must be positive, got {secs}"),
+                    });
+                }
+                self.window = SimDuration::from_secs_f64(secs);
+                Ok(Value::Null)
+            }
+            "getWindow" => Ok(Value::Float(self.window.as_secs_f64())),
+            "segmentsProduced" => Ok(Value::Int(self.produced)),
+            other => Err(CoreError::NoSuchMethod {
+                target: "Segmenter".into(),
+                method: other.into(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setWindow", "(seconds: float) -> null"),
+            MethodSpec::new("getWindow", "() -> float"),
+            MethodSpec::new("segmentsProduced", "() -> int"),
+        ]
+    }
+}
+
+/// Decision-tree classifier: `motion.segment` in, `transport.mode` out,
+/// with a `confidence` attribute.
+///
+/// The tree follows the speed-based splits of the Zheng et al. approach:
+/// mean and maximum speed thresholds separate walking, cycling and
+/// driving.
+#[derive(Debug, Default)]
+pub struct ModeClassifier {
+    classified: i64,
+}
+
+impl ModeClassifier {
+    /// Creates a classifier.
+    pub fn new() -> Self {
+        ModeClassifier::default()
+    }
+
+    /// The decision tree itself, exposed for testing.
+    pub fn classify(mean_speed: f64, max_speed: f64) -> (Mode, f64) {
+        // Split 1: mean speed.
+        if mean_speed < 2.2 {
+            // Walking unless bursts say otherwise.
+            if max_speed > 8.0 {
+                (Mode::Vehicle, 0.55) // stop-and-go traffic
+            } else {
+                (Mode::Walk, 0.9)
+            }
+        } else if mean_speed < 7.0 {
+            if max_speed > 14.0 {
+                (Mode::Vehicle, 0.6)
+            } else {
+                (Mode::Bike, 0.8)
+            }
+        } else {
+            (Mode::Vehicle, 0.9)
+        }
+    }
+}
+
+impl Component for ModeClassifier {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            "ModeClassifier",
+            InputSpec::new("segments", vec![MOTION_SEGMENT]),
+            vec![TRANSPORT_MODE],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let Some(map) = item.payload.as_map() else {
+            return Ok(());
+        };
+        let mean = map.get("mean_speed").and_then(Value::as_f64).unwrap_or(0.0);
+        let max = map.get("max_speed").and_then(Value::as_f64).unwrap_or(mean);
+        let (mode, confidence) = Self::classify(mean, max);
+        self.classified += 1;
+        let out = DataItem::new(TRANSPORT_MODE, ctx.now(), Value::from(mode.as_str()))
+            .with_attr("confidence", Value::Float(confidence))
+            .with_attr("mean_speed", Value::Float(mean));
+        ctx.emit(out);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "classifiedCount" => Ok(Value::Int(self.classified)),
+            other => Err(CoreError::NoSuchMethod {
+                target: "ModeClassifier".into(),
+                method: other.into(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![MethodSpec::new("classifiedCount", "() -> int")]
+    }
+}
+
+/// Hidden-Markov post-processing: filters the classifier's mode sequence
+/// with a sticky transition model (forward algorithm), smoothing out
+/// one-off misclassifications.
+///
+/// Reflective methods: `setStickiness(p: float)`, `getStickiness() -> float`.
+#[derive(Debug)]
+pub struct HmmSmoother {
+    /// Probability of staying in the same mode between segments.
+    stickiness: f64,
+    /// Forward probabilities over [walk, bike, vehicle].
+    belief: [f64; 3],
+}
+
+impl Default for HmmSmoother {
+    fn default() -> Self {
+        HmmSmoother::new()
+    }
+}
+
+impl HmmSmoother {
+    /// Creates a smoother with 0.85 stickiness and a uniform prior.
+    pub fn new() -> Self {
+        HmmSmoother {
+            stickiness: 0.85,
+            belief: [1.0 / 3.0; 3],
+        }
+    }
+
+    /// Current belief over modes.
+    pub fn belief(&self) -> [f64; 3] {
+        self.belief
+    }
+
+    fn observe(&mut self, observed: Mode, confidence: f64) -> Mode {
+        // Predict: sticky transition.
+        let stay = self.stickiness;
+        let switch = (1.0 - stay) / 2.0;
+        let mut predicted = [0.0; 3];
+        for (i, p) in predicted.iter_mut().enumerate() {
+            for (j, b) in self.belief.iter().enumerate() {
+                *p += b * if i == j { stay } else { switch };
+            }
+        }
+        // Update: the observation is right with prob = confidence.
+        let wrong = (1.0 - confidence) / 2.0;
+        let mut updated = [0.0; 3];
+        for (i, u) in updated.iter_mut().enumerate() {
+            let likelihood = if i == observed.index() {
+                confidence
+            } else {
+                wrong
+            };
+            *u = predicted[i] * likelihood;
+        }
+        let sum: f64 = updated.iter().sum();
+        if sum > 0.0 {
+            for u in &mut updated {
+                *u /= sum;
+            }
+        } else {
+            updated = [1.0 / 3.0; 3];
+        }
+        self.belief = updated;
+        let best = (0..3)
+            .max_by(|a, b| self.belief[*a].total_cmp(&self.belief[*b]))
+            .expect("three states");
+        Mode::ALL[best]
+    }
+}
+
+impl Component for HmmSmoother {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            "HmmSmoother",
+            InputSpec::new("modes", vec![TRANSPORT_MODE]),
+            vec![TRANSPORT_MODE],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let Some(mode) = item.payload.as_text().and_then(Mode::parse) else {
+            return Ok(());
+        };
+        let confidence = item
+            .attr("confidence")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.7)
+            .clamp(0.34, 0.999);
+        let smoothed = self.observe(mode, confidence);
+        let out = DataItem::new(TRANSPORT_MODE, ctx.now(), Value::from(smoothed.as_str()))
+            .with_attr(
+                "belief",
+                Value::List(self.belief.iter().map(|b| Value::Float(*b)).collect()),
+            )
+            .with_attr("smoothed", Value::Bool(true));
+        ctx.emit(out);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setStickiness" => {
+                let p = args.first().and_then(Value::as_f64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one float".into(),
+                    }
+                })?;
+                if !(0.34..1.0).contains(&p) {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("stickiness must be in [0.34, 1), got {p}"),
+                    });
+                }
+                self.stickiness = p;
+                Ok(Value::Null)
+            }
+            "getStickiness" => Ok(Value::Float(self.stickiness)),
+            other => Err(CoreError::NoSuchMethod {
+                target: "HmmSmoother".into(),
+                method: other.into(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setStickiness", "(p: float) -> null"),
+            MethodSpec::new("getStickiness", "() -> float"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_geo::{Point2, Wgs84};
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn position(f: &LocalFrame, x: f64, t: f64) -> DataItem {
+        DataItem::new(
+            kinds::POSITION_WGS84,
+            SimTime::from_secs_f64(t),
+            Value::from(Position::new(f.from_local(&Point2::new(x, 0.0)), Some(3.0))),
+        )
+    }
+
+    #[test]
+    fn segmenter_windows_and_features() {
+        let f = frame();
+        let mut seg = Segmenter::new(f).with_window(SimDuration::from_secs(5));
+        let mut out = Vec::new();
+        // 1.4 m/s walk, 1 Hz positions.
+        for t in 0..=5 {
+            let items = ComponentCtxProbe::run_input(
+                &mut seg,
+                position(&f, t as f64 * 1.4, t as f64),
+            )
+            .unwrap();
+            out.extend(items);
+        }
+        assert_eq!(out.len(), 1);
+        let map = out[0].payload.as_map().unwrap();
+        let mean = map["mean_speed"].as_f64().unwrap();
+        assert!((mean - 1.4).abs() < 0.1, "mean {mean}");
+        assert!(map["speed_var"].as_f64().unwrap() < 0.1);
+        assert_eq!(out[0].kind, MOTION_SEGMENT);
+    }
+
+    #[test]
+    fn segmenter_needs_at_least_two_points() {
+        let f = frame();
+        let mut seg = Segmenter::new(f).with_window(SimDuration::from_secs(1));
+        // A single far-apart sample flushes an empty window silently.
+        let out = ComponentCtxProbe::run_input(&mut seg, position(&f, 0.0, 0.0)).unwrap();
+        assert!(out.is_empty());
+        let out = ComponentCtxProbe::run_input(&mut seg, position(&f, 1.0, 5.0)).unwrap();
+        // Window [0,5] flushed with 2 samples -> one segment.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn decision_tree_thresholds() {
+        assert_eq!(ModeClassifier::classify(1.2, 1.8).0, Mode::Walk);
+        assert_eq!(ModeClassifier::classify(4.5, 6.0).0, Mode::Bike);
+        assert_eq!(ModeClassifier::classify(14.0, 20.0).0, Mode::Vehicle);
+        // Stop-and-go traffic: low mean, high max.
+        assert_eq!(ModeClassifier::classify(1.5, 12.0).0, Mode::Vehicle);
+    }
+
+    #[test]
+    fn hmm_smooths_single_blips() {
+        let mut hmm = HmmSmoother::new();
+        // Settle into walking.
+        for _ in 0..5 {
+            assert_eq!(hmm.observe(Mode::Walk, 0.9), Mode::Walk);
+        }
+        // One low-confidence vehicle blip does not flip the mode…
+        assert_eq!(hmm.observe(Mode::Vehicle, 0.55), Mode::Walk);
+        // …but sustained evidence does.
+        let mut flipped = false;
+        for _ in 0..6 {
+            if hmm.observe(Mode::Vehicle, 0.9) == Mode::Vehicle {
+                flipped = true;
+            }
+        }
+        assert!(flipped, "sustained observations must win");
+    }
+
+    #[test]
+    fn hmm_component_round_trip() {
+        let mut hmm = HmmSmoother::new();
+        let item = DataItem::new(TRANSPORT_MODE, SimTime::ZERO, Value::from("walk"))
+            .with_attr("confidence", Value::Float(0.9));
+        let out = ComponentCtxProbe::run_input(&mut hmm, item).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.as_text(), Some("walk"));
+        assert_eq!(out[0].attr("smoothed").and_then(Value::as_bool), Some(true));
+        // Unparseable modes are absorbed.
+        let bad = DataItem::new(TRANSPORT_MODE, SimTime::ZERO, Value::from("teleport"));
+        assert!(ComponentCtxProbe::run_input(&mut hmm, bad).unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_pipeline_classifies_multimodal_trip() {
+        // walk 60 s @1.4, drive 60 s @15, walk 60 s @1.4 — fed directly.
+        let f = frame();
+        let mut mw = Middleware::new();
+        let mut items = Vec::new();
+        let mut x = 0.0;
+        for t in 0..180u64 {
+            let speed = if (60..120).contains(&t) { 15.0 } else { 1.4 };
+            x += speed;
+            items.push(position(&f, x, t as f64));
+        }
+        let emu = mw.add_component(perpos_sensors::EmulatorSource::new(
+            "trip",
+            perpos_sensors::Trace::new(items),
+        ));
+        let seg = mw.add_component(Segmenter::new(f));
+        let cls = mw.add_component(ModeClassifier::new());
+        let hmm = mw.add_component(HmmSmoother::new());
+        let app = mw.application_sink();
+        mw.connect(emu, seg, 0).unwrap();
+        mw.connect(seg, cls, 0).unwrap();
+        mw.connect(cls, hmm, 0).unwrap();
+        mw.connect(hmm, app, 0).unwrap();
+        let provider = mw
+            .location_provider(Criteria::new().kind(TRANSPORT_MODE))
+            .unwrap();
+        mw.run_for(SimDuration::from_secs(181), SimDuration::from_secs(1))
+            .unwrap();
+        let modes: Vec<String> = provider
+            .history()
+            .iter()
+            .filter_map(|i| i.payload.as_text().map(str::to_string))
+            .collect();
+        assert!(modes.len() >= 12, "{} segments", modes.len());
+        // The middle third must be dominated by "vehicle", the outer
+        // thirds by "walk".
+        let third = modes.len() / 3;
+        let count = |slice: &[String], m: &str| slice.iter().filter(|s| *s == m).count();
+        assert!(count(&modes[..third], "walk") * 2 > third);
+        assert!(count(&modes[third..2 * third], "vehicle") * 2 > third);
+        assert!(count(&modes[2 * third..], "walk") * 2 > modes.len() - 2 * third);
+    }
+}

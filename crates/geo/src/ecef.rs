@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Wgs84, WGS84_A, WGS84_F};
+
+/// An earth-centred, earth-fixed Cartesian coordinate in metres.
+///
+/// Used as the exact intermediate representation when converting between
+/// [`Wgs84`] and local tangent-plane frames.
+///
+/// ```
+/// use perpos_geo::{Ecef, Wgs84};
+/// let p = Wgs84::new(56.0, 10.0, 50.0)?;
+/// let e = Ecef::from_wgs84(&p);
+/// let back = e.to_wgs84();
+/// assert!((back.lat_deg() - 56.0).abs() < 1e-9);
+/// # Ok::<(), perpos_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ecef {
+    /// X axis: through the equator at the prime meridian, metres.
+    pub x: f64,
+    /// Y axis: through the equator at 90°E, metres.
+    pub y: f64,
+    /// Z axis: through the north pole, metres.
+    pub z: f64,
+}
+
+impl Ecef {
+    /// Creates an ECEF coordinate from raw metres.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Ecef { x, y, z }
+    }
+
+    /// Converts a geodetic WGS-84 position to ECEF.
+    pub fn from_wgs84(p: &Wgs84) -> Self {
+        let e2 = WGS84_F * (2.0 - WGS84_F); // first eccentricity squared
+        let (sin_lat, cos_lat) = p.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = p.lon_rad().sin_cos();
+        // Prime vertical radius of curvature.
+        let n = WGS84_A / (1.0 - e2 * sin_lat * sin_lat).sqrt();
+        let h = p.alt_m();
+        Ecef {
+            x: (n + h) * cos_lat * cos_lon,
+            y: (n + h) * cos_lat * sin_lon,
+            z: (n * (1.0 - e2) + h) * sin_lat,
+        }
+    }
+
+    /// Converts back to geodetic coordinates using Bowring's iteration.
+    ///
+    /// Accurate to well below a millimetre for terrestrial altitudes.
+    pub fn to_wgs84(&self) -> Wgs84 {
+        let e2 = WGS84_F * (2.0 - WGS84_F);
+        let b = WGS84_A * (1.0 - WGS84_F);
+        let ep2 = (WGS84_A * WGS84_A - b * b) / (b * b);
+        let p = (self.x * self.x + self.y * self.y).sqrt();
+        let lon = self.y.atan2(self.x);
+
+        if p < 1e-9 {
+            // On the polar axis: latitude is ±90 and longitude is arbitrary.
+            let lat = if self.z >= 0.0 { 90.0 } else { -90.0 };
+            let alt = self.z.abs() - b;
+            return Wgs84::new(lat, 0.0, alt).expect("polar coordinates are valid");
+        }
+
+        // Bowring's initial parametric latitude guess, then one refinement.
+        let theta = (self.z * WGS84_A).atan2(p * b);
+        let (sin_t, cos_t) = theta.sin_cos();
+        let lat = (self.z + ep2 * b * sin_t.powi(3)).atan2(p - e2 * WGS84_A * cos_t.powi(3));
+        let sin_lat = lat.sin();
+        let n = WGS84_A / (1.0 - e2 * sin_lat * sin_lat).sqrt();
+        let alt = p / lat.cos() - n;
+
+        Wgs84::new(
+            lat.to_degrees().clamp(-90.0, 90.0),
+            lon.to_degrees().clamp(-180.0, 180.0),
+            alt,
+        )
+        .expect("clamped coordinates are valid")
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance_m(&self, other: &Ecef) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+impl fmt::Display for Ecef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ECEF({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equator_prime_meridian() {
+        let p = Wgs84::new(0.0, 0.0, 0.0).unwrap();
+        let e = Ecef::from_wgs84(&p);
+        assert!((e.x - WGS84_A).abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6);
+        assert!(e.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn north_pole() {
+        let p = Wgs84::new(90.0, 0.0, 0.0).unwrap();
+        let e = Ecef::from_wgs84(&p);
+        let b = WGS84_A * (1.0 - WGS84_F);
+        assert!(e.x.abs() < 1e-6);
+        assert!((e.z - b).abs() < 1e-6);
+        let back = e.to_wgs84();
+        assert!((back.lat_deg() - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn altitude_increases_radius() {
+        let low = Ecef::from_wgs84(&Wgs84::new(45.0, 45.0, 0.0).unwrap());
+        let high = Ecef::from_wgs84(&Wgs84::new(45.0, 45.0, 1000.0).unwrap());
+        assert!((low.distance_m(&high) - 1000.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(
+            lat in -89.9f64..89.9,
+            lon in -180.0f64..180.0,
+            alt in -100.0f64..10_000.0,
+        ) {
+            let p = Wgs84::new(lat, lon, alt).unwrap();
+            let back = Ecef::from_wgs84(&p).to_wgs84();
+            prop_assert!((back.lat_deg() - lat).abs() < 1e-7, "lat {} -> {}", lat, back.lat_deg());
+            prop_assert!((back.lon_deg() - lon).abs() < 1e-7 || (back.lon_deg() - lon).abs() > 359.9);
+            prop_assert!((back.alt_m() - alt).abs() < 1e-3);
+        }
+    }
+}

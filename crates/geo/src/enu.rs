@@ -1,0 +1,177 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Ecef, Point2, Wgs84};
+
+/// A local east-north-up offset from a [`LocalFrame`] origin, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Enu {
+    /// East component in metres.
+    pub east: f64,
+    /// North component in metres.
+    pub north: f64,
+    /// Up component in metres.
+    pub up: f64,
+}
+
+impl Enu {
+    /// Creates an ENU offset from components in metres.
+    pub fn new(east: f64, north: f64, up: f64) -> Self {
+        Enu { east, north, up }
+    }
+
+    /// Euclidean norm in metres.
+    pub fn norm(&self) -> f64 {
+        (self.east * self.east + self.north * self.north + self.up * self.up).sqrt()
+    }
+
+    /// Horizontal (east/north) part as a planar point.
+    pub fn to_point2(&self) -> Point2 {
+        Point2::new(self.east, self.north)
+    }
+}
+
+impl fmt::Display for Enu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ENU({:.2} E, {:.2} N, {:.2} U)",
+            self.east, self.north, self.up
+        )
+    }
+}
+
+/// A local tangent-plane frame anchored at a WGS-84 origin.
+///
+/// The frame maps global positions to metric east/north/up offsets. PerPos
+/// uses one frame per building to express indoor positions, walls and rooms
+/// in metres (paper Fig. 6 floor plan).
+///
+/// ```
+/// use perpos_geo::{LocalFrame, Wgs84};
+/// let origin = Wgs84::new(56.17, 10.19, 0.0)?;
+/// let frame = LocalFrame::new(origin);
+/// let p = frame.to_local(&origin.destination(90.0, 10.0));
+/// assert!((p.x - 10.0).abs() < 0.1 && p.y.abs() < 0.1);
+/// # Ok::<(), perpos_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalFrame {
+    origin: Wgs84,
+    origin_ecef: Ecef,
+}
+
+impl LocalFrame {
+    /// Creates a frame anchored at `origin`.
+    pub fn new(origin: Wgs84) -> Self {
+        LocalFrame {
+            origin,
+            origin_ecef: Ecef::from_wgs84(&origin),
+        }
+    }
+
+    /// The frame origin.
+    pub fn origin(&self) -> Wgs84 {
+        self.origin
+    }
+
+    /// Converts a global position to an ENU offset from the origin.
+    pub fn to_enu(&self, p: &Wgs84) -> Enu {
+        let e = Ecef::from_wgs84(p);
+        let dx = e.x - self.origin_ecef.x;
+        let dy = e.y - self.origin_ecef.y;
+        let dz = e.z - self.origin_ecef.z;
+        let (sin_lat, cos_lat) = self.origin.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = self.origin.lon_rad().sin_cos();
+        Enu {
+            east: -sin_lon * dx + cos_lon * dy,
+            north: -sin_lat * cos_lon * dx - sin_lat * sin_lon * dy + cos_lat * dz,
+            up: cos_lat * cos_lon * dx + cos_lat * sin_lon * dy + sin_lat * dz,
+        }
+    }
+
+    /// Converts an ENU offset back to a global position.
+    pub fn from_enu(&self, enu: &Enu) -> Wgs84 {
+        let (sin_lat, cos_lat) = self.origin.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = self.origin.lon_rad().sin_cos();
+        let dx = -sin_lon * enu.east - sin_lat * cos_lon * enu.north + cos_lat * cos_lon * enu.up;
+        let dy = cos_lon * enu.east - sin_lat * sin_lon * enu.north + cos_lat * sin_lon * enu.up;
+        let dz = cos_lat * enu.north + sin_lat * enu.up;
+        Ecef::new(
+            self.origin_ecef.x + dx,
+            self.origin_ecef.y + dy,
+            self.origin_ecef.z + dz,
+        )
+        .to_wgs84()
+    }
+
+    /// Projects a global position to planar metric coordinates (east = x,
+    /// north = y), discarding the vertical component.
+    pub fn to_local(&self, p: &Wgs84) -> Point2 {
+        self.to_enu(p).to_point2()
+    }
+
+    /// Lifts planar metric coordinates back to a global position at the
+    /// frame origin's altitude plane.
+    pub fn from_local(&self, p: &Point2) -> Wgs84 {
+        self.from_enu(&Enu::new(p.x, p.y, 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 20.0).unwrap())
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let f = frame();
+        let enu = f.to_enu(&f.origin());
+        assert!(enu.norm() < 1e-9);
+    }
+
+    #[test]
+    fn east_displacement() {
+        let f = frame();
+        let east_point = f.origin().destination(90.0, 100.0);
+        let enu = f.to_enu(&east_point);
+        // destination() is spherical while ENU is ellipsoidal: allow ~0.5% skew.
+        assert!((enu.east - 100.0).abs() < 0.5, "east {}", enu.east);
+        assert!(enu.north.abs() < 0.5);
+    }
+
+    #[test]
+    fn north_displacement() {
+        let f = frame();
+        let north_point = f.origin().destination(0.0, 250.0);
+        let enu = f.to_enu(&north_point);
+        assert!((enu.north - 250.0).abs() < 1.5, "north {}", enu.north);
+        assert!(enu.east.abs() < 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn enu_round_trip(e in -2000.0f64..2000.0, n in -2000.0f64..2000.0, u in -50.0f64..50.0) {
+            let f = frame();
+            let p = f.from_enu(&Enu::new(e, n, u));
+            let back = f.to_enu(&p);
+            prop_assert!((back.east - e).abs() < 1e-3);
+            prop_assert!((back.north - n).abs() < 1e-3);
+            prop_assert!((back.up - u).abs() < 1e-3);
+        }
+
+        #[test]
+        fn local_distance_matches_geodesic(e in -500.0f64..500.0, n in -500.0f64..500.0) {
+            let f = frame();
+            let p = f.from_local(&Point2::new(e, n));
+            let planar = (e * e + n * n).sqrt();
+            let geo = f.origin().distance_m(&p);
+            // haversine is spherical, the frame ellipsoidal: allow 0.5% relative error.
+            prop_assert!((planar - geo).abs() < planar * 5e-3 + 0.01, "planar {planar} vs geo {geo}");
+        }
+    }
+}

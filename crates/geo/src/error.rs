@@ -1,0 +1,29 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid geodetic values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, 90]` degrees.
+    LatitudeOutOfRange(f64),
+    /// Longitude outside `[-180, 180]` degrees.
+    LongitudeOutOfRange(f64),
+    /// A coordinate value was NaN or infinite.
+    NotFinite(&'static str),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::LatitudeOutOfRange(v) => {
+                write!(f, "latitude {v} out of range [-90, 90]")
+            }
+            GeoError::LongitudeOutOfRange(v) => {
+                write!(f, "longitude {v} out of range [-180, 180]")
+            }
+            GeoError::NotFinite(what) => write!(f, "{what} must be finite"),
+        }
+    }
+}
+
+impl Error for GeoError {}

@@ -1,0 +1,102 @@
+//! Geodesy substrate for the PerPos positioning middleware.
+//!
+//! This crate provides the coordinate systems and geometric primitives that
+//! every other PerPos crate builds on:
+//!
+//! * [`Wgs84`] — global geodetic coordinates (the position format the
+//!   paper's *Interpreter* component produces, Fig. 1/4),
+//! * [`Ecef`] — earth-centred earth-fixed Cartesian coordinates used as the
+//!   exact intermediate for frame conversions,
+//! * [`LocalFrame`] / [`Enu`] — east-north-up tangent planes, used to map
+//!   between global positions and building-local metric coordinates,
+//! * [`Point2`], [`Vec2`], [`Segment2`] — planar geometry primitives used by
+//!   the building model (walls, rooms) and the particle filter.
+//!
+//! # Examples
+//!
+//! ```
+//! use perpos_geo::{Wgs84, LocalFrame};
+//!
+//! let aarhus = Wgs84::new(56.1629, 10.2039, 0.0)?;
+//! let nearby = Wgs84::new(56.1630, 10.2041, 0.0)?;
+//! let d = aarhus.distance_m(&nearby);
+//! assert!(d > 10.0 && d < 25.0);
+//!
+//! // Project into a local metric frame anchored at the first point.
+//! let frame = LocalFrame::new(aarhus);
+//! let p = frame.to_local(&nearby);
+//! assert!(p.x.abs() < 20.0 && p.y.abs() < 15.0);
+//! # Ok::<(), perpos_geo::GeoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecef;
+mod enu;
+mod error;
+mod planar;
+mod wgs84;
+
+pub use ecef::Ecef;
+pub use enu::{Enu, LocalFrame};
+pub use error::GeoError;
+pub use planar::{Point2, Segment2, Vec2};
+pub use wgs84::Wgs84;
+
+/// Mean Earth radius in metres (IUGG), used by the haversine formulas.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// WGS-84 ellipsoid semi-major axis in metres.
+pub const WGS84_A: f64 = 6_378_137.0;
+
+/// WGS-84 ellipsoid flattening.
+pub const WGS84_F: f64 = 1.0 / 298.257_223_563;
+
+/// Normalizes an angle in degrees to the half-open interval `[0, 360)`.
+///
+/// ```
+/// assert_eq!(perpos_geo::normalize_deg(370.0), 10.0);
+/// assert_eq!(perpos_geo::normalize_deg(-10.0), 350.0);
+/// ```
+pub fn normalize_deg(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Normalizes an angle in radians to `(-pi, pi]`.
+pub fn normalize_rad(rad: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut r = rad % two_pi;
+    if r <= -std::f64::consts::PI {
+        r += two_pi;
+    } else if r > std::f64::consts::PI {
+        r -= two_pi;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_deg_wraps() {
+        assert_eq!(normalize_deg(0.0), 0.0);
+        assert_eq!(normalize_deg(360.0), 0.0);
+        assert_eq!(normalize_deg(725.0), 5.0);
+        assert_eq!(normalize_deg(-725.0), 355.0);
+    }
+
+    #[test]
+    fn normalize_rad_wraps() {
+        let pi = std::f64::consts::PI;
+        assert!((normalize_rad(3.0 * pi) - pi).abs() < 1e-12);
+        assert!((normalize_rad(-3.0 * pi) - pi).abs() < 1e-12);
+        assert_eq!(normalize_rad(0.25), 0.25);
+    }
+}

@@ -1,0 +1,330 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point in a planar metric frame (metres).
+///
+/// Used for building-local coordinates: room polygons, walls, particles.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// East/x coordinate in metres.
+    pub x: f64,
+    /// North/y coordinate in metres.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point2`]s, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x component in metres.
+    pub x: f64,
+    /// y component in metres.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from metric coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from metric components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm in metres.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    pub fn cross(&self, other: &Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction, or the zero vector if the norm is
+    /// (near) zero.
+    pub fn normalized(&self) -> Vec2 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec2::default()
+        } else {
+            Vec2::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// A unit vector pointing along `heading_deg` degrees clockwise from
+    /// north (navigation convention: 0° = +y, 90° = +x).
+    pub fn from_heading_deg(heading_deg: f64) -> Vec2 {
+        let r = heading_deg.to_radians();
+        Vec2::new(r.sin(), r.cos())
+    }
+
+    /// Heading of this vector in degrees clockwise from north, `[0, 360)`.
+    pub fn heading_deg(&self) -> f64 {
+        crate::normalize_deg(self.x.atan2(self.y).to_degrees())
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, other: Point2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, v: Vec2) -> Point2 {
+        Point2::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.2}, {:.2}>", self.x, self.y)
+    }
+}
+
+/// A line segment between two planar points, e.g. a wall in a floor plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment2 {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment2 {
+    /// Creates a segment between `a` and `b`.
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Segment2 { a, b }
+    }
+
+    /// Segment length in metres.
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Whether this segment properly or improperly intersects `other`.
+    ///
+    /// Touching endpoints and collinear overlap count as intersections —
+    /// the conservative choice for wall-crossing tests, where grazing a
+    /// wall should still be treated as blocked.
+    pub fn intersects(&self, other: &Segment2) -> bool {
+        let d1 = (self.b - self.a).cross(&(other.a - self.a));
+        let d2 = (self.b - self.a).cross(&(other.b - self.a));
+        let d3 = (other.b - other.a).cross(&(self.a - other.a));
+        let d4 = (other.b - other.a).cross(&(self.b - other.a));
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+
+        let on = |p: Point2, s: &Segment2, d: f64| -> bool {
+            d.abs() < 1e-12
+                && p.x >= s.a.x.min(s.b.x) - 1e-12
+                && p.x <= s.a.x.max(s.b.x) + 1e-12
+                && p.y >= s.a.y.min(s.b.y) - 1e-12
+                && p.y <= s.a.y.max(s.b.y) + 1e-12
+        };
+        on(other.a, self, d1) || on(other.b, self, d2) || on(self.a, other, d3) || on(self.b, other, d4)
+    }
+
+    /// Shortest distance from `p` to any point on the segment.
+    pub fn distance_to_point(&self, p: &Point2) -> f64 {
+        let ab = self.b - self.a;
+        let len2 = ab.dot(&ab);
+        if len2 < 1e-24 {
+            return self.a.distance(p);
+        }
+        let t = ((*p - self.a).dot(&ab) / len2).clamp(0.0, 1.0);
+        (self.a + ab * t).distance(p)
+    }
+
+    /// Point at parameter `t` in `[0, 1]` along the segment.
+    pub fn lerp(&self, t: f64) -> Point2 {
+        self.a + (self.b - self.a) * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point2::new(1.0, 2.0);
+        let q = p + Vec2::new(3.0, -1.0);
+        assert_eq!(q, Point2::new(4.0, 1.0));
+        assert_eq!(q - p, Vec2::new(3.0, -1.0));
+        assert!((p.distance(&q) - 10.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heading_round_trip() {
+        for h in [0.0, 45.0, 90.0, 135.0, 180.0, 270.0, 359.0] {
+            let v = Vec2::from_heading_deg(h);
+            assert!((v.heading_deg() - h).abs() < 1e-9, "heading {h}");
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_normalization_and_ops() {
+        let v = Vec2::new(3.0, 4.0);
+        let n = v.normalized();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!((Vec2::default().normalized().norm()) < 1e-12);
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+        assert_eq!(v / 2.0, Vec2::new(1.5, 2.0));
+        assert_eq!(v + v - v, v);
+        assert!((v.dot(&Vec2::new(4.0, -3.0))).abs() < 1e-12);
+        assert!((v.cross(&v)).abs() < 1e-12);
+        let p = Point2::new(0.0, 0.0).midpoint(&Point2::new(2.0, 4.0));
+        assert_eq!(p, Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let s2 = Segment2::new(Point2::new(0.0, 2.0), Point2::new(2.0, 0.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        let s2 = Segment2::new(Point2::new(0.0, 1.0), Point2::new(2.0, 1.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_intersection() {
+        let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        let s2 = Segment2::new(Point2::new(2.0, 0.0), Point2::new(2.0, 2.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        let s2 = Segment2::new(Point2::new(1.0, 0.0), Point2::new(3.0, 0.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s1 = Segment2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let s2 = Segment2::new(Point2::new(2.0, 0.0), Point2::new(3.0, 0.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn distance_to_point_clamps_to_endpoints() {
+        let s = Segment2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        assert!((s.distance_to_point(&Point2::new(-1.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((s.distance_to_point(&Point2::new(0.5, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = Segment2::new(Point2::new(1.0, 1.0), Point2::new(1.0, 1.0));
+        assert!((s.distance_to_point(&Point2::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(s.length(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_symmetric(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0,
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+            dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+        ) {
+            let s1 = Segment2::new(Point2::new(ax, ay), Point2::new(bx, by));
+            let s2 = Segment2::new(Point2::new(cx, cy), Point2::new(dx, dy));
+            prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        }
+
+        #[test]
+        fn lerp_stays_on_segment(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0,
+            t in 0.0f64..1.0,
+        ) {
+            let s = Segment2::new(Point2::new(ax, ay), Point2::new(bx, by));
+            let p = s.lerp(t);
+            prop_assert!(s.distance_to_point(&p) < 1e-9);
+        }
+    }
+}

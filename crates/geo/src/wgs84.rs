@@ -1,0 +1,260 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{normalize_deg, GeoError, EARTH_RADIUS_M};
+
+/// A global position in the World Geodetic System 1984.
+///
+/// This is the technology-independent position format the PerPos
+/// *Interpreter* component produces (paper Fig. 1 and Fig. 4).
+///
+/// Invariants: latitude is within `[-90, 90]`, longitude within
+/// `[-180, 180]`, and all fields are finite. Construct through
+/// [`Wgs84::new`] which validates them.
+///
+/// ```
+/// use perpos_geo::Wgs84;
+/// let p = Wgs84::new(56.17, 10.19, 25.0)?;
+/// assert_eq!(p.lat_deg(), 56.17);
+/// # Ok::<(), perpos_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wgs84 {
+    lat_deg: f64,
+    lon_deg: f64,
+    alt_m: f64,
+}
+
+impl Wgs84 {
+    /// Creates a validated WGS-84 position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError`] if latitude or longitude is out of range or any
+    /// component is not finite.
+    pub fn new(lat_deg: f64, lon_deg: f64, alt_m: f64) -> Result<Self, GeoError> {
+        if !lat_deg.is_finite() {
+            return Err(GeoError::NotFinite("latitude"));
+        }
+        if !lon_deg.is_finite() {
+            return Err(GeoError::NotFinite("longitude"));
+        }
+        if !alt_m.is_finite() {
+            return Err(GeoError::NotFinite("altitude"));
+        }
+        if !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(GeoError::LatitudeOutOfRange(lat_deg));
+        }
+        if !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(GeoError::LongitudeOutOfRange(lon_deg));
+        }
+        Ok(Wgs84 {
+            lat_deg,
+            lon_deg,
+            alt_m,
+        })
+    }
+
+    /// Latitude in degrees, positive north.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees, positive east.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Altitude above the ellipsoid in metres.
+    pub fn alt_m(&self) -> f64 {
+        self.alt_m
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// Returns a copy with a different altitude.
+    pub fn with_alt(&self, alt_m: f64) -> Self {
+        Wgs84 { alt_m, ..*self }
+    }
+
+    /// Great-circle (haversine) distance to `other` in metres, ignoring
+    /// altitude.
+    ///
+    /// ```
+    /// use perpos_geo::Wgs84;
+    /// let a = Wgs84::new(0.0, 0.0, 0.0)?;
+    /// let b = Wgs84::new(0.0, 1.0, 0.0)?;
+    /// let d = a.distance_m(&b);
+    /// assert!((d - 111_195.0).abs() < 100.0); // one degree of longitude at the equator
+    /// # Ok::<(), perpos_geo::GeoError>(())
+    /// ```
+    pub fn distance_m(&self, other: &Wgs84) -> f64 {
+        let (lat1, lon1) = (self.lat_rad(), self.lon_rad());
+        let (lat2, lon2) = (other.lat_rad(), other.lon_rad());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// 3-D distance to `other` in metres, including the altitude difference.
+    pub fn distance_3d_m(&self, other: &Wgs84) -> f64 {
+        let horiz = self.distance_m(other);
+        let dz = self.alt_m - other.alt_m;
+        (horiz * horiz + dz * dz).sqrt()
+    }
+
+    /// Initial great-circle bearing towards `other`, degrees clockwise from
+    /// north, in `[0, 360)`.
+    pub fn bearing_deg(&self, other: &Wgs84) -> f64 {
+        let (lat1, lon1) = (self.lat_rad(), self.lon_rad());
+        let (lat2, lon2) = (other.lat_rad(), other.lon_rad());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        normalize_deg(y.atan2(x).to_degrees())
+    }
+
+    /// The position reached by travelling `distance_m` metres from this
+    /// position on the initial bearing `bearing_deg` (degrees clockwise from
+    /// north) along a great circle. Altitude is preserved.
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> Wgs84 {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat_rad();
+        let lon1 = self.lon_rad();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        let lon2_deg = {
+            let d = normalize_deg(lon2.to_degrees());
+            if d > 180.0 {
+                d - 360.0
+            } else {
+                d
+            }
+        };
+        Wgs84 {
+            lat_deg: lat2.to_degrees().clamp(-90.0, 90.0),
+            lon_deg: lon2_deg,
+            alt_m: self.alt_m,
+        }
+    }
+}
+
+impl fmt::Display for Wgs84 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.6}°, {:.6}°, {:.1} m)",
+            self.lat_deg, self.lon_deg, self.alt_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Wgs84::new(91.0, 0.0, 0.0),
+            Err(GeoError::LatitudeOutOfRange(_))
+        ));
+        assert!(matches!(
+            Wgs84::new(0.0, 181.0, 0.0),
+            Err(GeoError::LongitudeOutOfRange(_))
+        ));
+        assert!(matches!(
+            Wgs84::new(f64::NAN, 0.0, 0.0),
+            Err(GeoError::NotFinite(_))
+        ));
+        assert!(matches!(
+            Wgs84::new(0.0, 0.0, f64::INFINITY),
+            Err(GeoError::NotFinite(_))
+        ));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Wgs84::new(56.16, 10.2, 30.0).unwrap();
+        assert_eq!(p.distance_m(&p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Wgs84::new(56.16, 10.2, 0.0).unwrap();
+        let b = Wgs84::new(55.67, 12.56, 0.0).unwrap();
+        assert!((a.distance_m(&b) - b.distance_m(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aarhus_to_copenhagen_distance() {
+        // Known reference distance ~157 km.
+        let aarhus = Wgs84::new(56.1629, 10.2039, 0.0).unwrap();
+        let cph = Wgs84::new(55.6761, 12.5683, 0.0).unwrap();
+        let d = aarhus.distance_m(&cph);
+        assert!(d > 150_000.0 && d < 165_000.0, "got {d}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = Wgs84::new(0.0, 0.0, 0.0).unwrap();
+        let north = Wgs84::new(1.0, 0.0, 0.0).unwrap();
+        let east = Wgs84::new(0.0, 1.0, 0.0).unwrap();
+        assert!((origin.bearing_deg(&north) - 0.0).abs() < 1e-6);
+        assert!((origin.bearing_deg(&east) - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_3d_distance_includes_altitude() {
+        let a = Wgs84::new(10.0, 10.0, 0.0).unwrap();
+        let b = a.with_alt(100.0);
+        assert!((a.distance_3d_m(&b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = Wgs84::new(1.0, 2.0, 3.0).unwrap();
+        assert!(!format!("{p}").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn destination_round_trip(
+            lat in -80.0f64..80.0,
+            lon in -179.0f64..179.0,
+            bearing in 0.0f64..360.0,
+            dist in 0.1f64..50_000.0,
+        ) {
+            let start = Wgs84::new(lat, lon, 0.0).unwrap();
+            let end = start.destination(bearing, dist);
+            // Travelling the measured distance must agree with the requested one.
+            let measured = start.distance_m(&end);
+            prop_assert!((measured - dist).abs() < dist * 1e-6 + 1e-3,
+                "requested {dist}, measured {measured}");
+        }
+
+        #[test]
+        fn triangle_inequality(
+            lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+            lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+            lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+        ) {
+            let a = Wgs84::new(lat1, lon1, 0.0).unwrap();
+            let b = Wgs84::new(lat2, lon2, 0.0).unwrap();
+            let c = Wgs84::new(lat3, lon3, 0.0).unwrap();
+            prop_assert!(a.distance_m(&c) <= a.distance_m(&b) + b.distance_m(&c) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::{Floor, RoomId};
+
+/// Room adjacency graph of a floor, derived from its doors.
+///
+/// Two rooms are adjacent when a door connects them. The graph answers
+/// reachability and shortest-path (fewest doors) queries, which
+/// applications use for symbolic navigation and which fusion components
+/// can use as coarse movement constraints.
+///
+/// ```
+/// use perpos_model::{demo_building, RoomGraph};
+///
+/// let building = demo_building();
+/// let graph = RoomGraph::from_floor(building.floor(0).unwrap());
+/// let path = graph
+///     .shortest_path(&"R0".into(), &"R7".into())
+///     .expect("connected through the corridor");
+/// assert_eq!(path.len(), 3); // R0 -> CORRIDOR0 -> R7
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoomGraph {
+    adjacency: BTreeMap<RoomId, BTreeSet<RoomId>>,
+}
+
+impl RoomGraph {
+    /// Builds the adjacency graph from a floor's doors.
+    ///
+    /// Doors to the outside (one side `None`) contribute no edge.
+    pub fn from_floor(floor: &Floor) -> Self {
+        let mut graph = RoomGraph::default();
+        for room in floor.rooms() {
+            graph.adjacency.entry(room.id().clone()).or_default();
+        }
+        for door in floor.doors() {
+            if let (Some(a), Some(b)) = (&door.connects.0, &door.connects.1) {
+                graph.add_edge(a.clone(), b.clone());
+            }
+        }
+        graph
+    }
+
+    /// Adds an undirected edge between two rooms, creating nodes on demand.
+    pub fn add_edge(&mut self, a: RoomId, b: RoomId) {
+        self.adjacency
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Number of rooms in the graph.
+    pub fn room_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The rooms directly connected to `room`.
+    pub fn neighbors(&self, room: &RoomId) -> impl Iterator<Item = &RoomId> + '_ {
+        self.adjacency.get(room).into_iter().flatten()
+    }
+
+    /// Whether the two rooms are directly connected by a door.
+    pub fn adjacent(&self, a: &RoomId, b: &RoomId) -> bool {
+        self.adjacency.get(a).is_some_and(|n| n.contains(b))
+    }
+
+    /// Breadth-first shortest path (fewest door transitions), inclusive of
+    /// both endpoints. Returns `None` when unreachable or unknown.
+    pub fn shortest_path(&self, from: &RoomId, to: &RoomId) -> Option<Vec<RoomId>> {
+        if !self.adjacency.contains_key(from) || !self.adjacency.contains_key(to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from.clone()]);
+        }
+        let mut prev: BTreeMap<RoomId, RoomId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from.clone()]);
+        let mut seen = BTreeSet::from([from.clone()]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbors(&cur) {
+                if seen.insert(next.clone()) {
+                    prev.insert(next.clone(), cur.clone());
+                    if next == to {
+                        let mut path = vec![to.clone()];
+                        let mut at = to;
+                        while let Some(p) = prev.get(at) {
+                            path.push(p.clone());
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of door transitions between two rooms, if reachable.
+    pub fn door_distance(&self, from: &RoomId, to: &RoomId) -> Option<usize> {
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo_building;
+
+    fn graph() -> RoomGraph {
+        RoomGraph::from_floor(demo_building().floor(0).unwrap())
+    }
+
+    #[test]
+    fn all_rooms_reach_corridor() {
+        let g = graph();
+        let corridor = RoomId::new("CORRIDOR0");
+        for i in 0..8 {
+            let room = RoomId::new(format!("R{i}"));
+            assert!(g.adjacent(&room, &corridor), "R{i} should adjoin corridor");
+        }
+    }
+
+    #[test]
+    fn rooms_not_directly_adjacent() {
+        let g = graph();
+        assert!(!g.adjacent(&"R0".into(), &"R1".into()));
+        assert_eq!(g.door_distance(&"R0".into(), &"R1".into()), Some(2));
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = graph();
+        assert_eq!(g.shortest_path(&"R0".into(), &"R0".into()).unwrap().len(), 1);
+        assert_eq!(g.door_distance(&"R0".into(), &"R0".into()), Some(0));
+    }
+
+    #[test]
+    fn unknown_rooms_unreachable() {
+        let g = graph();
+        assert_eq!(g.shortest_path(&"R0".into(), &"NOPE".into()), None);
+        assert_eq!(g.shortest_path(&"NOPE".into(), &"R0".into()), None);
+    }
+
+    #[test]
+    fn disconnected_room_unreachable() {
+        let mut g = graph();
+        g.adjacency.entry(RoomId::new("ISLAND")).or_default();
+        assert_eq!(g.shortest_path(&"R0".into(), &"ISLAND".into()), None);
+        assert_eq!(g.room_count(), 10);
+    }
+
+    #[test]
+    fn door_distance_is_symmetric() {
+        let g = graph();
+        let rooms: Vec<RoomId> = (0..8).map(|i| RoomId::new(format!("R{i}"))).collect();
+        for a in &rooms {
+            for b in &rooms {
+                assert_eq!(
+                    g.door_distance(a, b),
+                    g.door_distance(b, a),
+                    "distance {a} <-> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_iteration() {
+        let g = graph();
+        let n: Vec<_> = g.neighbors(&"CORRIDOR0".into()).collect();
+        assert_eq!(n.len(), 8);
+        assert_eq!(g.neighbors(&"NOPE".into()).count(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+use perpos_geo::{Point2, Segment2};
+use serde::{Deserialize, Serialize};
+
+/// A simple planar polygon given as a ring of vertices (not repeated at the
+/// end). Vertices may wind in either direction.
+///
+/// Rooms in the building model are polygons; point containment implements
+/// the location model's "which room is this position in" query.
+///
+/// ```
+/// use perpos_geo::Point2;
+/// use perpos_model::Polygon;
+///
+/// let square = Polygon::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(4.0, 0.0),
+///     Point2::new(4.0, 4.0),
+///     Point2::new(0.0, 4.0),
+/// ]);
+/// assert!(square.contains(&Point2::new(2.0, 2.0)));
+/// assert!(!square.contains(&Point2::new(5.0, 2.0)));
+/// assert!((square.area() - 16.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertex ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are given; a polygon with fewer
+    /// vertices has no interior.
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "a polygon needs at least 3 vertices, got {}",
+            vertices.len()
+        );
+        Polygon { vertices }
+    }
+
+    /// Convenience constructor for an axis-aligned rectangle.
+    pub fn rectangle(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Polygon::new(vec![
+            Point2::new(min_x, min_y),
+            Point2::new(max_x, min_y),
+            Point2::new(max_x, max_y),
+            Point2::new(min_x, max_y),
+        ])
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Iterates over the polygon's edges as segments.
+    pub fn edges(&self) -> impl Iterator<Item = Segment2> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment2::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum / 2.0
+    }
+
+    /// Absolute enclosed area in square metres.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid of the polygon.
+    pub fn centroid(&self) -> Point2 {
+        let a = self.signed_area();
+        if a.abs() < 1e-12 {
+            // Degenerate: fall back to the vertex average.
+            let n = self.vertices.len() as f64;
+            let (sx, sy) = self
+                .vertices
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point2::new(sx / n, sy / n);
+        }
+        let n = self.vertices.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point2::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point2, Point2) {
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+
+    /// Whether the point is inside the polygon (even-odd ray casting).
+    ///
+    /// Points exactly on an edge may report either side; room polygons in
+    /// the building model share edges, and the resolver picks the first
+    /// containing room deterministically.
+    pub fn contains(&self, p: &Point2) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Shortest distance from `p` to the polygon boundary.
+    pub fn distance_to_boundary(&self, p: &Point2) -> f64 {
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> Polygon {
+        Polygon::rectangle(0.0, 0.0, 4.0, 4.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn rejects_degenerate() {
+        let _ = Polygon::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn area_and_centroid_of_square() {
+        let s = square();
+        assert!((s.area() - 16.0).abs() < 1e-12);
+        let c = s.centroid();
+        assert!((c.x - 2.0).abs() < 1e-12 && (c.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winding_direction_does_not_change_area() {
+        let ccw = square();
+        let mut verts = ccw.vertices().to_vec();
+        verts.reverse();
+        let cw = Polygon::new(verts);
+        assert!((ccw.area() - cw.area()).abs() < 1e-12);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+    }
+
+    #[test]
+    fn contains_interior_not_exterior() {
+        let s = square();
+        assert!(s.contains(&Point2::new(0.1, 0.1)));
+        assert!(s.contains(&Point2::new(3.9, 3.9)));
+        assert!(!s.contains(&Point2::new(-0.1, 2.0)));
+        assert!(!s.contains(&Point2::new(2.0, 4.1)));
+    }
+
+    #[test]
+    fn l_shaped_polygon_containment() {
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 2.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ]);
+        assert!(l.contains(&Point2::new(1.0, 3.0)));
+        assert!(l.contains(&Point2::new(3.0, 1.0)));
+        assert!(!l.contains(&Point2::new(3.0, 3.0))); // the notch
+    }
+
+    #[test]
+    fn bounding_box_encloses_vertices() {
+        let l = Polygon::new(vec![
+            Point2::new(-1.0, 2.0),
+            Point2::new(5.0, -3.0),
+            Point2::new(2.0, 7.0),
+        ]);
+        let (min, max) = l.bounding_box();
+        assert_eq!((min.x, min.y), (-1.0, -3.0));
+        assert_eq!((max.x, max.y), (5.0, 7.0));
+    }
+
+    #[test]
+    fn edge_count_matches_vertices() {
+        assert_eq!(square().edges().count(), 4);
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let s = square();
+        assert!((s.distance_to_boundary(&Point2::new(2.0, 2.0)) - 2.0).abs() < 1e-12);
+        assert!((s.distance_to_boundary(&Point2::new(6.0, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Containment is invariant under rotation of the vertex ring.
+        #[test]
+        fn containment_invariant_under_ring_rotation(
+            px in -1.0f64..5.0, py in -1.0f64..5.0, rot in 0usize..4
+        ) {
+            let s = square();
+            let mut verts = s.vertices().to_vec();
+            verts.rotate_left(rot);
+            let rotated = Polygon::new(verts);
+            let p = Point2::new(px, py);
+            // Skip points that sit exactly on the boundary.
+            if s.distance_to_boundary(&p) > 1e-9 {
+                prop_assert_eq!(s.contains(&p), rotated.contains(&p));
+            }
+        }
+
+        /// The centroid of a convex polygon lies inside it.
+        #[test]
+        fn centroid_of_rect_inside(
+            w in 0.5f64..50.0, h in 0.5f64..50.0, ox in -10.0f64..10.0, oy in -10.0f64..10.0
+        ) {
+            let r = Polygon::rectangle(ox, oy, ox + w, oy + h);
+            prop_assert!(r.contains(&r.centroid()));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Encoding of [`Sentence`] values back to NMEA-0183 text.
+//!
+//! The encoder is the inverse of the parser for every modelled sentence
+//! type; the GPS simulator in `perpos-sensors` uses it to emit the raw
+//! strings that flow through the PerPos processing graph.
+
+use crate::parser::checksum;
+use crate::sentence::{FixQuality, GsaFixType, Sentence};
+
+fn encode_time(t: &crate::NmeaTime) -> String {
+    if t.millis == 0 {
+        format!("{:02}{:02}{:02}", t.hour, t.minute, t.second)
+    } else {
+        format!(
+            "{:02}{:02}{:02}.{:03}",
+            t.hour, t.minute, t.second, t.millis
+        )
+    }
+}
+
+fn encode_lat(deg: Option<f64>) -> (String, String) {
+    match deg {
+        None => (String::new(), String::new()),
+        Some(v) => {
+            let hemi = if v >= 0.0 { "N" } else { "S" };
+            let abs = v.abs();
+            let d = abs.floor();
+            let m = (abs - d) * 60.0;
+            (format!("{:02}{:07.4}", d as u32, m), hemi.to_string())
+        }
+    }
+}
+
+fn encode_lon(deg: Option<f64>) -> (String, String) {
+    match deg {
+        None => (String::new(), String::new()),
+        Some(v) => {
+            let hemi = if v >= 0.0 { "E" } else { "W" };
+            let abs = v.abs();
+            let d = abs.floor();
+            let m = (abs - d) * 60.0;
+            (format!("{:03}{:07.4}", d as u32, m), hemi.to_string())
+        }
+    }
+}
+
+fn frame(body: String) -> String {
+    format!("${body}*{:02X}", checksum(&body))
+}
+
+impl Sentence {
+    /// Serializes the sentence to its NMEA-0183 wire format, including the
+    /// leading `$` and the `*hh` checksum (without a trailing newline).
+    ///
+    /// ```
+    /// use perpos_nmea::{parse_sentence, Sentence, Gga, FixQuality, NmeaTime};
+    /// let gga = Gga {
+    ///     time: NmeaTime::new(12, 35, 19, 0),
+    ///     lat_deg: Some(48.1173),
+    ///     lon_deg: Some(11.5167),
+    ///     quality: FixQuality::Gps,
+    ///     num_satellites: 8,
+    ///     hdop: 0.9,
+    ///     altitude_m: 545.4,
+    ///     geoid_separation_m: 46.9,
+    /// };
+    /// let line = Sentence::Gga(gga.clone()).to_nmea_string();
+    /// let reparsed = parse_sentence(&line)?;
+    /// assert_eq!(reparsed.type_code(), "GGA");
+    /// # Ok::<(), perpos_nmea::NmeaError>(())
+    /// ```
+    pub fn to_nmea_string(&self) -> String {
+        match self {
+            Sentence::Gga(g) => {
+                let (lat, ns) = encode_lat(g.lat_deg);
+                let (lon, ew) = encode_lon(g.lon_deg);
+                frame(format!(
+                    "GPGGA,{},{},{},{},{},{},{:02},{:.1},{:.1},M,{:.1},M,,",
+                    encode_time(&g.time),
+                    lat,
+                    ns,
+                    lon,
+                    ew,
+                    g.quality.as_u8(),
+                    g.num_satellites,
+                    g.hdop,
+                    g.altitude_m,
+                    g.geoid_separation_m,
+                ))
+            }
+            Sentence::Rmc(r) => {
+                let (lat, ns) = encode_lat(r.lat_deg);
+                let (lon, ew) = encode_lon(r.lon_deg);
+                frame(format!(
+                    "GPRMC,{},{},{},{},{},{},{:.1},{:.1},{},,",
+                    encode_time(&r.time),
+                    if r.valid { "A" } else { "V" },
+                    lat,
+                    ns,
+                    lon,
+                    ew,
+                    r.speed_knots,
+                    r.course_deg,
+                    r.date,
+                ))
+            }
+            Sentence::Gsa(g) => {
+                let mut prn_fields = vec![String::new(); 12];
+                for (i, prn) in g.prns.iter().take(12).enumerate() {
+                    prn_fields[i] = format!("{prn:02}");
+                }
+                let fix = match g.fix_type {
+                    GsaFixType::NoFix => 1,
+                    GsaFixType::Fix2d => 2,
+                    GsaFixType::Fix3d => 3,
+                };
+                frame(format!(
+                    "GPGSA,{},{},{},{:.1},{:.1},{:.1}",
+                    if g.auto_selection { "A" } else { "M" },
+                    fix,
+                    prn_fields.join(","),
+                    g.pdop,
+                    g.hdop,
+                    g.vdop,
+                ))
+            }
+            Sentence::Gsv(g) => {
+                let mut body = format!(
+                    "GPGSV,{},{},{:02}",
+                    g.total_messages, g.message_number, g.satellites_in_view
+                );
+                for s in g.satellites.iter().take(4) {
+                    body.push_str(&format!(
+                        ",{:02},{:02},{:03},{}",
+                        s.prn,
+                        s.elevation_deg,
+                        s.azimuth_deg,
+                        s.snr_db.map(|v| format!("{v:02}")).unwrap_or_default(),
+                    ));
+                }
+                frame(body)
+            }
+            Sentence::Vtg(v) => frame(format!(
+                "GPVTG,{:.1},T,,M,{:.1},N,{:.1},K",
+                v.course_true_deg, v.speed_knots, v.speed_kmh,
+            )),
+            Sentence::Unknown {
+                talker_and_type,
+                fields,
+            } => {
+                let mut body = talker_and_type.clone();
+                for f in fields {
+                    body.push(',');
+                    body.push_str(f);
+                }
+                frame(body)
+            }
+        }
+    }
+}
+
+/// Re-encode of `FixQuality` used by the simulator when it degrades fixes.
+impl From<FixQuality> for u8 {
+    fn from(q: FixQuality) -> u8 {
+        q.as_u8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sentence;
+    use crate::sentence::{Gga, Gsa, Gsv, NmeaTime, Rmc, SatelliteInfo, Vtg};
+    use proptest::prelude::*;
+
+    #[test]
+    fn gga_round_trip() {
+        let gga = Gga {
+            time: NmeaTime::new(1, 2, 3, 0),
+            lat_deg: Some(56.172),
+            lon_deg: Some(-10.187),
+            quality: FixQuality::Dgps,
+            num_satellites: 7,
+            hdop: 1.2,
+            altitude_m: 31.0,
+            geoid_separation_m: 40.1,
+        };
+        let line = Sentence::Gga(gga.clone()).to_nmea_string();
+        let Sentence::Gga(back) = parse_sentence(&line).unwrap() else {
+            panic!("not GGA: {line}");
+        };
+        assert_eq!(back.num_satellites, gga.num_satellites);
+        assert_eq!(back.quality, gga.quality);
+        assert!((back.lat_deg.unwrap() - 56.172).abs() < 1e-5);
+        assert!((back.lon_deg.unwrap() - (-10.187)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_gga_round_trip_keeps_empty_position() {
+        let gga = Gga::default();
+        let line = Sentence::Gga(gga).to_nmea_string();
+        let Sentence::Gga(back) = parse_sentence(&line).unwrap() else {
+            panic!("not GGA");
+        };
+        assert_eq!(back.lat_deg, None);
+        assert!(!back.quality.has_fix());
+    }
+
+    #[test]
+    fn rmc_round_trip() {
+        let rmc = Rmc {
+            time: NmeaTime::new(23, 59, 59, 0),
+            valid: true,
+            lat_deg: Some(-33.9),
+            lon_deg: Some(151.2),
+            speed_knots: 4.5,
+            course_deg: 270.0,
+            date: "010170".into(),
+        };
+        let line = Sentence::Rmc(rmc.clone()).to_nmea_string();
+        let Sentence::Rmc(back) = parse_sentence(&line).unwrap() else {
+            panic!("not RMC: {line}");
+        };
+        assert!(back.valid);
+        assert!((back.lat_deg.unwrap() + 33.9).abs() < 1e-5);
+        assert!((back.speed_knots - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gsa_round_trip() {
+        let gsa = Gsa {
+            auto_selection: true,
+            fix_type: GsaFixType::Fix3d,
+            prns: vec![1, 2, 3],
+            pdop: 2.0,
+            hdop: 1.0,
+            vdop: 1.7,
+        };
+        let line = Sentence::Gsa(gsa.clone()).to_nmea_string();
+        let Sentence::Gsa(back) = parse_sentence(&line).unwrap() else {
+            panic!("not GSA: {line}");
+        };
+        assert_eq!(back.prns, gsa.prns);
+        assert_eq!(back.fix_type, GsaFixType::Fix3d);
+    }
+
+    #[test]
+    fn gsv_round_trip() {
+        let gsv = Gsv {
+            total_messages: 1,
+            message_number: 1,
+            satellites_in_view: 2,
+            satellites: vec![
+                SatelliteInfo {
+                    prn: 4,
+                    elevation_deg: 60,
+                    azimuth_deg: 120,
+                    snr_db: Some(42),
+                },
+                SatelliteInfo {
+                    prn: 9,
+                    elevation_deg: 15,
+                    azimuth_deg: 310,
+                    snr_db: None,
+                },
+            ],
+        };
+        let line = Sentence::Gsv(gsv.clone()).to_nmea_string();
+        let Sentence::Gsv(back) = parse_sentence(&line).unwrap() else {
+            panic!("not GSV: {line}");
+        };
+        assert_eq!(back.satellites.len(), 2);
+        assert_eq!(back.satellites[0].snr_db, Some(42));
+        assert_eq!(back.satellites[1].snr_db, None);
+    }
+
+    #[test]
+    fn vtg_round_trip() {
+        let vtg = Vtg {
+            course_true_deg: 12.5,
+            speed_knots: 3.2,
+            speed_kmh: 5.9,
+        };
+        let line = Sentence::Vtg(vtg).to_nmea_string();
+        let Sentence::Vtg(back) = parse_sentence(&line).unwrap() else {
+            panic!("not VTG: {line}");
+        };
+        assert!((back.speed_kmh - 5.9).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn gga_position_round_trips(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.0,
+            sats in 0u8..13,
+            hdop in 0.5f64..20.0,
+        ) {
+            let gga = Gga {
+                time: NmeaTime::new(10, 20, 30, 0),
+                lat_deg: Some(lat),
+                lon_deg: Some(lon),
+                quality: FixQuality::Gps,
+                num_satellites: sats,
+                hdop,
+                altitude_m: 10.0,
+                geoid_separation_m: 0.0,
+            };
+            let line = Sentence::Gga(gga).to_nmea_string();
+            let Sentence::Gga(back) = parse_sentence(&line).unwrap() else {
+                panic!("not GGA");
+            };
+            // 4 decimal minute digits give ~0.2 m resolution -> 1e-5 deg slack.
+            prop_assert!((back.lat_deg.unwrap() - lat).abs() < 2e-5);
+            prop_assert!((back.lon_deg.unwrap() - lon).abs() < 2e-5);
+            prop_assert_eq!(back.num_satellites, sats);
+            prop_assert!((back.hdop - hdop).abs() < 0.05 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing NMEA-0183 data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmeaError {
+    /// The sentence does not start with `$`.
+    MissingStartDelimiter,
+    /// The `*hh` checksum suffix is absent.
+    MissingChecksum,
+    /// The checksum suffix is not two hex digits.
+    MalformedChecksum(String),
+    /// The computed checksum differs from the transmitted one.
+    ChecksumMismatch {
+        /// Checksum computed over the sentence body.
+        computed: u8,
+        /// Checksum transmitted in the sentence.
+        transmitted: u8,
+    },
+    /// The sentence has fewer fields than the sentence type requires.
+    TooFewFields {
+        /// Sentence type, e.g. `"GGA"`.
+        sentence: &'static str,
+        /// Number of fields found.
+        got: usize,
+        /// Number of fields required.
+        need: usize,
+    },
+    /// A field could not be parsed.
+    InvalidField {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The raw field text.
+        value: String,
+    },
+    /// The sentence exceeds the NMEA maximum length of 82 characters.
+    SentenceTooLong(usize),
+}
+
+impl fmt::Display for NmeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmeaError::MissingStartDelimiter => write!(f, "sentence does not start with '$'"),
+            NmeaError::MissingChecksum => write!(f, "sentence has no '*hh' checksum"),
+            NmeaError::MalformedChecksum(s) => write!(f, "malformed checksum suffix {s:?}"),
+            NmeaError::ChecksumMismatch {
+                computed,
+                transmitted,
+            } => write!(
+                f,
+                "checksum mismatch: computed {computed:02X}, transmitted {transmitted:02X}"
+            ),
+            NmeaError::TooFewFields {
+                sentence,
+                got,
+                need,
+            } => write!(f, "{sentence} sentence has {got} fields, needs {need}"),
+            NmeaError::InvalidField { field, value } => {
+                write!(f, "invalid {field} field {value:?}")
+            }
+            NmeaError::SentenceTooLong(n) => {
+                write!(f, "sentence length {n} exceeds the NMEA maximum of 82")
+            }
+        }
+    }
+}
+
+impl Error for NmeaError {}

@@ -1,0 +1,47 @@
+//! NMEA-0183 substrate for the PerPos positioning middleware.
+//!
+//! GPS receivers deliver their measurements as a byte stream of NMEA-0183
+//! sentences. In the PerPos processing graph (paper Fig. 1/4) a *Parser*
+//! component turns raw strings into structured sentences, from which an
+//! *Interpreter* derives WGS-84 positions, and Component Features extract
+//! seam information such as HDOP and satellite counts (paper §3.1, Fig. 5).
+//!
+//! This crate provides:
+//!
+//! * the sentence data model ([`Sentence`], [`Gga`], [`Rmc`], …),
+//! * a validating parser ([`parse_sentence`]) and encoder
+//!   ([`Sentence::to_nmea_string`]) that round-trip,
+//! * a streaming [`SentenceSplitter`] that re-frames arbitrary byte chunks
+//!   into complete sentences, as delivered by a serial port.
+//!
+//! # Examples
+//!
+//! ```
+//! use perpos_nmea::{parse_sentence, Sentence};
+//!
+//! let line = "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47";
+//! match parse_sentence(line)? {
+//!     Sentence::Gga(gga) => {
+//!         assert_eq!(gga.num_satellites, 8);
+//!         assert!((gga.hdop - 0.9).abs() < 1e-9);
+//!     }
+//!     other => panic!("expected GGA, got {other:?}"),
+//! }
+//! # Ok::<(), perpos_nmea::NmeaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod error;
+mod parser;
+mod sentence;
+mod splitter;
+
+pub use error::NmeaError;
+pub use parser::{checksum, parse_sentence, verify_checksum};
+pub use sentence::{
+    FixQuality, Gga, Gsa, GsaFixType, Gsv, NmeaTime, Rmc, SatelliteInfo, Sentence, Vtg,
+};
+pub use splitter::SentenceSplitter;

@@ -1,0 +1,164 @@
+use bytes::{Buf, BytesMut};
+
+/// Incremental re-framer from raw bytes to complete NMEA sentences.
+///
+/// A serial GPS delivers bytes in arbitrary chunks; the PerPos GPS sensor
+/// component feeds those chunks in with [`SentenceSplitter::push`] and
+/// drains complete `$...\n`-terminated lines with
+/// [`SentenceSplitter::next_sentence`]. Garbage before the first `$` of a
+/// line (noise, partial power-up output) is discarded, mirroring how real
+/// receivers resynchronize.
+///
+/// ```
+/// use perpos_nmea::SentenceSplitter;
+/// let mut s = SentenceSplitter::new();
+/// s.push(b"noise$GPGGA,1");
+/// assert_eq!(s.next_sentence(), None); // incomplete
+/// s.push(b"23*00\r\n$GPR");
+/// assert_eq!(s.next_sentence().as_deref(), Some("$GPGGA,123*00"));
+/// assert_eq!(s.next_sentence(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SentenceSplitter {
+    buf: BytesMut,
+}
+
+impl SentenceSplitter {
+    /// Creates an empty splitter.
+    pub fn new() -> Self {
+        SentenceSplitter::default()
+    }
+
+    /// Appends a chunk of raw bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered (not yet framed) bytes.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete sentence, without the trailing line
+    /// terminator, or `None` when no complete line is buffered.
+    ///
+    /// Non-UTF-8 lines and lines not containing a `$` are silently dropped,
+    /// matching receiver resynchronization behaviour.
+    pub fn next_sentence(&mut self) -> Option<String> {
+        loop {
+            let newline = self.buf.iter().position(|&b| b == b'\n')?;
+            let mut line: &[u8] = &self.buf[..newline];
+            // Resynchronize at the byte level: drop everything before the
+            // first '$' so binary noise ahead of a sentence cannot poison
+            // the UTF-8 check of the sentence itself.
+            if let Some(dollar) = line.iter().position(|&b| b == b'$') {
+                line = &line[dollar..];
+            } else {
+                line = &[];
+            }
+            let line: Vec<u8> = line.to_vec();
+            self.buf.advance(newline + 1);
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(text) = String::from_utf8(line) else {
+                continue;
+            };
+            let trimmed = text.trim_end_matches('\r');
+            if !trimmed.is_empty() {
+                return Some(trimmed.to_string());
+            }
+        }
+    }
+
+    /// Drains all complete sentences currently buffered.
+    pub fn drain(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next_sentence() {
+            out.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_multiple_lines() {
+        let mut s = SentenceSplitter::new();
+        s.push(b"$A,1*00\r\n$B,2*00\r\n");
+        assert_eq!(s.drain(), vec!["$A,1*00", "$B,2*00"]);
+    }
+
+    #[test]
+    fn discards_leading_garbage() {
+        let mut s = SentenceSplitter::new();
+        s.push(b"\xff\xfe$A*00\n");
+        assert_eq!(s.next_sentence().as_deref(), Some("$A*00"));
+    }
+
+    #[test]
+    fn drops_lines_without_dollar() {
+        let mut s = SentenceSplitter::new();
+        s.push(b"hello\n$A*00\n");
+        assert_eq!(s.next_sentence().as_deref(), Some("$A*00"));
+        assert_eq!(s.next_sentence(), None);
+    }
+
+    #[test]
+    fn drops_invalid_utf8_lines() {
+        let mut s = SentenceSplitter::new();
+        s.push(b"$A\xff\xff\n$B*00\n");
+        assert_eq!(s.next_sentence().as_deref(), Some("$B*00"));
+    }
+
+    #[test]
+    fn handles_byte_at_a_time_delivery() {
+        let mut s = SentenceSplitter::new();
+        for b in b"$GPGGA,1,2*33\r\n" {
+            s.push(&[*b]);
+        }
+        assert_eq!(s.next_sentence().as_deref(), Some("$GPGGA,1,2*33"));
+    }
+
+    #[test]
+    fn empty_line_is_skipped() {
+        let mut s = SentenceSplitter::new();
+        s.push(b"\r\n\r\n$X*00\n");
+        assert_eq!(s.next_sentence().as_deref(), Some("$X*00"));
+    }
+
+    proptest! {
+        /// Arbitrary binary input never panics the splitter and every
+        /// produced sentence starts with '$'.
+        #[test]
+        fn arbitrary_bytes_never_panic(chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..10
+        )) {
+            let mut s = SentenceSplitter::new();
+            for c in &chunks {
+                s.push(c);
+            }
+            for sentence in s.drain() {
+                prop_assert!(sentence.starts_with('$'));
+            }
+        }
+
+        /// Whatever the chunk boundaries, the reassembled sentences match.
+        #[test]
+        fn chunking_is_transparent(cut in 1usize..30) {
+            let stream = b"$GPGGA,A*11\r\n$GPRMC,B*22\r\n$GPGSV,C*33\r\n";
+            let mut s = SentenceSplitter::new();
+            for chunk in stream.chunks(cut) {
+                s.push(chunk);
+            }
+            prop_assert_eq!(
+                s.drain(),
+                vec!["$GPGGA,A*11".to_string(), "$GPRMC,B*22".to_string(), "$GPGSV,C*33".to_string()]
+            );
+        }
+    }
+}

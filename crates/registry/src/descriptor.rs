@@ -1,0 +1,227 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A capability a service offers: a namespace name plus free-form
+/// properties, e.g. `data.position {format: "wgs84", source: "gps"}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capability {
+    name: String,
+    properties: BTreeMap<String, String>,
+}
+
+impl Capability {
+    /// Creates a capability in the given namespace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Capability {
+            name: name.into(),
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a property (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.insert(key.into(), value.into());
+        self
+    }
+
+    /// The capability namespace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a property value.
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties.get(key).map(String::as_str)
+    }
+
+    /// All properties.
+    pub fn properties(&self) -> &BTreeMap<String, String> {
+        &self.properties
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.properties.is_empty() {
+            write!(f, "{:?}", self.properties)?;
+        }
+        Ok(())
+    }
+}
+
+/// A requirement a service must have satisfied before it can resolve.
+///
+/// A requirement matches a [`Capability`] when the namespaces are equal and
+/// every constraint property equals the capability's value for that key.
+/// Optional requirements never block resolution but are wired when
+/// satisfiable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Requirement {
+    name: String,
+    constraints: BTreeMap<String, String>,
+    optional: bool,
+}
+
+impl Requirement {
+    /// Creates a mandatory requirement on a capability namespace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Requirement {
+            name: name.into(),
+            constraints: BTreeMap::new(),
+            optional: false,
+        }
+    }
+
+    /// Adds an equality constraint on a capability property.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.constraints.insert(key.into(), value.into());
+        self
+    }
+
+    /// Marks the requirement optional: it will be wired when possible but
+    /// does not block resolution.
+    pub fn optional(mut self) -> Self {
+        self.optional = true;
+        self
+    }
+
+    /// The required capability namespace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this requirement is optional.
+    pub fn is_optional(&self) -> bool {
+        self.optional
+    }
+
+    /// Whether `cap` satisfies this requirement.
+    pub fn matches(&self, cap: &Capability) -> bool {
+        cap.name() == self.name
+            && self
+                .constraints
+                .iter()
+                .all(|(k, v)| cap.property(k) == Some(v.as_str()))
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if self.optional {
+            write!(f, "?")?;
+        }
+        if !self.constraints.is_empty() {
+            write!(f, "{:?}", self.constraints)?;
+        }
+        Ok(())
+    }
+}
+
+/// Declarative description of a service: its name, what it provides and
+/// what it requires. The registry uses it for dependency resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceDescriptor {
+    name: String,
+    provides: Vec<Capability>,
+    requires: Vec<Requirement>,
+}
+
+impl ServiceDescriptor {
+    /// Creates a descriptor for a named service.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceDescriptor {
+            name: name.into(),
+            provides: Vec::new(),
+            requires: Vec::new(),
+        }
+    }
+
+    /// Adds a provided capability (builder style).
+    pub fn provides(mut self, cap: Capability) -> Self {
+        self.provides.push(cap);
+        self
+    }
+
+    /// Adds a requirement (builder style).
+    pub fn requires(mut self, req: Requirement) -> Self {
+        self.requires.push(req);
+        self
+    }
+
+    /// The service name (not necessarily unique).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Provided capabilities.
+    pub fn capabilities(&self) -> &[Capability] {
+        &self.provides
+    }
+
+    /// Declared requirements.
+    pub fn requirements(&self) -> &[Requirement] {
+        &self.requires
+    }
+}
+
+impl fmt::Display for ServiceDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (provides {}, requires {})",
+            self.name,
+            self.provides.len(),
+            self.requires.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirement_matches_namespace_and_properties() {
+        let cap = Capability::new("data.position")
+            .with("format", "wgs84")
+            .with("source", "gps");
+        assert!(Requirement::new("data.position").matches(&cap));
+        assert!(Requirement::new("data.position")
+            .with("format", "wgs84")
+            .matches(&cap));
+        assert!(!Requirement::new("data.position")
+            .with("format", "roomid")
+            .matches(&cap));
+        assert!(!Requirement::new("data.nmea").matches(&cap));
+        assert!(!Requirement::new("data.position")
+            .with("accuracy", "high")
+            .matches(&cap));
+    }
+
+    #[test]
+    fn optional_flag() {
+        let r = Requirement::new("x").optional();
+        assert!(r.is_optional());
+        assert!(!Requirement::new("x").is_optional());
+    }
+
+    #[test]
+    fn descriptor_builder_accumulates() {
+        let d = ServiceDescriptor::new("svc")
+            .provides(Capability::new("a"))
+            .provides(Capability::new("b"))
+            .requires(Requirement::new("c"));
+        assert_eq!(d.capabilities().len(), 2);
+        assert_eq!(d.requirements().len(), 1);
+        assert_eq!(d.name(), "svc");
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert!(!format!("{}", Capability::new("a").with("k", "v")).is_empty());
+        assert!(!format!("{}", Requirement::new("a").optional()).is_empty());
+        assert!(!format!("{}", ServiceDescriptor::new("s")).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! An OSGi-like dynamic service registry for the PerPos middleware.
+//!
+//! The paper realizes PerPos "on top of the OSGi service platform", mapping
+//! processing components to service components and using "the dynamic
+//! composition mechanisms of OSGi … for connecting the components" (§3).
+//! This crate reproduces the middleware-relevant subset of that substrate:
+//!
+//! * services declare provided [`Capability`]s and required
+//!   [`Requirement`]s (property-based matching),
+//! * the [`Registry`] resolves requirements against capabilities
+//!   dynamically as services come and go,
+//! * resolution state changes cascade (unregistering a provider unresolves
+//!   its dependents), and
+//! * every lifecycle transition is published as a [`ServiceEvent`] on
+//!   subscriber channels.
+//!
+//! `perpos-core` registers Processing Component factories here so that
+//! custom components are "added to the processing graph appropriately"
+//! once their declared dependencies are satisfied (paper §2.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use perpos_registry::{Capability, Registry, Requirement, ServiceDescriptor};
+//!
+//! let registry: Registry<&'static str> = Registry::new();
+//! let parser = registry.register(
+//!     ServiceDescriptor::new("parser")
+//!         .provides(Capability::new("data.nmea"))
+//!         .requires(Requirement::new("data.raw")),
+//!     "parser-impl",
+//! );
+//! // The parser's requirement is unsatisfied until a raw source appears.
+//! assert!(!registry.is_resolved(parser));
+//! registry.register(
+//!     ServiceDescriptor::new("gps").provides(Capability::new("data.raw")),
+//!     "gps-impl",
+//! );
+//! assert!(registry.is_resolved(parser));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descriptor;
+mod registry;
+
+pub use descriptor::{Capability, Requirement, ServiceDescriptor};
+pub use registry::{Registry, RegistryError, ServiceEvent, ServiceId, ServiceState, Wire};

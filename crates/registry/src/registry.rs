@@ -1,0 +1,606 @@
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Requirement, ServiceDescriptor};
+
+/// Opaque identifier of a registered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(u64);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceState {
+    /// Registered but with unsatisfied mandatory requirements.
+    Registered,
+    /// All mandatory requirements wired to providers.
+    Resolved,
+}
+
+/// A resolved wiring from one service's requirement to a provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    /// The requirement that was satisfied.
+    pub requirement: Requirement,
+    /// The service providing the matching capability.
+    pub provider: ServiceId,
+}
+
+/// Lifecycle event broadcast to registry subscribers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A service was registered.
+    Registered(ServiceId),
+    /// A service transitioned to [`ServiceState::Resolved`].
+    Resolved(ServiceId),
+    /// A previously resolved service lost a mandatory provider.
+    Unresolved(ServiceId),
+    /// A service was unregistered.
+    Unregistered(ServiceId),
+}
+
+/// Error type for registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The service id is not (or no longer) registered.
+    UnknownService(ServiceId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownService(id) => write!(f, "unknown service {id}"),
+        }
+    }
+}
+
+impl Error for RegistryError {}
+
+struct Entry<T> {
+    descriptor: ServiceDescriptor,
+    payload: T,
+    state: ServiceState,
+    wires: Vec<Wire>,
+}
+
+struct Inner<T> {
+    next_id: u64,
+    services: BTreeMap<ServiceId, Entry<T>>,
+    subscribers: Vec<Sender<ServiceEvent>>,
+}
+
+/// A dynamic service registry with OSGi-style dependency resolution.
+///
+/// `T` is the service payload (an implementation handle, factory, …).
+/// The registry is `Send + Sync`; handles can be cloned cheaply.
+///
+/// Resolution semantics:
+///
+/// * A service is *resolved* when every mandatory requirement matches a
+///   capability of some **other, itself resolved** service (self-wiring is
+///   not allowed), so pipelines resolve leaf-first and resolution is
+///   transitive. The lowest-id matching provider is chosen, making
+///   resolution deterministic.
+/// * Registering a service re-evaluates everything unresolved (new
+///   capabilities may satisfy old requirements).
+/// * Unregistering a provider re-evaluates its dependents, cascading
+///   [`ServiceEvent::Unresolved`] events as needed.
+pub struct Registry<T> {
+    inner: Arc<RwLock<Inner<T>>>,
+}
+
+impl<T> Clone for Registry<T> {
+    fn clone(&self) -> Self {
+        Registry {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl<T> fmt::Debug for Registry<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Registry")
+            .field("services", &inner.services.len())
+            .field("subscribers", &inner.subscribers.len())
+            .finish()
+    }
+}
+
+impl<T> Registry<T> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RwLock::new(Inner {
+                next_id: 1,
+                services: BTreeMap::new(),
+                subscribers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers a service and triggers a resolution pass.
+    ///
+    /// Returns the new service's id. Emits [`ServiceEvent::Registered`]
+    /// and possibly a batch of [`ServiceEvent::Resolved`] events.
+    pub fn register(&self, descriptor: ServiceDescriptor, payload: T) -> ServiceId {
+        let mut inner = self.inner.write();
+        let id = ServiceId(inner.next_id);
+        inner.next_id += 1;
+        inner.services.insert(
+            id,
+            Entry {
+                descriptor,
+                payload,
+                state: ServiceState::Registered,
+                wires: Vec::new(),
+            },
+        );
+        let mut events = vec![ServiceEvent::Registered(id)];
+        Self::resolve_all(&mut inner, &mut events);
+        Self::publish(&mut inner, events);
+        id
+    }
+
+    /// Unregisters a service, rewiring or unresolving dependents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownService`] when `id` is not
+    /// registered.
+    pub fn unregister(&self, id: ServiceId) -> Result<T, RegistryError> {
+        let mut inner = self.inner.write();
+        let entry = inner
+            .services
+            .remove(&id)
+            .ok_or(RegistryError::UnknownService(id))?;
+        let mut events = vec![ServiceEvent::Unregistered(id)];
+        Self::unresolve_dependents_of(&mut inner, id, &mut events);
+        Self::resolve_all(&mut inner, &mut events);
+        Self::publish(&mut inner, events);
+        Ok(entry.payload)
+    }
+
+    /// Whether the service is currently resolved.
+    pub fn is_resolved(&self, id: ServiceId) -> bool {
+        self.inner
+            .read()
+            .services
+            .get(&id)
+            .is_some_and(|e| e.state == ServiceState::Resolved)
+    }
+
+    /// The lifecycle state of a service.
+    pub fn state(&self, id: ServiceId) -> Option<ServiceState> {
+        self.inner.read().services.get(&id).map(|e| e.state)
+    }
+
+    /// The descriptor of a service.
+    pub fn descriptor(&self, id: ServiceId) -> Option<ServiceDescriptor> {
+        self.inner
+            .read()
+            .services
+            .get(&id)
+            .map(|e| e.descriptor.clone())
+    }
+
+    /// Current wires of a service (empty when unresolved).
+    pub fn wires(&self, id: ServiceId) -> Vec<Wire> {
+        self.inner
+            .read()
+            .services
+            .get(&id)
+            .map(|e| e.wires.clone())
+            .unwrap_or_default()
+    }
+
+    /// Ids of all registered services in registration order.
+    pub fn service_ids(&self) -> Vec<ServiceId> {
+        self.inner.read().services.keys().copied().collect()
+    }
+
+    /// Ids of services whose descriptor provides a capability in the given
+    /// namespace.
+    pub fn providers_of(&self, namespace: &str) -> Vec<ServiceId> {
+        self.inner
+            .read()
+            .services
+            .iter()
+            .filter(|(_, e)| {
+                e.descriptor
+                    .capabilities()
+                    .iter()
+                    .any(|c| c.name() == namespace)
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Subscribes to lifecycle events. Each subscriber receives every
+    /// event from the moment of subscription.
+    pub fn subscribe(&self) -> Receiver<ServiceEvent> {
+        let (tx, rx) = unbounded();
+        self.inner.write().subscribers.push(tx);
+        rx
+    }
+
+    /// Applies `f` to the payload of a service.
+    pub fn with_payload<R>(&self, id: ServiceId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let inner = self.inner.read();
+        inner.services.get(&id).map(|e| f(&e.payload))
+    }
+
+    fn publish(inner: &mut Inner<T>, events: Vec<ServiceEvent>) {
+        inner
+            .subscribers
+            .retain(|tx| events.iter().all(|e| tx.send(e.clone()).is_ok()));
+    }
+
+    /// Cascading unresolution: any resolved service wired (directly or
+    /// transitively) to `departed`, or to a provider that becomes
+    /// unresolved in the process, drops back to `Registered`.
+    fn unresolve_dependents_of(
+        inner: &mut Inner<T>,
+        departed: ServiceId,
+        events: &mut Vec<ServiceEvent>,
+    ) {
+        loop {
+            let victim = inner.services.iter().find_map(|(sid, e)| {
+                let broken = e.state == ServiceState::Resolved
+                    && e.wires.iter().any(|w| {
+                        w.provider == departed
+                            || inner
+                                .services
+                                .get(&w.provider)
+                                .is_none_or(|p| p.state != ServiceState::Resolved)
+                    });
+                broken.then_some(*sid)
+            });
+            let Some(sid) = victim else { break };
+            let e = inner.services.get_mut(&sid).expect("victim exists");
+            e.state = ServiceState::Registered;
+            e.wires.clear();
+            events.push(ServiceEvent::Unresolved(sid));
+        }
+    }
+
+    /// Fixed-point resolution pass over all unresolved services.
+    ///
+    /// Requirements wire only to *resolved* providers, so resolution is
+    /// transitive: a pipeline resolves leaf-first.
+    fn resolve_all(inner: &mut Inner<T>, events: &mut Vec<ServiceEvent>) {
+        loop {
+            let mut progressed = false;
+            let ids: Vec<ServiceId> = inner.services.keys().copied().collect();
+            for id in ids {
+                let entry = &inner.services[&id];
+                if entry.state == ServiceState::Resolved {
+                    continue;
+                }
+                let mut wires = Vec::new();
+                let mut satisfied = true;
+                for req in entry.descriptor.requirements() {
+                    let provider = inner
+                        .services
+                        .iter()
+                        .filter(|(pid, pe)| **pid != id && pe.state == ServiceState::Resolved)
+                        .find(|(_, pe)| {
+                            pe.descriptor.capabilities().iter().any(|c| req.matches(c))
+                        })
+                        .map(|(pid, _)| *pid);
+                    match provider {
+                        Some(pid) => wires.push(Wire {
+                            requirement: req.clone(),
+                            provider: pid,
+                        }),
+                        None if req.is_optional() => {}
+                        None => {
+                            satisfied = false;
+                            break;
+                        }
+                    }
+                }
+                if satisfied {
+                    let e = inner.services.get_mut(&id).expect("id just enumerated");
+                    e.state = ServiceState::Resolved;
+                    e.wires = wires;
+                    events.push(ServiceEvent::Resolved(id));
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Capability;
+
+    fn desc(name: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(name)
+    }
+
+    #[test]
+    fn standalone_service_resolves_immediately() {
+        let r: Registry<()> = Registry::new();
+        let id = r.register(desc("lonely"), ());
+        assert!(r.is_resolved(id));
+        assert_eq!(r.state(id), Some(ServiceState::Resolved));
+    }
+
+    #[test]
+    fn requirement_blocks_until_provider_appears() {
+        let r: Registry<()> = Registry::new();
+        let consumer = r.register(desc("c").requires(Requirement::new("cap.x")), ());
+        assert!(!r.is_resolved(consumer));
+        let provider = r.register(desc("p").provides(Capability::new("cap.x")), ());
+        assert!(r.is_resolved(consumer));
+        assert_eq!(r.wires(consumer)[0].provider, provider);
+    }
+
+    #[test]
+    fn optional_requirement_does_not_block() {
+        let r: Registry<()> = Registry::new();
+        let id = r.register(desc("c").requires(Requirement::new("cap.x").optional()), ());
+        assert!(r.is_resolved(id));
+        assert!(r.wires(id).is_empty());
+    }
+
+    #[test]
+    fn no_self_wiring() {
+        let r: Registry<()> = Registry::new();
+        let id = r.register(
+            desc("self")
+                .provides(Capability::new("cap.x"))
+                .requires(Requirement::new("cap.x")),
+            (),
+        );
+        assert!(!r.is_resolved(id));
+    }
+
+    #[test]
+    fn chain_resolves_transitively() {
+        let r: Registry<()> = Registry::new();
+        let app = r.register(desc("app").requires(Requirement::new("position")), ());
+        let interp = r.register(
+            desc("interpreter")
+                .provides(Capability::new("position"))
+                .requires(Requirement::new("nmea")),
+            (),
+        );
+        let parser = r.register(
+            desc("parser")
+                .provides(Capability::new("nmea"))
+                .requires(Requirement::new("raw")),
+            (),
+        );
+        assert!(!r.is_resolved(app));
+        let gps = r.register(desc("gps").provides(Capability::new("raw")), ());
+        for id in [app, interp, parser, gps] {
+            assert!(r.is_resolved(id), "{id} should be resolved");
+        }
+    }
+
+    #[test]
+    fn unregister_cascades_unresolve() {
+        let r: Registry<()> = Registry::new();
+        let consumer = r.register(desc("c").requires(Requirement::new("cap.x")), ());
+        let provider = r.register(desc("p").provides(Capability::new("cap.x")), ());
+        assert!(r.is_resolved(consumer));
+        r.unregister(provider).unwrap();
+        assert!(!r.is_resolved(consumer));
+        assert!(r.wires(consumer).is_empty());
+    }
+
+    #[test]
+    fn unregister_rewires_to_alternative_provider() {
+        let r: Registry<()> = Registry::new();
+        let consumer = r.register(desc("c").requires(Requirement::new("cap.x")), ());
+        let p1 = r.register(desc("p1").provides(Capability::new("cap.x")), ());
+        let _p2 = r.register(desc("p2").provides(Capability::new("cap.x")), ());
+        assert_eq!(r.wires(consumer)[0].provider, p1);
+        r.unregister(p1).unwrap();
+        // Consumer drops to Registered then immediately re-resolves to p2.
+        assert!(r.is_resolved(consumer));
+        assert_ne!(r.wires(consumer)[0].provider, p1);
+    }
+
+    #[test]
+    fn unregister_unknown_errors() {
+        let r: Registry<()> = Registry::new();
+        let id = r.register(desc("s"), ());
+        r.unregister(id).unwrap();
+        assert_eq!(r.unregister(id), Err(RegistryError::UnknownService(id)));
+    }
+
+    #[test]
+    fn property_constrained_matching() {
+        let r: Registry<()> = Registry::new();
+        let consumer = r.register(
+            desc("c").requires(Requirement::new("position").with("format", "wgs84")),
+            (),
+        );
+        r.register(
+            desc("room-provider").provides(Capability::new("position").with("format", "roomid")),
+            (),
+        );
+        assert!(!r.is_resolved(consumer));
+        r.register(
+            desc("gps-provider").provides(Capability::new("position").with("format", "wgs84")),
+            (),
+        );
+        assert!(r.is_resolved(consumer));
+    }
+
+    #[test]
+    fn events_are_published_in_order() {
+        let r: Registry<()> = Registry::new();
+        let rx = r.subscribe();
+        let consumer = r.register(desc("c").requires(Requirement::new("cap.x")), ());
+        let provider = r.register(desc("p").provides(Capability::new("cap.x")), ());
+        r.unregister(provider).unwrap();
+        let events: Vec<ServiceEvent> = rx.try_iter().collect();
+        assert_eq!(
+            events,
+            vec![
+                ServiceEvent::Registered(consumer),
+                ServiceEvent::Registered(provider),
+                ServiceEvent::Resolved(provider),
+                ServiceEvent::Resolved(consumer),
+                ServiceEvent::Unregistered(provider),
+                ServiceEvent::Unresolved(consumer),
+            ]
+        );
+    }
+
+    #[test]
+    fn resolution_is_registration_order_independent() {
+        // Register in two different orders; final resolution states agree.
+        for order in [[0usize, 1, 2], [2, 1, 0]] {
+            let r: Registry<usize> = Registry::new();
+            let descs = [
+                desc("app").requires(Requirement::new("position")),
+                desc("interp")
+                    .provides(Capability::new("position"))
+                    .requires(Requirement::new("raw")),
+                desc("gps").provides(Capability::new("raw")),
+            ];
+            let mut ids = Vec::new();
+            for &i in &order {
+                ids.push(r.register(descs[i].clone(), i));
+            }
+            for id in ids {
+                assert!(r.is_resolved(id), "order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_access() {
+        let r: Registry<String> = Registry::new();
+        let id = r.register(desc("s"), "hello".to_string());
+        assert_eq!(r.with_payload(id, |p| p.clone()), Some("hello".into()));
+        let back = r.unregister(id).unwrap();
+        assert_eq!(back, "hello");
+        assert_eq!(r.with_payload(id, |p| p.clone()), None);
+    }
+
+    #[test]
+    fn providers_of_lists_matching_services() {
+        let r: Registry<()> = Registry::new();
+        let a = r.register(desc("a").provides(Capability::new("x")), ());
+        let _b = r.register(desc("b").provides(Capability::new("y")), ());
+        let c = r.register(desc("c").provides(Capability::new("x")), ());
+        assert_eq!(r.providers_of("x"), vec![a, c]);
+        assert!(r.providers_of("z").is_empty());
+    }
+
+    #[test]
+    fn optional_requirement_wired_when_available() {
+        let r: Registry<()> = Registry::new();
+        let p = r.register(desc("p").provides(Capability::new("cap.x")), ());
+        let c = r.register(desc("c").requires(Requirement::new("cap.x").optional()), ());
+        assert!(r.is_resolved(c));
+        assert_eq!(r.wires(c).len(), 1);
+        assert_eq!(r.wires(c)[0].provider, p);
+    }
+
+    #[test]
+    fn multiple_requirements_all_must_resolve() {
+        let r: Registry<()> = Registry::new();
+        let c = r.register(
+            desc("c")
+                .requires(Requirement::new("a"))
+                .requires(Requirement::new("b")),
+            (),
+        );
+        r.register(desc("pa").provides(Capability::new("a")), ());
+        assert!(!r.is_resolved(c), "one of two requirements satisfied");
+        r.register(desc("pb").provides(Capability::new("b")), ());
+        assert!(r.is_resolved(c));
+        assert_eq!(r.wires(c).len(), 2);
+    }
+
+    #[test]
+    fn late_subscriber_sees_only_later_events() {
+        let r: Registry<()> = Registry::new();
+        let _early = r.register(desc("early"), ());
+        let rx = r.subscribe();
+        let late = r.register(desc("late"), ());
+        let events: Vec<ServiceEvent> = rx.try_iter().collect();
+        assert_eq!(
+            events,
+            vec![ServiceEvent::Registered(late), ServiceEvent::Resolved(late)]
+        );
+    }
+
+    #[test]
+    fn descriptor_and_state_accessors() {
+        let r: Registry<()> = Registry::new();
+        let id = r.register(desc("svc").provides(Capability::new("x")), ());
+        assert_eq!(r.descriptor(id).unwrap().name(), "svc");
+        assert_eq!(r.state(id), Some(ServiceState::Resolved));
+        r.unregister(id).unwrap();
+        assert_eq!(r.descriptor(id), None);
+        assert_eq!(r.state(id), None);
+        assert!(r.service_ids().is_empty());
+    }
+
+    #[test]
+    fn diamond_dependency_resolves_once_per_service() {
+        // d requires both b and c; b and c require a.
+        let r: Registry<u8> = Registry::new();
+        let d = r.register(
+            desc("d")
+                .requires(Requirement::new("b"))
+                .requires(Requirement::new("c")),
+            3,
+        );
+        let b = r.register(
+            desc("b").provides(Capability::new("b")).requires(Requirement::new("a")),
+            1,
+        );
+        let c = r.register(
+            desc("c").provides(Capability::new("c")).requires(Requirement::new("a")),
+            2,
+        );
+        let a = r.register(desc("a").provides(Capability::new("a")), 0);
+        for id in [a, b, c, d] {
+            assert!(r.is_resolved(id));
+        }
+        // Removing the root unresolves the whole diamond.
+        r.unregister(a).unwrap();
+        for id in [b, c, d] {
+            assert!(!r.is_resolved(id), "{id} should cascade-unresolve");
+        }
+    }
+
+    #[test]
+    fn registry_is_send_sync_and_clonable() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<Registry<()>>();
+        let r: Registry<()> = Registry::new();
+        let r2 = r.clone();
+        let id = r.register(desc("s"), ());
+        assert!(r2.is_resolved(id));
+    }
+}

@@ -1,0 +1,71 @@
+//! Codecs between domain types and the middleware's dynamic [`Value`]
+//! representation.
+//!
+//! NMEA sentences travel the processing graph as `nmea.sentence` items;
+//! the payload is the sentence serialized to JSON text, which keeps the
+//! middleware core independent of the NMEA model while letting any
+//! component or feature recover the full structure.
+
+use perpos_core::prelude::*;
+use perpos_nmea::Sentence;
+
+/// Encodes a parsed NMEA sentence as an item payload.
+pub fn sentence_to_value(s: &Sentence) -> Value {
+    Value::Text(serde_json::to_string(s).expect("sentence serialization is infallible"))
+}
+
+/// Decodes an item payload produced by [`sentence_to_value`].
+pub fn value_to_sentence(v: &Value) -> Option<Sentence> {
+    let text = v.as_text()?;
+    serde_json::from_str(text).ok()
+}
+
+/// Convenience: decodes the sentence carried by an `nmea.sentence` item.
+pub fn sentence_of(item: &DataItem) -> Option<Sentence> {
+    if item.kind != kinds::NMEA_SENTENCE {
+        return None;
+    }
+    value_to_sentence(&item.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::SimTime;
+    use perpos_nmea::{parse_sentence, Gga};
+
+    #[test]
+    fn sentence_round_trip() {
+        let line = "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47";
+        let sentence = parse_sentence(line).unwrap();
+        let v = sentence_to_value(&sentence);
+        assert_eq!(value_to_sentence(&v), Some(sentence));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let v = sentence_to_value(&Sentence::Gga(Gga::default()));
+        let item = DataItem::new(kinds::RAW_STRING, SimTime::ZERO, v);
+        assert_eq!(sentence_of(&item), None);
+    }
+
+    #[test]
+    fn all_sentence_types_round_trip() {
+        for line in [
+            "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47",
+            "$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A",
+            "$GPGSA,A,3,04,05,,09,12,,,24,,,,,2.5,1.3,2.1*39",
+            "$GPGSV,2,1,08,01,40,083,46,02,17,308,41,12,07,344,39,14,22,228,45*75",
+            "$GPVTG,054.7,T,034.4,M,005.5,N,010.2,K*48",
+        ] {
+            let s = parse_sentence(line).unwrap();
+            assert_eq!(value_to_sentence(&sentence_to_value(&s)), Some(s), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_payload_is_none() {
+        assert_eq!(value_to_sentence(&Value::Text("not json".into())), None);
+        assert_eq!(value_to_sentence(&Value::Int(1)), None);
+    }
+}

@@ -1,0 +1,568 @@
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, MethodSpec};
+use perpos_core::prelude::*;
+use perpos_geo::{LocalFrame, Point2};
+use perpos_nmea::{FixQuality, Gga, NmeaTime, Rmc, Sentence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trajectory::Trajectory;
+
+/// Sky-condition model governing satellite visibility, noise and
+/// dropouts.
+///
+/// Presets follow typical receiver behaviour: open sky sees many
+/// satellites and metre-level noise; urban canyons lose satellites to
+/// buildings; indoors the receiver barely tracks anything — yet, as §3.1
+/// of the paper notes, "GPS devices usually continue to produce
+/// measurements even if they loose sight of the satellites", so the
+/// simulator keeps emitting (bad) fixes at low satellite counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsEnvironment {
+    /// Mean number of visible satellites.
+    pub mean_visible_sats: f64,
+    /// Standard deviation of the satellite count.
+    pub sat_stddev: f64,
+    /// 1-sigma horizontal noise at HDOP 1, in metres.
+    pub base_noise_m: f64,
+    /// Probability that a sample produces no sentence at all.
+    pub dropout_prob: f64,
+}
+
+impl GpsEnvironment {
+    /// Clear view of the sky.
+    pub fn open_sky() -> Self {
+        GpsEnvironment {
+            mean_visible_sats: 9.0,
+            sat_stddev: 1.5,
+            base_noise_m: 3.0,
+            dropout_prob: 0.01,
+        }
+    }
+
+    /// Urban canyon: fewer satellites, multipath noise.
+    pub fn urban() -> Self {
+        GpsEnvironment {
+            mean_visible_sats: 6.0,
+            sat_stddev: 2.0,
+            base_noise_m: 8.0,
+            dropout_prob: 0.05,
+        }
+    }
+
+    /// Indoors: marginal tracking, large errors, frequent dropouts.
+    pub fn indoor() -> Self {
+        GpsEnvironment {
+            mean_visible_sats: 2.5,
+            sat_stddev: 1.5,
+            base_noise_m: 25.0,
+            dropout_prob: 0.35,
+        }
+    }
+}
+
+type EnvFn = Box<dyn Fn(Point2, SimTime) -> GpsEnvironment + Send>;
+
+/// A simulated GPS receiver: a Source component emitting raw NMEA
+/// sentences (`raw.string` items) for a target walking a [`Trajectory`].
+///
+/// Reproduces the seams the paper's adaptations exploit: HDOP varies with
+/// the satellite constellation, low-satellite fixes are unreliable but
+/// still *reported as valid* by the device, and sentences disappear in
+/// dropouts. The receiver can be switched off and on (with a warm-start
+/// acquisition delay) through its reflective methods — the control knob
+/// of the EnTracked power strategy (paper §3.3).
+///
+/// Reflective methods: `setEnabled(bool)`, `isEnabled() -> bool`,
+/// `setSampleInterval(seconds: float)`, `getSampleInterval() -> float`.
+pub struct GpsSimulator {
+    name: String,
+    frame: LocalFrame,
+    trajectory: Trajectory,
+    env: GpsEnvironment,
+    env_fn: Option<EnvFn>,
+    sample_interval: SimDuration,
+    acquisition_delay: SimDuration,
+    rng: StdRng,
+    enabled: bool,
+    pending_acquisition: bool,
+    acquiring_until: Option<SimTime>,
+    next_sample_at: SimTime,
+    /// Accumulated drift applied to unreliable (low-satellite) fixes.
+    drift: Point2,
+    sentences_emitted: u64,
+}
+
+impl GpsSimulator {
+    /// Creates a receiver for a target on `trajectory` within `frame`,
+    /// under open-sky conditions, sampling at 1 Hz, seeded for
+    /// reproducibility.
+    pub fn new(name: impl Into<String>, frame: LocalFrame, trajectory: Trajectory) -> Self {
+        GpsSimulator {
+            name: name.into(),
+            frame,
+            trajectory,
+            env: GpsEnvironment::open_sky(),
+            env_fn: None,
+            sample_interval: SimDuration::from_secs(1),
+            acquisition_delay: SimDuration::from_secs(6),
+            rng: StdRng::seed_from_u64(0x9e24),
+            enabled: true,
+            pending_acquisition: false,
+            acquiring_until: None,
+            next_sample_at: SimTime::ZERO,
+            drift: Point2::new(0.0, 0.0),
+            sentences_emitted: 0,
+        }
+    }
+
+    /// Sets the sky environment (builder style).
+    pub fn with_environment(mut self, env: GpsEnvironment) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Sets a position/time dependent environment, e.g. indoor when under
+    /// a roof (builder style). Overrides the static environment.
+    pub fn with_environment_fn(
+        mut self,
+        f: impl Fn(Point2, SimTime) -> GpsEnvironment + Send + 'static,
+    ) -> Self {
+        self.env_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the sampling interval (builder style).
+    pub fn with_sample_interval(mut self, d: SimDuration) -> Self {
+        self.sample_interval = d;
+        self
+    }
+
+    /// Sets the warm-start acquisition delay applied after re-enabling
+    /// (builder style).
+    pub fn with_acquisition_delay(mut self, d: SimDuration) -> Self {
+        self.acquisition_delay = d;
+        self
+    }
+
+    /// Seeds the noise generator (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Number of NMEA sentences emitted so far.
+    pub fn sentences_emitted(&self) -> u64 {
+        self.sentences_emitted
+    }
+
+    fn sample_normal(&mut self) -> f64 {
+        // Box-Muller transform.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn emit_sentence(&mut self, ctx: &mut ComponentCtx, s: &Sentence) {
+        self.sentences_emitted += 1;
+        ctx.emit_value(kinds::RAW_STRING, Value::from(s.to_nmea_string()));
+    }
+}
+
+impl Component for GpsSimulator {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source(self.name.clone(), vec![kinds::RAW_STRING])
+    }
+
+    fn on_input(
+        &mut self,
+        port: usize,
+        _item: DataItem,
+        _ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Err(CoreError::ComponentFailure {
+            component: self.name.clone(),
+            reason: format!("GPS source has no input port {port}"),
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        let now = ctx.now();
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.pending_acquisition {
+            self.pending_acquisition = false;
+            self.acquiring_until = Some(now + self.acquisition_delay);
+        }
+        if self.acquiring_until.is_some_and(|t| now >= t) {
+            self.acquiring_until = None;
+        }
+        if now < self.next_sample_at {
+            return Ok(());
+        }
+        self.next_sample_at = now + self.sample_interval;
+
+        let truth = self.trajectory.position_at(now);
+        let env = match &self.env_fn {
+            Some(f) => f(truth, now),
+            None => self.env,
+        };
+
+        if self.rng.gen::<f64>() < env.dropout_prob {
+            return Ok(()); // no sentence this sample
+        }
+
+        let time = NmeaTime::from_seconds_of_day(now.as_secs_f64());
+        if self.acquiring_until.is_some_and(|t| now < t) {
+            // Still acquiring: the receiver emits empty, invalid fixes.
+            let gga = Gga {
+                time,
+                ..Gga::default()
+            };
+            self.emit_sentence(ctx, &Sentence::Gga(gga));
+            return Ok(());
+        }
+
+        let sats = ((env.mean_visible_sats + self.sample_normal() * env.sat_stddev).round()
+            as i64)
+            .clamp(0, 12) as u8;
+
+        if sats < 2 {
+            // Lost the constellation: invalid sentence (paper Fig. 4's
+            // "first NMEA sentence did not contain a valid position").
+            let gga = Gga {
+                time,
+                ..Gga::default()
+            };
+            self.emit_sentence(ctx, &Sentence::Gga(gga));
+            return Ok(());
+        }
+
+        // HDOP grows as the constellation thins.
+        let hdop = (1.0 + (9.0_f64 - f64::from(sats)).max(0.0) * 0.6
+            + self.sample_normal().abs() * 0.3)
+            .clamp(0.7, 30.0);
+
+        let reliable = sats >= 4;
+        let noisy = if reliable {
+            let sigma = env.base_noise_m * hdop / 2.0;
+            Point2::new(
+                truth.x + self.sample_normal() * sigma,
+                truth.y + self.sample_normal() * sigma,
+            )
+        } else {
+            // Unreliable fix: the device keeps reporting "valid" positions
+            // that drift far from the truth (§3.1's motivation).
+            self.drift = Point2::new(
+                self.drift.x + self.sample_normal() * 15.0,
+                self.drift.y + self.sample_normal() * 15.0,
+            );
+            Point2::new(
+                truth.x + self.drift.x + self.sample_normal() * env.base_noise_m,
+                truth.y + self.drift.y + self.sample_normal() * env.base_noise_m,
+            )
+        };
+
+        let coord = self.frame.from_local(&noisy);
+        let gga = Gga {
+            time,
+            lat_deg: Some(coord.lat_deg()),
+            lon_deg: Some(coord.lon_deg()),
+            quality: FixQuality::Gps,
+            num_satellites: sats,
+            hdop,
+            altitude_m: coord.alt_m(),
+            geoid_separation_m: 40.0,
+        };
+        self.emit_sentence(ctx, &Sentence::Gga(gga));
+
+        let speed_mps = self.trajectory.speed_at(now);
+        let rmc = Rmc {
+            time,
+            valid: true,
+            lat_deg: Some(coord.lat_deg()),
+            lon_deg: Some(coord.lon_deg()),
+            speed_knots: speed_mps / 0.514_444,
+            course_deg: self.trajectory.heading_at(now).unwrap_or(0.0),
+            date: "010110".to_string(),
+        };
+        self.emit_sentence(ctx, &Sentence::Rmc(rmc));
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setEnabled" => {
+                let on = args.first().and_then(Value::as_bool).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one bool".to_string(),
+                    }
+                })?;
+                if on && !self.enabled {
+                    self.pending_acquisition = true;
+                }
+                if !on {
+                    self.acquiring_until = None;
+                }
+                self.enabled = on;
+                Ok(Value::Null)
+            }
+            "isEnabled" => Ok(Value::Bool(self.enabled)),
+            "isAcquiring" => Ok(Value::Bool(
+                self.enabled && (self.pending_acquisition || self.acquiring_until.is_some()),
+            )),
+            "setSampleInterval" => {
+                let secs = args.first().and_then(Value::as_f64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one float (seconds)".to_string(),
+                    }
+                })?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("interval must be positive, got {secs}"),
+                    });
+                }
+                self.sample_interval = SimDuration::from_secs_f64(secs);
+                Ok(Value::Null)
+            }
+            "getSampleInterval" => Ok(Value::Float(self.sample_interval.as_secs_f64())),
+            other => Err(CoreError::NoSuchMethod {
+                target: self.name.clone(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setEnabled", "(on: bool) -> null"),
+            MethodSpec::new("isEnabled", "() -> bool"),
+            MethodSpec::new("isAcquiring", "() -> bool"),
+            MethodSpec::new("setSampleInterval", "(seconds: float) -> null"),
+            MethodSpec::new("getSampleInterval", "() -> float"),
+        ]
+    }
+}
+
+impl std::fmt::Debug for GpsSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpsSimulator")
+            .field("name", &self.name)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_geo::Wgs84;
+    use perpos_nmea::parse_sentence;
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+    }
+
+    fn walk() -> Trajectory {
+        Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.4)
+    }
+
+    fn drain_ticks(gps: &mut GpsSimulator, seconds: u64) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in 0..seconds {
+            let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
+            gps.on_tick(&mut ctx).unwrap();
+            for item in ctx.take_emitted() {
+                out.push(item.payload.as_text().unwrap().to_string());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn emits_parseable_nmea() {
+        let mut gps = GpsSimulator::new("gps", frame(), walk()).with_seed(7);
+        let lines = drain_ticks(&mut gps, 20);
+        assert!(!lines.is_empty());
+        for line in &lines {
+            parse_sentence(line).expect("simulator must emit valid NMEA");
+        }
+        // Open sky: most sentences carry a fix.
+        let fixes = lines
+            .iter()
+            .filter(|l| parse_sentence(l).unwrap().has_fix())
+            .count();
+        assert!(fixes * 2 > lines.len(), "{fixes}/{}", lines.len());
+    }
+
+    #[test]
+    fn open_sky_positions_are_near_truth() {
+        let f = frame();
+        let t = walk();
+        let mut gps = GpsSimulator::new("gps", f, t.clone()).with_seed(3);
+        for s in 0..30u64 {
+            let mut ctx =
+                perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
+            gps.on_tick(&mut ctx).unwrap();
+            for item in ctx.take_emitted() {
+                let line = item.payload.as_text().unwrap();
+                if let perpos_nmea::Sentence::Gga(g) = parse_sentence(line).unwrap() {
+                    if let (Some(lat), Some(lon)) = (g.lat_deg, g.lon_deg) {
+                        if g.num_satellites >= 4 {
+                            let p = f.to_local(
+                                &Wgs84::new(lat, lon, 0.0).unwrap(),
+                            );
+                            let truth = t.position_at(SimTime::from_secs_f64(s as f64));
+                            assert!(
+                                p.distance(&truth) < 100.0,
+                                "reliable fix {} m from truth",
+                                p.distance(&truth)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indoor_is_much_worse_than_open_sky() {
+        let count_valid = |env: GpsEnvironment, seed: u64| {
+            let mut gps = GpsSimulator::new("gps", frame(), walk())
+                .with_environment(env)
+                .with_seed(seed);
+            drain_ticks(&mut gps, 60)
+                .iter()
+                .filter(|l| parse_sentence(l).unwrap().has_fix())
+                .count()
+        };
+        let open = count_valid(GpsEnvironment::open_sky(), 1);
+        let indoor = count_valid(GpsEnvironment::indoor(), 1);
+        assert!(
+            indoor * 2 < open,
+            "indoor fixes ({indoor}) should be well under half of open sky ({open})"
+        );
+    }
+
+    #[test]
+    fn disabled_receiver_is_silent_and_reacquires() {
+        let mut gps = GpsSimulator::new("gps", frame(), walk())
+            .with_seed(5)
+            .with_acquisition_delay(SimDuration::from_secs(5));
+        gps.invoke("setEnabled", &[Value::Bool(false)]).unwrap();
+        assert_eq!(gps.invoke("isEnabled", &[]).unwrap(), Value::Bool(false));
+        assert!(drain_ticks(&mut gps, 10).is_empty());
+        gps.invoke("setEnabled", &[Value::Bool(true)]).unwrap();
+        // During acquisition only invalid sentences appear. Ticks resume
+        // at t=10..20 (drain_ticks restarts at 0 but next_sample_at is in
+        // the past, so sampling resumes immediately).
+        let lines = drain_ticks(&mut gps, 4);
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert!(
+                !parse_sentence(l).unwrap().has_fix(),
+                "no fix during acquisition: {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_interval_is_respected() {
+        let mut gps = GpsSimulator::new("gps", frame(), walk())
+            .with_seed(11)
+            .with_sample_interval(SimDuration::from_secs(5))
+            .with_environment(GpsEnvironment {
+                dropout_prob: 0.0,
+                ..GpsEnvironment::open_sky()
+            });
+        let lines = drain_ticks(&mut gps, 20);
+        // 4 samples x 2 sentences (GGA+RMC) = 8.
+        assert_eq!(lines.len(), 8, "{lines:?}");
+        gps.invoke("setSampleInterval", &[Value::Float(1.0)]).unwrap();
+        assert_eq!(
+            gps.invoke("getSampleInterval", &[]).unwrap(),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn invoke_validates_arguments() {
+        let mut gps = GpsSimulator::new("gps", frame(), walk());
+        assert!(matches!(
+            gps.invoke("setEnabled", &[]),
+            Err(CoreError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            gps.invoke("setSampleInterval", &[Value::Float(-1.0)]),
+            Err(CoreError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            gps.invoke("selfDestruct", &[]),
+            Err(CoreError::NoSuchMethod { .. })
+        ));
+        assert_eq!(gps.methods().len(), 5);
+    }
+
+    #[test]
+    fn emissions_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut gps = GpsSimulator::new("gps", frame(), walk()).with_seed(seed);
+            drain_ticks(&mut gps, 30)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn environment_fn_switches_behaviour_by_position() {
+        // Indoor past x = 20: fixes should become rarer after ~14 s.
+        let f = frame();
+        let mut gps = GpsSimulator::new("gps", f, walk())
+            .with_seed(4)
+            .with_environment_fn(|p, _| {
+                if p.x > 20.0 {
+                    GpsEnvironment::indoor()
+                } else {
+                    GpsEnvironment {
+                        dropout_prob: 0.0,
+                        ..GpsEnvironment::open_sky()
+                    }
+                }
+            });
+        let mut early_fixes = 0;
+        let mut late_fixes = 0;
+        for s in 0..120u64 {
+            let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
+            gps.on_tick(&mut ctx).unwrap();
+            for item in ctx.take_emitted() {
+                if parse_sentence(item.payload.as_text().unwrap()).unwrap().has_fix() {
+                    if s < 14 {
+                        early_fixes += 1;
+                    } else {
+                        late_fixes += 1;
+                    }
+                }
+            }
+        }
+        // 14 outdoor seconds vs 106 indoor seconds; the indoor fix rate
+        // (valid sentences per second) must drop noticeably.
+        assert!(early_fixes > 10, "outdoors delivers fixes: {early_fixes}");
+        let early_rate = early_fixes as f64 / 14.0;
+        let late_rate = late_fixes as f64 / 106.0;
+        assert!(
+            late_rate < early_rate * 0.75,
+            "indoor fix rate must drop ({early_rate:.2}/s outdoors vs {late_rate:.2}/s indoors)"
+        );
+    }
+
+    #[test]
+    fn source_rejects_input() {
+        let mut gps = GpsSimulator::new("gps", frame(), walk());
+        let item = DataItem::new(kinds::RAW_STRING, SimTime::ZERO, Value::Null);
+        assert!(ComponentCtxProbe::run_input(&mut gps, item).is_err());
+    }
+}

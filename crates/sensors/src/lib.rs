@@ -1,0 +1,44 @@
+//! Simulated sensors and standard pipeline components for PerPos.
+//!
+//! The paper evaluates PerPos with a phone's GPS receiver, a WiFi
+//! signal-strength infrastructure and recorded traces replayed through an
+//! emulator component (§3.2). None of that hardware is available to a
+//! reproduction, so this crate builds behavioural equivalents (see
+//! `DESIGN.md` for the substitution argument):
+//!
+//! * [`GpsSimulator`] — emits raw NMEA sentences for a target moving
+//!   along a [`Trajectory`], with satellite visibility, HDOP, noise and
+//!   dropouts governed by a [`GpsEnvironment`]; supports power control
+//!   (on/off, acquisition delay) for the EnTracked experiments,
+//! * [`WifiScanner`] + [`WifiPositioning`] — a log-distance path-loss
+//!   radio model over a building's access points, an offline
+//!   [`RadioMap`], and online k-nearest-neighbour positioning,
+//! * [`MotionSensor`] — an accelerometer-like movement detector,
+//! * the Fig. 1 pipeline components: [`Parser`], [`Interpreter`],
+//!   [`Resolver`], [`SensorWrapper`],
+//! * the §3.1/§3.2 features: [`HdopFeature`], [`NumberOfSatellitesFeature`]
+//!   and the [`SatelliteFilter`] component,
+//! * [`EmulatorSource`] / [`TraceRecorderFeature`] — record and replay
+//!   `DataItem` traces, "taking the place of the sensors" exactly as the
+//!   paper's emulator does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod emulator;
+mod gps;
+mod motion;
+mod pipeline;
+mod trajectory;
+mod wifi;
+
+pub use emulator::{EmulatorSource, Trace, TraceRecorderFeature};
+pub use gps::{GpsEnvironment, GpsSimulator};
+pub use motion::MotionSensor;
+pub use pipeline::{
+    HdopFeature, Interpreter, NumberOfSatellitesFeature, Parser, Resolver, SatelliteFilter,
+    SensorWrapper,
+};
+pub use trajectory::Trajectory;
+pub use wifi::{AccessPoint, RadioMap, WifiEnvironment, WifiPositioning, WifiScanner};

@@ -1,0 +1,193 @@
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, MethodSpec};
+use perpos_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::trajectory::Trajectory;
+
+/// An accelerometer-like motion sensor: emits `motion.sample` items with
+/// a movement flag and a speed estimate.
+///
+/// EnTracked's client-side updating scheme uses exactly this signal: the
+/// GPS can stay off while the accelerometer reports the target
+/// stationary (paper §3.3). Misclassification noise is configurable so
+/// the strategy must tolerate imperfect detection.
+///
+/// Reflective methods: `setEnabled(bool)`, `isEnabled() -> bool`.
+pub struct MotionSensor {
+    name: String,
+    trajectory: Trajectory,
+    interval: SimDuration,
+    next_at: SimTime,
+    flip_prob: f64,
+    rng: StdRng,
+    enabled: bool,
+}
+
+impl MotionSensor {
+    /// Creates a sensor sampling at 1 Hz with 2% misclassification.
+    pub fn new(name: impl Into<String>, trajectory: Trajectory) -> Self {
+        MotionSensor {
+            name: name.into(),
+            trajectory,
+            interval: SimDuration::from_secs(1),
+            next_at: SimTime::ZERO,
+            flip_prob: 0.02,
+            rng: StdRng::seed_from_u64(0x0a11),
+            enabled: true,
+        }
+    }
+
+    /// Sets the misclassification probability (builder style).
+    pub fn with_flip_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.flip_prob = p;
+        self
+    }
+
+    /// Sets the sampling interval (builder style).
+    pub fn with_interval(mut self, d: SimDuration) -> Self {
+        self.interval = d;
+        self
+    }
+
+    /// Seeds the noise generator (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+}
+
+impl std::fmt::Debug for MotionSensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MotionSensor").field("name", &self.name).finish()
+    }
+}
+
+impl Component for MotionSensor {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source(self.name.clone(), vec![kinds::MOTION_SAMPLE])
+    }
+
+    fn on_input(
+        &mut self,
+        port: usize,
+        _item: DataItem,
+        _ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Err(CoreError::ComponentFailure {
+            component: self.name.clone(),
+            reason: format!("motion source has no input port {port}"),
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        if !self.enabled || ctx.now() < self.next_at {
+            return Ok(());
+        }
+        self.next_at = ctx.now() + self.interval;
+        let speed = self.trajectory.speed_at(ctx.now());
+        let mut moving = speed > 0.05;
+        if self.rng.gen::<f64>() < self.flip_prob {
+            moving = !moving;
+        }
+        let mut map = BTreeMap::new();
+        map.insert("moving".to_string(), Value::Bool(moving));
+        map.insert(
+            "speed_estimate".to_string(),
+            Value::Float(if moving { speed.max(0.3) } else { 0.0 }),
+        );
+        let item = DataItem::new(kinds::MOTION_SAMPLE, ctx.now(), Value::Map(map))
+            .with_attr("source", Value::from("motion"));
+        ctx.emit(item);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setEnabled" => {
+                let on = args.first().and_then(Value::as_bool).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one bool".into(),
+                    }
+                })?;
+                self.enabled = on;
+                Ok(Value::Null)
+            }
+            "isEnabled" => Ok(Value::Bool(self.enabled)),
+            other => Err(CoreError::NoSuchMethod {
+                target: self.name.clone(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setEnabled", "(on: bool) -> null"),
+            MethodSpec::new("isEnabled", "() -> bool"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_geo::Point2;
+
+    #[test]
+    fn reports_motion_while_walking() {
+        let traj = Trajectory::new(
+            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
+            1.4,
+        );
+        let mut sensor = MotionSensor::new("motion", traj).with_flip_prob(0.0);
+        let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
+        assert_eq!(out.len(), 1);
+        let map = out[0].payload.as_map().unwrap();
+        assert_eq!(map["moving"].as_bool(), Some(true));
+        assert!(map["speed_estimate"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn reports_stationary() {
+        let mut sensor =
+            MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
+                .with_flip_prob(0.0);
+        let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
+        let map = out[0].payload.as_map().unwrap();
+        assert_eq!(map["moving"].as_bool(), Some(false));
+        assert_eq!(map["speed_estimate"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn flip_probability_injects_errors() {
+        let mut sensor =
+            MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
+                .with_flip_prob(1.0)
+                .with_seed(1);
+        let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
+        let map = out[0].payload.as_map().unwrap();
+        assert_eq!(map["moving"].as_bool(), Some(true), "always flipped");
+    }
+
+    #[test]
+    fn respects_interval_and_enable() {
+        let traj = Trajectory::stationary(Point2::new(0.0, 0.0));
+        let mut sensor = MotionSensor::new("m", traj)
+            .with_interval(SimDuration::from_secs(10))
+            .with_flip_prob(0.0);
+        assert_eq!(ComponentCtxProbe::run_tick(&mut sensor).unwrap().len(), 1);
+        // Within the interval: silent.
+        let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(5.0));
+        sensor.on_tick(&mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+        sensor.invoke("setEnabled", &[Value::Bool(false)]).unwrap();
+        let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(60.0));
+        sensor.on_tick(&mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+}

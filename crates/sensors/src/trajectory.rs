@@ -1,0 +1,252 @@
+use perpos_core::{SimDuration, SimTime};
+use perpos_geo::{Point2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear ground-truth path through building-local
+/// coordinates, walked at a constant speed.
+///
+/// Trajectories are the shared ground truth of the simulation: the GPS
+/// and WiFi simulators sample (noisy observations of) the same trajectory,
+/// and the experiments compare middleware outputs against it.
+///
+/// ```
+/// use perpos_core::SimTime;
+/// use perpos_geo::Point2;
+/// use perpos_sensors::Trajectory;
+///
+/// let t = Trajectory::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)],
+///     1.0, // m/s
+/// );
+/// assert_eq!(t.position_at(SimTime::from_secs_f64(5.0)), Point2::new(5.0, 0.0));
+/// assert_eq!(t.duration().as_secs_f64(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Point2>,
+    speed_mps: f64,
+    /// Cumulative distance at each waypoint.
+    cumulative_m: Vec<f64>,
+    looping: bool,
+}
+
+impl Trajectory {
+    /// Creates a trajectory through `waypoints` at `speed_mps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than one waypoint is given or the speed is not
+    /// positive and finite.
+    pub fn new(waypoints: Vec<Point2>, speed_mps: f64) -> Self {
+        assert!(!waypoints.is_empty(), "a trajectory needs waypoints");
+        assert!(
+            speed_mps.is_finite() && speed_mps > 0.0,
+            "speed must be positive, got {speed_mps}"
+        );
+        let mut cumulative_m = vec![0.0];
+        for w in waypoints.windows(2) {
+            let last = *cumulative_m.last().expect("seeded with one element");
+            cumulative_m.push(last + w[0].distance(&w[1]));
+        }
+        Trajectory {
+            waypoints,
+            speed_mps,
+            cumulative_m,
+            looping: false,
+        }
+    }
+
+    /// A trajectory that stands still at one point.
+    pub fn stationary(at: Point2) -> Self {
+        Trajectory {
+            waypoints: vec![at],
+            speed_mps: 1.0,
+            cumulative_m: vec![0.0],
+            looping: false,
+        }
+    }
+
+    /// Makes the trajectory wrap around to the first waypoint when the
+    /// end is reached (builder style).
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[Point2] {
+        &self.waypoints
+    }
+
+    /// The constant walking speed in m/s.
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+
+    /// Total path length in metres.
+    pub fn length_m(&self) -> f64 {
+        *self.cumulative_m.last().expect("non-empty")
+    }
+
+    /// Time to walk the full path once.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.length_m() / self.speed_mps)
+    }
+
+    /// Ground-truth position at simulated time `t`. Clamps to the final
+    /// waypoint (or wraps when [`Trajectory::looping`]).
+    pub fn position_at(&self, t: SimTime) -> Point2 {
+        let total = self.length_m();
+        if total == 0.0 {
+            return self.waypoints[0];
+        }
+        let mut travelled = t.as_secs_f64() * self.speed_mps;
+        if self.looping {
+            travelled %= total;
+        } else if travelled >= total {
+            return *self.waypoints.last().expect("non-empty");
+        }
+        // Find the active segment.
+        let seg = self
+            .cumulative_m
+            .windows(2)
+            .position(|w| travelled >= w[0] && travelled <= w[1])
+            .unwrap_or(self.waypoints.len().saturating_sub(2));
+        let seg_len = self.cumulative_m[seg + 1] - self.cumulative_m[seg];
+        let frac = if seg_len > 0.0 {
+            (travelled - self.cumulative_m[seg]) / seg_len
+        } else {
+            0.0
+        };
+        let a = self.waypoints[seg];
+        let b = self.waypoints[seg + 1];
+        a + (b - a) * frac
+    }
+
+    /// Instantaneous speed at `t`: the walking speed while en route, zero
+    /// after arrival (for non-looping trajectories).
+    pub fn speed_at(&self, t: SimTime) -> f64 {
+        if self.looping || self.waypoints.len() < 2 {
+            return if self.waypoints.len() < 2 { 0.0 } else { self.speed_mps };
+        }
+        let travelled = t.as_secs_f64() * self.speed_mps;
+        if travelled >= self.length_m() {
+            0.0
+        } else {
+            self.speed_mps
+        }
+    }
+
+    /// Heading (degrees clockwise from north) at `t`; `None` when
+    /// stationary.
+    pub fn heading_at(&self, t: SimTime) -> Option<f64> {
+        if self.speed_at(t) == 0.0 {
+            return None;
+        }
+        let p = self.position_at(t);
+        let p2 = self.position_at(t + SimDuration::from_millis(100));
+        let d: Vec2 = p2 - p;
+        if d.norm() < 1e-9 {
+            None
+        } else {
+            Some(d.heading_deg())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square_path() -> Trajectory {
+        Trajectory::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(10.0, 0.0),
+                Point2::new(10.0, 10.0),
+                Point2::new(0.0, 10.0),
+            ],
+            2.0,
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "needs waypoints")]
+    fn rejects_empty() {
+        let _ = Trajectory::new(vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_bad_speed() {
+        let _ = Trajectory::new(vec![Point2::new(0.0, 0.0)], 0.0);
+    }
+
+    #[test]
+    fn interpolates_segments() {
+        let t = square_path();
+        assert_eq!(t.length_m(), 30.0);
+        assert_eq!(t.position_at(SimTime::ZERO), Point2::new(0.0, 0.0));
+        // 2 m/s * 2.5 s = 5 m along the first segment.
+        assert_eq!(
+            t.position_at(SimTime::from_secs_f64(2.5)),
+            Point2::new(5.0, 0.0)
+        );
+        // 15 m: 10 on seg0 + 5 on seg1.
+        let p = t.position_at(SimTime::from_secs_f64(7.5));
+        assert!((p.x - 10.0).abs() < 1e-9 && (p.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_at_end() {
+        let t = square_path();
+        let end = t.position_at(SimTime::from_secs_f64(1000.0));
+        assert_eq!(end, Point2::new(0.0, 10.0));
+        assert_eq!(t.speed_at(SimTime::from_secs_f64(1000.0)), 0.0);
+        assert_eq!(t.heading_at(SimTime::from_secs_f64(1000.0)), None);
+    }
+
+    #[test]
+    fn looping_wraps() {
+        let t = square_path().looping();
+        let p0 = t.position_at(SimTime::ZERO);
+        let p_wrap = t.position_at(SimTime::from_secs_f64(15.0)); // exactly one lap
+        assert!((p0.distance(&p_wrap)) < 1e-9);
+        assert_eq!(t.speed_at(SimTime::from_secs_f64(100.0)), 2.0);
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let t = Trajectory::stationary(Point2::new(3.0, 4.0));
+        assert_eq!(t.position_at(SimTime::from_secs_f64(99.0)), Point2::new(3.0, 4.0));
+        assert_eq!(t.speed_at(SimTime::ZERO), 0.0);
+        assert!(t.heading_at(SimTime::ZERO).is_none());
+        assert!(t.duration().is_zero());
+    }
+
+    #[test]
+    fn heading_follows_segments() {
+        let t = square_path();
+        // First segment goes east (+x) = 90°.
+        let h = t.heading_at(SimTime::from_secs_f64(1.0)).unwrap();
+        assert!((h - 90.0).abs() < 1e-6);
+        // Second segment goes north (+y) = 0°.
+        let h = t.heading_at(SimTime::from_secs_f64(6.0)).unwrap();
+        assert!(h < 1.0 || h > 359.0);
+    }
+
+    proptest! {
+        /// Position along the path is always within the waypoint bounding
+        /// box, and consecutive samples move at most speed * dt.
+        #[test]
+        fn motion_is_continuous(seconds in 0.0f64..30.0) {
+            let t = square_path();
+            let p1 = t.position_at(SimTime::from_secs_f64(seconds));
+            let p2 = t.position_at(SimTime::from_secs_f64(seconds + 0.1));
+            prop_assert!(p1.distance(&p2) <= 2.0 * 0.1 + 1e-9);
+            prop_assert!((-1e-9..=10.0 + 1e-9).contains(&p1.x));
+            prop_assert!((-1e-9..=10.0 + 1e-9).contains(&p1.y));
+        }
+    }
+}

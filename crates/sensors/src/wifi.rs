@@ -1,0 +1,644 @@
+//! WiFi signal-strength positioning: a log-distance path-loss radio
+//! model, an offline fingerprint radio map and online k-NN positioning.
+//!
+//! Substitutes the paper's "server containing an indoor WiFi positioning
+//! system" (§1): the same interface — scans in, positions out — with
+//! realistic metre-scale indoor error.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use perpos_core::component::{
+    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
+};
+use perpos_core::prelude::*;
+use perpos_geo::{Point2, Segment2};
+use perpos_model::Building;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trajectory::Trajectory;
+
+/// A WiFi access point: an id, a floor-plan position and a transmit
+/// power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPoint {
+    /// Identifier (e.g. a BSSID-like string).
+    pub id: String,
+    /// Position in building-local coordinates.
+    pub position: Point2,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+}
+
+impl AccessPoint {
+    /// Creates an access point with a typical 20 dBm transmit power.
+    pub fn new(id: impl Into<String>, position: Point2) -> Self {
+        AccessPoint {
+            id: id.into(),
+            position,
+            tx_power_dbm: 20.0,
+        }
+    }
+}
+
+/// The indoor radio environment: access points in a building, with a
+/// log-distance path-loss model, per-wall attenuation and log-normal
+/// shadowing.
+pub struct WifiEnvironment {
+    aps: Vec<AccessPoint>,
+    building: Arc<Building>,
+    floor: i32,
+    /// Path-loss exponent; ~2 in free space, 2.5–4 indoors.
+    pub path_loss_exponent: f64,
+    /// Attenuation per crossed wall in dB.
+    pub wall_attenuation_db: f64,
+    /// Standard deviation of shadowing noise in dB.
+    pub shadowing_sigma_db: f64,
+    /// Receiver sensitivity: weaker APs are absent from scans.
+    pub detection_threshold_dbm: f64,
+}
+
+impl std::fmt::Debug for WifiEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WifiEnvironment")
+            .field("aps", &self.aps.len())
+            .field("building", &self.building.name())
+            .finish()
+    }
+}
+
+impl WifiEnvironment {
+    /// Creates an environment with typical indoor parameters.
+    pub fn new(building: Arc<Building>, floor: i32, aps: Vec<AccessPoint>) -> Self {
+        WifiEnvironment {
+            aps,
+            building,
+            floor,
+            path_loss_exponent: 2.8,
+            wall_attenuation_db: 3.5,
+            shadowing_sigma_db: 3.0,
+            detection_threshold_dbm: -95.0,
+        }
+    }
+
+    /// Places one access point in the centre of every room of the floor —
+    /// a simple realistic deployment for experiments.
+    pub fn with_ap_per_room(building: Arc<Building>, floor: i32) -> Self {
+        let aps = building
+            .floor(floor)
+            .map(|f| {
+                f.rooms()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, room)| {
+                        AccessPoint::new(format!("AP{i:02}"), room.outline().centroid())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        WifiEnvironment::new(building, floor, aps)
+    }
+
+    /// The deployed access points.
+    pub fn access_points(&self) -> &[AccessPoint] {
+        &self.aps
+    }
+
+    /// The building the environment is embedded in.
+    pub fn building(&self) -> &Arc<Building> {
+        &self.building
+    }
+
+    /// Deterministic mean RSSI of `ap` at `p` (no shadowing), in dBm.
+    pub fn mean_rssi_dbm(&self, ap: &AccessPoint, p: Point2) -> f64 {
+        let d = ap.position.distance(&p).max(0.5);
+        let walls = self.walls_crossed(ap.position, p);
+        // Reference loss of 40 dB at 1 m (2.4 GHz-ish).
+        ap.tx_power_dbm
+            - 40.0
+            - 10.0 * self.path_loss_exponent * d.log10()
+            - self.wall_attenuation_db * walls as f64
+    }
+
+    fn walls_crossed(&self, a: Point2, b: Point2) -> usize {
+        let Some(floor) = self.building.floor(self.floor) else {
+            return 0;
+        };
+        let path = Segment2::new(a, b);
+        floor.walls().iter().filter(|w| w.intersects(&path)).count()
+    }
+
+    /// A noisy scan at `p`: AP id to RSSI, shadowed and thresholded.
+    pub fn scan(&self, p: Point2, rng: &mut StdRng) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for ap in &self.aps {
+            let noise = {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
+            let rssi = self.mean_rssi_dbm(ap, p) + noise * self.shadowing_sigma_db;
+            if rssi >= self.detection_threshold_dbm {
+                out.insert(ap.id.clone(), rssi);
+            }
+        }
+        out
+    }
+}
+
+/// An offline fingerprint database: mean signal vectors on a grid over
+/// the building floor.
+///
+/// ```
+/// use std::sync::Arc;
+/// use perpos_geo::Point2;
+/// use perpos_model::demo_building;
+/// use perpos_sensors::{RadioMap, WifiEnvironment};
+///
+/// let env = WifiEnvironment::with_ap_per_room(Arc::new(demo_building()), 0);
+/// let map = RadioMap::build(&env, 1.0);
+/// // Estimate a position from the noiseless fingerprint at a known spot.
+/// let mut rng = rand::SeedableRng::seed_from_u64(7);
+/// let scan = env.scan(Point2::new(7.5, 2.0), &mut rng);
+/// let (estimate, _confidence) = map.estimate(&scan, 3).expect("coverage");
+/// assert!(estimate.distance(&Point2::new(7.5, 2.0)) < 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadioMap {
+    fingerprints: Vec<(Point2, BTreeMap<String, f64>)>,
+    missing_penalty_dbm: f64,
+}
+
+impl RadioMap {
+    /// Surveys the floor on a `grid_step`-metre grid (only points inside
+    /// a room are kept).
+    pub fn build(env: &WifiEnvironment, grid_step: f64) -> Self {
+        assert!(grid_step > 0.1, "grid step too fine: {grid_step}");
+        let mut fingerprints = Vec::new();
+        let Some(floor) = env.building.floor(env.floor) else {
+            return RadioMap {
+                fingerprints,
+                missing_penalty_dbm: env.detection_threshold_dbm,
+            };
+        };
+        // Bounding box over all rooms.
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for room in floor.rooms() {
+            let (lo, hi) = room.outline().bounding_box();
+            min_x = min_x.min(lo.x);
+            min_y = min_y.min(lo.y);
+            max_x = max_x.max(hi.x);
+            max_y = max_y.max(hi.y);
+        }
+        let mut y = min_y + grid_step / 2.0;
+        while y < max_y {
+            let mut x = min_x + grid_step / 2.0;
+            while x < max_x {
+                let p = Point2::new(x, y);
+                if floor.room_at(p).is_some() {
+                    let mut fp = BTreeMap::new();
+                    for ap in &env.aps {
+                        let rssi = env.mean_rssi_dbm(ap, p);
+                        if rssi >= env.detection_threshold_dbm {
+                            fp.insert(ap.id.clone(), rssi);
+                        }
+                    }
+                    fingerprints.push((p, fp));
+                }
+                x += grid_step;
+            }
+            y += grid_step;
+        }
+        RadioMap {
+            fingerprints,
+            missing_penalty_dbm: env.detection_threshold_dbm,
+        }
+    }
+
+    /// Number of surveyed grid points.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    fn signal_distance(&self, a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (id, va) in a {
+            let vb = b.get(id).copied().unwrap_or(self.missing_penalty_dbm);
+            sum += (va - vb).powi(2);
+            n += 1;
+        }
+        for (id, vb) in b {
+            if !a.contains_key(id) {
+                sum += (vb - self.missing_penalty_dbm).powi(2);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            (sum / n as f64).sqrt()
+        }
+    }
+
+    /// k-NN position estimate for a scan: the weighted centroid of the
+    /// `k` closest fingerprints in signal space, plus a rough accuracy
+    /// estimate (spread of the neighbours).
+    pub fn estimate(&self, scan: &BTreeMap<String, f64>, k: usize) -> Option<(Point2, f64)> {
+        if self.fingerprints.is_empty() || scan.is_empty() || k == 0 {
+            return None;
+        }
+        let mut scored: Vec<(f64, Point2)> = self
+            .fingerprints
+            .iter()
+            .map(|(p, fp)| (self.signal_distance(scan, fp), *p))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let neighbours = &scored[..k.min(scored.len())];
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for (d, p) in neighbours {
+            let w = 1.0 / (d + 0.1);
+            wx += p.x * w;
+            wy += p.y * w;
+            wsum += w;
+        }
+        let est = Point2::new(wx / wsum, wy / wsum);
+        let spread = neighbours
+            .iter()
+            .map(|(_, p)| p.distance(&est))
+            .fold(0.0, f64::max)
+            .max(1.0);
+        Some((est, spread))
+    }
+}
+
+/// A WiFi scanning Source component: emits `wifi.scan` items for a target
+/// on a [`Trajectory`].
+///
+/// Reflective methods: `setEnabled(bool)`, `isEnabled() -> bool`.
+pub struct WifiScanner {
+    name: String,
+    env: Arc<WifiEnvironment>,
+    trajectory: Trajectory,
+    interval: SimDuration,
+    next_at: SimTime,
+    rng: StdRng,
+    enabled: bool,
+}
+
+impl WifiScanner {
+    /// Creates a scanner sampling once per second.
+    pub fn new(
+        name: impl Into<String>,
+        env: Arc<WifiEnvironment>,
+        trajectory: Trajectory,
+    ) -> Self {
+        WifiScanner {
+            name: name.into(),
+            env,
+            trajectory,
+            interval: SimDuration::from_secs(1),
+            next_at: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(0x71f1),
+            enabled: true,
+        }
+    }
+
+    /// Sets the scan interval (builder style).
+    pub fn with_interval(mut self, d: SimDuration) -> Self {
+        self.interval = d;
+        self
+    }
+
+    /// Seeds the shadowing noise (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+}
+
+impl std::fmt::Debug for WifiScanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WifiScanner").field("name", &self.name).finish()
+    }
+}
+
+impl Component for WifiScanner {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source(self.name.clone(), vec![kinds::WIFI_SCAN])
+    }
+
+    fn on_input(
+        &mut self,
+        port: usize,
+        _item: DataItem,
+        _ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Err(CoreError::ComponentFailure {
+            component: self.name.clone(),
+            reason: format!("WiFi source has no input port {port}"),
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        if !self.enabled || ctx.now() < self.next_at {
+            return Ok(());
+        }
+        self.next_at = ctx.now() + self.interval;
+        let p = self.trajectory.position_at(ctx.now());
+        let scan = self.env.scan(p, &mut self.rng);
+        if scan.is_empty() {
+            return Ok(());
+        }
+        let map: BTreeMap<String, Value> = scan
+            .into_iter()
+            .map(|(id, rssi)| (id, Value::Float(rssi)))
+            .collect();
+        let item = DataItem::new(kinds::WIFI_SCAN, ctx.now(), Value::Map(map))
+            .with_attr("source", Value::from("wifi"));
+        ctx.emit(item);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setEnabled" => {
+                let on = args.first().and_then(Value::as_bool).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one bool".into(),
+                    }
+                })?;
+                self.enabled = on;
+                Ok(Value::Null)
+            }
+            "isEnabled" => Ok(Value::Bool(self.enabled)),
+            other => Err(CoreError::NoSuchMethod {
+                target: self.name.clone(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setEnabled", "(on: bool) -> null"),
+            MethodSpec::new("isEnabled", "() -> bool"),
+        ]
+    }
+}
+
+/// The indoor positioning Processor: `wifi.scan` items in, WGS-84
+/// positions (k-NN over a [`RadioMap`]) out.
+///
+/// Reflective methods: `setK(k: int)`, `getK() -> int`.
+pub struct WifiPositioning {
+    map: Arc<RadioMap>,
+    building: Arc<Building>,
+    k: usize,
+}
+
+impl WifiPositioning {
+    /// Creates the positioning component with `k = 3`.
+    pub fn new(map: Arc<RadioMap>, building: Arc<Building>) -> Self {
+        WifiPositioning {
+            map,
+            building,
+            k: 3,
+        }
+    }
+}
+
+impl std::fmt::Debug for WifiPositioning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WifiPositioning").field("k", &self.k).finish()
+    }
+}
+
+impl Component for WifiPositioning {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            "WifiPositioning",
+            InputSpec::new("scan", vec![kinds::WIFI_SCAN]),
+            vec![kinds::POSITION_WGS84],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        let Some(map) = item.payload.as_map() else {
+            return Ok(());
+        };
+        let scan: BTreeMap<String, f64> = map
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+            .collect();
+        if let Some((p, acc)) = self.map.estimate(&scan, self.k) {
+            let coord = self.building.frame().from_local(&p);
+            let out = DataItem::new(
+                kinds::POSITION_WGS84,
+                ctx.now(),
+                Value::from(Position::new(coord, Some(acc))),
+            )
+            .with_attr("source", Value::from("wifi"));
+            ctx.emit(out);
+        }
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "setK" => {
+                let k = args.first().and_then(Value::as_i64).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: "expected one int".into(),
+                    }
+                })?;
+                if k < 1 {
+                    return Err(CoreError::BadArguments {
+                        method: method.to_string(),
+                        reason: format!("k must be >= 1, got {k}"),
+                    });
+                }
+                self.k = k as usize;
+                Ok(Value::Null)
+            }
+            "getK" => Ok(Value::Int(self.k as i64)),
+            other => Err(CoreError::NoSuchMethod {
+                target: "WifiPositioning".into(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("setK", "(k: int) -> null"),
+            MethodSpec::new("getK", "() -> int"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpos_core::component::ComponentCtxProbe;
+    use perpos_model::demo_building;
+
+    fn env() -> Arc<WifiEnvironment> {
+        Arc::new(WifiEnvironment::with_ap_per_room(
+            Arc::new(demo_building()),
+            0,
+        ))
+    }
+
+    #[test]
+    fn rssi_decays_with_distance_and_walls() {
+        let e = env();
+        let ap = &e.access_points()[1]; // a room AP
+        let near = e.mean_rssi_dbm(ap, ap.position + perpos_geo::Vec2::new(1.0, 0.0));
+        let far = e.mean_rssi_dbm(ap, ap.position + perpos_geo::Vec2::new(3.0, 0.0));
+        assert!(near > far);
+        // A point in another room is attenuated by walls beyond distance.
+        // (ap.position is R0's centre (2.5, 2.0); the path to (0.5, 7.0)
+        // misses the door gap and crosses two walls.)
+        let other_room = Point2::new(ap.position.x - 2.0, ap.position.y + 5.0);
+        let d = ap.position.distance(&other_room);
+        let through_walls = e.mean_rssi_dbm(ap, other_room);
+        let open = ap.tx_power_dbm - 40.0 - 10.0 * e.path_loss_exponent * d.log10();
+        assert!(
+            through_walls <= open - 2.0 * e.wall_attenuation_db + 1e-9,
+            "through {through_walls} vs open {open}"
+        );
+    }
+
+    #[test]
+    fn radio_map_covers_floor() {
+        let e = env();
+        let map = RadioMap::build(&e, 1.0);
+        assert!(!map.is_empty());
+        // Floor is 20 x 10.5 m; at 1 m grid expect on the order of 200 pts.
+        assert!(map.len() > 150, "{}", map.len());
+    }
+
+    #[test]
+    fn knn_estimates_are_metre_scale() {
+        let e = env();
+        let map = RadioMap::build(&e, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut errors = Vec::new();
+        for (x, y) in [(2.5, 2.0), (7.5, 8.5), (12.0, 5.0), (17.0, 2.0)] {
+            let truth = Point2::new(x, y);
+            for _ in 0..5 {
+                let scan = e.scan(truth, &mut rng);
+                let (est, _acc) = map.estimate(&scan, 3).expect("estimate");
+                errors.push(est.distance(&truth));
+            }
+        }
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 4.0, "mean WiFi error {mean} m too large");
+    }
+
+    #[test]
+    fn estimate_edge_cases() {
+        let e = env();
+        let map = RadioMap::build(&e, 1.0);
+        assert!(map.estimate(&BTreeMap::new(), 3).is_none());
+        let mut rng = StdRng::seed_from_u64(1);
+        let scan = e.scan(Point2::new(2.0, 2.0), &mut rng);
+        assert!(map.estimate(&scan, 0).is_none());
+        // k larger than the map still works.
+        assert!(map.estimate(&scan, 10_000).is_some());
+    }
+
+    #[test]
+    fn scanner_emits_scans() {
+        let e = env();
+        let traj = Trajectory::stationary(Point2::new(2.5, 2.0));
+        let mut scanner = WifiScanner::new("wifi", e, traj).with_seed(9);
+        let out = ComponentCtxProbe::run_tick(&mut scanner).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, kinds::WIFI_SCAN);
+        assert!(out[0].payload.as_map().unwrap().len() >= 2);
+        scanner.invoke("setEnabled", &[Value::Bool(false)]).unwrap();
+        // Disabled: silent even when the interval elapses.
+        let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(10.0));
+        scanner.on_tick(&mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn positioning_component_end_to_end() {
+        let building = Arc::new(demo_building());
+        let e = Arc::new(WifiEnvironment::with_ap_per_room(building.clone(), 0));
+        let map = Arc::new(RadioMap::build(&e, 1.0));
+        let truth = Point2::new(7.5, 2.0); // inside R1
+        let mut rng = StdRng::seed_from_u64(5);
+        let scan = e.scan(truth, &mut rng);
+        let payload: BTreeMap<String, Value> = scan
+            .into_iter()
+            .map(|(k, v)| (k, Value::Float(v)))
+            .collect();
+        let item = DataItem::new(kinds::WIFI_SCAN, SimTime::ZERO, Value::Map(payload));
+        let mut pos = WifiPositioning::new(map, building.clone());
+        let out = ComponentCtxProbe::run_input(&mut pos, item).unwrap();
+        assert_eq!(out.len(), 1);
+        let est = out[0].position().unwrap();
+        let local = building.frame().to_local(est.coord());
+        assert!(local.distance(&truth) < 5.0, "error {}", local.distance(&truth));
+        assert_eq!(out[0].attr("source").and_then(Value::as_text), Some("wifi"));
+    }
+
+    #[test]
+    fn scans_are_deterministic_per_seed() {
+        let e = env();
+        let traj = Trajectory::stationary(Point2::new(2.5, 2.0));
+        let run = |seed| {
+            let mut s = WifiScanner::new("wifi", e.clone(), traj.clone()).with_seed(seed);
+            ComponentCtxProbe::run_tick(&mut s).unwrap()
+        };
+        assert_eq!(run(1), run(1), "same seed, same scan");
+        assert_ne!(run(1), run(2), "different seed, different shadowing");
+    }
+
+    proptest::proptest! {
+        /// k-NN estimates stay inside (or within slack of) the floor.
+        #[test]
+        fn estimates_stay_on_the_floor(x in 0.5f64..19.5, y in 0.5f64..10.0, seed in 0u64..50) {
+            let e = env();
+            let map = RadioMap::build(&e, 1.5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scan = e.scan(Point2::new(x, y), &mut rng);
+            if let Some((est, acc)) = map.estimate(&scan, 3) {
+                proptest::prop_assert!((-1.0..21.0).contains(&est.x), "x {}", est.x);
+                proptest::prop_assert!((-1.0..11.5).contains(&est.y), "y {}", est.y);
+                proptest::prop_assert!(acc >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn positioning_invoke() {
+        let building = Arc::new(demo_building());
+        let e = Arc::new(WifiEnvironment::with_ap_per_room(building.clone(), 0));
+        let map = Arc::new(RadioMap::build(&e, 2.0));
+        let mut pos = WifiPositioning::new(map, building);
+        pos.invoke("setK", &[Value::Int(5)]).unwrap();
+        assert_eq!(pos.invoke("getK", &[]).unwrap(), Value::Int(5));
+        assert!(pos.invoke("setK", &[Value::Int(0)]).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! A multi-target "buddy finder": several tracked targets, k-nearest
+//! queries and proximity notifications — the Positioning Layer services
+//! the paper lists ("definition of tracked targets, which may have
+//! several sensors attached to them", "the k-nearest targets",
+//! "notifications, e.g., based on proximity to a point or target", §2).
+//!
+//! Run with: `cargo run --example buddy_finder`
+
+use perpos::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).expect("valid"));
+    let mut mw = Middleware::new();
+
+    // Three people walking different paths across a plaza.
+    let people: Vec<(&str, Trajectory)> = vec![
+        (
+            "alice",
+            Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(120.0, 0.0)], 1.4),
+        ),
+        (
+            "bob",
+            Trajectory::new(vec![Point2::new(120.0, 6.0), Point2::new(0.0, 6.0)], 1.2),
+        ),
+        ("carol", Trajectory::stationary(Point2::new(60.0, 40.0))),
+    ];
+
+    let mut targets = Vec::new();
+    for (i, (name, walk)) in people.iter().enumerate() {
+        let target = mw.add_target(*name);
+        let gps = mw.add_component(
+            GpsSimulator::new(format!("gps-{name}"), frame, walk.clone())
+                .with_seed(100 + i as u64),
+        );
+        let parser = mw.add_component(Parser::new());
+        let interpreter = mw.add_component(Interpreter::new());
+        mw.connect(gps, parser, 0)?;
+        mw.connect(parser, interpreter, 0)?;
+        mw.connect(interpreter, target.node(), 0)?;
+        targets.push(target);
+    }
+
+    // Alert when anyone reaches the plaza fountain.
+    let fountain = frame.from_local(&Point2::new(60.0, 0.0));
+    let alerts: Vec<_> = targets
+        .iter()
+        .map(|t| (t.name().to_string(), t.provider(Criteria::new()).proximity_alert(fountain, 8.0)))
+        .collect();
+
+    println!("t(s)  alice->nearest buddy            fountain events");
+    println!("----  ------------------------------  ---------------");
+    for tick in 0..90 {
+        mw.step()?;
+        if tick % 15 == 14 {
+            let alice_pos = targets[0]
+                .provider(Criteria::new())
+                .last_position()
+                .map(|p| *p.coord());
+            let line = match alice_pos {
+                Some(p) => {
+                    let nearest: Vec<String> = mw
+                        .k_nearest_targets(&p, 2)
+                        .into_iter()
+                        .filter(|(name, _, _)| name != "alice")
+                        .map(|(name, _, d)| format!("{name} ({d:.0} m)"))
+                        .collect();
+                    nearest.join(", ")
+                }
+                None => "no fix yet".to_string(),
+            };
+            let mut events = String::new();
+            for (name, rx) in &alerts {
+                for e in rx.try_iter() {
+                    events.push_str(&format!(
+                        "{name} {} fountain; ",
+                        if e.entered { "reached" } else { "left" }
+                    ));
+                }
+            }
+            println!("{:>4}  {line:<30}  {events}", tick + 1);
+        }
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+
+    println!("\ntargets registered: {:?}", mw.targets().iter().map(|t| t.name()).collect::<Vec<_>>());
+    Ok(())
+}

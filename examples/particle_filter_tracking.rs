@@ -1,0 +1,168 @@
+//! The §3.2 / Fig. 5 / Fig. 6 scenario: probabilistic position tracking
+//! with a particle filter integrated through Channel Features.
+//!
+//! * an `HDOP` Component Feature on the Parser exposes the seam the
+//!   likelihood needs (Fig. 5, artifact 3),
+//! * a `Likelihood` Channel Feature on the GPS channel collects HDOP
+//!   values from each output's data tree (artifact 2),
+//! * the particle filter weights its particles with that likelihood and
+//!   respects the building's walls (artifact 1),
+//! * an ASCII rendering of the floor plan shows raw fixes vs the refined
+//!   trace — the Fig. 6 picture.
+//!
+//! Run with: `cargo run --example particle_filter_tracking`
+
+use std::sync::Arc;
+
+use perpos::fusion::{LikelihoodFeature, ParticleFilter};
+use perpos::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let building = Arc::new(demo_building());
+    let frame = *building.frame();
+
+    // Walk down the corridor and into room R6.
+    let walk = Trajectory::new(
+        vec![
+            Point2::new(1.0, 5.25),
+            Point2::new(12.5, 5.25),
+            Point2::new(12.5, 8.0), // room R6
+        ],
+        1.0,
+    );
+
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(23)
+            .with_environment(GpsEnvironment::urban()),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+
+    // The particle filter is "inserted as a new kind of positioning
+    // mechanism, without affecting the high-level functionality".
+    let likelihood = LikelihoodFeature::new();
+    let handle = likelihood.handle();
+    let pf = mw.add_component(
+        ParticleFilter::new("ParticleFilter", frame, 1)
+            .with_seed(29)
+            .with_particles(800)
+            .with_building(Arc::clone(&building), 0)
+            .with_likelihood(handle),
+    );
+    let app = mw.application_sink();
+
+    mw.connect(gps, parser, 0)?;
+    mw.connect(parser, interpreter, 0)?;
+    mw.connect(interpreter, pf, 0)?;
+    mw.connect(pf, app, 0)?;
+
+    // Fig. 5 wiring: HDOP on the Parser, Likelihood on the GPS channel.
+    mw.attach_feature(parser, HdopFeature::new())?;
+    // A recorder on the Interpreter keeps the raw fixes for comparison.
+    let recorder = perpos::sensors::TraceRecorderFeature::new();
+    let raw_trace = recorder.handle();
+    mw.attach_feature(interpreter, recorder)?;
+    let gps_channel = mw.channel_into(pf, 0).expect("GPS channel exists");
+    mw.attach_channel_feature(gps_channel, likelihood)?;
+
+    let fused = mw.location_provider(Criteria::new().source("fusion"))?;
+
+    // Track errors over the walk.
+    let mut pf_errs = Vec::new();
+    let mut trace = Vec::new();
+    let total_s = walk.duration().as_secs_f64() as u64 + 5;
+    for _ in 0..total_s {
+        mw.step()?;
+        let truth = walk.position_at(mw.now());
+        if let Some(p) = fused.last_position() {
+            let est = frame.to_local(p.coord());
+            pf_errs.push(est.distance(&truth));
+            trace.push(est);
+        }
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+    // Raw errors from the Interpreter's recorded fixes.
+    let raw_errs: Vec<f64> = raw_trace
+        .trace()
+        .items
+        .iter()
+        .filter_map(|item| {
+            let p = item.payload.as_position()?;
+            let truth = walk.position_at(item.timestamp);
+            Some(frame.to_local(p.coord()).distance(&truth))
+        })
+        .collect();
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("samples          : raw {} / filtered {}", raw_errs.len(), pf_errs.len());
+    println!("mean error (raw) : {:.2} m", mean(&raw_errs));
+    println!("mean error (pf)  : {:.2} m", mean(&pf_errs));
+    println!(
+        "likelihood sigma : {:.2} m (from {} data trees)",
+        mw.invoke_channel_feature(gps_channel, "Likelihood", "getSigma", &[])?
+            .as_f64()
+            .unwrap_or(f64::NAN),
+        total_s,
+    );
+
+    // Fig. 6, in ASCII: walls '#', refined trace 'o', truth path '.'.
+    println!("\nfloor plan (o = refined trace, * = final particles):");
+    let particles: Vec<Point2> = mw
+        .invoke(pf, "getParticles", &[])?
+        .as_list()
+        .map(|l| {
+            l.iter()
+                .filter_map(|p| {
+                    let xy = p.as_list()?;
+                    Some(Point2::new(xy[0].as_f64()?, xy[1].as_f64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    print!("{}", render_floor(&building, &trace, &particles));
+    Ok(())
+}
+
+/// Renders floor 0 at half-metre resolution.
+fn render_floor(building: &perpos::model::Building, trace: &[Point2], particles: &[Point2]) -> String {
+    let cell = 0.5;
+    let (w, h) = (20.0, 10.5);
+    let cols = (w / cell) as usize + 1;
+    let rows = (h / cell) as usize + 1;
+    let mut grid = vec![vec![' '; cols]; rows];
+    let floor = building.floor(0).expect("demo floor");
+    for wall in floor.walls() {
+        let steps = (wall.length() / (cell / 2.0)).ceil() as usize;
+        for i in 0..=steps {
+            let p = wall.lerp(i as f64 / steps.max(1) as f64);
+            let (r, c) = to_cell(p, cell, rows, cols);
+            grid[r][c] = '#';
+        }
+    }
+    for p in particles {
+        let (r, c) = to_cell(*p, cell, rows, cols);
+        if grid[r][c] == ' ' {
+            grid[r][c] = '*';
+        }
+    }
+    for p in trace {
+        let (r, c) = to_cell(*p, cell, rows, cols);
+        if grid[r][c] != '#' {
+            grid[r][c] = 'o';
+        }
+    }
+    let mut out = String::new();
+    for row in grid.iter().rev() {
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+fn to_cell(p: Point2, cell: f64, rows: usize, cols: usize) -> (usize, usize) {
+    let c = ((p.x / cell).round().max(0.0) as usize).min(cols - 1);
+    let r = ((p.y / cell).round().max(0.0) as usize).min(rows - 1);
+    (r, c)
+}

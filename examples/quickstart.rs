@@ -1,0 +1,57 @@
+//! Quickstart: the transparent ("seamless") use of PerPos.
+//!
+//! Builds the classic GPS pipeline of the paper's Fig. 1 — GPS sensor →
+//! Parser → Interpreter → application — runs it for a minute of simulated
+//! time and reads positions through the high-level Positioning Layer,
+//! without touching any middleware internals.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use perpos::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // A pedestrian walking 100 m east of the Aarhus campus anchor.
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).expect("valid anchor"));
+    let walk = Trajectory::new(
+        vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
+        1.4, // m/s
+    );
+
+    // Assemble the middleware: sensor -> parser -> interpreter -> app.
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(GpsSimulator::new("GPS", frame, walk).with_seed(7));
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0)?;
+    mw.connect(parser, interpreter, 0)?;
+    mw.connect(interpreter, app, 0)?;
+
+    // Pull semantics: request a provider, run, read positions.
+    let provider = mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84))?;
+
+    // Push semantics: subscribe before running.
+    let updates = provider.subscribe();
+
+    // Proximity notification 60 m down the road.
+    let waypoint = frame.from_local(&Point2::new(60.0, 0.0));
+    let proximity = provider.proximity_alert(waypoint, 10.0);
+
+    mw.run_for(SimDuration::from_secs(60), SimDuration::from_millis(500))?;
+
+    let last = provider.last_position().expect("a position after a minute");
+    println!("latest position : {last}");
+    println!("pushed updates  : {}", updates.try_iter().count());
+    for event in proximity.try_iter() {
+        println!(
+            "proximity       : {} the 10 m zone at {} ({:.1} m from centre)",
+            if event.entered { "entered" } else { "left" },
+            event.at,
+            event.distance_m
+        );
+    }
+
+    // The same middleware is translucent when you need it to be:
+    println!("\nprocess tree (the PSL view):\n{}", mw.render_process_tree());
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! The Room Number Application of the paper's introduction and Fig. 1:
+//! "shows the current position as a point on a map when outdoor and
+//! highlights the currently occupied room when within a building".
+//!
+//! Two pipelines feed one application sink:
+//!
+//! * GPS → Parser → Interpreter (WGS-84 positions; degrades to indoor
+//!   conditions under the roof),
+//! * WiFi scanner → WiFi positioning → Resolver (room identifiers via
+//!   the building's location model).
+//!
+//! Run with: `cargo run --example room_number_app`
+
+use std::sync::Arc;
+
+use perpos::prelude::*;
+use perpos_core::data::DataKind;
+
+fn main() -> Result<(), CoreError> {
+    let building = Arc::new(demo_building());
+    let frame = *building.frame();
+
+    // Walk from the street (west of the building) through the corridor
+    // to the last office, then stop.
+    let walk = Trajectory::new(
+        vec![
+            Point2::new(-40.0, 5.25),
+            Point2::new(-2.0, 5.25),
+            Point2::new(10.0, 5.25), // corridor
+            Point2::new(17.5, 5.25),
+            Point2::new(17.5, 2.0), // room R3
+        ],
+        1.4,
+    );
+
+    let mut mw = Middleware::new();
+
+    // GPS pipeline; reception collapses indoors.
+    let inside_building = {
+        let building = Arc::clone(&building);
+        move |p: Point2, _t| {
+            if building.inside(p, 0) {
+                GpsEnvironment::indoor()
+            } else {
+                GpsEnvironment::open_sky()
+            }
+        }
+    };
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(13)
+            .with_environment_fn(inside_building),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+
+    // WiFi pipeline with the building's own access points.
+    let env = Arc::new(WifiEnvironment::with_ap_per_room(Arc::clone(&building), 0));
+    let map = Arc::new(perpos::sensors::RadioMap::build(&env, 1.0));
+    let wifi = mw.add_component(WifiScanner::new("WiFi", env, walk.clone()).with_seed(17));
+    let wifi_pos = mw.add_component(WifiPositioning::new(map, Arc::clone(&building)));
+    let resolver = mw.add_component(Resolver::new(Arc::clone(&building)));
+
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0)?;
+    mw.connect(parser, interpreter, 0)?;
+    mw.connect_to_sink(interpreter, app)?;
+    mw.connect(wifi, wifi_pos, 0)?;
+    mw.connect(wifi_pos, resolver, 0)?;
+    mw.connect_to_sink(resolver, app)?;
+
+    let gps_provider = mw.location_provider(
+        Criteria::new().kind(kinds::POSITION_WGS84).source("gps"),
+    )?;
+    let room_provider = mw.location_provider(Criteria::new().kind(kinds::POSITION_ROOM))?;
+
+    println!("t(s)  display");
+    println!("----  -------");
+    let total_s = walk.duration().as_secs_f64() as u64 + 10;
+    for _ in 0..total_s {
+        mw.step()?;
+        let t = mw.now().as_secs_f64();
+        // The application's display rule from the paper's intro: a point
+        // on the map while GPS is healthy (outdoors), the occupied room
+        // once GPS degrades under the roof and WiFi takes over.
+        let fresh_gps = gps_provider.last_item().filter(|i| {
+            t - i.timestamp.as_secs_f64() <= 3.0
+                && i.payload
+                    .as_position()
+                    .and_then(|p| p.accuracy_m())
+                    .is_some_and(|a| a <= 20.0)
+        });
+        let line = match fresh_gps {
+            Some(item) => {
+                let p = item.position().expect("gps items carry positions");
+                let local = building.frame().to_local(p.coord());
+                format!("point on map at ({:>6.1}, {:>5.1})", local.x, local.y)
+            }
+            None => match freshest_room(&room_provider, t) {
+                Some(room) => format!("room {room}"),
+                None => "no position".to_string(),
+            },
+        };
+        if (t as u64) % 10 == 0 {
+            println!("{t:>4.0}  {line}");
+        }
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+
+    println!("\nchannels (the PCL view):");
+    for info in mw.channels() {
+        println!(
+            "  {} : {} -> {:?}",
+            info.id,
+            info.member_names.join(" -> "),
+            info.endpoint
+        );
+    }
+    Ok(())
+}
+
+/// The room reported within the last 5 s, if any.
+fn freshest_room(provider: &LocationProvider, now_s: f64) -> Option<String> {
+    let item = provider.last_item()?;
+    if now_s - item.timestamp.as_secs_f64() <= 5.0 {
+        let _: &DataKind = &item.kind;
+        item.payload.as_text().map(str::to_string)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,86 @@
+//! Seamful use of PerPos: the three abstraction levels of Fig. 2 and the
+//! §3.1 adaptation (detecting unreliable GPS readings), exercised through
+//! the public middleware API only.
+//!
+//! Run with: `cargo run --example seamful_inspection`
+
+use perpos::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).expect("valid"));
+    let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(60.0, 0.0)], 1.2);
+
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk)
+            .with_seed(41)
+            .with_environment(GpsEnvironment::urban()),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0)?;
+    mw.connect(parser, interpreter, 0)?;
+    mw.connect(interpreter, app, 0)?;
+
+    // ---- Level 3: the Positioning Layer (transparent use). -------------
+    let provider = mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84))?;
+    mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))?;
+    println!("== Positioning Layer ==");
+    println!("position: {:?}\n", provider.last_position().map(|p| p.to_string()));
+
+    // ---- Level 2: the Process Channel Layer. ---------------------------
+    println!("== Process Channel Layer ==");
+    for info in mw.channels() {
+        println!(
+            "channel {}: {} (features: {:?})",
+            info.id,
+            info.member_names.join(" -> "),
+            info.features
+        );
+    }
+
+    // ---- Level 1: the Process Structure Layer. -------------------------
+    println!("\n== Process Structure Layer ==");
+    print!("{}", mw.render_process_tree());
+    for node in mw.structure() {
+        let methods = mw.methods(node.id)?;
+        if !methods.is_empty() {
+            println!(
+                "{} exposes: {}",
+                node.descriptor.name,
+                methods
+                    .iter()
+                    .map(|m| format!("{}{}", m.name, m.signature))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+
+    // ---- The §3.1 adaptation, at runtime. -------------------------------
+    // Attach the NumberOfSatellites feature to the Parser and insert the
+    // satellite filter between Parser and Interpreter — while running.
+    println!("\n== Adapting the running process (§3.1) ==");
+    mw.attach_feature(parser, NumberOfSatellitesFeature::new())?;
+    let filter = mw.add_component(SatelliteFilter::new(5));
+    mw.insert_between(filter, parser, interpreter, 0)?;
+    println!("inserted SatelliteFilter (threshold 5) after the Parser");
+
+    mw.run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))?;
+    let filtered = mw.invoke(filter, "filteredCount", &[])?;
+    let last_sats = mw.invoke(parser, "getNumberOfSatellites", &[])?;
+    println!("unreliable readings filtered: {filtered}");
+    println!("latest satellite count (via the Parser's feature): {last_sats}");
+    print!("\nprocess tree after adaptation:\n{}", mw.render_process_tree());
+
+    // Reflection is causally connected: raising the threshold changes
+    // behaviour immediately.
+    mw.invoke(filter, "setThreshold", &[Value::Int(12)])?;
+    mw.run_for(SimDuration::from_secs(20), SimDuration::from_secs(1))?;
+    println!(
+        "after raising the threshold to 12: filtered = {}",
+        mw.invoke(filter, "filteredCount", &[])?
+    );
+    Ok(())
+}

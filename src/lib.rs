@@ -1,0 +1,48 @@
+//! # PerPos — a translucent positioning middleware (facade crate)
+//!
+//! This crate re-exports the whole PerPos workspace — a Rust
+//! reproduction of *"PerPos: A Translucent Positioning Middleware
+//! Supporting Adaptation of Internal Positioning Processes"*
+//! (Langdal, Schougaard, Kjærgaard, Toftkjær — Middleware 2010) — under
+//! one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `perpos-core` | the middleware: processing graph (PSL), channels & data trees (PCL), positioning layer, features, engine |
+//! | [`geo`] | `perpos-geo` | WGS-84 / ECEF / ENU coordinates and planar geometry |
+//! | [`nmea`] | `perpos-nmea` | NMEA-0183 parsing, generation and stream splitting |
+//! | [`model`] | `perpos-model` | buildings, rooms, walls, room graphs (the location model service) |
+//! | [`registry`] | `perpos-registry` | OSGi-like dynamic service registry |
+//! | [`sensors`] | `perpos-sensors` | GPS/WiFi/motion simulators, Fig. 1 pipeline components, trace emulator |
+//! | [`fusion`] | `perpos-fusion` | particle filter, Likelihood channel feature, Kalman/centroid baselines |
+//! | [`energy`] | `perpos-energy` | power models and the EnTracked strategy |
+//! | [`baselines`] | `perpos-baselines` | Location-Stack- and PoSIM-style comparison middlewares |
+//!
+//! See `examples/` for runnable scenarios (start with
+//! `cargo run --example quickstart`) and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use perpos_baselines as baselines;
+pub use perpos_core as core;
+pub use perpos_energy as energy;
+pub use perpos_fusion as fusion;
+pub use perpos_geo as geo;
+pub use perpos_model as model;
+pub use perpos_nmea as nmea;
+pub use perpos_registry as registry;
+pub use perpos_sensors as sensors;
+
+/// Everything an application built on PerPos usually needs.
+pub mod prelude {
+    pub use perpos_core::prelude::*;
+    pub use perpos_geo::{LocalFrame, Point2, Wgs84};
+    pub use perpos_model::{demo_building, Building, BuildingBuilder, RoomId};
+    pub use perpos_sensors::{
+        EmulatorSource, GpsEnvironment, GpsSimulator, HdopFeature, Interpreter, MotionSensor,
+        NumberOfSatellitesFeature, Parser, Resolver, SatelliteFilter, SensorWrapper, Trace,
+        Trajectory, WifiEnvironment, WifiPositioning, WifiScanner,
+    };
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the paper's §3.1 adaptation: detecting unreliable
+//! GPS readings by adding a Component Feature and inserting a filter
+//! component — all through the public middleware API, while running.
+
+use perpos::prelude::*;
+
+struct Setup {
+    mw: Middleware,
+    parser: perpos::core::graph::NodeId,
+    interpreter: perpos::core::graph::NodeId,
+    provider: LocationProvider,
+    frame: LocalFrame,
+    walk: Trajectory,
+}
+
+/// GPS in bad conditions (few satellites, drifting fixes) feeding the
+/// standard pipeline.
+fn bad_sky_pipeline() -> Setup {
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap());
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(7)
+            .with_environment(GpsEnvironment {
+                mean_visible_sats: 4.0, // straddles the reliability edge
+                sat_stddev: 1.5,
+                base_noise_m: 10.0,
+                dropout_prob: 0.0,
+            }),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, app, 0).unwrap();
+    let provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    Setup {
+        mw,
+        parser,
+        interpreter,
+        provider,
+        frame,
+        walk,
+    }
+}
+
+fn mean_error(setup: &Setup) -> f64 {
+    let truth = setup.walk.position_at(SimTime::ZERO);
+    let errs: Vec<f64> = setup
+        .provider
+        .history()
+        .iter()
+        .filter_map(|i| i.payload.as_position())
+        .map(|p| setup.frame.to_local(p.coord()).distance(&truth))
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+#[test]
+fn satellite_filter_improves_reliability() {
+    // Without the filter.
+    let mut unfiltered = bad_sky_pipeline();
+    unfiltered
+        .mw
+        .run_for(SimDuration::from_secs(120), SimDuration::from_secs(1))
+        .unwrap();
+    let raw_err = mean_error(&unfiltered);
+    let raw_count = unfiltered.provider.history().len();
+
+    // With the §3.1 adaptation.
+    let mut filtered = bad_sky_pipeline();
+    filtered
+        .mw
+        .attach_feature(filtered.parser, NumberOfSatellitesFeature::new())
+        .unwrap();
+    let filter_node = filtered.mw.add_component(SatelliteFilter::new(4));
+    filtered
+        .mw
+        .insert_between(filter_node, filtered.parser, filtered.interpreter, 0)
+        .unwrap();
+    filtered
+        .mw
+        .run_for(SimDuration::from_secs(120), SimDuration::from_secs(1))
+        .unwrap();
+    let filt_err = mean_error(&filtered);
+    let filt_count = filtered.provider.history().len();
+
+    assert!(filt_count < raw_count, "filter must drop some readings");
+    assert!(
+        filt_err < raw_err,
+        "filtered error {filt_err:.1} m must beat raw {raw_err:.1} m"
+    );
+    let dropped = filtered
+        .mw
+        .invoke(filter_node, "filteredCount", &[])
+        .unwrap();
+    assert!(matches!(dropped, Value::Int(n) if n > 0));
+}
+
+#[test]
+fn filter_cannot_connect_without_feature() {
+    let mut setup = bad_sky_pipeline();
+    let filter_node = setup.mw.add_component(SatelliteFilter::new(4));
+    // The paper's declared dependency: inserting before attaching the
+    // NumberOfSatellites feature fails validation and leaves the original
+    // pipeline untouched.
+    let err = setup
+        .mw
+        .insert_between(filter_node, setup.parser, setup.interpreter, 0)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::MissingFeature { .. }));
+    assert_eq!(
+        setup.mw.graph().downstream(setup.parser),
+        vec![(setup.interpreter, 0)],
+        "failed insert must restore the original edge"
+    );
+    // The pipeline still runs.
+    setup.mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1)).unwrap();
+}
+
+#[test]
+fn adaptation_mid_run_affects_only_subsequent_data() {
+    let mut setup = bad_sky_pipeline();
+    setup
+        .mw
+        .run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        .unwrap();
+    let before = setup.provider.history().len();
+    assert!(before > 0);
+
+    setup
+        .mw
+        .attach_feature(setup.parser, NumberOfSatellitesFeature::new())
+        .unwrap();
+    let filter_node = setup.mw.add_component(SatelliteFilter::new(12)); // absurd bar
+    setup
+        .mw
+        .insert_between(filter_node, setup.parser, setup.interpreter, 0)
+        .unwrap();
+    setup
+        .mw
+        .run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        .unwrap();
+    let after = setup.provider.history().len();
+    // With a 12-satellite bar virtually nothing passes any more.
+    assert!(
+        after - before <= 2,
+        "threshold 12 must block essentially all data ({before} -> {after})"
+    );
+}
+
+#[test]
+fn reflective_state_reaches_through_layers() {
+    let mut setup = bad_sky_pipeline();
+    setup
+        .mw
+        .attach_feature(setup.parser, NumberOfSatellitesFeature::new())
+        .unwrap();
+    setup
+        .mw
+        .run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+        .unwrap();
+    // Parser itself does not know getNumberOfSatellites; the feature
+    // answers through the node-level dispatch (paper §2.1).
+    let sats = setup
+        .mw
+        .invoke(setup.parser, "getNumberOfSatellites", &[])
+        .unwrap();
+    assert!(matches!(sats, Value::Int(_)), "got {sats:?}");
+    // Methods listing includes both component and feature methods.
+    let methods = setup.mw.methods(setup.parser).unwrap();
+    let names: Vec<&str> = methods.iter().map(|m| m.name.as_str()).collect();
+    assert!(names.contains(&"parsedCount"));
+    assert!(names.contains(&"getNumberOfSatellites"));
+}

@@ -1,0 +1,119 @@
+//! End-to-end test of the paper's §3.2 emulator workflow: record a live
+//! sensor, replay the trace through an emulator that "takes the place of
+//! the sensors", and verify the downstream pipeline behaves identically.
+
+use perpos::prelude::*;
+
+#[test]
+fn recorded_gps_replays_identically() {
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap());
+    let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)], 1.4);
+
+    // --- Live run, recording the raw sensor output. ---
+    let mut live = Middleware::new();
+    let gps = live.add_component(GpsSimulator::new("GPS", frame, walk).with_seed(5));
+    let recorder = perpos::sensors::TraceRecorderFeature::new();
+    let handle = recorder.handle();
+    live.attach_feature(gps, recorder).unwrap();
+    let parser = live.add_component(Parser::new());
+    let interpreter = live.add_component(Interpreter::new());
+    let app = live.application_sink();
+    live.connect(gps, parser, 0).unwrap();
+    live.connect(parser, interpreter, 0).unwrap();
+    live.connect(interpreter, app, 0).unwrap();
+    let live_provider = live
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    live.run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+        .unwrap();
+    let live_positions: Vec<String> = live_provider
+        .history()
+        .iter()
+        .map(|i| i.payload.to_string())
+        .collect();
+    let trace = handle.trace();
+    assert!(!trace.is_empty());
+
+    // --- Replay through a file, emulator in place of the sensor. ---
+    let dir = std::env::temp_dir().join("perpos-replay-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gps-trace.json");
+    trace.save_to_file(&path).unwrap();
+
+    let mut replay = Middleware::new();
+    let emulator =
+        replay.add_component(EmulatorSource::from_file("GPS-emulator", &path).unwrap());
+    let parser2 = replay.add_component(Parser::new());
+    let interpreter2 = replay.add_component(Interpreter::new());
+    let app2 = replay.application_sink();
+    replay.connect(emulator, parser2, 0).unwrap();
+    replay.connect(parser2, interpreter2, 0).unwrap();
+    replay.connect(interpreter2, app2, 0).unwrap();
+    let replay_provider = replay
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    replay
+        .run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+        .unwrap();
+    let replay_positions: Vec<String> = replay_provider
+        .history()
+        .iter()
+        .map(|i| i.payload.to_string())
+        .collect();
+
+    assert_eq!(
+        live_positions, replay_positions,
+        "replayed pipeline must produce the exact same positions"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn emulator_supports_downstream_adaptations() {
+    // Record a bad-sky run, then test a filter threshold offline against
+    // the recording — the authoring workflow emulators enable.
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap());
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut live = Middleware::new();
+    let gps = live.add_component(
+        GpsSimulator::new("GPS", frame, walk)
+            .with_seed(9)
+            .with_environment(GpsEnvironment {
+                mean_visible_sats: 4.5,
+                sat_stddev: 1.5,
+                base_noise_m: 8.0,
+                dropout_prob: 0.0,
+            }),
+    );
+    let recorder = perpos::sensors::TraceRecorderFeature::new();
+    let handle = recorder.handle();
+    live.attach_feature(gps, recorder).unwrap();
+    let sink = live.application_sink();
+    live.connect(gps, sink, 0).unwrap();
+    live.run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    let trace = handle.trace();
+
+    // Offline: emulator -> parser(+sats feature) -> filter -> interpreter.
+    let mut offline = Middleware::new();
+    let emu = offline.add_component(EmulatorSource::new("emu", trace));
+    let parser = offline.add_component(Parser::new());
+    offline
+        .attach_feature(parser, NumberOfSatellitesFeature::new())
+        .unwrap();
+    let filter = offline.add_component(SatelliteFilter::new(5));
+    let interpreter = offline.add_component(Interpreter::new());
+    let app = offline.application_sink();
+    offline.connect(emu, parser, 0).unwrap();
+    offline.connect(parser, filter, 0).unwrap();
+    offline.connect(filter, interpreter, 0).unwrap();
+    offline.connect(interpreter, app, 0).unwrap();
+    offline
+        .run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    let dropped = offline.invoke(filter, "filteredCount", &[]).unwrap();
+    assert!(
+        matches!(dropped, Value::Int(n) if n > 0),
+        "offline filter evaluation must exercise the filter: {dropped:?}"
+    );
+}

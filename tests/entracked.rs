@@ -1,0 +1,139 @@
+//! End-to-end test of the §3.3 / Fig. 7 adaptation: EnTracked power
+//! management through the Power Strategy Component Feature and the
+//! EnTracked Channel Feature.
+
+use perpos::energy::{EnTrackedFeature, EnergyMeter, PowerModel, PowerStrategyFeature};
+use perpos::prelude::*;
+
+struct Run {
+    energy: EnergyMeter,
+    reports: Vec<(SimTime, Point2)>,
+    walk: Trajectory,
+}
+
+fn run(walk: Trajectory, entracked_threshold: Option<f64>, seconds: u64) -> Run {
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap());
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(17)
+            .with_acquisition_delay(SimDuration::from_secs(3)),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let motion = mw.add_component(MotionSensor::new("Motion", walk.clone()).with_seed(19));
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, app, 0).unwrap();
+    let target = mw.add_target("device");
+    mw.connect(motion, target.node(), 0).unwrap();
+    if let Some(threshold) = entracked_threshold {
+        mw.attach_feature(gps, PowerStrategyFeature::new()).unwrap();
+        let channel = mw.channel_into(target.node(), 0).unwrap();
+        mw.attach_channel_feature(channel, EnTrackedFeature::new(gps, interpreter, threshold))
+            .unwrap();
+    }
+    let provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    let mut energy = EnergyMeter::new(PowerModel::default());
+    let mut seen = 0usize;
+    let mut reports = Vec::new();
+    for _ in 0..seconds {
+        mw.step().unwrap();
+        let on = mw.invoke(gps, "isEnabled", &[]).unwrap() == Value::Bool(true);
+        let acq = mw.invoke(gps, "isAcquiring", &[]).unwrap() == Value::Bool(true);
+        energy.sample(on, acq, true, SimDuration::from_secs(1));
+        let history = provider.history();
+        for item in &history[seen..] {
+            if let Some(p) = item.payload.as_position() {
+                reports.push((item.timestamp, frame.to_local(p.coord())));
+            }
+        }
+        energy.add_transmissions((history.len() - seen) as u64);
+        seen = history.len();
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+    Run {
+        energy,
+        reports,
+        walk,
+    }
+}
+
+/// The "error of the last known position" metric EnTracked bounds.
+fn max_staleness_error(run: &Run, seconds: u64) -> f64 {
+    let mut worst: f64 = 0.0;
+    for s in 0..seconds {
+        let t = SimTime::from_secs_f64(s as f64);
+        let truth = run.walk.position_at(t);
+        let last_known = run
+            .reports
+            .iter()
+            .rev()
+            .find(|(rt, _)| *rt <= t)
+            .map(|(_, p)| *p);
+        if let Some(p) = last_known {
+            worst = worst.max(p.distance(&truth));
+        }
+    }
+    worst
+}
+
+#[test]
+fn entracked_saves_energy_on_stationary_target() {
+    let stationary = Trajectory::stationary(Point2::new(3.0, 3.0));
+    let always = run(stationary.clone(), None, 300);
+    let ent = run(stationary, Some(50.0), 300);
+    assert!(
+        ent.energy.total_j() < always.energy.total_j() / 4.0,
+        "EnTracked {:.0} J must be far below always-on {:.0} J",
+        ent.energy.total_j(),
+        always.energy.total_j()
+    );
+    assert!(ent.energy.gps_on_s() < 60.0, "GPS mostly off");
+    assert!(!ent.reports.is_empty(), "at least one position reported");
+}
+
+#[test]
+fn entracked_bounds_error_while_moving() {
+    let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(350.0, 0.0)], 1.4);
+    let threshold = 60.0;
+    let seconds = 250;
+    let ent = run(walk.clone(), Some(threshold), seconds);
+    let always = run(walk, None, seconds);
+
+    assert!(
+        ent.energy.total_j() < always.energy.total_j(),
+        "duty-cycling must save energy while moving too ({:.0} vs {:.0} J)",
+        ent.energy.total_j(),
+        always.energy.total_j()
+    );
+    let stale = max_staleness_error(&ent, seconds);
+    // The threshold is on distance between updates; acquisition delay adds
+    // slack, so allow 2x.
+    assert!(
+        stale < threshold * 2.0,
+        "last-known-position error {stale:.0} m must stay near the {threshold} m threshold"
+    );
+    assert!(
+        ent.reports.len() >= 3,
+        "periodic reports while moving: {}",
+        ent.reports.len()
+    );
+}
+
+#[test]
+fn tighter_threshold_costs_more_energy() {
+    let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(350.0, 0.0)], 1.4);
+    let tight = run(walk.clone(), Some(20.0), 250);
+    let loose = run(walk, Some(120.0), 250);
+    assert!(
+        tight.energy.total_j() > loose.energy.total_j(),
+        "tight {:.0} J vs loose {:.0} J",
+        tight.energy.total_j(),
+        loose.energy.total_j()
+    );
+    assert!(tight.reports.len() > loose.reports.len());
+}

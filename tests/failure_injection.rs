@@ -1,0 +1,209 @@
+//! Failure-injection tests: the middleware must degrade gracefully under
+//! sensor dropouts, garbage data, runtime component removal, and features
+//! that swallow everything.
+
+use std::any::Any;
+
+use perpos::core::component::{Component, ComponentCtx, ComponentDescriptor};
+use perpos::core::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
+use perpos::prelude::*;
+
+/// A source that emits garbage interleaved with valid NMEA.
+struct GarbageGps {
+    inner: GpsSimulator,
+    counter: u64,
+}
+
+impl Component for GarbageGps {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source("GarbageGPS", vec![kinds::RAW_STRING])
+    }
+
+    fn on_input(
+        &mut self,
+        _p: usize,
+        _i: DataItem,
+        _c: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Ok(())
+    }
+
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        self.counter += 1;
+        match self.counter % 4 {
+            0 => ctx.emit_value(kinds::RAW_STRING, Value::from("$GARBAGE*ZZ")),
+            1 => ctx.emit_value(kinds::RAW_STRING, Value::from("!!noise!!")),
+            2 => ctx.emit_value(kinds::RAW_STRING, Value::Int(42)), // not even text
+            _ => {}
+        }
+        self.inner.on_tick(ctx)
+    }
+}
+
+fn frame() -> LocalFrame {
+    LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap())
+}
+
+#[test]
+fn garbage_bursts_do_not_stop_the_pipeline() {
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(GarbageGps {
+        inner: GpsSimulator::new("GPS", frame(), walk).with_seed(3),
+        counter: 0,
+    });
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, app, 0).unwrap();
+    let provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    mw.run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    assert!(
+        provider.last_position().is_some(),
+        "positions still flow despite garbage"
+    );
+    let errors = mw.invoke(parser, "errorCount", &[]).unwrap();
+    assert!(matches!(errors, Value::Int(n) if n > 20), "{errors:?}");
+}
+
+#[test]
+fn dropout_heavy_sensor_keeps_engine_running() {
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame(), walk)
+            .with_seed(7)
+            .with_environment(GpsEnvironment {
+                dropout_prob: 0.95,
+                ..GpsEnvironment::open_sky()
+            }),
+    );
+    let app = mw.application_sink();
+    mw.connect(gps, app, 0).unwrap();
+    mw.run_for(SimDuration::from_secs(120), SimDuration::from_secs(1))
+        .unwrap();
+    // No panic, and the engine stepped every tick.
+    assert_eq!(mw.steps_run(), 120);
+}
+
+#[test]
+fn removing_a_running_component_stops_its_branch_only() {
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps1 = mw.add_component(GpsSimulator::new("GPS-1", frame(), walk.clone()).with_seed(1));
+    let gps2 = mw.add_component(GpsSimulator::new("GPS-2", frame(), walk).with_seed(2));
+    let p1 = mw.add_component(Parser::new());
+    let p2 = mw.add_component(Parser::new());
+    let app = mw.application_sink();
+    mw.connect(gps1, p1, 0).unwrap();
+    mw.connect(gps2, p2, 0).unwrap();
+    mw.connect_to_sink(p1, app).unwrap();
+    mw.connect_to_sink(p2, app).unwrap();
+    let provider = mw.location_provider(Criteria::new()).unwrap();
+    mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1))
+        .unwrap();
+    let before = provider.delivered_count();
+    assert!(before > 0);
+
+    // Remove the first pipeline's source mid-run.
+    mw.remove_component(gps1).unwrap();
+    mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1))
+        .unwrap();
+    let after = provider.delivered_count();
+    assert!(after > before, "second branch still delivers");
+    // Only one channel remains rooted at a source.
+    assert_eq!(
+        mw.channels()
+            .iter()
+            .filter(|c| c.member_names.iter().any(|n| n.starts_with("GPS")))
+            .count(),
+        1
+    );
+}
+
+/// A feature that swallows every item.
+struct BlackHole;
+
+impl ComponentFeature for BlackHole {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new("BlackHole")
+    }
+    fn on_produce(
+        &mut self,
+        _item: DataItem,
+        _host: &mut FeatureHost<'_>,
+    ) -> Result<FeatureAction, CoreError> {
+        Ok(FeatureAction::Drop)
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn black_hole_feature_is_detachable() {
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(GpsSimulator::new("GPS", frame(), walk).with_seed(5));
+    let app = mw.application_sink();
+    mw.connect(gps, app, 0).unwrap();
+    mw.attach_feature(gps, BlackHole).unwrap();
+    let provider = mw.location_provider(Criteria::new()).unwrap();
+    mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+        .unwrap();
+    assert_eq!(provider.delivered_count(), 0, "everything swallowed");
+    // Detach and recover.
+    mw.detach_feature(gps, "BlackHole").unwrap();
+    mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+        .unwrap();
+    assert!(provider.delivered_count() > 0, "flow restored");
+}
+
+#[test]
+fn failing_component_surfaces_error_once() {
+    struct FailsAfter {
+        remaining: u32,
+    }
+    impl Component for FailsAfter {
+        fn descriptor(&self) -> ComponentDescriptor {
+            ComponentDescriptor::source("flaky", vec![kinds::RAW_STRING])
+        }
+        fn on_input(
+            &mut self,
+            _p: usize,
+            _i: DataItem,
+            _c: &mut ComponentCtx,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            if self.remaining == 0 {
+                return Err(CoreError::ComponentFailure {
+                    component: "flaky".into(),
+                    reason: "hardware fault".into(),
+                });
+            }
+            self.remaining -= 1;
+            ctx.emit_value(kinds::RAW_STRING, Value::from("ok"));
+            Ok(())
+        }
+    }
+    let mut mw = Middleware::new();
+    let flaky = mw.add_component(FailsAfter { remaining: 3 });
+    let app = mw.application_sink();
+    mw.connect(flaky, app, 0).unwrap();
+    for _ in 0..3 {
+        mw.step().unwrap();
+        mw.advance_clock(SimDuration::from_secs(1));
+    }
+    let err = mw.step().unwrap_err();
+    assert!(matches!(err, CoreError::ComponentFailure { .. }));
+    // The application can remove the faulty component and continue.
+    mw.remove_component(flaky).unwrap();
+    mw.step().unwrap();
+}

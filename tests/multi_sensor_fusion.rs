@@ -1,0 +1,157 @@
+//! End-to-end test of the paper's Fig. 2 configuration: a particle
+//! filter aggregating measurements from a GPS *and* a WiFi sensor, with
+//! the three abstraction levels derived from the one graph.
+
+use std::sync::Arc;
+
+use perpos::fusion::{LikelihoodFeature, ParticleFilter};
+use perpos::prelude::*;
+
+struct Setup {
+    mw: Middleware,
+    pf: perpos::core::graph::NodeId,
+    walk: Trajectory,
+    frame: LocalFrame,
+}
+
+fn fig2_graph() -> Setup {
+    let building = Arc::new(demo_building());
+    let frame = *building.frame();
+    // Indoors along the corridor: GPS is poor, WiFi is good — fusion must
+    // weather both.
+    let walk = Trajectory::new(
+        vec![Point2::new(1.0, 5.25), Point2::new(19.0, 5.25)],
+        0.9,
+    );
+    let mut mw = Middleware::new();
+
+    // GPS branch (degraded indoors).
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(61)
+            .with_environment(GpsEnvironment::urban()),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.attach_feature(parser, HdopFeature::new()).unwrap();
+
+    // WiFi branch.
+    let env = Arc::new(WifiEnvironment::with_ap_per_room(Arc::clone(&building), 0));
+    let map = Arc::new(perpos::sensors::RadioMap::build(&env, 1.0));
+    let wifi = mw.add_component(WifiScanner::new("WiFi", env, walk.clone()).with_seed(67));
+    let wifi_pos = mw.add_component(WifiPositioning::new(map, Arc::clone(&building)));
+    mw.connect(wifi, wifi_pos, 0).unwrap();
+
+    // The merge: a 2-input particle filter (Fig. 2's central node).
+    let likelihood = LikelihoodFeature::new();
+    let handle = likelihood.handle();
+    let pf = mw.add_component(
+        ParticleFilter::new("ParticleFilter", frame, 2)
+            .with_seed(71)
+            .with_particles(600)
+            .with_building(Arc::clone(&building), 0)
+            .with_likelihood(handle),
+    );
+    let app = mw.application_sink();
+    mw.connect(interpreter, pf, 0).unwrap();
+    mw.connect(wifi_pos, pf, 1).unwrap();
+    mw.connect(pf, app, 0).unwrap();
+
+    // Likelihood Channel Feature on the GPS channel (Fig. 5 wiring).
+    let gps_channel = mw.channel_into(pf, 0).expect("gps channel");
+    mw.attach_channel_feature(gps_channel, likelihood).unwrap();
+
+    Setup { mw, pf, walk, frame }
+}
+
+#[test]
+fn three_channels_derive_from_fig2_graph() {
+    let s = fig2_graph();
+    let channels = s.mw.channels();
+    // GPS chain -> PF, WiFi chain -> PF, PF -> app.
+    assert_eq!(channels.len(), 3);
+    let heads: Vec<&str> = channels
+        .iter()
+        .map(|c| c.member_names[0].as_str())
+        .collect();
+    assert!(heads.contains(&"GPS"));
+    assert!(heads.contains(&"WiFi"));
+    assert!(heads.contains(&"ParticleFilter"));
+    // Both sensor channels end at the particle filter.
+    let pf_endpoints = channels
+        .iter()
+        .filter(|c| c.endpoint.map(|(n, _)| n) == Some(s.pf))
+        .count();
+    assert_eq!(pf_endpoints, 2);
+}
+
+#[test]
+fn fused_track_follows_truth_indoors() {
+    let mut s = fig2_graph();
+    let fused = s
+        .mw
+        .location_provider(Criteria::new().source("fusion"))
+        .unwrap();
+    let mut errs = Vec::new();
+    for _ in 0..25 {
+        s.mw.step().unwrap();
+        let truth = s.walk.position_at(s.mw.now());
+        if let Some(p) = fused.last_position() {
+            errs.push(s.frame.to_local(p.coord()).distance(&truth));
+        }
+        s.mw.advance_clock(SimDuration::from_secs(1));
+    }
+    assert!(errs.len() > 15, "fusion produced a track");
+    let settled = &errs[5..];
+    let mean = settled.iter().sum::<f64>() / settled.len() as f64;
+    assert!(
+        mean < 8.0,
+        "multi-sensor fused track should be accurate indoors, got {mean:.2} m"
+    );
+}
+
+#[test]
+fn fusion_survives_losing_one_sensor() {
+    let mut s = fig2_graph();
+    let fused = s
+        .mw
+        .location_provider(Criteria::new().source("fusion"))
+        .unwrap();
+    s.mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1))
+        .unwrap();
+    let before = fused.history().len();
+    assert!(before > 0);
+    // The GPS dies (device off). WiFi keeps the filter fed.
+    let gps = s
+        .mw
+        .structure()
+        .into_iter()
+        .find(|n| n.descriptor.name == "GPS")
+        .unwrap()
+        .id;
+    s.mw.invoke(gps, "setEnabled", &[Value::Bool(false)]).unwrap();
+    s.mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+        .unwrap();
+    let after = fused.history().len();
+    assert!(
+        after >= before + 8,
+        "fusion output must continue on WiFi alone ({before} -> {after})"
+    );
+}
+
+#[test]
+fn positioning_layer_hides_the_fusion() {
+    // Transparent use: an application that just asks for positions does
+    // not see (or care) that a particle filter was plugged in.
+    let mut s = fig2_graph();
+    let any_position = s
+        .mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+        .unwrap();
+    s.mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
+        .unwrap();
+    let p = any_position.last_position().expect("position available");
+    assert!(p.accuracy_m().is_some());
+}

@@ -1,0 +1,211 @@
+//! End-to-end test of the §3.2 / Fig. 5 / Fig. 6 adaptation: the
+//! particle filter integrated through the HDOP Component Feature and the
+//! Likelihood Channel Feature.
+
+use std::sync::Arc;
+
+use perpos::fusion::{LikelihoodFeature, ParticleFilter};
+use perpos::prelude::*;
+
+struct Setup {
+    mw: Middleware,
+    frame: LocalFrame,
+    walk: Trajectory,
+    gps_channel: perpos::core::channel::ChannelId,
+    raw_trace: perpos::sensors::TraceRecorderFeature,
+    fused: LocationProvider,
+}
+
+fn pipeline(constrained: bool) -> Setup {
+    let building = Arc::new(demo_building());
+    let frame = *building.frame();
+    let walk = Trajectory::new(
+        vec![Point2::new(1.0, 5.25), Point2::new(18.0, 5.25)],
+        1.0,
+    );
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(11)
+            .with_environment(GpsEnvironment::urban()),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let likelihood = LikelihoodFeature::new();
+    let handle = likelihood.handle();
+    let mut pf = ParticleFilter::new("PF", frame, 1)
+        .with_seed(13)
+        .with_particles(600)
+        .with_likelihood(handle);
+    if constrained {
+        pf = pf.with_building(Arc::clone(&building), 0);
+    }
+    let pf = mw.add_component(pf);
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect(interpreter, pf, 0).unwrap();
+    mw.connect(pf, app, 0).unwrap();
+    mw.attach_feature(parser, HdopFeature::new()).unwrap();
+    let recorder = perpos::sensors::TraceRecorderFeature::new();
+    let raw_trace = recorder.handle();
+    mw.attach_feature(interpreter, recorder).unwrap();
+    let gps_channel = mw.channel_into(pf, 0).expect("gps channel");
+    mw.attach_channel_feature(gps_channel, likelihood).unwrap();
+    let fused = mw
+        .location_provider(Criteria::new().source("fusion"))
+        .unwrap();
+    Setup {
+        mw,
+        frame,
+        walk,
+        gps_channel,
+        raw_trace,
+        fused,
+    }
+}
+
+fn errors(setup: &Setup, items: &[perpos::core::data::DataItem]) -> Vec<f64> {
+    items
+        .iter()
+        .filter_map(|i| {
+            let p = i.payload.as_position()?;
+            let truth = setup.walk.position_at(i.timestamp);
+            Some(setup.frame.to_local(p.coord()).distance(&truth))
+        })
+        .collect()
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+#[test]
+fn filter_beats_raw_gps() {
+    let mut s = pipeline(true);
+    s.mw
+        .run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    let raw = errors(&s, &s.raw_trace.trace().items);
+    let fused = errors(&s, &s.fused.history());
+    assert!(raw.len() > 20, "enough raw fixes: {}", raw.len());
+    assert!(fused.len() > 20, "enough fused fixes: {}", fused.len());
+    assert!(
+        mean(&fused) < mean(&raw),
+        "fused {:.2} m must beat raw {:.2} m",
+        mean(&fused),
+        mean(&raw)
+    );
+}
+
+#[test]
+fn likelihood_feature_learns_hdop() {
+    let mut s = pipeline(true);
+    // Before any data the conservative prior applies.
+    let sigma0 = s
+        .mw
+        .invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(sigma0, 15.0);
+    s.mw
+        .run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        .unwrap();
+    let sigma = s
+        .mw
+        .invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(sigma != sigma0, "sigma updated from data trees: {sigma}");
+    // getLikelihood is monotone in distance.
+    let near = s
+        .mw
+        .invoke_channel_feature(
+            s.gps_channel,
+            "Likelihood",
+            "getLikelihood",
+            &[Value::Float(1.0)],
+        )
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let far = s
+        .mw
+        .invoke_channel_feature(
+            s.gps_channel,
+            "Likelihood",
+            "getLikelihood",
+            &[Value::Float(80.0)],
+        )
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(near > far);
+}
+
+#[test]
+fn likelihood_requires_hdop_feature() {
+    // Attaching the Likelihood Channel Feature without the HDOP Component
+    // Feature on a member must fail (declared dependency, Fig. 5).
+    let frame = LocalFrame::new(Wgs84::new(56.17, 10.19, 0.0).unwrap());
+    let walk = Trajectory::stationary(Point2::new(0.0, 0.0));
+    let mut mw = Middleware::new();
+    let gps = mw.add_component(GpsSimulator::new("GPS", frame, walk).with_seed(1));
+    let parser = mw.add_component(Parser::new());
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, app, 0).unwrap();
+    let channel = mw.channel_into(app, 0).unwrap();
+    let err = mw
+        .attach_channel_feature(channel, LikelihoodFeature::new())
+        .unwrap_err();
+    assert!(matches!(err, CoreError::MissingFeature { .. }));
+}
+
+#[test]
+fn constrained_filter_not_worse_than_unconstrained() {
+    let mut free = pipeline(false);
+    free.mw
+        .run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    let free_err = mean(&errors(&free, &free.fused.history()));
+
+    let mut constrained = pipeline(true);
+    constrained
+        .mw
+        .run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+        .unwrap();
+    let con_err = mean(&errors(&constrained, &constrained.fused.history()));
+
+    // Walls prune impossible hypotheses; allow a small tolerance for the
+    // stochastic case where both are already near-optimal.
+    assert!(
+        con_err <= free_err * 1.25,
+        "constrained {con_err:.2} m should not be much worse than free {free_err:.2} m"
+    );
+}
+
+#[test]
+fn fused_positions_report_shrinking_uncertainty() {
+    let mut s = pipeline(true);
+    s.mw
+        .run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+        .unwrap();
+    let history = s.fused.history();
+    let first_acc = history
+        .first()
+        .and_then(|i| i.payload.as_position())
+        .and_then(|p| p.accuracy_m())
+        .unwrap();
+    let last_acc = history
+        .last()
+        .and_then(|i| i.payload.as_position())
+        .and_then(|p| p.accuracy_m())
+        .unwrap();
+    assert!(
+        last_acc < first_acc * 2.0,
+        "uncertainty stays bounded: {first_acc:.1} -> {last_acc:.1}"
+    );
+}

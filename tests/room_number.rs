@@ -1,0 +1,126 @@
+//! End-to-end test of the Room Number Application scenario (paper Fig. 1):
+//! GPS + WiFi pipelines into one application, with symbolic resolution.
+
+use std::sync::Arc;
+
+use perpos::prelude::*;
+
+fn build_app(
+    walk: Trajectory,
+) -> (
+    Middleware,
+    Arc<perpos::model::Building>,
+    LocationProvider,
+    LocationProvider,
+) {
+    let building = Arc::new(demo_building());
+    let frame = *building.frame();
+    let mut mw = Middleware::new();
+
+    let inside = {
+        let b = Arc::clone(&building);
+        move |p: Point2, _| {
+            if b.inside(p, 0) {
+                GpsEnvironment::indoor()
+            } else {
+                GpsEnvironment::open_sky()
+            }
+        }
+    };
+    let gps = mw.add_component(
+        GpsSimulator::new("GPS", frame, walk.clone())
+            .with_seed(3)
+            .with_environment_fn(inside),
+    );
+    let parser = mw.add_component(Parser::new());
+    let interpreter = mw.add_component(Interpreter::new());
+    let env = Arc::new(WifiEnvironment::with_ap_per_room(Arc::clone(&building), 0));
+    let map = Arc::new(perpos::sensors::RadioMap::build(&env, 1.0));
+    let wifi = mw.add_component(WifiScanner::new("WiFi", env, walk).with_seed(5));
+    let wifi_pos = mw.add_component(WifiPositioning::new(map, Arc::clone(&building)));
+    let resolver = mw.add_component(Resolver::new(Arc::clone(&building)));
+    let app = mw.application_sink();
+    mw.connect(gps, parser, 0).unwrap();
+    mw.connect(parser, interpreter, 0).unwrap();
+    mw.connect_to_sink(interpreter, app).unwrap();
+    mw.connect(wifi, wifi_pos, 0).unwrap();
+    mw.connect(wifi_pos, resolver, 0).unwrap();
+    mw.connect_to_sink(resolver, app).unwrap();
+
+    let gps_provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84).source("gps"))
+        .unwrap();
+    let room_provider = mw
+        .location_provider(Criteria::new().kind(kinds::POSITION_ROOM))
+        .unwrap();
+    (mw, building, gps_provider, room_provider)
+}
+
+#[test]
+fn indoor_walk_resolves_to_correct_rooms() {
+    // Stand in room R1 (centre 7.5, 2.0).
+    let (mut mw, _b, _gps, rooms) =
+        build_app(Trajectory::stationary(Point2::new(7.5, 2.0)));
+    mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        .unwrap();
+    let history = rooms.history();
+    assert!(!history.is_empty(), "rooms resolved");
+    // The dominant resolved room must be R1.
+    let r1 = history
+        .iter()
+        .filter(|i| i.payload.as_text() == Some("R1"))
+        .count();
+    assert!(
+        r1 * 2 > history.len(),
+        "R1 seen {}/{} times",
+        r1,
+        history.len()
+    );
+}
+
+#[test]
+fn outdoor_positions_track_the_street() {
+    let (mut mw, building, gps, _rooms) = build_app(Trajectory::new(
+        vec![Point2::new(-60.0, 5.0), Point2::new(-10.0, 5.0)],
+        1.4,
+    ));
+    mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+        .unwrap();
+    let p = gps.last_position().expect("GPS works outdoors");
+    let local = building.frame().to_local(p.coord());
+    let truth = Point2::new(-60.0 + 30.0 * 1.4, 5.0);
+    assert!(
+        local.distance(&truth) < 40.0,
+        "{local} vs truth {truth}"
+    );
+}
+
+#[test]
+fn both_channels_visible_at_pcl() {
+    let (mw, ..) = build_app(Trajectory::stationary(Point2::new(7.5, 2.0)));
+    let channels = mw.channels();
+    assert_eq!(channels.len(), 2);
+    let names: Vec<String> = channels
+        .iter()
+        .map(|c| c.member_names.join("->"))
+        .collect();
+    assert!(names.iter().any(|n| n.contains("GPS")), "{names:?}");
+    assert!(names.iter().any(|n| n.contains("WiFi")), "{names:?}");
+    // Both end at the same application sink.
+    let endpoints: Vec<_> = channels.iter().filter_map(|c| c.endpoint).collect();
+    assert_eq!(endpoints.len(), 2);
+    assert_eq!(endpoints[0].0, endpoints[1].0);
+}
+
+#[test]
+fn wifi_only_indoors_still_positions() {
+    // Deep inside, GPS dies; WiFi keeps the application supplied.
+    let (mut mw, _b, _gps, rooms) =
+        build_app(Trajectory::stationary(Point2::new(12.5, 8.5)));
+    mw.run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+        .unwrap();
+    assert!(
+        rooms.history().len() > 20,
+        "WiFi pipeline delivers continuously indoors"
+    );
+}
