@@ -1,0 +1,119 @@
+//! `perpos-lint` — lint a PerPos graph configuration from the command
+//! line.
+//!
+//! ```text
+//! perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
+//! ```
+//!
+//! Exit status: `0` when no error-severity findings were reported
+//! (warnings allowed), `1` when the configuration has errors, `2` on
+//! usage or I/O problems.
+
+use std::process::ExitCode;
+
+use perpos_analysis::{analyze_config, TypeCatalog};
+use perpos_core::assembly::GraphConfig;
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    config_path: String,
+    catalog_path: Option<String>,
+    format: Format,
+}
+
+const USAGE: &str =
+    "usage: perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
+
+Lints a PerPos GraphConfig JSON file with the perpos-analysis passes
+(P001-P007). Without --catalog only the built-in \"application\" type is
+known; pass a catalog (see perpos_analysis::TypeCatalog) describing the
+component types the configuration references.
+
+exit status: 0 = no errors, 1 = errors found, 2 = usage or I/O error";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config_path = None;
+    let mut catalog_path = None;
+    let mut format = Format::Human;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--catalog" => {
+                catalog_path = Some(it.next().ok_or("--catalog needs a file argument")?.clone());
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some(other) => return Err(format!("unknown format {other:?}")),
+                    None => return Err("--format needs human|json".to_string()),
+                };
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            other => {
+                if config_path.replace(other.to_string()).is_some() {
+                    return Err("more than one config file given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        config_path: config_path.ok_or("missing config file argument")?,
+        catalog_path,
+        format,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let config_text = std::fs::read_to_string(&args.config_path)
+        .map_err(|e| format!("cannot read {:?}: {e}", args.config_path))?;
+    let config: GraphConfig = serde_json::from_str(&config_text)
+        .map_err(|e| format!("{:?} is not a GraphConfig: {e}", args.config_path))?;
+
+    let catalog = match &args.catalog_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            serde_json::from_str::<TypeCatalog>(&text)
+                .map_err(|e| format!("{path:?} is not a TypeCatalog: {e}"))?
+        }
+        None => TypeCatalog::new(),
+    };
+
+    let report = analyze_config(&config, &catalog);
+    match args.format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => println!("{}", report.render_json()),
+    }
+    Ok(report.has_errors())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::from(1),
+        Ok(false) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Structured diagnostics: stable codes, severities, offending paths and
+//! fix-it hints, with human-readable and JSON renderings.
+
+use std::fmt;
+
+use serde::{Content, Serialize};
+
+/// Stable diagnostic codes. The numeric part never changes meaning once
+/// released; renderers and tests key on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Type-flow mismatch: a producer's effective output kinds cannot
+    /// satisfy the consuming port's accepted kinds.
+    P001,
+    /// Dangling required input: a declared input port is never connected.
+    P002,
+    /// Unsatisfiable feature requirement: a port's `requiring_feature`
+    /// declaration cannot be met by the upstream producer.
+    P003,
+    /// Dead component: no directed path to any sink (includes orphan
+    /// sources and unconsumed subgraphs).
+    P004,
+    /// Configuration cycle: the declared connections contain a cycle, so
+    /// instantiation would be rejected.
+    P005,
+    /// Feature conflict: features on one component add the same data kind
+    /// or expose colliding method names.
+    P006,
+    /// Configuration reference error: unknown instance/type names,
+    /// duplicate instance names, out-of-range or doubly-driven ports.
+    P007,
+    /// Non-monotonic logical time observed on a channel at runtime.
+    P008,
+}
+
+impl Code {
+    /// All codes, in numeric order.
+    pub const ALL: [Code; 8] = [
+        Code::P001,
+        Code::P002,
+        Code::P003,
+        Code::P004,
+        Code::P005,
+        Code::P006,
+        Code::P007,
+        Code::P008,
+    ];
+
+    /// The stable textual form, e.g. `"P001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::P001 => "P001",
+            Code::P002 => "P002",
+            Code::P003 => "P003",
+            Code::P004 => "P004",
+            Code::P005 => "P005",
+            Code::P006 => "P006",
+            Code::P007 => "P007",
+            Code::P008 => "P008",
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::P001 => "type-flow mismatch between producer and consumer port",
+            Code::P002 => "declared input port is never connected",
+            Code::P003 => "port feature requirement cannot be satisfied",
+            Code::P004 => "component has no path to any sink",
+            Code::P005 => "configuration connections form a cycle",
+            Code::P006 => "conflicting features on one component",
+            Code::P007 => "configuration reference error",
+            Code::P008 => "non-monotonic logical time on a channel",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Code {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational only.
+    Info,
+    /// Suspicious but not necessarily wrong.
+    Warning,
+    /// The graph/configuration is unsound; gates reject on these.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case textual form used in both renderers.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Severity {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// The offending node/edge path, outermost first — e.g.
+    /// `["gps", "parser(port 0)"]` for an edge, `["interp"]` for a node.
+    pub path: Vec<String>,
+    /// How to fix it, when the analysis can tell.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; attach a hint with [`Diagnostic::with_hint`].
+    pub fn new(
+        code: Code,
+        severity: Severity,
+        message: impl Into<String>,
+        path: Vec<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            path,
+            hint: None,
+        }
+    }
+
+    /// Attaches a fix-it hint (builder style).
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.severity,
+            self.code,
+            if self.path.is_empty() {
+                "<graph>".to_string()
+            } else {
+                self.path.join(" -> ")
+            },
+            self.message
+        )?;
+        if let Some(h) = &self.hint {
+            write!(f, "\n    hint: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of running analysis passes: an ordered list of findings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Report {
+    /// Findings in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is completely clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Human-readable multi-line rendering (one finding per line, hint
+    /// lines indented), ending with a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        out.push_str(&format!(
+            "{} finding(s): {} error(s), {} warning(s)\n",
+            self.diagnostics.len(),
+            errors,
+            warnings
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn render_json(&self) -> String {
+        #[derive(Serialize)]
+        struct JsonReport {
+            errors: u64,
+            warnings: u64,
+            diagnostics: Vec<Diagnostic>,
+        }
+        let body = JsonReport {
+            errors: self.errors().count() as u64,
+            warnings: self
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count() as u64,
+            diagnostics: self.diagnostics.clone(),
+        };
+        serde_json::to_string_pretty(&body)
+            .expect("diagnostic report is plain data and always serializes")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(
+                Code::P001,
+                Severity::Error,
+                "producer provides [\"raw\"] but port accepts [\"nmea\"]",
+                vec!["gps".into(), "parser(port 0)".into()],
+            )
+            .with_hint("insert a converting component or fix the port spec"),
+        );
+        r.push(Diagnostic::new(
+            Code::P004,
+            Severity::Warning,
+            "no path to any sink",
+            vec!["orphan".into()],
+        ));
+        r
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_classifies_findings() {
+        let r = sample();
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.with_code(Code::P001).len(), 1);
+        assert_eq!(r.with_code(Code::P008).len(), 0);
+    }
+
+    #[test]
+    fn human_rendering_carries_code_path_and_hint() {
+        let text = sample().render_human();
+        assert!(
+            text.contains("error [P001] at gps -> parser(port 0)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hint: insert a converting component"),
+            "{text}"
+        );
+        assert!(
+            text.contains("2 finding(s): 1 error(s), 1 warning(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_machine_readable() {
+        let json = sample().render_json();
+        let v = serde_json::parse_value_str(&json).expect("report JSON parses");
+        let map = v.as_map().expect("top-level object");
+        let diags = map
+            .iter()
+            .find(|(k, _)| k == "diagnostics")
+            .and_then(|(_, v)| v.as_list())
+            .expect("diagnostics array");
+        assert_eq!(diags.len(), 2);
+        let first = diags[0].as_map().expect("diagnostic object");
+        let get = |k: &str| {
+            first
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("code"), Some(serde::Content::Str("P001".into())));
+        assert_eq!(get("severity"), Some(serde::Content::Str("error".into())));
+    }
+
+    #[test]
+    fn all_codes_have_distinct_text_and_summaries() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code text {c}");
+            assert!(!c.summary().is_empty());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Ready-made validation gates for the core's `*_checked` composition
+//! entry points.
+//!
+//! [`perpos_core::assembly::GraphConfig::instantiate_checked`] and
+//! [`perpos_core::assembly::Assembler::sync_checked`] accept a check
+//! callback; this module builds those callbacks from the analysis
+//! passes. A gate fails on **error** diagnostics only — warnings (dead
+//! components, unconnected sinks) describe states that are legal while a
+//! process is being grown incrementally.
+
+use perpos_core::assembly::GraphConfig;
+use perpos_core::graph::NodeInfo;
+use perpos_core::CoreError;
+
+use crate::catalog::TypeCatalog;
+use crate::config::analyze_config;
+use crate::diagnostic::Report;
+use crate::live::analyze_structure;
+
+/// Converts a report's errors into the `CoreError` a gate must return.
+fn reject(report: &Report) -> Result<(), CoreError> {
+    let Some(first) = report.errors().next() else {
+        return Ok(());
+    };
+    let count = report.errors().count();
+    let mut reason = format!("[{}] {}", first.code, first.message);
+    if count > 1 {
+        reason.push_str(&format!(" (and {} more error(s))", count - 1));
+    }
+    Err(CoreError::ComponentFailure {
+        component: first
+            .path
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "graph".to_string()),
+        reason,
+    })
+}
+
+/// A configuration gate for `GraphConfig::instantiate_checked`: rejects
+/// configurations whose analysis against `catalog` reports errors.
+pub fn config_gate(catalog: TypeCatalog) -> impl Fn(&GraphConfig) -> Result<(), CoreError> {
+    move |config| reject(&analyze_config(config, &catalog))
+}
+
+/// A structure gate for `Assembler::sync_checked`: rejects process
+/// structures whose whole-graph analysis reports errors.
+pub fn structure_gate() -> impl Fn(&[NodeInfo]) -> Result<(), CoreError> {
+    |nodes| reject(&analyze_structure(nodes))
+}

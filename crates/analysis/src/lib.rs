@@ -1,0 +1,65 @@
+//! # perpos-analysis — whole-graph static analysis for PerPos
+//!
+//! The PerPos middleware is *translucent*: the positioning process is
+//! reified as a graph of Processing Components whose ports declare the
+//! data kinds they accept and provide, and applications may adapt that
+//! graph at runtime. Per-edge validation at connect time cannot see
+//! whole-graph problems — a merge input nobody drives, a subgraph whose
+//! output nothing consumes, a feature requirement lost by a later
+//! detach. This crate closes that gap with a lint pass over the same
+//! declarations the graph already validates locally.
+//!
+//! Three surfaces:
+//!
+//! - **Config analysis** ([`analyze_config`]): lints a declarative
+//!   [`GraphConfig`](perpos_core::assembly::GraphConfig) against a
+//!   [`TypeCatalog`] *before* instantiation. The `perpos-lint` binary
+//!   exposes this on the command line.
+//! - **Live analysis** ([`analyze_structure`]): lints an instantiated
+//!   graph via `Middleware::structure()`, and — through
+//!   [`check_adaptation`] — a *hypothetical* structure produced by
+//!   simulating an [`AdaptationPlan`], answering "is this adaptation
+//!   safe?" without touching the live process.
+//! - **Runtime probing** ([`MonotonicityProbe`]): a Channel Feature
+//!   asserting logical-time monotonicity on every delivery (P008).
+//!
+//! Every finding is a [`Diagnostic`] with a stable code (P001–P008), a
+//! severity, the offending node/edge path and, where possible, a fix-it
+//! hint; a [`Report`] renders human-readable or JSON. The [`gate`]
+//! module adapts reports to the core's opt-in `*_checked` entry points.
+//!
+//! ```
+//! use perpos_analysis::{analyze_config, Code, ComponentTypeSpec, PortSpec, TypeCatalog};
+//! use perpos_core::assembly::{ComponentConfig, ConnectionConfig, GraphConfig};
+//!
+//! let mut catalog = TypeCatalog::new();
+//! catalog.insert(ComponentTypeSpec {
+//!     kind: "smooth".into(),
+//!     role: "processor".into(),
+//!     inputs: vec![PortSpec { name: "in".into(), accepts: vec![], required_features: vec![] }],
+//!     provides: vec!["position.wgs84".into()],
+//! });
+//! // A config wiring an instance to itself: cycle, caught before any
+//! // component is built.
+//! let config = GraphConfig {
+//!     components: vec![ComponentConfig { name: "p".into(), kind: "smooth".into() }],
+//!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
+//! };
+//! let report = analyze_config(&config, &catalog);
+//! assert_eq!(report.with_code(Code::P005).len(), 1);
+//! ```
+
+pub mod adaptation;
+pub mod catalog;
+pub mod config;
+pub mod diagnostic;
+pub mod gate;
+pub mod live;
+pub mod probe;
+
+pub use adaptation::{check_adaptation, AdaptationOp, AdaptationPlan};
+pub use catalog::{ComponentTypeSpec, PortSpec, TypeCatalog};
+pub use config::analyze_config;
+pub use diagnostic::{Code, Diagnostic, Report, Severity};
+pub use live::analyze_structure;
+pub use probe::MonotonicityProbe;

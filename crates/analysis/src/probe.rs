@@ -1,0 +1,168 @@
+//! Runtime debug analyzer: logical-time monotonicity (P008).
+//!
+//! Static passes cannot see bookkeeping bugs; this probe watches a
+//! channel while it runs. The channel layer guarantees per-level logical
+//! times that are 1-based, strictly increasing at the output, with each
+//! element consuming a contiguous range of the previous level. The
+//! [`MonotonicityProbe`] is a Channel Feature that asserts exactly that
+//! on every delivered [`DataTree`] and accumulates violations as P008
+//! diagnostics.
+
+use std::any::Any;
+
+use perpos_core::channel::{ChannelFeature, ChannelHost, DataNode, DataTree};
+use perpos_core::component::MethodSpec;
+use perpos_core::feature::FeatureDescriptor;
+use perpos_core::prelude::Value;
+use perpos_core::CoreError;
+
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+
+/// The probe's feature name (use with `detach_channel_feature` /
+/// `with_channel_feature_mut`).
+pub const PROBE_NAME: &str = "MonotonicityProbe";
+
+/// A Channel Feature asserting logical-time monotonicity on every
+/// delivery. Attach with [`perpos_core::Middleware::attach_channel_feature`];
+/// read results via [`MonotonicityProbe::report`] (typed access) or the
+/// reflective `violationCount` method.
+#[derive(Debug, Default)]
+pub struct MonotonicityProbe {
+    last_root_logical: Option<u64>,
+    deliveries: u64,
+    violations: Vec<Diagnostic>,
+}
+
+impl MonotonicityProbe {
+    /// Creates a probe with no observations.
+    pub fn new() -> Self {
+        MonotonicityProbe::default()
+    }
+
+    /// Number of deliveries observed so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The accumulated violations as a report.
+    pub fn report(&self) -> Report {
+        Report {
+            diagnostics: self.violations.clone(),
+        }
+    }
+
+    fn violation(&mut self, tree: &DataTree, message: String) {
+        self.violations.push(
+            Diagnostic::new(
+                Code::P008,
+                Severity::Error,
+                message,
+                vec![tree.channel.to_string(), tree.root.component_name.clone()],
+            )
+            .with_hint(
+                "logical-time bookkeeping is broken; inspect the channel layer or \
+                 the component's emission pattern",
+            ),
+        );
+    }
+
+    /// Checks one level's children: logical times strictly increasing,
+    /// and each child's consumed range within its own children's span.
+    fn check_node(&mut self, tree: &DataTree, node: &DataNode) {
+        let mut prev: Option<u64> = None;
+        for child in &node.children {
+            if let Some(p) = prev {
+                if child.logical <= p {
+                    self.violation(
+                        tree,
+                        format!(
+                            "children of {:?} have non-increasing logical times \
+                             ({} after {})",
+                            node.component_name, child.logical, p
+                        ),
+                    );
+                }
+            }
+            prev = Some(child.logical);
+        }
+        if let Some((lo, hi)) = node.range {
+            if lo > hi || lo == 0 {
+                self.violation(
+                    tree,
+                    format!(
+                        "{:?} claims malformed consumed range {lo}-{hi} \
+                         (ranges are 1-based and ordered)",
+                        node.component_name
+                    ),
+                );
+            }
+            for child in &node.children {
+                if child.logical < lo || child.logical > hi {
+                    self.violation(
+                        tree,
+                        format!(
+                            "{:?} consumed logical time {} outside its claimed \
+                             range {lo}-{hi}",
+                            node.component_name, child.logical
+                        ),
+                    );
+                }
+            }
+        }
+        for child in &node.children {
+            self.check_node(tree, child);
+        }
+    }
+}
+
+impl ChannelFeature for MonotonicityProbe {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new(PROBE_NAME)
+            .method(MethodSpec::new("violationCount", "() -> int"))
+            .method(MethodSpec::new("deliveryCount", "() -> int"))
+            .method(MethodSpec::new("reset", "() -> null"))
+    }
+
+    fn apply(&mut self, tree: &DataTree, _host: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        self.deliveries += 1;
+        let logical = tree.root.logical;
+        if logical == 0 {
+            self.violation(
+                tree,
+                "root logical time is 0 (times are 1-based)".to_string(),
+            );
+        }
+        if let Some(last) = self.last_root_logical {
+            if logical <= last {
+                self.violation(
+                    tree,
+                    format!("channel output logical time went backwards: {logical} after {last}"),
+                );
+            }
+        }
+        self.last_root_logical = Some(logical);
+        self.check_node(tree, &tree.root);
+        Ok(())
+    }
+
+    fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "violationCount" => Ok(Value::Int(self.violations.len() as i64)),
+            "deliveryCount" => Ok(Value::Int(self.deliveries as i64)),
+            "reset" => {
+                self.violations.clear();
+                self.deliveries = 0;
+                self.last_root_logical = None;
+                Ok(Value::Null)
+            }
+            _ => Err(CoreError::NoSuchMethod {
+                target: PROBE_NAME.to_string(),
+                method: method.to_string(),
+            }),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,104 @@
+//! Exit-status and output-format semantics of the `perpos-lint` binary.
+
+#![allow(clippy::unwrap_used)]
+
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perpos-lint"))
+        .args(args)
+        .output()
+        .expect("perpos-lint runs")
+}
+
+#[test]
+fn clean_config_exits_zero() {
+    let out = lint(&[
+        &fixture("pipeline_ok.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn config_with_errors_exits_one() {
+    let out = lint(&[
+        &fixture("p001_kind_mismatch.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error [P001]"), "{stdout}");
+    assert!(stdout.contains("hint:"), "{stdout}");
+}
+
+#[test]
+fn config_with_warnings_only_exits_zero() {
+    let out = lint(&[
+        &fixture("p004_dead_component.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning [P004]"), "{stdout}");
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let out = lint(&[
+        &fixture("p005_cycle.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value = serde_json::parse_value_str(&stdout).expect("valid JSON");
+    let map = value.as_map().unwrap();
+    let errors = map.iter().find(|(k, _)| k == "errors").unwrap();
+    assert_eq!(errors.1, serde::Content::I64(1), "{stdout}");
+    let diags = map
+        .iter()
+        .find(|(k, _)| k == "diagnostics")
+        .and_then(|(_, v)| v.as_list())
+        .unwrap();
+    assert_eq!(diags.len(), 1);
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = lint(&["/nonexistent/config.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read"));
+}
+
+#[test]
+fn bad_usage_exits_two_and_help_exits_zero() {
+    let out = lint(&["--format", "xml", "x.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+
+    let out = lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage:"));
+}
+
+#[test]
+fn without_catalog_unknown_types_are_reported() {
+    let out = lint(&[&fixture("pipeline_ok.json")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unknown component type"), "{stdout}");
+}

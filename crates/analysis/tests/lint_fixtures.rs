@@ -1,0 +1,113 @@
+//! Golden-file tests: each known-bad GraphConfig fixture fires exactly
+//! its diagnostic code, and the known-good configurations lint clean.
+
+#![allow(clippy::unwrap_used)]
+
+use perpos_analysis::{analyze_config, Code, Report, Severity, TypeCatalog};
+use perpos_core::assembly::GraphConfig;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn catalog() -> TypeCatalog {
+    serde_json::from_str(&fixture("catalog.json")).unwrap()
+}
+
+fn lint(name: &str) -> Report {
+    let config: GraphConfig = serde_json::from_str(&fixture(name)).unwrap();
+    analyze_config(&config, &catalog())
+}
+
+/// Asserts `code` fires exactly once, carries the expected severity and a
+/// fix-it hint, and that no *other* code fires at all.
+fn assert_only(report: &Report, code: Code, severity: Severity) {
+    let hits = report.with_code(code);
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {code}, got:\n{}",
+        report.render_human()
+    );
+    assert_eq!(hits[0].severity, severity);
+    assert!(hits[0].hint.is_some(), "{code} should carry a fix-it hint");
+    assert!(!hits[0].path.is_empty(), "{code} should carry a path");
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "fixture should trigger only {code}, got:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn p001_kind_mismatch_fires_exactly_once() {
+    let report = lint("p001_kind_mismatch.json");
+    assert_only(&report, Code::P001, Severity::Error);
+    let d = report.with_code(Code::P001)[0];
+    assert!(d.message.contains("raw.string"), "{}", d.message);
+    assert!(d.message.contains("nmea.sentence"), "{}", d.message);
+}
+
+#[test]
+fn p002_dangling_input_fires_exactly_once() {
+    let report = lint("p002_dangling_input.json");
+    assert_only(&report, Code::P002, Severity::Error);
+    assert!(report.with_code(Code::P002)[0].path[0].contains("parse0"));
+}
+
+#[test]
+fn p003_missing_feature_fires_exactly_once() {
+    let report = lint("p003_missing_feature.json");
+    assert_only(&report, Code::P003, Severity::Error);
+    assert!(report.with_code(Code::P003)[0].message.contains("Hdop"));
+}
+
+#[test]
+fn p004_dead_component_fires_exactly_once() {
+    let report = lint("p004_dead_component.json");
+    assert_only(&report, Code::P004, Severity::Warning);
+    assert_eq!(
+        report.with_code(Code::P004)[0].path,
+        vec!["gps_spare".to_string()]
+    );
+    // Warnings alone do not fail a gate.
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn p005_cycle_fires_exactly_once() {
+    let report = lint("p005_cycle.json");
+    assert_only(&report, Code::P005, Severity::Error);
+    let d = report.with_code(Code::P005)[0];
+    assert!(d.path.contains(&"echo1".to_string()) && d.path.contains(&"echo2".to_string()));
+}
+
+#[test]
+fn p007_bad_reference_fires_exactly_once() {
+    let report = lint("p007_bad_reference.json");
+    assert_only(&report, Code::P007, Severity::Error);
+    assert!(report.with_code(Code::P007)[0].message.contains("ghost"));
+}
+
+#[test]
+fn known_good_pipeline_lints_clean() {
+    let report = lint("pipeline_ok.json");
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn repo_example_config_lints_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let catalog: TypeCatalog = serde_json::from_str(
+        &std::fs::read_to_string(format!("{root}/examples/configs/catalog.json")).unwrap(),
+    )
+    .unwrap();
+    let config: GraphConfig = serde_json::from_str(
+        &std::fs::read_to_string(format!("{root}/examples/configs/gps_pipeline.json")).unwrap(),
+    )
+    .unwrap();
+    let report = analyze_config(&config, &catalog);
+    assert!(report.is_clean(), "{}", report.render_human());
+}

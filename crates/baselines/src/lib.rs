@@ -34,4 +34,4 @@ pub mod posim;
 
 pub use location_stack::{LocationStack, LsGpsAdapter, LsMeasurement, LsSensor, LsWifiAdapter};
 pub use middlewhere::{WorldEntry, WorldModel};
-pub use posim::{Policy, PolicyError, PoSim, PosimGpsWrapper, SensorWrapper};
+pub use posim::{PoSim, Policy, PolicyError, PosimGpsWrapper, SensorWrapper};

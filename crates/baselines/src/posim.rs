@@ -69,10 +69,11 @@ impl SensorWrapper for PosimGpsWrapper {
             // value survives (the PoSIM staleness semantics).
             self.latest_info
                 .insert("hdop".into(), Value::Float(gga.hdop));
-            self.latest_info
-                .insert("satellites".into(), Value::Int(i64::from(gga.num_satellites)));
-            if let (Some(lat), Some(lon), true) =
-                (gga.lat_deg, gga.lon_deg, gga.quality.has_fix())
+            self.latest_info.insert(
+                "satellites".into(),
+                Value::Int(i64::from(gga.num_satellites)),
+            );
+            if let (Some(lat), Some(lon), true) = (gga.lat_deg, gga.lon_deg, gga.quality.has_fix())
             {
                 if let Ok(p) = Wgs84::new(lat, lon, gga.altitude_m) {
                     out.push((p, gga.hdop * 5.0));
@@ -319,9 +320,13 @@ mod tests {
 
     fn wrapper(env: GpsEnvironment) -> PosimGpsWrapper {
         PosimGpsWrapper::new(
-            GpsSimulator::new("gps", frame(), Trajectory::stationary(Point2::new(0.0, 0.0)))
-                .with_seed(2)
-                .with_environment(env),
+            GpsSimulator::new(
+                "gps",
+                frame(),
+                Trajectory::stationary(Point2::new(0.0, 0.0)),
+            )
+            .with_seed(2)
+            .with_environment(env),
         )
     }
 
@@ -333,7 +338,9 @@ mod tests {
         assert_eq!(p.control, "power");
         assert!("if hdop >".parse::<Policy>().is_err());
         assert!("if hdop ? 5 then set power low".parse::<Policy>().is_err());
-        assert!("when hdop > 5 then set power low".parse::<Policy>().is_err());
+        assert!("when hdop > 5 then set power low"
+            .parse::<Policy>()
+            .is_err());
         let eq: Policy = "if satellites == 0 then set power off".parse().unwrap();
         assert_eq!(eq.op, Op::Eq);
     }
@@ -360,7 +367,9 @@ mod tests {
         let mut posim = PoSim::new();
         posim.add_wrapper(Box::new(wrapper(GpsEnvironment::indoor())));
         // Indoors, satellite counts are low: power down the GPS.
-        posim.add_policy("if satellites < 4 then set power off").unwrap();
+        posim
+            .add_policy("if satellites < 4 then set power off")
+            .unwrap();
         let mut produced = 0;
         for t in 0..40 {
             produced += posim.poll(SimTime::from_secs_f64(t as f64)).len();
@@ -425,7 +434,9 @@ mod tests {
             base_noise_m: 20.0,
             dropout_prob: 0.0,
         })));
-        posim.add_policy("if satellites < 4 then set power off").unwrap();
+        posim
+            .add_policy("if satellites < 4 then set power off")
+            .unwrap();
         let first_round = posim.poll(SimTime::ZERO);
         // The unreliable position was delivered to the application even
         // though the policy fired in the very same round.

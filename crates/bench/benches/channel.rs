@@ -1,6 +1,7 @@
 //! Criterion bench: channel layer costs — logical-time bookkeeping and
 //! data-tree assembly (the Fig. 4 machinery) at varying pipeline depth.
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -73,9 +74,10 @@ fn bench_recompute(c: &mut Criterion) {
                 |mut mw| {
                     // attach_feature triggers a recompute.
                     let src = mw.graph().sources()[0];
-                    mw.attach_feature(src, perpos_core::feature::TagFeature::new(
-                        "T", "k", Value::Null,
-                    ))
+                    mw.attach_feature(
+                        src,
+                        perpos_core::feature::TagFeature::new("T", "k", Value::Null),
+                    )
                     .unwrap();
                     mw
                 },

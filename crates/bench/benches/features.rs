@@ -1,6 +1,7 @@
 //! Criterion bench: per-item cost of attached Component Features
 //! (interception overhead, the price of the paper's extension model).
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,5 +1,6 @@
 //! Criterion bench: geodesy primitives on the positioning hot path.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use perpos_geo::{Ecef, LocalFrame, Point2, Segment2, Wgs84};
 

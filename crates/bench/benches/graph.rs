@@ -1,6 +1,7 @@
 //! Criterion bench: processing-graph throughput as pipeline depth and
 //! merge fan-in grow.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perpos_core::prelude::*;
 

@@ -1,6 +1,7 @@
 //! Criterion bench: NMEA parsing/encoding throughput and the stream
 //! splitter.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use perpos_nmea::{parse_sentence, Sentence, SentenceSplitter};
 
@@ -17,7 +18,9 @@ fn bench_parse(c: &mut Criterion) {
 fn bench_encode(c: &mut Criterion) {
     let sentence = parse_sentence(GGA).unwrap();
     c.bench_function("encode_gga", |b| b.iter(|| sentence.to_nmea_string()));
-    let Sentence::Gga(_) = &sentence else { panic!() };
+    let Sentence::Gga(_) = &sentence else {
+        panic!()
+    };
 }
 
 fn bench_splitter(c: &mut Criterion) {

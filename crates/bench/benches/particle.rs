@@ -1,6 +1,7 @@
 //! Criterion bench: particle-filter update cost vs particle count (the
 //! knob the paper's probabilistic tracking example exposes).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perpos_core::component::ComponentCtxProbe;
 use perpos_core::prelude::*;

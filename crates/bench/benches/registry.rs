@@ -1,12 +1,14 @@
 //! Criterion bench: service-registry resolution cost as the number of
 //! registered services grows (the OSGi-substrate hot path).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perpos_registry::{Capability, Registry, Requirement, ServiceDescriptor};
 
 fn chain_descriptor(i: usize) -> ServiceDescriptor {
     // Service i provides cap[i] and requires cap[i-1].
-    let mut d = ServiceDescriptor::new(format!("svc{i}")).provides(Capability::new(format!("cap{i}")));
+    let mut d =
+        ServiceDescriptor::new(format!("svc{i}")).provides(Capability::new(format!("cap{i}")));
     if i > 0 {
         d = d.requires(Requirement::new(format!("cap{}", i - 1)));
     }

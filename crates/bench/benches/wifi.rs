@@ -1,6 +1,7 @@
 //! Criterion bench: WiFi fingerprinting — radio map construction and
 //! k-NN estimation cost vs map density.
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -23,6 +23,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_ablation_timing --release`
 
+#![allow(clippy::unwrap_used)]
 use perpos_bench::{frame, ErrorStats};
 use perpos_core::prelude::*;
 use perpos_sensors::{GpsEnvironment, GpsSimulator, HdopFeature, Interpreter, Parser, Trajectory};
@@ -46,7 +47,10 @@ fn run(batch_s: u64, seed: u64) -> Vec<Decision> {
         dropout_prob: 0.02,
     };
     let walk = Trajectory::new(
-        vec![perpos_geo::Point2::new(0.0, 0.0), perpos_geo::Point2::new(250.0, 0.0)],
+        vec![
+            perpos_geo::Point2::new(0.0, 0.0),
+            perpos_geo::Point2::new(250.0, 0.0),
+        ],
         1.4,
     );
     let mut mw = Middleware::new();
@@ -149,13 +153,7 @@ fn main() {
             .count();
         println!(
             "{:<10} {:<9} {:>9} {:>10.2} {:>10.2} {:>7}/{:<4}",
-            "",
-            "stale",
-            ns,
-            ss.mean,
-            ss.p95,
-            wrong_stale,
-            n
+            "", "stale", ns, ss.mean, ss.p95, wrong_stale, n
         );
     }
     println!(

@@ -5,13 +5,16 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_comparison`
 
-use perpos_baselines::{LocationStack, LsGpsAdapter, PoSim, PosimGpsWrapper, WorldEntry, WorldModel};
+#![allow(clippy::unwrap_used)]
+use perpos_baselines::{
+    LocationStack, LsGpsAdapter, PoSim, PosimGpsWrapper, WorldEntry, WorldModel,
+};
 use perpos_bench::frame;
 use perpos_core::prelude::*;
 use perpos_geo::Point2;
 use perpos_sensors::{
-    GpsEnvironment, GpsSimulator, Interpreter, NumberOfSatellitesFeature, Parser,
-    SatelliteFilter, Trajectory,
+    GpsEnvironment, GpsSimulator, Interpreter, NumberOfSatellitesFeature, Parser, SatelliteFilter,
+    Trajectory,
 };
 
 fn unreliable_env() -> GpsEnvironment {
@@ -98,9 +101,13 @@ fn main() {
     // application cannot tell them apart.
     let mut world = WorldModel::new();
     let mut gw = PosimGpsWrapper::new(
-        GpsSimulator::new("GPS", frame(), Trajectory::stationary(Point2::new(0.0, 0.0)))
-            .with_seed(9)
-            .with_environment(unreliable_env()),
+        GpsSimulator::new(
+            "GPS",
+            frame(),
+            Trajectory::stationary(Point2::new(0.0, 0.0)),
+        )
+        .with_seed(9)
+        .with_environment(unreliable_env()),
     );
     use perpos_baselines::SensorWrapper as _;
     for t in 0..30 {
@@ -119,9 +126,13 @@ fn main() {
     // --- Location Stack HDOP check, executed. ---
     let mut stack = LocationStack::new(frame());
     stack.add_sensor(Box::new(LsGpsAdapter::new(
-        GpsSimulator::new("GPS", frame(), Trajectory::stationary(Point2::new(0.0, 0.0)))
-            .with_seed(9)
-            .with_environment(unreliable_env()),
+        GpsSimulator::new(
+            "GPS",
+            frame(),
+            Trajectory::stationary(Point2::new(0.0, 0.0)),
+        )
+        .with_seed(9)
+        .with_environment(unreliable_env()),
     )));
     let mut got = 0;
     for t in 0..30 {
@@ -143,9 +154,13 @@ fn main() {
     println!("  PerPos        : supported (PowerStrategy Component Feature + EnTracked Channel Feature) — see exp_fig7_entracked");
     println!("  PoSIM-style   : partial (power control feature + policy, but no process awareness: cannot react to interpreter output distances)");
     println!("  LocationStack : not possible (no sensor configuration path through the layers)");
-    println!("  MiddleWhere   : does not apply — \"configuration of sensors is not discussed\" (§3.3)\n");
+    println!(
+        "  MiddleWhere   : does not apply — \"configuration of sensors is not discussed\" (§3.3)\n"
+    );
 
-    println!("capability matrix (y = supported, p = partial, n = requires middleware source change):");
+    println!(
+        "capability matrix (y = supported, p = partial, n = requires middleware source change):"
+    );
     println!(
         "  {:<36}{:>8}{:>8}{:>10}{:>12}",
         "", "PerPos", "PoSIM", "LocStack", "MiddleWhere"

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_fig1_pipeline`
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use perpos_bench::frame;

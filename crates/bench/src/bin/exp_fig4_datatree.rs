@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_fig4_datatree`
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 
 use perpos_bench::frame;
@@ -65,11 +66,10 @@ fn main() -> Result<(), CoreError> {
 
     mw.run_for(SimDuration::from_secs(90), SimDuration::from_secs(1))?;
 
-    let (rendered, shapes) = mw.with_channel_feature_mut::<TreeCapture, _>(
-        channel,
-        "TreeCapture",
-        |f| (f.rendered.clone(), f.shapes.clone()),
-    )?;
+    let (rendered, shapes) =
+        mw.with_channel_feature_mut::<TreeCapture, _>(channel, "TreeCapture", |f| {
+            (f.rendered.clone(), f.shapes.clone())
+        })?;
 
     println!("=== Fig. 4: GPS channel data trees (logical time) ===\n");
     println!("channel outputs observed : {}", rendered.len());
@@ -77,8 +77,7 @@ fn main() -> Result<(), CoreError> {
     // usual GGA+RMC pair — extra (invalid) sentences folded into its tree.
     let multi = shapes.iter().filter(|(n, _)| *n > 5).count();
     println!("outputs that folded in extra (invalid) sentences: {multi}");
-    let avg: f64 =
-        shapes.iter().map(|(n, _)| *n as f64).sum::<f64>() / shapes.len().max(1) as f64;
+    let avg: f64 = shapes.iter().map(|(n, _)| *n as f64).sum::<f64>() / shapes.len().max(1) as f64;
     println!("average tree size        : {avg:.2} elements, depth 3\n");
 
     // Show a tree with the Fig. 4 shape (a WGS84 consuming extra sentences).
@@ -86,6 +85,9 @@ fn main() -> Result<(), CoreError> {
         println!("a Fig. 4-shaped tree (one output, extra invalid sentences folded in):\n");
         println!("{}", rendered[i]);
     }
-    println!("first tree produced:\n\n{}", rendered.first().map(String::as_str).unwrap_or(""));
+    println!(
+        "first tree produced:\n\n{}",
+        rendered.first().map(String::as_str).unwrap_or("")
+    );
     Ok(())
 }

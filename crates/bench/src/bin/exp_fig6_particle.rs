@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_fig6_particle --release`
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use perpos_bench::{frame, position_errors, ErrorStats};
@@ -99,8 +100,7 @@ fn run(refiner: Refiner, seed: u64) -> (ErrorStats, ErrorStats) {
 fn averaged(refiner: Refiner, seeds: &[u64]) -> (ErrorStats, ErrorStats) {
     // Report the single-seed stats for the median seed by mean error to
     // damp run-to-run noise while keeping interpretable percentiles.
-    let mut runs: Vec<(ErrorStats, ErrorStats)> =
-        seeds.iter().map(|s| run(refiner, *s)).collect();
+    let mut runs: Vec<(ErrorStats, ErrorStats)> = seeds.iter().map(|s| run(refiner, *s)).collect();
     runs.sort_by(|a, b| a.1.mean.total_cmp(&b.1.mean));
     runs[runs.len() / 2]
 }
@@ -108,7 +108,10 @@ fn averaged(refiner: Refiner, seeds: &[u64]) -> (ErrorStats, ErrorStats) {
 fn main() {
     let seeds = [3, 11, 23, 42, 57];
     println!("=== Fig. 6: particle-filter trace refinement (urban GPS, indoor walk) ===\n");
-    println!("{:<28} {:>8} {:>8} {:>8} {:>8}", "estimator", "mean", "median", "p95", "rmse");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8}",
+        "estimator", "mean", "median", "p95", "rmse"
+    );
     println!("{}", "-".repeat(64));
 
     let (raw, _) = averaged(Refiner::None, &seeds);

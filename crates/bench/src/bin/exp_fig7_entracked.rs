@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_fig7_entracked --release`
 
+#![allow(clippy::unwrap_used)]
 use perpos_bench::frame;
 use perpos_core::distribution::{Deployment, LinkModel};
 use perpos_core::prelude::*;
@@ -80,7 +81,8 @@ fn run(strategy: Strategy, seed: u64) -> Outcome {
             let want_on = phase < 8; // 8 s on-window per period
             let is_on = mw.invoke(gps, "isEnabled", &[]).unwrap() == Value::Bool(true);
             if want_on != is_on {
-                mw.invoke(gps, "setEnabled", &[Value::Bool(want_on)]).unwrap();
+                mw.invoke(gps, "setEnabled", &[Value::Bool(want_on)])
+                    .unwrap();
             }
         }
         mw.step().unwrap();
@@ -168,7 +170,10 @@ fn distributed_variant() {
             .with_seed(31)
             .with_acquisition_delay(SimDuration::from_secs(4)),
     );
-    let wrapper = mw.add_component(perpos_sensors::SensorWrapper::new("SensorWrapper", "mobile"));
+    let wrapper = mw.add_component(perpos_sensors::SensorWrapper::new(
+        "SensorWrapper",
+        "mobile",
+    ));
     let parser = mw.add_component(Parser::new());
     let interpreter = mw.add_component(Interpreter::new());
     let motion = mw.add_component(MotionSensor::new("Motion", walk).with_seed(38));
@@ -202,7 +207,10 @@ fn distributed_variant() {
         mw.advance_clock(SimDuration::from_secs(1));
     }
     println!("\ndistributed Fig. 7 (GPS+wrapper on 'mobile', rest on 'server', 40 ms / 1% link):");
-    println!("  positions delivered to the server application: {}", provider.history().len());
+    println!(
+        "  positions delivered to the server application: {}",
+        provider.history().len()
+    );
     for ((from, to), stats) in mw.deployment().unwrap().stats() {
         println!(
             "  link {from}->{to}: sent {} delivered {} lost {}",

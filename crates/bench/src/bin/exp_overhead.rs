@@ -8,13 +8,12 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_overhead --release`
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 use std::time::Instant;
 
 use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree};
-use perpos_core::feature::{
-    ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost,
-};
+use perpos_core::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
 use perpos_core::prelude::*;
 
 const ITEMS: u64 = 200_000;
@@ -117,9 +116,15 @@ fn main() {
 
     println!("{:<44} {:>10}", "configuration", "ns/item");
     println!("{}", "-".repeat(56));
-    println!("{:<44} {:>10.1}", "direct function calls (no middleware)", direct_ns);
+    println!(
+        "{:<44} {:>10.1}",
+        "direct function calls (no middleware)", direct_ns
+    );
     let base = graph_pipeline(ITEMS / 10, 0, 0);
-    println!("{:<44} {:>10.1}", "processing graph (reified, inspectable)", base);
+    println!(
+        "{:<44} {:>10.1}",
+        "processing graph (reified, inspectable)", base
+    );
     for nf in [1, 2, 4, 8] {
         let ns = graph_pipeline(ITEMS / 10, nf, 0);
         println!(

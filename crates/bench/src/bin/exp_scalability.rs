@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_scalability --release`
 
+#![allow(clippy::unwrap_used)]
 use std::time::Instant;
 
 use perpos_core::prelude::*;

@@ -5,11 +5,12 @@
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_sec31_satfilter --release`
 
+#![allow(clippy::unwrap_used)]
 use perpos_bench::{frame, position_errors, ErrorStats};
 use perpos_core::prelude::*;
 use perpos_sensors::{
-    GpsEnvironment, GpsSimulator, Interpreter, NumberOfSatellitesFeature, Parser,
-    SatelliteFilter, Trajectory,
+    GpsEnvironment, GpsSimulator, Interpreter, NumberOfSatellitesFeature, Parser, SatelliteFilter,
+    Trajectory,
 };
 
 fn run(threshold: Option<i64>, seed: u64) -> (ErrorStats, usize, i64) {
@@ -22,7 +23,10 @@ fn run(threshold: Option<i64>, seed: u64) -> (ErrorStats, usize, i64) {
         dropout_prob: 0.02,
     };
     let walk = Trajectory::new(
-        vec![perpos_geo::Point2::new(0.0, 0.0), perpos_geo::Point2::new(150.0, 0.0)],
+        vec![
+            perpos_geo::Point2::new(0.0, 0.0),
+            perpos_geo::Point2::new(150.0, 0.0),
+        ],
         1.0,
     );
     let mut mw = Middleware::new();

@@ -95,7 +95,8 @@ pub fn gps_pipeline(
     let interpreter = mw.add_component(Interpreter::new());
     let app = mw.application_sink();
     mw.connect(gps, parser, 0).expect("gps -> parser");
-    mw.connect(parser, interpreter, 0).expect("parser -> interp");
+    mw.connect(parser, interpreter, 0)
+        .expect("parser -> interp");
     mw.connect_to_sink(interpreter, app).expect("interp -> app");
     (gps, parser, interpreter)
 }
@@ -144,12 +145,8 @@ mod tests {
     #[test]
     fn pipeline_builder_works() {
         let mut mw = Middleware::new();
-        let (_gps, _parser, _interp) = gps_pipeline(
-            &mut mw,
-            straight_walk(),
-            GpsEnvironment::open_sky(),
-            1,
-        );
+        let (_gps, _parser, _interp) =
+            gps_pipeline(&mut mw, straight_walk(), GpsEnvironment::open_sky(), 1);
         mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
             .unwrap();
         let p = mw

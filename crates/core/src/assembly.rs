@@ -58,7 +58,13 @@ use crate::data::DataKind;
 use crate::graph::NodeId;
 use crate::{CoreError, Middleware};
 
-type Factory = Box<dyn Fn() -> Box<dyn Component> + Send + Sync>;
+/// A boxed constructor for one component type; graph configurations and
+/// the assembler instantiate components exclusively through these, so
+/// tooling (e.g. `perpos-analysis`'s catalog probe) can introspect the
+/// descriptors a configuration will produce.
+pub type ComponentFactory = Box<dyn Fn() -> Box<dyn Component> + Send + Sync>;
+
+type Factory = ComponentFactory;
 
 /// One component instance in a declarative graph configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -149,6 +155,25 @@ impl GraphConfig {
             mw.connect(from, to, edge.port)?;
         }
         Ok(nodes)
+    }
+
+    /// Like [`GraphConfig::instantiate`], but runs `check` over the
+    /// configuration first and instantiates nothing unless it passes —
+    /// the opt-in static-analysis gate (`perpos-analysis` provides a
+    /// ready-made check via its `gate` module).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `check`'s error without touching `mw`, then behaves
+    /// like [`GraphConfig::instantiate`].
+    pub fn instantiate_checked(
+        &self,
+        mw: &mut Middleware,
+        factories: &BTreeMap<String, Factory>,
+        check: &dyn Fn(&GraphConfig) -> Result<(), CoreError>,
+    ) -> Result<BTreeMap<String, NodeId>, CoreError> {
+        check(self)?;
+        self.instantiate(mw, factories)
     }
 }
 
@@ -296,6 +321,29 @@ impl Assembler {
         Ok(added)
     }
 
+    /// Like [`Assembler::sync`], but runs `check` over the resulting
+    /// process structure afterwards — the opt-in analysis gate for the
+    /// dynamic-resolution composition path.
+    ///
+    /// The structural changes have already been applied when `check`
+    /// runs (dynamic assembly is incremental and has no transaction to
+    /// roll back); a failed check therefore reports the unsound state
+    /// rather than preventing it. Callers that need an untouched
+    /// middleware on failure should sync into a scratch instance first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Assembler::sync`] errors, then `check`'s error.
+    pub fn sync_checked(
+        &mut self,
+        mw: &mut Middleware,
+        check: &dyn Fn(&[crate::graph::NodeInfo]) -> Result<(), CoreError>,
+    ) -> Result<usize, CoreError> {
+        let added = self.sync(mw)?;
+        check(&mw.structure())?;
+        Ok(added)
+    }
+
     /// The underlying registry (for inspection or direct manipulation).
     pub fn registry(&self) -> &Registry<Factory> {
         &self.registry
@@ -332,13 +380,30 @@ mod tests {
         factories.insert("parser".into(), Box::new(parser_factory));
         let config = GraphConfig {
             components: vec![
-                ComponentConfig { name: "gps0".into(), kind: "gps".into() },
-                ComponentConfig { name: "parse0".into(), kind: "parser".into() },
-                ComponentConfig { name: "app".into(), kind: "application".into() },
+                ComponentConfig {
+                    name: "gps0".into(),
+                    kind: "gps".into(),
+                },
+                ComponentConfig {
+                    name: "parse0".into(),
+                    kind: "parser".into(),
+                },
+                ComponentConfig {
+                    name: "app".into(),
+                    kind: "application".into(),
+                },
             ],
             connections: vec![
-                ConnectionConfig { from: "gps0".into(), to: "parse0".into(), port: 0 },
-                ConnectionConfig { from: "parse0".into(), to: "app".into(), port: 0 },
+                ConnectionConfig {
+                    from: "gps0".into(),
+                    to: "parse0".into(),
+                    port: 0,
+                },
+                ConnectionConfig {
+                    from: "parse0".into(),
+                    to: "app".into(),
+                    port: 0,
+                },
             ],
         };
         let mut mw = Middleware::new();
@@ -356,21 +421,37 @@ mod tests {
         let mut mw = Middleware::new();
         // Unknown type.
         let bad_type = GraphConfig {
-            components: vec![ComponentConfig { name: "x".into(), kind: "nope".into() }],
+            components: vec![ComponentConfig {
+                name: "x".into(),
+                kind: "nope".into(),
+            }],
             connections: vec![],
         };
         assert!(bad_type.instantiate(&mut mw, &factories).is_err());
         // Unknown instance in a connection.
         let bad_edge = GraphConfig {
-            components: vec![ComponentConfig { name: "app".into(), kind: "application".into() }],
-            connections: vec![ConnectionConfig { from: "ghost".into(), to: "app".into(), port: 0 }],
+            components: vec![ComponentConfig {
+                name: "app".into(),
+                kind: "application".into(),
+            }],
+            connections: vec![ConnectionConfig {
+                from: "ghost".into(),
+                to: "app".into(),
+                port: 0,
+            }],
         };
         assert!(bad_edge.instantiate(&mut mw, &factories).is_err());
         // Duplicate instance names.
         let dup = GraphConfig {
             components: vec![
-                ComponentConfig { name: "app".into(), kind: "application".into() },
-                ComponentConfig { name: "app".into(), kind: "application".into() },
+                ComponentConfig {
+                    name: "app".into(),
+                    kind: "application".into(),
+                },
+                ComponentConfig {
+                    name: "app".into(),
+                    kind: "application".into(),
+                },
             ],
             connections: vec![],
         };
@@ -381,9 +462,17 @@ mod tests {
     fn components_assemble_when_dependencies_resolve() {
         let mut mw = Middleware::new();
         let mut asm = Assembler::new();
-        let parser_id =
-            asm.register_factory("parser", &[kinds::NMEA_SENTENCE], &[kinds::RAW_STRING], parser_factory);
-        assert_eq!(asm.sync(&mut mw).unwrap(), 0, "unresolved: no instantiation");
+        let parser_id = asm.register_factory(
+            "parser",
+            &[kinds::NMEA_SENTENCE],
+            &[kinds::RAW_STRING],
+            parser_factory,
+        );
+        assert_eq!(
+            asm.sync(&mut mw).unwrap(),
+            0,
+            "unresolved: no instantiation"
+        );
         let gps_id = asm.register_factory("gps", &[kinds::RAW_STRING], &[], gps_factory);
         assert_eq!(asm.sync(&mut mw).unwrap(), 2);
         let gps_node = asm.node_for(gps_id).unwrap();

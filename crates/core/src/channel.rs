@@ -267,7 +267,9 @@ impl<'a> ChannelHost<'a> {
         method: &str,
         args: &[Value],
     ) -> Result<Value, CoreError> {
-        let (value, emitted) = self.graph.invoke_feature(node, feature, method, args, self.now)?;
+        let (value, emitted) = self
+            .graph
+            .invoke_feature(node, feature, method, args, self.now)?;
         self.emitted.extend(emitted.into_iter().map(|i| (node, i)));
         Ok(value)
     }
@@ -492,10 +494,7 @@ impl ChannelLayer {
         let descriptor = feature.descriptor();
         for dep in &descriptor.requires {
             let mut found = rt.member_names.iter().any(|n| n == dep)
-                || rt
-                    .features
-                    .iter()
-                    .any(|f| &f.descriptor.name == dep);
+                || rt.features.iter().any(|f| &f.descriptor.name == dep);
             if !found {
                 for m in &rt.members {
                     if let Ok(info) = graph.info(*m) {
@@ -642,10 +641,7 @@ fn channel_heads(graph: &ProcessingGraph) -> Vec<NodeId> {
 }
 
 /// Walks the linear run from `head` to the next merge, sink or fan-out.
-fn walk_channel(
-    graph: &ProcessingGraph,
-    head: NodeId,
-) -> (Vec<NodeId>, Option<(NodeId, usize)>) {
+fn walk_channel(graph: &ProcessingGraph, head: NodeId) -> (Vec<NodeId>, Option<(NodeId, usize)>) {
     let mut members = vec![head];
     let mut cur = head;
     loop {
@@ -841,12 +837,16 @@ mod tests {
         let (_g, mut layer, gps, parser, interp, _app) = gps_pipeline();
         layer.record(gps, &item(kinds::RAW_STRING, 1));
         layer.record(parser, &item(kinds::NMEA_SENTENCE, 1));
-        let t1 = layer.record(interp, &item(kinds::POSITION_WGS84, 1)).unwrap();
+        let t1 = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 1))
+            .unwrap();
         assert_eq!(t1.len(), 3);
         // Next round starts fresh: new string + sentence only.
         layer.record(gps, &item(kinds::RAW_STRING, 2));
         layer.record(parser, &item(kinds::NMEA_SENTENCE, 2));
-        let t2 = layer.record(interp, &item(kinds::POSITION_WGS84, 2)).unwrap();
+        let t2 = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 2))
+            .unwrap();
         assert_eq!(t2.len(), 3, "old entries must not leak into new trees");
         assert_eq!(t2.root.range, Some((2, 2)));
     }
@@ -870,11 +870,7 @@ mod tests {
             fn descriptor(&self) -> FeatureDescriptor {
                 FeatureDescriptor::new("Probe")
             }
-            fn apply(
-                &mut self,
-                _t: &DataTree,
-                _h: &mut ChannelHost<'_>,
-            ) -> Result<(), CoreError> {
+            fn apply(&mut self, _t: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
                 self.applied += 1;
                 Ok(())
             }
@@ -903,11 +899,7 @@ mod tests {
             fn descriptor(&self) -> FeatureDescriptor {
                 FeatureDescriptor::new("Dependent").requiring("HDOP")
             }
-            fn apply(
-                &mut self,
-                _t: &DataTree,
-                _h: &mut ChannelHost<'_>,
-            ) -> Result<(), CoreError> {
+            fn apply(&mut self, _t: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
                 Ok(())
             }
             fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -938,11 +930,7 @@ mod tests {
             fn descriptor(&self) -> FeatureDescriptor {
                 FeatureDescriptor::new("OnParser").requiring("Parser")
             }
-            fn apply(
-                &mut self,
-                _t: &DataTree,
-                _h: &mut ChannelHost<'_>,
-            ) -> Result<(), CoreError> {
+            fn apply(&mut self, _t: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
                 Ok(())
             }
             fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -956,11 +944,7 @@ mod tests {
             fn descriptor(&self) -> FeatureDescriptor {
                 FeatureDescriptor::new("OnDependent").requiring("Dependent")
             }
-            fn apply(
-                &mut self,
-                _t: &DataTree,
-                _h: &mut ChannelHost<'_>,
-            ) -> Result<(), CoreError> {
+            fn apply(&mut self, _t: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
                 Ok(())
             }
             fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -1015,20 +999,16 @@ mod tests {
             .unwrap();
         layer.record(gps, &item(kinds::RAW_STRING, 1));
         layer.record(parser, &item(kinds::NMEA_SENTENCE, 1));
-        let tree = layer.record(interp, &item(kinds::POSITION_WGS84, 1)).unwrap();
-        layer
-            .apply_features(&mut g, &tree, SimTime::ZERO)
+        let tree = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 1))
             .unwrap();
+        layer.apply_features(&mut g, &tree, SimTime::ZERO).unwrap();
         assert_eq!(
             layer.invoke_feature(id, "Collect", "count", &[]).unwrap(),
             Value::Int(3)
         );
-        assert!(layer
-            .invoke_feature(id, "Collect", "nope", &[])
-            .is_err());
-        assert!(layer
-            .invoke_feature(id, "Nope", "count", &[])
-            .is_err());
+        assert!(layer.invoke_feature(id, "Collect", "nope", &[]).is_err());
+        assert!(layer.invoke_feature(id, "Nope", "count", &[]).is_err());
     }
 
     #[test]

@@ -137,11 +137,7 @@ impl ComponentDescriptor {
     }
 
     /// Creates a descriptor for a single-input processor.
-    pub fn processor(
-        name: impl Into<String>,
-        input: InputSpec,
-        provides: Vec<DataKind>,
-    ) -> Self {
+    pub fn processor(name: impl Into<String>, input: InputSpec, provides: Vec<DataKind>) -> Self {
         ComponentDescriptor {
             name: name.into(),
             role: ComponentRole::Processor,
@@ -151,11 +147,7 @@ impl ComponentDescriptor {
     }
 
     /// Creates a descriptor for a merge component with several inputs.
-    pub fn merge(
-        name: impl Into<String>,
-        inputs: Vec<InputSpec>,
-        provides: Vec<DataKind>,
-    ) -> Self {
+    pub fn merge(name: impl Into<String>, inputs: Vec<InputSpec>, provides: Vec<DataKind>) -> Self {
         ComponentDescriptor {
             name: name.into(),
             role: ComponentRole::Merge,
@@ -341,7 +333,9 @@ where
 
 impl<F> fmt::Debug for FnSource<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnSource").field("name", &self.name).finish()
+        f.debug_struct("FnSource")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -359,12 +353,7 @@ where
     F: FnMut(&DataItem) -> Option<Value> + Send,
 {
     /// Creates a closure-driven processor.
-    pub fn new(
-        name: impl Into<String>,
-        accepts: Vec<DataKind>,
-        provides: DataKind,
-        f: F,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, accepts: Vec<DataKind>, provides: DataKind, f: F) -> Self {
         FnProcessor {
             name: name.into(),
             accepts,

@@ -419,12 +419,8 @@ mod tests {
                     )),
                     None => Value::List(vec![Value::Int(int_v), Value::from(text.clone())]),
                 };
-                let item = DataItem::new(
-                    kinds::POSITION_WGS84,
-                    SimTime::from_micros(ts),
-                    payload,
-                )
-                .with_attr("k", Value::Bool(true));
+                let item = DataItem::new(kinds::POSITION_WGS84, SimTime::from_micros(ts), payload)
+                    .with_attr("k", Value::Bool(true));
                 let json = serde_json::to_string(&item).unwrap();
                 let back: DataItem = serde_json::from_str(&json).unwrap();
                 prop_assert_eq!(item, back);

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::component::{Component, ComponentDescriptor, ComponentRole, MethodSpec};
-use crate::data::{DataKind, Value};
 use crate::data::DataItem;
+use crate::data::{DataKind, Value};
 use crate::feature::{ComponentFeature, FeatureDescriptor, FeatureHost};
 use crate::CoreError;
 
@@ -218,10 +218,13 @@ impl ProcessingGraph {
         }
         self.nodes
             .get_mut(&from)
-            .expect("checked above")
+            .ok_or(CoreError::UnknownNode(from))?
             .outputs
             .push((to, port));
-        self.nodes.get_mut(&to).expect("checked above").inputs[port] = Some(from);
+        self.nodes
+            .get_mut(&to)
+            .ok_or(CoreError::UnknownNode(to))?
+            .inputs[port] = Some(from);
         Ok(())
     }
 
@@ -282,13 +285,16 @@ impl ProcessingGraph {
             });
         }
         self.disconnect(to, port)?;
+        // Rollbacks re-create the edge that was just removed; they can
+        // only fail if graph invariants are already broken, in which case
+        // the error propagates instead of panicking.
         if let Err(e) = self.connect(from, new, 0) {
-            self.connect(from, to, port).expect("restoring prior edge");
+            self.connect(from, to, port)?;
             return Err(e);
         }
         if let Err(e) = self.connect(new, to, port) {
-            self.disconnect(new, 0).expect("new edge exists");
-            self.connect(from, to, port).expect("restoring prior edge");
+            self.disconnect(new, 0)?;
+            self.connect(from, to, port)?;
             return Err(e);
         }
         Ok(())
@@ -822,8 +828,7 @@ mod tests {
         }
         impl crate::feature::ComponentFeature for Counting {
             fn descriptor(&self) -> FeatureDescriptor {
-                FeatureDescriptor::new("Counting")
-                    .method(MethodSpec::new("calls", "() -> int"))
+                FeatureDescriptor::new("Counting").method(MethodSpec::new("calls", "() -> int"))
             }
             fn on_produce(
                 &mut self,
@@ -832,7 +837,7 @@ mod tests {
             ) -> Result<FeatureAction, CoreError> {
                 Ok(FeatureAction::Continue(item))
             }
-                fn invoke(
+            fn invoke(
                 &mut self,
                 method: &str,
                 _args: &[Value],
@@ -854,12 +859,15 @@ mod tests {
         }
         let mut g = ProcessingGraph::new();
         let src = source(&mut g, "src", kinds::RAW_STRING);
-        g.attach_feature(src, Box::new(Counting { calls: 0 })).unwrap();
+        g.attach_feature(src, Box::new(Counting { calls: 0 }))
+            .unwrap();
         // The component does not know "calls"; the feature answers.
         let t0 = crate::SimTime::ZERO;
         assert_eq!(g.invoke(src, "calls", &[], t0).unwrap().0, Value::Int(1));
         assert_eq!(
-            g.invoke_feature(src, "Counting", "calls", &[], t0).unwrap().0,
+            g.invoke_feature(src, "Counting", "calls", &[], t0)
+                .unwrap()
+                .0,
             Value::Int(2)
         );
         assert!(g.invoke(src, "nope", &[], t0).is_err());

@@ -19,9 +19,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::channel::{ChannelFeature, ChannelId, ChannelInfo, ChannelLayer};
-use crate::distribution::Deployment;
 use crate::component::{Component, ComponentCtx, MethodSpec};
 use crate::data::{DataItem, Value};
+use crate::distribution::Deployment;
 use crate::feature::{ComponentFeature, FeatureAction, FeatureHost};
 use crate::graph::{NodeId, NodeInfo, ProcessingGraph};
 use crate::positioning::{ApplicationSink, Criteria, LocationProvider, SinkShared};
@@ -365,7 +365,8 @@ impl Middleware {
         id: ChannelId,
         feature: impl ChannelFeature + 'static,
     ) -> Result<(), CoreError> {
-        self.channels.attach_feature(&self.graph, id, Box::new(feature))
+        self.channels
+            .attach_feature(&self.graph, id, Box::new(feature))
     }
 
     /// Detaches a Channel Feature by name.
@@ -454,11 +455,7 @@ impl Middleware {
         let (sink, shared) = ApplicationSink::new(name.clone());
         let node = self.graph.add(Box::new(sink));
         self.channels.recompute(&self.graph);
-        let target = Target {
-            name,
-            node,
-            shared,
-        };
+        let target = Target { name, node, shared };
         self.targets.push(target.clone());
         target
     }
@@ -587,10 +584,7 @@ impl Middleware {
 
     /// Ticks one source component.
     fn run_tick(&mut self, id: NodeId, now: SimTime) -> Result<Vec<DataItem>, CoreError> {
-        let node = self
-            .graph
-            .node_mut(id)
-            .ok_or(CoreError::UnknownNode(id))?;
+        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
         let mut ctx = ComponentCtx::new(now);
         node.component.on_tick(&mut ctx)?;
         Ok(ctx.take_emitted())
@@ -604,10 +598,7 @@ impl Middleware {
         item: DataItem,
         now: SimTime,
     ) -> Result<Vec<DataItem>, CoreError> {
-        let node = self
-            .graph
-            .node_mut(id)
-            .ok_or(CoreError::UnknownNode(id))?;
+        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
         let mut ctx = ComponentCtx::new(now);
         node.component.on_input(port, item, &mut ctx)?;
         Ok(ctx.take_emitted())
@@ -622,10 +613,7 @@ impl Middleware {
         item: DataItem,
         now: SimTime,
     ) -> Result<(Option<DataItem>, Vec<DataItem>), CoreError> {
-        let node = self
-            .graph
-            .node_mut(id)
-            .ok_or(CoreError::UnknownNode(id))?;
+        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
         let component = &mut node.component;
         let features = &mut node.features;
         let mut extras = Vec::new();
@@ -664,10 +652,7 @@ impl Middleware {
         now: SimTime,
         queue: &mut VecDeque<(NodeId, usize, DataItem)>,
     ) -> Result<(), CoreError> {
-        let node = self
-            .graph
-            .node_mut(id)
-            .ok_or(CoreError::UnknownNode(id))?;
+        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
         let component = &mut node.component;
         let features = &mut node.features;
         let mut outputs = Vec::new();
@@ -728,17 +713,11 @@ impl Middleware {
                 continue;
             }
             // Cross-host edges go through the deployment's link model.
-            let remote = self
-                .deployment
-                .as_ref()
-                .is_some_and(|d| d.crosses_hosts(id, target));
-            if remote {
-                self.deployment
-                    .as_mut()
-                    .expect("checked above")
-                    .send(now, id, target, port, item.clone());
-            } else {
-                queue.push_back((target, port, item.clone()));
+            match self.deployment.as_mut() {
+                Some(d) if d.crosses_hosts(id, target) => {
+                    d.send(now, id, target, port, item.clone());
+                }
+                _ => queue.push_back((target, port, item.clone())),
             }
         }
         Ok(())
@@ -795,8 +774,11 @@ mod tests {
     fn produce_features_transform_data() {
         let mut mw = Middleware::new();
         let src = position_source(&mut mw, "gps", 56.0, 10.0);
-        mw.attach_feature(src, TagFeature::new("SourceTag", "source", Value::from("gps")))
-            .unwrap();
+        mw.attach_feature(
+            src,
+            TagFeature::new("SourceTag", "source", Value::from("gps")),
+        )
+        .unwrap();
         let app = mw.application_sink();
         mw.connect(src, app, 0).unwrap();
         mw.run_for(SimDuration::from_millis(100), SimDuration::from_millis(100))
@@ -858,10 +840,7 @@ mod tests {
         mw.attach_feature(src, KindChanger).unwrap();
         let app = mw.application_sink();
         mw.connect(src, app, 0).unwrap();
-        assert!(matches!(
-            mw.step(),
-            Err(CoreError::ComponentFailure { .. })
-        ));
+        assert!(matches!(mw.step(), Err(CoreError::ComponentFailure { .. })));
     }
 
     #[test]
@@ -894,10 +873,7 @@ mod tests {
         let rooms = mw
             .location_provider(Criteria::new().kind(kinds::POSITION_ROOM))
             .unwrap();
-        assert_eq!(
-            rooms.last_item().unwrap().payload.as_text(),
-            Some("R1")
-        );
+        assert_eq!(rooms.last_item().unwrap().payload.as_text(), Some("R1"));
     }
 
     #[test]
@@ -962,16 +938,20 @@ mod tests {
         mw.connect(src, parser, 0).unwrap();
         mw.connect(parser, app, 0).unwrap();
         let channel = mw.channel_into(app, 0).unwrap();
-        mw.attach_channel_feature(channel, TreeCounter { trees: 0, elements: 0 })
-            .unwrap();
+        mw.attach_channel_feature(
+            channel,
+            TreeCounter {
+                trees: 0,
+                elements: 0,
+            },
+        )
+        .unwrap();
         mw.run_for(SimDuration::from_millis(300), SimDuration::from_millis(100))
             .unwrap();
         let (trees, elements) = mw
-            .with_channel_feature_mut::<TreeCounter, (usize, usize)>(
-                channel,
-                "TreeCounter",
-                |f| (f.trees, f.elements),
-            )
+            .with_channel_feature_mut::<TreeCounter, (usize, usize)>(channel, "TreeCounter", |f| {
+                (f.trees, f.elements)
+            })
             .unwrap();
         assert_eq!(trees, 3);
         assert_eq!(elements, 6); // each tree: 1 nmea + 1 raw string
@@ -1015,7 +995,8 @@ mod tests {
             mw.advance_clock(SimDuration::from_millis(10));
         }
         let channel = mw.channel_into(app, 0).unwrap();
-        mw.attach_channel_feature(channel, Ranges(Vec::new())).unwrap();
+        mw.attach_channel_feature(channel, Ranges(Vec::new()))
+            .unwrap();
         for _ in 0..2 {
             mw.step().unwrap();
             mw.advance_clock(SimDuration::from_millis(10));
@@ -1104,7 +1085,11 @@ mod tests {
                 item: DataItem,
                 ctx: &mut ComponentCtx,
             ) -> Result<(), CoreError> {
-                ctx.emit(DataItem::new(kinds::POSITION_WGS84, ctx.now(), item.payload));
+                ctx.emit(DataItem::new(
+                    kinds::POSITION_WGS84,
+                    ctx.now(),
+                    item.payload,
+                ));
                 Ok(())
             }
         }
@@ -1187,10 +1172,7 @@ mod tests {
         struct Failing;
         impl Component for Failing {
             fn descriptor(&self) -> crate::component::ComponentDescriptor {
-                crate::component::ComponentDescriptor::source(
-                    "failing",
-                    vec![kinds::RAW_STRING],
-                )
+                crate::component::ComponentDescriptor::source("failing", vec![kinds::RAW_STRING])
             }
             fn on_input(
                 &mut self,

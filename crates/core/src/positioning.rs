@@ -99,9 +99,7 @@ impl Criteria {
                 return false;
             }
         }
-        self.required_attrs
-            .iter()
-            .all(|a| item.attr(a).is_some())
+        self.required_attrs.iter().all(|a| item.attr(a).is_some())
     }
 }
 

@@ -2,6 +2,7 @@
 //! pass-through pipelines, data-tree partitioning of intermediate items,
 //! and graph-edge consistency under random manipulation sequences.
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 
 use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree};

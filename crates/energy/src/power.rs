@@ -40,7 +40,10 @@ impl fmt::Display for PowerModel {
         write!(
             f,
             "gps {:.2}/{:.2} W, accel {:.3} W, idle {:.3} W, tx {:.1} J",
-            self.gps_tracking_w, self.gps_acquiring_w, self.accelerometer_w, self.idle_w,
+            self.gps_tracking_w,
+            self.gps_acquiring_w,
+            self.accelerometer_w,
+            self.idle_w,
             self.transmission_j
         )
     }

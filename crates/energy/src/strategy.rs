@@ -352,8 +352,7 @@ mod tests {
 
     #[test]
     fn stationary_target_suspends_gps() {
-        let (mut mw, gps) =
-            entracked_setup(Trajectory::stationary(Point2::new(5.0, 5.0)), 50.0);
+        let (mut mw, gps) = entracked_setup(Trajectory::stationary(Point2::new(5.0, 5.0)), 50.0);
         mw.run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
             .unwrap();
         // After the first fix the GPS must be off.
@@ -370,10 +369,7 @@ mod tests {
 
     #[test]
     fn moving_target_duty_cycles() {
-        let walk = Trajectory::new(
-            vec![Point2::new(0.0, 0.0), Point2::new(400.0, 0.0)],
-            1.4,
-        );
+        let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(400.0, 0.0)], 1.4);
         let (mut mw, gps) = entracked_setup(walk, 50.0);
         let mut on_samples = 0u32;
         let mut total = 0u32;
@@ -401,8 +397,7 @@ mod tests {
 
     #[test]
     fn suspension_counter_tracks_sleep_cycles() {
-        let (mut mw, _gps) =
-            entracked_setup(Trajectory::stationary(Point2::new(1.0, 1.0)), 50.0);
+        let (mut mw, _gps) = entracked_setup(Trajectory::stationary(Point2::new(1.0, 1.0)), 50.0);
         mw.run_for(SimDuration::from_secs(90), SimDuration::from_secs(1))
             .unwrap();
         let channels = mw.channels();
@@ -423,10 +418,7 @@ mod tests {
     fn higher_max_speed_wakes_more_often() {
         // With a larger assumed max speed the same threshold forces more
         // frequent fixes: threshold/speed shrinks.
-        let walk = Trajectory::new(
-            vec![Point2::new(0.0, 0.0), Point2::new(600.0, 0.0)],
-            1.4,
-        );
+        let walk = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(600.0, 0.0)], 1.4);
         let count_on = |max_speed: f64| {
             let f = frame();
             let mut mw = Middleware::new();
@@ -498,8 +490,7 @@ mod tests {
 
     #[test]
     fn entracked_invoke_surface() {
-        let (mut mw, _gps) =
-            entracked_setup(Trajectory::stationary(Point2::new(0.0, 0.0)), 25.0);
+        let (mut mw, _gps) = entracked_setup(Trajectory::stationary(Point2::new(0.0, 0.0)), 25.0);
         let channels = mw.channels();
         let motion_channel = channels
             .iter()

@@ -3,9 +3,7 @@
 
 use std::collections::VecDeque;
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::prelude::*;
 use perpos_geo::{LocalFrame, Point2};
 
@@ -39,7 +37,9 @@ impl CentroidFusion {
 
 impl std::fmt::Debug for CentroidFusion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CentroidFusion").field("name", &self.name).finish()
+        f.debug_struct("CentroidFusion")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -154,9 +154,11 @@ mod tests {
         // A very accurate sample at x = 0 and a poor one at x = 10.
         ComponentCtxProbe::run_input(&mut c, measurement(&f, Point2::new(0.0, 0.0), 1.0, 0.0))
             .unwrap();
-        let out =
-            ComponentCtxProbe::run_input(&mut c, measurement(&f, Point2::new(10.0, 0.0), 10.0, 0.5))
-                .unwrap();
+        let out = ComponentCtxProbe::run_input(
+            &mut c,
+            measurement(&f, Point2::new(10.0, 0.0), 10.0, 0.5),
+        )
+        .unwrap();
         let est = f.to_local(out[0].position().unwrap().coord());
         assert!(est.x < 1.0, "accurate sample dominates, got x = {}", est.x);
     }

@@ -1,9 +1,7 @@
 //! A constant-velocity Kalman filter — the classical smoothing baseline
 //! the particle filter is compared against in the Fig. 6 experiment.
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::prelude::*;
 use perpos_geo::{LocalFrame, Point2};
 
@@ -60,10 +58,10 @@ impl KalmanFilter {
             [0.0, 0.0, 0.0, 1.0],
         ];
         let mut fp = [[0.0; 4]; 4];
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, fp_row) in fp.iter_mut().enumerate() {
+            for (j, cell) in fp_row.iter_mut().enumerate() {
                 for (k, fk) in f[i].iter().enumerate() {
-                    fp[i][j] += fk * state.p[k][j];
+                    *cell += fk * state.p[k][j];
                 }
             }
         }
@@ -104,23 +102,22 @@ impl KalmanFilter {
         }
         let (i00, i01, i10, i11) = (s11 / det, -s01 / det, -s10 / det, s00 / det);
         let mut k = [[0.0; 2]; 4];
-        for i in 0..4 {
-            let ph0 = state.p[i][0];
-            let ph1 = state.p[i][1];
-            k[i][0] = ph0 * i00 + ph1 * i10;
-            k[i][1] = ph0 * i01 + ph1 * i11;
+        for (krow, prow) in k.iter_mut().zip(&state.p) {
+            let (ph0, ph1) = (prow[0], prow[1]);
+            krow[0] = ph0 * i00 + ph1 * i10;
+            krow[1] = ph0 * i01 + ph1 * i11;
         }
         let y0 = z.x - state.x[0];
         let y1 = z.y - state.x[1];
-        for i in 0..4 {
-            state.x[i] += k[i][0] * y0 + k[i][1] * y1;
+        for (xi, krow) in state.x.iter_mut().zip(&k) {
+            *xi += krow[0] * y0 + krow[1] * y1;
         }
         // P = (I - K H) P.
         let mut new_p = [[0.0; 4]; 4];
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, np_row) in new_p.iter_mut().enumerate() {
+            for (j, cell) in np_row.iter_mut().enumerate() {
                 let kh = k[i][0] * state.p[0][j] + k[i][1] * state.p[1][j];
-                new_p[i][j] = state.p[i][j] - kh;
+                *cell = state.p[i][j] - kh;
             }
         }
         state.p = new_p;
@@ -129,7 +126,9 @@ impl KalmanFilter {
 
 impl std::fmt::Debug for KalmanFilter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KalmanFilter").field("name", &self.name).finish()
+        f.debug_struct("KalmanFilter")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -259,9 +258,8 @@ mod tests {
                 truth.x + rng.gen_range(-8.0..8.0),
                 truth.y + rng.gen_range(-8.0..8.0),
             );
-            let out =
-                ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 5.0, t as f64))
-                    .unwrap();
+            let out = ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 5.0, t as f64))
+                .unwrap();
             let est = f.to_local(out[0].position().unwrap().coord());
             if t >= 10 {
                 raw += noisy.distance(&truth);
@@ -290,9 +288,8 @@ mod tests {
                 truth.x + rng.gen_range(-4.0..4.0),
                 truth.y + rng.gen_range(-4.0..4.0),
             );
-            let out =
-                ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 4.0, t as f64))
-                    .unwrap();
+            let out = ComponentCtxProbe::run_input(&mut kf, measurement(&f, noisy, 4.0, t as f64))
+                .unwrap();
             let est = f.to_local(out[0].position().unwrap().coord());
             if t > 10 {
                 errs.push(est.distance(&truth));
@@ -321,7 +318,10 @@ mod tests {
     fn invoke_surface() {
         let mut kf = KalmanFilter::new("kf", frame());
         kf.invoke("setProcessNoise", &[Value::Float(1.5)]).unwrap();
-        assert_eq!(kf.invoke("getProcessNoise", &[]).unwrap(), Value::Float(1.5));
+        assert_eq!(
+            kf.invoke("getProcessNoise", &[]).unwrap(),
+            Value::Float(1.5)
+        );
         assert!(kf.invoke("setProcessNoise", &[Value::Float(-1.0)]).is_err());
         assert!(kf.invoke("warp", &[]).is_err());
     }

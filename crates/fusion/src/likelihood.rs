@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn reflective_surface() {
         let mut f = LikelihoodFeature::new();
-        assert!(matches!(f.invoke("getSigma", &[]).unwrap(), Value::Float(_)));
+        assert!(matches!(
+            f.invoke("getSigma", &[]).unwrap(),
+            Value::Float(_)
+        ));
         let l = f
             .invoke("getLikelihood", &[Value::Float(0.0)])
             .unwrap()

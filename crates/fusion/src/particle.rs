@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::prelude::*;
 use perpos_geo::{LocalFrame, Point2, Vec2};
 use perpos_model::Building;
@@ -392,7 +390,9 @@ mod tests {
     #[test]
     fn converges_to_stationary_target() {
         let f = frame();
-        let mut pf = ParticleFilter::new("pf", f, 1).with_seed(42).with_particles(300);
+        let mut pf = ParticleFilter::new("pf", f, 1)
+            .with_seed(42)
+            .with_particles(300);
         let truth = Point2::new(10.0, 5.0);
         let mut last_est = None;
         for t in 0..20 {
@@ -408,7 +408,9 @@ mod tests {
     #[test]
     fn estimate_beats_raw_noise_on_average() {
         let f = frame();
-        let mut pf = ParticleFilter::new("pf", f, 1).with_seed(7).with_particles(400);
+        let mut pf = ParticleFilter::new("pf", f, 1)
+            .with_seed(7)
+            .with_particles(400);
         let mut rng = StdRng::seed_from_u64(99);
         let truth = Point2::new(0.0, 0.0);
         let mut raw_err = 0.0;
@@ -464,7 +466,9 @@ mod tests {
     #[test]
     fn ess_drops_then_resamples() {
         let f = frame();
-        let mut pf = ParticleFilter::new("pf", f, 1).with_seed(5).with_particles(200);
+        let mut pf = ParticleFilter::new("pf", f, 1)
+            .with_seed(5)
+            .with_particles(200);
         let item = measurement(&f, Point2::new(0.0, 0.0), 10.0, 0.0);
         ComponentCtxProbe::run_input(&mut pf, item).unwrap();
         let full = pf.effective_sample_size();

@@ -13,9 +13,7 @@
 
 use std::collections::VecDeque;
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::data::DataKind;
 use perpos_core::prelude::*;
 use perpos_geo::LocalFrame;
@@ -140,7 +138,9 @@ impl Segmenter {
 
 impl std::fmt::Debug for Segmenter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Segmenter").field("window", &self.window).finish()
+        f.debug_struct("Segmenter")
+            .field("window", &self.window)
+            .finish()
     }
 }
 
@@ -165,11 +165,7 @@ impl Component for Segmenter {
             self.window_start = Some(item.timestamp);
         }
         self.buffer.push_back((item.timestamp, p));
-        if item
-            .timestamp
-            .since(self.window_start.expect("set above"))
-            >= self.window
-        {
+        if item.timestamp.since(self.window_start.expect("set above")) >= self.window {
             self.flush(ctx);
         }
         Ok(())
@@ -457,11 +453,9 @@ mod tests {
         let mut out = Vec::new();
         // 1.4 m/s walk, 1 Hz positions.
         for t in 0..=5 {
-            let items = ComponentCtxProbe::run_input(
-                &mut seg,
-                position(&f, t as f64 * 1.4, t as f64),
-            )
-            .unwrap();
+            let items =
+                ComponentCtxProbe::run_input(&mut seg, position(&f, t as f64 * 1.4, t as f64))
+                    .unwrap();
             out.extend(items);
         }
         assert_eq!(out.len(), 1);
@@ -523,7 +517,9 @@ mod tests {
         assert_eq!(out[0].attr("smoothed").and_then(Value::as_bool), Some(true));
         // Unparseable modes are absorbed.
         let bad = DataItem::new(TRANSPORT_MODE, SimTime::ZERO, Value::from("teleport"));
-        assert!(ComponentCtxProbe::run_input(&mut hmm, bad).unwrap().is_empty());
+        assert!(ComponentCtxProbe::run_input(&mut hmm, bad)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

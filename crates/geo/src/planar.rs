@@ -196,7 +196,10 @@ impl Segment2 {
                 && p.y >= s.a.y.min(s.b.y) - 1e-12
                 && p.y <= s.a.y.max(s.b.y) + 1e-12
         };
-        on(other.a, self, d1) || on(other.b, self, d2) || on(self.a, other, d3) || on(self.b, other, d4)
+        on(other.a, self, d1)
+            || on(other.b, self, d2)
+            || on(self.a, other, d3)
+            || on(self.b, other, d4)
     }
 
     /// Shortest distance from `p` to any point on the segment.

@@ -313,8 +313,8 @@ impl BuildingBuilder {
 
         let mut room_index = 0usize;
         for (row, (y0, y1, wall_y)) in [
-            (0.0, south_y, south_y),           // south row, corridor wall at y = room_d
-            (north_y, total_h, north_y),       // north row, corridor wall at y = room_d + corridor_w
+            (0.0, south_y, south_y),     // south row, corridor wall at y = room_d
+            (north_y, total_h, north_y), // north row, corridor wall at y = room_d + corridor_w
         ]
         .into_iter()
         .enumerate()
@@ -385,9 +385,15 @@ mod tests {
         assert_eq!(f.rooms().len(), 9);
         assert_eq!(f.doors().len(), 8);
         // South row room 0 spans x 0..5, y 0..4.
-        assert_eq!(b.room_at(Point2::new(2.5, 2.0), 0).unwrap().id().as_str(), "R0");
+        assert_eq!(
+            b.room_at(Point2::new(2.5, 2.0), 0).unwrap().id().as_str(),
+            "R0"
+        );
         // North row first room is R4 at y 6.5..10.5.
-        assert_eq!(b.room_at(Point2::new(2.5, 8.0), 0).unwrap().id().as_str(), "R4");
+        assert_eq!(
+            b.room_at(Point2::new(2.5, 8.0), 0).unwrap().id().as_str(),
+            "R4"
+        );
         // Corridor in the middle.
         assert_eq!(
             b.room_at(Point2::new(10.0, 5.0), 0).unwrap().id().as_str(),
@@ -436,7 +442,13 @@ mod tests {
         let f = b.floor(0).unwrap();
         for d in f.doors() {
             assert!((d.span.length() - 1.0).abs() < 1e-9);
-            assert!(d.connects.1.as_ref().unwrap().as_str().starts_with("CORRIDOR"));
+            assert!(d
+                .connects
+                .1
+                .as_ref()
+                .unwrap()
+                .as_str()
+                .starts_with("CORRIDOR"));
         }
     }
 
@@ -455,7 +467,10 @@ mod tests {
         let back: Building = serde_json::from_str(&json).unwrap();
         assert_eq!(b, back);
         assert_eq!(
-            back.room_at(Point2::new(2.5, 2.0), 0).unwrap().id().as_str(),
+            back.room_at(Point2::new(2.5, 2.0), 0)
+                .unwrap()
+                .id()
+                .as_str(),
             "R0"
         );
     }

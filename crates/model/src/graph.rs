@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn path_to_self_is_trivial() {
         let g = graph();
-        assert_eq!(g.shortest_path(&"R0".into(), &"R0".into()).unwrap().len(), 1);
+        assert_eq!(
+            g.shortest_path(&"R0".into(), &"R0".into()).unwrap().len(),
+            1
+        );
         assert_eq!(g.door_distance(&"R0".into(), &"R0".into()), Some(0));
     }
 

@@ -27,7 +27,9 @@ pub fn verify_checksum(sentence: &str) -> Result<&str, NmeaError> {
     if s.len() > MAX_SENTENCE_LEN {
         return Err(NmeaError::SentenceTooLong(s.len()));
     }
-    let body_and_sum = s.strip_prefix('$').ok_or(NmeaError::MissingStartDelimiter)?;
+    let body_and_sum = s
+        .strip_prefix('$')
+        .ok_or(NmeaError::MissingStartDelimiter)?;
     let star = body_and_sum.rfind('*').ok_or(NmeaError::MissingChecksum)?;
     let (body, sum_text) = body_and_sum.split_at(star);
     let sum_text = &sum_text[1..];
@@ -60,7 +62,11 @@ pub fn parse_sentence(sentence: &str) -> Result<Sentence, NmeaError> {
     let mut fields = body.split(',');
     let address = fields.next().unwrap_or_default().to_string();
     let rest: Vec<&str> = fields.collect();
-    let type_code = if address.len() >= 5 { &address[2..5] } else { address.as_str() };
+    let type_code = if address.len() >= 5 {
+        &address[2..5]
+    } else {
+        address.as_str()
+    };
     match type_code {
         "GGA" => parse_gga(&rest).map(Sentence::Gga),
         "RMC" => parse_rmc(&rest).map(Sentence::Rmc),
@@ -113,11 +119,7 @@ fn parse_time(text: &str) -> Result<NmeaTime, NmeaError> {
 }
 
 /// Parses `ddmm.mmmm` / `dddmm.mmmm` plus hemisphere into decimal degrees.
-fn parse_coord(
-    value: &str,
-    hemi: &str,
-    field: &'static str,
-) -> Result<Option<f64>, NmeaError> {
+fn parse_coord(value: &str, hemi: &str, field: &'static str) -> Result<Option<f64>, NmeaError> {
     if value.is_empty() || hemi.is_empty() {
         return Ok(None);
     }
@@ -394,7 +396,10 @@ mod tests {
         let line = format!("${body}*{:02X}", checksum(body));
         assert!(matches!(
             parse_sentence(&line),
-            Err(NmeaError::InvalidField { field: "latitude", .. })
+            Err(NmeaError::InvalidField {
+                field: "latitude",
+                ..
+            })
         ));
     }
 

@@ -299,9 +299,7 @@ impl<T> Registry<T> {
                         .services
                         .iter()
                         .filter(|(pid, pe)| **pid != id && pe.state == ServiceState::Resolved)
-                        .find(|(_, pe)| {
-                            pe.descriptor.capabilities().iter().any(|c| req.matches(c))
-                        })
+                        .find(|(_, pe)| pe.descriptor.capabilities().iter().any(|c| req.matches(c)))
                         .map(|(pid, _)| *pid);
                     match provider {
                         Some(pid) => wires.push(Wire {
@@ -576,11 +574,15 @@ mod tests {
             3,
         );
         let b = r.register(
-            desc("b").provides(Capability::new("b")).requires(Requirement::new("a")),
+            desc("b")
+                .provides(Capability::new("b"))
+                .requires(Requirement::new("a")),
             1,
         );
         let c = r.register(
-            desc("c").provides(Capability::new("c")).requires(Requirement::new("a")),
+            desc("c")
+                .provides(Capability::new("c"))
+                .requires(Requirement::new("a")),
             2,
         );
         let a = r.register(desc("a").provides(Capability::new("a")), 0);

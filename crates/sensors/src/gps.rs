@@ -223,8 +223,7 @@ impl Component for GpsSimulator {
             return Ok(());
         }
 
-        let sats = ((env.mean_visible_sats + self.sample_normal() * env.sat_stddev).round()
-            as i64)
+        let sats = ((env.mean_visible_sats + self.sample_normal() * env.sat_stddev).round() as i64)
             .clamp(0, 12) as u8;
 
         if sats < 2 {
@@ -239,9 +238,9 @@ impl Component for GpsSimulator {
         }
 
         // HDOP grows as the constellation thins.
-        let hdop = (1.0 + (9.0_f64 - f64::from(sats)).max(0.0) * 0.6
-            + self.sample_normal().abs() * 0.3)
-            .clamp(0.7, 30.0);
+        let hdop =
+            (1.0 + (9.0_f64 - f64::from(sats)).max(0.0) * 0.6 + self.sample_normal().abs() * 0.3)
+                .clamp(0.7, 30.0);
 
         let reliable = sats >= 4;
         let noisy = if reliable {
@@ -374,7 +373,8 @@ mod tests {
     fn drain_ticks(gps: &mut GpsSimulator, seconds: u64) -> Vec<String> {
         let mut out = Vec::new();
         for s in 0..seconds {
-            let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
+            let mut ctx =
+                perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
             gps.on_tick(&mut ctx).unwrap();
             for item in ctx.take_emitted() {
                 out.push(item.payload.as_text().unwrap().to_string());
@@ -413,9 +413,7 @@ mod tests {
                 if let perpos_nmea::Sentence::Gga(g) = parse_sentence(line).unwrap() {
                     if let (Some(lat), Some(lon)) = (g.lat_deg, g.lon_deg) {
                         if g.num_satellites >= 4 {
-                            let p = f.to_local(
-                                &Wgs84::new(lat, lon, 0.0).unwrap(),
-                            );
+                            let p = f.to_local(&Wgs84::new(lat, lon, 0.0).unwrap());
                             let truth = t.position_at(SimTime::from_secs_f64(s as f64));
                             assert!(
                                 p.distance(&truth) < 100.0,
@@ -482,7 +480,8 @@ mod tests {
         let lines = drain_ticks(&mut gps, 20);
         // 4 samples x 2 sentences (GGA+RMC) = 8.
         assert_eq!(lines.len(), 8, "{lines:?}");
-        gps.invoke("setSampleInterval", &[Value::Float(1.0)]).unwrap();
+        gps.invoke("setSampleInterval", &[Value::Float(1.0)])
+            .unwrap();
         assert_eq!(
             gps.invoke("getSampleInterval", &[]).unwrap(),
             Value::Float(1.0)
@@ -536,10 +535,14 @@ mod tests {
         let mut early_fixes = 0;
         let mut late_fixes = 0;
         for s in 0..120u64 {
-            let mut ctx = perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
+            let mut ctx =
+                perpos_core::component::ComponentCtx::new(SimTime::from_secs_f64(s as f64));
             gps.on_tick(&mut ctx).unwrap();
             for item in ctx.take_emitted() {
-                if parse_sentence(item.payload.as_text().unwrap()).unwrap().has_fix() {
+                if parse_sentence(item.payload.as_text().unwrap())
+                    .unwrap()
+                    .has_fix()
+                {
                     if s < 14 {
                         early_fixes += 1;
                     } else {

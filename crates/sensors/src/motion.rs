@@ -61,7 +61,9 @@ impl MotionSensor {
 
 impl std::fmt::Debug for MotionSensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MotionSensor").field("name", &self.name).finish()
+        f.debug_struct("MotionSensor")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -140,10 +142,7 @@ mod tests {
 
     #[test]
     fn reports_motion_while_walking() {
-        let traj = Trajectory::new(
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-            1.4,
-        );
+        let traj = Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], 1.4);
         let mut sensor = MotionSensor::new("motion", traj).with_flip_prob(0.0);
         let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
         assert_eq!(out.len(), 1);
@@ -154,9 +153,8 @@ mod tests {
 
     #[test]
     fn reports_stationary() {
-        let mut sensor =
-            MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
-                .with_flip_prob(0.0);
+        let mut sensor = MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
+            .with_flip_prob(0.0);
         let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
         let map = out[0].payload.as_map().unwrap();
         assert_eq!(map["moving"].as_bool(), Some(false));
@@ -165,10 +163,9 @@ mod tests {
 
     #[test]
     fn flip_probability_injects_errors() {
-        let mut sensor =
-            MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
-                .with_flip_prob(1.0)
-                .with_seed(1);
+        let mut sensor = MotionSensor::new("motion", Trajectory::stationary(Point2::new(0.0, 0.0)))
+            .with_flip_prob(1.0)
+            .with_seed(1);
         let out = ComponentCtxProbe::run_tick(&mut sensor).unwrap();
         let map = out[0].payload.as_map().unwrap();
         assert_eq!(map["moving"].as_bool(), Some(true), "always flipped");

@@ -5,9 +5,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
 use perpos_core::prelude::*;
 use perpos_model::Building;
@@ -405,10 +403,7 @@ impl ComponentFeature for HdopFeature {
         _host: &mut FeatureHost<'_>,
     ) -> Result<Value, CoreError> {
         match method {
-            "getHDOP" => Ok(self
-                .last_hdop
-                .map(Value::Float)
-                .unwrap_or(Value::Null)),
+            "getHDOP" => Ok(self.last_hdop.map(Value::Float).unwrap_or(Value::Null)),
             other => Err(CoreError::NoSuchMethod {
                 target: Self::NAME.into(),
                 method: other.into(),
@@ -468,9 +463,7 @@ impl ComponentFeature for NumberOfSatellitesFeature {
         _host: &mut FeatureHost<'_>,
     ) -> Result<Value, CoreError> {
         match method {
-            "getNumberOfSatellites" => {
-                Ok(self.last.map(Value::Int).unwrap_or(Value::Null))
-            }
+            "getNumberOfSatellites" => Ok(self.last.map(Value::Int).unwrap_or(Value::Null)),
             other => Err(CoreError::NoSuchMethod {
                 target: Self::NAME.into(),
                 method: other.into(),
@@ -634,7 +627,9 @@ mod tests {
     fn resolver_maps_positions_to_rooms() {
         let building = Arc::new(demo_building());
         // A point inside room R0 (2.5, 2.0).
-        let coord = building.frame().from_local(&perpos_geo::Point2::new(2.5, 2.0));
+        let coord = building
+            .frame()
+            .from_local(&perpos_geo::Point2::new(2.5, 2.0));
         let item = DataItem::new(
             kinds::POSITION_WGS84,
             SimTime::ZERO,
@@ -647,23 +642,31 @@ mod tests {
         assert!(out[0].attr("wgs84").is_some());
 
         // Outside the building: silent.
-        let outside = building.frame().from_local(&perpos_geo::Point2::new(-50.0, 0.0));
+        let outside = building
+            .frame()
+            .from_local(&perpos_geo::Point2::new(-50.0, 0.0));
         let item = DataItem::new(
             kinds::POSITION_WGS84,
             SimTime::ZERO,
             Value::from(Position::new(outside, None)),
         );
-        assert!(ComponentCtxProbe::run_input(&mut r, item).unwrap().is_empty());
+        assert!(ComponentCtxProbe::run_input(&mut r, item)
+            .unwrap()
+            .is_empty());
 
         // Wrong floor: silent.
         r.invoke("setFloor", &[Value::Int(5)]).unwrap();
-        let inside = building.frame().from_local(&perpos_geo::Point2::new(2.5, 2.0));
+        let inside = building
+            .frame()
+            .from_local(&perpos_geo::Point2::new(2.5, 2.0));
         let item = DataItem::new(
             kinds::POSITION_WGS84,
             SimTime::ZERO,
             Value::from(Position::new(inside, None)),
         );
-        assert!(ComponentCtxProbe::run_input(&mut r, item).unwrap().is_empty());
+        assert!(ComponentCtxProbe::run_input(&mut r, item)
+            .unwrap()
+            .is_empty());
         assert_eq!(r.invoke("getFloor", &[]).unwrap(), Value::Int(5));
     }
 
@@ -685,15 +688,13 @@ mod tests {
         let mut w = SensorWrapper::new("wrapper", "mobile");
         w.invoke("setMinInterval", &[Value::Float(1.0)]).unwrap();
         let at = |t: f64, v: &str| {
-            DataItem::new(
-                kinds::RAW_STRING,
-                SimTime::from_secs_f64(t),
-                Value::from(v),
-            )
+            DataItem::new(kinds::RAW_STRING, SimTime::from_secs_f64(t), Value::from(v))
         };
         let mut forwarded = 0;
         for (t, v) in [(0.0, "a"), (0.5, "b"), (1.0, "c"), (1.2, "d"), (2.5, "e")] {
-            forwarded += ComponentCtxProbe::run_input(&mut w, at(t, v)).unwrap().len();
+            forwarded += ComponentCtxProbe::run_input(&mut w, at(t, v))
+                .unwrap()
+                .len();
         }
         assert_eq!(forwarded, 3); // a, c, e
     }
@@ -708,7 +709,10 @@ mod tests {
             panic!("must continue");
         };
         assert_eq!(out.attr("hdop").and_then(Value::as_f64), Some(0.9));
-        assert_eq!(f.invoke("getHDOP", &[], &mut host).unwrap(), Value::Float(0.9));
+        assert_eq!(
+            f.invoke("getHDOP", &[], &mut host).unwrap(),
+            Value::Float(0.9)
+        );
     }
 
     #[test]
@@ -738,7 +742,9 @@ mod tests {
         assert_eq!(ComponentCtxProbe::run_input(&mut f, item).unwrap().len(), 1);
         // Items without the attribute pass (conservative default).
         assert_eq!(
-            ComponentCtxProbe::run_input(&mut f, parsed(GGA)).unwrap().len(),
+            ComponentCtxProbe::run_input(&mut f, parsed(GGA))
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(f.invoke("filteredCount", &[]).unwrap(), Value::Int(1));

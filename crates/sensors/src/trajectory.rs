@@ -127,7 +127,11 @@ impl Trajectory {
     /// after arrival (for non-looping trajectories).
     pub fn speed_at(&self, t: SimTime) -> f64 {
         if self.looping || self.waypoints.len() < 2 {
-            return if self.waypoints.len() < 2 { 0.0 } else { self.speed_mps };
+            return if self.waypoints.len() < 2 {
+                0.0
+            } else {
+                self.speed_mps
+            };
         }
         let travelled = t.as_secs_f64() * self.speed_mps;
         if travelled >= self.length_m() {
@@ -219,7 +223,10 @@ mod tests {
     #[test]
     fn stationary_never_moves() {
         let t = Trajectory::stationary(Point2::new(3.0, 4.0));
-        assert_eq!(t.position_at(SimTime::from_secs_f64(99.0)), Point2::new(3.0, 4.0));
+        assert_eq!(
+            t.position_at(SimTime::from_secs_f64(99.0)),
+            Point2::new(3.0, 4.0)
+        );
         assert_eq!(t.speed_at(SimTime::ZERO), 0.0);
         assert!(t.heading_at(SimTime::ZERO).is_none());
         assert!(t.duration().is_zero());
@@ -233,7 +240,7 @@ mod tests {
         assert!((h - 90.0).abs() < 1e-6);
         // Second segment goes north (+y) = 0°.
         let h = t.heading_at(SimTime::from_secs_f64(6.0)).unwrap();
-        assert!(h < 1.0 || h > 359.0);
+        assert!(!(1.0..=359.0).contains(&h));
     }
 
     proptest! {

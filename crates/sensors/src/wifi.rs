@@ -8,9 +8,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use perpos_core::component::{
-    Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec,
-};
+use perpos_core::component::{Component, ComponentCtx, ComponentDescriptor, InputSpec, MethodSpec};
 use perpos_core::prelude::*;
 use perpos_geo::{Point2, Segment2};
 use perpos_model::Building;
@@ -297,11 +295,7 @@ pub struct WifiScanner {
 
 impl WifiScanner {
     /// Creates a scanner sampling once per second.
-    pub fn new(
-        name: impl Into<String>,
-        env: Arc<WifiEnvironment>,
-        trajectory: Trajectory,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, env: Arc<WifiEnvironment>, trajectory: Trajectory) -> Self {
         WifiScanner {
             name: name.into(),
             env,
@@ -328,7 +322,9 @@ impl WifiScanner {
 
 impl std::fmt::Debug for WifiScanner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WifiScanner").field("name", &self.name).finish()
+        f.debug_struct("WifiScanner")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -420,7 +416,9 @@ impl WifiPositioning {
 
 impl std::fmt::Debug for WifiPositioning {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WifiPositioning").field("k", &self.k).finish()
+        f.debug_struct("WifiPositioning")
+            .field("k", &self.k)
+            .finish()
     }
 }
 
@@ -599,7 +597,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         let est = out[0].position().unwrap();
         let local = building.frame().to_local(est.coord());
-        assert!(local.distance(&truth) < 5.0, "error {}", local.distance(&truth));
+        assert!(
+            local.distance(&truth) < 5.0,
+            "error {}",
+            local.distance(&truth)
+        );
         assert_eq!(out[0].attr("source").and_then(Value::as_text), Some("wifi"));
     }
 

@@ -29,8 +29,7 @@ fn main() -> Result<(), CoreError> {
     for (i, (name, walk)) in people.iter().enumerate() {
         let target = mw.add_target(*name);
         let gps = mw.add_component(
-            GpsSimulator::new(format!("gps-{name}"), frame, walk.clone())
-                .with_seed(100 + i as u64),
+            GpsSimulator::new(format!("gps-{name}"), frame, walk.clone()).with_seed(100 + i as u64),
         );
         let parser = mw.add_component(Parser::new());
         let interpreter = mw.add_component(Interpreter::new());
@@ -44,7 +43,12 @@ fn main() -> Result<(), CoreError> {
     let fountain = frame.from_local(&Point2::new(60.0, 0.0));
     let alerts: Vec<_> = targets
         .iter()
-        .map(|t| (t.name().to_string(), t.provider(Criteria::new()).proximity_alert(fountain, 8.0)))
+        .map(|t| {
+            (
+                t.name().to_string(),
+                t.provider(Criteria::new()).proximity_alert(fountain, 8.0),
+            )
+        })
         .collect();
 
     println!("t(s)  alice->nearest buddy            fountain events");
@@ -82,6 +86,9 @@ fn main() -> Result<(), CoreError> {
         mw.advance_clock(SimDuration::from_secs(1));
     }
 
-    println!("\ntargets registered: {:?}", mw.targets().iter().map(|t| t.name()).collect::<Vec<_>>());
+    println!(
+        "\ntargets registered: {:?}",
+        mw.targets().iter().map(|t| t.name()).collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -15,10 +15,7 @@ use perpos::prelude::*;
 fn scenario() -> Trajectory {
     // Approximated with waypoints: pauses are modelled by the walk
     // ending; we stitch pauses by running the clock past the arrival.
-    Trajectory::new(
-        vec![Point2::new(0.0, 0.0), Point2::new(170.0, 0.0)],
-        1.4,
-    )
+    Trajectory::new(vec![Point2::new(0.0, 0.0), Point2::new(170.0, 0.0)], 1.4)
 }
 
 fn run(entracked: Option<f64>) -> Result<(EnergyMeter, usize), CoreError> {

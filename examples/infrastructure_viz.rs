@@ -65,10 +65,7 @@ fn main() -> Result<(), CoreError> {
         let mut line = String::new();
         for col in 0..21 {
             let p = Point2::new(col as f64 * cell, row as f64 * cell);
-            let on_wall = floor
-                .walls()
-                .iter()
-                .any(|w| w.distance_to_point(&p) < 0.3);
+            let on_wall = floor.walls().iter().any(|w| w.distance_to_point(&p) < 0.3);
             if on_wall {
                 line.push('#');
                 continue;

@@ -96,7 +96,11 @@ fn main() -> Result<(), CoreError> {
         .collect();
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("samples          : raw {} / filtered {}", raw_errs.len(), pf_errs.len());
+    println!(
+        "samples          : raw {} / filtered {}",
+        raw_errs.len(),
+        pf_errs.len()
+    );
     println!("mean error (raw) : {:.2} m", mean(&raw_errs));
     println!("mean error (pf)  : {:.2} m", mean(&pf_errs));
     println!(
@@ -126,7 +130,11 @@ fn main() -> Result<(), CoreError> {
 }
 
 /// Renders floor 0 at half-metre resolution.
-fn render_floor(building: &perpos::model::Building, trace: &[Point2], particles: &[Point2]) -> String {
+fn render_floor(
+    building: &perpos::model::Building,
+    trace: &[Point2],
+    particles: &[Point2],
+) -> String {
     let cell = 0.5;
     let (w, h) = (20.0, 10.5);
     let cols = (w / cell) as usize + 1;

@@ -52,6 +52,9 @@ fn main() -> Result<(), CoreError> {
     }
 
     // The same middleware is translucent when you need it to be:
-    println!("\nprocess tree (the PSL view):\n{}", mw.render_process_tree());
+    println!(
+        "\nprocess tree (the PSL view):\n{}",
+        mw.render_process_tree()
+    );
     Ok(())
 }

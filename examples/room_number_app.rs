@@ -69,9 +69,8 @@ fn main() -> Result<(), CoreError> {
     mw.connect(wifi_pos, resolver, 0)?;
     mw.connect_to_sink(resolver, app)?;
 
-    let gps_provider = mw.location_provider(
-        Criteria::new().kind(kinds::POSITION_WGS84).source("gps"),
-    )?;
+    let gps_provider =
+        mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84).source("gps"))?;
     let room_provider = mw.location_provider(Criteria::new().kind(kinds::POSITION_ROOM))?;
 
     println!("t(s)  display");
@@ -101,7 +100,7 @@ fn main() -> Result<(), CoreError> {
                 None => "no position".to_string(),
             },
         };
-        if (t as u64) % 10 == 0 {
+        if (t as u64).is_multiple_of(10) {
             println!("{t:>4.0}  {line}");
         }
         mw.advance_clock(SimDuration::from_secs(1));

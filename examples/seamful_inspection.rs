@@ -27,7 +27,10 @@ fn main() -> Result<(), CoreError> {
     let provider = mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84))?;
     mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))?;
     println!("== Positioning Layer ==");
-    println!("position: {:?}\n", provider.last_position().map(|p| p.to_string()));
+    println!(
+        "position: {:?}\n",
+        provider.last_position().map(|p| p.to_string())
+    );
 
     // ---- Level 2: the Process Channel Layer. ---------------------------
     println!("== Process Channel Layer ==");
@@ -72,7 +75,10 @@ fn main() -> Result<(), CoreError> {
     let last_sats = mw.invoke(parser, "getNumberOfSatellites", &[])?;
     println!("unreliable readings filtered: {filtered}");
     println!("latest satellite count (via the Parser's feature): {last_sats}");
-    print!("\nprocess tree after adaptation:\n{}", mw.render_process_tree());
+    print!(
+        "\nprocess tree after adaptation:\n{}",
+        mw.render_process_tree()
+    );
 
     // Reflection is causally connected: raising the threshold changes
     // behaviour immediately.

@@ -1,0 +1,168 @@
+//! Offline shim for the `bytes` crate surface the PerPos workspace uses:
+//! [`BytesMut`] as a growable byte buffer with cheap front consumption
+//! via [`Buf::advance`], dereferencing to `[u8]`.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Read access to a contiguous byte buffer with front consumption.
+pub trait Buf {
+    /// Bytes left between the read cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// A slice of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the read cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// A growable byte buffer.
+///
+/// Backed by a `Vec<u8>` plus a read offset; [`Buf::advance`] is O(1) and
+/// the consumed prefix is physically reclaimed once it outgrows the live
+/// region, keeping long-running streaming parsers at bounded memory.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Appends `slice` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether the buffer has no unread bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all contents.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    fn reclaim(&mut self) {
+        // Compact when the dead prefix dominates; amortized O(1) per byte.
+        if self.start > 64 && self.start * 2 >= self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance past end of buffer: {cnt} > {}",
+            self.len()
+        );
+        self.start += cnt;
+        self.reclaim();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            data: slice.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_then_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello ");
+        b.extend_from_slice(b"world");
+        assert_eq!(&b[..], b"hello world");
+        b.advance(6);
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b.len(), 5);
+        b.extend_from_slice(b"!");
+        assert_eq!(&b[..], b"world!");
+    }
+
+    #[test]
+    fn reclaims_consumed_prefix() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[7u8; 1000]);
+        b.advance(900);
+        assert_eq!(b.len(), 100);
+        assert!(b.data.len() < 1000, "dead prefix not reclaimed");
+        assert_eq!(&b[..], &[7u8; 100][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = BytesMut::from(&b"ab"[..]);
+        b.advance(3);
+    }
+}

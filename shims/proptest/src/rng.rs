@@ -1,0 +1,67 @@
+//! Deterministic sampling RNG (xorshift64*) for the proptest shim.
+
+/// Fixed-seed pseudo-random source driving all strategies.
+#[derive(Debug, Clone)]
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    /// Creates a generator from `seed` (zero is remapped — xorshift has a
+    /// fixed point at zero).
+    pub fn seeded(seed: u64) -> Self {
+        SampleRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SampleRng;
+
+    #[test]
+    fn deterministic_and_nondegenerate() {
+        let mut a = SampleRng::seeded(1);
+        let mut b = SampleRng::seeded(1);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = SampleRng::seeded(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Regex-literal string generation for the proptest shim.
+//!
+//! Supports the subset the workspace's properties use: literal characters,
+//! `.`, character classes `[...]` with ranges, groups `(...)`, escapes, and
+//! the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+`. Alternation (`|`) and
+//! anchors are not supported and panic at sample time — a loud failure is
+//! better than silently generating non-matching inputs.
+
+use crate::rng::SampleRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single fixed character.
+    Literal(char),
+    /// `.` — any printable character (no newline, like regex `.`).
+    AnyChar,
+    /// `[...]` — one character from a set of inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// `(...)` — a nested pattern, re-sampled per repetition.
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex constructs outside the supported subset.
+pub fn sample_regex(pattern: &str, rng: &mut SampleRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (seq, consumed) = parse_sequence(&chars, 0, pattern);
+    assert!(
+        consumed == chars.len(),
+        "unsupported regex construct at offset {consumed} in {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+fn parse_sequence(chars: &[char], mut i: usize, pattern: &str) -> (Vec<Quantified>, usize) {
+    let mut seq = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            ')' => break,
+            '(' => {
+                let (inner, next) = parse_sequence(chars, i + 1, pattern);
+                assert!(
+                    next < chars.len() && chars[next] == ')',
+                    "unclosed group in regex {pattern:?}"
+                );
+                i = next + 1;
+                Atom::Group(inner)
+            }
+            '[' => {
+                let (class, next) = parse_class(chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "trailing backslash in regex {pattern:?}"
+                );
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')]),
+                    's' => Atom::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    _ => Atom::Literal(c),
+                }
+            }
+            '|' | '^' | '$' => {
+                panic!("unsupported regex construct {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(chars, i, pattern);
+        i = next;
+        seq.push(Quantified { atom, min, max });
+    }
+    (seq, i)
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    assert!(
+        i < chars.len() && chars[i] != '^',
+        "negated classes unsupported in regex {pattern:?}"
+    );
+    let mut ranges = Vec::new();
+    let start = i;
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // '-' is a literal at the start of the class.
+        if chars[i] == '-' && i == start {
+            ranges.push(('-', '-'));
+            i += 1;
+            continue;
+        }
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in regex {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unclosed class in regex {pattern:?}");
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '?' => (0, 1, i + 1),
+        '*' => (0, 8, i + 1),
+        '+' => (1, 8, i + 1),
+        '{' => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}"));
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min = lo
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}"));
+                    let max = if hi.is_empty() {
+                        min + 8
+                    } else {
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}"))
+                    };
+                    (min, max)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn emit_sequence(seq: &[Quantified], rng: &mut SampleRng, out: &mut String) {
+    for q in seq {
+        let n = q.min + rng.below(q.max - q.min + 1);
+        for _ in 0..n {
+            emit_atom(&q.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut SampleRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::AnyChar => {
+            // Mostly printable ASCII; occasionally a non-ASCII BMP char so
+            // UTF-8 paths get exercised.
+            if rng.below(16) == 0 {
+                let c = char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('¿');
+                out.push(c);
+            } else {
+                out.push((0x20 + rng.below(0x5F)) as u8 as char);
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: usize = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as usize) - (*lo as usize) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+        Atom::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_regex;
+    use crate::rng::SampleRng;
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = SampleRng::seeded(1);
+        assert_eq!(sample_regex("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn quantifiers_bound_length() {
+        let mut rng = SampleRng::seeded(2);
+        for _ in 0..100 {
+            let s = sample_regex("a{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b == b'a'));
+        }
+    }
+
+    #[test]
+    fn classes_respect_ranges_and_leading_dash() {
+        let mut rng = SampleRng::seeded(3);
+        for _ in 0..200 {
+            let s = sample_regex("[-0-9A-Za-z.]", &mut rng);
+            let c = s.chars().next().unwrap();
+            assert!(c == '-' || c == '.' || c.is_ascii_alphanumeric(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn groups_resample_per_repetition() {
+        let mut rng = SampleRng::seeded(4);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let s = sample_regex("(ab){0,3}", &mut rng);
+            assert_eq!(s.len() % 2, 0);
+            assert!(s.len() <= 6);
+            lens.insert(s.len());
+        }
+        assert!(lens.len() > 1, "quantifier never varied");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_is_loudly_rejected() {
+        let mut rng = SampleRng::seeded(5);
+        sample_regex("a|b", &mut rng);
+    }
+}

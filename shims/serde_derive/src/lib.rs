@@ -1,0 +1,520 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim.
+//!
+//! The build environment has no access to `syn`/`quote`, so the item is
+//! parsed directly from the `proc_macro::TokenStream`. Supported shapes
+//! are exactly what the PerPos workspace uses: non-generic structs (named,
+//! tuple, unit) and non-generic enums whose variants are unit, tuple or
+//! struct-like. Serde's external tagging conventions are reproduced so
+//! the JSON output matches what real serde would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (named fields) or index (tuple fields), plus the
+/// field's type rendered back to source text.
+struct Field {
+    name: Option<String>,
+    ty: String,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error! always parses")
+}
+
+/// Skips attributes (`#[...]` / `#![...]`, covering doc comments) starting
+/// at `i`; returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                // The bracketed attribute body.
+                if i < tokens.len() {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits the tokens of a field list on top-level commas, tracking `<...>`
+/// depth so generic arguments do not split (`BTreeMap<String, Value>`).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    // A `Joint` punct glues to the next token (`'static` arrives as a
+    // joint `'` + ident; `::` as two joint colons) — inserting a space
+    // there would, e.g., turn a lifetime into a broken char literal.
+    let mut glue = true;
+    for t in tokens {
+        if !glue {
+            s.push(' ');
+        }
+        glue = matches!(t, TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint);
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+/// Parses `name: Type` fields from the tokens inside a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(tokens) {
+        let mut i = skip_attrs(&chunk, 0);
+        i = skip_vis(&chunk, i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        i += 1;
+        let ty = tokens_to_string(&chunk[i..]);
+        fields.push(Field {
+            name: Some(name),
+            ty,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parses the types of a tuple field list (tokens inside a paren group).
+fn parse_tuple_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = skip_attrs(&chunk, 0);
+            i = skip_vis(&chunk, i);
+            Field {
+                name: None,
+                ty: tokens_to_string(&chunk[i..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde shim cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named(
+                    parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+                ),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?
+                }
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_content(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::List(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_fields_to_map(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::List(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| f.name.clone().expect("named field"))
+                            .collect();
+                        let entries: Vec<String> = binds
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "(\"{b}\".to_string(), ::serde::Serialize::to_content({b}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(vec![{entries}]))]),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_fields_to_map(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = f.name.as_ref().expect("named field");
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_content(&{prefix}{n}))")
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+fn gen_named_field_reads(fields: &[Field], target: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = f.name.as_ref().expect("named field");
+            let ty = &f.ty;
+            format!(
+                "{n}: match ::serde::content_get(__map, \"{n}\") {{\n\
+                     Some(__v) => <{ty} as ::serde::Deserialize>::from_content(__v)?,\n\
+                     None => <{ty} as ::serde::Deserialize>::absent()\n\
+                         .ok_or_else(|| ::serde::DeError::missing(\"{n}\", \"{target}\"))?,\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_tuple_reads(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let ty = &f.ty;
+            format!("<{ty} as ::serde::Deserialize>::from_content(&{source}[{i}])?,\n")
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!(
+                    "match __c {{ ::serde::Content::Null => Ok({name}), \
+                     __other => Err(::serde::DeError::expected(\"null\", __other.kind_name())) }}"
+                ),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    let ty = &fields[0].ty;
+                    format!("Ok({name}(<{ty} as ::serde::Deserialize>::from_content(__c)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let reads = gen_tuple_reads(fields, "__items");
+                    format!(
+                        "let __items = __c.as_list()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"array\", __c.kind_name()))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return Err(::serde::DeError::expected(\"{n}-element array\", \"{name}\"));\n\
+                         }}\n\
+                         Ok({name}({reads}))"
+                    )
+                }
+                Shape::Named(fields) => {
+                    let reads = gen_named_field_reads(fields, name);
+                    format!(
+                        "let __map = __c.as_map()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"object\", __c.kind_name()))?;\n\
+                         Ok({name} {{ {reads} }})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        // Serde also accepts {"Variant": null}-style maps for
+                        // unit variants from some producers; be lenient.
+                        data_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        let ty = &fields[0].ty;
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(<{ty} as ::serde::Deserialize>::from_content(__v)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let reads = gen_tuple_reads(fields, "__items");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __items = __v.as_list()\
+                                     .ok_or_else(|| ::serde::DeError::expected(\"array\", __v.kind_name()))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return Err(::serde::DeError::expected(\"{n}-element array\", \"{name}::{vname}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({reads}))\n\
+                             }},\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let reads = gen_named_field_reads(fields, &format!("{name}::{vname}"));
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __map = __v.as_map()\
+                                     .ok_or_else(|| ::serde::DeError::expected(\"object\", __v.kind_name()))?;\n\
+                                 Ok({name}::{vname} {{ {reads} }})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         match __c {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __v) = &__m[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => Err(::serde::DeError::expected(\"enum representation\", __other.kind_name())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the shim's `serde::Serialize` for non-generic structs/enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize` for non-generic structs/enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}

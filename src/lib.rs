@@ -17,6 +17,7 @@
 //! | [`fusion`] | `perpos-fusion` | particle filter, Likelihood channel feature, Kalman/centroid baselines |
 //! | [`energy`] | `perpos-energy` | power models and the EnTracked strategy |
 //! | [`baselines`] | `perpos-baselines` | Location-Stack- and PoSIM-style comparison middlewares |
+//! | [`analysis`] | `perpos-analysis` | whole-graph static analysis (P001–P008), adaptation safety, `perpos-lint` |
 //!
 //! See `examples/` for runnable scenarios (start with
 //! `cargo run --example quickstart`) and `DESIGN.md` / `EXPERIMENTS.md`
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use perpos_analysis as analysis;
 pub use perpos_baselines as baselines;
 pub use perpos_core as core;
 pub use perpos_energy as energy;

@@ -2,6 +2,7 @@
 //! GPS readings by adding a Component Feature and inserting a filter
 //! component — all through the public middleware API, while running.
 
+#![allow(clippy::unwrap_used)]
 use perpos::prelude::*;
 
 struct Setup {
@@ -119,7 +120,10 @@ fn filter_cannot_connect_without_feature() {
         "failed insert must restore the original edge"
     );
     // The pipeline still runs.
-    setup.mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1)).unwrap();
+    setup
+        .mw
+        .run_for(SimDuration::from_secs(5), SimDuration::from_secs(1))
+        .unwrap();
 }
 
 #[test]

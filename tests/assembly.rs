@@ -2,6 +2,7 @@
 //! GPS pipeline wired automatically by declared capabilities, like the
 //! paper's OSGi-based composition.
 
+#![allow(clippy::unwrap_used)]
 use perpos::core::assembly::Assembler;
 use perpos::prelude::*;
 
@@ -29,7 +30,6 @@ fn full_pipeline_assembles_from_factories() {
     assert_eq!(asm.sync(&mut mw).unwrap(), 0, "nothing resolves yet");
 
     let gps_id = {
-        let frame = frame;
         let walk = walk.clone();
         asm.register_factory("gps", &[kinds::RAW_STRING], &[], move || {
             Box::new(GpsSimulator::new("GPS", frame, walk.clone()).with_seed(3))

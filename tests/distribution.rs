@@ -1,6 +1,7 @@
 //! End-to-end tests of the simulated D-OSGi distribution (§3.3 / Fig. 7):
 //! the processing graph spanning a mobile device and a server.
 
+#![allow(clippy::unwrap_used)]
 use perpos::core::distribution::{Deployment, LinkModel};
 use perpos::prelude::*;
 
@@ -85,7 +86,10 @@ fn same_host_edges_are_synchronous() {
         .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
         .unwrap();
     mw.step().unwrap();
-    assert!(provider.delivered_count() > 0, "co-located graph is synchronous");
+    assert!(
+        provider.delivered_count() > 0,
+        "co-located graph is synchronous"
+    );
     assert_eq!(mw.deployment().unwrap().in_flight(), 0);
 }
 
@@ -147,15 +151,14 @@ fn data_trees_stay_correct_across_hosts() {
     );
     let app = mw.application_sink();
     let channel = mw.channel_into(app, 0).unwrap();
-    mw.attach_channel_feature(channel, Shapes(Vec::new())).unwrap();
+    mw.attach_channel_feature(channel, Shapes(Vec::new()))
+        .unwrap();
     for _ in 0..20 {
         mw.step().unwrap();
         mw.advance_clock(SimDuration::from_millis(500));
     }
     let shapes = mw
-        .with_channel_feature_mut::<Shapes, Vec<(usize, usize)>>(channel, "Shapes", |s| {
-            s.0.clone()
-        })
+        .with_channel_feature_mut::<Shapes, Vec<(usize, usize)>>(channel, "Shapes", |s| s.0.clone())
         .unwrap();
     assert!(!shapes.is_empty(), "trees complete despite link latency");
     for (len, depth) in &shapes {

@@ -2,6 +2,7 @@
 //! sensor, replay the trace through an emulator that "takes the place of
 //! the sensors", and verify the downstream pipeline behaves identically.
 
+#![allow(clippy::unwrap_used)]
 use perpos::prelude::*;
 
 #[test]
@@ -41,8 +42,7 @@ fn recorded_gps_replays_identically() {
     trace.save_to_file(&path).unwrap();
 
     let mut replay = Middleware::new();
-    let emulator =
-        replay.add_component(EmulatorSource::from_file("GPS-emulator", &path).unwrap());
+    let emulator = replay.add_component(EmulatorSource::from_file("GPS-emulator", &path).unwrap());
     let parser2 = replay.add_component(Parser::new());
     let interpreter2 = replay.add_component(Interpreter::new());
     let app2 = replay.application_sink();

@@ -2,6 +2,7 @@
 //! management through the Power Strategy Component Feature and the
 //! EnTracked Channel Feature.
 
+#![allow(clippy::unwrap_used)]
 use perpos::energy::{EnTrackedFeature, EnergyMeter, PowerModel, PowerStrategyFeature};
 use perpos::prelude::*;
 

@@ -2,6 +2,7 @@
 //! sensor dropouts, garbage data, runtime component removal, and features
 //! that swallow everything.
 
+#![allow(clippy::unwrap_used)]
 use std::any::Any;
 
 use perpos::core::component::{Component, ComponentCtx, ComponentDescriptor};

@@ -2,6 +2,7 @@
 //! (paper §2.1): a positioning process described as JSON, loaded and
 //! instantiated against a factory registry.
 
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeMap;
 
 use perpos::core::assembly::GraphConfig;
@@ -55,7 +56,10 @@ fn json_configuration_builds_a_working_pipeline() {
     // The configured process carries the expected channel structure.
     let channels = mw.channels();
     assert_eq!(channels.len(), 1);
-    assert_eq!(channels[0].member_names, vec!["GPS", "Parser", "Interpreter"]);
+    assert_eq!(
+        channels[0].member_names,
+        vec!["GPS", "Parser", "Interpreter"]
+    );
 }
 
 #[test]

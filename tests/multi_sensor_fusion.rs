@@ -2,6 +2,7 @@
 //! filter aggregating measurements from a GPS *and* a WiFi sensor, with
 //! the three abstraction levels derived from the one graph.
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use perpos::fusion::{LikelihoodFeature, ParticleFilter};
@@ -19,10 +20,7 @@ fn fig2_graph() -> Setup {
     let frame = *building.frame();
     // Indoors along the corridor: GPS is poor, WiFi is good — fusion must
     // weather both.
-    let walk = Trajectory::new(
-        vec![Point2::new(1.0, 5.25), Point2::new(19.0, 5.25)],
-        0.9,
-    );
+    let walk = Trajectory::new(vec![Point2::new(1.0, 5.25), Point2::new(19.0, 5.25)], 0.9);
     let mut mw = Middleware::new();
 
     // GPS branch (degraded indoors).
@@ -63,7 +61,12 @@ fn fig2_graph() -> Setup {
     let gps_channel = mw.channel_into(pf, 0).expect("gps channel");
     mw.attach_channel_feature(gps_channel, likelihood).unwrap();
 
-    Setup { mw, pf, walk, frame }
+    Setup {
+        mw,
+        pf,
+        walk,
+        frame,
+    }
 }
 
 #[test]
@@ -90,10 +93,9 @@ fn three_channels_derive_from_fig2_graph() {
 #[test]
 fn fused_track_follows_truth_indoors() {
     let mut s = fig2_graph();
-    let fused = s
-        .mw
-        .location_provider(Criteria::new().source("fusion"))
-        .unwrap();
+    let fused =
+        s.mw.location_provider(Criteria::new().source("fusion"))
+            .unwrap();
     let mut errs = Vec::new();
     for _ in 0..25 {
         s.mw.step().unwrap();
@@ -115,23 +117,22 @@ fn fused_track_follows_truth_indoors() {
 #[test]
 fn fusion_survives_losing_one_sensor() {
     let mut s = fig2_graph();
-    let fused = s
-        .mw
-        .location_provider(Criteria::new().source("fusion"))
-        .unwrap();
+    let fused =
+        s.mw.location_provider(Criteria::new().source("fusion"))
+            .unwrap();
     s.mw.run_for(SimDuration::from_secs(5), SimDuration::from_secs(1))
         .unwrap();
     let before = fused.history().len();
     assert!(before > 0);
     // The GPS dies (device off). WiFi keeps the filter fed.
-    let gps = s
-        .mw
-        .structure()
-        .into_iter()
-        .find(|n| n.descriptor.name == "GPS")
-        .unwrap()
-        .id;
-    s.mw.invoke(gps, "setEnabled", &[Value::Bool(false)]).unwrap();
+    let gps =
+        s.mw.structure()
+            .into_iter()
+            .find(|n| n.descriptor.name == "GPS")
+            .unwrap()
+            .id;
+    s.mw.invoke(gps, "setEnabled", &[Value::Bool(false)])
+        .unwrap();
     s.mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
         .unwrap();
     let after = fused.history().len();
@@ -146,10 +147,9 @@ fn positioning_layer_hides_the_fusion() {
     // Transparent use: an application that just asks for positions does
     // not see (or care) that a particle filter was plugged in.
     let mut s = fig2_graph();
-    let any_position = s
-        .mw
-        .location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
-        .unwrap();
+    let any_position =
+        s.mw.location_provider(Criteria::new().kind(kinds::POSITION_WGS84))
+            .unwrap();
     s.mw.run_for(SimDuration::from_secs(10), SimDuration::from_secs(1))
         .unwrap();
     let p = any_position.last_position().expect("position available");

@@ -2,6 +2,7 @@
 //! particle filter integrated through the HDOP Component Feature and the
 //! Likelihood Channel Feature.
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use perpos::fusion::{LikelihoodFeature, ParticleFilter};
@@ -19,10 +20,7 @@ struct Setup {
 fn pipeline(constrained: bool) -> Setup {
     let building = Arc::new(demo_building());
     let frame = *building.frame();
-    let walk = Trajectory::new(
-        vec![Point2::new(1.0, 5.25), Point2::new(18.0, 5.25)],
-        1.0,
-    );
+    let walk = Trajectory::new(vec![Point2::new(1.0, 5.25), Point2::new(18.0, 5.25)], 1.0);
     let mut mw = Middleware::new();
     let gps = mw.add_component(
         GpsSimulator::new("GPS", frame, walk.clone())
@@ -83,8 +81,7 @@ fn mean(v: &[f64]) -> f64 {
 #[test]
 fn filter_beats_raw_gps() {
     let mut s = pipeline(true);
-    s.mw
-        .run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
+    s.mw.run_for(SimDuration::from_secs(60), SimDuration::from_secs(1))
         .unwrap();
     let raw = errors(&s, &s.raw_trace.trace().items);
     let fused = errors(&s, &s.fused.history());
@@ -102,27 +99,23 @@ fn filter_beats_raw_gps() {
 fn likelihood_feature_learns_hdop() {
     let mut s = pipeline(true);
     // Before any data the conservative prior applies.
-    let sigma0 = s
-        .mw
-        .invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
-        .unwrap()
-        .as_f64()
-        .unwrap();
+    let sigma0 =
+        s.mw.invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
+            .unwrap()
+            .as_f64()
+            .unwrap();
     assert_eq!(sigma0, 15.0);
-    s.mw
-        .run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
+    s.mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
         .unwrap();
-    let sigma = s
-        .mw
-        .invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
-        .unwrap()
-        .as_f64()
-        .unwrap();
+    let sigma =
+        s.mw.invoke_channel_feature(s.gps_channel, "Likelihood", "getSigma", &[])
+            .unwrap()
+            .as_f64()
+            .unwrap();
     assert!(sigma != sigma0, "sigma updated from data trees: {sigma}");
     // getLikelihood is monotone in distance.
-    let near = s
-        .mw
-        .invoke_channel_feature(
+    let near =
+        s.mw.invoke_channel_feature(
             s.gps_channel,
             "Likelihood",
             "getLikelihood",
@@ -131,9 +124,8 @@ fn likelihood_feature_learns_hdop() {
         .unwrap()
         .as_f64()
         .unwrap();
-    let far = s
-        .mw
-        .invoke_channel_feature(
+    let far =
+        s.mw.invoke_channel_feature(
             s.gps_channel,
             "Likelihood",
             "getLikelihood",
@@ -190,8 +182,7 @@ fn constrained_filter_not_worse_than_unconstrained() {
 #[test]
 fn fused_positions_report_shrinking_uncertainty() {
     let mut s = pipeline(true);
-    s.mw
-        .run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
+    s.mw.run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
         .unwrap();
     let history = s.fused.history();
     let first_acc = history

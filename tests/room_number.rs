@@ -1,6 +1,7 @@
 //! End-to-end test of the Room Number Application scenario (paper Fig. 1):
 //! GPS + WiFi pipelines into one application, with symbolic resolution.
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use perpos::prelude::*;
@@ -59,8 +60,7 @@ fn build_app(
 #[test]
 fn indoor_walk_resolves_to_correct_rooms() {
     // Stand in room R1 (centre 7.5, 2.0).
-    let (mut mw, _b, _gps, rooms) =
-        build_app(Trajectory::stationary(Point2::new(7.5, 2.0)));
+    let (mut mw, _b, _gps, rooms) = build_app(Trajectory::stationary(Point2::new(7.5, 2.0)));
     mw.run_for(SimDuration::from_secs(30), SimDuration::from_secs(1))
         .unwrap();
     let history = rooms.history();
@@ -89,10 +89,7 @@ fn outdoor_positions_track_the_street() {
     let p = gps.last_position().expect("GPS works outdoors");
     let local = building.frame().to_local(p.coord());
     let truth = Point2::new(-60.0 + 30.0 * 1.4, 5.0);
-    assert!(
-        local.distance(&truth) < 40.0,
-        "{local} vs truth {truth}"
-    );
+    assert!(local.distance(&truth) < 40.0, "{local} vs truth {truth}");
 }
 
 #[test]
@@ -100,10 +97,7 @@ fn both_channels_visible_at_pcl() {
     let (mw, ..) = build_app(Trajectory::stationary(Point2::new(7.5, 2.0)));
     let channels = mw.channels();
     assert_eq!(channels.len(), 2);
-    let names: Vec<String> = channels
-        .iter()
-        .map(|c| c.member_names.join("->"))
-        .collect();
+    let names: Vec<String> = channels.iter().map(|c| c.member_names.join("->")).collect();
     assert!(names.iter().any(|n| n.contains("GPS")), "{names:?}");
     assert!(names.iter().any(|n| n.contains("WiFi")), "{names:?}");
     // Both end at the same application sink.
@@ -115,8 +109,7 @@ fn both_channels_visible_at_pcl() {
 #[test]
 fn wifi_only_indoors_still_positions() {
     // Deep inside, GPS dies; WiFi keeps the application supplied.
-    let (mut mw, _b, _gps, rooms) =
-        build_app(Trajectory::stationary(Point2::new(12.5, 8.5)));
+    let (mut mw, _b, _gps, rooms) = build_app(Trajectory::stationary(Point2::new(12.5, 8.5)));
     mw.run_for(SimDuration::from_secs(40), SimDuration::from_secs(1))
         .unwrap();
     assert!(
