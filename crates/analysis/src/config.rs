@@ -3,7 +3,8 @@
 //! Runs the whole-graph lint passes a configuration can be checked
 //! against *before* any component is built: reference validity (P007),
 //! cycles (P005), type flow (P001), dangling inputs (P002), feature
-//! requirements (P003) and dead components (P004). All passes run even
+//! requirements (P003), dead components (P004) and missing source fault
+//! policies (P009). All passes run even
 //! when earlier ones report errors, so one lint invocation surfaces
 //! everything at once; connections with broken references are simply
 //! skipped by the downstream passes.
@@ -16,7 +17,7 @@ use crate::catalog::{ComponentTypeSpec, TypeCatalog};
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
 
 /// Analyzes a configuration against a catalog of component types,
-/// producing every applicable P001–P005/P007 finding.
+/// producing every applicable P001–P005/P007/P009 finding.
 pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
     let mut report = Report::new();
 
@@ -53,6 +54,31 @@ pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
             );
         }
         instances.insert(c.name.as_str(), spec);
+    }
+
+    // P009: source components left on the default Propagate policy —
+    // the engine aborts the whole run on their first fault.
+    for c in &config.components {
+        let is_source = instances
+            .get(c.name.as_str())
+            .and_then(|s| s.as_ref())
+            .map(|s| s.role == "source")
+            .unwrap_or(false);
+        if is_source && c.fault_policy.is_none() {
+            report.push(
+                Diagnostic::new(
+                    Code::P009,
+                    Severity::Warning,
+                    format!("source {:?} has no explicit fault policy", c.name),
+                    vec![c.name.clone()],
+                )
+                .with_hint(
+                    "sensors fail in the field; set fault_policy to \"drop_item\", \
+                     \"restart\" or \"quarantine\" (the default \"propagate\" aborts \
+                     the run on the first fault)",
+                ),
+            );
+        }
     }
 
     // Validate each connection's references; collect the sound ones.
@@ -444,6 +470,15 @@ mod tests {
         ComponentConfig {
             name: name.into(),
             kind: kind.into(),
+            fault_policy: None,
+        }
+    }
+
+    fn supervised_comp(name: &str, kind: &str) -> ComponentConfig {
+        ComponentConfig {
+            name: name.into(),
+            kind: kind.into(),
+            fault_policy: Some("drop_item".into()),
         }
     }
 
@@ -459,7 +494,7 @@ mod tests {
     fn clean_pipeline_lints_clean() {
         let config = GraphConfig {
             components: vec![
-                comp("gps0", "gps"),
+                supervised_comp("gps0", "gps"),
                 comp("p0", "parser"),
                 comp("app", "application"),
             ],

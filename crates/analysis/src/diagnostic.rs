@@ -31,11 +31,15 @@ pub enum Code {
     P007,
     /// Non-monotonic logical time observed on a channel at runtime.
     P008,
+    /// Source component with no explicit fault policy: the engine's
+    /// default `Propagate` aborts the whole run on the first sensor
+    /// fault.
+    P009,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 9] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -44,6 +48,7 @@ impl Code {
         Code::P006,
         Code::P007,
         Code::P008,
+        Code::P009,
     ];
 
     /// The stable textual form, e.g. `"P001"`.
@@ -57,6 +62,7 @@ impl Code {
             Code::P006 => "P006",
             Code::P007 => "P007",
             Code::P008 => "P008",
+            Code::P009 => "P009",
         }
     }
 
@@ -71,6 +77,7 @@ impl Code {
             Code::P006 => "conflicting features on one component",
             Code::P007 => "configuration reference error",
             Code::P008 => "non-monotonic logical time on a channel",
+            Code::P009 => "source component has no explicit fault policy",
         }
     }
 }

@@ -42,7 +42,11 @@
 //! // A config wiring an instance to itself: cycle, caught before any
 //! // component is built.
 //! let config = GraphConfig {
-//!     components: vec![ComponentConfig { name: "p".into(), kind: "smooth".into() }],
+//!     components: vec![ComponentConfig {
+//!         name: "p".into(),
+//!         kind: "smooth".into(),
+//!         fault_policy: None,
+//!     }],
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
 //! };
 //! let report = analyze_config(&config, &catalog);

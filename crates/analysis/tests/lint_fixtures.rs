@@ -92,6 +92,19 @@ fn p007_bad_reference_fires_exactly_once() {
 }
 
 #[test]
+fn p009_no_fault_policy_fires_exactly_once() {
+    // Identical to pipeline_ok.json except the source declares no
+    // fault_policy: the only finding is the P009 warning.
+    let report = lint("p009_no_fault_policy.json");
+    assert_only(&report, Code::P009, Severity::Warning);
+    let d = report.with_code(Code::P009)[0];
+    assert_eq!(d.path, vec!["gps0".to_string()]);
+    assert!(d.hint.as_deref().unwrap_or("").contains("drop_item"));
+    // A warning alone does not fail a gate.
+    assert!(!report.has_errors());
+}
+
+#[test]
 fn known_good_pipeline_lints_clean() {
     let report = lint("pipeline_ok.json");
     assert!(report.is_clean(), "{}", report.render_human());

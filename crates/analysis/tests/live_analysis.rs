@@ -293,10 +293,12 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
             ComponentConfig {
                 name: "p0".into(),
                 kind: "parser".into(),
+                fault_policy: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
+                fault_policy: None,
             },
         ],
         connections: vec![ConnectionConfig {
@@ -319,14 +321,17 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
             ComponentConfig {
                 name: "gps0".into(),
                 kind: "gps".into(),
+                fault_policy: Some("drop_item".into()),
             },
             ComponentConfig {
                 name: "p0".into(),
                 kind: "parser".into(),
+                fault_policy: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
+                fault_policy: None,
             },
         ],
         connections: vec![

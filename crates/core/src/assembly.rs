@@ -74,6 +74,11 @@ pub struct ComponentConfig {
     /// Factory type to instantiate, or the reserved `"application"` for
     /// the middleware's application sink.
     pub kind: String,
+    /// Declarative fault policy for the instance: `"propagate"`,
+    /// `"drop_item"`, `"restart"` or `"quarantine"` (breaker defaults,
+    /// see [`crate::supervision::FaultPolicy::quarantine_default`]).
+    /// Absent means [`crate::supervision::FaultPolicy::Propagate`].
+    pub fault_policy: Option<String>,
 }
 
 /// One edge in a declarative graph configuration.
@@ -132,6 +137,16 @@ impl GraphConfig {
                         })?;
                 mw.add_boxed_component(factory())
             };
+            if let Some(policy_name) = &c.fault_policy {
+                let policy =
+                    crate::supervision::FaultPolicy::from_name(policy_name).ok_or_else(|| {
+                        CoreError::ComponentFailure {
+                            component: c.name.clone(),
+                            reason: format!("unknown fault policy {policy_name:?}"),
+                        }
+                    })?;
+                mw.set_fault_policy(node, policy)?;
+            }
             if nodes.insert(c.name.clone(), node).is_some() {
                 return Err(CoreError::ComponentFailure {
                     component: c.name.clone(),
@@ -383,14 +398,17 @@ mod tests {
                 ComponentConfig {
                     name: "gps0".into(),
                     kind: "gps".into(),
+                    fault_policy: None,
                 },
                 ComponentConfig {
                     name: "parse0".into(),
                     kind: "parser".into(),
+                    fault_policy: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
+                    fault_policy: None,
                 },
             ],
             connections: vec![
@@ -424,6 +442,7 @@ mod tests {
             components: vec![ComponentConfig {
                 name: "x".into(),
                 kind: "nope".into(),
+                fault_policy: None,
             }],
             connections: vec![],
         };
@@ -433,6 +452,7 @@ mod tests {
             components: vec![ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
+                fault_policy: None,
             }],
             connections: vec![ConnectionConfig {
                 from: "ghost".into(),
@@ -447,10 +467,12 @@ mod tests {
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
+                    fault_policy: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
+                    fault_policy: None,
                 },
             ],
             connections: vec![],

@@ -65,6 +65,9 @@ pub struct ChannelInfo {
     pub endpoint: Option<(NodeId, usize)>,
     /// Names of attached Channel Features.
     pub features: Vec<String>,
+    /// Worst member health (filled in by the middleware facade; a bare
+    /// [`ChannelLayer`] reports every channel healthy).
+    pub health: crate::supervision::HealthStatus,
 }
 
 /// One node of a [`DataTree`]: a data item plus the logical-time
@@ -607,6 +610,7 @@ impl ChannelLayer {
                     .iter()
                     .map(|f| f.descriptor.name.clone())
                     .collect(),
+                health: crate::supervision::HealthStatus::Healthy,
             })
             .collect()
     }

@@ -264,6 +264,12 @@ pub trait Component: Send {
     fn methods(&self) -> Vec<MethodSpec> {
         Vec::new()
     }
+
+    /// Resets the component to a clean internal state. The supervisor
+    /// calls this under [`crate::supervision::FaultPolicy::Restart`] and
+    /// on quarantine entry; components with internal buffers or
+    /// accumulated state should clear them here. Default: no-op.
+    fn on_reset(&mut self) {}
 }
 
 /// A source component driven by a closure: each tick the closure may

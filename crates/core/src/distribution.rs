@@ -58,6 +58,12 @@ pub struct LinkModel {
     pub latency: SimDuration,
     /// Probability that a message is lost.
     pub loss_prob: f64,
+    /// Ack/retransmit attempts after a loss before the message is given
+    /// up on. Each retransmission costs one extra `latency` round (the
+    /// sender waits an ack timeout before resending), so a message
+    /// delivered on attempt `n` arrives after `latency * (n + 1)`.
+    /// `0` reproduces the plain lossy link.
+    pub max_retries: u32,
 }
 
 impl Default for LinkModel {
@@ -65,6 +71,7 @@ impl Default for LinkModel {
         LinkModel {
             latency: SimDuration::from_millis(40),
             loss_prob: 0.0,
+            max_retries: 0,
         }
     }
 }
@@ -76,8 +83,23 @@ pub struct LinkStats {
     pub sent: u64,
     /// Messages delivered to the remote node.
     pub delivered: u64,
-    /// Messages dropped by loss.
+    /// Messages dropped by loss after exhausting retransmissions.
     pub lost: u64,
+    /// Retransmission attempts after losses (recovered or not).
+    pub retransmitted: u64,
+}
+
+/// Traffic counters aggregated over every host pair of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DistStats {
+    /// Messages handed to any link.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages lost for good.
+    pub lost: u64,
+    /// Retransmission attempts across all links.
+    pub retransmitted: u64,
 }
 
 #[derive(Debug)]
@@ -109,6 +131,7 @@ struct InFlight {
 ///         .default_link(LinkModel {
 ///             latency: SimDuration::from_millis(80),
 ///             loss_prob: 0.0,
+///             max_retries: 0,
 ///         }),
 /// );
 /// mw.step()?; // the item is now in flight, not delivered
@@ -186,6 +209,18 @@ impl Deployment {
         &self.stats
     }
 
+    /// Traffic counters summed over every host pair.
+    pub fn dist_stats(&self) -> DistStats {
+        self.stats
+            .values()
+            .fold(DistStats::default(), |acc, s| DistStats {
+                sent: acc.sent + s.sent,
+                delivered: acc.delivered + s.delivered,
+                lost: acc.lost + s.lost,
+                retransmitted: acc.retransmitted + s.retransmitted,
+            })
+    }
+
     /// Total messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
@@ -208,19 +243,32 @@ impl Deployment {
     ) {
         let key = (self.host_of(from).clone(), self.host_of(target).clone());
         let model = self.links.get(&key).copied().unwrap_or(self.default_link);
-        let entry = self.stats.entry(key).or_default();
+        // Roll the loss dice once per attempt; a message surviving on
+        // attempt n has waited n ack timeouts (one latency each) first.
+        let mut attempt: u64 = 0;
+        let delivered_on = loop {
+            let lost = model.loss_prob > 0.0 && self.rng.gen::<f64>() < model.loss_prob;
+            if !lost {
+                break Some(attempt);
+            }
+            if attempt >= u64::from(model.max_retries) {
+                break None;
+            }
+            attempt += 1;
+        };
+        let entry = self.stats.entry(key.clone()).or_default();
         entry.sent += 1;
-        if model.loss_prob > 0.0 && self.rng.gen::<f64>() < model.loss_prob {
-            entry.lost += 1;
-            return;
+        entry.retransmitted += attempt;
+        match delivered_on {
+            Some(n) => self.in_flight.push(InFlight {
+                due: now + SimDuration::from_micros(model.latency.as_micros() * (n + 1)),
+                pair: key,
+                target,
+                port,
+                item,
+            }),
+            None => entry.lost += 1,
         }
-        self.in_flight.push(InFlight {
-            due: now + model.latency,
-            pair: (self.host_of(from).clone(), self.host_of(target).clone()),
-            target,
-            port,
-            item,
-        });
     }
 
     /// Removes and returns every in-flight item due at or before `now`.
@@ -284,6 +332,7 @@ mod tests {
             .default_link(LinkModel {
                 latency: SimDuration::from_millis(100),
                 loss_prob: 0.0,
+                max_retries: 0,
             });
         d.send(SimTime::ZERO, a, a, 0, item());
         assert_eq!(d.in_flight(), 1);
@@ -306,6 +355,7 @@ mod tests {
             .default_link(LinkModel {
                 latency: SimDuration::from_millis(1),
                 loss_prob: 1.0,
+                max_retries: 0,
             })
             .with_seed(1);
         for _ in 0..10 {
@@ -315,6 +365,96 @@ mod tests {
         let stats = d.stats().values().next().unwrap();
         assert_eq!(stats.sent, 10);
         assert_eq!(stats.lost, 10);
+    }
+
+    #[test]
+    fn retransmit_recovers_lost_messages() {
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let mut d = Deployment::new("server")
+            .assign(a, "mobile")
+            .default_link(LinkModel {
+                latency: SimDuration::from_millis(10),
+                loss_prob: 0.5,
+                max_retries: 8,
+            })
+            .with_seed(42);
+        for _ in 0..100 {
+            d.send(SimTime::ZERO, a, a, 0, item());
+        }
+        let stats = *d.stats().values().next().unwrap();
+        assert_eq!(stats.sent, 100);
+        // With 8 retries at 50% loss, effectively everything survives.
+        assert_eq!(stats.lost, 0);
+        assert_eq!(d.in_flight(), 100);
+        assert!(
+            stats.retransmitted > 50,
+            "≈1 retransmission per message expected, got {}",
+            stats.retransmitted
+        );
+        // Retransmitted messages arrive late: some due times are beyond
+        // one latency.
+        assert!(d.take_due(SimTime::from_secs_f64(0.010)).len() < 100);
+        let mut total = d.take_due(SimTime::from_secs_f64(10.0)).len();
+        total += 100 - d.in_flight() - total; // everything eventually due
+        assert_eq!(total, 100);
+        assert_eq!(d.dist_stats().delivered, 100);
+    }
+
+    #[test]
+    fn zero_retries_keeps_plain_lossy_behaviour() {
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let mut d = Deployment::new("server")
+            .assign(a, "mobile")
+            .default_link(LinkModel {
+                latency: SimDuration::from_millis(1),
+                loss_prob: 0.5,
+                max_retries: 0,
+            })
+            .with_seed(7);
+        for _ in 0..50 {
+            d.send(SimTime::ZERO, a, a, 0, item());
+        }
+        let stats = *d.stats().values().next().unwrap();
+        assert_eq!(stats.retransmitted, 0);
+        assert_eq!(stats.sent, 50);
+        assert_eq!(stats.lost + d.in_flight() as u64, 50);
+        assert!(stats.lost > 0, "some messages lost without retries");
+    }
+
+    #[test]
+    fn dist_stats_aggregates_pairs() {
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let b = g.add(Box::new(crate::component::FnSource::new(
+            "b",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let mut d = Deployment::new("server")
+            .assign(a, "mobile")
+            .assign(b, "edge");
+        d.send(SimTime::ZERO, a, b, 0, item());
+        d.send(SimTime::ZERO, b, a, 0, item());
+        let _ = d.take_due(SimTime::from_secs_f64(1.0));
+        let agg = d.dist_stats();
+        assert_eq!(agg.sent, 2);
+        assert_eq!(agg.delivered, 2);
+        assert_eq!(agg.lost, 0);
+        assert_eq!(d.stats().len(), 2, "two host pairs tracked");
     }
 
     #[test]
@@ -339,6 +479,7 @@ mod tests {
                 LinkModel {
                     latency: SimDuration::from_secs(5),
                     loss_prob: 0.0,
+                    max_retries: 0,
                 },
             );
         d.send(SimTime::ZERO, a, b, 0, item());

@@ -63,6 +63,7 @@ pub mod feature;
 pub mod graph;
 pub mod middleware;
 pub mod positioning;
+pub mod supervision;
 mod time;
 
 pub use error::CoreError;
@@ -80,6 +81,9 @@ pub mod prelude {
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
     pub use crate::graph::{NodeId, ProcessingGraph};
     pub use crate::middleware::Middleware;
-    pub use crate::positioning::{Criteria, LocationProvider, ProximityEvent};
+    pub use crate::positioning::{
+        Criteria, FailoverProvider, LocationProvider, ProviderEvent, ProximityEvent,
+    };
+    pub use crate::supervision::{FaultPolicy, HealthStatus, NodeHealth};
     pub use crate::{CoreError, SimClock, SimDuration, SimTime};
 }

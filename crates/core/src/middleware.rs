@@ -24,7 +24,11 @@ use crate::data::{DataItem, Value};
 use crate::distribution::Deployment;
 use crate::feature::{ComponentFeature, FeatureAction, FeatureHost};
 use crate::graph::{NodeId, NodeInfo, ProcessingGraph};
-use crate::positioning::{ApplicationSink, Criteria, LocationProvider, SinkShared};
+use crate::positioning::{
+    ApplicationSink, Criteria, FailoverInner, FailoverProvider, FailoverShared, LocationProvider,
+    SinkShared,
+};
+use crate::supervision::{FaultAction, FaultPolicy, HealthRegistry, HealthStatus, NodeHealth};
 use crate::{CoreError, SimClock, SimDuration, SimTime};
 
 /// A named tracked target: an application end-point of its own, to which
@@ -78,6 +82,11 @@ pub struct Middleware {
     /// routed at the start of the next step.
     pending: Vec<(NodeId, DataItem)>,
     deployment: Option<Deployment>,
+    /// Per-node fault policies and health (supervision subsystem).
+    health: HealthRegistry,
+    /// Failover providers re-resolved against pipeline health after
+    /// every step.
+    failovers: Vec<Arc<FailoverShared>>,
 }
 
 impl fmt::Debug for Middleware {
@@ -113,6 +122,8 @@ impl Middleware {
             steps_run: 0,
             pending: Vec::new(),
             deployment: None,
+            health: HealthRegistry::default(),
+            failovers: Vec::new(),
         }
     }
 
@@ -161,6 +172,7 @@ impl Middleware {
     /// Returns [`CoreError::UnknownNode`] for unknown nodes.
     pub fn remove_component(&mut self, id: NodeId) -> Result<Box<dyn Component>, CoreError> {
         let c = self.graph.remove(id)?;
+        self.health.forget(id);
         self.channels.recompute(&self.graph);
         Ok(c)
     }
@@ -281,12 +293,20 @@ impl Middleware {
     }
 
     /// Reflectively invokes a method on a node (component first, then its
-    /// features).
+    /// features). The supervisor answers `"health"` for every node with
+    /// the node's [`NodeHealth`] as a map — fault handling is translucent
+    /// through the same reflection surface as everything else.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoSuchMethod`] when nothing handles it.
     pub fn invoke(&mut self, id: NodeId, method: &str, args: &[Value]) -> Result<Value, CoreError> {
+        if method == "health" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            return Ok(self.health.health(id).to_value());
+        }
         let now = self.clock.now();
         let (value, emitted) = self.graph.invoke(id, method, args, now)?;
         self.pending.extend(emitted.into_iter().map(|i| (id, i)));
@@ -341,12 +361,54 @@ impl Middleware {
     }
 
     // ------------------------------------------------------------------
+    // Supervision (fault policies & health)
+    // ------------------------------------------------------------------
+
+    /// Sets the fault policy applied when `id` (or one of its features)
+    /// fails or panics. The default is [`FaultPolicy::Propagate`], which
+    /// keeps the original abort-on-first-error engine contract; every
+    /// other policy contains the fault and keeps the step running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for unknown nodes.
+    pub fn set_fault_policy(&mut self, id: NodeId, policy: FaultPolicy) -> Result<(), CoreError> {
+        if !self.graph.contains(id) {
+            return Err(CoreError::UnknownNode(id));
+        }
+        self.health.set_policy(id, policy);
+        Ok(())
+    }
+
+    /// The fault policy of `id` ([`FaultPolicy::Propagate`] unless set).
+    pub fn fault_policy(&self, id: NodeId) -> FaultPolicy {
+        self.health.policy(id)
+    }
+
+    /// The supervisor's health record for `id`. Also available via
+    /// reflection as `invoke(id, "health", &[])`.
+    pub fn node_health(&self, id: NodeId) -> NodeHealth {
+        self.health.health(id)
+    }
+
+    // ------------------------------------------------------------------
     // Process Channel Layer (PCL) — paper §2.2
     // ------------------------------------------------------------------
 
-    /// The current channels (PCL view).
+    /// The current channels (PCL view), each annotated with the worst
+    /// health status among its member components so Channel Features and
+    /// the Positioning Layer can reason over pipeline health.
     pub fn channels(&self) -> Vec<ChannelInfo> {
-        self.channels.infos()
+        let mut infos = self.channels.infos();
+        for info in &mut infos {
+            info.health = info
+                .members
+                .iter()
+                .map(|m| self.health.status(*m))
+                .max()
+                .unwrap_or_default();
+        }
+        infos
     }
 
     /// The channel delivering into `(node, port)`, if any.
@@ -448,6 +510,81 @@ impl Middleware {
         ))
     }
 
+    /// Requests a provider with failover: an ordered list of criteria
+    /// preferences over the default application sink, of which the
+    /// highest-ranked one still fed by healthy (non-quarantined)
+    /// pipelines is active. The engine re-resolves after every step;
+    /// transitions surface as [`crate::positioning::ProviderEvent`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadArguments`] when `preferences` is empty.
+    pub fn failover_provider(
+        &mut self,
+        preferences: Vec<Criteria>,
+    ) -> Result<FailoverProvider, CoreError> {
+        if preferences.is_empty() {
+            return Err(CoreError::BadArguments {
+                method: "failover_provider".into(),
+                reason: "at least one criteria preference required".into(),
+            });
+        }
+        let available = self.pref_availability(&preferences);
+        let shared = Arc::new(FailoverShared {
+            prefs: preferences,
+            inner: parking_lot::Mutex::new(FailoverInner {
+                active: available.iter().position(|a| *a),
+                available,
+                events: Vec::new(),
+            }),
+        });
+        self.failovers.push(Arc::clone(&shared));
+        Ok(FailoverProvider::new(Arc::clone(&self.app_shared), shared))
+    }
+
+    /// Computes which preferences currently have a healthy pipeline: a
+    /// preference naming a source technology is available while some
+    /// channel has a member whose name starts with that technology name
+    /// (case-insensitively) and no quarantined member; a preference
+    /// without a source is available while any fully-healthy channel
+    /// exists.
+    fn pref_availability(&self, prefs: &[Criteria]) -> Vec<bool> {
+        let channels = self.channels();
+        prefs
+            .iter()
+            .map(|pref| {
+                channels.iter().any(|c| {
+                    if c.health == HealthStatus::Quarantined {
+                        return false;
+                    }
+                    match pref.source_name() {
+                        Some(src) => {
+                            let src = src.to_lowercase();
+                            c.member_names
+                                .iter()
+                                .any(|n| n.to_lowercase().starts_with(&src))
+                        }
+                        None => true,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Re-resolves every failover provider against current pipeline
+    /// health, firing degraded/recovered events on transitions.
+    fn update_failovers(&mut self, now: SimTime) {
+        if self.failovers.is_empty() {
+            return;
+        }
+        let shareds = std::mem::take(&mut self.failovers);
+        for shared in &shareds {
+            let available = self.pref_availability(&shared.prefs);
+            shared.apply_availability(available, now);
+        }
+        self.failovers = shareds;
+    }
+
     /// Creates a named tracked target with its own sink node; connect
     /// sensor pipelines to `target.node()`.
     pub fn add_target(&mut self, name: impl Into<String>) -> Target {
@@ -517,9 +654,16 @@ impl Middleware {
     /// Runs one engine step at the current simulated time: ticks all
     /// sources and propagates emissions through the graph to quiescence.
     ///
+    /// Every per-node unit of work (a source tick, or one item's feature
+    /// dispatch + delivery) runs under the node's [`FaultPolicy`], with
+    /// panics contained as faults. Quarantined nodes are skipped until
+    /// their backoff elapses, then probed once and reinstated on success.
+    ///
     /// # Errors
     ///
-    /// Aborts on the first component/feature failure and surfaces it.
+    /// Aborts on the first failure of a node whose policy is
+    /// [`FaultPolicy::Propagate`] (the default) and surfaces it; faults
+    /// of nodes under any other policy are contained.
     pub fn step(&mut self) -> Result<(), CoreError> {
         let now = self.clock.now();
         self.steps_run += 1;
@@ -542,24 +686,79 @@ impl Middleware {
         }
 
         for src in self.graph.sources() {
-            let emitted = self.run_tick(src, now)?;
-            for item in emitted {
-                self.dispatch_output(src, item, now, &mut queue)?;
+            if self.health.is_quarantined(src, now) {
+                continue;
             }
+            self.supervised(src, now, |mw| {
+                let emitted = mw.run_tick(src, now)?;
+                for item in emitted {
+                    mw.dispatch_output(src, item, now, &mut queue)?;
+                }
+                Ok(())
+            })?;
         }
 
         while let Some((node, port, item)) = queue.pop_front() {
-            let (passed, extras) = self.run_consume_features(node, item, now)?;
-            for extra in extras {
-                self.route_item(node, extra, now, &mut queue)?;
+            // Items addressed to a quarantined node are dropped: the
+            // breaker is open, nothing may excite the component.
+            if self.health.is_quarantined(node, now) {
+                continue;
             }
-            let Some(item) = passed else { continue };
-            let emitted = self.run_on_input(node, port, item, now)?;
-            for item in emitted {
-                self.dispatch_output(node, item, now, &mut queue)?;
+            self.supervised(node, now, |mw| {
+                let (passed, extras) = mw.run_consume_features(node, item, now)?;
+                for extra in extras {
+                    mw.route_item(node, extra, now, &mut queue)?;
+                }
+                let Some(item) = passed else { return Ok(()) };
+                let emitted = mw.run_on_input(node, port, item, now)?;
+                for item in emitted {
+                    mw.dispatch_output(node, item, now, &mut queue)?;
+                }
+                Ok(())
+            })?;
+        }
+        self.update_failovers(now);
+        Ok(())
+    }
+
+    /// Runs one unit of per-node work under the node's fault policy,
+    /// containing panics as [`CoreError::ComponentFailure`] faults.
+    fn supervised(
+        &mut self,
+        id: NodeId,
+        now: SimTime,
+        work: impl FnOnce(&mut Self) -> Result<(), CoreError>,
+    ) -> Result<(), CoreError> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(self)));
+        let err = match outcome {
+            Ok(Ok(())) => {
+                self.health.record_success(id, now);
+                return Ok(());
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => CoreError::ComponentFailure {
+                component: self.node_name(id),
+                reason: format!("panic: {}", panic_message(payload.as_ref())),
+            },
+        };
+        match self.health.on_fault(id, now, &err.to_string()) {
+            FaultAction::Propagate => Err(err),
+            FaultAction::Drop => Ok(()),
+            FaultAction::Restart | FaultAction::Quarantine => {
+                if let Some(node) = self.graph.node_mut(id) {
+                    node.component.on_reset();
+                }
+                Ok(())
             }
         }
-        Ok(())
+    }
+
+    /// Best-effort display name of a node.
+    fn node_name(&self, id: NodeId) -> String {
+        self.graph
+            .node(id)
+            .map(|n| n.descriptor.name.clone())
+            .unwrap_or_else(|| format!("{id:?}"))
     }
 
     /// Advances simulated time by `tick` after each step until `total`
@@ -721,6 +920,18 @@ impl Middleware {
             }
         }
         Ok(())
+    }
+}
+
+/// Renders a caught panic payload for fault records; panics carry a
+/// `&str` or `String` message in practice.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -1165,6 +1376,362 @@ mod tests {
         // k truncates.
         assert_eq!(mw.k_nearest_targets(&from, 1).len(), 1);
         let _ = silent;
+    }
+
+    /// A source failing on ticks where `fail(counter)` is true, emitting
+    /// a raw string otherwise; `on_reset` clears the counter.
+    struct Flaky<F: Fn(u64) -> bool + Send> {
+        counter: u64,
+        resets: u64,
+        fail: F,
+    }
+    impl<F: Fn(u64) -> bool + Send> Flaky<F> {
+        fn new(fail: F) -> Self {
+            Flaky {
+                counter: 0,
+                resets: 0,
+                fail,
+            }
+        }
+    }
+    impl<F: Fn(u64) -> bool + Send> Component for Flaky<F> {
+        fn descriptor(&self) -> crate::component::ComponentDescriptor {
+            crate::component::ComponentDescriptor::source("flaky", vec![kinds::RAW_STRING])
+        }
+        fn on_input(
+            &mut self,
+            _p: usize,
+            _i: DataItem,
+            _c: &mut ComponentCtx,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            self.counter += 1;
+            if (self.fail)(self.counter) {
+                return Err(CoreError::ComponentFailure {
+                    component: "flaky".into(),
+                    reason: "simulated fault".into(),
+                });
+            }
+            ctx.emit_value(kinds::RAW_STRING, Value::from("ok"));
+            Ok(())
+        }
+        fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+            match method {
+                "resets" => Ok(Value::Int(self.resets as i64)),
+                m => Err(CoreError::NoSuchMethod {
+                    target: "flaky".into(),
+                    method: m.into(),
+                }),
+            }
+        }
+        fn on_reset(&mut self) {
+            self.counter = 0;
+            self.resets += 1;
+        }
+    }
+
+    fn run_steps(mw: &mut Middleware, n: usize) {
+        for _ in 0..n {
+            mw.step().unwrap();
+            mw.advance_clock(SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn drop_item_policy_contains_errors() {
+        let mut mw = Middleware::new();
+        let flaky = mw.add_component(Flaky::new(|c| c % 2 == 0));
+        let app = mw.application_sink();
+        mw.connect(flaky, app, 0).unwrap();
+        mw.set_fault_policy(flaky, FaultPolicy::DropItem).unwrap();
+        run_steps(&mut mw, 10);
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.delivered_count(), 5, "odd ticks still deliver");
+        let h = mw.node_health(flaky);
+        assert_eq!(h.faults, 5);
+        assert_eq!(h.status, crate::supervision::HealthStatus::Degraded);
+        assert!(h.last_error.as_deref().unwrap().contains("simulated fault"));
+    }
+
+    #[test]
+    fn restart_policy_resets_the_component() {
+        let mut mw = Middleware::new();
+        // Fails every third call; a reset restarts the count, so under
+        // the Restart policy the component keeps coming back.
+        let flaky = mw.add_component(Flaky::new(|c| c == 3));
+        let app = mw.application_sink();
+        mw.connect(flaky, app, 0).unwrap();
+        mw.set_fault_policy(flaky, FaultPolicy::Restart).unwrap();
+        run_steps(&mut mw, 9);
+        assert_eq!(mw.invoke(flaky, "resets", &[]).unwrap(), Value::Int(3));
+        let h = mw.node_health(flaky);
+        assert_eq!(h.faults, 3);
+        assert_eq!(h.restarts, 3);
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.delivered_count(), 6);
+    }
+
+    #[test]
+    fn panic_is_contained_as_fault() {
+        struct Panics;
+        impl Component for Panics {
+            fn descriptor(&self) -> crate::component::ComponentDescriptor {
+                crate::component::ComponentDescriptor::source("panicky", vec![kinds::RAW_STRING])
+            }
+            fn on_input(
+                &mut self,
+                _p: usize,
+                _i: DataItem,
+                _c: &mut ComponentCtx,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn on_tick(&mut self, _ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+                panic!("boom in on_tick");
+            }
+        }
+        let mut mw = Middleware::new();
+        let p = mw.add_component(Panics);
+        mw.set_fault_policy(p, FaultPolicy::DropItem).unwrap();
+        mw.step().unwrap();
+        let h = mw.node_health(p);
+        assert_eq!(h.faults, 1);
+        assert!(h.last_error.as_deref().unwrap().contains("boom in on_tick"));
+        // Without a policy the panic surfaces as an error.
+        mw.set_fault_policy(p, FaultPolicy::Propagate).unwrap();
+        let err = mw.step().unwrap_err();
+        assert!(matches!(err, CoreError::ComponentFailure { .. }));
+        assert!(err.to_string().contains("panic"));
+    }
+
+    #[test]
+    fn quarantine_probe_and_reinstate() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let down = Arc::new(AtomicBool::new(true));
+        let mut mw = Middleware::new();
+        let src = mw.add_component(TechSource {
+            name: "gps".into(),
+            lat: 1.0,
+            failing: Arc::clone(&down),
+        });
+        let app = mw.application_sink();
+        mw.connect(src, app, 0).unwrap();
+        mw.set_fault_policy(
+            src,
+            FaultPolicy::Quarantine {
+                max_faults: 2,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(3),
+            },
+        )
+        .unwrap();
+        // t=0 fault 1, t=1 fault 2 -> breaker opens until t=4.
+        run_steps(&mut mw, 2);
+        assert_eq!(
+            mw.node_health(src).status,
+            crate::supervision::HealthStatus::Quarantined
+        );
+        // t=2, t=3: skipped — the open breaker stops all calls.
+        run_steps(&mut mw, 2);
+        assert_eq!(mw.node_health(src).faults, 2);
+        // t=4: probe while still down -> breaker reopens, backoff
+        // doubled to 6 s (until t=10).
+        run_steps(&mut mw, 1);
+        let h = mw.node_health(src);
+        assert_eq!(h.status, crate::supervision::HealthStatus::Quarantined);
+        assert_eq!(h.quarantines, 2);
+        assert_eq!(h.faults, 3);
+        // t=5..=9: skipped. The sensor comes back before the next probe.
+        run_steps(&mut mw, 5);
+        down.store(false, Ordering::Relaxed);
+        // t=10: probe succeeds -> reinstated, flow resumes.
+        run_steps(&mut mw, 1);
+        assert_eq!(
+            mw.node_health(src).status,
+            crate::supervision::HealthStatus::Healthy
+        );
+        let p = mw.location_provider(Criteria::new()).unwrap();
+        assert_eq!(p.delivered_count(), 1, "probe output was delivered");
+        run_steps(&mut mw, 3);
+        assert_eq!(p.delivered_count(), 4, "flow fully restored");
+    }
+
+    #[test]
+    fn health_is_reflective() {
+        let mut mw = Middleware::new();
+        let flaky = mw.add_component(Flaky::new(|_| true));
+        mw.set_fault_policy(flaky, FaultPolicy::DropItem).unwrap();
+        mw.step().unwrap();
+        let Value::Map(m) = mw.invoke(flaky, "health", &[]).unwrap() else {
+            panic!("health must be a map");
+        };
+        assert_eq!(m["status"], Value::from("degraded"));
+        assert_eq!(m["faults"], Value::Int(1));
+        // Unknown nodes still error.
+        mw.remove_component(flaky).unwrap();
+        assert!(matches!(
+            mw.invoke(flaky, "health", &[]),
+            Err(CoreError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn channel_health_reflects_worst_member() {
+        let mut mw = Middleware::new();
+        let flaky = mw.add_component(Flaky::new(|_| true));
+        let app = mw.application_sink();
+        mw.connect(flaky, app, 0).unwrap();
+        mw.set_fault_policy(
+            flaky,
+            FaultPolicy::Quarantine {
+                max_faults: 1,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(60),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mw.channels()[0].health,
+            crate::supervision::HealthStatus::Healthy
+        );
+        mw.step().unwrap();
+        assert_eq!(
+            mw.channels()[0].health,
+            crate::supervision::HealthStatus::Quarantined
+        );
+    }
+
+    /// A position source for one technology: emits items tagged with a
+    /// `source` attribute, and fails while its shared flag is raised.
+    struct TechSource {
+        name: String,
+        lat: f64,
+        failing: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl Component for TechSource {
+        fn descriptor(&self) -> crate::component::ComponentDescriptor {
+            crate::component::ComponentDescriptor::source(
+                self.name.clone(),
+                vec![kinds::POSITION_WGS84],
+            )
+        }
+        fn on_input(
+            &mut self,
+            _p: usize,
+            _i: DataItem,
+            _c: &mut ComponentCtx,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            if self.failing.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(CoreError::ComponentFailure {
+                    component: self.name.clone(),
+                    reason: "sensor offline".into(),
+                });
+            }
+            let item = DataItem::new(
+                kinds::POSITION_WGS84,
+                ctx.now(),
+                Value::from(Position::new(wgs(self.lat, 10.0), Some(5.0))),
+            )
+            .with_attr("source", Value::from(self.name.as_str()));
+            ctx.emit(item);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failover_provider_degrades_and_recovers() {
+        use crate::positioning::ProviderEvent;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let gps_down = Arc::new(AtomicBool::new(false));
+        let mut mw = Middleware::new();
+        let gps = mw.add_component(TechSource {
+            name: "gps".into(),
+            lat: 1.0,
+            failing: Arc::clone(&gps_down),
+        });
+        let wifi = mw.add_component(TechSource {
+            name: "wifi".into(),
+            lat: 2.0,
+            failing: Arc::new(AtomicBool::new(false)),
+        });
+        let app = mw.application_sink();
+        mw.connect(gps, app, 0).unwrap();
+        mw.connect(wifi, app, 1).unwrap();
+        mw.set_fault_policy(
+            gps,
+            FaultPolicy::Quarantine {
+                max_faults: 1,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(5),
+            },
+        )
+        .unwrap();
+        let fp = mw
+            .failover_provider(vec![
+                Criteria::new().source("gps"),
+                Criteria::new().source("wifi"),
+            ])
+            .unwrap();
+        let events = fp.events();
+        assert_eq!(fp.active(), Some(0));
+        assert!(!fp.is_degraded());
+
+        run_steps(&mut mw, 2);
+        assert_eq!(fp.last_position().unwrap().coord().lat_deg(), 1.0);
+
+        // GPS dies: the quarantine opens on the next step and the
+        // provider fails over to WiFi.
+        gps_down.store(true, Ordering::Relaxed);
+        run_steps(&mut mw, 1);
+        assert_eq!(fp.active(), Some(1));
+        assert!(fp.is_degraded());
+        assert_eq!(fp.last_position().unwrap().coord().lat_deg(), 2.0);
+        assert!(matches!(
+            events.try_recv().unwrap(),
+            ProviderEvent::Degraded {
+                from: 0,
+                to: Some(1),
+                ..
+            }
+        ));
+
+        // Ride out the backoff quarantined, then the sensor comes back:
+        // the probe succeeds and the provider recovers to GPS.
+        run_steps(&mut mw, 4);
+        assert_eq!(fp.active(), Some(1), "still on wifi during backoff");
+        gps_down.store(false, Ordering::Relaxed);
+        run_steps(&mut mw, 2);
+        assert_eq!(fp.active(), Some(0));
+        assert!(!fp.is_degraded());
+        assert!(matches!(
+            events.try_recv().unwrap(),
+            ProviderEvent::Recovered {
+                from: Some(1),
+                to: 0,
+                ..
+            }
+        ));
+        assert_eq!(fp.last_position().unwrap().coord().lat_deg(), 1.0);
+        // Failover never lost the surface: a position was available from
+        // the surviving pipeline the whole time.
+        assert_eq!(fp.availability(), vec![true, true]);
+    }
+
+    #[test]
+    fn failover_provider_rejects_empty_preferences() {
+        let mut mw = Middleware::new();
+        assert!(matches!(
+            mw.failover_provider(vec![]),
+            Err(CoreError::BadArguments { .. })
+        ));
     }
 
     #[test]

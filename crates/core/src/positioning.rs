@@ -83,6 +83,11 @@ impl Criteria {
         &self.kinds
     }
 
+    /// The required source technology, if any (see [`Criteria::source`]).
+    pub fn source_name(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
     /// Whether `item` satisfies the criteria.
     pub fn matches(&self, item: &DataItem) -> bool {
         if !self.kinds.is_empty() && !self.kinds.contains(&item.kind) {
@@ -342,6 +347,170 @@ impl LocationProvider {
     /// or not) — a cheap liveness probe.
     pub fn delivered_count(&self) -> u64 {
         self.shared.inner.lock().delivered
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provider failover (supervision at the Positioning Layer)
+// ---------------------------------------------------------------------
+
+/// A failover notification from a [`FailoverProvider`]: the set of
+/// healthy pipelines changed and the provider re-resolved its criteria.
+///
+/// Preferences are identified by their index in the preference list the
+/// provider was created with (0 = most preferred).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderEvent {
+    /// The active preference lost its last healthy pipeline; the
+    /// provider fell back to `to` (`None` = no healthy pipeline at all).
+    Degraded {
+        /// Index of the preference that became unavailable.
+        from: usize,
+        /// Index of the fallback now active, if any.
+        to: Option<usize>,
+        /// Simulated time of the transition.
+        at: SimTime,
+    },
+    /// A higher-ranked preference became available again and the
+    /// provider switched (back) to it.
+    Recovered {
+        /// Index previously active, if any.
+        from: Option<usize>,
+        /// Index of the preference now active.
+        to: usize,
+        /// Simulated time of the transition.
+        at: SimTime,
+    },
+}
+
+pub(crate) struct FailoverInner {
+    pub(crate) active: Option<usize>,
+    pub(crate) available: Vec<bool>,
+    pub(crate) events: Vec<Sender<ProviderEvent>>,
+}
+
+/// State shared between the middleware engine (which re-resolves after
+/// every step) and the [`FailoverProvider`] handles observing it.
+pub(crate) struct FailoverShared {
+    pub(crate) prefs: Vec<Criteria>,
+    pub(crate) inner: Mutex<FailoverInner>,
+}
+
+/// A location provider with criteria re-resolution over pipeline health:
+/// an ordered list of [`Criteria`] preferences, of which the highest
+/// ranked one whose feeding channels are not quarantined is *active*.
+///
+/// Reads ([`FailoverProvider::last_item`] and friends) filter by the
+/// active criteria, so when the engine quarantines every component of
+/// the preferred pipeline the provider transparently answers from the
+/// next-best healthy one — the JSR-179-style surface degrades gracefully
+/// instead of erroring (paper §6 reliability direction). Transitions are
+/// observable through [`FailoverProvider::events`].
+///
+/// Created by [`crate::Middleware::failover_provider`]; cheap to clone.
+#[derive(Clone)]
+pub struct FailoverProvider {
+    sink: Arc<SinkShared>,
+    shared: Arc<FailoverShared>,
+}
+
+impl fmt::Debug for FailoverProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailoverProvider")
+            .field("prefs", &self.shared.prefs.len())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl FailoverProvider {
+    pub(crate) fn new(sink: Arc<SinkShared>, shared: Arc<FailoverShared>) -> Self {
+        FailoverProvider { sink, shared }
+    }
+
+    /// The ordered preference list (0 = most preferred).
+    pub fn preferences(&self) -> &[Criteria] {
+        &self.shared.prefs
+    }
+
+    /// Index of the currently active preference, if any is available.
+    pub fn active(&self) -> Option<usize> {
+        self.shared.inner.lock().active
+    }
+
+    /// The criteria currently answering reads, if any.
+    pub fn active_criteria(&self) -> Option<Criteria> {
+        let idx = self.shared.inner.lock().active?;
+        self.shared.prefs.get(idx).cloned()
+    }
+
+    /// Whether the provider is running on anything but its first
+    /// preference (including running on nothing).
+    pub fn is_degraded(&self) -> bool {
+        self.active() != Some(0)
+    }
+
+    /// Per-preference availability, index-aligned with
+    /// [`FailoverProvider::preferences`].
+    pub fn availability(&self) -> Vec<bool> {
+        self.shared.inner.lock().available.clone()
+    }
+
+    /// Push semantics for failover transitions: a channel receiving
+    /// every future [`ProviderEvent`].
+    pub fn events(&self) -> Receiver<ProviderEvent> {
+        let (tx, rx) = unbounded();
+        self.shared.inner.lock().events.push(tx);
+        rx
+    }
+
+    /// The most recent item matching the active criteria, if any.
+    pub fn last_item(&self) -> Option<DataItem> {
+        let criteria = self.active_criteria()?;
+        LocationProvider::new(Arc::clone(&self.sink), criteria).last_item()
+    }
+
+    /// The most recent position matching the active criteria, if any.
+    pub fn last_position(&self) -> Option<Position> {
+        let criteria = self.active_criteria()?;
+        LocationProvider::new(Arc::clone(&self.sink), criteria).last_position()
+    }
+
+    /// Freshness-bounded pull through the active criteria (see
+    /// [`LocationProvider::last_position_within`]).
+    pub fn last_position_within(&self, max_age: SimDuration, now: SimTime) -> Option<Position> {
+        let criteria = self.active_criteria()?;
+        LocationProvider::new(Arc::clone(&self.sink), criteria).last_position_within(max_age, now)
+    }
+}
+
+impl FailoverShared {
+    /// Applies a freshly computed availability vector, updating the
+    /// active preference and notifying subscribers of transitions.
+    pub(crate) fn apply_availability(&self, available: Vec<bool>, now: SimTime) {
+        let mut inner = self.inner.lock();
+        let new_active = available.iter().position(|a| *a);
+        let old_active = inner.active;
+        inner.available = available;
+        if new_active == old_active {
+            return;
+        }
+        inner.active = new_active;
+        let event = match (old_active, new_active) {
+            (Some(from), None) => ProviderEvent::Degraded {
+                from,
+                to: None,
+                at: now,
+            },
+            (Some(from), Some(to)) if to > from => ProviderEvent::Degraded {
+                from,
+                to: Some(to),
+                at: now,
+            },
+            (from, Some(to)) => ProviderEvent::Recovered { from, to, at: now },
+            (None, None) => return,
+        };
+        inner.events.retain(|tx| tx.send(event.clone()).is_ok());
     }
 }
 

@@ -1,0 +1,516 @@
+//! Supervision: per-node fault policies, health tracking and a circuit
+//! breaker — component failure as a managed, inspectable condition.
+//!
+//! The paper leaves "reliability, scalability and performance" as future
+//! work (§6); this module supplies the reliability half in the PerPos
+//! spirit — fault handling is *translucent*. Policies are set per node
+//! through the same facade that manipulates the process structure, health
+//! is readable through component reflection (`invoke("health", …)`), and
+//! the Process Channel Layer aggregates member health per channel so
+//! Channel Features and the Positioning Layer can reason over it (see
+//! [`crate::channel::ChannelInfo::health`] and provider failover in
+//! [`crate::positioning`]).
+//!
+//! The default policy is [`FaultPolicy::Propagate`], which preserves the
+//! original engine contract: the first component error aborts the step.
+//! Everything else is opt-in.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::data::Value;
+use crate::graph::NodeId;
+use crate::{SimDuration, SimTime};
+
+/// Cap on the exponential backoff doubling, so repeated probe failures
+/// saturate instead of overflowing (2^20 ≈ 10⁶× the base backoff).
+const MAX_BACKOFF_LEVEL: u32 = 20;
+
+/// What the engine does when a component (or one of its features) fails.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Abort the step and surface the error — the original engine
+    /// behaviour, and the default.
+    #[default]
+    Propagate,
+    /// Drop the offending work item (or tick output) and continue the
+    /// step; the fault is counted and the node marked degraded.
+    DropItem,
+    /// Reset the component via [`crate::component::Component::on_reset`]
+    /// and continue; the item that triggered the fault is lost.
+    Restart,
+    /// Circuit breaker: after `max_faults` faults within a sliding
+    /// `window` of simulated time, the node is quarantined (skipped by
+    /// the engine) for `backoff`, doubling on every failed probe; once
+    /// the backoff elapses a single probe run is allowed, and a
+    /// successful probe reinstates the node.
+    Quarantine {
+        /// Faults tolerated within `window` before the breaker opens.
+        max_faults: u32,
+        /// Sliding window over which faults are counted.
+        window: SimDuration,
+        /// Initial quarantine duration; doubles per failed probe.
+        backoff: SimDuration,
+    },
+}
+
+impl FaultPolicy {
+    /// A quarantine policy with moderate defaults: 3 faults within 10 s
+    /// opens the breaker for 5 s.
+    pub fn quarantine_default() -> Self {
+        FaultPolicy::Quarantine {
+            max_faults: 3,
+            window: SimDuration::from_secs(10),
+            backoff: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Parses a policy from its configuration name (see
+    /// [`crate::assembly::ComponentConfig::fault_policy`]). Returns
+    /// `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "propagate" => Some(FaultPolicy::Propagate),
+            "drop_item" => Some(FaultPolicy::DropItem),
+            "restart" => Some(FaultPolicy::Restart),
+            "quarantine" => Some(FaultPolicy::quarantine_default()),
+            _ => None,
+        }
+    }
+}
+
+/// The health of one node, as tracked by the [`HealthRegistry`].
+///
+/// Ordered by badness (`Healthy < Degraded < Quarantined`) so the worst
+/// member of a set is its `max()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthStatus {
+    /// No recent faults.
+    #[default]
+    Healthy,
+    /// Recent handled faults, or a quarantined node currently being
+    /// probed (the breaker's half-open state).
+    Degraded,
+    /// The circuit breaker is open: the engine skips this node.
+    Quarantined,
+}
+
+impl HealthStatus {
+    /// The status name as exposed through reflection.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Per-node health record: status, counters and the last error seen.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeHealth {
+    /// Current status.
+    pub status: HealthStatus,
+    /// Total faults observed (including propagated ones).
+    pub faults: u64,
+    /// Times the component was reset via `on_reset`.
+    pub restarts: u64,
+    /// Times the breaker opened.
+    pub quarantines: u64,
+    /// Rendered form of the most recent error.
+    pub last_error: Option<String>,
+    /// When the current quarantine expires, if open.
+    pub quarantined_until: Option<SimTime>,
+}
+
+impl NodeHealth {
+    /// The record as a reflection value (`invoke("health", …)`): a map
+    /// with `status`, `faults`, `restarts`, `quarantines` and
+    /// `last_error` entries.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("status".to_string(), Value::from(self.status.as_str()));
+        map.insert("faults".to_string(), Value::Int(self.faults as i64));
+        map.insert("restarts".to_string(), Value::Int(self.restarts as i64));
+        map.insert(
+            "quarantines".to_string(),
+            Value::Int(self.quarantines as i64),
+        );
+        map.insert(
+            "last_error".to_string(),
+            match &self.last_error {
+                Some(e) => Value::from(e.as_str()),
+                None => Value::Null,
+            },
+        );
+        Value::Map(map)
+    }
+}
+
+/// The action the engine must take for a handled fault, decided by
+/// [`HealthRegistry::on_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Surface the error (abort the step).
+    Propagate,
+    /// Swallow the fault and continue.
+    Drop,
+    /// Reset the component, then continue.
+    Restart,
+    /// The breaker just opened: reset the component and skip it until
+    /// the backoff elapses.
+    Quarantine,
+}
+
+/// Tracks fault policies and health for every node of one middleware
+/// instance, implementing the quarantine circuit breaker over simulated
+/// time.
+#[derive(Debug, Default)]
+pub struct HealthRegistry {
+    policies: BTreeMap<NodeId, FaultPolicy>,
+    records: BTreeMap<NodeId, NodeHealth>,
+    /// Sliding-window fault timestamps for quarantine-policy nodes.
+    windows: BTreeMap<NodeId, Vec<SimTime>>,
+    /// Exponential backoff level per node (doubles per failed probe).
+    backoff_level: BTreeMap<NodeId, u32>,
+    /// Nodes in the breaker's half-open state: one probe run allowed.
+    probing: BTreeSet<NodeId>,
+}
+
+impl HealthRegistry {
+    /// Sets the fault policy for `id`, resetting its breaker state.
+    pub fn set_policy(&mut self, id: NodeId, policy: FaultPolicy) {
+        self.windows.remove(&id);
+        self.backoff_level.remove(&id);
+        self.probing.remove(&id);
+        if let Some(r) = self.records.get_mut(&id) {
+            r.status = HealthStatus::Healthy;
+            r.quarantined_until = None;
+        }
+        self.policies.insert(id, policy);
+    }
+
+    /// The policy for `id` (default [`FaultPolicy::Propagate`]).
+    pub fn policy(&self, id: NodeId) -> FaultPolicy {
+        self.policies.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// The health record for `id` (default healthy).
+    pub fn health(&self, id: NodeId) -> NodeHealth {
+        self.records.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// The current status of `id`.
+    pub fn status(&self, id: NodeId) -> HealthStatus {
+        self.records.get(&id).map(|r| r.status).unwrap_or_default()
+    }
+
+    /// Forgets everything about `id` (component removed).
+    pub fn forget(&mut self, id: NodeId) {
+        self.policies.remove(&id);
+        self.records.remove(&id);
+        self.windows.remove(&id);
+        self.backoff_level.remove(&id);
+        self.probing.remove(&id);
+    }
+
+    /// Whether the engine must skip `id` this step. Expired quarantines
+    /// transition to the half-open (probing) state, which allows one run.
+    pub(crate) fn is_quarantined(&mut self, id: NodeId, now: SimTime) -> bool {
+        let Some(r) = self.records.get_mut(&id) else {
+            return false;
+        };
+        if r.status != HealthStatus::Quarantined {
+            return false;
+        }
+        match r.quarantined_until {
+            Some(until) if now >= until => {
+                // Half-open: let one probe run through.
+                r.status = HealthStatus::Degraded;
+                r.quarantined_until = None;
+                self.probing.insert(id);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Records a successful run of `id`. A successful probe reinstates a
+    /// quarantined node; otherwise a degraded node recovers once its
+    /// fault window has drained.
+    pub(crate) fn record_success(&mut self, id: NodeId, now: SimTime) {
+        if self.probing.remove(&id) {
+            self.backoff_level.remove(&id);
+            self.windows.remove(&id);
+            if let Some(r) = self.records.get_mut(&id) {
+                r.status = HealthStatus::Healthy;
+                r.quarantined_until = None;
+            }
+            return;
+        }
+        let Some(r) = self.records.get_mut(&id) else {
+            return;
+        };
+        if r.status == HealthStatus::Degraded {
+            let drained = match (self.policies.get(&id), self.windows.get_mut(&id)) {
+                (Some(FaultPolicy::Quarantine { window, .. }), Some(faults)) => {
+                    faults.retain(|t| now.since(*t) <= *window);
+                    faults.is_empty()
+                }
+                _ => true,
+            };
+            if drained {
+                r.status = HealthStatus::Healthy;
+            }
+        }
+    }
+
+    /// Records a fault of `id` at `now` and decides the engine's action
+    /// per the node's policy.
+    pub(crate) fn on_fault(&mut self, id: NodeId, now: SimTime, reason: &str) -> FaultAction {
+        let policy = self.policy(id);
+        let record = self.records.entry(id).or_default();
+        record.faults += 1;
+        record.last_error = Some(reason.to_string());
+        match policy {
+            FaultPolicy::Propagate => FaultAction::Propagate,
+            FaultPolicy::DropItem => {
+                record.status = record.status.max(HealthStatus::Degraded);
+                FaultAction::Drop
+            }
+            FaultPolicy::Restart => {
+                record.status = record.status.max(HealthStatus::Degraded);
+                record.restarts += 1;
+                FaultAction::Restart
+            }
+            FaultPolicy::Quarantine {
+                max_faults,
+                window,
+                backoff,
+            } => {
+                if self.probing.remove(&id) {
+                    // Failed probe: re-open the breaker, doubled backoff.
+                    let level = self.backoff_level.entry(id).or_insert(0);
+                    *level = (*level + 1).min(MAX_BACKOFF_LEVEL);
+                    let pause = backoff_at(backoff, *level);
+                    record.status = HealthStatus::Quarantined;
+                    record.quarantines += 1;
+                    record.quarantined_until = Some(now + pause);
+                    return FaultAction::Quarantine;
+                }
+                let faults = self.windows.entry(id).or_default();
+                faults.push(now);
+                faults.retain(|t| now.since(*t) <= window);
+                if faults.len() as u64 >= u64::from(max_faults.max(1)) {
+                    faults.clear();
+                    let level = *self.backoff_level.entry(id).or_insert(0);
+                    record.status = HealthStatus::Quarantined;
+                    record.quarantines += 1;
+                    record.quarantined_until = Some(now + backoff_at(backoff, level));
+                    FaultAction::Quarantine
+                } else {
+                    record.status = HealthStatus::Degraded;
+                    FaultAction::Drop
+                }
+            }
+        }
+    }
+}
+
+/// `backoff * 2^level`, saturating.
+fn backoff_at(backoff: SimDuration, level: u32) -> SimDuration {
+    let factor = 1u64 << level.min(MAX_BACKOFF_LEVEL);
+    SimDuration::from_micros(backoff.as_micros().saturating_mul(factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(reg: &mut HealthRegistry) -> NodeId {
+        // NodeId is opaque; fabricate one through a real graph.
+        let mut g = crate::graph::ProcessingGraph::new();
+        let id = g.add(Box::new(crate::component::FnSource::new(
+            "s",
+            crate::data::kinds::RAW_STRING,
+            |_| None,
+        )));
+        let _ = reg;
+        id
+    }
+
+    #[test]
+    fn default_policy_propagates() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        assert_eq!(reg.policy(id), FaultPolicy::Propagate);
+        assert_eq!(
+            reg.on_fault(id, SimTime::ZERO, "boom"),
+            FaultAction::Propagate
+        );
+        let h = reg.health(id);
+        assert_eq!(h.faults, 1);
+        assert_eq!(h.last_error.as_deref(), Some("boom"));
+        // Propagate leaves the status untouched.
+        assert_eq!(h.status, HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn drop_and_restart_mark_degraded() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(id, FaultPolicy::DropItem);
+        assert_eq!(reg.on_fault(id, SimTime::ZERO, "e1"), FaultAction::Drop);
+        assert_eq!(reg.status(id), HealthStatus::Degraded);
+        reg.set_policy(id, FaultPolicy::Restart);
+        assert_eq!(reg.on_fault(id, SimTime::ZERO, "e2"), FaultAction::Restart);
+        assert_eq!(reg.health(id).restarts, 1);
+    }
+
+    #[test]
+    fn quarantine_opens_after_max_faults_in_window() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(
+            id,
+            FaultPolicy::Quarantine {
+                max_faults: 3,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(5),
+            },
+        );
+        let t = SimTime::from_secs_f64(1.0);
+        assert_eq!(reg.on_fault(id, t, "e"), FaultAction::Drop);
+        assert_eq!(reg.on_fault(id, t, "e"), FaultAction::Drop);
+        assert_eq!(reg.on_fault(id, t, "e"), FaultAction::Quarantine);
+        assert_eq!(reg.status(id), HealthStatus::Quarantined);
+        assert!(reg.is_quarantined(id, t));
+        // Not yet expired.
+        assert!(reg.is_quarantined(id, t + SimDuration::from_secs(4)));
+        // Expired: half-open, one probe allowed.
+        let probe_t = t + SimDuration::from_secs(5);
+        assert!(!reg.is_quarantined(id, probe_t));
+        assert_eq!(reg.status(id), HealthStatus::Degraded);
+        // Probe succeeds: reinstated.
+        reg.record_success(id, probe_t);
+        assert_eq!(reg.status(id), HealthStatus::Healthy);
+        assert_eq!(reg.health(id).quarantines, 1);
+    }
+
+    #[test]
+    fn failed_probe_doubles_backoff() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(
+            id,
+            FaultPolicy::Quarantine {
+                max_faults: 1,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(2),
+            },
+        );
+        let t0 = SimTime::ZERO;
+        assert_eq!(reg.on_fault(id, t0, "e"), FaultAction::Quarantine);
+        assert_eq!(
+            reg.health(id).quarantined_until,
+            Some(t0 + SimDuration::from_secs(2))
+        );
+        // Probe at expiry fails: backoff doubles to 4 s.
+        let t1 = t0 + SimDuration::from_secs(2);
+        assert!(!reg.is_quarantined(id, t1));
+        assert_eq!(reg.on_fault(id, t1, "e"), FaultAction::Quarantine);
+        assert_eq!(
+            reg.health(id).quarantined_until,
+            Some(t1 + SimDuration::from_secs(4))
+        );
+        // Next failed probe: 8 s.
+        let t2 = t1 + SimDuration::from_secs(4);
+        assert!(!reg.is_quarantined(id, t2));
+        assert_eq!(reg.on_fault(id, t2, "e"), FaultAction::Quarantine);
+        assert_eq!(
+            reg.health(id).quarantined_until,
+            Some(t2 + SimDuration::from_secs(8))
+        );
+        // Successful probe resets the level.
+        let t3 = t2 + SimDuration::from_secs(8);
+        assert!(!reg.is_quarantined(id, t3));
+        reg.record_success(id, t3);
+        assert_eq!(reg.status(id), HealthStatus::Healthy);
+        assert_eq!(reg.on_fault(id, t3, "e"), FaultAction::Quarantine);
+        assert_eq!(
+            reg.health(id).quarantined_until,
+            Some(t3 + SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn window_expiry_forgets_old_faults() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(
+            id,
+            FaultPolicy::Quarantine {
+                max_faults: 2,
+                window: SimDuration::from_secs(1),
+                backoff: SimDuration::from_secs(5),
+            },
+        );
+        assert_eq!(reg.on_fault(id, SimTime::ZERO, "e"), FaultAction::Drop);
+        // 2 s later the first fault has aged out: still only one in window.
+        let later = SimTime::from_secs_f64(2.0);
+        assert_eq!(reg.on_fault(id, later, "e"), FaultAction::Drop);
+        assert_eq!(reg.status(id), HealthStatus::Degraded);
+        // A quiet success with an empty window restores health.
+        reg.record_success(id, SimTime::from_secs_f64(4.0));
+        assert_eq!(reg.status(id), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        assert_eq!(
+            FaultPolicy::from_name("propagate"),
+            Some(FaultPolicy::Propagate)
+        );
+        assert_eq!(
+            FaultPolicy::from_name("drop_item"),
+            Some(FaultPolicy::DropItem)
+        );
+        assert_eq!(
+            FaultPolicy::from_name("restart"),
+            Some(FaultPolicy::Restart)
+        );
+        assert_eq!(
+            FaultPolicy::from_name("quarantine"),
+            Some(FaultPolicy::quarantine_default())
+        );
+        assert_eq!(FaultPolicy::from_name("nope"), None);
+    }
+
+    #[test]
+    fn health_value_shape() {
+        let h = NodeHealth {
+            status: HealthStatus::Degraded,
+            faults: 3,
+            restarts: 1,
+            quarantines: 0,
+            last_error: Some("x".into()),
+            quarantined_until: None,
+        };
+        let Value::Map(m) = h.to_value() else {
+            panic!("expected map");
+        };
+        assert_eq!(m["status"], Value::from("degraded"));
+        assert_eq!(m["faults"], Value::Int(3));
+        assert_eq!(m["last_error"], Value::from("x"));
+    }
+
+    #[test]
+    fn forget_clears_all_state() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(id, FaultPolicy::quarantine_default());
+        reg.on_fault(id, SimTime::ZERO, "e");
+        reg.forget(id);
+        assert_eq!(reg.policy(id), FaultPolicy::Propagate);
+        assert_eq!(reg.health(id), NodeHealth::default());
+    }
+}

@@ -14,6 +14,45 @@ use perpos_core::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, F
 use perpos_core::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// An error loading or saving a [`Trace`].
+///
+/// Distinguishes transport problems (the file could not be read or
+/// written) from content problems (the bytes are not a valid trace —
+/// truncated recordings, corrupt JSON, or a well-formed document of the
+/// wrong shape). Callers that retry on `Io` should treat `Parse` as
+/// permanent.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Reading or writing the underlying stream failed.
+    Io(std::io::Error),
+    /// The bytes were read but do not decode as a trace.
+    Parse(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse(msg) => write!(f, "trace parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
 /// A recorded sequence of data items, ordered by timestamp.
 ///
 /// ```
@@ -30,7 +69,7 @@ use serde::{Deserialize, Serialize};
 /// let reloaded = Trace::load(&buf[..])?;
 /// let emulator = EmulatorSource::new("replay", reloaded);
 /// assert_eq!(emulator.remaining(), 1);
-/// # Ok::<(), std::io::Error>(())
+/// # Ok::<(), perpos_sensors::TraceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Trace {
@@ -59,18 +98,21 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and serialization errors.
-    pub fn save(&self, mut w: impl Write) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
-        w.write_all(json.as_bytes())
+    /// [`TraceError::Io`] if the writer fails; [`TraceError::Parse`] if
+    /// the trace cannot be encoded.
+    pub fn save(&self, mut w: impl Write) -> Result<(), TraceError> {
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| TraceError::Parse(e.to_string()))?;
+        w.write_all(json.as_bytes())?;
+        Ok(())
     }
 
     /// Writes the trace to a file.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn save_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    /// See [`Trace::save`].
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
         let f = std::fs::File::create(path)?;
         self.save(f)
     }
@@ -79,19 +121,20 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization errors.
-    pub fn load(mut r: impl Read) -> std::io::Result<Self> {
+    /// [`TraceError::Io`] if the reader fails; [`TraceError::Parse`] if
+    /// the bytes are truncated, corrupt, or not a trace document.
+    pub fn load(mut r: impl Read) -> Result<Self, TraceError> {
         let mut buf = String::new();
         r.read_to_string(&mut buf)?;
-        serde_json::from_str(&buf).map_err(std::io::Error::other)
+        serde_json::from_str(&buf).map_err(|e| TraceError::Parse(e.to_string()))
     }
 
     /// Reads a trace from a file.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn load_from_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// See [`Trace::load`].
+    pub fn load_from_file(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         let f = std::fs::File::open(path)?;
         Trace::load(f)
     }
@@ -206,8 +249,8 @@ impl EmulatorSource {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn from_file(name: impl Into<String>, path: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// See [`Trace::load`].
+    pub fn from_file(name: impl Into<String>, path: impl AsRef<Path>) -> Result<Self, TraceError> {
         Ok(EmulatorSource::new(name, Trace::load_from_file(path)?))
     }
 
@@ -299,6 +342,34 @@ mod tests {
         let emu = EmulatorSource::from_file("emu", &path).unwrap();
         assert_eq!(emu.remaining(), 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_trace_is_a_parse_error() {
+        // A valid trace chopped mid-document must not round-trip.
+        let t = Trace::new(vec![item(0.0, 1), item(1.0, 2)]);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let cut = &buf[..buf.len() / 2];
+        match Trace::load(cut) {
+            Err(TraceError::Parse(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_is_a_parse_error() {
+        // Well-formed JSON that is not a trace document.
+        let err = Trace::load(&b"[1, 2, 3]"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Parse(_)), "got {err:?}");
+        assert!(err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Trace::load_from_file("/nonexistent/perpos-trace.json").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "got {err:?}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -20,20 +20,24 @@
 //!   and the [`SatelliteFilter`] component,
 //! * [`EmulatorSource`] / [`TraceRecorderFeature`] — record and replay
 //!   `DataItem` traces, "taking the place of the sensors" exactly as the
-//!   paper's emulator does.
+//!   paper's emulator does,
+//! * [`FaultInjector`] — a deterministic, seeded fault-injection feature
+//!   for exercising the core's supervision policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 mod emulator;
+mod fault;
 mod gps;
 mod motion;
 mod pipeline;
 mod trajectory;
 mod wifi;
 
-pub use emulator::{EmulatorSource, Trace, TraceRecorderFeature};
+pub use emulator::{EmulatorSource, Trace, TraceError, TraceRecorderFeature};
+pub use fault::{FaultCounts, FaultInjector};
 pub use gps::{GpsEnvironment, GpsSimulator};
 pub use motion::MotionSensor;
 pub use pipeline::{

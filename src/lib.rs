@@ -17,7 +17,7 @@
 //! | [`fusion`] | `perpos-fusion` | particle filter, Likelihood channel feature, Kalman/centroid baselines |
 //! | [`energy`] | `perpos-energy` | power models and the EnTracked strategy |
 //! | [`baselines`] | `perpos-baselines` | Location-Stack- and PoSIM-style comparison middlewares |
-//! | [`analysis`] | `perpos-analysis` | whole-graph static analysis (P001–P008), adaptation safety, `perpos-lint` |
+//! | [`analysis`] | `perpos-analysis` | whole-graph static analysis (P001–P009), adaptation safety, `perpos-lint` |
 //!
 //! See `examples/` for runnable scenarios (start with
 //! `cargo run --example quickstart`) and `DESIGN.md` / `EXPERIMENTS.md`
@@ -43,8 +43,8 @@ pub mod prelude {
     pub use perpos_geo::{LocalFrame, Point2, Wgs84};
     pub use perpos_model::{demo_building, Building, BuildingBuilder, RoomId};
     pub use perpos_sensors::{
-        EmulatorSource, GpsEnvironment, GpsSimulator, HdopFeature, Interpreter, MotionSensor,
-        NumberOfSatellitesFeature, Parser, Resolver, SatelliteFilter, SensorWrapper, Trace,
-        Trajectory, WifiEnvironment, WifiPositioning, WifiScanner,
+        EmulatorSource, FaultInjector, GpsEnvironment, GpsSimulator, HdopFeature, Interpreter,
+        MotionSensor, NumberOfSatellitesFeature, Parser, Resolver, SatelliteFilter, SensorWrapper,
+        Trace, TraceError, Trajectory, WifiEnvironment, WifiPositioning, WifiScanner,
     };
 }

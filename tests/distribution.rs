@@ -44,6 +44,7 @@ fn cross_host_edges_travel_the_link() {
             .default_link(LinkModel {
                 latency: SimDuration::from_millis(500),
                 loss_prob: 0.0,
+                max_retries: 0,
             }),
     );
     let provider = mw
@@ -103,6 +104,7 @@ fn lossy_link_degrades_but_does_not_stop_delivery() {
             .default_link(LinkModel {
                 latency: SimDuration::from_millis(10),
                 loss_prob: 0.5,
+                max_retries: 0,
             })
             .with_seed(7),
     );
@@ -147,6 +149,7 @@ fn data_trees_stay_correct_across_hosts() {
             .default_link(LinkModel {
                 latency: SimDuration::from_millis(250),
                 loss_prob: 0.0,
+                max_retries: 0,
             }),
     );
     let app = mw.application_sink();
@@ -178,6 +181,7 @@ fn clearing_deployment_restores_synchrony() {
             .default_link(LinkModel {
                 latency: SimDuration::from_secs(3600),
                 loss_prob: 0.0,
+                max_retries: 0,
             }),
     );
     let provider = mw.location_provider(Criteria::new()).unwrap();
