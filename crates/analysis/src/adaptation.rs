@@ -11,11 +11,15 @@
 //! the full whole-graph analysis on the result, so callers can reject
 //! unsound adaptations without mutating anything.
 
+use perpos_core::component::ComponentRole;
 use perpos_core::feature::FeatureDescriptor;
 use perpos_core::graph::{NodeId, NodeInfo};
+use perpos_core::supervision::HealthStatus;
 use perpos_core::Middleware;
 
+use crate::dataflow::FlowGraph;
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+use crate::domains::{infer_facts, GraphFacts};
 use crate::live::analyze_structure;
 
 /// One structural change in an adaptation plan.
@@ -80,12 +84,179 @@ impl AdaptationPlan {
 
 /// Checks a plan against a live middleware without touching it: the
 /// plan is applied to a copy of `mw.structure()` and the resulting
-/// structure is fully analyzed. The plan is safe when the returned
-/// report [has no errors](Report::has_errors).
+/// structure is fully analyzed — structural lints plus the semantic
+/// dataflow passes, with *semantic deltas* (how accuracy, rate and taint
+/// observed at the sinks change) reported at Info severity. The plan is
+/// safe when the returned report [has no errors](Report::has_errors).
 pub fn check_adaptation(mw: &Middleware, plan: &AdaptationPlan) -> Report {
-    let (result, mut report) = simulate(mw.structure(), plan);
+    check_adaptation_with_facts(mw, plan).report
+}
+
+/// The full result of checking an adaptation plan: the diagnostic
+/// report plus the solved dataflow facts of the current and the
+/// hypothetical structure, for callers that want to compare predicted
+/// semantics themselves (e.g. an adaptation engine choosing between
+/// candidate plans).
+#[derive(Debug, Clone)]
+pub struct AdaptationOutcome {
+    /// Op-application errors, whole-graph findings on the resulting
+    /// structure, quarantine warnings and semantic-delta infos.
+    pub report: Report,
+    /// Analysis representation of the *current* structure.
+    pub before_graph: FlowGraph,
+    /// Solved facts of the current structure.
+    pub before_facts: GraphFacts,
+    /// Analysis representation of the structure the plan produces.
+    pub after_graph: FlowGraph,
+    /// Solved facts of that hypothetical structure.
+    pub after_facts: GraphFacts,
+}
+
+/// [`check_adaptation`], returning the underlying dataflow facts as
+/// well as the report.
+pub fn check_adaptation_with_facts(mw: &Middleware, plan: &AdaptationPlan) -> AdaptationOutcome {
+    let current = mw.structure();
+    let before_graph = FlowGraph::from_structure(&current);
+    let before_facts = infer_facts(&before_graph);
+
+    let (result, mut report) = simulate(current.clone(), plan);
+    for d in check_quarantined_targets(mw, &current, plan) {
+        report.push(d);
+    }
     report.merge(analyze_structure(&result));
-    report
+
+    let after_graph = FlowGraph::from_structure(&result);
+    let after_facts = infer_facts(&after_graph);
+    for d in semantic_deltas(&before_graph, &before_facts, &after_graph, &after_facts) {
+        report.push(d);
+    }
+    AdaptationOutcome {
+        report,
+        before_graph,
+        before_facts,
+        after_graph,
+        after_facts,
+    }
+}
+
+/// Warns (P007) for every plan op that targets a node the middleware
+/// currently holds in quarantine: the adaptation will apply, but the
+/// node is not processing data, so the plan's effect cannot be observed
+/// until the quarantine lifts — usually a sign the plan was computed
+/// from stale health information.
+fn check_quarantined_targets(
+    mw: &Middleware,
+    current: &[NodeInfo],
+    plan: &AdaptationPlan,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (step, op) in plan.ops.iter().enumerate() {
+        let targets: Vec<NodeId> = match op {
+            AdaptationOp::Connect { from, to, .. } => vec![*from, *to],
+            AdaptationOp::Disconnect { to, .. } => vec![*to],
+            AdaptationOp::Remove { node }
+            | AdaptationOp::AttachFeature { node, .. }
+            | AdaptationOp::DetachFeature { node, .. } => vec![*node],
+        };
+        for id in targets {
+            if !current.iter().any(|n| n.id == id) {
+                continue; // unknown node; simulate() reports the error
+            }
+            if mw.node_health(id).status == HealthStatus::Quarantined {
+                out.push(
+                    Diagnostic::new(
+                        Code::P007,
+                        Severity::Warning,
+                        format!("plan step {step} adapts quarantined node {id}"),
+                        vec![format!("plan step {step}")],
+                    )
+                    .with_hint(
+                        "the node is not processing data while quarantined; verify the \
+                         plan was computed from current health state",
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn format_interval(fact: Option<(f64, f64)>, unit: &str) -> String {
+    match fact {
+        None => "unknown".to_string(),
+        Some((lo, hi)) if hi.is_infinite() => format!("[{lo} {unit}, unbounded)"),
+        Some((lo, hi)) => format!("[{lo} {unit}, {hi} {unit}]"),
+    }
+}
+
+/// Info-severity diagnostics describing how the facts observed at each
+/// sink change under the plan — the predicted semantic effect of the
+/// adaptation (accuracy: P011, taint: P012, rate: P013).
+fn semantic_deltas(
+    before_graph: &FlowGraph,
+    before: &GraphFacts,
+    after_graph: &FlowGraph,
+    after: &GraphFacts,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (ai, an) in after_graph.nodes.iter().enumerate() {
+        if an.role != ComponentRole::Sink {
+            continue;
+        }
+        let Some(bi) = before_graph.nodes.iter().position(|n| n.label == an.label) else {
+            continue;
+        };
+        if before.accuracy[bi] != after.accuracy[ai] {
+            out.push(Diagnostic::new(
+                Code::P011,
+                Severity::Info,
+                format!(
+                    "plan changes achievable accuracy at {} from {} to {}",
+                    an.label,
+                    format_interval(before.accuracy[bi], "m"),
+                    format_interval(after.accuracy[ai], "m"),
+                ),
+                vec![an.label.clone()],
+            ));
+        }
+        if before.rate[bi] != after.rate[ai] {
+            out.push(Diagnostic::new(
+                Code::P013,
+                Severity::Info,
+                format!(
+                    "plan changes sustained item rate at {} from {} to {}",
+                    an.label,
+                    format_interval(before.rate[bi], "items/s"),
+                    format_interval(after.rate[ai], "items/s"),
+                ),
+                vec![an.label.clone()],
+            ));
+        }
+        if before.taint[bi] != after.taint[ai] {
+            let describe = |set: &std::collections::BTreeSet<(String, String)>| {
+                if set.is_empty() {
+                    "none".to_string()
+                } else {
+                    set.iter()
+                        .map(|(kind, origin)| format!("{kind} from {origin}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            };
+            out.push(Diagnostic::new(
+                Code::P012,
+                Severity::Info,
+                format!(
+                    "plan changes identifiable data reaching {} from {{{}}} to {{{}}}",
+                    an.label,
+                    describe(&before.taint[bi]),
+                    describe(&after.taint[ai]),
+                ),
+                vec![an.label.clone()],
+            ));
+        }
+    }
+    out
 }
 
 /// Applies a plan to a detached structure model, reporting operations

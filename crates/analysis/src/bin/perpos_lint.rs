@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
+//! perpos-lint <config.json> [--catalog <catalog.json>] --facts json
+//! perpos-lint --explain PNNN
 //! ```
 //!
 //! Exit status: `0` when no error-severity findings were reported
@@ -11,7 +13,8 @@
 
 use std::process::ExitCode;
 
-use perpos_analysis::{analyze_config, TypeCatalog};
+use perpos_analysis::dataflow::FlowGraph;
+use perpos_analysis::{analyze_config, facts_json, infer_facts, Code, TypeCatalog};
 use perpos_core::assembly::GraphConfig;
 
 enum Format {
@@ -23,15 +26,25 @@ struct Args {
     config_path: String,
     catalog_path: Option<String>,
     format: Format,
+    facts: bool,
 }
 
 const USAGE: &str =
     "usage: perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
+       perpos-lint <config.json> [--catalog <catalog.json>] --facts json
+       perpos-lint --explain <PNNN|all>
 
 Lints a PerPos GraphConfig JSON file with the perpos-analysis passes
-(P001-P007). Without --catalog only the built-in \"application\" type is
+(P001-P013). Without --catalog only the built-in \"application\" type is
 known; pass a catalog (see perpos_analysis::TypeCatalog) describing the
 component types the configuration references.
+
+--facts json  print the inferred dataflow facts (coordinate frames,
+              accuracy and rate intervals, privacy taint) per node and
+              per edge instead of the diagnostic report; the exit status
+              still reflects the analysis
+--explain     print the long-form description, an example trigger and
+              the suggested fix for a diagnostic code (or all of them)
 
 exit status: 0 = no errors, 1 = errors found, 2 = usage or I/O error";
 
@@ -39,6 +52,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut config_path = None;
     let mut catalog_path = None;
     let mut format = Format::Human;
+    let mut facts = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,6 +68,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     None => return Err("--format needs human|json".to_string()),
                 };
             }
+            "--facts" => match it.next().map(String::as_str) {
+                Some("json") => facts = true,
+                Some(other) => return Err(format!("unknown facts format {other:?}")),
+                None => return Err("--facts needs json".to_string()),
+            },
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -68,7 +87,36 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         config_path: config_path.ok_or("missing config file argument")?,
         catalog_path,
         format,
+        facts,
     })
+}
+
+fn explain_one(code: Code) -> String {
+    let e = code.explain();
+    format!(
+        "{code}: {}\n\n  {}\n\n  example: {}\n  fix:     {}\n",
+        code.summary(),
+        e.detail,
+        e.example,
+        e.fix
+    )
+}
+
+fn run_explain(argument: Option<&String>) -> Result<(), String> {
+    let argument = argument.ok_or("--explain needs a code (PNNN) or \"all\"")?;
+    if argument == "all" {
+        let rendered: Vec<String> = Code::ALL.iter().map(|c| explain_one(*c)).collect();
+        print!("{}", rendered.join("\n"));
+        return Ok(());
+    }
+    let code = Code::parse(argument).ok_or_else(|| {
+        format!(
+            "unknown diagnostic code {argument:?}; known codes: {}",
+            Code::ALL.map(|c| c.as_str()).join(", ")
+        )
+    })?;
+    print!("{}", explain_one(code));
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<bool, String> {
@@ -88,15 +136,31 @@ fn run(args: &Args) -> Result<bool, String> {
     };
 
     let report = analyze_config(&config, &catalog);
-    match args.format {
-        Format::Human => print!("{}", report.render_human()),
-        Format::Json => println!("{}", report.render_json()),
+    if args.facts {
+        let flow = FlowGraph::from_config(&config, &catalog);
+        let facts = infer_facts(&flow);
+        println!("{}", facts_json(&flow, &facts));
+    } else {
+        match args.format {
+            Format::Human => print!("{}", report.render_human()),
+            Format::Json => println!("{}", report.render_json()),
+        }
     }
     Ok(report.has_errors())
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // --explain is a standalone subcommand: no config file involved.
+    if argv.first().map(String::as_str) == Some("--explain") {
+        return match run_explain(argv.get(1)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(msg) => {

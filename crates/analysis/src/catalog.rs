@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use perpos_core::assembly::ComponentFactory;
+use perpos_core::component::TransferSpec;
 use serde::{Deserialize, Serialize};
 
 /// The reserved configuration kind for the middleware's application sink.
@@ -31,7 +32,7 @@ pub struct PortSpec {
 }
 
 /// Static description of one component type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComponentTypeSpec {
     /// Type name, as referenced by `ComponentConfig::kind`.
     pub kind: String,
@@ -41,6 +42,10 @@ pub struct ComponentTypeSpec {
     pub inputs: Vec<PortSpec>,
     /// Data kinds the output port provides; empty for sinks.
     pub provides: Vec<String>,
+    /// Dataflow transfer metadata declared by the component type
+    /// (mirrored from its descriptor by [`TypeCatalog::probe`]); absent
+    /// means no declared semantics.
+    pub transfer: Option<TransferSpec>,
 }
 
 impl ComponentTypeSpec {
@@ -56,7 +61,7 @@ impl ComponentTypeSpec {
 }
 
 /// A collection of component type descriptions keyed by type name.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TypeCatalog {
     /// The known types.
     pub types: Vec<ComponentTypeSpec>,
@@ -94,6 +99,11 @@ impl TypeCatalog {
                     .as_ref()
                     .map(|o| o.provides.iter().map(|k| k.as_str().to_string()).collect())
                     .unwrap_or_default(),
+                transfer: if d.transfer.is_empty() {
+                    None
+                } else {
+                    Some(d.transfer.clone())
+                },
             });
         }
         TypeCatalog { types }
@@ -132,6 +142,7 @@ pub fn application_spec() -> ComponentTypeSpec {
             })
             .collect(),
         provides: Vec::new(),
+        transfer: None,
     }
 }
 

@@ -164,6 +164,12 @@ pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
     check_feature_requirements(&instances, &edges, &mut report);
     check_dead_components(config, &instances, &edges, &mut report);
 
+    // Semantic dataflow analyses (P010-P013) over the well-referenced
+    // part of the configuration.
+    let flow = crate::dataflow::FlowGraph::from_config(config, catalog);
+    let (_, dataflow_report) = crate::domains::analyze_dataflow(&flow);
+    report.merge(dataflow_report);
+
     report
 }
 
@@ -452,6 +458,7 @@ mod tests {
             role: "source".into(),
             inputs: vec![],
             provides: vec!["raw.string".into()],
+            transfer: None,
         });
         c.insert(ComponentTypeSpec {
             kind: "parser".into(),
@@ -462,6 +469,7 @@ mod tests {
                 required_features: vec![],
             }],
             provides: vec!["nmea.sentence".into()],
+            transfer: None,
         });
         c
     }
@@ -471,6 +479,7 @@ mod tests {
             name: name.into(),
             kind: kind.into(),
             fault_policy: None,
+            transfer: None,
         }
     }
 
@@ -479,6 +488,7 @@ mod tests {
             name: name.into(),
             kind: kind.into(),
             fault_policy: Some("drop_item".into()),
+            transfer: None,
         }
     }
 

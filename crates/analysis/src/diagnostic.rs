@@ -5,79 +5,252 @@ use std::fmt;
 
 use serde::{Content, Serialize};
 
-/// Stable diagnostic codes. The numeric part never changes meaning once
-/// released; renderers and tests key on these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Code {
+/// Version of the machine-readable output formats produced by this crate
+/// (the [`Report::render_json`] document and the `perpos-lint --facts
+/// json` facts document). Bumped whenever the shape changes so downstream
+/// tooling can detect format drift. Version 1 was the unversioned PR 1
+/// shape; version 2 adds `schema_version` itself and codes P010–P013.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
+/// Defines [`Code`] from a single list, generating the enum, the
+/// [`Code::ALL`] table, [`Code::as_str`], [`Code::parse`] and
+/// [`Code::summary`] together. Because every surface is produced from the
+/// one invocation below, adding a code without registering it in `ALL`
+/// (or vice versa) is impossible, and forgetting its summary is a compile
+/// error; [`Code::explain`] is kept as a separate exhaustive `match` so a
+/// new code without a long-form explanation also fails to build.
+macro_rules! define_codes {
+    ($($(#[$meta:meta])* $code:ident => $summary:literal,)+) => {
+        /// Stable diagnostic codes. The numeric part never changes
+        /// meaning once released; renderers and tests key on these.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Code {
+            $($(#[$meta])* $code,)+
+        }
+
+        impl Code {
+            /// All codes, in numeric order. Generated from the same list
+            /// as the enum itself, so it can never fall out of sync.
+            pub const ALL: [Code; 0 $(+ { let _ = Code::$code; 1 })+] =
+                [$(Code::$code,)+];
+
+            /// The stable textual form, e.g. `"P001"`.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(Code::$code => stringify!($code),)+
+                }
+            }
+
+            /// Parses the textual form back into a code (`"P001"` →
+            /// [`Code::P001`]). Returns `None` for unknown codes.
+            pub fn parse(text: &str) -> Option<Code> {
+                match text {
+                    $(stringify!($code) => Some(Code::$code),)+
+                    _ => None,
+                }
+            }
+
+            /// One-line description of what the code means.
+            pub fn summary(&self) -> &'static str {
+                match self {
+                    $(Code::$code => $summary,)+
+                }
+            }
+        }
+    };
+}
+
+define_codes! {
     /// Type-flow mismatch: a producer's effective output kinds cannot
     /// satisfy the consuming port's accepted kinds.
-    P001,
+    P001 => "type-flow mismatch between producer and consumer port",
     /// Dangling required input: a declared input port is never connected.
-    P002,
+    P002 => "declared input port is never connected",
     /// Unsatisfiable feature requirement: a port's `requiring_feature`
     /// declaration cannot be met by the upstream producer.
-    P003,
+    P003 => "port feature requirement cannot be satisfied",
     /// Dead component: no directed path to any sink (includes orphan
     /// sources and unconsumed subgraphs).
-    P004,
+    P004 => "component has no path to any sink",
     /// Configuration cycle: the declared connections contain a cycle, so
     /// instantiation would be rejected.
-    P005,
+    P005 => "configuration connections form a cycle",
     /// Feature conflict: features on one component add the same data kind
     /// or expose colliding method names.
-    P006,
+    P006 => "conflicting features on one component",
     /// Configuration reference error: unknown instance/type names,
     /// duplicate instance names, out-of-range or doubly-driven ports.
-    P007,
+    P007 => "configuration reference error",
     /// Non-monotonic logical time observed on a channel at runtime.
-    P008,
+    P008 => "non-monotonic logical time on a channel",
     /// Source component with no explicit fault policy: the engine's
     /// default `Propagate` aborts the whole run on the first sensor
     /// fault.
-    P009,
+    P009 => "source component has no explicit fault policy",
+    /// Coordinate-frame conflict: positions in incompatible frames meet
+    /// at a component that is not a frame transform.
+    P010 => "incompatible coordinate frames meet without a transform",
+    /// Declared accuracy unreachable: a component promises an accuracy
+    /// better than the statically inferred achievable bound.
+    P011 => "declared accuracy is statically unreachable",
+    /// Privacy taint: raw identifiable sensor data reaches an application
+    /// sink with no anonymizing step on the path.
+    P012 => "raw identifiable sensor data reaches the application",
+    /// Rate overload: inferred sustained inbound rate exceeds a
+    /// component's declared maximum processing rate.
+    P013 => "inbound rate exceeds declared processing capacity",
+}
+
+/// Long-form documentation of a diagnostic code, served by
+/// `perpos-lint --explain PNNN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeExplanation {
+    /// What the analysis checks and why it matters, in a few sentences.
+    pub detail: &'static str,
+    /// A minimal situation that triggers the finding.
+    pub example: &'static str,
+    /// How to make the finding go away.
+    pub fix: &'static str,
 }
 
 impl Code {
-    /// All codes, in numeric order.
-    pub const ALL: [Code; 9] = [
-        Code::P001,
-        Code::P002,
-        Code::P003,
-        Code::P004,
-        Code::P005,
-        Code::P006,
-        Code::P007,
-        Code::P008,
-        Code::P009,
-    ];
-
-    /// The stable textual form, e.g. `"P001"`.
-    pub fn as_str(&self) -> &'static str {
+    /// The long-form explanation of this code. The `match` is exhaustive
+    /// on purpose: adding a code to [`define_codes!`] without an
+    /// explanation here is a compile error, which keeps `--explain`
+    /// complete by construction.
+    pub fn explain(&self) -> CodeExplanation {
         match self {
-            Code::P001 => "P001",
-            Code::P002 => "P002",
-            Code::P003 => "P003",
-            Code::P004 => "P004",
-            Code::P005 => "P005",
-            Code::P006 => "P006",
-            Code::P007 => "P007",
-            Code::P008 => "P008",
-            Code::P009 => "P009",
-        }
-    }
-
-    /// One-line description of what the code means.
-    pub fn summary(&self) -> &'static str {
-        match self {
-            Code::P001 => "type-flow mismatch between producer and consumer port",
-            Code::P002 => "declared input port is never connected",
-            Code::P003 => "port feature requirement cannot be satisfied",
-            Code::P004 => "component has no path to any sink",
-            Code::P005 => "configuration connections form a cycle",
-            Code::P006 => "conflicting features on one component",
-            Code::P007 => "configuration reference error",
-            Code::P008 => "non-monotonic logical time on a channel",
-            Code::P009 => "source component has no explicit fault policy",
+            Code::P001 => CodeExplanation {
+                detail: "Every connection is checked against the port declarations on \
+                         both sides: the producer's effective output kinds (its output \
+                         spec plus any kinds added by attached features) must overlap \
+                         the consumer port's accepted kinds, otherwise no item can ever \
+                         legally flow over the edge.",
+                example: "A GPS source providing only \"raw.string\" wired directly \
+                          into a geodecoder port that accepts \"position.wgs84\".",
+                fix: "Insert a converting component (e.g. an NMEA parser) between the \
+                      two, or correct the port's accepted kinds.",
+            },
+            Code::P002 => CodeExplanation {
+                detail: "A component declares an input port but nothing is connected \
+                         to it. The component will never receive data on that port and \
+                         single-input processors will simply never run.",
+                example: "A \"parser\" instance is declared in the configuration but no \
+                          connection entry drives its port 0.",
+                fix: "Connect a producer to the port or remove the unused component.",
+            },
+            Code::P003 => CodeExplanation {
+                detail: "A port declared a Component Feature requirement (paper §2.1: \
+                         input requirements) and the connected producer does not carry \
+                         a feature with that name, so the consumer's contract is \
+                         unsatisfiable.",
+                example: "An interpolator port requiring the \"HDOP\" feature is fed by \
+                          a GPS source with no HDOP feature attached.",
+                fix: "Attach the required feature to the producer or drop the \
+                      requirement from the port spec.",
+            },
+            Code::P004 => CodeExplanation {
+                detail: "The component has no directed path to any sink, so whatever it \
+                         produces is never observed by an application. This is usually \
+                         a leftover from a partial adaptation.",
+                example: "A WiFi scanner whose consumer was removed keeps producing \
+                          scans that nothing consumes.",
+                fix: "Wire the component (transitively) into a sink or remove it.",
+            },
+            Code::P005 => CodeExplanation {
+                detail: "The declared connections contain a directed cycle. PerPos \
+                         process graphs are trees/DAGs rooted at the application \
+                         (paper §2.2); the assembler rejects cyclic configurations at \
+                         instantiation time, so the lint reports them early.",
+                example: "a -> b, b -> c, c -> a.",
+                fix: "Break the cycle; if feedback is needed, model it as reflective \
+                      method calls rather than data-flow edges.",
+            },
+            Code::P006 => CodeExplanation {
+                detail: "Two features attached to one component add the same data kind \
+                         or expose the same reflective method name, making dispatch \
+                         ambiguous.",
+                example: "Two \"HDOP\"-adding features attached to one GPS source.",
+                fix: "Remove one of the features or rename the colliding method.",
+            },
+            Code::P007 => CodeExplanation {
+                detail: "The configuration references something that does not exist or \
+                         is used twice: unknown type/instance names, duplicate instance \
+                         names, out-of-range port indexes, or two producers driving the \
+                         same input port. An adaptation plan referencing a missing node \
+                         or a quarantined node also reports P007.",
+                example: "A connection names instance \"parserX\" but only \"parser0\" \
+                          is declared.",
+                fix: "Fix the name/index in the configuration or plan.",
+            },
+            Code::P008 => CodeExplanation {
+                detail: "A runtime probe observed an item whose logical timestamp is \
+                         older than its predecessor on the same channel. Downstream \
+                         filters assuming monotonic time (e.g. dead reckoning) may \
+                         misbehave.",
+                example: "A replayed trace with an out-of-order fix injected into a \
+                          live channel.",
+                fix: "Sort or buffer the source, or reset its clock on replay.",
+            },
+            Code::P009 => CodeExplanation {
+                detail: "Sources talk to real hardware and fail the most, but the \
+                         engine's default fault policy is Propagate, which aborts the \
+                         whole run on the first fault. Production graphs should make \
+                         the containment decision explicit.",
+                example: "A GPS source with no fault_policy entry in the \
+                          configuration.",
+                fix: "Set an explicit policy (e.g. \"quarantine\" or \"restart\") on \
+                      the source, or \"propagate\" to document the intent.",
+            },
+            Code::P010 => CodeExplanation {
+                detail: "Frame inference propagates the coordinate frame of position \
+                         data (wgs84, room, local frames) along every channel: sources \
+                         and transforms declare frames, other components inherit them. \
+                         When two different frames meet at a component that is not \
+                         declared a frame transform, coordinates would be combined \
+                         that live in different reference systems.",
+                example: "A merge fusing a GPS track (frame wgs84) with a room-level \
+                          Bluetooth positioner (frame room) with no map-matching \
+                          transform between them.",
+                fix: "Insert a frame-transform component before the merge, or declare \
+                      frame_transform on the merging component's transfer spec if it \
+                      really re-projects its inputs.",
+            },
+            Code::P011 => CodeExplanation {
+                detail: "Accuracy propagation computes an achievable accuracy interval \
+                         for every channel from declared source accuracies and \
+                         per-component scale/add degradations (merges take the best \
+                         input). A component that claims to deliver an accuracy better \
+                         than the inferred lower bound can never honour that promise, \
+                         no matter the runtime conditions.",
+                example: "A provider claiming 1 m accuracy fed only by a GPS source \
+                          whose best declared accuracy is 2 m.",
+                fix: "Relax the claimed accuracy, or feed the component from a more \
+                      accurate source (or a fusion step that improves the bound).",
+            },
+            Code::P012 => CodeExplanation {
+                detail: "Privacy-taint analysis marks raw identifiable sensor kinds \
+                         (e.g. raw.string, wifi.scan, motion.sample) at their origin \
+                         and tracks them along every channel that keeps the kind \
+                         flowing. Reaching an application sink without passing an \
+                         anonymizing/aggregating component or feature means \
+                         identifiable data leaves the middleware.",
+                example: "A WiFi scanner wired straight into the application sink with \
+                          no anonymizing feature on the path.",
+                fix: "Insert an anonymizing component, attach an anonymizing feature \
+                      on the path, or stop delivering the raw kind to the sink.",
+            },
+            Code::P013 => CodeExplanation {
+                detail: "Rate propagation bounds the sustained item rate on every \
+                         channel from declared source emit rates and per-component \
+                         fan-out factors; fan-in sums its inputs. When a component's \
+                         inferred lower-bound inflow exceeds its declared maximum \
+                         processing rate, its input queue grows without bound.",
+                example: "A 10 Hz GPS source feeding a geodecoder declared to sustain \
+                          only 1 item/s.",
+                fix: "Downsample upstream, raise the component's capacity, or declare \
+                      a rate_factor < 1 on an intermediate component.",
+            },
         }
     }
 }
@@ -261,11 +434,13 @@ impl Report {
     pub fn render_json(&self) -> String {
         #[derive(Serialize)]
         struct JsonReport {
+            schema_version: u64,
             errors: u64,
             warnings: u64,
             diagnostics: Vec<Diagnostic>,
         }
         let body = JsonReport {
+            schema_version: u64::from(JSON_SCHEMA_VERSION),
             errors: self.errors().count() as u64,
             warnings: self
                 .diagnostics
@@ -371,5 +546,33 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate code text {c}");
             assert!(!c.summary().is_empty());
         }
+    }
+
+    #[test]
+    fn all_codes_parse_back_and_explain() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            let e = c.explain();
+            assert!(!e.detail.is_empty(), "{c} has no detail");
+            assert!(!e.example.is_empty(), "{c} has no example");
+            assert!(!e.fix.is_empty(), "{c} has no fix");
+        }
+        assert_eq!(Code::parse("P999"), None);
+        assert_eq!(Code::parse("p001"), None);
+    }
+
+    #[test]
+    fn json_rendering_carries_schema_version() {
+        let json = sample().render_json();
+        let v = serde_json::parse_value_str(&json).expect("report JSON parses");
+        let map = v.as_map().expect("top-level object");
+        let version = map
+            .iter()
+            .find(|(k, _)| k == "schema_version")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            version,
+            Some(serde::Content::I64(i64::from(JSON_SCHEMA_VERSION)))
+        );
     }
 }

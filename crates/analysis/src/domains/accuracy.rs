@@ -1,0 +1,97 @@
+//! Accuracy-interval propagation (P011).
+//!
+//! The fact on a node's output is the interval of horizontal accuracy
+//! (in metres, lower = better) that position data derived from the
+//! node's output can achieve: `Some((best, worst))`, or `None` when
+//! nothing upstream declares accuracy. Sources (and synthesizing
+//! components) declare their interval via
+//! [`TransferSpec::accuracy_best_m`] / [`TransferSpec::accuracy_worst_m`];
+//! other components combine their inputs by taking the *best* bound per
+//! end (a fusion step may always fall back to its most accurate input)
+//! and then apply their declared degradation
+//! ([`TransferSpec::accuracy_scale`], [`TransferSpec::accuracy_add_m`]).
+//!
+//! [`diagnostics`] reports P011 when a component *claims* an accuracy
+//! ([`TransferSpec::claims_accuracy_m`]) strictly better than the
+//! statically achievable best bound — a promise no runtime condition can
+//! ever satisfy.
+
+use crate::dataflow::{Domain, FlowGraph};
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+
+#[allow(unused_imports)] // doc links
+use perpos_core::component::TransferSpec;
+
+/// The accuracy-interval domain; facts are optional `(best, worst)`
+/// metre intervals.
+pub struct AccuracyDomain;
+
+impl Domain for AccuracyDomain {
+    type Fact = Option<(f64, f64)>;
+
+    fn bottom(&self) -> Self::Fact {
+        None
+    }
+
+    fn transfer(
+        &self,
+        graph: &FlowGraph,
+        node: usize,
+        inputs: &[(usize, &Self::Fact)],
+    ) -> Self::Fact {
+        let t = &graph.nodes[node].transfer;
+        if t.accuracy_best_m.is_some() || t.accuracy_worst_m.is_some() {
+            let best = t.accuracy_best_m.or(t.accuracy_worst_m).unwrap_or(0.0);
+            let worst = t.accuracy_worst_m.unwrap_or(best).max(best);
+            return Some((best, worst));
+        }
+        let mut combined: Option<(f64, f64)> = None;
+        for (_, fact) in inputs {
+            if let Some((lo, hi)) = fact {
+                combined = Some(match combined {
+                    Some((clo, chi)) => (clo.min(*lo), chi.min(*hi)),
+                    None => (*lo, *hi),
+                });
+            }
+        }
+        combined.map(|(lo, hi)| {
+            let scale = t.accuracy_scale.unwrap_or(1.0);
+            let add = t.accuracy_add_m.unwrap_or(0.0);
+            (lo * scale + add, hi * scale + add)
+        })
+    }
+
+    fn widen(&self, _previous: &Self::Fact, next: &Self::Fact) -> Self::Fact {
+        // Jump straight to the widest interval: anything between 0 m and
+        // unbounded error is possible.
+        next.map(|_| (0.0, f64::INFINITY))
+    }
+}
+
+/// P011 checks over the solved accuracy facts.
+pub fn diagnostics(graph: &FlowGraph, facts: &[Option<(f64, f64)>], report: &mut Report) {
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let Some(claimed) = n.transfer.claims_accuracy_m else {
+            continue;
+        };
+        let Some((best, _)) = facts[i] else { continue };
+        if claimed < best {
+            report.push(
+                Diagnostic::new(
+                    Code::P011,
+                    Severity::Error,
+                    format!(
+                        "{} claims {claimed} m accuracy but the statically achievable \
+                         best over its inputs is {best} m",
+                        n.label
+                    ),
+                    vec![n.label.clone()],
+                )
+                .with_hint(
+                    "relax the claimed accuracy or feed the component from a more \
+                     accurate source",
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Coordinate-frame inference (P010).
+//!
+//! The lattice is the powerset of frame names, ordered by inclusion;
+//! the fact on a node's output is the set of reference frames its
+//! position data may be expressed in. Frames come from three places, in
+//! priority order: an explicit [`TransferSpec::frame`] declaration, the
+//! frames *implied* by produced kinds (`position.wgs84` → `wgs84`,
+//! `position.room` → `room`), and otherwise inheritance from upstream
+//! (a smoothing filter emits whatever frame it was fed). A component
+//! declared a [`TransferSpec::frame_transform`] re-expresses its inputs,
+//! so upstream frames never leak past it.
+//!
+//! [`diagnostics`] flags two situations as P010: a merge whose inputs
+//! carry two different frames without being a transform (coordinates
+//! from different reference systems would be fused), and a component
+//! with a declared frame being fed data in some other frame.
+
+use std::collections::BTreeSet;
+
+use perpos_core::component::ComponentRole;
+
+use crate::dataflow::{Domain, FlowGraph};
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+
+#[allow(unused_imports)] // doc links
+use perpos_core::component::TransferSpec;
+
+/// The frame a data kind implies by convention, if any.
+pub fn implied_frame(kind: &str) -> Option<&'static str> {
+    match kind {
+        "position.wgs84" => Some("wgs84"),
+        "position.room" => Some("room"),
+        _ => None,
+    }
+}
+
+/// The set of frames implied by a node's effective output kinds.
+fn implied_frames(graph: &FlowGraph, node: usize) -> BTreeSet<String> {
+    graph.nodes[node]
+        .provides
+        .iter()
+        .filter_map(|k| implied_frame(k))
+        .map(str::to_string)
+        .collect()
+}
+
+/// The frames arriving at a node: union of its producers' facts over
+/// edges that can carry data at all.
+fn incoming(graph: &FlowGraph, inputs: &[(usize, &BTreeSet<String>)]) -> BTreeSet<String> {
+    let mut frames = BTreeSet::new();
+    for (e, fact) in inputs {
+        if !graph.edge_kinds(*e).is_empty() {
+            frames.extend(fact.iter().cloned());
+        }
+    }
+    frames
+}
+
+/// The coordinate-frame domain; facts are sets of frame names.
+pub struct FrameDomain;
+
+impl Domain for FrameDomain {
+    type Fact = BTreeSet<String>;
+
+    fn bottom(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn transfer(
+        &self,
+        graph: &FlowGraph,
+        node: usize,
+        inputs: &[(usize, &Self::Fact)],
+    ) -> Self::Fact {
+        let n = &graph.nodes[node];
+        if let Some(frame) = &n.transfer.frame {
+            return BTreeSet::from([frame.clone()]);
+        }
+        let implied = implied_frames(graph, node);
+        if n.transfer.frame_transform == Some(true) || !implied.is_empty() {
+            // The node re-expresses data in its own output kinds'
+            // frames; upstream frames do not pass through.
+            return implied;
+        }
+        incoming(graph, inputs)
+    }
+}
+
+/// P010 checks over the solved frame facts.
+pub fn diagnostics(graph: &FlowGraph, facts: &[BTreeSet<String>], report: &mut Report) {
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.transfer.frame_transform == Some(true) {
+            continue;
+        }
+        let inputs: Vec<(usize, &BTreeSet<String>)> = graph
+            .preds(i)
+            .iter()
+            .map(|&e| (e, &facts[graph.edges[e].from]))
+            .collect();
+        let arriving = incoming(graph, &inputs);
+        if n.role == ComponentRole::Merge && arriving.len() > 1 {
+            let list: Vec<&str> = arriving.iter().map(String::as_str).collect();
+            report.push(
+                Diagnostic::new(
+                    Code::P010,
+                    Severity::Error,
+                    format!(
+                        "merge {} combines positions from incompatible coordinate \
+                         frames [{}]",
+                        n.label,
+                        list.join(", ")
+                    ),
+                    vec![n.label.clone()],
+                )
+                .with_hint(
+                    "insert a frame-transform component before the merge, or declare \
+                     frame_transform on it if it re-projects its inputs",
+                ),
+            );
+        }
+        if let Some(declared) = &n.transfer.frame {
+            let foreign: Vec<&str> = arriving
+                .iter()
+                .filter(|f| *f != declared)
+                .map(String::as_str)
+                .collect();
+            if !foreign.is_empty() {
+                report.push(
+                    Diagnostic::new(
+                        Code::P010,
+                        Severity::Error,
+                        format!(
+                            "{} declares frame {:?} but is fed data in frame(s) [{}] \
+                             without a transform",
+                            n.label,
+                            declared,
+                            foreign.join(", ")
+                        ),
+                        vec![n.label.clone()],
+                    )
+                    .with_hint(
+                        "insert a frame-transform upstream or declare frame_transform \
+                         on this component",
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Provenance/privacy taint (P012).
+//!
+//! The fact on a node's output is the set of `(kind, origin)` pairs of
+//! raw identifiable sensor data the output still carries: which
+//! identifiable kinds, and which component they originate from. Taint is
+//! seeded wherever a component provides an identifiable kind (the
+//! [built-in set](IDENTIFIABLE_KINDS) plus anything listed in
+//! [`TransferSpec::taints`]), flows only along edges whose ports let the
+//! kind through and only while the downstream component keeps providing
+//! the kind (a parser turning `raw.string` into `nmea.sentence` ends the
+//! raw string's journey), and is cleared entirely by an anonymizing
+//! component or feature.
+//!
+//! [`diagnostics`] reports P012 when taint reaches an application sink:
+//! identifiable data leaves the middleware without anonymization.
+
+use std::collections::BTreeSet;
+
+use perpos_core::component::ComponentRole;
+
+use crate::dataflow::{Domain, FlowGraph};
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+
+#[allow(unused_imports)] // doc links
+use perpos_core::component::TransferSpec;
+
+/// Data kinds treated as raw identifiable sensor data everywhere: raw
+/// device read-outs (which may embed serial numbers and precise
+/// movement), WiFi scans (MAC addresses) and inertial samples (gait
+/// fingerprints). Extendable per component via [`TransferSpec::taints`].
+pub const IDENTIFIABLE_KINDS: &[&str] = &["raw.string", "wifi.scan", "motion.sample"];
+
+/// Whether `kind` counts as identifiable at `node`.
+fn identifiable(graph: &FlowGraph, node: usize, kind: &str) -> bool {
+    IDENTIFIABLE_KINDS.contains(&kind)
+        || graph.nodes[node]
+            .transfer
+            .taints
+            .as_ref()
+            .is_some_and(|extra| extra.iter().any(|k| k == kind))
+}
+
+/// The privacy-taint domain; facts are sets of `(kind, origin label)`.
+pub struct TaintDomain;
+
+impl Domain for TaintDomain {
+    type Fact = BTreeSet<(String, String)>;
+
+    fn bottom(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn transfer(
+        &self,
+        graph: &FlowGraph,
+        node: usize,
+        inputs: &[(usize, &Self::Fact)],
+    ) -> Self::Fact {
+        let n = &graph.nodes[node];
+        if n.anonymizes {
+            return BTreeSet::new();
+        }
+        let mut out = BTreeSet::new();
+        let keeps_flowing =
+            |kind: &str| n.role == ComponentRole::Sink || n.provides.iter().any(|k| k == kind);
+        for (e, fact) in inputs {
+            let kinds = graph.edge_kinds(*e);
+            for (kind, origin) in fact.iter() {
+                if kinds.iter().any(|k| k == kind) && keeps_flowing(kind) {
+                    out.insert((kind.clone(), origin.clone()));
+                }
+            }
+        }
+        for kind in &n.provides {
+            if identifiable(graph, node, kind) {
+                out.insert((kind.clone(), n.label.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// P012 checks over the solved taint facts.
+pub fn diagnostics(graph: &FlowGraph, facts: &[BTreeSet<(String, String)>], report: &mut Report) {
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.role != ComponentRole::Sink || facts[i].is_empty() {
+            continue;
+        }
+        let list: Vec<String> = facts[i]
+            .iter()
+            .map(|(kind, origin)| format!("{kind} from {origin}"))
+            .collect();
+        report.push(
+            Diagnostic::new(
+                Code::P012,
+                Severity::Error,
+                format!(
+                    "raw identifiable sensor data reaches application sink {}: {}",
+                    n.label,
+                    list.join(", ")
+                ),
+                vec![n.label.clone()],
+            )
+            .with_hint(
+                "insert an anonymizing component or attach an anonymizing feature on \
+                 the path, or stop delivering the raw kind to the sink",
+            ),
+        );
+    }
+}

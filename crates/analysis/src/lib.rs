@@ -23,7 +23,17 @@
 //! - **Runtime probing** ([`MonotonicityProbe`]): a Channel Feature
 //!   asserting logical-time monotonicity on every delivery (P008).
 //!
-//! Every finding is a [`Diagnostic`] with a stable code (P001–P008), a
+//! Beyond the structural lints, a forward-dataflow framework
+//! ([`dataflow`], [`domains`]) infers whole-graph *semantic* facts —
+//! coordinate frames, achievable accuracy, privacy taint and item rates
+//! — as lattice fixpoints of per-component transfer functions, and
+//! reports frame conflicts (P010), unreachable accuracy claims (P011),
+//! identifiable data leaking to the application (P012) and statically
+//! overloaded components (P013). The same analyses run on configurations
+//! and live structures, so config-time and adaptation-time findings
+//! agree.
+//!
+//! Every finding is a [`Diagnostic`] with a stable code (P001–P013), a
 //! severity, the offending node/edge path and, where possible, a fix-it
 //! hint; a [`Report`] renders human-readable or JSON. The [`gate`]
 //! module adapts reports to the core's opt-in `*_checked` entry points.
@@ -38,6 +48,7 @@
 //!     role: "processor".into(),
 //!     inputs: vec![PortSpec { name: "in".into(), accepts: vec![], required_features: vec![] }],
 //!     provides: vec!["position.wgs84".into()],
+//!     transfer: None,
 //! });
 //! // A config wiring an instance to itself: cycle, caught before any
 //! // component is built.
@@ -46,6 +57,7 @@
 //!         name: "p".into(),
 //!         kind: "smooth".into(),
 //!         fault_policy: None,
+//!         transfer: None,
 //!     }],
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
 //! };
@@ -56,14 +68,20 @@
 pub mod adaptation;
 pub mod catalog;
 pub mod config;
+pub mod dataflow;
 pub mod diagnostic;
+pub mod domains;
 pub mod gate;
 pub mod live;
 pub mod probe;
 
-pub use adaptation::{check_adaptation, AdaptationOp, AdaptationPlan};
+pub use adaptation::{
+    check_adaptation, check_adaptation_with_facts, AdaptationOp, AdaptationOutcome, AdaptationPlan,
+};
 pub use catalog::{ComponentTypeSpec, PortSpec, TypeCatalog};
 pub use config::analyze_config;
-pub use diagnostic::{Code, Diagnostic, Report, Severity};
+pub use dataflow::{solve, Domain, FlowGraph, Solution};
+pub use diagnostic::{Code, Diagnostic, Report, Severity, JSON_SCHEMA_VERSION};
+pub use domains::{analyze_dataflow, dataflow_diagnostics, facts_json, infer_facts, GraphFacts};
 pub use live::analyze_structure;
 pub use probe::MonotonicityProbe;

@@ -76,6 +76,110 @@ fn json_format_is_machine_readable() {
 }
 
 #[test]
+fn json_report_carries_schema_version() {
+    let out = lint(&[
+        &fixture("pipeline_ok.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value = serde_json::parse_value_str(&stdout).expect("valid JSON");
+    let map = value.as_map().unwrap();
+    let version = map.iter().find(|(k, _)| k == "schema_version").unwrap();
+    assert_eq!(
+        version.1,
+        serde::Content::I64(i64::from(perpos_analysis::JSON_SCHEMA_VERSION)),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn facts_json_reports_inferred_dataflow() {
+    let out = lint(&[
+        &fixture("dataflow_ok.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+        "--facts",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value = serde_json::parse_value_str(&stdout).expect("valid JSON");
+    let map = value.as_map().unwrap();
+    let version = map.iter().find(|(k, _)| k == "schema_version").unwrap();
+    assert_eq!(
+        version.1,
+        serde::Content::I64(i64::from(perpos_analysis::JSON_SCHEMA_VERSION)),
+        "{stdout}"
+    );
+    let nodes = map
+        .iter()
+        .find(|(k, _)| k == "nodes")
+        .and_then(|(_, v)| v.as_list())
+        .unwrap();
+    assert_eq!(nodes.len(), 10, "{stdout}");
+    // The inferred frame and rate of the GPS source survive the trip
+    // through the solver and the JSON encoder.
+    assert!(stdout.contains("wgs84"), "{stdout}");
+    let edges = map
+        .iter()
+        .find(|(k, _)| k == "edges")
+        .and_then(|(_, v)| v.as_list())
+        .unwrap();
+    assert_eq!(edges.len(), 10, "{stdout}");
+}
+
+#[test]
+fn facts_json_exit_status_still_reflects_errors() {
+    let out = lint(&[
+        &fixture("p012_raw_to_sink.json"),
+        "--catalog",
+        &fixture("catalog.json"),
+        "--facts",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The taint fact itself is visible in the output.
+    assert!(stdout.contains("raw.string"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_description_example_and_fix() {
+    let out = lint(&["--explain", "P012"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("P012:"), "{stdout}");
+    assert!(stdout.contains("example:"), "{stdout}");
+    assert!(stdout.contains("fix:"), "{stdout}");
+}
+
+#[test]
+fn explain_all_covers_every_code() {
+    let out = lint(&["--explain", "all"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for code in perpos_analysis::Code::ALL {
+        assert!(
+            stdout.contains(&format!("{code}:")),
+            "--explain all is missing {code}"
+        );
+    }
+}
+
+#[test]
+fn explain_unknown_code_exits_two() {
+    let out = lint(&["--explain", "P099"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown diagnostic code"));
+}
+
+#[test]
 fn missing_file_exits_two() {
     let out = lint(&["/nonexistent/config.json"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");

@@ -105,22 +105,96 @@ fn p009_no_fault_policy_fires_exactly_once() {
 }
 
 #[test]
+fn p010_frame_conflict_fires_exactly_once() {
+    // A local-frame beacon fused with WGS-84 positions without a
+    // transform in between.
+    let report = lint("p010_frame_conflict.json");
+    assert_only(&report, Code::P010, Severity::Error);
+    let d = report.with_code(Code::P010)[0];
+    assert!(
+        d.message.contains("wgs84") && d.message.contains("local"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.path, vec!["fuse0".to_string()]);
+}
+
+#[test]
+fn p011_unreachable_accuracy_fires_exactly_once() {
+    // predictor claims 0.5 m but the best upstream source bound is 2 m.
+    let report = lint("p011_unreachable_accuracy.json");
+    assert_only(&report, Code::P011, Severity::Error);
+    let d = report.with_code(Code::P011)[0];
+    assert_eq!(d.path, vec!["predict0".to_string()]);
+}
+
+#[test]
+fn p012_raw_to_sink_fires_exactly_once() {
+    // Raw NMEA strings (identifiable sensor data) wired straight into
+    // the application.
+    let report = lint("p012_raw_to_sink.json");
+    assert_only(&report, Code::P012, Severity::Error);
+    let d = report.with_code(Code::P012)[0];
+    assert!(d.message.contains("raw.string"), "{}", d.message);
+    assert!(d.message.contains("gps0"), "{}", d.message);
+}
+
+#[test]
+fn p013_rate_overrun_fires_exactly_once() {
+    // 1 Hz inflow into a throttle declaring 0.5 items/s capacity.
+    let report = lint("p013_rate_overrun.json");
+    assert_only(&report, Code::P013, Severity::Warning);
+    let d = report.with_code(Code::P013)[0];
+    assert_eq!(d.path, vec!["slow0".to_string()]);
+    // A warning alone does not fail a gate.
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn dataflow_heavy_pipeline_lints_clean() {
+    // Exercises every dataflow domain without tripping it: a frame
+    // transform before the merge (P010), a reachable accuracy claim
+    // (P011), an anonymizer in front of the sink (P012) and a throttle
+    // with enough declared capacity (P013) — all via instance-level
+    // TransferSpec overrides of the catalog defaults.
+    let report = lint("dataflow_ok.json");
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
 fn known_good_pipeline_lints_clean() {
     let report = lint("pipeline_ok.json");
     assert!(report.is_clean(), "{}", report.render_human());
 }
 
 #[test]
-fn repo_example_config_lints_clean() {
+fn repo_example_configs_lint_clean() {
+    // Every shipped example configuration must stay clean under the full
+    // pass list, including the dataflow analyses — CI runs perpos-lint
+    // over the same set.
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
     let catalog: TypeCatalog = serde_json::from_str(
         &std::fs::read_to_string(format!("{root}/examples/configs/catalog.json")).unwrap(),
     )
     .unwrap();
-    let config: GraphConfig = serde_json::from_str(
-        &std::fs::read_to_string(format!("{root}/examples/configs/gps_pipeline.json")).unwrap(),
-    )
-    .unwrap();
-    let report = analyze_config(&config, &catalog);
-    assert!(report.is_clean(), "{}", report.render_human());
+    let mut checked = 0;
+    for entry in std::fs::read_dir(format!("{root}/examples/configs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.file_name().is_some_and(|n| n == "catalog.json")
+            || path.extension().is_none_or(|e| e != "json")
+        {
+            continue;
+        }
+        let config: GraphConfig =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let report = analyze_config(&config, &catalog);
+        assert!(
+            report.is_clean(),
+            "{}:\n{}",
+            path.display(),
+            report.render_human()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected at least two example configs");
 }

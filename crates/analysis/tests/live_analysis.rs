@@ -294,11 +294,13 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
                 name: "p0".into(),
                 kind: "parser".into(),
                 fault_policy: None,
+                transfer: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
                 fault_policy: None,
+                transfer: None,
             },
         ],
         connections: vec![ConnectionConfig {
@@ -322,16 +324,19 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
                 name: "gps0".into(),
                 kind: "gps".into(),
                 fault_policy: Some("drop_item".into()),
+                transfer: None,
             },
             ComponentConfig {
                 name: "p0".into(),
                 kind: "parser".into(),
                 fault_policy: None,
+                transfer: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
                 fault_policy: None,
+                transfer: None,
             },
         ],
         connections: vec![

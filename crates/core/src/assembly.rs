@@ -67,7 +67,7 @@ pub type ComponentFactory = Box<dyn Fn() -> Box<dyn Component> + Send + Sync>;
 type Factory = ComponentFactory;
 
 /// One component instance in a declarative graph configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComponentConfig {
     /// Instance name, unique within the configuration.
     pub name: String,
@@ -79,6 +79,11 @@ pub struct ComponentConfig {
     /// see [`crate::supervision::FaultPolicy::quarantine_default`]).
     /// Absent means [`crate::supervision::FaultPolicy::Propagate`].
     pub fault_policy: Option<String>,
+    /// Per-instance override of the component type's dataflow transfer
+    /// metadata ([`crate::component::TransferSpec`]); fields declared
+    /// here replace the corresponding type-level fields during
+    /// whole-graph analysis. Absent means "use the type's spec".
+    pub transfer: Option<crate::component::TransferSpec>,
 }
 
 /// One edge in a declarative graph configuration.
@@ -101,7 +106,7 @@ pub struct ConnectionConfig {
 /// The configuration references component *types* by name; the caller
 /// supplies a factory per type, so configurations can be stored as data
 /// (JSON via serde) and applied to any middleware instance.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct GraphConfig {
     /// Component instances to create.
     pub components: Vec<ComponentConfig>,
@@ -399,16 +404,19 @@ mod tests {
                     name: "gps0".into(),
                     kind: "gps".into(),
                     fault_policy: None,
+                    transfer: None,
                 },
                 ComponentConfig {
                     name: "parse0".into(),
                     kind: "parser".into(),
                     fault_policy: None,
+                    transfer: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
+                    transfer: None,
                 },
             ],
             connections: vec![
@@ -443,6 +451,7 @@ mod tests {
                 name: "x".into(),
                 kind: "nope".into(),
                 fault_policy: None,
+                transfer: None,
             }],
             connections: vec![],
         };
@@ -453,6 +462,7 @@ mod tests {
                 name: "app".into(),
                 kind: "application".into(),
                 fault_policy: None,
+                transfer: None,
             }],
             connections: vec![ConnectionConfig {
                 from: "ghost".into(),
@@ -468,11 +478,13 @@ mod tests {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
+                    transfer: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
+                    transfer: None,
                 },
             ],
             connections: vec![],

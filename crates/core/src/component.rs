@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::data::{DataItem, DataKind, Value};
 use crate::{CoreError, SimTime};
 
@@ -93,6 +95,138 @@ impl OutputSpec {
     }
 }
 
+/// Abstract-interpretation metadata for a component type: the *transfer
+/// function* whole-graph dataflow analysis applies when facts cross this
+/// component (frame inference, accuracy propagation, privacy taint and
+/// rate bounds — `perpos-analysis` codes P010–P013).
+///
+/// Every field is optional; an empty spec means "no declared semantics"
+/// and analyses fall back to conservative defaults (kind-implied frames,
+/// unknown accuracy/rate, taint propagation by provided kind). The spec
+/// is declared on [`ComponentDescriptor`]s (live graphs), mirrored into
+/// `perpos-analysis`'s `TypeCatalog` by its factory probe, and may be
+/// overridden per instance in a `GraphConfig`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransferSpec {
+    /// Coordinate frame of produced positions: `"wgs84"`, `"room"` or a
+    /// local frame such as `"local:test-rig"`. Absent means the frame is
+    /// implied by the produced kinds (`position.wgs84` → `wgs84`,
+    /// `position.room` → `room`) or inherited from upstream.
+    pub frame: Option<String>,
+    /// Whether the component *converts* between coordinate frames: it
+    /// accepts positions in any input frame and re-expresses them in
+    /// [`TransferSpec::frame`] (or the kind-implied frame).
+    pub frame_transform: Option<bool>,
+    /// Best (lowest) achievable horizontal accuracy of position data
+    /// derivable from this component's output, in metres. Declared on
+    /// sources and on components that synthesize position information.
+    pub accuracy_best_m: Option<f64>,
+    /// Worst (highest) accuracy bound in metres; see
+    /// [`TransferSpec::accuracy_best_m`].
+    pub accuracy_worst_m: Option<f64>,
+    /// Multiplicative factor the component applies to upstream accuracy
+    /// bounds (`< 1.0` improves, e.g. a fusion filter). Default `1.0`.
+    pub accuracy_scale: Option<f64>,
+    /// Additive accuracy degradation in metres applied to upstream
+    /// bounds (e.g. an interpolator). Default `0.0`.
+    pub accuracy_add_m: Option<f64>,
+    /// Accuracy (metres) this component *promises* to deliver, e.g. to
+    /// satisfy a provider's `Criteria::max_accuracy_m`. Analysis flags
+    /// the promise as statically unreachable (P011) when the inferred
+    /// achievable bound is worse.
+    pub claims_accuracy_m: Option<f64>,
+    /// Sustained emit rate of a source, in items per second.
+    pub emit_rate_hz: Option<f64>,
+    /// Output items per input item (fan-out `> 1.0`, e.g. a sentence
+    /// splitter; downsampling `< 1.0`). Default `1.0`.
+    pub rate_factor: Option<f64>,
+    /// Maximum sustained processing rate, in items per second. Analysis
+    /// warns (P013) when the inferred inbound rate exceeds it — the
+    /// input queue then grows without bound.
+    pub max_rate_hz: Option<f64>,
+    /// Whether the component anonymizes/aggregates identifiable sensor
+    /// data: privacy taint (P012) is cleared at its output.
+    pub anonymizes: Option<bool>,
+    /// Additional data kinds to treat as raw identifiable sensor data
+    /// for privacy-taint purposes, beyond the built-in set.
+    pub taints: Option<Vec<String>>,
+}
+
+impl TransferSpec {
+    /// An empty spec: no declared transfer semantics.
+    pub fn new() -> Self {
+        TransferSpec::default()
+    }
+
+    /// Whether no field is declared.
+    pub fn is_empty(&self) -> bool {
+        *self == TransferSpec::default()
+    }
+
+    /// Field-wise overlay: every field `over` declares replaces the
+    /// corresponding field of `self` (per-instance configuration
+    /// overrides beat per-type declarations).
+    pub fn overlay(&self, over: &TransferSpec) -> TransferSpec {
+        macro_rules! pick {
+            ($field:ident) => {
+                over.$field.clone().or_else(|| self.$field.clone())
+            };
+        }
+        TransferSpec {
+            frame: pick!(frame),
+            frame_transform: pick!(frame_transform),
+            accuracy_best_m: pick!(accuracy_best_m),
+            accuracy_worst_m: pick!(accuracy_worst_m),
+            accuracy_scale: pick!(accuracy_scale),
+            accuracy_add_m: pick!(accuracy_add_m),
+            claims_accuracy_m: pick!(claims_accuracy_m),
+            emit_rate_hz: pick!(emit_rate_hz),
+            rate_factor: pick!(rate_factor),
+            max_rate_hz: pick!(max_rate_hz),
+            anonymizes: pick!(anonymizes),
+            taints: pick!(taints),
+        }
+    }
+
+    /// Declares the output coordinate frame (builder style).
+    pub fn with_frame(mut self, frame: impl Into<String>) -> Self {
+        self.frame = Some(frame.into());
+        self
+    }
+
+    /// Marks the component as a frame transform (builder style).
+    pub fn transforms_frames(mut self) -> Self {
+        self.frame_transform = Some(true);
+        self
+    }
+
+    /// Declares the achievable accuracy interval in metres (builder
+    /// style).
+    pub fn with_accuracy_m(mut self, best: f64, worst: f64) -> Self {
+        self.accuracy_best_m = Some(best);
+        self.accuracy_worst_m = Some(worst);
+        self
+    }
+
+    /// Declares the sustained source emit rate (builder style).
+    pub fn with_emit_rate_hz(mut self, hz: f64) -> Self {
+        self.emit_rate_hz = Some(hz);
+        self
+    }
+
+    /// Declares the maximum sustained processing rate (builder style).
+    pub fn with_max_rate_hz(mut self, hz: f64) -> Self {
+        self.max_rate_hz = Some(hz);
+        self
+    }
+
+    /// Marks the component as anonymizing (builder style).
+    pub fn anonymizing(mut self) -> Self {
+        self.anonymizes = Some(true);
+        self
+    }
+}
+
 /// A reflective method exposed by a component or feature.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MethodSpec {
@@ -123,6 +257,9 @@ pub struct ComponentDescriptor {
     pub inputs: Vec<InputSpec>,
     /// Output port; sinks have none.
     pub output: Option<OutputSpec>,
+    /// Dataflow transfer metadata for whole-graph analysis (frames,
+    /// accuracy, privacy, rates). Empty by default.
+    pub transfer: TransferSpec,
 }
 
 impl ComponentDescriptor {
@@ -133,6 +270,7 @@ impl ComponentDescriptor {
             role: ComponentRole::Source,
             inputs: Vec::new(),
             output: Some(OutputSpec::new(provides)),
+            transfer: TransferSpec::default(),
         }
     }
 
@@ -143,6 +281,7 @@ impl ComponentDescriptor {
             role: ComponentRole::Processor,
             inputs: vec![input],
             output: Some(OutputSpec::new(provides)),
+            transfer: TransferSpec::default(),
         }
     }
 
@@ -153,6 +292,7 @@ impl ComponentDescriptor {
             role: ComponentRole::Merge,
             inputs,
             output: Some(OutputSpec::new(provides)),
+            transfer: TransferSpec::default(),
         }
     }
 
@@ -163,7 +303,14 @@ impl ComponentDescriptor {
             role: ComponentRole::Sink,
             inputs: vec![input],
             output: None,
+            transfer: TransferSpec::default(),
         }
+    }
+
+    /// Attaches dataflow transfer metadata (builder style).
+    pub fn with_transfer(mut self, transfer: TransferSpec) -> Self {
+        self.transfer = transfer;
+        self
     }
 }
 

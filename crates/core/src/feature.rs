@@ -41,6 +41,11 @@ pub struct FeatureDescriptor {
     /// listed name (paper §2.2: "Input requirements may include Component
     /// Features, Channel Features, and Processing Components").
     pub requires: Vec<String>,
+    /// Whether this feature anonymizes or aggregates identifiable sensor
+    /// data passing through its host. Whole-graph privacy-taint analysis
+    /// (`perpos-analysis` code P012) treats the host's output as clean
+    /// when an anonymizing feature is attached.
+    pub anonymizes: bool,
 }
 
 impl FeatureDescriptor {
@@ -51,7 +56,15 @@ impl FeatureDescriptor {
             adds_kinds: Vec::new(),
             methods: Vec::new(),
             requires: Vec::new(),
+            anonymizes: false,
         }
+    }
+
+    /// Marks the feature as anonymizing identifiable sensor data
+    /// (builder style); see [`FeatureDescriptor::anonymizes`].
+    pub fn anonymizing(mut self) -> Self {
+        self.anonymizes = true;
+        self
     }
 
     /// Declares an added data kind (builder style).

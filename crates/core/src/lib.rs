@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::channel::{ChannelFeature, ChannelId, DataNode, DataTree};
     pub use crate::component::{
         Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole,
-        FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec,
+        FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,
     };
     pub use crate::data::{kinds, DataItem, DataKind, Position, Value};
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};

@@ -170,7 +170,15 @@ impl GpsSimulator {
 
 impl Component for GpsSimulator {
     fn descriptor(&self) -> ComponentDescriptor {
+        let secs = self.sample_interval.as_secs_f64();
+        let mut transfer = TransferSpec::new().with_frame("wgs84");
+        if secs > 0.0 {
+            transfer = transfer.with_emit_rate_hz(1.0 / secs);
+        }
+        // Consumer-grade GNSS: a couple of metres in the open sky, tens of
+        // metres once multipath and indoor attenuation bite.
         ComponentDescriptor::source(self.name.clone(), vec![kinds::RAW_STRING])
+            .with_transfer(transfer.with_accuracy_m(2.0, 30.0))
     }
 
     fn on_input(

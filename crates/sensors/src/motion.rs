@@ -69,7 +69,13 @@ impl std::fmt::Debug for MotionSensor {
 
 impl Component for MotionSensor {
     fn descriptor(&self) -> ComponentDescriptor {
+        let secs = self.interval.as_secs_f64();
+        let mut transfer = TransferSpec::new();
+        if secs > 0.0 {
+            transfer = transfer.with_emit_rate_hz(1.0 / secs);
+        }
         ComponentDescriptor::source(self.name.clone(), vec![kinds::MOTION_SAMPLE])
+            .with_transfer(transfer)
     }
 
     fn on_input(

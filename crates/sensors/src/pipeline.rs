@@ -110,6 +110,7 @@ impl Component for Interpreter {
             InputSpec::new("nmea", vec![kinds::NMEA_SENTENCE]),
             vec![kinds::POSITION_WGS84],
         )
+        .with_transfer(TransferSpec::new().with_frame("wgs84"))
     }
 
     fn on_input(
@@ -187,6 +188,7 @@ impl Component for Resolver {
             InputSpec::new("position", vec![kinds::POSITION_WGS84]),
             vec![kinds::POSITION_ROOM],
         )
+        .with_transfer(TransferSpec::new().transforms_frames().with_frame("room"))
     }
 
     fn on_input(

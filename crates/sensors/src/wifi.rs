@@ -330,7 +330,13 @@ impl std::fmt::Debug for WifiScanner {
 
 impl Component for WifiScanner {
     fn descriptor(&self) -> ComponentDescriptor {
+        let secs = self.interval.as_secs_f64();
+        let mut transfer = TransferSpec::new();
+        if secs > 0.0 {
+            transfer = transfer.with_emit_rate_hz(1.0 / secs);
+        }
         ComponentDescriptor::source(self.name.clone(), vec![kinds::WIFI_SCAN])
+            .with_transfer(transfer)
     }
 
     fn on_input(
@@ -424,10 +430,18 @@ impl std::fmt::Debug for WifiPositioning {
 
 impl Component for WifiPositioning {
     fn descriptor(&self) -> ComponentDescriptor {
+        // Fingerprinting resolution is bounded by the radio-map grid; the
+        // k-NN estimate cannot beat roughly a metre and degrades to room
+        // scale under sparse scans.
         ComponentDescriptor::processor(
             "WifiPositioning",
             InputSpec::new("scan", vec![kinds::WIFI_SCAN]),
             vec![kinds::POSITION_WGS84],
+        )
+        .with_transfer(
+            TransferSpec::new()
+                .with_frame("wgs84")
+                .with_accuracy_m(1.0, 8.0),
         )
     }
 
