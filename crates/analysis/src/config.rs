@@ -509,6 +509,7 @@ mod tests {
                 comp("app", "application"),
             ],
             connections: vec![edge("gps0", "p0", 0), edge("p0", "app", 0)],
+            executor: None,
         };
         let report = analyze_config(&config, &catalog());
         assert!(report.is_clean(), "{}", report.render_human());
@@ -519,6 +520,7 @@ mod tests {
         let config = GraphConfig {
             components: vec![comp("p0", "parser")],
             connections: vec![edge("p0", "p0", 0)],
+            executor: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(
@@ -540,6 +542,7 @@ mod tests {
                 comp("app", "application"),
             ],
             connections: vec![edge("p0", "app", 0)],
+            executor: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(report.with_code(Code::P007).len(), 1);

@@ -124,13 +124,17 @@ struct JsonEdgeFacts {
 struct JsonFactsDoc {
     schema_version: u64,
     converged: bool,
+    executor: String,
+    levels: Vec<Vec<String>>,
     nodes: Vec<JsonNodeFacts>,
     edges: Vec<JsonEdgeFacts>,
 }
 
 /// Renders the solved facts as the versioned JSON document served by
 /// `perpos-lint --facts json`: per-node output facts plus per-edge views
-/// (the producer's facts filtered by what the edge can carry).
+/// (the producer's facts filtered by what the edge can carry), the
+/// executor mode the configuration requests, and the longest-path level
+/// structure the level-parallel executor would schedule by.
 pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
     let nodes = graph
         .nodes
@@ -177,6 +181,19 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
     let doc = JsonFactsDoc {
         schema_version: u64::from(JSON_SCHEMA_VERSION),
         converged: facts.converged,
+        executor: graph
+            .executor
+            .clone()
+            .unwrap_or_else(|| "sequential".into()),
+        levels: graph
+            .topo_levels()
+            .into_iter()
+            .map(|lvl| {
+                lvl.into_iter()
+                    .map(|i| graph.nodes[i].label.clone())
+                    .collect()
+            })
+            .collect(),
         nodes,
         edges,
     };

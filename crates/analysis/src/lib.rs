@@ -60,6 +60,7 @@
 //!         transfer: None,
 //!     }],
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
+//!     executor: None,
 //! };
 //! let report = analyze_config(&config, &catalog);
 //! assert_eq!(report.with_code(Code::P005).len(), 1);
@@ -83,5 +84,5 @@ pub use config::analyze_config;
 pub use dataflow::{solve, Domain, FlowGraph, Solution};
 pub use diagnostic::{Code, Diagnostic, Report, Severity, JSON_SCHEMA_VERSION};
 pub use domains::{analyze_dataflow, dataflow_diagnostics, facts_json, infer_facts, GraphFacts};
-pub use live::analyze_structure;
+pub use live::{analyze_structure, structure_levels};
 pub use probe::MonotonicityProbe;

@@ -43,6 +43,48 @@ fn label(n: &NodeInfo) -> String {
     format!("{} ({})", n.descriptor.name, n.id)
 }
 
+/// Longest-path layering of a reflected structure: level 0 holds the
+/// nodes with no wired producers, every other node sits one past its
+/// deepest producer. This is the same layering
+/// `ProcessingGraph::topo_levels` computes for the live graph (and the
+/// level-parallel executor schedules by), recomputed here so simulated
+/// structures from [`crate::adaptation`] can be layered without
+/// instantiating them. Nodes stuck on a cycle (flagged P005) are placed
+/// at level 0 to keep the layering total.
+pub fn structure_levels(nodes: &[NodeInfo]) -> Vec<Vec<NodeId>> {
+    let ids: BTreeSet<NodeId> = nodes.iter().map(|n| n.id).collect();
+    let mut level: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut pending: Vec<&NodeInfo> = nodes.iter().collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|n| {
+            let mut lvl = 0usize;
+            for producer in n.inputs.iter().flatten() {
+                if !ids.contains(producer) {
+                    continue;
+                }
+                match level.get(producer) {
+                    Some(l) => lvl = lvl.max(l + 1),
+                    None => return true, // producer not layered yet
+                }
+            }
+            level.insert(n.id, lvl);
+            false
+        });
+        if pending.len() == before {
+            for n in pending.drain(..) {
+                level.insert(n.id, 0);
+            }
+        }
+    }
+    let depth = level.values().copied().max().map_or(0, |m| m + 1);
+    let mut levels = vec![Vec::new(); depth];
+    for (id, l) in level {
+        levels[l].push(id);
+    }
+    levels
+}
+
 /// The kinds a node can currently produce: declared output plus
 /// everything attached features add.
 fn effective_provides(n: &NodeInfo) -> Vec<String> {

@@ -130,6 +130,25 @@ fn facts_json_reports_inferred_dataflow() {
         .and_then(|(_, v)| v.as_list())
         .unwrap();
     assert_eq!(edges.len(), 10, "{stdout}");
+    // Execution metadata: the fixture does not request an executor, so
+    // the doc reports the default, and the level structure layers every
+    // node exactly once.
+    let executor = map.iter().find(|(k, _)| k == "executor").unwrap();
+    assert_eq!(
+        executor.1,
+        serde::Content::Str("sequential".into()),
+        "{stdout}"
+    );
+    let levels = map
+        .iter()
+        .find(|(k, _)| k == "levels")
+        .and_then(|(_, v)| v.as_list())
+        .unwrap();
+    let layered: usize = levels
+        .iter()
+        .map(|lvl| lvl.as_list().map_or(0, |l| l.len()))
+        .sum();
+    assert_eq!(layered, 10, "{stdout}");
 }
 
 #[test]

@@ -308,6 +308,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
             to: "app".into(),
             port: 0,
         }],
+        executor: None,
     };
     let mut mw = Middleware::new();
     let before = mw.structure().len();
@@ -351,6 +352,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
                 port: 0,
             },
         ],
+        executor: None,
     };
     let nodes = good
         .instantiate_checked(&mut mw, &factories, &gate)

@@ -35,7 +35,7 @@ impl ComponentFeature for Tagging {
         mut item: DataItem,
         _h: &mut FeatureHost<'_>,
     ) -> Result<FeatureAction, CoreError> {
-        item.attrs.insert("tag".into(), Value::Int(1));
+        item.attrs.insert("tag", Value::Int(1));
         Ok(FeatureAction::Continue(item))
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {

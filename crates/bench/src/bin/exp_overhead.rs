@@ -79,7 +79,7 @@ fn graph_pipeline(n: u64, features_per_node: usize, channel_features: usize) -> 
         "interp",
         vec![kinds::NMEA_SENTENCE],
         kinds::POSITION_WGS84,
-        |item| item.payload.as_i64().map(|v| Value::Int(v * 2 + 1)),
+        |item| item.payload.as_i64().map(|v| Value::Int(v * 2 + 1).into()),
     ));
     let app = mw.application_sink();
     mw.connect(src, parse, 0).unwrap();

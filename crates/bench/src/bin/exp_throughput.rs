@@ -1,0 +1,200 @@
+//! Experiment "throughput" — sequential vs level-parallel execution.
+//! The paper defers "reliability, scalability and performance" to future
+//! work (§6); this sweep measures what the executor split buys: items
+//! per second through W parallel pipelines of depth D under the default
+//! [`Sequential`] executor and under [`LevelParallel`], which runs
+//! independent components of one topological level on worker threads.
+//!
+//! Every component performs a fixed chunk of deterministic integer work,
+//! so the sweep measures scheduling, not allocator noise. Both executors
+//! produce byte-identical channel data trees (asserted by the
+//! `executor_determinism` suite); this experiment only times them.
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_throughput --release`
+//! (pass `--smoke` for the reduced CI sweep, which fails if the
+//! level-parallel executor is more than 20 % slower than sequential on a
+//! 1-wide pipeline — the no-parallelism-available regression guard).
+//!
+//! Writes the full sweep to `BENCH_throughput.json`.
+
+#![allow(clippy::unwrap_used)]
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use perpos_core::prelude::*;
+
+/// Iterations of the per-component integer kernel. Chosen so one node
+/// costs a few microseconds — large enough that scheduling overhead is
+/// visible as a ratio, small enough that the sweep stays fast.
+const WORK: u32 = 2_000;
+
+/// The deterministic per-item workload every processor runs.
+fn burn(mut v: i64) -> i64 {
+    for _ in 0..WORK {
+        v = std::hint::black_box(
+            v.wrapping_mul(6_364_136_223_846_793_005).rotate_left(17) ^ 0x9e37,
+        );
+    }
+    v
+}
+
+/// W parallel pipelines of depth D, all delivering to one application
+/// sink (16 ports, so W ≤ 16).
+fn build(width: usize, depth: usize) -> Middleware {
+    let mut mw = Middleware::new();
+    let app = mw.application_sink();
+    for w in 0..width {
+        let mut i = 0i64;
+        let src = mw.add_component(FnSource::new(
+            format!("src{w}"),
+            kinds::RAW_STRING,
+            move |_| {
+                i += 1;
+                Some(Value::Int(i))
+            },
+        ));
+        let mut prev = src;
+        for d in 0..depth {
+            let node = mw.add_component(FnProcessor::new(
+                format!("w{w}s{d}"),
+                vec![kinds::RAW_STRING],
+                kinds::RAW_STRING,
+                |item| item.payload.as_i64().map(|v| Value::Int(burn(v)).into()),
+            ));
+            mw.connect(prev, node, 0).unwrap();
+            prev = node;
+        }
+        mw.connect_to_sink(prev, app).unwrap();
+    }
+    mw
+}
+
+struct Sample {
+    width: usize,
+    depth: usize,
+    mode: ExecMode,
+    nodes: usize,
+    us_per_step: f64,
+    items_per_sec: f64,
+}
+
+fn measure(width: usize, depth: usize, mode: ExecMode, steps: u32) -> Sample {
+    let mut mw = build(width, depth);
+    mw.set_executor(mode);
+    for _ in 0..steps / 10 {
+        mw.step().unwrap();
+        mw.advance_clock(SimDuration::from_micros(1));
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        mw.step().unwrap();
+        mw.advance_clock(SimDuration::from_micros(1));
+    }
+    let us = start.elapsed().as_micros() as f64 / f64::from(steps);
+    Sample {
+        width,
+        depth,
+        mode,
+        nodes: mw.structure().len(),
+        us_per_step: us,
+        // One item enters each pipeline per step.
+        items_per_sec: width as f64 / (us / 1e6),
+    }
+}
+
+fn render_json(cores: usize, samples: &[Sample]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"throughput\",\n");
+    let _ = writeln!(out, "  \"work_iters_per_node\": {WORK},");
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    out.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"width\": {}, \"depth\": {}, \"executor\": \"{}\", \"nodes\": {}, \
+             \"us_per_step\": {:.1}, \"items_per_sec\": {:.0}}}{sep}",
+            s.width,
+            s.depth,
+            s.mode.as_str(),
+            s.nodes,
+            s.us_per_step,
+            s.items_per_sec,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let steps: u32 = if smoke { 300 } else { 2_000 };
+    // The application sink has 16 input ports, capping width at 16.
+    let sweep: &[(usize, usize)] = if smoke {
+        &[(1, 4), (8, 2)]
+    } else {
+        &[(1, 4), (1, 16), (2, 4), (4, 4), (8, 2), (8, 8), (16, 4)]
+    };
+
+    println!("=== throughput: sequential vs level-parallel executor ({cores} core(s)) ===\n");
+    println!(
+        "{:>6} {:>6} {:>7} {:>16} {:>12} {:>14}",
+        "width", "depth", "nodes", "executor", "step µs", "items/s"
+    );
+    println!("{}", "-".repeat(66));
+
+    let mut samples = Vec::new();
+    for &(width, depth) in sweep {
+        for mode in [ExecMode::Sequential, ExecMode::LevelParallel] {
+            let s = measure(width, depth, mode, steps);
+            println!(
+                "{:>6} {:>6} {:>7} {:>16} {:>12.1} {:>14.0}",
+                s.width,
+                s.depth,
+                s.nodes,
+                s.mode.as_str(),
+                s.us_per_step,
+                s.items_per_sec
+            );
+            samples.push(s);
+        }
+    }
+
+    let json = render_json(cores, &samples);
+    std::fs::write("BENCH_throughput.json", &json).unwrap();
+    println!("\nwrote BENCH_throughput.json");
+
+    // Regression guard: with no parallelism to exploit (1-wide chain),
+    // the level-parallel executor must cost at most 20 % over
+    // sequential — it detects the linear shape and takes the same inner
+    // path, so a larger gap means the fast path broke.
+    let seq = samples
+        .iter()
+        .find(|s| s.width == 1 && s.mode == ExecMode::Sequential)
+        .unwrap();
+    let par = samples
+        .iter()
+        .find(|s| s.width == 1 && s.mode == ExecMode::LevelParallel)
+        .unwrap();
+    let ratio = par.us_per_step / seq.us_per_step;
+    println!("1-wide overhead: level-parallel/sequential = {ratio:.3} (limit 1.20)");
+    if ratio > 1.20 {
+        eprintln!("FAIL: level-parallel executor regressed on a linear pipeline");
+        std::process::exit(1);
+    }
+    if cores >= 4 {
+        if let (Some(s), Some(p)) = (
+            samples
+                .iter()
+                .find(|s| s.width == 8 && s.mode == ExecMode::Sequential),
+            samples
+                .iter()
+                .find(|s| s.width == 8 && s.mode == ExecMode::LevelParallel),
+        ) {
+            println!(
+                "8-wide speed-up: {:.2}x items/s with level-parallel",
+                p.items_per_sec / s.items_per_sec
+            );
+        }
+    }
+}

@@ -112,6 +112,10 @@ pub struct GraphConfig {
     pub components: Vec<ComponentConfig>,
     /// Edges between them.
     pub connections: Vec<ConnectionConfig>,
+    /// Execution mode for the middleware's engine (`"sequential"` or
+    /// `"level-parallel"`); absent keeps the current (default:
+    /// sequential) executor. See [`crate::executor::ExecMode`].
+    pub executor: Option<String>,
 }
 
 impl GraphConfig {
@@ -128,6 +132,15 @@ impl GraphConfig {
         mw: &mut Middleware,
         factories: &BTreeMap<String, Factory>,
     ) -> Result<BTreeMap<String, NodeId>, CoreError> {
+        if let Some(name) = &self.executor {
+            let mode = crate::executor::ExecMode::from_name(name).ok_or_else(|| {
+                CoreError::ComponentFailure {
+                    component: "executor".into(),
+                    reason: format!("unknown executor mode {name:?}"),
+                }
+            })?;
+            mw.set_executor(mode);
+        }
         let mut nodes = BTreeMap::new();
         for c in &self.components {
             let node = if c.kind == "application" {
@@ -431,6 +444,7 @@ mod tests {
                     port: 0,
                 },
             ],
+            executor: None,
         };
         let mut mw = Middleware::new();
         let nodes = config.instantiate(&mut mw, &factories).unwrap();
@@ -454,6 +468,7 @@ mod tests {
                 transfer: None,
             }],
             connections: vec![],
+            executor: None,
         };
         assert!(bad_type.instantiate(&mut mw, &factories).is_err());
         // Unknown instance in a connection.
@@ -469,6 +484,7 @@ mod tests {
                 to: "app".into(),
                 port: 0,
             }],
+            executor: None,
         };
         assert!(bad_edge.instantiate(&mut mw, &factories).is_err());
         // Duplicate instance names.
@@ -488,8 +504,29 @@ mod tests {
                 },
             ],
             connections: vec![],
+            executor: None,
         };
         assert!(dup.instantiate(&mut mw, &factories).is_err());
+    }
+
+    #[test]
+    fn graph_config_selects_executor() {
+        let factories: BTreeMap<String, Factory> = BTreeMap::new();
+        let mut mw = Middleware::new();
+        let config = GraphConfig {
+            components: vec![],
+            connections: vec![],
+            executor: Some("level-parallel".into()),
+        };
+        config.instantiate(&mut mw, &factories).unwrap();
+        assert_eq!(mw.executor_mode(), crate::executor::ExecMode::LevelParallel);
+        // Unknown executor names are rejected before any component is built.
+        let bad = GraphConfig {
+            components: vec![],
+            connections: vec![],
+            executor: Some("round-robin".into()),
+        };
+        assert!(bad.instantiate(&mut mw, &factories).is_err());
     }
 
     #[test]

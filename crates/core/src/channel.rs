@@ -629,7 +629,6 @@ impl ChannelLayer {
 fn channel_heads(graph: &ProcessingGraph) -> Vec<NodeId> {
     graph
         .node_ids()
-        .into_iter()
         .filter(|id| {
             graph
                 .info(*id)

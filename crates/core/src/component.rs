@@ -347,7 +347,7 @@ impl ComponentCtx {
 
     /// Convenience: emits `payload` as a fresh item of `kind` stamped with
     /// the current time.
-    pub fn emit_value(&mut self, kind: DataKind, payload: Value) {
+    pub fn emit_value(&mut self, kind: DataKind, payload: impl Into<crate::data::Payload>) {
         let item = DataItem::new(kind, self.now, payload);
         self.emit(item);
     }
@@ -503,7 +503,7 @@ pub struct FnProcessor<F> {
 
 impl<F> FnProcessor<F>
 where
-    F: FnMut(&DataItem) -> Option<Value> + Send,
+    F: FnMut(&DataItem) -> Option<crate::data::Payload> + Send,
 {
     /// Creates a closure-driven processor.
     pub fn new(name: impl Into<String>, accepts: Vec<DataKind>, provides: DataKind, f: F) -> Self {
@@ -518,7 +518,7 @@ where
 
 impl<F> Component for FnProcessor<F>
 where
-    F: FnMut(&DataItem) -> Option<Value> + Send,
+    F: FnMut(&DataItem) -> Option<crate::data::Payload> + Send,
 {
     fn descriptor(&self) -> ComponentDescriptor {
         ComponentDescriptor::processor(
@@ -649,7 +649,7 @@ mod tests {
             "double",
             vec![kinds::RAW_STRING],
             kinds::NMEA_SENTENCE,
-            |item| item.payload.as_i64().map(|i| Value::Int(i * 2)),
+            |item| item.payload.as_i64().map(|i| Value::Int(i * 2).into()),
         );
         let out = ComponentCtxProbe::run_input(
             &mut p,

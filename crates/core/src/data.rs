@@ -19,6 +19,8 @@ use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::{CoreError, SimTime};
 
@@ -288,28 +290,225 @@ impl fmt::Display for Position {
     }
 }
 
+/// A [`DataItem`] payload: a [`Value`] behind an [`Arc`], so fanning an
+/// item out to many downstream edges shares one allocation instead of
+/// deep-cloning the value per edge.
+///
+/// `Payload` dereferences to [`Value`], so all read accessors
+/// (`as_text`, `as_position`, …) work unchanged. It is immutable by
+/// sharing; the rare mutation site goes through [`Payload::make_mut`]
+/// (copy-on-write).
+#[derive(Debug, Clone, Default)]
+pub struct Payload(Arc<Value>);
+
+impl Payload {
+    /// Wraps a value (one allocation; every subsequent clone is an
+    /// `Arc` reference-count bump).
+    pub fn new(value: Value) -> Self {
+        Payload(Arc::new(value))
+    }
+
+    /// Borrow of the wrapped value (also available via `Deref`).
+    pub fn as_value(&self) -> &Value {
+        &self.0
+    }
+
+    /// An owned deep copy of the wrapped value, for APIs that need a
+    /// bare [`Value`].
+    pub fn to_value(&self) -> Value {
+        (*self.0).clone()
+    }
+
+    /// Copy-on-write mutable access: clones the inner value only when
+    /// the payload is currently shared with another item.
+    pub fn make_mut(&mut self) -> &mut Value {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Whether two payloads share the same allocation (zero-copy
+    /// fan-out diagnostic; implies equality).
+    pub fn shares_with(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for Payload {
+    type Target = Value;
+    fn deref(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl<'a> From<&'a Payload> for Payload {
+    fn from(p: &'a Payload) -> Self {
+        p.clone()
+    }
+}
+
+impl From<Value> for Payload {
+    fn from(v: Value) -> Self {
+        Payload::new(v)
+    }
+}
+
+macro_rules! payload_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Payload {
+            fn from(v: $t) -> Self {
+                Payload::new(Value::from(v))
+            }
+        }
+    )*};
+}
+payload_from!(
+    bool,
+    i64,
+    f64,
+    &str,
+    String,
+    Position,
+    Vec<Value>,
+    BTreeMap<String, Value>
+);
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl PartialEq<Value> for Payload {
+    fn eq(&self, other: &Value) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<Payload> for Value {
+    fn eq(&self, other: &Payload) -> bool {
+        *self == *other.0
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.0, f)
+    }
+}
+
+impl Serialize for Payload {
+    fn to_content(&self) -> serde::Content {
+        self.0.to_content()
+    }
+}
+
+impl Deserialize for Payload {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        Value::from_content(c).map(Payload::new)
+    }
+}
+
+/// Feature-attached attributes of a [`DataItem`], copy-on-write behind
+/// an [`Arc`]: edges and history buffers share one map; the first
+/// mutation after a share clones it.
+///
+/// Dereferences to [`BTreeMap`] for all read access; writes go through
+/// [`Attrs::insert`] / [`Attrs::remove`], which trigger the
+/// copy-on-write.
+#[derive(Debug, Clone, Default)]
+pub struct Attrs(Arc<BTreeMap<String, Value>>);
+
+impl Attrs {
+    /// An empty attribute map.
+    pub fn new() -> Self {
+        Attrs::default()
+    }
+
+    /// Sets an attribute (copy-on-write when shared).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        Arc::make_mut(&mut self.0).insert(key.into(), value)
+    }
+
+    /// Removes an attribute (copy-on-write when shared).
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        if !self.0.contains_key(key) {
+            return None;
+        }
+        Arc::make_mut(&mut self.0).remove(key)
+    }
+
+    /// Whether two attribute maps share the same allocation.
+    pub fn shares_with(&self, other: &Attrs) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for Attrs {
+    type Target = BTreeMap<String, Value>;
+    fn deref(&self) -> &BTreeMap<String, Value> {
+        &self.0
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Attrs {
+    fn from(m: BTreeMap<String, Value>) -> Self {
+        Attrs(Arc::new(m))
+    }
+}
+
+impl<'a> IntoIterator for &'a Attrs {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Attrs {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl Serialize for Attrs {
+    fn to_content(&self) -> serde::Content {
+        self.0.to_content()
+    }
+}
+
+impl Deserialize for Attrs {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        BTreeMap::from_content(c).map(|m| Attrs(Arc::new(m)))
+    }
+}
+
 /// The unit of data travelling along processing-graph edges.
+///
+/// Cloning a `DataItem` is cheap: the payload and attributes live
+/// behind shared [`Arc`]s, so fan-out to N consumers bumps reference
+/// counts instead of deep-copying the data N times.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataItem {
     /// What the payload is.
     pub kind: DataKind,
     /// Simulated time at which the item was produced.
     pub timestamp: SimTime,
-    /// The payload itself.
-    pub payload: Value,
+    /// The payload itself, shared zero-copy between edges.
+    pub payload: Payload,
     /// Extra data associated with the item by Component Features
     /// (paper §2.1 "Adding Data"), keyed by attribute name.
-    pub attrs: BTreeMap<String, Value>,
+    pub attrs: Attrs,
 }
 
 impl DataItem {
-    /// Creates an item with no attributes.
-    pub fn new(kind: DataKind, timestamp: SimTime, payload: Value) -> Self {
+    /// Creates an item with no attributes. Accepts anything convertible
+    /// into a [`Payload`] — a bare [`Value`], primitives, or an existing
+    /// (shared) payload.
+    pub fn new(kind: DataKind, timestamp: SimTime, payload: impl Into<Payload>) -> Self {
         DataItem {
             kind,
             timestamp,
-            payload,
-            attrs: BTreeMap::new(),
+            payload: payload.into(),
+            attrs: Attrs::new(),
         }
     }
 

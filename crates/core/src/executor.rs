@@ -1,0 +1,727 @@
+//! The execution layer: scheduling policy split out of the graph.
+//!
+//! [`Middleware::step`](crate::Middleware::step) used to be a monolithic
+//! sequential loop; this module reifies the *how* of running one step as
+//! an [`Executor`] so the scheduling policy is a first-class, swappable
+//! concern while the graph stays a pure structure description
+//! (translucency applied to execution itself).
+//!
+//! Two executors ship:
+//!
+//! * [`Sequential`] — the explicit default: one FIFO queue, one node at a
+//!   time, exactly the engine the crate always had.
+//! * [`LevelParallel`] — runs mutually independent nodes of each FIFO
+//!   *wave* on scoped worker threads. A wave is the longest prefix of the
+//!   queue whose entries address pairwise-distinct nodes, so per-node
+//!   processing order — and therefore every channel data tree — is
+//!   byte-identical to [`Sequential`] for the same trace.
+//!
+//! # Determinism contract
+//!
+//! Both executors produce identical channel data trees, identical
+//! application-sink deliveries and identical per-node
+//! [`HealthRegistry`] outcomes for the same input trace. The executors
+//! share one code path for the per-node unit of work (consume features →
+//! `on_input` → produce features) and for routing; [`LevelParallel`]
+//! only changes *when* independent units run, never the order in which
+//! any single node observes items, nor the order routed items enter the
+//! queue.
+//!
+//! Known caveats, inherent to running units concurrently:
+//!
+//! * When a unit faults with [`FaultPolicy::Propagate`]
+//!   (aborting the step), other units of the same wave have already
+//!   executed, so their components' *internal* state may have advanced
+//!   further than under [`Sequential`]. Nothing they produced is routed,
+//!   so all externally observable data stays identical.
+//! * A [`ChannelFeature`](crate::channel::ChannelFeature) that
+//!   reflectively mutates a component while routing may observe that a
+//!   same-wave component already ran. In-tree features do not do this.
+//!
+//! [`FaultPolicy::Propagate`]: crate::supervision::FaultPolicy::Propagate
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::channel::ChannelLayer;
+use crate::component::ComponentCtx;
+use crate::data::DataItem;
+use crate::distribution::Deployment;
+use crate::feature::{FeatureAction, FeatureHost};
+use crate::graph::{Node, NodeId, ProcessingGraph};
+use crate::supervision::{FaultAction, HealthRegistry};
+use crate::{CoreError, SimTime};
+
+/// Which execution policy a [`Middleware`](crate::Middleware) runs its
+/// steps under. Surfaced in `GraphConfig` (`"executor"` field) and over
+/// the reflective surface (`invoke(node, "executor", ..)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One node at a time in FIFO order — the engine's historical and
+    /// default behaviour.
+    #[default]
+    Sequential,
+    /// Independent nodes of each FIFO wave run on scoped worker threads;
+    /// identical observable results, better wall-clock on wide graphs.
+    LevelParallel,
+}
+
+impl ExecMode {
+    /// Canonical configuration name of the mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::LevelParallel => "level-parallel",
+        }
+    }
+
+    /// Parses a configuration name (`"sequential"`, `"level-parallel"`
+    /// and the common spelling variants).
+    pub fn from_name(name: &str) -> Option<ExecMode> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Some(ExecMode::Sequential),
+            "level-parallel" | "level_parallel" | "levelparallel" | "parallel" => {
+                Some(ExecMode::LevelParallel)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything one engine step may touch, borrowed from the
+/// [`Middleware`](crate::Middleware) for the duration of the step. The
+/// middleware constructs this; executors consume it.
+pub struct EngineCtx<'a> {
+    pub(crate) graph: &'a mut ProcessingGraph,
+    pub(crate) channels: &'a mut ChannelLayer,
+    pub(crate) health: &'a mut HealthRegistry,
+    pub(crate) deployment: Option<&'a mut Deployment>,
+    pub(crate) now: SimTime,
+}
+
+/// A queue entry: deliver `item` to input `port` of node.
+type Entry = (NodeId, usize, DataItem);
+
+/// A scheduling policy for one engine step.
+///
+/// Implementations must uphold the determinism contract described in the
+/// [module documentation](self): per-node processing order and routing
+/// order must match [`Sequential`].
+pub trait Executor: Send {
+    /// The mode this executor implements.
+    fn mode(&self) -> ExecMode;
+
+    /// Runs one engine step to quiescence: deliver due remote messages
+    /// and `pending` out-of-band emissions, tick all sources, then drain
+    /// the item queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault of a node whose policy is
+    /// `Propagate`; faults under any other policy are contained.
+    fn step(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<(), CoreError>;
+}
+
+/// Creates the executor implementing `mode`.
+pub fn executor_for(mode: ExecMode) -> Box<dyn Executor> {
+    match mode {
+        ExecMode::Sequential => Box::new(Sequential),
+        ExecMode::LevelParallel => Box::new(LevelParallel::new()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-node units of work (shared by every executor)
+// ---------------------------------------------------------------------
+
+/// Runs the consume-direction features of a node over an incoming item.
+/// Returns the (possibly replaced) item and any data the features added.
+fn consume_features(
+    node: &mut Node,
+    item: DataItem,
+    now: SimTime,
+) -> Result<(Option<DataItem>, Vec<DataItem>), CoreError> {
+    let component = &mut node.component;
+    let features = &mut node.features;
+    let mut extras = Vec::new();
+    let mut current = Some(item);
+    for slot in features.iter_mut() {
+        let mut host = FeatureHost::new(component.as_mut(), now);
+        if let Some(it) = current.take() {
+            let kind_before = it.kind.clone();
+            match slot.feature.on_consume(it, &mut host)? {
+                FeatureAction::Continue(out) => {
+                    if out.kind != kind_before {
+                        return Err(CoreError::ComponentFailure {
+                            component: slot.descriptor.name.clone(),
+                            reason: format!(
+                                "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
+                                out.kind
+                            ),
+                        });
+                    }
+                    current = Some(out);
+                }
+                FeatureAction::Drop => current = None,
+            }
+        }
+        extras.extend(host.take_emitted());
+    }
+    Ok((current, extras))
+}
+
+/// Runs the produce-direction features over an item the node emitted.
+/// Returns the surviving item (first) plus feature-added data, in
+/// routing order.
+fn produce_features(
+    node: &mut Node,
+    item: DataItem,
+    now: SimTime,
+) -> Result<Vec<DataItem>, CoreError> {
+    let component = &mut node.component;
+    let features = &mut node.features;
+    let mut outputs = Vec::new();
+    let mut current = Some(item);
+    for slot in features.iter_mut() {
+        let mut host = FeatureHost::new(component.as_mut(), now);
+        if let Some(it) = current.take() {
+            let kind_before = it.kind.clone();
+            match slot.feature.on_produce(it, &mut host)? {
+                FeatureAction::Continue(out) => {
+                    if out.kind != kind_before {
+                        return Err(CoreError::ComponentFailure {
+                            component: slot.descriptor.name.clone(),
+                            reason: format!(
+                                "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
+                                out.kind
+                            ),
+                        });
+                    }
+                    current = Some(out);
+                }
+                FeatureAction::Drop => current = None,
+            }
+        }
+        outputs.extend(host.take_emitted());
+    }
+    if let Some(it) = current {
+        outputs.insert(0, it);
+    }
+    Ok(outputs)
+}
+
+/// The node-local part of a source tick: `on_tick`, then the produce
+/// features over every emission. Items ready for routing are pushed to
+/// `out` incrementally, so on a mid-way fault `out` holds exactly what
+/// the sequential engine would already have routed.
+fn tick_unit(node: &mut Node, now: SimTime, out: &mut Vec<DataItem>) -> Result<(), CoreError> {
+    let mut ctx = ComponentCtx::new(now);
+    node.component.on_tick(&mut ctx)?;
+    for item in ctx.take_emitted() {
+        let outputs = produce_features(node, item, now)?;
+        out.extend(outputs);
+    }
+    Ok(())
+}
+
+/// The node-local part of one item delivery: consume features,
+/// `on_input`, produce features over every emission. Push order into
+/// `out` (extras first, then per-emission outputs) matches the
+/// sequential engine's routing order exactly.
+fn input_unit(
+    node: &mut Node,
+    port: usize,
+    item: DataItem,
+    now: SimTime,
+    out: &mut Vec<DataItem>,
+) -> Result<(), CoreError> {
+    let (passed, extras) = consume_features(node, item, now)?;
+    out.extend(extras);
+    let Some(item) = passed else { return Ok(()) };
+    let mut ctx = ComponentCtx::new(now);
+    node.component.on_input(port, item, &mut ctx)?;
+    for emitted in ctx.take_emitted() {
+        let outputs = produce_features(node, emitted, now)?;
+        out.extend(outputs);
+    }
+    Ok(())
+}
+
+/// What a worker executes for one wave member.
+enum Task {
+    /// Tick a source.
+    Tick,
+    /// Deliver an item to an input port.
+    Input(usize, DataItem),
+}
+
+/// One wave member: the task, the node (detached from the graph map for
+/// the duration of the wave), and the unit's results.
+struct Cell<'g> {
+    id: NodeId,
+    name: String,
+    node: Option<&'g mut Node>,
+    task: Option<Task>,
+    out: Vec<DataItem>,
+    result: Result<(), CoreError>,
+}
+
+/// Runs one cell's unit, containing panics as faults.
+fn run_cell(cell: &mut Cell<'_>, now: SimTime) {
+    let Some(node) = cell.node.as_deref_mut() else {
+        cell.result = Err(CoreError::UnknownNode(cell.id));
+        return;
+    };
+    let task = cell.task.take();
+    let out = &mut cell.out;
+    let caught = catch_unwind(AssertUnwindSafe(|| match task {
+        Some(Task::Tick) | None => tick_unit(node, now, out),
+        Some(Task::Input(port, item)) => input_unit(node, port, item, now, out),
+    }));
+    cell.result = match caught {
+        Ok(r) => r,
+        Err(payload) => Err(CoreError::ComponentFailure {
+            component: cell.name.clone(),
+            reason: format!("panic: {}", panic_message(payload.as_ref())),
+        }),
+    };
+}
+
+/// Renders a caught panic payload for fault records; panics carry a
+/// `&str` or `String` message in practice.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// EngineCtx — routing, supervision bookkeeping, shared step scaffolding
+// ---------------------------------------------------------------------
+
+impl EngineCtx<'_> {
+    pub(crate) fn new<'a>(
+        graph: &'a mut ProcessingGraph,
+        channels: &'a mut ChannelLayer,
+        health: &'a mut HealthRegistry,
+        deployment: Option<&'a mut Deployment>,
+        now: SimTime,
+    ) -> EngineCtx<'a> {
+        EngineCtx {
+            graph,
+            channels,
+            health,
+            deployment,
+            now,
+        }
+    }
+
+    /// Best-effort display name of a node.
+    fn node_name(&self, id: NodeId) -> String {
+        self.graph
+            .node(id)
+            .map(|n| n.descriptor.name.clone())
+            .unwrap_or_else(|| format!("{id:?}"))
+    }
+
+    /// Channel bookkeeping plus downstream fan-out for one finished item.
+    fn route_item(
+        &mut self,
+        id: NodeId,
+        item: DataItem,
+        queue: &mut VecDeque<Entry>,
+    ) -> Result<(), CoreError> {
+        let now = self.now;
+        if let Some(tree) = self.channels.record(id, &item) {
+            let emitted = self.channels.apply_features(self.graph, &tree, now)?;
+            for (node, extra) in emitted {
+                self.route_item(node, extra, queue)?;
+            }
+        }
+        for edge in 0..self.graph.downstream(id).len() {
+            let (target, port) = self.graph.downstream(id)[edge];
+            let accepts = self
+                .graph
+                .node(target)
+                .and_then(|n| n.descriptor.inputs.get(port))
+                .map(|spec| spec.accepts_kind(&item.kind))
+                .unwrap_or(false);
+            if !accepts {
+                continue;
+            }
+            // Cross-host edges go through the deployment's link model.
+            match self.deployment.as_deref_mut() {
+                Some(d) if d.crosses_hosts(id, target) => {
+                    d.send(now, id, target, port, item.clone());
+                }
+                _ => queue.push_back((target, port, item.clone())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivers due remote messages and routes out-of-band reflective
+    /// emissions — the common step prelude.
+    fn drain_prelude(
+        &mut self,
+        pending: Vec<(NodeId, DataItem)>,
+        queue: &mut VecDeque<Entry>,
+    ) -> Result<(), CoreError> {
+        let now = self.now;
+        if let Some(dep) = self.deployment.as_deref_mut() {
+            for (target, port, item) in dep.take_due(now) {
+                if self.graph.contains(target) {
+                    queue.push_back((target, port, item));
+                }
+            }
+        }
+        for (node, item) in pending {
+            if self.graph.contains(node) {
+                self.route_item(node, item, queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a contained fault to the node per its policy.
+    fn resolve_fault(&mut self, id: NodeId, err: CoreError) -> Result<(), CoreError> {
+        match self.health.on_fault(id, self.now, &err.to_string()) {
+            FaultAction::Propagate => Err(err),
+            FaultAction::Drop => Ok(()),
+            FaultAction::Restart | FaultAction::Quarantine => {
+                if let Some(node) = self.graph.node_mut(id) {
+                    node.component.on_reset();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Routes what a unit produced and settles its supervision outcome.
+    ///
+    /// Routing happens even when the unit faulted mid-way: `out` holds
+    /// exactly the items the sequential engine had already routed before
+    /// the fault hit. Routing errors and panics are attributed to the
+    /// node like any other fault.
+    fn finish_unit(
+        &mut self,
+        id: NodeId,
+        unit: Result<(), CoreError>,
+        out: Vec<DataItem>,
+        queue: &mut VecDeque<Entry>,
+    ) -> Result<(), CoreError> {
+        let route = catch_unwind(AssertUnwindSafe(|| {
+            for item in out {
+                self.route_item(id, item, queue)?;
+            }
+            Ok(())
+        }));
+        let err = match (route, unit) {
+            (Err(payload), _) => Some(CoreError::ComponentFailure {
+                component: self.node_name(id),
+                reason: format!("panic: {}", panic_message(payload.as_ref())),
+            }),
+            (Ok(Err(e)), _) => Some(e),
+            (Ok(Ok(())), Err(e)) => Some(e),
+            (Ok(Ok(())), Ok(())) => None,
+        };
+        match err {
+            Some(e) => self.resolve_fault(id, e),
+            None => {
+                self.health.record_success(id, self.now);
+                Ok(())
+            }
+        }
+    }
+
+    /// Ticks one source inline: unit, then routing + supervision.
+    fn run_source_inline(
+        &mut self,
+        id: NodeId,
+        queue: &mut VecDeque<Entry>,
+    ) -> Result<(), CoreError> {
+        let mut out = Vec::new();
+        let unit = match self.graph.node_mut(id) {
+            None => Err(CoreError::UnknownNode(id)),
+            Some(node) => {
+                let now = self.now;
+                let caught = catch_unwind(AssertUnwindSafe(|| tick_unit(node, now, &mut out)));
+                match caught {
+                    Ok(r) => r,
+                    Err(payload) => Err(CoreError::ComponentFailure {
+                        component: self.node_name(id),
+                        reason: format!("panic: {}", panic_message(payload.as_ref())),
+                    }),
+                }
+            }
+        };
+        self.finish_unit(id, unit, out, queue)
+    }
+
+    /// Processes one queue entry inline: unit, then routing + supervision.
+    fn run_entry_inline(
+        &mut self,
+        id: NodeId,
+        port: usize,
+        item: DataItem,
+        queue: &mut VecDeque<Entry>,
+    ) -> Result<(), CoreError> {
+        let mut out = Vec::new();
+        let unit = match self.graph.node_mut(id) {
+            None => Err(CoreError::UnknownNode(id)),
+            Some(node) => {
+                let now = self.now;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    input_unit(node, port, item, now, &mut out)
+                }));
+                match caught {
+                    Ok(r) => r,
+                    Err(payload) => Err(CoreError::ComponentFailure {
+                        component: self.node_name(id),
+                        reason: format!("panic: {}", panic_message(payload.as_ref())),
+                    }),
+                }
+            }
+        };
+        self.finish_unit(id, unit, out, queue)
+    }
+
+    /// The full sequential drain: tick every source, then FIFO-drain the
+    /// queue one node at a time. Shared by [`Sequential`] and by
+    /// [`LevelParallel`]'s single-worker / linear-graph fast path.
+    fn run_sequential(&mut self, queue: &mut VecDeque<Entry>) -> Result<(), CoreError> {
+        for src in self.graph.sources() {
+            if self.health.is_quarantined(src, self.now) {
+                continue;
+            }
+            self.run_source_inline(src, queue)?;
+        }
+        while let Some((node, port, item)) = queue.pop_front() {
+            // Items addressed to a quarantined node are dropped: the
+            // breaker is open, nothing may excite the component.
+            if self.health.is_quarantined(node, self.now) {
+                continue;
+            }
+            self.run_entry_inline(node, port, item, queue)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a wave of units over pairwise-distinct nodes on `workers`
+    /// scoped threads, then returns each unit's outcome in wave order.
+    /// Only the node-local units run in parallel; all routing and health
+    /// bookkeeping stays with the caller, in wave order.
+    fn run_wave_parallel(
+        &mut self,
+        wave: Vec<(NodeId, Task)>,
+        workers: usize,
+    ) -> Vec<(NodeId, Result<(), CoreError>, Vec<DataItem>)> {
+        let now = self.now;
+        let ids: BTreeSet<NodeId> = wave.iter().map(|(id, _)| *id).collect();
+        let mut by_id: BTreeMap<NodeId, &mut Node> = self
+            .graph
+            .nodes_iter_mut()
+            .filter(|(id, _)| ids.contains(id))
+            .map(|(id, node)| (*id, node))
+            .collect();
+        let mut cells: Vec<Cell<'_>> = wave
+            .into_iter()
+            .map(|(id, task)| {
+                let node = by_id.remove(&id);
+                let name = node
+                    .as_ref()
+                    .map(|n| n.descriptor.name.clone())
+                    .unwrap_or_else(|| format!("{id:?}"));
+                Cell {
+                    id,
+                    name,
+                    node,
+                    task: Some(task),
+                    out: Vec::new(),
+                    result: Ok(()),
+                }
+            })
+            .collect();
+        let per_worker = cells.len().div_ceil(workers.max(1));
+        std::thread::scope(|scope| {
+            for chunk in cells.chunks_mut(per_worker.max(1)) {
+                scope.spawn(move || {
+                    for cell in chunk {
+                        run_cell(cell, now);
+                    }
+                });
+            }
+        });
+        cells.into_iter().map(|c| (c.id, c.result, c.out)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+/// The historical engine, made explicit: sources tick in id order, the
+/// queue drains strictly FIFO, one node at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl Executor for Sequential {
+    fn mode(&self) -> ExecMode {
+        ExecMode::Sequential
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        ctx.drain_prelude(pending, &mut queue)?;
+        ctx.run_sequential(&mut queue)
+    }
+}
+
+// ---------------------------------------------------------------------
+// LevelParallel
+// ---------------------------------------------------------------------
+
+/// Runs independent nodes of each FIFO wave on scoped worker threads.
+///
+/// A *wave* is the longest prefix of the item queue whose entries
+/// address pairwise-distinct nodes. Because graph levels never place a
+/// node and its (transitive) producer in one wave prefix — an entry only
+/// enters the queue after its producer routed it — wave members are
+/// mutually independent and their node-local units can run concurrently.
+/// All routing and all health bookkeeping happen serially in wave order,
+/// so every externally observable result matches [`Sequential`].
+///
+/// Cheap graphs stay cheap: with one worker, a single-entry wave, or a
+/// linear pipeline (topological level width 1) the executor runs the
+/// plain sequential path without spawning anything — this bounds the
+/// overhead on graphs that cannot benefit.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelParallel {
+    /// Worker-thread cap, resolved at construction. Probing
+    /// `available_parallelism` is *not* free on Linux (it re-reads the
+    /// cgroup quota files), so it must never sit on the per-step path.
+    workers: usize,
+}
+
+impl Default for LevelParallel {
+    fn default() -> Self {
+        LevelParallel::new()
+    }
+}
+
+impl LevelParallel {
+    /// A level-parallel executor sized to the machine.
+    pub fn new() -> Self {
+        LevelParallel::with_workers(0)
+    }
+
+    /// Caps the worker-thread count (0 = all available cores).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = if workers > 0 {
+            workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        LevelParallel { workers }
+    }
+}
+
+impl Executor for LevelParallel {
+    fn mode(&self) -> ExecMode {
+        ExecMode::LevelParallel
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        ctx.drain_prelude(pending, &mut queue)?;
+
+        let workers = self.workers;
+        // A linear process or a single worker cannot win anything from
+        // scheduling — take the zero-overhead path.
+        if workers <= 1 || ctx.graph.level_width() <= 1 {
+            return ctx.run_sequential(&mut queue);
+        }
+
+        // Source phase: quarantine-filter serially in id order, tick the
+        // survivors in parallel, then route + settle in id order.
+        let mut live_sources = Vec::new();
+        for src in ctx.graph.sources() {
+            if !ctx.health.is_quarantined(src, ctx.now) {
+                live_sources.push(src);
+            }
+        }
+        if live_sources.len() <= 1 {
+            for src in live_sources {
+                ctx.run_source_inline(src, &mut queue)?;
+            }
+        } else {
+            let wave = live_sources
+                .into_iter()
+                .map(|id| (id, Task::Tick))
+                .collect();
+            for (id, unit, out) in ctx.run_wave_parallel(wave, workers) {
+                ctx.finish_unit(id, unit, out, &mut queue)?;
+            }
+        }
+
+        // Queue phase: repeatedly take the longest distinct-node prefix
+        // of the queue as a wave. Per-node delivery order and routing
+        // order stay exactly FIFO.
+        while !queue.is_empty() {
+            let mut wave: Vec<Entry> = Vec::new();
+            let mut in_wave: BTreeSet<NodeId> = BTreeSet::new();
+            while let Some((node, _, _)) = queue.front() {
+                if in_wave.contains(node) {
+                    break;
+                }
+                let (node, port, item) = queue.pop_front().expect("front checked");
+                // Items addressed to a quarantined node are dropped, as
+                // the sequential drain does at pop time.
+                if ctx.health.is_quarantined(node, ctx.now) {
+                    continue;
+                }
+                in_wave.insert(node);
+                wave.push((node, port, item));
+            }
+            if wave.len() <= 1 {
+                if let Some((node, port, item)) = wave.pop() {
+                    ctx.run_entry_inline(node, port, item, &mut queue)?;
+                }
+                continue;
+            }
+            let tasks = wave
+                .into_iter()
+                .map(|(id, port, item)| (id, Task::Input(port, item)))
+                .collect();
+            for (id, unit, out) in ctx.run_wave_parallel(tasks, workers) {
+                ctx.finish_unit(id, unit, out, &mut queue)?;
+            }
+        }
+        Ok(())
+    }
+}

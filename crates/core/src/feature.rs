@@ -131,7 +131,7 @@ impl<'a> FeatureHost<'a> {
     }
 
     /// Convenience for [`FeatureHost::emit`] with a fresh item.
-    pub fn emit_value(&mut self, kind: DataKind, payload: Value) {
+    pub fn emit_value(&mut self, kind: DataKind, payload: impl Into<crate::data::Payload>) {
         let item = DataItem::new(kind, self.now, payload);
         self.emit(item);
     }

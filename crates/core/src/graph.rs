@@ -40,25 +40,39 @@ pub(crate) struct Node {
     pub inputs: Vec<Option<NodeId>>,
     /// Consumers of the output port as `(node, port)`.
     pub outputs: Vec<(NodeId, usize)>,
+    /// Cached effective output kinds (declared plus feature-added);
+    /// recomputed only when a feature is attached or detached, so the
+    /// per-item connect/accepts checks on the hot path stay
+    /// allocation-free.
+    provides: Vec<DataKind>,
 }
 
 impl Node {
     fn new(component: Box<dyn Component>) -> Self {
         let descriptor = component.descriptor();
         let inputs = vec![None; descriptor.inputs.len()];
-        Node {
+        let mut node = Node {
             component,
             descriptor,
             features: Vec::new(),
             inputs,
             outputs: Vec::new(),
-        }
+            provides: Vec::new(),
+        };
+        node.refresh_provides();
+        node
     }
 
     /// The kinds this node can produce: declared output capabilities plus
     /// everything its attached features may add (paper §2.1: "When adding
     /// data the capabilities of the output port is changed").
-    pub(crate) fn effective_provides(&self) -> Vec<DataKind> {
+    pub(crate) fn effective_provides(&self) -> &[DataKind] {
+        &self.provides
+    }
+
+    /// Rebuilds the cached `provides` set; called whenever the feature
+    /// set changes.
+    fn refresh_provides(&mut self) {
         let mut kinds: Vec<DataKind> = self
             .descriptor
             .output
@@ -72,7 +86,7 @@ impl Node {
                 }
             }
         }
-        kinds
+        self.provides = kinds;
     }
 
     fn feature_names(&self) -> Vec<String> {
@@ -122,6 +136,10 @@ pub struct NodeInfo {
 pub struct ProcessingGraph {
     nodes: BTreeMap<NodeId, Node>,
     next_id: u64,
+    /// Cached topological levels (see [`ProcessingGraph::topo_levels`]);
+    /// invalidated by every structural mutation (add / remove / connect /
+    /// disconnect) and recomputed lazily on next access.
+    levels: Option<Vec<Vec<NodeId>>>,
 }
 
 impl fmt::Debug for ProcessingGraph {
@@ -143,6 +161,7 @@ impl ProcessingGraph {
         self.next_id += 1;
         let id = NodeId(self.next_id);
         self.nodes.insert(id, Node::new(component));
+        self.levels = None;
         id
     }
 
@@ -162,6 +181,7 @@ impl ProcessingGraph {
                 }
             }
         }
+        self.levels = None;
         Ok(node.component)
     }
 
@@ -201,7 +221,7 @@ impl ProcessingGraph {
                 from,
                 to,
                 accepts: spec.accepts.clone(),
-                provides,
+                provides: provides.to_vec(),
             });
         }
         let feature_names = from_node.feature_names();
@@ -225,6 +245,7 @@ impl ProcessingGraph {
             .get_mut(&to)
             .ok_or(CoreError::UnknownNode(to))?
             .inputs[port] = Some(from);
+        self.levels = None;
         Ok(())
     }
 
@@ -247,6 +268,7 @@ impl ProcessingGraph {
                 pn.outputs.retain(|(t, pt)| !(*t == to && *pt == port));
             }
         }
+        self.levels = None;
         Ok(producer)
     }
 
@@ -315,6 +337,7 @@ impl ProcessingGraph {
             descriptor: feature.descriptor(),
             feature,
         });
+        node.refresh_provides();
         Ok(())
     }
 
@@ -338,12 +361,24 @@ impl ProcessingGraph {
                 target: node.descriptor.name.clone(),
                 feature: name.to_string(),
             })?;
-        Ok(node.features.remove(idx).feature)
+        let feature = node.features.remove(idx).feature;
+        node.refresh_provides();
+        Ok(feature)
     }
 
-    /// All node ids in insertion order.
-    pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+    /// All node ids in insertion order, without allocating.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 
     /// Whether the node exists.
@@ -367,20 +402,22 @@ impl ProcessingGraph {
         })
     }
 
-    /// The `(consumer, port)` edges leaving a node's output.
-    pub fn downstream(&self, id: NodeId) -> Vec<(NodeId, usize)> {
+    /// The `(consumer, port)` edges leaving a node's output. Borrowed —
+    /// the step loop consults this per routed item, so no allocation.
+    pub fn downstream(&self, id: NodeId) -> &[(NodeId, usize)] {
         self.nodes
             .get(&id)
-            .map(|n| n.outputs.clone())
-            .unwrap_or_default()
+            .map(|n| n.outputs.as_slice())
+            .unwrap_or(&[])
     }
 
-    /// The producers wired to each input port of a node.
-    pub fn upstream(&self, id: NodeId) -> Vec<Option<NodeId>> {
+    /// The producers wired to each input port of a node. Borrowed; an
+    /// unknown node yields the empty slice.
+    pub fn upstream(&self, id: NodeId) -> &[Option<NodeId>] {
         self.nodes
             .get(&id)
-            .map(|n| n.inputs.clone())
-            .unwrap_or_default()
+            .map(|n| n.inputs.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Ids of all source nodes (role [`ComponentRole::Source`]).
@@ -525,12 +562,78 @@ impl ProcessingGraph {
     }
 
     /// The kinds a node can currently provide (declared plus
-    /// feature-added).
-    pub fn effective_provides(&self, id: NodeId) -> Vec<DataKind> {
+    /// feature-added). Borrowed from the node's cache; an unknown node
+    /// yields the empty slice.
+    pub fn effective_provides(&self, id: NodeId) -> &[DataKind] {
         self.nodes
             .get(&id)
             .map(|n| n.effective_provides())
-            .unwrap_or_default()
+            .unwrap_or(&[])
+    }
+
+    /// Topological levels of the graph: level 0 holds the nodes with no
+    /// wired producers, and every other node sits one level below its
+    /// deepest producer (longest-path layering). Within a level, nodes
+    /// are in id order.
+    ///
+    /// All nodes of one level are mutually independent — none is
+    /// (transitively) upstream of another — which is exactly the
+    /// property the level-parallel executor relies on. The result is
+    /// computed once and cached; any structural mutation (add, remove,
+    /// connect, disconnect) invalidates the cache.
+    pub fn topo_levels(&mut self) -> &[Vec<NodeId>] {
+        if self.levels.is_none() {
+            self.levels = Some(self.compute_levels());
+        }
+        self.levels.as_deref().unwrap_or(&[])
+    }
+
+    /// Node ids in a topological order (levels flattened); cached like
+    /// [`ProcessingGraph::topo_levels`].
+    pub fn topo_order(&mut self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo_levels().iter().flatten().copied()
+    }
+
+    /// The maximum number of nodes in any one topological level — the
+    /// graph's parallelism width. 1 means a purely linear process.
+    pub fn level_width(&mut self) -> usize {
+        self.topo_levels().iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn compute_levels(&self) -> Vec<Vec<NodeId>> {
+        let mut level: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut pending: Vec<NodeId> = self.nodes.keys().copied().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|id| {
+                let node = &self.nodes[id];
+                let mut lvl = 0usize;
+                for producer in node.inputs.iter().flatten() {
+                    if !self.nodes.contains_key(producer) {
+                        continue;
+                    }
+                    match level.get(producer) {
+                        Some(l) => lvl = lvl.max(l + 1),
+                        None => return true, // producer not layered yet
+                    }
+                }
+                level.insert(*id, lvl);
+                false
+            });
+            if pending.len() == before {
+                // Unreachable for a live graph (acyclic by construction);
+                // keep the layering total rather than panicking.
+                for id in pending.drain(..) {
+                    level.insert(id, 0);
+                }
+            }
+        }
+        let depth = level.values().copied().max().map(|m| m + 1).unwrap_or(0);
+        let mut levels = vec![Vec::new(); depth];
+        for (id, l) in level {
+            levels[l].push(id);
+        }
+        levels
     }
 
     /// Whether `to` is reachable from `from` following output edges.
@@ -556,6 +659,15 @@ impl ProcessingGraph {
 
     pub(crate) fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
         self.nodes.get_mut(&id)
+    }
+
+    /// Disjoint mutable access to every node at once — the parallel
+    /// executor hands each worker its own `&mut Node`. Does not permit
+    /// structural mutation, so the level cache stays valid.
+    pub(crate) fn nodes_iter_mut(
+        &mut self,
+    ) -> std::collections::btree_map::IterMut<'_, NodeId, Node> {
+        self.nodes.iter_mut()
     }
 
     /// Renders the graph as an indented ASCII tree rooted at the sinks —

@@ -59,6 +59,7 @@ pub mod component;
 pub mod data;
 pub mod distribution;
 mod error;
+pub mod executor;
 pub mod feature;
 pub mod graph;
 pub mod middleware;
@@ -77,7 +78,8 @@ pub mod prelude {
         Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole,
         FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,
     };
-    pub use crate::data::{kinds, DataItem, DataKind, Position, Value};
+    pub use crate::data::{kinds, Attrs, DataItem, DataKind, Payload, Position, Value};
+    pub use crate::executor::{ExecMode, Executor, LevelParallel, Sequential};
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
     pub use crate::graph::{NodeId, ProcessingGraph};
     pub use crate::middleware::Middleware;

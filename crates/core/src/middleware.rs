@@ -14,21 +14,21 @@
 //! (paper §2: "maintaining a causal connection between the positioning
 //! system and the tree").
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::channel::{ChannelFeature, ChannelId, ChannelInfo, ChannelLayer};
-use crate::component::{Component, ComponentCtx, MethodSpec};
+use crate::component::{Component, MethodSpec};
 use crate::data::{DataItem, Value};
 use crate::distribution::Deployment;
-use crate::feature::{ComponentFeature, FeatureAction, FeatureHost};
+use crate::executor::{executor_for, EngineCtx, ExecMode, Executor};
+use crate::feature::ComponentFeature;
 use crate::graph::{NodeId, NodeInfo, ProcessingGraph};
 use crate::positioning::{
     ApplicationSink, Criteria, FailoverInner, FailoverProvider, FailoverShared, LocationProvider,
     SinkShared,
 };
-use crate::supervision::{FaultAction, FaultPolicy, HealthRegistry, HealthStatus, NodeHealth};
+use crate::supervision::{FaultPolicy, HealthRegistry, HealthStatus, NodeHealth};
 use crate::{CoreError, SimClock, SimDuration, SimTime};
 
 /// A named tracked target: an application end-point of its own, to which
@@ -87,6 +87,9 @@ pub struct Middleware {
     /// Failover providers re-resolved against pipeline health after
     /// every step.
     failovers: Vec<Arc<FailoverShared>>,
+    /// The scheduling policy running each step (paper translucency
+    /// applied to execution: inspectable and swappable at runtime).
+    executor: Box<dyn Executor>,
 }
 
 impl fmt::Debug for Middleware {
@@ -124,6 +127,7 @@ impl Middleware {
             deployment: None,
             health: HealthRegistry::default(),
             failovers: Vec::new(),
+            executor: executor_for(ExecMode::Sequential),
         }
     }
 
@@ -273,7 +277,6 @@ impl Middleware {
     pub fn structure(&self) -> Vec<NodeInfo> {
         self.graph
             .node_ids()
-            .into_iter()
             .filter_map(|id| self.graph.info(id).ok())
             .collect()
     }
@@ -306,6 +309,30 @@ impl Middleware {
                 return Err(CoreError::UnknownNode(id));
             }
             return Ok(self.health.health(id).to_value());
+        }
+        if method == "executor" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            return Ok(Value::from(self.executor.mode().as_str()));
+        }
+        if method == "set_executor" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            let name =
+                args.first()
+                    .and_then(|v| v.as_text())
+                    .ok_or_else(|| CoreError::BadArguments {
+                        method: "set_executor".into(),
+                        reason: "expected one text argument naming the mode".into(),
+                    })?;
+            let mode = ExecMode::from_name(name).ok_or_else(|| CoreError::BadArguments {
+                method: "set_executor".into(),
+                reason: format!("unknown executor mode {name:?}"),
+            })?;
+            self.set_executor(mode);
+            return Ok(Value::Null);
         }
         let now = self.clock.now();
         let (value, emitted) = self.graph.invoke(id, method, args, now)?;
@@ -497,10 +524,9 @@ impl Middleware {
             let available = self
                 .graph
                 .node_ids()
-                .into_iter()
                 .flat_map(|id| self.graph.effective_provides(id))
                 .collect::<Vec<_>>();
-            if !criteria.kinds().iter().any(|k| available.contains(k)) {
+            if !criteria.kinds().iter().any(|k| available.contains(&k)) {
                 return Err(CoreError::NoMatchingProvider(criteria.to_string()));
             }
         }
@@ -667,98 +693,40 @@ impl Middleware {
     pub fn step(&mut self) -> Result<(), CoreError> {
         let now = self.clock.now();
         self.steps_run += 1;
-        let mut queue: VecDeque<(NodeId, usize, DataItem)> = VecDeque::new();
-
-        // Deliver remote messages that are due.
-        if let Some(dep) = &mut self.deployment {
-            for (target, port, item) in dep.take_due(now) {
-                if self.graph.contains(target) {
-                    queue.push_back((target, port, item));
-                }
-            }
-        }
-
-        // Route feature emissions from out-of-band reflective calls.
-        for (node, item) in std::mem::take(&mut self.pending) {
-            if self.graph.contains(node) {
-                self.route_item(node, item, now, &mut queue)?;
-            }
-        }
-
-        for src in self.graph.sources() {
-            if self.health.is_quarantined(src, now) {
-                continue;
-            }
-            self.supervised(src, now, |mw| {
-                let emitted = mw.run_tick(src, now)?;
-                for item in emitted {
-                    mw.dispatch_output(src, item, now, &mut queue)?;
-                }
-                Ok(())
-            })?;
-        }
-
-        while let Some((node, port, item)) = queue.pop_front() {
-            // Items addressed to a quarantined node are dropped: the
-            // breaker is open, nothing may excite the component.
-            if self.health.is_quarantined(node, now) {
-                continue;
-            }
-            self.supervised(node, now, |mw| {
-                let (passed, extras) = mw.run_consume_features(node, item, now)?;
-                for extra in extras {
-                    mw.route_item(node, extra, now, &mut queue)?;
-                }
-                let Some(item) = passed else { return Ok(()) };
-                let emitted = mw.run_on_input(node, port, item, now)?;
-                for item in emitted {
-                    mw.dispatch_output(node, item, now, &mut queue)?;
-                }
-                Ok(())
-            })?;
-        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut ctx = EngineCtx::new(
+            &mut self.graph,
+            &mut self.channels,
+            &mut self.health,
+            self.deployment.as_mut(),
+            now,
+        );
+        self.executor.step(&mut ctx, pending)?;
         self.update_failovers(now);
         Ok(())
     }
 
-    /// Runs one unit of per-node work under the node's fault policy,
-    /// containing panics as [`CoreError::ComponentFailure`] faults.
-    fn supervised(
-        &mut self,
-        id: NodeId,
-        now: SimTime,
-        work: impl FnOnce(&mut Self) -> Result<(), CoreError>,
-    ) -> Result<(), CoreError> {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(self)));
-        let err = match outcome {
-            Ok(Ok(())) => {
-                self.health.record_success(id, now);
-                return Ok(());
-            }
-            Ok(Err(e)) => e,
-            Err(payload) => CoreError::ComponentFailure {
-                component: self.node_name(id),
-                reason: format!("panic: {}", panic_message(payload.as_ref())),
-            },
-        };
-        match self.health.on_fault(id, now, &err.to_string()) {
-            FaultAction::Propagate => Err(err),
-            FaultAction::Drop => Ok(()),
-            FaultAction::Restart | FaultAction::Quarantine => {
-                if let Some(node) = self.graph.node_mut(id) {
-                    node.component.on_reset();
-                }
-                Ok(())
-            }
+    /// Selects the execution policy for subsequent steps (default:
+    /// [`ExecMode::Sequential`]). Both policies produce identical
+    /// channel data trees and health outcomes for the same trace; see
+    /// [`crate::executor`] for the contract and its caveats.
+    pub fn set_executor(&mut self, mode: ExecMode) {
+        if self.executor.mode() != mode {
+            self.executor = executor_for(mode);
         }
     }
 
-    /// Best-effort display name of a node.
-    fn node_name(&self, id: NodeId) -> String {
-        self.graph
-            .node(id)
-            .map(|n| n.descriptor.name.clone())
-            .unwrap_or_else(|| format!("{id:?}"))
+    /// The active execution mode.
+    pub fn executor_mode(&self) -> ExecMode {
+        self.executor.mode()
+    }
+
+    /// Installs a specific executor instance, for callers that need
+    /// more than a mode name — e.g.
+    /// [`LevelParallel::with_workers`](crate::executor::LevelParallel::with_workers)
+    /// to force a worker count regardless of the machine.
+    pub fn install_executor(&mut self, executor: Box<dyn Executor>) {
+        self.executor = executor;
     }
 
     /// Advances simulated time by `tick` after each step until `total`
@@ -780,167 +748,14 @@ impl Middleware {
         }
         Ok(())
     }
-
-    /// Ticks one source component.
-    fn run_tick(&mut self, id: NodeId, now: SimTime) -> Result<Vec<DataItem>, CoreError> {
-        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
-        let mut ctx = ComponentCtx::new(now);
-        node.component.on_tick(&mut ctx)?;
-        Ok(ctx.take_emitted())
-    }
-
-    /// Delivers one item to a component's input port.
-    fn run_on_input(
-        &mut self,
-        id: NodeId,
-        port: usize,
-        item: DataItem,
-        now: SimTime,
-    ) -> Result<Vec<DataItem>, CoreError> {
-        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
-        let mut ctx = ComponentCtx::new(now);
-        node.component.on_input(port, item, &mut ctx)?;
-        Ok(ctx.take_emitted())
-    }
-
-    /// Runs the consume-direction features of a node over an incoming
-    /// item. Returns the (possibly replaced) item and any data the
-    /// features added.
-    fn run_consume_features(
-        &mut self,
-        id: NodeId,
-        item: DataItem,
-        now: SimTime,
-    ) -> Result<(Option<DataItem>, Vec<DataItem>), CoreError> {
-        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
-        let component = &mut node.component;
-        let features = &mut node.features;
-        let mut extras = Vec::new();
-        let mut current = Some(item);
-        for slot in features.iter_mut() {
-            let mut host = FeatureHost::new(component.as_mut(), now);
-            if let Some(it) = current.take() {
-                let kind_before = it.kind.clone();
-                match slot.feature.on_consume(it, &mut host)? {
-                    FeatureAction::Continue(out) => {
-                        if out.kind != kind_before {
-                            return Err(CoreError::ComponentFailure {
-                                component: slot.descriptor.name.clone(),
-                                reason: format!(
-                                    "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
-                                    out.kind
-                                ),
-                            });
-                        }
-                        current = Some(out);
-                    }
-                    FeatureAction::Drop => current = None,
-                }
-            }
-            extras.extend(host.take_emitted());
-        }
-        Ok((current, extras))
-    }
-
-    /// Runs the produce-direction features over an item a node emitted,
-    /// then routes the surviving item plus any feature-added data.
-    fn dispatch_output(
-        &mut self,
-        id: NodeId,
-        item: DataItem,
-        now: SimTime,
-        queue: &mut VecDeque<(NodeId, usize, DataItem)>,
-    ) -> Result<(), CoreError> {
-        let node = self.graph.node_mut(id).ok_or(CoreError::UnknownNode(id))?;
-        let component = &mut node.component;
-        let features = &mut node.features;
-        let mut outputs = Vec::new();
-        let mut current = Some(item);
-        for slot in features.iter_mut() {
-            let mut host = FeatureHost::new(component.as_mut(), now);
-            if let Some(it) = current.take() {
-                let kind_before = it.kind.clone();
-                match slot.feature.on_produce(it, &mut host)? {
-                    FeatureAction::Continue(out) => {
-                        if out.kind != kind_before {
-                            return Err(CoreError::ComponentFailure {
-                                component: slot.descriptor.name.clone(),
-                                reason: format!(
-                                    "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
-                                    out.kind
-                                ),
-                            });
-                        }
-                        current = Some(out);
-                    }
-                    FeatureAction::Drop => current = None,
-                }
-            }
-            outputs.extend(host.take_emitted());
-        }
-        if let Some(it) = current {
-            outputs.insert(0, it);
-        }
-        for out in outputs {
-            self.route_item(id, out, now, queue)?;
-        }
-        Ok(())
-    }
-
-    /// Channel bookkeeping plus downstream fan-out for one finished item.
-    fn route_item(
-        &mut self,
-        id: NodeId,
-        item: DataItem,
-        now: SimTime,
-        queue: &mut VecDeque<(NodeId, usize, DataItem)>,
-    ) -> Result<(), CoreError> {
-        if let Some(tree) = self.channels.record(id, &item) {
-            let emitted = self.channels.apply_features(&mut self.graph, &tree, now)?;
-            for (node, extra) in emitted {
-                self.route_item(node, extra, now, queue)?;
-            }
-        }
-        for (target, port) in self.graph.downstream(id) {
-            let accepts = self
-                .graph
-                .node(target)
-                .and_then(|n| n.descriptor.inputs.get(port).cloned())
-                .map(|spec| spec.accepts_kind(&item.kind))
-                .unwrap_or(false);
-            if !accepts {
-                continue;
-            }
-            // Cross-host edges go through the deployment's link model.
-            match self.deployment.as_mut() {
-                Some(d) if d.crosses_hosts(id, target) => {
-                    d.send(now, id, target, port, item.clone());
-                }
-                _ => queue.push_back((target, port, item.clone())),
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Renders a caught panic payload for fault records; panics carry a
-/// `&str` or `String` message in practice.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::component::{FnProcessor, FnSource};
+    use crate::component::{ComponentCtx, FnProcessor, FnSource};
     use crate::data::{kinds, Position};
-    use crate::feature::{FeatureDescriptor, TagFeature};
+    use crate::feature::{FeatureAction, FeatureDescriptor, FeatureHost, TagFeature};
     use perpos_geo::Wgs84;
     use std::any::Any;
 

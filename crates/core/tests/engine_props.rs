@@ -164,7 +164,7 @@ proptest! {
             // Invariant check after every operation.
             let g = mw.graph();
             for id in g.node_ids() {
-                for (target, port) in g.downstream(id) {
+                for &(target, port) in g.downstream(id) {
                     prop_assert!(g.contains(target), "edge to missing node");
                     let ups = g.upstream(target);
                     prop_assert_eq!(ups.get(port).copied().flatten(), Some(id),

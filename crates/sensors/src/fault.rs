@@ -175,7 +175,7 @@ impl ComponentFeature for FaultInjector {
         edge += self.garbage_rate;
         if roll < edge {
             self.counts.lock().garbage += 1;
-            item.payload = Value::from("\u{fffd}garbage");
+            item.payload = Value::from("\u{fffd}garbage").into();
             return Ok(FeatureAction::Continue(item));
         }
         self.counts.lock().passed += 1;
@@ -278,7 +278,7 @@ mod tests {
         let junk = p
             .history()
             .iter()
-            .filter(|i| matches!(&i.payload, Value::Text(t) if t.contains("garbage")))
+            .filter(|i| matches!(&*i.payload, Value::Text(t) if t.contains("garbage")))
             .count() as u64;
         assert_eq!(junk, c.garbage);
     }

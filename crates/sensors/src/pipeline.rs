@@ -204,7 +204,7 @@ impl Component for Resolver {
                 ctx.now(),
                 Value::from(room.id().as_str()),
             )
-            .with_attr("wgs84", item.payload.clone())
+            .with_attr("wgs84", item.payload.to_value())
             .with_attr("floor", Value::Int(i64::from(self.floor)));
             ctx.emit(out);
         }
@@ -392,7 +392,7 @@ impl ComponentFeature for HdopFeature {
         if let Some(Sentence::Gga(gga)) = codec::sentence_of(&item) {
             if gga.quality.has_fix() {
                 self.last_hdop = Some(gga.hdop);
-                item.attrs.insert("hdop".into(), Value::Float(gga.hdop));
+                item.attrs.insert("hdop", Value::Float(gga.hdop));
             }
         }
         Ok(FeatureAction::Continue(item))
@@ -453,7 +453,7 @@ impl ComponentFeature for NumberOfSatellitesFeature {
         if let Some(Sentence::Gga(gga)) = codec::sentence_of(&item) {
             let n = i64::from(gga.num_satellites);
             self.last = Some(n);
-            item.attrs.insert("satellites".into(), Value::Int(n));
+            item.attrs.insert("satellites", Value::Int(n));
         }
         Ok(FeatureAction::Continue(item))
     }
@@ -736,11 +736,11 @@ mod tests {
     fn satellite_filter_drops_low_counts() {
         let mut f = SatelliteFilter::new(4);
         let mut item = parsed(GGA);
-        item.attrs.insert("satellites".into(), Value::Int(3));
+        item.attrs.insert("satellites", Value::Int(3));
         assert!(ComponentCtxProbe::run_input(&mut f, item.clone())
             .unwrap()
             .is_empty());
-        item.attrs.insert("satellites".into(), Value::Int(7));
+        item.attrs.insert("satellites", Value::Int(7));
         assert_eq!(ComponentCtxProbe::run_input(&mut f, item).unwrap().len(), 1);
         // Items without the attribute pass (conservative default).
         assert_eq!(
