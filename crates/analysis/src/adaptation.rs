@@ -191,7 +191,7 @@ fn format_interval(fact: Option<(f64, f64)>, unit: &str) -> String {
 
 /// Info-severity diagnostics describing how the facts observed at each
 /// sink change under the plan — the predicted semantic effect of the
-/// adaptation (accuracy: P011, taint: P012, rate: P013).
+/// adaptation (accuracy: P011, taint: P012, rate: P013/P014).
 fn semantic_deltas(
     before_graph: &FlowGraph,
     before: &GraphFacts,

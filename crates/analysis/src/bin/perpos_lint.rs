@@ -35,7 +35,7 @@ const USAGE: &str =
        perpos-lint --explain <PNNN|all>
 
 Lints a PerPos GraphConfig JSON file with the perpos-analysis passes
-(P001-P013). Without --catalog only the built-in \"application\" type is
+(P001-P014). Without --catalog only the built-in \"application\" type is
 known; pass a catalog (see perpos_analysis::TypeCatalog) describing the
 component types the configuration references.
 

@@ -164,7 +164,7 @@ pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
     check_feature_requirements(&instances, &edges, &mut report);
     check_dead_components(config, &instances, &edges, &mut report);
 
-    // Semantic dataflow analyses (P010-P013) over the well-referenced
+    // Semantic dataflow analyses (P010-P014) over the well-referenced
     // part of the configuration.
     let flow = crate::dataflow::FlowGraph::from_config(config, catalog);
     let (_, dataflow_report) = crate::domains::analyze_dataflow(&flow);
@@ -510,6 +510,7 @@ mod tests {
             ],
             connections: vec![edge("gps0", "p0", 0), edge("p0", "app", 0)],
             executor: None,
+            tree_policy: None,
         };
         let report = analyze_config(&config, &catalog());
         assert!(report.is_clean(), "{}", report.render_human());
@@ -521,6 +522,7 @@ mod tests {
             components: vec![comp("p0", "parser")],
             connections: vec![edge("p0", "p0", 0)],
             executor: None,
+            tree_policy: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(
@@ -543,6 +545,7 @@ mod tests {
             ],
             connections: vec![edge("p0", "app", 0)],
             executor: None,
+            tree_policy: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(report.with_code(Code::P007).len(), 1);

@@ -520,6 +520,7 @@ mod tests {
                 edge("c", "app", 0),
             ],
             executor: None,
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.nodes.len(), 4);
@@ -538,6 +539,7 @@ mod tests {
             components: vec![instance("x", "proc"), instance("y", "proc")],
             connections: vec![edge("x", "y", 0), edge("y", "x", 0)],
             executor: None,
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert!(g.topological_order().is_none());
@@ -566,6 +568,7 @@ mod tests {
                 edge("c", "app", 0),
             ],
             executor: Some("level-parallel".into()),
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.executor.as_deref(), Some("level-parallel"));
@@ -582,6 +585,7 @@ mod tests {
             components: vec![instance("x", "proc"), instance("y", "proc")],
             connections: vec![edge("x", "y", 0), edge("y", "x", 0)],
             executor: None,
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         let levels = g.topo_levels();
@@ -597,6 +601,7 @@ mod tests {
             components: vec![instance("a", "src"), instance("ghost", "unknown-type")],
             connections: vec![edge("a", "nobody", 0), edge("ghost", "a", 7)],
             executor: None,
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.nodes.len(), 1);
@@ -615,6 +620,7 @@ mod tests {
             components: vec![instance("s", "src"), instance("n", "narrow")],
             connections: vec![edge("s", "n", 0)],
             executor: None,
+            tree_policy: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.edge_kinds(0), vec!["nmea.sentence".to_string()]);

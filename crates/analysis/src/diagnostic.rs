@@ -9,8 +9,10 @@ use serde::{Content, Serialize};
 /// (the [`Report::render_json`] document and the `perpos-lint --facts
 /// json` facts document). Bumped whenever the shape changes so downstream
 /// tooling can detect format drift. Version 1 was the unversioned PR 1
-/// shape; version 2 adds `schema_version` itself and codes P010–P013.
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// shape; version 2 adds `schema_version` itself and codes P010–P013;
+/// version 3 adds code P014 and the channel-buffer facts
+/// (`level_buffer_cap`, per-node `overflow_s`).
+pub const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// Defines [`Code`] from a single list, generating the enum, the
 /// [`Code::ALL`] table, [`Code::as_str`], [`Code::parse`] and
@@ -99,6 +101,10 @@ define_codes! {
     /// Rate overload: inferred sustained inbound rate exceeds a
     /// component's declared maximum processing rate.
     P013 => "inbound rate exceeds declared processing capacity",
+    /// Channel buffer overrun: a sustained rate excess will fill the
+    /// channel layer's bounded per-level buffer, after which the oldest
+    /// pending entries are evicted and silently missing from data trees.
+    P014 => "declared rates will overrun the channel level buffer",
 }
 
 /// Long-form documentation of a diagnostic code, served by
@@ -250,6 +256,21 @@ impl Code {
                           only 1 item/s.",
                 fix: "Downsample upstream, raise the component's capacity, or declare \
                       a rate_factor < 1 on an intermediate component.",
+            },
+            Code::P014 => CodeExplanation {
+                detail: "The channel layer buffers unclaimed intermediate items per \
+                         level, bounded by LEVEL_BUFFER_CAP; when the bound is hit the \
+                         oldest entries are evicted (counted in channel_stats.dropped) \
+                         and are missing from later data trees. A component whose \
+                         inferred inflow durably exceeds its declared capacity fills \
+                         that buffer at the excess rate, so the lint predicts the time \
+                         until the first eviction.",
+                example: "A 1 Hz GPS source feeding a throttle declared to consume \
+                          only 0.5 item/s: the 0.5 item/s surplus fills the 4096-entry \
+                          buffer in ~8192 s of run time.",
+                fix: "Resolve the underlying P013 rate overload — downsample upstream \
+                      or raise the consumer's declared capacity — so the buffer \
+                      drains as fast as it fills.",
             },
         }
     }

@@ -1,5 +1,5 @@
 //! Concrete abstract domains for the dataflow framework, and the
-//! diagnostics (P010–P013) computed from their fixpoints.
+//! diagnostics (P010–P014) computed from their fixpoints.
 //!
 //! Each submodule is one lattice with its transfer function:
 //!
@@ -7,7 +7,8 @@
 //!   frame(s) a channel's position data lives in.
 //! - [`accuracy`] — achievable-accuracy intervals in metres (P011).
 //! - [`taint`] — provenance of raw identifiable sensor data (P012).
-//! - [`rate`] — sustained item-rate bounds in items/second (P013).
+//! - [`rate`] — sustained item-rate bounds in items/second (P013) and
+//!   predicted channel-buffer overruns (P014).
 //!
 //! [`infer_facts`] solves all four over one [`FlowGraph`];
 //! [`dataflow_diagnostics`] turns the solved facts into a [`Report`];
@@ -60,7 +61,7 @@ pub fn infer_facts(graph: &FlowGraph) -> GraphFacts {
     }
 }
 
-/// Runs the P010–P013 checks over already-solved facts.
+/// Runs the P010–P014 checks over already-solved facts.
 pub fn dataflow_diagnostics(graph: &FlowGraph, facts: &GraphFacts) -> Report {
     let mut report = Report::new();
     frame::diagnostics(graph, &facts.frames, &mut report);
@@ -108,6 +109,10 @@ struct JsonNodeFacts {
     accuracy_m: Option<JsonInterval>,
     taint: Vec<JsonTaint>,
     rate_hz: Option<JsonInterval>,
+    /// Predicted seconds until the channel layer's bounded level buffer
+    /// first evicts at this node (P014); `null` when no overrun is
+    /// predicted.
+    overflow_s: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -125,6 +130,9 @@ struct JsonFactsDoc {
     schema_version: u64,
     converged: bool,
     executor: String,
+    /// The channel layer's per-level pending-buffer bound the
+    /// `overflow_s` node predictions are computed against.
+    level_buffer_cap: u64,
     levels: Vec<Vec<String>>,
     nodes: Vec<JsonNodeFacts>,
     edges: Vec<JsonEdgeFacts>,
@@ -153,6 +161,7 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
                 })
                 .collect(),
             rate_hz: facts.rate[i].map(JsonInterval::from_pair),
+            overflow_s: rate::node_overflow_s(graph, &facts.rate, i),
         })
         .collect();
     let edges = graph
@@ -185,6 +194,7 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             .executor
             .clone()
             .unwrap_or_else(|| "sequential".into()),
+        level_buffer_cap: perpos_core::channel::LEVEL_BUFFER_CAP as u64,
         levels: graph
             .topo_levels()
             .into_iter()

@@ -1,4 +1,4 @@
-//! Rate/cost propagation (P013).
+//! Rate/cost propagation (P013, P014).
 //!
 //! The fact on a node's output is an interval bounding the sustained
 //! item rate it produces, in items/second: `Some((lo, hi))`, or `None`
@@ -12,11 +12,15 @@
 //! [`diagnostics`] reports P013 when a node's *guaranteed* inflow (the
 //! lower bound) exceeds its declared [`TransferSpec::max_rate_hz`]: the
 //! input queue then grows without bound no matter how the runtime
-//! behaves — the static form of unbounded queue growth.
+//! behaves — the static form of unbounded queue growth. The same excess
+//! also predicts when the channel layer's bounded per-level buffer
+//! ([`LEVEL_BUFFER_CAP`]) will start evicting entries (P014), turning
+//! the unbounded-queue abstraction into concrete silent data loss.
 
 use crate::dataflow::{Domain, FlowGraph};
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
 
+use perpos_core::channel::LEVEL_BUFFER_CAP;
 #[allow(unused_imports)] // doc links
 use perpos_core::component::TransferSpec;
 
@@ -74,7 +78,32 @@ impl Domain for RateDomain {
     }
 }
 
-/// P013 checks over the solved rate facts.
+/// Seconds of sustained run time until the channel layer's per-level
+/// buffer first evicts, given a guaranteed inflow `lo` against a
+/// declared `capacity`; `None` while the buffer drains at least as fast
+/// as it fills.
+pub(crate) fn overflow_seconds(lo: f64, capacity: f64) -> Option<f64> {
+    (lo > capacity).then(|| LEVEL_BUFFER_CAP as f64 / (lo - capacity))
+}
+
+/// The predicted time-to-eviction for one node over solved rate facts
+/// (see [`overflow_seconds`]); surfaced in the `--facts json` document.
+pub(crate) fn node_overflow_s(
+    graph: &FlowGraph,
+    facts: &[Option<(f64, f64)>],
+    node: usize,
+) -> Option<f64> {
+    let capacity = graph.nodes[node].transfer.max_rate_hz?;
+    let inputs: Vec<(usize, &Option<(f64, f64)>)> = graph
+        .preds(node)
+        .iter()
+        .map(|&e| (e, &facts[graph.edges[e].from]))
+        .collect();
+    let (lo, _) = inflow(&inputs)?;
+    overflow_seconds(lo, capacity)
+}
+
+/// P013/P014 checks over the solved rate facts.
 pub fn diagnostics(graph: &FlowGraph, facts: &[Option<(f64, f64)>], report: &mut Report) {
     for (i, n) in graph.nodes.iter().enumerate() {
         let Some(capacity) = n.transfer.max_rate_hz else {
@@ -105,6 +134,27 @@ pub fn diagnostics(graph: &FlowGraph, facts: &[Option<(f64, f64)>], report: &mut
                      or raise the component's capacity",
                 ),
             );
+            if let Some(secs) = overflow_seconds(lo, capacity) {
+                report.push(
+                    Diagnostic::new(
+                        Code::P014,
+                        Severity::Warning,
+                        format!(
+                            "{} backlog grows {:.3} items/s; the channel layer's \
+                             {LEVEL_BUFFER_CAP}-entry level buffer starts evicting \
+                             after ~{secs:.0} s, silently dropping tree contributors",
+                            n.label,
+                            lo - capacity,
+                        ),
+                        vec![n.label.clone()],
+                    )
+                    .with_hint(
+                        "resolve the P013 rate overload so the buffer drains as fast \
+                         as it fills; runtime evictions are counted in \
+                         invoke(\"channel_stats\").dropped",
+                    ),
+                );
+            }
         }
     }
 }

@@ -29,11 +29,11 @@
 //! — as lattice fixpoints of per-component transfer functions, and
 //! reports frame conflicts (P010), unreachable accuracy claims (P011),
 //! identifiable data leaking to the application (P012) and statically
-//! overloaded components (P013). The same analyses run on configurations
+//! overloaded components (P013, with P014 predicting when the overload will hit the channel ring cap). The same analyses run on configurations
 //! and live structures, so config-time and adaptation-time findings
 //! agree.
 //!
-//! Every finding is a [`Diagnostic`] with a stable code (P001–P013), a
+//! Every finding is a [`Diagnostic`] with a stable code (P001–P014), a
 //! severity, the offending node/edge path and, where possible, a fix-it
 //! hint; a [`Report`] renders human-readable or JSON. The [`gate`]
 //! module adapts reports to the core's opt-in `*_checked` entry points.
@@ -61,6 +61,7 @@
 //!     }],
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
 //!     executor: None,
+//!     tree_policy: None,
 //! };
 //! let report = analyze_config(&config, &catalog);
 //! assert_eq!(report.with_code(Code::P005).len(), 1);

@@ -30,7 +30,7 @@ pub fn analyze_structure(nodes: &[NodeInfo]) -> Report {
     check_dead_components(nodes, &by_id, &mut report);
     check_feature_conflicts(nodes, &mut report);
 
-    // Semantic dataflow analyses (P010-P013) over the same structure.
+    // Semantic dataflow analyses (P010-P014) over the same structure.
     let flow = crate::dataflow::FlowGraph::from_structure(nodes);
     let (_, dataflow_report) = crate::domains::analyze_dataflow(&flow);
     report.merge(dataflow_report);

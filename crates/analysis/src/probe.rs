@@ -57,7 +57,10 @@ impl MonotonicityProbe {
                 Code::P008,
                 Severity::Error,
                 message,
-                vec![tree.channel.to_string(), tree.root.component_name.clone()],
+                vec![
+                    tree.channel.to_string(),
+                    tree.root.component_name.to_string(),
+                ],
             )
             .with_hint(
                 "logical-time bookkeeping is broken; inspect the channel layer or \

@@ -140,13 +140,29 @@ fn p012_raw_to_sink_fires_exactly_once() {
 }
 
 #[test]
-fn p013_rate_overrun_fires_exactly_once() {
-    // 1 Hz inflow into a throttle declaring 0.5 items/s capacity.
+fn p013_rate_overrun_fires_with_buffer_prediction() {
+    // 1 Hz inflow into a throttle declaring 0.5 items/s capacity: the
+    // rate overload (P013) and its channel-buffer consequence (P014) are
+    // the only findings.
     let report = lint("p013_rate_overrun.json");
-    assert_only(&report, Code::P013, Severity::Warning);
-    let d = report.with_code(Code::P013)[0];
-    assert_eq!(d.path, vec!["slow0".to_string()]);
-    // A warning alone does not fail a gate.
+    let p013 = report.with_code(Code::P013);
+    assert_eq!(p013.len(), 1, "{}", report.render_human());
+    assert_eq!(p013[0].severity, Severity::Warning);
+    assert!(p013[0].hint.is_some());
+    assert_eq!(p013[0].path, vec!["slow0".to_string()]);
+    let p014 = report.with_code(Code::P014);
+    assert_eq!(p014.len(), 1, "{}", report.render_human());
+    assert_eq!(p014[0].severity, Severity::Warning);
+    assert_eq!(p014[0].path, vec!["slow0".to_string()]);
+    // 0.5 items/s surplus into a 4096-entry buffer: ~8192 s to eviction.
+    assert!(p014[0].message.contains("8192"), "{}", p014[0].message);
+    assert!(
+        p014[0].hint.as_deref().unwrap_or("").contains("P013"),
+        "{:?}",
+        p014[0].hint
+    );
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render_human());
+    // Warnings alone do not fail a gate.
     assert!(!report.has_errors());
 }
 

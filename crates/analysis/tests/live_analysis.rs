@@ -309,6 +309,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
             port: 0,
         }],
         executor: None,
+        tree_policy: None,
     };
     let mut mw = Middleware::new();
     let before = mw.structure().len();
@@ -353,6 +354,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
             },
         ],
         executor: None,
+        tree_policy: None,
     };
     let nodes = good
         .instantiate_checked(&mut mw, &factories, &gate)

@@ -5,14 +5,14 @@
 use std::any::Any;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree};
+use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree, TreePolicy};
 use perpos_core::feature::FeatureDescriptor;
 use perpos_core::prelude::*;
 
-struct Consume;
+struct Consume(&'static str);
 impl ChannelFeature for Consume {
     fn descriptor(&self) -> FeatureDescriptor {
-        FeatureDescriptor::new("Consume")
+        FeatureDescriptor::new(self.0)
     }
     fn apply(&mut self, tree: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
         std::hint::black_box(tree.len());
@@ -23,7 +23,9 @@ impl ChannelFeature for Consume {
     }
 }
 
-fn setup(depth: usize, with_feature: bool) -> Middleware {
+const FEATURE_NAMES: [&str; 4] = ["Consume0", "Consume1", "Consume2", "Consume3"];
+
+fn setup(depth: usize, features: usize) -> Middleware {
     let mut mw = Middleware::new();
     let mut i = 0i64;
     let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
@@ -43,9 +45,9 @@ fn setup(depth: usize, with_feature: bool) -> Middleware {
     }
     let app = mw.application_sink();
     mw.connect(prev, app, 0).unwrap();
-    if with_feature {
-        let channel = mw.channel_into(app, 0).unwrap();
-        mw.attach_channel_feature(channel, Consume).unwrap();
+    let channel = mw.channel_into(app, 0).unwrap();
+    for name in FEATURE_NAMES.iter().take(features) {
+        mw.attach_channel_feature(channel, Consume(name)).unwrap();
     }
     mw
 }
@@ -54,7 +56,7 @@ fn bench_tree_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_tree_by_depth");
     for depth in [1usize, 3, 6, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            let mut mw = setup(d, true);
+            let mut mw = setup(d, 1);
             b.iter(|| {
                 mw.step().unwrap();
                 mw.advance_clock(SimDuration::from_micros(1));
@@ -64,13 +66,36 @@ fn bench_tree_assembly(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-step cost at a fixed depth as the number of attached observing
+/// features grows — 0 features exercises the lazy fast path (bookkeeping
+/// only), 1 measures tree assembly + one dispatch, 4 the dispatch
+/// scaling. Paired with `channel_features_eager`, which pins the same
+/// sweep under [`TreePolicy::Eager`] where 0 features still assembles
+/// every tree.
+fn bench_feature_counts(c: &mut Criterion) {
+    for policy in [TreePolicy::Lazy, TreePolicy::Eager] {
+        let mut group = c.benchmark_group(format!("channel_features_{policy}"));
+        for features in [0usize, 1, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(features), &features, |b, &f| {
+                let mut mw = setup(8, f);
+                mw.set_tree_policy(policy);
+                b.iter(|| {
+                    mw.step().unwrap();
+                    mw.advance_clock(SimDuration::from_micros(1));
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_recompute(c: &mut Criterion) {
     // Channel derivation cost after a structural change.
     let mut group = c.benchmark_group("channel_recompute");
     for depth in [4usize, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             b.iter_with_setup(
-                || setup(d, false),
+                || setup(d, 0),
                 |mut mw| {
                     // attach_feature triggers a recompute.
                     let src = mw.graph().sources()[0];
@@ -87,5 +112,10 @@ fn bench_recompute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_assembly, bench_recompute);
+criterion_group!(
+    benches,
+    bench_tree_assembly,
+    bench_feature_counts,
+    bench_recompute
+);
 criterion_main!(benches);

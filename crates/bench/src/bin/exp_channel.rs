@@ -1,0 +1,251 @@
+//! Experiment "channel" — lazy vs eager data-tree materialization.
+//!
+//! The channel layer's Fig. 4 machinery historically built a [`DataTree`]
+//! for every channel output whether or not anything observed it. Under
+//! [`TreePolicy::Lazy`] (the default) a channel only materializes trees
+//! while a Channel Feature is attached or a history subscription is
+//! active; the logical-time bookkeeping always runs, so demand can flip
+//! mid-run without perturbing later trees. This sweep measures what the
+//! lazy path saves: items per second through one pipeline of depth D with
+//! F attached features under both policies, driven through the batched
+//! stepping entry (`Middleware::step_batch`).
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_channel --release`
+//! (pass `--smoke` for the reduced CI sweep, which fails if the
+//! featureless lazy path costs more than 0.8x eager at depth >= 16, or if
+//! the eager path regressed more than 20 % against the committed
+//! `BENCH_channel.json` baseline — both compared as calibrated cost, i.e.
+//! step time divided by the time of a fixed integer kernel measured in
+//! the same process, so the guard tolerates machine-speed drift).
+//!
+//! The full sweep (re)writes `BENCH_channel.json`; the smoke sweep only
+//! reads it.
+
+#![allow(clippy::unwrap_used)]
+use std::any::Any;
+use std::time::Instant;
+
+use perpos_core::channel::{ChannelFeature, ChannelHost, DataTree, TreePolicy};
+use perpos_core::feature::FeatureDescriptor;
+use perpos_core::prelude::*;
+
+/// A minimal observing feature: creates demand and touches every tree.
+struct Consume(&'static str);
+
+impl ChannelFeature for Consume {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new(self.0)
+    }
+    fn apply(&mut self, tree: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        std::hint::black_box(tree.len());
+        Ok(())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const FEATURE_NAMES: [&str; 4] = ["Consume0", "Consume1", "Consume2", "Consume3"];
+
+/// One pipeline of `depth` pass-through processors delivering to the
+/// application sink, with `features` observing Channel Features attached
+/// to the delivering channel. Processors are trivial on purpose: the
+/// experiment times the channel layer, not component work.
+fn build(depth: usize, features: usize) -> Middleware {
+    let mut mw = Middleware::new();
+    let mut i = 0i64;
+    let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, move |_| {
+        i += 1;
+        // A realistic raw payload: channel members hand sentence-sized
+        // strings down the pipeline, as a GPS source would.
+        Some(Value::Text(format!(
+            "$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,{i:04}"
+        )))
+    }));
+    let mut prev = src;
+    for d in 0..depth {
+        let node = mw.add_component(FnProcessor::new(
+            format!("stage{d}"),
+            vec![kinds::RAW_STRING],
+            kinds::RAW_STRING,
+            |item| Some(item.payload.clone()),
+        ));
+        mw.connect(prev, node, 0).unwrap();
+        prev = node;
+    }
+    let app = mw.application_sink();
+    mw.connect(prev, app, 0).unwrap();
+    let channel = mw.channel_into(app, 0).unwrap();
+    for name in FEATURE_NAMES.iter().take(features) {
+        mw.attach_channel_feature(channel, Consume(name)).unwrap();
+    }
+    mw
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Sample {
+    depth: u64,
+    features: u64,
+    policy: String,
+    us_per_step: f64,
+    items_per_sec: f64,
+    materialized: u64,
+    skipped: u64,
+    dropped: u64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Doc {
+    experiment: String,
+    cores: u64,
+    steps: u64,
+    /// Microseconds of the fixed calibration kernel on this machine;
+    /// guard comparisons divide step times by this to cancel CPU drift.
+    calib_us: f64,
+    results: Vec<Sample>,
+}
+
+/// Fixed deterministic integer kernel used to normalize step times
+/// across machines of different speed.
+fn calibrate() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut v = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2_000_000 {
+            v = std::hint::black_box(v.wrapping_mul(6_364_136_223_846_793_005).rotate_left(17));
+        }
+        std::hint::black_box(v);
+        best = best.min(start.elapsed().as_nanos() as f64 / 1e3);
+    }
+    best
+}
+
+fn measure(depth: usize, features: usize, policy: TreePolicy, steps: u64) -> Sample {
+    let mut mw = build(depth, features);
+    mw.set_tree_policy(policy);
+    let tick = SimDuration::from_micros(1);
+    mw.step_batch(steps / 10, tick).unwrap();
+    // Best-of-3: interference from other processes only ever adds time,
+    // so the minimum is the faithful estimate on a noisy machine.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        mw.step_batch(steps, tick).unwrap();
+        let us = start.elapsed().as_micros() as f64 / steps as f64;
+        best = best.min(us);
+    }
+    let us = best;
+    let app = mw.application_sink();
+    let channel = mw.channel_into(app, 0).unwrap();
+    let stats = mw.channel_stats(channel).unwrap();
+    Sample {
+        depth: depth as u64,
+        features: features as u64,
+        policy: policy.as_str().to_string(),
+        us_per_step: us,
+        // One item enters the pipeline per step.
+        items_per_sec: 1e6 / us,
+        materialized: stats.materialized,
+        skipped: stats.skipped,
+        dropped: stats.dropped,
+    }
+}
+
+fn find<'a>(samples: &'a [Sample], depth: u64, features: u64, policy: &str) -> Option<&'a Sample> {
+    samples
+        .iter()
+        .find(|s| s.depth == depth && s.features == features && s.policy == policy)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let steps: u64 = if smoke { 20_000 } else { 100_000 };
+    let depths: &[usize] = if smoke { &[16] } else { &[4, 16, 32] };
+    let feature_counts: &[usize] = if smoke { &[0] } else { &[0, 1, 4] };
+    let calib_us = calibrate();
+
+    println!("=== channel: lazy vs eager tree materialization ({cores} core(s)) ===\n");
+    println!(
+        "{:>6} {:>9} {:>7} {:>12} {:>14} {:>13} {:>9}",
+        "depth", "features", "policy", "step µs", "items/s", "materialized", "skipped"
+    );
+    println!("{}", "-".repeat(76));
+
+    let mut samples = Vec::new();
+    for &depth in depths {
+        for &features in feature_counts {
+            for policy in [TreePolicy::Lazy, TreePolicy::Eager] {
+                let s = measure(depth, features, policy, steps);
+                println!(
+                    "{:>6} {:>9} {:>7} {:>12.2} {:>14.0} {:>13} {:>9}",
+                    s.depth,
+                    s.features,
+                    s.policy,
+                    s.us_per_step,
+                    s.items_per_sec,
+                    s.materialized,
+                    s.skipped
+                );
+                samples.push(s);
+            }
+        }
+    }
+
+    // Guard 1: at depth >= 16 with no features the lazy path must be
+    // clearly cheaper than eager — at most 0.8x the step cost.
+    let guard_depth = *depths.iter().max().unwrap() as u64;
+    let lazy = find(&samples, guard_depth, 0, "lazy").unwrap();
+    let eager = find(&samples, guard_depth, 0, "eager").unwrap();
+    let ratio = lazy.us_per_step / eager.us_per_step;
+    println!(
+        "\nfeatureless depth-{guard_depth}: lazy/eager step cost = {ratio:.3} (limit 0.80), \
+         lazy speed-up = {:.2}x items/s",
+        eager.us_per_step / lazy.us_per_step
+    );
+
+    if smoke {
+        if ratio > 0.80 {
+            eprintln!("FAIL: lazy materialization no longer pays for itself");
+            std::process::exit(1);
+        }
+        // Guard 2: eager must not regress more than 20 % against the
+        // committed baseline, comparing calibrated cost so the check
+        // survives slower or faster CI machines.
+        match std::fs::read_to_string("BENCH_channel.json") {
+            Ok(text) => {
+                let baseline: Doc = serde_json::from_str(&text).unwrap();
+                let base = find(&baseline.results, guard_depth, 0, "eager")
+                    .expect("baseline misses the guard configuration");
+                let base_cost = base.us_per_step / baseline.calib_us;
+                let now_cost = eager.us_per_step / calib_us;
+                let drift = now_cost / base_cost;
+                println!("eager calibrated cost vs baseline = {drift:.3} (limit 1.20)");
+                if drift > 1.20 {
+                    eprintln!("FAIL: eager tree assembly regressed against BENCH_channel.json");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: no committed BENCH_channel.json baseline to compare ({e})");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let doc = Doc {
+        experiment: "channel".to_string(),
+        cores: cores as u64,
+        steps,
+        calib_us,
+        results: samples,
+    };
+    std::fs::write(
+        "BENCH_channel.json",
+        serde_json::to_string_pretty(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("wrote BENCH_channel.json");
+}

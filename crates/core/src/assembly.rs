@@ -116,6 +116,10 @@ pub struct GraphConfig {
     /// `"level-parallel"`); absent keeps the current (default:
     /// sequential) executor. See [`crate::executor::ExecMode`].
     pub executor: Option<String>,
+    /// Tree materialization policy for the channel layer (`"lazy"` or
+    /// `"eager"`); absent keeps the current (default: lazy) policy. See
+    /// [`crate::channel::TreePolicy`].
+    pub tree_policy: Option<String>,
 }
 
 impl GraphConfig {
@@ -140,6 +144,15 @@ impl GraphConfig {
                 }
             })?;
             mw.set_executor(mode);
+        }
+        if let Some(name) = &self.tree_policy {
+            let policy = crate::channel::TreePolicy::from_name(name).ok_or_else(|| {
+                CoreError::ComponentFailure {
+                    component: "tree_policy".into(),
+                    reason: format!("unknown tree policy {name:?}"),
+                }
+            })?;
+            mw.set_tree_policy(policy);
         }
         let mut nodes = BTreeMap::new();
         for c in &self.components {
@@ -445,6 +458,7 @@ mod tests {
                 },
             ],
             executor: None,
+            tree_policy: None,
         };
         let mut mw = Middleware::new();
         let nodes = config.instantiate(&mut mw, &factories).unwrap();
@@ -469,6 +483,7 @@ mod tests {
             }],
             connections: vec![],
             executor: None,
+            tree_policy: None,
         };
         assert!(bad_type.instantiate(&mut mw, &factories).is_err());
         // Unknown instance in a connection.
@@ -485,6 +500,7 @@ mod tests {
                 port: 0,
             }],
             executor: None,
+            tree_policy: None,
         };
         assert!(bad_edge.instantiate(&mut mw, &factories).is_err());
         // Duplicate instance names.
@@ -505,6 +521,7 @@ mod tests {
             ],
             connections: vec![],
             executor: None,
+            tree_policy: None,
         };
         assert!(dup.instantiate(&mut mw, &factories).is_err());
     }
@@ -517,6 +534,7 @@ mod tests {
             components: vec![],
             connections: vec![],
             executor: Some("level-parallel".into()),
+            tree_policy: None,
         };
         config.instantiate(&mut mw, &factories).unwrap();
         assert_eq!(mw.executor_mode(), crate::executor::ExecMode::LevelParallel);
@@ -525,6 +543,7 @@ mod tests {
             components: vec![],
             connections: vec![],
             executor: Some("round-robin".into()),
+            tree_policy: None,
         };
         assert!(bad.instantiate(&mut mw, &factories).is_err());
     }

@@ -17,8 +17,9 @@
 //! values, Fig. 5) through reflective methods or typed handles.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::component::ComponentRole;
 use crate::data::{DataItem, DataKind, Value};
@@ -76,8 +77,10 @@ pub struct ChannelInfo {
 pub struct DataNode {
     /// The graph node that produced the item.
     pub component: NodeId,
-    /// Name of that component (for diagnostics / rendering).
-    pub component_name: String,
+    /// Name of that component (for diagnostics / rendering). Shared with
+    /// the channel runtime, so cloning a node — and building a tree —
+    /// never copies name strings.
+    pub component_name: Arc<str>,
     /// The produced item.
     pub item: DataItem,
     /// The item's logical time at its level (1-based, per level).
@@ -326,14 +329,100 @@ pub trait ChannelFeature: Send {
 
 /// Cap on unclaimed buffered entries per channel level; prevents unbounded
 /// growth when a downstream component consumes nothing for a long time.
-const LEVEL_BUFFER_CAP: usize = 4096;
+/// Evictions are counted per channel (see [`ChannelStats::dropped`]).
+/// Public so static analysis (perpos-lint P014) can predict from declared
+/// rates when a configuration will overrun it.
+pub const LEVEL_BUFFER_CAP: usize = 4096;
+
+/// When the channel layer materializes [`DataTree`]s.
+///
+/// Under [`TreePolicy::Lazy`] (the default) a channel builds a tree for
+/// an output only while something can observe it — a Channel Feature is
+/// attached or a history subscription is active. The logical-time
+/// bookkeeping (counters, claimed ranges, pending buffers) always runs,
+/// so flipping to demand mid-run yields trees byte-identical to a channel
+/// that materialized all along. [`TreePolicy::Eager`] forces
+/// materialization on every output regardless of demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreePolicy {
+    /// Materialize trees only while a feature or history subscription
+    /// demands them.
+    #[default]
+    Lazy,
+    /// Materialize a tree for every channel output.
+    Eager,
+}
+
+impl TreePolicy {
+    /// Canonical configuration name of the policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TreePolicy::Lazy => "lazy",
+            TreePolicy::Eager => "eager",
+        }
+    }
+
+    /// Parses a configuration name (`"lazy"` / `"eager"`).
+    pub fn from_name(name: &str) -> Option<TreePolicy> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "lazy" | "on-demand" | "on_demand" => Some(TreePolicy::Lazy),
+            "eager" | "always" => Some(TreePolicy::Eager),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TreePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-channel buffer and materialization counters, surfaced over the
+/// reflective `invoke("channel_stats")` surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Channel outputs recorded (emissions of the last member).
+    pub outputs: u64,
+    /// Outputs for which a [`DataTree`] was materialized.
+    pub materialized: u64,
+    /// Outputs whose tree was skipped under [`TreePolicy::Lazy`] with no
+    /// demand. `materialized + skipped == outputs` always holds.
+    pub skipped: u64,
+    /// Pending entries evicted by [`LEVEL_BUFFER_CAP`] — data loss that
+    /// used to be silent: evicted entries are missing from later trees.
+    pub dropped: u64,
+    /// Entries currently buffered across all levels awaiting a claim.
+    pub buffered: u64,
+}
+
+impl ChannelStats {
+    /// Renders the counters as a reflective [`Value`] map.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("outputs".to_string(), Value::Int(self.outputs as i64));
+        map.insert(
+            "materialized".to_string(),
+            Value::Int(self.materialized as i64),
+        );
+        map.insert("skipped".to_string(), Value::Int(self.skipped as i64));
+        map.insert("dropped".to_string(), Value::Int(self.dropped as i64));
+        map.insert("buffered".to_string(), Value::Int(self.buffered as i64));
+        Value::Map(map)
+    }
+}
 
 #[derive(Debug, Default)]
 struct LevelState {
     counter: u64,
     /// Highest logical time of this level already claimed by the next.
     claimed_upto: u64,
-    pending: Vec<PendingEntry>,
+    /// Ring of unclaimed entries, logical times strictly increasing.
+    /// Claims always consume a prefix (logical ≤ hi), so draining is
+    /// `pop_front` — no memmove — and range lookups are binary searches.
+    pending: VecDeque<PendingEntry>,
+    /// Entries evicted by [`LEVEL_BUFFER_CAP`] at this level.
+    dropped: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -343,13 +432,24 @@ struct PendingEntry {
     range: Option<(u64, u64)>,
 }
 
+/// Bounded ring of the most recent materialized trees — the second
+/// demand source besides attached features.
+struct TreeHistory {
+    capacity: usize,
+    trees: VecDeque<DataTree>,
+}
+
 struct ChannelRuntime {
     id: ChannelId,
     members: Vec<NodeId>,
-    member_names: Vec<String>,
+    member_names: Vec<Arc<str>>,
     endpoint: Option<(NodeId, usize)>,
     levels: Vec<LevelState>,
     features: Vec<FeatureEntry>,
+    history: Option<TreeHistory>,
+    outputs: u64,
+    materialized: u64,
+    skipped: u64,
 }
 
 struct FeatureEntry {
@@ -359,37 +459,54 @@ struct FeatureEntry {
 
 /// The channel layer runtime: derives channels from the graph, performs
 /// logical-time bookkeeping and hosts Channel Features.
+///
+/// Layout is tuned for [`ChannelLayer::record`], which runs once per
+/// component emission: runtimes live in a dense `Vec` (ascending id) and
+/// membership is a node-id-indexed side table, so the hot path costs two
+/// array reads instead of tree lookups.
 #[derive(Default)]
 pub(crate) struct ChannelLayer {
-    channels: BTreeMap<ChannelId, ChannelRuntime>,
-    /// node -> (channel, level)
-    index: BTreeMap<NodeId, (ChannelId, usize)>,
+    /// Channel runtimes, ascending by id.
+    runtimes: Vec<ChannelRuntime>,
+    /// id -> index into `runtimes`, for the by-id management surface.
+    by_id: BTreeMap<ChannelId, usize>,
+    /// [`NodeId::index`] -> (runtime index, level) for channel members.
+    node_index: Vec<Option<(u32, u32)>>,
+    /// Materialization policy, shared by every channel of the layer.
+    policy: TreePolicy,
 }
 
 impl fmt::Debug for ChannelLayer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ChannelLayer")
-            .field("channels", &self.channels.len())
+            .field("channels", &self.runtimes.len())
             .finish()
     }
 }
 
 impl ChannelLayer {
-    /// Re-derives channels after a graph change, preserving the features
-    /// and buffers of channels whose head survived.
+    /// Re-derives channels after a graph change, preserving the features,
+    /// observers, counters and buffers of channels whose head survived.
     pub(crate) fn recompute(&mut self, graph: &ProcessingGraph) {
-        let mut old = std::mem::take(&mut self.channels);
-        self.index.clear();
+        let old = std::mem::take(&mut self.runtimes);
+        let mut old_by_id = std::mem::take(&mut self.by_id);
+        let mut old: Vec<Option<ChannelRuntime>> = old.into_iter().map(Some).collect();
+        self.node_index.clear();
+        // `channel_heads` follows graph id order, so runtimes stay
+        // ascending by id without sorting.
         for head in channel_heads(graph) {
             let (members, endpoint) = walk_channel(graph, head);
             let id = ChannelId(head);
             let member_names = members
                 .iter()
                 .map(|m| {
-                    graph
-                        .info(*m)
-                        .map(|i| i.descriptor.name)
-                        .unwrap_or_default()
+                    Arc::from(
+                        graph
+                            .info(*m)
+                            .map(|i| i.descriptor.name)
+                            .unwrap_or_default()
+                            .as_str(),
+                    )
                 })
                 .collect();
             let mut runtime = ChannelRuntime {
@@ -399,26 +516,69 @@ impl ChannelLayer {
                 levels: members.iter().map(|_| LevelState::default()).collect(),
                 members: members.clone(),
                 features: Vec::new(),
+                history: None,
+                outputs: 0,
+                materialized: 0,
+                skipped: 0,
             };
-            if let Some(mut prior) = old.remove(&id) {
+            if let Some(mut prior) = old_by_id.remove(&id).and_then(|i| old[i].take()) {
                 runtime.features = std::mem::take(&mut prior.features);
+                runtime.history = prior.history.take();
+                runtime.outputs = prior.outputs;
+                runtime.materialized = prior.materialized;
+                runtime.skipped = prior.skipped;
                 if prior.members == runtime.members {
                     // Unchanged shape: keep logical time and buffers.
                     runtime.levels = prior.levels;
                 }
             }
+            let slot = self.runtimes.len();
             for (level, m) in members.iter().enumerate() {
-                self.index.insert(*m, (id, level));
+                let i = m.index();
+                if self.node_index.len() <= i {
+                    self.node_index.resize(i + 1, None);
+                }
+                self.node_index[i] = Some((slot as u32, level as u32));
             }
-            self.channels.insert(id, runtime);
+            self.by_id.insert(id, slot);
+            self.runtimes.push(runtime);
         }
     }
 
+    /// The runtime behind `id`, or [`CoreError::UnknownChannel`].
+    fn runtime(&self, id: ChannelId) -> Result<&ChannelRuntime, CoreError> {
+        let idx = *self.by_id.get(&id).ok_or(CoreError::UnknownChannel(id))?;
+        Ok(&self.runtimes[idx])
+    }
+
+    /// Mutable access to the runtime behind `id`.
+    fn runtime_mut(&mut self, id: ChannelId) -> Result<&mut ChannelRuntime, CoreError> {
+        let idx = *self.by_id.get(&id).ok_or(CoreError::UnknownChannel(id))?;
+        Ok(&mut self.runtimes[idx])
+    }
+
+    /// Sets the materialization policy for every channel of the layer.
+    pub(crate) fn set_policy(&mut self, policy: TreePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active materialization policy.
+    pub(crate) fn policy(&self) -> TreePolicy {
+        self.policy
+    }
+
     /// Records an emission from `node`. Returns the completed data tree
-    /// when the node is the channel's last member (a channel output).
+    /// when the node is the channel's last member (a channel output) and
+    /// the tree is demanded (a feature is attached, a history
+    /// subscription is active, or the policy is [`TreePolicy::Eager`]).
+    ///
+    /// The logical-time bookkeeping — counters, claimed ranges, pending
+    /// buffers, pruning — is identical whether or not a tree is built,
+    /// so demand can flip at any step without perturbing later trees.
     pub(crate) fn record(&mut self, node: NodeId, item: &DataItem) -> Option<DataTree> {
-        let (cid, level) = *self.index.get(&node)?;
-        let rt = self.channels.get_mut(&cid)?;
+        let (slot, level) = (*self.node_index.get(node.index())?)?;
+        let rt = &mut self.runtimes[slot as usize];
+        let (cid, level) = (rt.id, level as usize);
         let is_last = level + 1 == rt.levels.len();
 
         let range = if level == 0 {
@@ -439,21 +599,42 @@ impl ChannelLayer {
 
         let state = &mut rt.levels[level];
         state.counter += 1;
-        let entry = PendingEntry {
-            item: item.clone(),
-            logical: state.counter,
-            range,
-        };
+        let logical = state.counter;
 
         if is_last {
-            let root = build_node(&rt.levels, &rt.members, &rt.member_names, level, &entry);
-            prune_claimed(&mut rt.levels, level, &entry);
-            Some(DataTree { channel: cid, root })
+            rt.outputs += 1;
+            let demanded =
+                self.policy == TreePolicy::Eager || !rt.features.is_empty() || rt.history.is_some();
+            let tree = if demanded {
+                rt.materialized += 1;
+                let entry = PendingEntry {
+                    item: item.clone(),
+                    logical,
+                    range,
+                };
+                let root = build_node(&rt.levels, &rt.members, &rt.member_names, level, &entry);
+                Some(DataTree { channel: cid, root })
+            } else {
+                rt.skipped += 1;
+                None
+            };
+            prune_claimed(&mut rt.levels, level, range);
+            if let (Some(t), Some(h)) = (&tree, rt.history.as_mut()) {
+                if h.trees.len() == h.capacity {
+                    h.trees.pop_front();
+                }
+                h.trees.push_back(t.clone());
+            }
+            tree
         } else {
-            state.pending.push(entry);
+            state.pending.push_back(PendingEntry {
+                item: item.clone(),
+                logical,
+                range,
+            });
             if state.pending.len() > LEVEL_BUFFER_CAP {
-                let excess = state.pending.len() - LEVEL_BUFFER_CAP;
-                state.pending.drain(..excess);
+                state.pending.pop_front();
+                state.dropped += 1;
             }
             None
         }
@@ -466,7 +647,7 @@ impl ChannelLayer {
         tree: &DataTree,
         now: SimTime,
     ) -> Result<Vec<(NodeId, DataItem)>, CoreError> {
-        let Some(rt) = self.channels.get_mut(&tree.channel) else {
+        let Ok(rt) = self.runtime_mut(tree.channel) else {
             return Ok(Vec::new());
         };
         let mut host = ChannelHost {
@@ -490,13 +671,11 @@ impl ChannelLayer {
         id: ChannelId,
         feature: Box<dyn ChannelFeature>,
     ) -> Result<(), CoreError> {
-        let rt = self
-            .channels
-            .get_mut(&id)
-            .ok_or(CoreError::UnknownChannel(id))?;
+        let idx = *self.by_id.get(&id).ok_or(CoreError::UnknownChannel(id))?;
+        let rt = &mut self.runtimes[idx];
         let descriptor = feature.descriptor();
         for dep in &descriptor.requires {
-            let mut found = rt.member_names.iter().any(|n| n == dep)
+            let mut found = rt.member_names.iter().any(|n| n.as_ref() == dep.as_str())
                 || rt.features.iter().any(|f| &f.descriptor.name == dep);
             if !found {
                 for m in &rt.members {
@@ -528,10 +707,7 @@ impl ChannelLayer {
         id: ChannelId,
         name: &str,
     ) -> Result<Box<dyn ChannelFeature>, CoreError> {
-        let rt = self
-            .channels
-            .get_mut(&id)
-            .ok_or(CoreError::UnknownChannel(id))?;
+        let rt = self.runtime_mut(id)?;
         let idx = rt
             .features
             .iter()
@@ -551,10 +727,7 @@ impl ChannelLayer {
         method: &str,
         args: &[Value],
     ) -> Result<Value, CoreError> {
-        let rt = self
-            .channels
-            .get_mut(&id)
-            .ok_or(CoreError::UnknownChannel(id))?;
+        let rt = self.runtime_mut(id)?;
         let entry = rt
             .features
             .iter_mut()
@@ -573,10 +746,7 @@ impl ChannelLayer {
         name: &str,
         f: impl FnOnce(&mut T) -> R,
     ) -> Result<R, CoreError> {
-        let rt = self
-            .channels
-            .get_mut(&id)
-            .ok_or(CoreError::UnknownChannel(id))?;
+        let rt = self.runtime_mut(id)?;
         let entry = rt
             .features
             .iter_mut()
@@ -596,14 +766,78 @@ impl ChannelLayer {
         Ok(f(typed))
     }
 
+    /// Starts (or resizes) a history subscription: the channel keeps its
+    /// last `capacity` materialized trees, and the subscription itself
+    /// creates demand under [`TreePolicy::Lazy`].
+    pub(crate) fn subscribe_history(
+        &mut self,
+        id: ChannelId,
+        capacity: usize,
+    ) -> Result<(), CoreError> {
+        let rt = self.runtime_mut(id)?;
+        let capacity = capacity.max(1);
+        match rt.history.as_mut() {
+            Some(h) => {
+                h.capacity = capacity;
+                while h.trees.len() > capacity {
+                    h.trees.pop_front();
+                }
+            }
+            None => {
+                rt.history = Some(TreeHistory {
+                    capacity,
+                    trees: VecDeque::new(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends a history subscription, dropping retained trees (and, absent
+    /// features, the channel's demand).
+    pub(crate) fn unsubscribe_history(&mut self, id: ChannelId) -> Result<(), CoreError> {
+        self.runtime_mut(id)?.history = None;
+        Ok(())
+    }
+
+    /// The retained trees of a history subscription, oldest first.
+    pub(crate) fn history(&self, id: ChannelId) -> Result<Vec<DataTree>, CoreError> {
+        let rt = self.runtime(id)?;
+        Ok(rt
+            .history
+            .as_ref()
+            .map(|h| h.trees.iter().cloned().collect())
+            .unwrap_or_default())
+    }
+
+    /// Buffer/materialization counters of one channel.
+    pub(crate) fn stats(&self, id: ChannelId) -> Result<ChannelStats, CoreError> {
+        let rt = self.runtime(id)?;
+        Ok(ChannelStats {
+            outputs: rt.outputs,
+            materialized: rt.materialized,
+            skipped: rt.skipped,
+            dropped: rt.levels.iter().map(|l| l.dropped).sum(),
+            buffered: rt.levels.iter().map(|l| l.pending.len() as u64).sum(),
+        })
+    }
+
+    /// The channel a node belongs to, with its counters — backs the
+    /// reflective `invoke(node, "channel_stats")` surface.
+    pub(crate) fn stats_for_member(&self, node: NodeId) -> Option<(ChannelId, ChannelStats)> {
+        let (slot, _) = (*self.node_index.get(node.index())?)?;
+        let cid = self.runtimes[slot as usize].id;
+        self.stats(cid).ok().map(|s| (cid, s))
+    }
+
     /// Read-only channel descriptions.
     pub(crate) fn infos(&self) -> Vec<ChannelInfo> {
-        self.channels
-            .values()
+        self.runtimes
+            .iter()
             .map(|rt| ChannelInfo {
                 id: rt.id,
                 members: rt.members.clone(),
-                member_names: rt.member_names.clone(),
+                member_names: rt.member_names.iter().map(|n| n.to_string()).collect(),
                 endpoint: rt.endpoint,
                 features: rt
                     .features
@@ -617,8 +851,8 @@ impl ChannelLayer {
 
     /// The channel that delivers into `(node, port)`, if any.
     pub(crate) fn channel_into(&self, node: NodeId, port: usize) -> Option<ChannelId> {
-        self.channels
-            .values()
+        self.runtimes
+            .iter()
             .find(|rt| rt.endpoint == Some((node, port)))
             .map(|rt| rt.id)
     }
@@ -676,22 +910,27 @@ fn walk_channel(graph: &ProcessingGraph, head: NodeId) -> (Vec<NodeId>, Option<(
 fn build_node(
     levels: &[LevelState],
     members: &[NodeId],
-    names: &[String],
+    names: &[Arc<str>],
     level: usize,
     entry: &PendingEntry,
 ) -> DataNode {
     let children = match (level, entry.range) {
         (0, _) | (_, None) => Vec::new(),
-        (_, Some((lo, hi))) => levels[level - 1]
-            .pending
-            .iter()
-            .filter(|e| e.logical >= lo && e.logical <= hi)
-            .map(|e| build_node(levels, members, names, level - 1, e))
-            .collect(),
+        (_, Some((lo, hi))) => {
+            // Logical times are strictly increasing along the ring, so
+            // the claimed [lo, hi] span is a contiguous run: locate it
+            // with two binary searches instead of scanning every entry.
+            let prev = &levels[level - 1].pending;
+            let start = prev.partition_point(|e| e.logical < lo);
+            let end = prev.partition_point(|e| e.logical <= hi);
+            prev.range(start..end)
+                .map(|e| build_node(levels, members, names, level - 1, e))
+                .collect()
+        }
     };
     DataNode {
         component: members[level],
-        component_name: names.get(level).cloned().unwrap_or_default(),
+        component_name: names.get(level).cloned().unwrap_or_else(|| Arc::from("")),
         item: entry.item.clone(),
         logical: entry.logical,
         range: entry.range,
@@ -699,23 +938,29 @@ fn build_node(
     }
 }
 
-/// Removes every buffered entry that the completed output claimed.
-fn prune_claimed(levels: &mut [LevelState], out_level: usize, out_entry: &PendingEntry) {
-    let mut range = out_entry.range;
+/// Removes every buffered entry that the completed output claimed. Claims
+/// always cover a prefix of each ring (everything with logical ≤ hi), so
+/// draining is pure `pop_front` — the front of the ring never memmoves
+/// the way `Vec::retain`/`drain(..n)` did.
+fn prune_claimed(levels: &mut [LevelState], out_level: usize, out_range: Option<(u64, u64)>) {
+    let mut range = out_range;
     for level in (0..out_level).rev() {
         let Some((_, hi)) = range else { break };
         let state = &mut levels[level];
-        // Determine the deepest range claimed transitively.
-        let next_range = state
-            .pending
-            .iter()
-            .filter(|e| e.logical <= hi)
-            .filter_map(|e| e.range)
-            .fold(None, |acc: Option<(u64, u64)>, r| match acc {
-                None => Some(r),
-                Some((lo0, hi0)) => Some((lo0.min(r.0), hi0.max(r.1))),
-            });
-        state.pending.retain(|e| e.logical > hi);
+        // Fold the deepest range claimed transitively while popping.
+        let mut next_range: Option<(u64, u64)> = None;
+        while let Some(front) = state.pending.front() {
+            if front.logical > hi {
+                break;
+            }
+            if let Some(r) = front.range {
+                next_range = Some(match next_range {
+                    None => r,
+                    Some((lo0, hi0)) => (lo0.min(r.0), hi0.max(r.1)),
+                });
+            }
+            state.pending.pop_front();
+        }
         range = next_range;
     }
 }
@@ -777,6 +1022,9 @@ mod tests {
         g.connect(parser, interp, 0).unwrap();
         g.connect(interp, app, 0).unwrap();
         let mut layer = ChannelLayer::default();
+        // Most tests below observe trees directly, without attaching a
+        // feature — force materialization.
+        layer.set_policy(TreePolicy::Eager);
         layer.recompute(&g);
         (g, layer, gps, parser, interp, app)
     }
@@ -1015,12 +1263,83 @@ mod tests {
     }
 
     #[test]
-    fn level_buffer_cap_bounds_memory() {
+    fn level_buffer_cap_bounds_memory_and_counts_drops() {
         let (_g, mut layer, gps, _parser, _interp, _app) = gps_pipeline();
         for v in 0..(LEVEL_BUFFER_CAP as i64 + 100) {
             layer.record(gps, &item(kinds::RAW_STRING, v));
         }
-        let rt = layer.channels.values().next().unwrap();
+        let rt = layer.runtimes.first().unwrap();
         assert_eq!(rt.levels[0].pending.len(), LEVEL_BUFFER_CAP);
+        let stats = layer.stats(layer.infos()[0].id).unwrap();
+        assert_eq!(stats.dropped, 100);
+        assert_eq!(stats.buffered, LEVEL_BUFFER_CAP as u64);
+    }
+
+    #[test]
+    fn lazy_skips_materialization_until_demand() {
+        let (g, mut layer, gps, parser, interp, _app) = gps_pipeline();
+        layer.set_policy(TreePolicy::Lazy);
+        let id = ChannelId(gps);
+
+        // No feature, no history: outputs complete without a tree, but
+        // all bookkeeping still runs.
+        layer.record(gps, &item(kinds::RAW_STRING, 1));
+        layer.record(parser, &item(kinds::NMEA_SENTENCE, 1));
+        assert!(layer
+            .record(interp, &item(kinds::POSITION_WGS84, 1))
+            .is_none());
+        let stats = layer.stats(id).unwrap();
+        assert_eq!(
+            (stats.outputs, stats.materialized, stats.skipped),
+            (1, 0, 1)
+        );
+        assert_eq!(stats.buffered, 0, "claimed entries are still pruned");
+
+        // Attaching a feature creates demand; logical time carries on
+        // exactly where the skipped outputs left it.
+        struct Probe;
+        impl ChannelFeature for Probe {
+            fn descriptor(&self) -> FeatureDescriptor {
+                FeatureDescriptor::new("Probe")
+            }
+            fn apply(&mut self, _t: &DataTree, _h: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        layer.attach_feature(&g, id, Box::new(Probe)).unwrap();
+        layer.record(gps, &item(kinds::RAW_STRING, 2));
+        layer.record(parser, &item(kinds::NMEA_SENTENCE, 2));
+        let tree = layer
+            .record(interp, &item(kinds::POSITION_WGS84, 2))
+            .expect("demand materializes the tree");
+        assert_eq!(tree.root.logical, 2, "logical time continued while lazy");
+        assert_eq!(tree.root.range, Some((2, 2)));
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn history_subscription_demands_and_retains_trees() {
+        let (_g, mut layer, gps, parser, interp, _app) = gps_pipeline();
+        layer.set_policy(TreePolicy::Lazy);
+        let id = ChannelId(gps);
+        layer.subscribe_history(id, 2).unwrap();
+        for v in 1..=3 {
+            layer.record(gps, &item(kinds::RAW_STRING, v));
+            layer.record(parser, &item(kinds::NMEA_SENTENCE, v));
+            assert!(layer
+                .record(interp, &item(kinds::POSITION_WGS84, v))
+                .is_some());
+        }
+        let history = layer.history(id).unwrap();
+        assert_eq!(history.len(), 2, "ring keeps the last `capacity` trees");
+        assert_eq!(history[0].root.logical, 2);
+        assert_eq!(history[1].root.logical, 3);
+        layer.unsubscribe_history(id).unwrap();
+        assert!(layer.history(id).unwrap().is_empty());
+        layer.record(interp, &item(kinds::POSITION_WGS84, 9));
+        assert_eq!(layer.stats(id).unwrap().skipped, 1);
     }
 }

@@ -335,6 +335,14 @@ impl ComponentCtx {
         }
     }
 
+    /// Creates a context at `now` reusing `emitted`'s allocation — the
+    /// engine loans one buffer across units so the per-item hot path
+    /// allocates nothing. The buffer is cleared before use.
+    pub(crate) fn with_buffer(now: SimTime, mut emitted: Vec<DataItem>) -> Self {
+        emitted.clear();
+        ComponentCtx { now, emitted }
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

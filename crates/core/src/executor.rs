@@ -46,12 +46,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::channel::ChannelLayer;
 use crate::component::ComponentCtx;
-use crate::data::DataItem;
+use crate::data::{DataItem, DataKind};
 use crate::distribution::Deployment;
 use crate::feature::{FeatureAction, FeatureHost};
 use crate::graph::{Node, NodeId, ProcessingGraph};
 use crate::supervision::{FaultAction, HealthRegistry};
-use crate::{CoreError, SimTime};
+use crate::{CoreError, SimDuration, SimTime};
 
 /// Which execution policy a [`Middleware`](crate::Middleware) runs its
 /// steps under. Surfaced in `GraphConfig` (`"executor"` field) and over
@@ -131,6 +131,33 @@ pub trait Executor: Send {
         ctx: &mut EngineCtx<'_>,
         pending: Vec<(NodeId, DataItem)>,
     ) -> Result<(), CoreError>;
+
+    /// Runs `steps` engine steps back to back, advancing `ctx.now` by
+    /// `tick` after every completed step. Observationally identical to
+    /// calling [`Executor::step`] in a loop, but executors override this
+    /// to hoist per-step setup — the source list, the queue and routing
+    /// scratch allocations — out of the inner loop.
+    ///
+    /// `pending` is delivered on the first step only, matching the
+    /// loop the middleware would otherwise run.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first step error, leaving `ctx.now` at the failing
+    /// step's time (so the caller can recover the completed-step count).
+    fn step_batch(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        mut pending: Vec<(NodeId, DataItem)>,
+        steps: u64,
+        tick: SimDuration,
+    ) -> Result<(), CoreError> {
+        for _ in 0..steps {
+            self.step(ctx, std::mem::take(&mut pending))?;
+            ctx.now += tick;
+        }
+        Ok(())
+    }
 }
 
 /// Creates the executor implementing `mode`.
@@ -181,57 +208,70 @@ fn consume_features(
     Ok((current, extras))
 }
 
-/// Runs the produce-direction features over an item the node emitted.
-/// Returns the surviving item (first) plus feature-added data, in
-/// routing order.
+/// Runs the produce-direction features over an item the node emitted,
+/// pushing the surviving item (first) plus feature-added data onto
+/// `out`, in routing order. Featureless nodes — the common case — pass
+/// the item straight through with no intermediate collection.
 fn produce_features(
     node: &mut Node,
     item: DataItem,
     now: SimTime,
-) -> Result<Vec<DataItem>, CoreError> {
+    out: &mut Vec<DataItem>,
+) -> Result<(), CoreError> {
+    if node.features.is_empty() {
+        out.push(item);
+        return Ok(());
+    }
     let component = &mut node.component;
     let features = &mut node.features;
-    let mut outputs = Vec::new();
+    let insert_at = out.len();
     let mut current = Some(item);
     for slot in features.iter_mut() {
         let mut host = FeatureHost::new(component.as_mut(), now);
         if let Some(it) = current.take() {
             let kind_before = it.kind.clone();
             match slot.feature.on_produce(it, &mut host)? {
-                FeatureAction::Continue(out) => {
-                    if out.kind != kind_before {
+                FeatureAction::Continue(next) => {
+                    if next.kind != kind_before {
                         return Err(CoreError::ComponentFailure {
                             component: slot.descriptor.name.clone(),
                             reason: format!(
                                 "feature changed item kind {kind_before} -> {}; features cannot change the data type (paper §2.1)",
-                                out.kind
+                                next.kind
                             ),
                         });
                     }
-                    current = Some(out);
+                    current = Some(next);
                 }
                 FeatureAction::Drop => current = None,
             }
         }
-        outputs.extend(host.take_emitted());
+        out.extend(host.take_emitted());
     }
     if let Some(it) = current {
-        outputs.insert(0, it);
+        // The survivor routes before the feature-added extras.
+        out.insert(insert_at, it);
     }
-    Ok(outputs)
+    Ok(())
 }
 
 /// The node-local part of a source tick: `on_tick`, then the produce
 /// features over every emission. Items ready for routing are pushed to
 /// `out` incrementally, so on a mid-way fault `out` holds exactly what
 /// the sequential engine would already have routed.
-fn tick_unit(node: &mut Node, now: SimTime, out: &mut Vec<DataItem>) -> Result<(), CoreError> {
-    let mut ctx = ComponentCtx::new(now);
+fn tick_unit(
+    node: &mut Node,
+    now: SimTime,
+    out: &mut Vec<DataItem>,
+    emit: &mut Vec<DataItem>,
+) -> Result<(), CoreError> {
+    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit));
     node.component.on_tick(&mut ctx)?;
-    for item in ctx.take_emitted() {
-        let outputs = produce_features(node, item, now)?;
-        out.extend(outputs);
+    let mut emitted = ctx.take_emitted();
+    for item in emitted.drain(..) {
+        produce_features(node, item, now, out)?;
     }
+    *emit = emitted;
     Ok(())
 }
 
@@ -245,17 +285,29 @@ fn input_unit(
     item: DataItem,
     now: SimTime,
     out: &mut Vec<DataItem>,
+    emit: &mut Vec<DataItem>,
 ) -> Result<(), CoreError> {
     let (passed, extras) = consume_features(node, item, now)?;
     out.extend(extras);
     let Some(item) = passed else { return Ok(()) };
-    let mut ctx = ComponentCtx::new(now);
+    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit));
     node.component.on_input(port, item, &mut ctx)?;
-    for emitted in ctx.take_emitted() {
-        let outputs = produce_features(node, emitted, now)?;
-        out.extend(outputs);
+    let mut emitted = ctx.take_emitted();
+    for item in emitted.drain(..) {
+        produce_features(node, item, now, out)?;
     }
+    *emit = emitted;
     Ok(())
+}
+
+/// Reusable per-engine buffers for the inline (non-wave) unit path.
+/// `out` collects a unit's routed outputs; `emit` is loaned to
+/// [`ComponentCtx`] so component emissions reuse one allocation across
+/// every unit of a step — and, for batched callers, across steps.
+#[derive(Default)]
+struct Scratch {
+    out: Vec<DataItem>,
+    emit: Vec<DataItem>,
 }
 
 /// What a worker executes for one wave member.
@@ -285,9 +337,10 @@ fn run_cell(cell: &mut Cell<'_>, now: SimTime) {
     };
     let task = cell.task.take();
     let out = &mut cell.out;
+    let mut emit = Vec::new();
     let caught = catch_unwind(AssertUnwindSafe(|| match task {
-        Some(Task::Tick) | None => tick_unit(node, now, out),
-        Some(Task::Input(port, item)) => input_unit(node, port, item, now, out),
+        Some(Task::Tick) | None => tick_unit(node, now, out, &mut emit),
+        Some(Task::Input(port, item)) => input_unit(node, port, item, now, out, &mut emit),
     }));
     cell.result = match caught {
         Ok(r) => r,
@@ -308,6 +361,14 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "opaque panic payload".to_string()
     }
+}
+
+/// Whether `target` declares an input at `port` accepting `kind`.
+fn accepts_input(graph: &ProcessingGraph, target: NodeId, port: usize, kind: &DataKind) -> bool {
+    graph
+        .node(target)
+        .and_then(|n| n.descriptor.inputs.get(port))
+        .is_some_and(|spec| spec.accepts_kind(kind))
 }
 
 // ---------------------------------------------------------------------
@@ -353,23 +414,53 @@ impl EngineCtx<'_> {
                 self.route_item(node, extra, queue)?;
             }
         }
-        for edge in 0..self.graph.downstream(id).len() {
-            let (target, port) = self.graph.downstream(id)[edge];
-            let accepts = self
-                .graph
-                .node(target)
-                .and_then(|n| n.descriptor.inputs.get(port))
-                .map(|spec| spec.accepts_kind(&item.kind))
-                .unwrap_or(false);
-            if !accepts {
+        // Split the borrows so the downstream slice resolves once per
+        // item while the deployment stays mutably reachable.
+        let EngineCtx {
+            graph, deployment, ..
+        } = self;
+        let downstream = graph.downstream(id);
+        let kind = item.kind.clone();
+        // Single-edge fast path — the overwhelmingly common shape in a
+        // linear pipeline: one acceptance check, item moved, no counting
+        // pass.
+        if let [(target, port)] = *downstream {
+            if accepts_input(graph, target, port, &kind) {
+                match deployment.as_deref_mut() {
+                    Some(d) if d.crosses_hosts(id, target) => {
+                        d.send(now, id, target, port, item);
+                    }
+                    _ => queue.push_back((target, port, item)),
+                }
+            }
+            return Ok(());
+        }
+        let mut remaining = downstream
+            .iter()
+            .filter(|&&(t, p)| accepts_input(graph, t, p, &kind))
+            .count();
+        let mut item = Some(item);
+        for &(target, port) in downstream {
+            if !accepts_input(graph, target, port, &kind) {
                 continue;
             }
+            remaining -= 1;
+            // The last accepting edge takes the item by move; earlier
+            // edges clone (cheap: payload and attrs are Arc-shared).
+            let routed = if remaining == 0 {
+                item.take()
+                    .expect("exactly `remaining` accepting edges follow")
+            } else {
+                item.as_ref()
+                    .expect("exactly `remaining` accepting edges follow")
+                    .clone()
+            };
             // Cross-host edges go through the deployment's link model.
-            match self.deployment.as_deref_mut() {
+            match deployment.as_deref_mut() {
                 Some(d) if d.crosses_hosts(id, target) => {
-                    d.send(now, id, target, port, item.clone());
+                    d.send(now, id, target, port, routed);
                 }
-                _ => queue.push_back((target, port, item.clone())),
+                _ => queue.push_back((target, port, routed)),
             }
         }
         Ok(())
@@ -417,16 +508,17 @@ impl EngineCtx<'_> {
     /// Routing happens even when the unit faulted mid-way: `out` holds
     /// exactly the items the sequential engine had already routed before
     /// the fault hit. Routing errors and panics are attributed to the
-    /// node like any other fault.
+    /// node like any other fault. `out` is drained, not consumed, so
+    /// callers can reuse one buffer across units.
     fn finish_unit(
         &mut self,
         id: NodeId,
         unit: Result<(), CoreError>,
-        out: Vec<DataItem>,
+        out: &mut Vec<DataItem>,
         queue: &mut VecDeque<Entry>,
     ) -> Result<(), CoreError> {
         let route = catch_unwind(AssertUnwindSafe(|| {
-            for item in out {
+            for item in out.drain(..) {
                 self.route_item(id, item, queue)?;
             }
             Ok(())
@@ -450,17 +542,19 @@ impl EngineCtx<'_> {
     }
 
     /// Ticks one source inline: unit, then routing + supervision.
+    /// `scratch.out` is drained before return.
     fn run_source_inline(
         &mut self,
         id: NodeId,
         queue: &mut VecDeque<Entry>,
+        scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
-        let mut out = Vec::new();
         let unit = match self.graph.node_mut(id) {
             None => Err(CoreError::UnknownNode(id)),
             Some(node) => {
                 let now = self.now;
-                let caught = catch_unwind(AssertUnwindSafe(|| tick_unit(node, now, &mut out)));
+                let Scratch { out, emit } = scratch;
+                let caught = catch_unwind(AssertUnwindSafe(|| tick_unit(node, now, out, emit)));
                 match caught {
                     Ok(r) => r,
                     Err(payload) => Err(CoreError::ComponentFailure {
@@ -470,24 +564,26 @@ impl EngineCtx<'_> {
                 }
             }
         };
-        self.finish_unit(id, unit, out, queue)
+        self.finish_unit(id, unit, &mut scratch.out, queue)
     }
 
     /// Processes one queue entry inline: unit, then routing + supervision.
+    /// `scratch.out` is drained before return.
     fn run_entry_inline(
         &mut self,
         id: NodeId,
         port: usize,
         item: DataItem,
         queue: &mut VecDeque<Entry>,
+        scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
-        let mut out = Vec::new();
         let unit = match self.graph.node_mut(id) {
             None => Err(CoreError::UnknownNode(id)),
             Some(node) => {
                 let now = self.now;
+                let Scratch { out, emit } = scratch;
                 let caught = catch_unwind(AssertUnwindSafe(|| {
-                    input_unit(node, port, item, now, &mut out)
+                    input_unit(node, port, item, now, out, emit)
                 }));
                 match caught {
                     Ok(r) => r,
@@ -498,18 +594,25 @@ impl EngineCtx<'_> {
                 }
             }
         };
-        self.finish_unit(id, unit, out, queue)
+        self.finish_unit(id, unit, &mut scratch.out, queue)
     }
 
-    /// The full sequential drain: tick every source, then FIFO-drain the
-    /// queue one node at a time. Shared by [`Sequential`] and by
-    /// [`LevelParallel`]'s single-worker / linear-graph fast path.
-    fn run_sequential(&mut self, queue: &mut VecDeque<Entry>) -> Result<(), CoreError> {
-        for src in self.graph.sources() {
+    /// The full sequential drain over a precomputed source list: tick
+    /// every source, then FIFO-drain the queue one node at a time.
+    /// `scratch` is the reusable per-unit output buffer. Batched callers
+    /// hoist both across steps; [`run_sequential`](Self::run_sequential)
+    /// wraps this for one-shot use.
+    fn run_sequential_from(
+        &mut self,
+        sources: &[NodeId],
+        queue: &mut VecDeque<Entry>,
+        scratch: &mut Scratch,
+    ) -> Result<(), CoreError> {
+        for &src in sources {
             if self.health.is_quarantined(src, self.now) {
                 continue;
             }
-            self.run_source_inline(src, queue)?;
+            self.run_source_inline(src, queue, scratch)?;
         }
         while let Some((node, port, item)) = queue.pop_front() {
             // Items addressed to a quarantined node are dropped: the
@@ -517,9 +620,17 @@ impl EngineCtx<'_> {
             if self.health.is_quarantined(node, self.now) {
                 continue;
             }
-            self.run_entry_inline(node, port, item, queue)?;
+            self.run_entry_inline(node, port, item, queue, scratch)?;
         }
         Ok(())
+    }
+
+    /// One-shot sequential drain. Shared by [`Sequential`] and by
+    /// [`LevelParallel`]'s single-worker / linear-graph fast path.
+    fn run_sequential(&mut self, queue: &mut VecDeque<Entry>) -> Result<(), CoreError> {
+        let sources = self.graph.sources();
+        let mut scratch = Scratch::default();
+        self.run_sequential_from(&sources, queue, &mut scratch)
     }
 
     /// Runs a wave of units over pairwise-distinct nodes on `workers`
@@ -594,6 +705,28 @@ impl Executor for Sequential {
         ctx.drain_prelude(pending, &mut queue)?;
         ctx.run_sequential(&mut queue)
     }
+
+    fn step_batch(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        mut pending: Vec<(NodeId, DataItem)>,
+        steps: u64,
+        tick: SimDuration,
+    ) -> Result<(), CoreError> {
+        // Hoisted across the whole batch: the source list (structure
+        // cannot change mid-batch), the FIFO queue and the per-unit
+        // routing scratch. The inner loop then allocates nothing of its
+        // own — per-item cost is the unit itself plus ring pushes.
+        let sources = ctx.graph.sources();
+        let mut queue = VecDeque::new();
+        let mut scratch = Scratch::default();
+        for _ in 0..steps {
+            ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
+            ctx.run_sequential_from(&sources, &mut queue, &mut scratch)?;
+            ctx.now += tick;
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -647,24 +780,22 @@ impl LevelParallel {
     }
 }
 
-impl Executor for LevelParallel {
-    fn mode(&self) -> ExecMode {
-        ExecMode::LevelParallel
-    }
-
-    fn step(
+impl LevelParallel {
+    /// Drains one step's queue to quiescence: wave extraction, parallel
+    /// units, serial routing. Shared by [`Executor::step`] and
+    /// [`Executor::step_batch`].
+    fn drain_waves(
         &mut self,
         ctx: &mut EngineCtx<'_>,
-        pending: Vec<(NodeId, DataItem)>,
+        queue: &mut VecDeque<Entry>,
+        scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
-        ctx.drain_prelude(pending, &mut queue)?;
-
         let workers = self.workers;
         // A linear process or a single worker cannot win anything from
         // scheduling — take the zero-overhead path.
         if workers <= 1 || ctx.graph.level_width() <= 1 {
-            return ctx.run_sequential(&mut queue);
+            let sources = ctx.graph.sources();
+            return ctx.run_sequential_from(&sources, queue, scratch);
         }
 
         // Source phase: quarantine-filter serially in id order, tick the
@@ -677,15 +808,15 @@ impl Executor for LevelParallel {
         }
         if live_sources.len() <= 1 {
             for src in live_sources {
-                ctx.run_source_inline(src, &mut queue)?;
+                ctx.run_source_inline(src, queue, scratch)?;
             }
         } else {
             let wave = live_sources
                 .into_iter()
                 .map(|id| (id, Task::Tick))
                 .collect();
-            for (id, unit, out) in ctx.run_wave_parallel(wave, workers) {
-                ctx.finish_unit(id, unit, out, &mut queue)?;
+            for (id, unit, mut out) in ctx.run_wave_parallel(wave, workers) {
+                ctx.finish_unit(id, unit, &mut out, queue)?;
             }
         }
 
@@ -710,7 +841,7 @@ impl Executor for LevelParallel {
             }
             if wave.len() <= 1 {
                 if let Some((node, port, item)) = wave.pop() {
-                    ctx.run_entry_inline(node, port, item, &mut queue)?;
+                    ctx.run_entry_inline(node, port, item, queue, scratch)?;
                 }
                 continue;
             }
@@ -718,9 +849,43 @@ impl Executor for LevelParallel {
                 .into_iter()
                 .map(|(id, port, item)| (id, Task::Input(port, item)))
                 .collect();
-            for (id, unit, out) in ctx.run_wave_parallel(tasks, workers) {
-                ctx.finish_unit(id, unit, out, &mut queue)?;
+            for (id, unit, mut out) in ctx.run_wave_parallel(tasks, workers) {
+                ctx.finish_unit(id, unit, &mut out, queue)?;
             }
+        }
+        Ok(())
+    }
+}
+
+impl Executor for LevelParallel {
+    fn mode(&self) -> ExecMode {
+        ExecMode::LevelParallel
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        let mut scratch = Scratch::default();
+        ctx.drain_prelude(pending, &mut queue)?;
+        self.drain_waves(ctx, &mut queue, &mut scratch)
+    }
+
+    fn step_batch(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        mut pending: Vec<(NodeId, DataItem)>,
+        steps: u64,
+        tick: SimDuration,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        let mut scratch = Scratch::default();
+        for _ in 0..steps {
+            ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
+            self.drain_waves(ctx, &mut queue, &mut scratch)?;
+            ctx.now += tick;
         }
         Ok(())
     }

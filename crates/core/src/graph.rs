@@ -21,6 +21,15 @@ use crate::CoreError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u64);
 
+impl NodeId {
+    /// Dense small-integer view of the id (ids are allocated
+    /// sequentially), used for O(1) side tables like the channel layer's
+    /// membership index.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node#{}", self.0)
@@ -112,6 +121,87 @@ pub struct NodeInfo {
     pub outputs: Vec<(NodeId, usize)>,
 }
 
+/// Dense node storage: a vector slotted by [`NodeId::index`]. Node ids
+/// are allocated sequentially and never reused, so the id doubles as the
+/// slot index — the engine's per-item node lookups are two array reads
+/// instead of a `BTreeMap` descent. The API mirrors the `BTreeMap` the
+/// graph used before (iteration stays ordered by id: slot order *is* id
+/// order); removed nodes leave a `None` slot behind.
+#[derive(Default)]
+struct NodeStore {
+    slots: Vec<Option<(NodeId, Node)>>,
+    len: usize,
+}
+
+impl NodeStore {
+    fn insert(&mut self, id: NodeId, node: Node) {
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].replace((id, node)).is_none() {
+            self.len += 1;
+        }
+    }
+
+    fn remove(&mut self, id: &NodeId) -> Option<Node> {
+        let taken = self.slots.get_mut(id.index())?.take()?;
+        self.len -= 1;
+        Some(taken.1)
+    }
+
+    fn get(&self, id: &NodeId) -> Option<&Node> {
+        self.slots.get(id.index())?.as_ref().map(|(_, n)| n)
+    }
+
+    fn get_mut(&mut self, id: &NodeId) -> Option<&mut Node> {
+        self.slots.get_mut(id.index())?.as_mut().map(|(_, n)| n)
+    }
+
+    fn contains_key(&self, id: &NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn keys(&self) -> impl Iterator<Item = &NodeId> {
+        self.slots.iter().flatten().map(|(id, _)| id)
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Node> {
+        self.slots.iter_mut().flatten().map(|(_, n)| n)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&NodeId, &Node)> {
+        self.slots.iter().flatten().map(|(id, n)| (id, n))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (&NodeId, &mut Node)> {
+        self.slots.iter_mut().flatten().map(|(id, n)| (&*id, n))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Index<&NodeId> for NodeStore {
+    type Output = Node;
+    fn index(&self, id: &NodeId) -> &Node {
+        self.get(id).expect("indexed node exists")
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeStore {
+    type Item = (&'a NodeId, &'a Node);
+    type IntoIter = Box<dyn Iterator<Item = (&'a NodeId, &'a Node)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
 /// The reified positioning process: a DAG of Processing Components with
 /// data flowing from source leaves towards application sinks.
 ///
@@ -134,7 +224,7 @@ pub struct NodeInfo {
 /// ```
 #[derive(Default)]
 pub struct ProcessingGraph {
-    nodes: BTreeMap<NodeId, Node>,
+    nodes: NodeStore,
     next_id: u64,
     /// Cached topological levels (see [`ProcessingGraph::topo_levels`]);
     /// invalidated by every structural mutation (add / remove / connect /
@@ -664,9 +754,7 @@ impl ProcessingGraph {
     /// Disjoint mutable access to every node at once — the parallel
     /// executor hands each worker its own `&mut Node`. Does not permit
     /// structural mutation, so the level cache stays valid.
-    pub(crate) fn nodes_iter_mut(
-        &mut self,
-    ) -> std::collections::btree_map::IterMut<'_, NodeId, Node> {
+    pub(crate) fn nodes_iter_mut(&mut self) -> impl Iterator<Item = (&NodeId, &mut Node)> {
         self.nodes.iter_mut()
     }
 

@@ -73,7 +73,9 @@ pub use time::{SimClock, SimDuration, SimTime};
 
 /// Convenient glob import for applications built on PerPos.
 pub mod prelude {
-    pub use crate::channel::{ChannelFeature, ChannelId, DataNode, DataTree};
+    pub use crate::channel::{
+        ChannelFeature, ChannelId, ChannelStats, DataNode, DataTree, TreePolicy,
+    };
     pub use crate::component::{
         Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole,
         FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,

@@ -17,7 +17,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::channel::{ChannelFeature, ChannelId, ChannelInfo, ChannelLayer};
+use crate::channel::{
+    ChannelFeature, ChannelId, ChannelInfo, ChannelLayer, ChannelStats, DataTree, TreePolicy,
+};
 use crate::component::{Component, MethodSpec};
 use crate::data::{DataItem, Value};
 use crate::distribution::Deployment;
@@ -334,6 +336,47 @@ impl Middleware {
             self.set_executor(mode);
             return Ok(Value::Null);
         }
+        if method == "channel_stats" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            let (cid, stats) =
+                self.channels
+                    .stats_for_member(id)
+                    .ok_or_else(|| CoreError::BadArguments {
+                        method: "channel_stats".into(),
+                        reason: format!("node {id} is not a member of any channel"),
+                    })?;
+            let Value::Map(mut map) = stats.to_value() else {
+                unreachable!("ChannelStats::to_value returns a map")
+            };
+            map.insert("channel".to_string(), Value::from(cid.to_string()));
+            return Ok(Value::Map(map));
+        }
+        if method == "tree_policy" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            return Ok(Value::from(self.channels.policy().as_str()));
+        }
+        if method == "set_tree_policy" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            let name =
+                args.first()
+                    .and_then(|v| v.as_text())
+                    .ok_or_else(|| CoreError::BadArguments {
+                        method: "set_tree_policy".into(),
+                        reason: "expected one text argument naming the policy".into(),
+                    })?;
+            let policy = TreePolicy::from_name(name).ok_or_else(|| CoreError::BadArguments {
+                method: "set_tree_policy".into(),
+                reason: format!("unknown tree policy {name:?}"),
+            })?;
+            self.channels.set_policy(policy);
+            return Ok(Value::Null);
+        }
         let now = self.clock.now();
         let (value, emitted) = self.graph.invoke(id, method, args, now)?;
         self.pending.extend(emitted.into_iter().map(|i| (id, i)));
@@ -501,6 +544,67 @@ impl Middleware {
         f: impl FnOnce(&mut T) -> R,
     ) -> Result<R, CoreError> {
         self.channels.with_feature_mut(id, name, f)
+    }
+
+    /// Selects when channels materialize [`DataTree`]s (default:
+    /// [`TreePolicy::Lazy`] — trees are built only for channels with an
+    /// attached Channel Feature or an active history subscription). The
+    /// logical-time bookkeeping always runs, so switching policies or
+    /// attaching a feature mid-run yields trees byte-identical to a
+    /// channel that materialized all along.
+    pub fn set_tree_policy(&mut self, policy: TreePolicy) {
+        self.channels.set_policy(policy);
+    }
+
+    /// The active tree materialization policy.
+    pub fn tree_policy(&self) -> TreePolicy {
+        self.channels.policy()
+    }
+
+    /// Subscribes to a channel's tree history: the channel retains its
+    /// last `capacity` trees (oldest evicted first), and the subscription
+    /// itself creates materialization demand under [`TreePolicy::Lazy`].
+    /// Resubscribing resizes the retained window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] for unknown channels.
+    pub fn subscribe_channel_history(
+        &mut self,
+        id: ChannelId,
+        capacity: usize,
+    ) -> Result<(), CoreError> {
+        self.channels.subscribe_history(id, capacity)
+    }
+
+    /// Ends a channel history subscription, dropping retained trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] for unknown channels.
+    pub fn unsubscribe_channel_history(&mut self, id: ChannelId) -> Result<(), CoreError> {
+        self.channels.unsubscribe_history(id)
+    }
+
+    /// The retained trees of a channel history subscription, oldest
+    /// first (empty without a subscription).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] for unknown channels.
+    pub fn channel_history(&self, id: ChannelId) -> Result<Vec<DataTree>, CoreError> {
+        self.channels.history(id)
+    }
+
+    /// Buffer, drop and materialization counters of one channel. Also
+    /// available through reflection as `invoke(member, "channel_stats")`
+    /// on any member node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] for unknown channels.
+    pub fn channel_stats(&self, id: ChannelId) -> Result<ChannelStats, CoreError> {
+        self.channels.stats(id)
     }
 
     // ------------------------------------------------------------------
@@ -729,8 +833,51 @@ impl Middleware {
         self.executor = executor;
     }
 
+    /// Runs `steps` engine steps back to back, advancing the clock by
+    /// `tick` after every completed step — equivalent to a
+    /// [`Middleware::step`]/[`Middleware::advance_clock`] loop, but the
+    /// whole batch runs inside one executor entry, hoisting per-step
+    /// setup (source lists, queues, routing scratch) out of the inner
+    /// loop. Failover providers force the step-by-step path, since they
+    /// re-resolve against pipeline health after every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error; steps up to and including the
+    /// failing one are reflected in [`Middleware::steps_run`] and the
+    /// clock, exactly as the equivalent loop would leave them.
+    pub fn step_batch(&mut self, steps: u64, tick: SimDuration) -> Result<(), CoreError> {
+        if steps == 0 {
+            return Ok(());
+        }
+        if tick.is_zero() || !self.failovers.is_empty() {
+            for _ in 0..steps {
+                self.step()?;
+                self.clock.advance(tick);
+            }
+            return Ok(());
+        }
+        let start = self.clock.now();
+        let pending = std::mem::take(&mut self.pending);
+        let mut ctx = EngineCtx::new(
+            &mut self.graph,
+            &mut self.channels,
+            &mut self.health,
+            self.deployment.as_mut(),
+            start,
+        );
+        let result = self.executor.step_batch(&mut ctx, pending, steps, tick);
+        // The executor advances ctx.now past each completed step, so the
+        // elapsed time recovers the completed-step count on error.
+        let elapsed = ctx.now.since(start);
+        let completed = elapsed.as_micros() / tick.as_micros();
+        self.steps_run += completed + u64::from(result.is_err());
+        self.clock.advance(elapsed);
+        result
+    }
+
     /// Advances simulated time by `tick` after each step until `total`
-    /// has elapsed.
+    /// has elapsed. Runs as one [`Middleware::step_batch`] call.
     ///
     /// # Errors
     ///
@@ -741,12 +888,8 @@ impl Middleware {
     /// Panics if `tick` is zero.
     pub fn run_for(&mut self, total: SimDuration, tick: SimDuration) -> Result<(), CoreError> {
         assert!(!tick.is_zero(), "tick duration must be non-zero");
-        let end = self.clock.now() + total;
-        while self.clock.now() < end {
-            self.step()?;
-            self.clock.advance(tick);
-        }
-        Ok(())
+        let steps = total.as_micros().div_ceil(tick.as_micros());
+        self.step_batch(steps, tick)
     }
 }
 
