@@ -4,17 +4,21 @@
 //! ```text
 //! perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
 //! perpos-lint <config.json> [--catalog <catalog.json>] --facts json
+//! perpos-lint synth --catalog <catalog.json> [criteria...]
 //! perpos-lint --explain PNNN
 //! ```
 //!
 //! Exit status: `0` when no error-severity findings were reported
-//! (warnings allowed), `1` when the configuration has errors, `2` on
-//! usage or I/O problems.
+//! (warnings allowed; for `synth`: a satisfying pipeline exists), `1`
+//! when the configuration has errors (for `synth`: the goal is
+//! infeasible), `2` on usage or I/O problems.
 
 use std::process::ExitCode;
 
 use perpos_analysis::dataflow::FlowGraph;
-use perpos_analysis::{analyze_config, facts_json, infer_facts, Code, TypeCatalog};
+use perpos_analysis::{
+    analyze_config, facts_json, infer_facts, synthesize, Code, SynthesisGoal, TypeCatalog,
+};
 use perpos_core::assembly::GraphConfig;
 
 enum Format {
@@ -32,10 +36,11 @@ struct Args {
 const USAGE: &str =
     "usage: perpos-lint <config.json> [--catalog <catalog.json>] [--format human|json]
        perpos-lint <config.json> [--catalog <catalog.json>] --facts json
+       perpos-lint synth --catalog <catalog.json> [criteria] [--emit doc|config]
        perpos-lint --explain <PNNN|all>
 
 Lints a PerPos GraphConfig JSON file with the perpos-analysis passes
-(P001-P014). Without --catalog only the built-in \"application\" type is
+(P001-P015). Without --catalog only the built-in \"application\" type is
 known; pass a catalog (see perpos_analysis::TypeCatalog) describing the
 component types the configuration references.
 
@@ -46,7 +51,26 @@ component types the configuration references.
 --explain     print the long-form description, an example trigger and
               the suggested fix for a diagnostic code (or all of them)
 
-exit status: 0 = no errors, 1 = errors found, 2 = usage or I/O error";
+synth         synthesize pipelines from the catalog that satisfy the
+              given criteria; every emitted pipeline passes the full
+              lint pass with zero findings. Criteria:
+                --output-kind <kind>        default position.wgs84
+                --accuracy-m <metres>       required best accuracy
+                --max-rate-hz <hz>          sink delivery rate bound
+                --power-mw <milliwatts>     total power budget
+                --frame <frame>             required coordinate frame
+                --no-identifiable-at-sink   privacy constraint (taint)
+                --max-components <n>        search depth, default 8
+                --candidates <n>            ranked results, default 3
+              Output: --emit doc (default) prints the versioned
+              synthesis document; --emit config prints the top-ranked
+              GraphConfig only, ready to pipe back into perpos-lint.
+              --format human prints a readable ranking instead.
+              When the goal is infeasible, prints the binding
+              constraint (P015) and exits 1.
+
+exit status: 0 = no errors / goal feasible, 1 = errors found / goal
+infeasible, 2 = usage or I/O error";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut config_path = None;
@@ -119,6 +143,133 @@ fn run_explain(argument: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
+enum SynthEmit {
+    Doc,
+    Config,
+}
+
+struct SynthArgs {
+    catalog_path: String,
+    goal: SynthesisGoal,
+    emit: SynthEmit,
+    format: Format,
+}
+
+fn parse_f64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a number"))?;
+    raw.parse::<f64>()
+        .map_err(|_| format!("{flag} needs a number, got {raw:?}"))
+}
+
+fn parse_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a count"))?;
+    raw.parse::<u64>()
+        .map_err(|_| format!("{flag} needs a count, got {raw:?}"))
+}
+
+fn parse_synth_args(argv: &[String]) -> Result<SynthArgs, String> {
+    let mut catalog_path = None;
+    let mut goal = SynthesisGoal::new();
+    let mut emit = SynthEmit::Doc;
+    let mut format = Format::Json;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--catalog" => {
+                catalog_path = Some(it.next().ok_or("--catalog needs a file argument")?.clone());
+            }
+            "--output-kind" => {
+                goal.output_kind = Some(it.next().ok_or("--output-kind needs a kind")?.clone());
+            }
+            "--accuracy-m" => goal.accuracy_m = Some(parse_f64(&mut it, "--accuracy-m")?),
+            "--max-rate-hz" => goal.max_rate_hz = Some(parse_f64(&mut it, "--max-rate-hz")?),
+            "--power-mw" => goal.power_budget_mw = Some(parse_f64(&mut it, "--power-mw")?),
+            "--frame" => {
+                goal.frame = Some(it.next().ok_or("--frame needs a frame name")?.clone());
+            }
+            "--no-identifiable-at-sink" => goal.no_identifiable_at_sink = true,
+            "--max-components" => {
+                goal.max_components = Some(parse_u64(&mut it, "--max-components")?);
+            }
+            "--candidates" => goal.candidates = Some(parse_u64(&mut it, "--candidates")?),
+            "--emit" => {
+                emit = match it.next().map(String::as_str) {
+                    Some("doc") => SynthEmit::Doc,
+                    Some("config") => SynthEmit::Config,
+                    Some(other) => return Err(format!("unknown emit mode {other:?}")),
+                    None => return Err("--emit needs doc|config".to_string()),
+                };
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some(other) => return Err(format!("unknown format {other:?}")),
+                    None => return Err("--format needs human|json".to_string()),
+                };
+            }
+            other => return Err(format!("unknown synth argument {other:?}")),
+        }
+    }
+    Ok(SynthArgs {
+        catalog_path: catalog_path.ok_or("synth needs --catalog <catalog.json>")?,
+        goal,
+        emit,
+        format,
+    })
+}
+
+/// Runs the `synth` subcommand; `Ok(true)` means the goal is feasible.
+fn run_synth(args: &SynthArgs) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&args.catalog_path)
+        .map_err(|e| format!("cannot read {:?}: {e}", args.catalog_path))?;
+    let catalog = serde_json::from_str::<TypeCatalog>(&text)
+        .map_err(|e| format!("{:?} is not a TypeCatalog: {e}", args.catalog_path))?;
+
+    let result = synthesize(&args.goal, &catalog);
+    match args.emit {
+        SynthEmit::Config => {
+            let Some(best) = result.candidates.first() else {
+                eprint!("{}", result.report().render_human());
+                return Ok(false);
+            };
+            let json = serde_json::to_string_pretty(&best.config)
+                .map_err(|e| format!("cannot render config: {e}"))?;
+            println!("{json}");
+        }
+        SynthEmit::Doc => match args.format {
+            Format::Json => println!("{}", result.doc_json()),
+            Format::Human => {
+                println!("goal: {}", args.goal.summary());
+                if result.feasible {
+                    let fmt = |v: Option<f64>| v.map_or("?".to_string(), |x| x.to_string());
+                    for c in &result.candidates {
+                        let chain: Vec<&str> = c
+                            .config
+                            .components
+                            .iter()
+                            .map(|comp| comp.name.as_str())
+                            .collect();
+                        println!(
+                            "#{} {} (accuracy {}..{} m, rate {} Hz, power {} mW)",
+                            c.rank,
+                            chain.join(" -> "),
+                            fmt(c.accuracy_best_m),
+                            fmt(c.accuracy_worst_m),
+                            fmt(c.rate_hz),
+                            fmt(c.power_mw),
+                        );
+                    }
+                } else {
+                    print!("{}", result.report().render_human());
+                }
+            }
+        },
+    }
+    Ok(result.feasible)
+}
+
 fn run(args: &Args) -> Result<bool, String> {
     let config_text = std::fs::read_to_string(&args.config_path)
         .map_err(|e| format!("cannot read {:?}: {e}", args.config_path))?;
@@ -157,6 +308,28 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    // synth is a standalone subcommand: it takes a catalog, not a config.
+    if argv.first().map(String::as_str) == Some("synth") {
+        let args = match parse_synth_args(&argv[1..]) {
+            Ok(args) => args,
+            Err(msg) => {
+                if msg.is_empty() {
+                    println!("{USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("error: {msg}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        return match run_synth(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
+            Err(msg) => {
+                eprintln!("error: {msg}");
                 ExitCode::from(2)
             }
         };

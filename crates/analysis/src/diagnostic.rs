@@ -11,8 +11,11 @@ use serde::{Content, Serialize};
 /// tooling can detect format drift. Version 1 was the unversioned PR 1
 /// shape; version 2 adds `schema_version` itself and codes P010–P013;
 /// version 3 adds code P014 and the channel-buffer facts
-/// (`level_buffer_cap`, per-node `overflow_s`).
-pub const JSON_SCHEMA_VERSION: u32 = 3;
+/// (`level_buffer_cap`, per-node `overflow_s`); version 4 adds code
+/// P015, the `perpos-lint synth` `synthesis` document (goal, ranked
+/// candidates, infeasibility explanation) and canonically sorted
+/// diagnostics/facts arrays (byte-reproducible output).
+pub const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// Defines [`Code`] from a single list, generating the enum, the
 /// [`Code::ALL`] table, [`Code::as_str`], [`Code::parse`] and
@@ -105,6 +108,11 @@ define_codes! {
     /// channel layer's bounded per-level buffer, after which the oldest
     /// pending entries are evicted and silently missing from data trees.
     P014 => "declared rates will overrun the channel level buffer",
+    /// Unsatisfiable synthesis goal: no pipeline over the catalog can
+    /// meet the requested criteria; the finding names the binding
+    /// constraint (accuracy, rate, power, frame, privacy or a missing
+    /// provider).
+    P015 => "synthesis goal is unsatisfiable against the catalog",
 }
 
 /// Long-form documentation of a diagnostic code, served by
@@ -272,6 +280,20 @@ impl Code {
                       or raise the consumer's declared capacity — so the buffer \
                       drains as fast as it fills.",
             },
+            Code::P015 => CodeExplanation {
+                detail: "The pipeline synthesizer searched the catalog's capability \
+                         space under the dataflow domains (frame unification, accuracy \
+                         propagation, privacy taint, rate bounds) and found no pipeline \
+                         that satisfies every requested criterion. The finding names \
+                         the binding constraint: the single criterion that, when \
+                         relaxed, makes the goal satisfiable — or the output kind no \
+                         catalog type provides at all.",
+                example: "Requesting accuracy <= 0.5 m from a catalog whose most \
+                          accurate positioning chain bottoms out at 1 m.",
+                fix: "Relax the named constraint to the reported achievable bound, or \
+                      extend the catalog with a component type that improves it (e.g. \
+                      a more accurate source, an anonymizer, a downsampler).",
+            },
         }
     }
 }
@@ -428,11 +450,25 @@ impl Report {
         self.diagnostics.iter().filter(|d| d.code == code).collect()
     }
 
+    /// Findings in canonical order — by code, then offending path, then
+    /// message, then severity. Both renderers emit this order, so their
+    /// output is byte-reproducible regardless of which pass produced a
+    /// finding first (golden files and synthesis ranking rely on it).
+    pub fn canonical_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut sorted = self.diagnostics.clone();
+        sorted.sort_by(|a, b| {
+            (a.code, &a.path, &a.message, a.severity)
+                .cmp(&(b.code, &b.path, &b.message, b.severity))
+        });
+        sorted
+    }
+
     /// Human-readable multi-line rendering (one finding per line, hint
-    /// lines indented), ending with a summary line.
+    /// lines indented), ending with a summary line. Findings appear in
+    /// canonical order ([`Report::canonical_diagnostics`]).
     pub fn render_human(&self) -> String {
         let mut out = String::new();
-        for d in &self.diagnostics {
+        for d in self.canonical_diagnostics() {
             out.push_str(&d.to_string());
             out.push('\n');
         }
@@ -451,7 +487,8 @@ impl Report {
         out
     }
 
-    /// Machine-readable JSON rendering.
+    /// Machine-readable JSON rendering. Findings appear in canonical
+    /// order ([`Report::canonical_diagnostics`]).
     pub fn render_json(&self) -> String {
         #[derive(Serialize)]
         struct JsonReport {
@@ -468,7 +505,7 @@ impl Report {
                 .iter()
                 .filter(|d| d.severity == Severity::Warning)
                 .count() as u64,
-            diagnostics: self.diagnostics.clone(),
+            diagnostics: self.canonical_diagnostics(),
         };
         serde_json::to_string_pretty(&body)
             .expect("diagnostic report is plain data and always serializes")
@@ -558,6 +595,32 @@ mod tests {
         };
         assert_eq!(get("code"), Some(serde::Content::Str("P001".into())));
         assert_eq!(get("severity"), Some(serde::Content::Str("error".into())));
+    }
+
+    #[test]
+    fn rendering_orders_findings_canonically() {
+        // Pushed out of order; both renderers emit code-sorted output.
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::P004,
+            Severity::Warning,
+            "later code first",
+            vec!["z".into()],
+        ));
+        r.push(Diagnostic::new(
+            Code::P001,
+            Severity::Error,
+            "earlier code second",
+            vec!["a".into()],
+        ));
+        let human = r.render_human();
+        let p1 = human.find("P001").expect("P001 rendered");
+        let p4 = human.find("P004").expect("P004 rendered");
+        assert!(p1 < p4, "{human}");
+        // The canonical order is stable across repeated renders.
+        assert_eq!(r.render_json(), r.render_json());
+        // The report itself keeps pass order.
+        assert_eq!(r.diagnostics[0].code, Code::P004);
     }
 
     #[test]

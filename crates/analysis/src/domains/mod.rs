@@ -143,8 +143,12 @@ struct JsonFactsDoc {
 /// (the producer's facts filtered by what the edge can carry), the
 /// executor mode the configuration requests, and the longest-path level
 /// structure the level-parallel executor would schedule by.
+///
+/// Arrays are emitted in canonical order — nodes by label, edges by
+/// `(from, to, port)`, each level's members by label — so the document
+/// is byte-reproducible across runs regardless of declaration order.
 pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
-    let nodes = graph
+    let mut nodes: Vec<JsonNodeFacts> = graph
         .nodes
         .iter()
         .enumerate()
@@ -164,7 +168,8 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             overflow_s: rate::node_overflow_s(graph, &facts.rate, i),
         })
         .collect();
-    let edges = graph
+    nodes.sort_by(|a, b| a.label.cmp(&b.label));
+    let mut edges: Vec<JsonEdgeFacts> = graph
         .edges
         .iter()
         .enumerate()
@@ -187,6 +192,7 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             }
         })
         .collect();
+    edges.sort_by(|a, b| (&a.from, &a.to, a.port).cmp(&(&b.from, &b.to, b.port)));
     let doc = JsonFactsDoc {
         schema_version: u64::from(JSON_SCHEMA_VERSION),
         converged: facts.converged,
@@ -199,9 +205,12 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             .topo_levels()
             .into_iter()
             .map(|lvl| {
-                lvl.into_iter()
+                let mut labels: Vec<String> = lvl
+                    .into_iter()
                     .map(|i| graph.nodes[i].label.clone())
-                    .collect()
+                    .collect();
+                labels.sort();
+                labels
             })
             .collect(),
         nodes,

@@ -76,6 +76,7 @@ pub mod domains;
 pub mod gate;
 pub mod live;
 pub mod probe;
+pub mod synth;
 
 pub use adaptation::{
     check_adaptation, check_adaptation_with_facts, AdaptationOp, AdaptationOutcome, AdaptationPlan,
@@ -87,3 +88,4 @@ pub use diagnostic::{Code, Diagnostic, Report, Severity, JSON_SCHEMA_VERSION};
 pub use domains::{analyze_dataflow, dataflow_diagnostics, facts_json, infer_facts, GraphFacts};
 pub use live::{analyze_structure, structure_levels};
 pub use probe::MonotonicityProbe;
+pub use synth::{synthesize, Infeasibility, RankedPipeline, Synthesis, SynthesisGoal};

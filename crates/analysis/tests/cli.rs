@@ -190,6 +190,119 @@ fn explain_all_covers_every_code() {
 }
 
 #[test]
+fn lint_output_is_byte_deterministic() {
+    // Satellite of the synthesis work: both renderers emit canonically
+    // sorted arrays, so two runs over the same input are byte-identical.
+    for extra in [&["--format", "json"][..], &["--facts", "json"][..]] {
+        let mut args = vec![
+            fixture("p004_dead_component.json"),
+            "--catalog".to_string(),
+            fixture("catalog.json"),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let args: Vec<&str> = args.iter().map(String::as_str).collect();
+        let first = lint(&args);
+        let second = lint(&args);
+        assert_eq!(
+            first.stdout, second.stdout,
+            "{extra:?} output must be reproducible"
+        );
+        assert_eq!(first.status.code(), second.status.code());
+    }
+}
+
+#[test]
+fn synth_feasible_goal_emits_config_that_lints_clean() {
+    let catalog = format!(
+        "{}/../../examples/configs/catalog.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = lint(&[
+        "synth",
+        "--catalog",
+        &catalog,
+        "--accuracy-m",
+        "5",
+        "--no-identifiable-at-sink",
+        "--emit",
+        "config",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The emitted GraphConfig must survive the full lint pass it was
+    // synthesized under.
+    let dir = std::env::temp_dir().join("perpos_synth_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("synthesized.json");
+    std::fs::write(&path, &stdout).unwrap();
+    let relint = lint(&[path.to_str().unwrap(), "--catalog", &catalog]);
+    assert_eq!(relint.status.code(), Some(0), "{relint:?}");
+}
+
+#[test]
+fn synth_output_is_byte_deterministic() {
+    let catalog = format!(
+        "{}/../../examples/configs/catalog.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let args = ["synth", "--catalog", &catalog, "--accuracy-m", "40"];
+    let first = lint(&args);
+    let second = lint(&args);
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    assert_eq!(first.stdout, second.stdout, "ranking must be reproducible");
+}
+
+#[test]
+fn synth_doc_carries_schema_version_and_goal() {
+    let catalog = format!(
+        "{}/../../examples/configs/catalog.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = lint(&["synth", "--catalog", &catalog, "--accuracy-m", "5"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value = serde_json::parse_value_str(&stdout).expect("valid JSON");
+    let map = value.as_map().unwrap();
+    let version = map.iter().find(|(k, _)| k == "schema_version").unwrap();
+    assert_eq!(
+        version.1,
+        serde::Content::I64(i64::from(perpos_analysis::JSON_SCHEMA_VERSION)),
+        "{stdout}"
+    );
+    assert!(map.iter().any(|(k, _)| k == "synthesis"), "{stdout}");
+}
+
+#[test]
+fn synth_infeasible_goal_names_binding_constraint_and_exits_one() {
+    // The coarse fixture catalog bottoms out at 3 m; an 0.5 m goal must
+    // fail with the accuracy constraint named, not an empty list.
+    let out = lint(&[
+        "synth",
+        "--catalog",
+        &fixture("synth_coarse_catalog.json"),
+        "--accuracy-m",
+        "0.5",
+        "--format",
+        "human",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[P015]"), "{stdout}");
+    assert!(stdout.contains("accuracy bound is binding"), "{stdout}");
+    assert!(stdout.contains("requested 0.5"), "{stdout}");
+    assert!(stdout.contains("achieves 3"), "{stdout}");
+}
+
+#[test]
+fn synth_without_catalog_exits_two() {
+    let out = lint(&["synth", "--accuracy-m", "5"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("synth needs --catalog"));
+}
+
+#[test]
 fn explain_unknown_code_exits_two() {
     let out = lint(&["--explain", "P099"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");

@@ -223,6 +223,26 @@ impl GraphConfig {
     }
 }
 
+/// A [`GraphConfig`] produced by a pipeline synthesizer (e.g.
+/// `perpos-analysis`'s `synth` module) rather than written by hand,
+/// together with the goal it was synthesized for.
+///
+/// Synthesized configurations are only ever stood up through
+/// [`Middleware::instantiate_synthesized`], which re-runs the caller's
+/// acceptance gate before touching the graph — a synthesizer bug (or a
+/// stale serialized artifact) can therefore never instantiate a pipeline
+/// that no longer passes analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesizedConfig {
+    /// The synthesized processing graph.
+    pub config: GraphConfig,
+    /// Human-readable summary of the goal the pipeline satisfies, e.g.
+    /// `"accuracy<=5m, no-identifiable-at-sink"`.
+    pub goal: String,
+    /// Rank among the synthesizer's candidates (0 = best).
+    pub rank: u64,
+}
+
 /// Connects a [`perpos_registry::Registry`] of component factories to a
 /// [`Middleware`] instance, instantiating and wiring components as their
 /// declared dependencies resolve.

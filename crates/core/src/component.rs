@@ -150,6 +150,10 @@ pub struct TransferSpec {
     /// Additional data kinds to treat as raw identifiable sensor data
     /// for privacy-taint purposes, beyond the built-in set.
     pub taints: Option<Vec<String>>,
+    /// Average power draw of the component while active, in milliwatts.
+    /// Used by the pipeline synthesizer to honour a power budget; absent
+    /// means the component is treated as free.
+    pub power_mw: Option<f64>,
 }
 
 impl TransferSpec {
@@ -185,6 +189,7 @@ impl TransferSpec {
             max_rate_hz: pick!(max_rate_hz),
             anonymizes: pick!(anonymizes),
             taints: pick!(taints),
+            power_mw: pick!(power_mw),
         }
     }
 
@@ -223,6 +228,12 @@ impl TransferSpec {
     /// Marks the component as anonymizing (builder style).
     pub fn anonymizing(mut self) -> Self {
         self.anonymizes = Some(true);
+        self
+    }
+
+    /// Declares the average active power draw (builder style).
+    pub fn with_power_mw(mut self, mw: f64) -> Self {
+        self.power_mw = Some(mw);
         self
     }
 }

@@ -73,6 +73,10 @@ pub use time::{SimClock, SimDuration, SimTime};
 
 /// Convenient glob import for applications built on PerPos.
 pub mod prelude {
+    pub use crate::assembly::{
+        Assembler, ComponentConfig, ComponentFactory, ConnectionConfig, GraphConfig,
+        SynthesizedConfig,
+    };
     pub use crate::channel::{
         ChannelFeature, ChannelId, ChannelStats, DataNode, DataTree, TreePolicy,
     };

@@ -607,6 +607,31 @@ impl Middleware {
         self.channels.stats(id)
     }
 
+    /// Stands up a synthesizer-produced configuration, re-running
+    /// `check` over the embedded [`crate::assembly::GraphConfig`] first
+    /// — the acceptance gate for machine-written pipelines. Nothing is
+    /// instantiated unless the gate passes, so a stale or corrupted
+    /// synthesis artifact can never reach the running graph.
+    ///
+    /// `perpos-analysis`'s `gate::config_gate` is the intended `check`;
+    /// it re-runs the full P001–P014 pass the synthesizer already used
+    /// as its own acceptance criterion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `check`'s error without touching the graph, then
+    /// behaves like [`crate::assembly::GraphConfig::instantiate`].
+    pub fn instantiate_synthesized(
+        &mut self,
+        synthesized: &crate::assembly::SynthesizedConfig,
+        factories: &std::collections::BTreeMap<String, crate::assembly::ComponentFactory>,
+        check: &dyn Fn(&crate::assembly::GraphConfig) -> Result<(), CoreError>,
+    ) -> Result<std::collections::BTreeMap<String, NodeId>, CoreError> {
+        synthesized
+            .config
+            .instantiate_checked(self, factories, check)
+    }
+
     // ------------------------------------------------------------------
     // Positioning Layer — paper §2.3
     // ------------------------------------------------------------------

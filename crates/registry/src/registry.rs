@@ -76,6 +76,51 @@ struct Inner<T> {
     next_id: u64,
     services: BTreeMap<ServiceId, Entry<T>>,
     subscribers: Vec<Sender<ServiceEvent>>,
+    /// Capability index: namespace → ids of services providing it, in
+    /// ascending-id order. Maintained on register/unregister so provider
+    /// lookup (resolution, [`Registry::providers_of`],
+    /// [`Registry::providers_matching`]) avoids scanning every service.
+    by_namespace: BTreeMap<String, Vec<ServiceId>>,
+}
+
+impl<T> Inner<T> {
+    /// Adds `id`'s capability namespaces to the index. Ids are assigned
+    /// monotonically, so pushing keeps each bucket in ascending order —
+    /// which is what preserves the registry's deterministic
+    /// lowest-id-provider-wins resolution.
+    fn index_capabilities(&mut self, id: ServiceId) {
+        let Some(entry) = self.services.get(&id) else {
+            return;
+        };
+        let mut namespaces: Vec<&str> = entry
+            .descriptor
+            .capabilities()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        namespaces.sort_unstable();
+        namespaces.dedup();
+        let namespaces: Vec<String> = namespaces.into_iter().map(String::from).collect();
+        for ns in namespaces {
+            let bucket = self.by_namespace.entry(ns).or_default();
+            match bucket.binary_search(&id) {
+                Ok(_) => {}
+                Err(pos) => bucket.insert(pos, id),
+            }
+        }
+    }
+
+    /// Removes `id` from every index bucket it appears in.
+    fn unindex_capabilities(&mut self, id: ServiceId, descriptor: &ServiceDescriptor) {
+        for cap in descriptor.capabilities() {
+            if let Some(bucket) = self.by_namespace.get_mut(cap.name()) {
+                bucket.retain(|sid| *sid != id);
+                if bucket.is_empty() {
+                    self.by_namespace.remove(cap.name());
+                }
+            }
+        }
+    }
 }
 
 /// A dynamic service registry with OSGi-style dependency resolution.
@@ -130,6 +175,7 @@ impl<T> Registry<T> {
                 next_id: 1,
                 services: BTreeMap::new(),
                 subscribers: Vec::new(),
+                by_namespace: BTreeMap::new(),
             })),
         }
     }
@@ -151,6 +197,7 @@ impl<T> Registry<T> {
                 wires: Vec::new(),
             },
         );
+        inner.index_capabilities(id);
         let mut events = vec![ServiceEvent::Registered(id)];
         Self::resolve_all(&mut inner, &mut events);
         Self::publish(&mut inner, events);
@@ -169,6 +216,7 @@ impl<T> Registry<T> {
             .services
             .remove(&id)
             .ok_or(RegistryError::UnknownService(id))?;
+        inner.unindex_capabilities(id, &entry.descriptor);
         let mut events = vec![ServiceEvent::Unregistered(id)];
         Self::unresolve_dependents_of(&mut inner, id, &mut events);
         Self::resolve_all(&mut inner, &mut events);
@@ -215,19 +263,34 @@ impl<T> Registry<T> {
     }
 
     /// Ids of services whose descriptor provides a capability in the given
-    /// namespace.
+    /// namespace, in ascending-id (registration) order.
     pub fn providers_of(&self, namespace: &str) -> Vec<ServiceId> {
         self.inner
             .read()
-            .services
+            .by_namespace
+            .get(namespace)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Ids of services providing a capability that satisfies `req`
+    /// (namespace plus all constraint properties), in ascending-id
+    /// order — the provider-lookup primitive used by pipeline
+    /// synthesizers searching the capability space.
+    pub fn providers_matching(&self, req: &Requirement) -> Vec<ServiceId> {
+        let inner = self.inner.read();
+        let Some(bucket) = inner.by_namespace.get(req.name()) else {
+            return Vec::new();
+        };
+        bucket
             .iter()
-            .filter(|(_, e)| {
-                e.descriptor
-                    .capabilities()
-                    .iter()
-                    .any(|c| c.name() == namespace)
+            .filter(|id| {
+                inner
+                    .services
+                    .get(id)
+                    .is_some_and(|e| e.descriptor.capabilities().iter().any(|c| req.matches(c)))
             })
-            .map(|(id, _)| *id)
+            .copied()
             .collect()
     }
 
@@ -295,12 +358,22 @@ impl<T> Registry<T> {
                 let mut wires = Vec::new();
                 let mut satisfied = true;
                 for req in entry.descriptor.requirements() {
+                    // Candidate providers come from the capability index
+                    // (ascending-id buckets), so the first resolved match
+                    // is still the deterministic lowest-id provider.
                     let provider = inner
-                        .services
-                        .iter()
-                        .filter(|(pid, pe)| **pid != id && pe.state == ServiceState::Resolved)
-                        .find(|(_, pe)| pe.descriptor.capabilities().iter().any(|c| req.matches(c)))
-                        .map(|(pid, _)| *pid);
+                        .by_namespace
+                        .get(req.name())
+                        .into_iter()
+                        .flatten()
+                        .filter(|pid| **pid != id)
+                        .find(|pid| {
+                            inner.services.get(pid).is_some_and(|pe| {
+                                pe.state == ServiceState::Resolved
+                                    && pe.descriptor.capabilities().iter().any(|c| req.matches(c))
+                            })
+                        })
+                        .copied();
                     match provider {
                         Some(pid) => wires.push(Wire {
                             requirement: req.clone(),
@@ -510,6 +583,42 @@ mod tests {
         let c = r.register(desc("c").provides(Capability::new("x")), ());
         assert_eq!(r.providers_of("x"), vec![a, c]);
         assert!(r.providers_of("z").is_empty());
+    }
+
+    #[test]
+    fn providers_matching_honours_constraint_properties() {
+        let r: Registry<()> = Registry::new();
+        let wgs = r.register(
+            desc("gps").provides(Capability::new("position").with("format", "wgs84")),
+            (),
+        );
+        let room = r.register(
+            desc("rooms").provides(Capability::new("position").with("format", "roomid")),
+            (),
+        );
+        assert_eq!(
+            r.providers_matching(&Requirement::new("position")),
+            vec![wgs, room]
+        );
+        assert_eq!(
+            r.providers_matching(&Requirement::new("position").with("format", "roomid")),
+            vec![room]
+        );
+        assert!(r
+            .providers_matching(&Requirement::new("velocity"))
+            .is_empty());
+    }
+
+    #[test]
+    fn capability_index_tracks_unregister() {
+        let r: Registry<()> = Registry::new();
+        let a = r.register(desc("a").provides(Capability::new("x")), ());
+        let b = r.register(desc("b").provides(Capability::new("x")), ());
+        assert_eq!(r.providers_of("x"), vec![a, b]);
+        r.unregister(a).unwrap();
+        assert_eq!(r.providers_of("x"), vec![b]);
+        r.unregister(b).unwrap();
+        assert!(r.providers_of("x").is_empty());
     }
 
     #[test]
