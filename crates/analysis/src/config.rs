@@ -3,8 +3,9 @@
 //! Runs the whole-graph lint passes a configuration can be checked
 //! against *before* any component is built: reference validity (P007),
 //! cycles (P005), type flow (P001), dangling inputs (P002), feature
-//! requirements (P003), dead components (P004) and missing source fault
-//! policies (P009). All passes run even
+//! requirements (P003), dead components (P004), missing source fault
+//! policies (P009) and under-provisioned fleet containment (P016). All
+//! passes run even
 //! when earlier ones report errors, so one lint invocation surfaces
 //! everything at once; connections with broken references are simply
 //! skipped by the downstream passes.
@@ -17,7 +18,7 @@ use crate::catalog::{ComponentTypeSpec, TypeCatalog};
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
 
 /// Analyzes a configuration against a catalog of component types,
-/// producing every applicable P001–P005/P007/P009 finding.
+/// producing every applicable P001–P005/P007/P009/P016 finding.
 pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
     let mut report = Report::new();
 
@@ -76,6 +77,40 @@ pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
                     "sensors fail in the field; set fault_policy to \"drop_item\", \
                      \"restart\" or \"quarantine\" (the default \"propagate\" aborts \
                      the run on the first fault)",
+                ),
+            );
+        }
+    }
+
+    // P016: a fleet deployment with components still on the default
+    // Propagate policy — every routine fault skips in-instance
+    // containment and is paid for as a fleet checkpoint restart.
+    if let Some(spec) = &config.fleet {
+        for c in &config.components {
+            let is_app = instances
+                .get(c.name.as_str())
+                .and_then(|s| s.as_ref())
+                .map(|s| s.role == "sink")
+                .unwrap_or(c.kind == "application");
+            if is_app || c.fault_policy.is_some() {
+                continue;
+            }
+            report.push(
+                Diagnostic::new(
+                    Code::P016,
+                    Severity::Warning,
+                    format!(
+                        "fleet of {} instances restarts from checkpoints on every \
+                         fault of {:?} (no containment policy)",
+                        spec.instances, c.name
+                    ),
+                    vec![c.name.clone()],
+                )
+                .with_hint(
+                    "under a fleet block, give each component an explicit \
+                     fault_policy (\"drop_item\", \"restart\" or \"quarantine\") so \
+                     routine faults are absorbed inside the instance instead of \
+                     costing a checkpoint restore",
                 ),
             );
         }
@@ -511,6 +546,7 @@ mod tests {
             connections: vec![edge("gps0", "p0", 0), edge("p0", "app", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let report = analyze_config(&config, &catalog());
         assert!(report.is_clean(), "{}", report.render_human());
@@ -523,6 +559,7 @@ mod tests {
             connections: vec![edge("p0", "p0", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(
@@ -546,6 +583,7 @@ mod tests {
             connections: vec![edge("p0", "app", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let report = analyze_config(&config, &catalog());
         assert_eq!(report.with_code(Code::P007).len(), 1);

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use perpos_core::assembly::GraphConfig;
+use perpos_core::assembly::{FleetSpec, GraphConfig};
 use perpos_core::component::{ComponentRole, TransferSpec};
 use perpos_core::graph::NodeInfo;
 
@@ -90,6 +90,9 @@ pub struct FlowGraph {
     /// Executor mode the configuration requests (`None` = the default
     /// sequential executor; live structures do not record a request).
     pub executor: Option<String>,
+    /// Fleet deployment the configuration requests (`None` = a single
+    /// unsupervised instance; live structures do not record one).
+    pub fleet: Option<FleetSpec>,
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
 }
@@ -106,6 +109,7 @@ impl FlowGraph {
             nodes,
             edges,
             executor: None,
+            fleet: None,
             preds,
             succs,
         }
@@ -173,6 +177,7 @@ impl FlowGraph {
         }
         let mut graph = FlowGraph::finish(nodes, edges);
         graph.executor = config.executor.clone();
+        graph.fleet = config.fleet.clone();
         graph
     }
 
@@ -521,6 +526,7 @@ mod tests {
             ],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.nodes.len(), 4);
@@ -540,6 +546,7 @@ mod tests {
             connections: vec![edge("x", "y", 0), edge("y", "x", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert!(g.topological_order().is_none());
@@ -569,6 +576,7 @@ mod tests {
             ],
             executor: Some("level-parallel".into()),
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.executor.as_deref(), Some("level-parallel"));
@@ -586,6 +594,7 @@ mod tests {
             connections: vec![edge("x", "y", 0), edge("y", "x", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         let levels = g.topo_levels();
@@ -602,6 +611,7 @@ mod tests {
             connections: vec![edge("a", "nobody", 0), edge("ghost", "a", 7)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.nodes.len(), 1);
@@ -621,6 +631,7 @@ mod tests {
             connections: vec![edge("s", "n", 0)],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let g = FlowGraph::from_config(&config, &catalog);
         assert_eq!(g.edge_kinds(0), vec!["nmea.sentence".to_string()]);

@@ -14,8 +14,10 @@ use serde::{Content, Serialize};
 /// (`level_buffer_cap`, per-node `overflow_s`); version 4 adds code
 /// P015, the `perpos-lint synth` `synthesis` document (goal, ranked
 /// candidates, infeasibility explanation) and canonically sorted
-/// diagnostics/facts arrays (byte-reproducible output).
-pub const JSON_SCHEMA_VERSION: u32 = 4;
+/// diagnostics/facts arrays (byte-reproducible output); version 5 adds
+/// code P016 and the facts document's `fleet` field (the resolved fleet
+/// deployment, `null` without a `fleet` block).
+pub const JSON_SCHEMA_VERSION: u32 = 5;
 
 /// Defines [`Code`] from a single list, generating the enum, the
 /// [`Code::ALL`] table, [`Code::as_str`], [`Code::parse`] and
@@ -113,6 +115,11 @@ define_codes! {
     /// constraint (accuracy, rate, power, frame, privacy or a missing
     /// provider).
     P015 => "synthesis goal is unsatisfiable against the catalog",
+    /// Under-provisioned fleet fault containment: the configuration
+    /// declares a fleet deployment while components still run the
+    /// default `Propagate` policy, so every component fault escapes the
+    /// instance and is paid for as a fleet-level checkpoint restart.
+    P016 => "fleet deployment relies on checkpoint-restart for routine faults",
 }
 
 /// Long-form documentation of a diagnostic code, served by
@@ -293,6 +300,25 @@ impl Code {
                 fix: "Relax the named constraint to the reported achievable bound, or \
                       extend the catalog with a component type that improves it (e.g. \
                       a more accurate source, an anonymizer, a downsampler).",
+            },
+            Code::P016 => CodeExplanation {
+                detail: "The configuration declares a `fleet` block, so the process \
+                         will be replicated under the fleet runtime's escalation \
+                         ladder: in-instance fault policies first, checkpoint-restart \
+                         second, shard quarantine last. A component left on the \
+                         default `Propagate` policy skips the first rung entirely — \
+                         each of its faults aborts the whole instance step and is \
+                         recovered by rebuilding the instance and restoring its last \
+                         checkpoint, losing every step since. At fleet scale that \
+                         turns routine, locally containable faults into availability \
+                         loss and, when they cluster, shard quarantines.",
+                example: "A 10,000-instance fleet whose GPS source has no \
+                          fault_policy: every transient sensor fault costs a \
+                          checkpoint restore instead of one dropped item.",
+                fix: "Give fleet-deployed components an explicit containment policy — \
+                      \"drop_item\", \"restart\" or \"quarantine\" — so routine faults \
+                      are absorbed inside the instance and the checkpoint-restart rung \
+                      is reserved for genuine crashes.",
             },
         }
     }

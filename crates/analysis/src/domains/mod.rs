@@ -126,6 +126,13 @@ struct JsonEdgeFacts {
 }
 
 #[derive(Serialize)]
+struct JsonFleetFacts {
+    instances: u64,
+    shards: u64,
+    checkpoint_every: u64,
+}
+
+#[derive(Serialize)]
 struct JsonFactsDoc {
     schema_version: u64,
     converged: bool,
@@ -133,6 +140,9 @@ struct JsonFactsDoc {
     /// The channel layer's per-level pending-buffer bound the
     /// `overflow_s` node predictions are computed against.
     level_buffer_cap: u64,
+    /// The resolved fleet deployment when the configuration declares
+    /// one (`null` = a single unsupervised instance).
+    fleet: Option<JsonFleetFacts>,
     levels: Vec<Vec<String>>,
     nodes: Vec<JsonNodeFacts>,
     edges: Vec<JsonEdgeFacts>,
@@ -201,6 +211,14 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             .clone()
             .unwrap_or_else(|| "sequential".into()),
         level_buffer_cap: perpos_core::channel::LEVEL_BUFFER_CAP as u64,
+        fleet: graph.fleet.as_ref().map(|spec| {
+            let resolved = spec.to_fleet_config();
+            JsonFleetFacts {
+                instances: resolved.instances as u64,
+                shards: resolved.shards as u64,
+                checkpoint_every: resolved.checkpoint_every,
+            }
+        }),
         levels: graph
             .topo_levels()
             .into_iter()

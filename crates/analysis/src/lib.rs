@@ -62,6 +62,7 @@
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
 //!     executor: None,
 //!     tree_policy: None,
+//!     fleet: None,
 //! };
 //! let report = analyze_config(&config, &catalog);
 //! assert_eq!(report.with_code(Code::P005).len(), 1);

@@ -224,6 +224,7 @@ fn materialize(ctx: &Ctx<'_>, plan: &Plan, with_app: bool) -> GraphConfig {
         connections,
         executor: None,
         tree_policy: None,
+        fleet: None,
     }
 }
 

@@ -72,6 +72,7 @@ fn cyclic_graph(src_transfer: TransferSpec, relay_transfer: TransferSpec) -> Flo
         ],
         executor: None,
         tree_policy: None,
+        fleet: None,
     };
     let graph = FlowGraph::from_config(&config, &catalog);
     assert!(

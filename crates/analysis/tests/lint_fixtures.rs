@@ -105,6 +105,20 @@ fn p009_no_fault_policy_fires_exactly_once() {
 }
 
 #[test]
+fn p016_fleet_without_containment_fires_exactly_once() {
+    // pipeline_ok.json plus a fleet block, with every component except
+    // the parser carrying an explicit policy: the only finding is the
+    // P016 warning naming the uncovered component.
+    let report = lint("p016_fleet_no_containment.json");
+    assert_only(&report, Code::P016, Severity::Warning);
+    let d = report.with_code(Code::P016)[0];
+    assert_eq!(d.path, vec!["parse0".to_string()]);
+    assert!(d.message.contains("10240"), "{}", d.message);
+    assert!(d.hint.as_deref().unwrap_or("").contains("fault_policy"));
+    assert!(!report.has_errors());
+}
+
+#[test]
 fn p010_frame_conflict_fires_exactly_once() {
     // A local-frame beacon fused with WGS-84 positions without a
     // transform in between.

@@ -310,6 +310,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
         }],
         executor: None,
         tree_policy: None,
+        fleet: None,
     };
     let mut mw = Middleware::new();
     let before = mw.structure().len();
@@ -355,6 +356,7 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
         ],
         executor: None,
         tree_policy: None,
+        fleet: None,
     };
     let nodes = good
         .instantiate_checked(&mut mw, &factories, &gate)

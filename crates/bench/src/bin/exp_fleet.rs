@@ -1,0 +1,399 @@
+//! Experiment "fleet" — supervised fleet soak under deterministic chaos.
+//!
+//! A [`FleetPool`] shards thousands of middleware instances and walks the
+//! escalation ladder when they fault: in-instance containment first,
+//! checkpoint-restart second, shard quarantine third. This soak injects
+//! an *environmental* fault schedule — a fraction `fault_rate` of the
+//! instances carry a source that fails a step with a small seeded
+//! probability, reseeded per incarnation so restarts do not replay the
+//! crash out of the restored checkpoint — and measures what supervision
+//! buys: fleet availability (live instance-steps over attempted),
+//! recovery latency in steps-to-healthy, and sustained items/s, against
+//! an unsupervised baseline where the first escaped fault kills the
+//! instance for the rest of the run. Swept over instances x pipeline
+//! depth x fault-rate. All counters are deterministic (seeded shim RNG,
+//! deterministic restart order); only the wall-clock columns vary by
+//! machine.
+//!
+//! Run with: `cargo run -p perpos-bench --bin exp_fleet --release`
+//! (pass `--smoke` for the reduced CI check, which re-runs the smoke
+//! configuration, fails unless supervised availability stays >= 0.99
+//! under the 10 % fault rate while beating the unsupervised baseline,
+//! and cross-checks the deterministic counters against the committed
+//! `BENCH_fleet.json` so the baseline provably regenerates).
+//!
+//! The full sweep (re)writes `BENCH_fleet.json`; the smoke sweep only
+//! reads it.
+
+#![allow(clippy::unwrap_used)]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use perpos_core::component::{ComponentCtx, ComponentDescriptor};
+use perpos_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-step failure probability of a faulty instance's source. Chosen so
+/// a 10 % faulty fleet stays above the 0.99 availability floor *with*
+/// checkpoint-restart but falls well below it without.
+const STEP_FAIL_PROB: f64 = 0.015;
+
+/// Rounds each configuration runs for.
+const ROUNDS: u64 = 96;
+
+/// A counting source whose counter rides through checkpoints while its
+/// fault schedule stays environmental: the RNG is *not* snapshotted and
+/// is reseeded per incarnation, so a restored instance faces fresh
+/// weather instead of deterministically replaying its own crash.
+struct FlakySource {
+    counter: i64,
+    rng: Option<StdRng>,
+}
+
+impl Component for FlakySource {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source("flaky", vec![kinds::RAW_STRING])
+    }
+    fn on_input(
+        &mut self,
+        _p: usize,
+        _i: DataItem,
+        _c: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Ok(())
+    }
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        if let Some(rng) = self.rng.as_mut() {
+            if rng.gen::<f64>() < STEP_FAIL_PROB {
+                return Err(CoreError::ComponentFailure {
+                    component: "flaky".to_string(),
+                    reason: "injected fault".to_string(),
+                });
+            }
+        }
+        self.counter += 1;
+        ctx.emit_value(kinds::RAW_STRING, Value::Int(self.counter));
+        Ok(())
+    }
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(Value::Int(self.counter))
+    }
+    fn restore_state(&mut self, state: &Value) {
+        if let Some(v) = state.as_i64() {
+            self.counter = v;
+        }
+    }
+}
+
+/// Instance factory: every `1/fault_rate`-th instance gets a faulty
+/// source, the rest run clean. The incarnation counter makes restart
+/// reseeding deterministic without replaying checkpointed schedules.
+fn factory(depth: usize, fault_rate: f64, seed: u64) -> impl Fn(usize) -> Middleware {
+    let incarnation = Arc::new(AtomicU64::new(0));
+    move |index| {
+        let stripe = (fault_rate * 100.0).round() as usize;
+        let faulty = stripe > 0 && index % 100 < stripe;
+        let rng = faulty.then(|| {
+            let n = incarnation.fetch_add(1, Ordering::Relaxed);
+            StdRng::seed_from_u64(
+                seed ^ (index as u64).wrapping_mul(0x9E37_79B9) ^ n.wrapping_mul(0xC0FF_EE11),
+            )
+        });
+        let mut mw = Middleware::new();
+        let src = mw.add_boxed_component(Box::new(FlakySource { counter: 0, rng }));
+        let mut prev = src;
+        for d in 0..depth {
+            let node = mw.add_component(FnProcessor::new(
+                format!("stage{d}"),
+                vec![kinds::RAW_STRING],
+                kinds::RAW_STRING,
+                |item| Some(item.payload.clone()),
+            ));
+            mw.connect(prev, node, 0).unwrap();
+            prev = node;
+        }
+        let app = mw.application_sink();
+        mw.connect_to_sink(prev, app).unwrap();
+        mw
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Supervised {
+    availability: f64,
+    live_steps: u64,
+    missed_steps: u64,
+    instance_faults: u64,
+    restarts: u64,
+    cold_restarts: u64,
+    quarantines: u64,
+    checkpoints: u64,
+    mean_recovery_steps: f64,
+    items_per_sec: f64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Unsupervised {
+    availability: f64,
+    live_steps: u64,
+    missed_steps: u64,
+    dead_instances: u64,
+    items_per_sec: f64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Sample {
+    instances: u64,
+    depth: u64,
+    fault_rate: f64,
+    supervised: Supervised,
+    unsupervised: Unsupervised,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Doc {
+    experiment: String,
+    cores: u64,
+    rounds: u64,
+    step_fail_prob: f64,
+    results: Vec<Sample>,
+}
+
+fn fleet_config(instances: usize) -> FleetConfig {
+    FleetConfig {
+        shards: (instances / 320).max(1),
+        instances,
+        checkpoint_every: 8,
+        shard_fault_threshold: 16,
+        shard_fault_window: 16,
+        shard_backoff: 4,
+        seed: 0xf1ee7,
+    }
+}
+
+fn run_supervised(instances: usize, depth: usize, fault_rate: f64) -> Supervised {
+    let mut pool = FleetPool::new(
+        fleet_config(instances),
+        factory(depth, fault_rate, 0xbad5eed),
+    );
+    let tick = SimDuration::from_millis(100);
+    let start = Instant::now();
+    pool.run(ROUNDS, tick);
+    let secs = start.elapsed().as_secs_f64();
+    let stats = pool.stats();
+    let cold: u64 = stats.shards.iter().map(|s| s.cold_restarts).sum();
+    let warm: u64 = stats.shards.iter().map(|s| s.restarts).sum();
+    let checkpoints: u64 = stats.shards.iter().map(|s| s.checkpoints).sum();
+    Supervised {
+        availability: stats.availability(),
+        live_steps: stats.live_steps(),
+        missed_steps: stats.missed_steps(),
+        instance_faults: stats.instance_faults(),
+        restarts: warm,
+        cold_restarts: cold,
+        quarantines: stats.quarantines(),
+        checkpoints,
+        mean_recovery_steps: stats.mean_recovery_steps(),
+        items_per_sec: stats.live_steps() as f64 / secs,
+    }
+}
+
+/// The baseline the supervision tax is judged against: the same fleet
+/// stepped with no checkpoints, no restarts and no watchdog — the first
+/// fault that escapes containment leaves the instance down for the rest
+/// of the soak.
+fn run_unsupervised(instances: usize, depth: usize, fault_rate: f64) -> Unsupervised {
+    let build = factory(depth, fault_rate, 0xbad5eed);
+    let mut fleet: Vec<Option<Middleware>> = (0..instances).map(|i| Some(build(i))).collect();
+    let tick = SimDuration::from_millis(100);
+    let mut live = 0u64;
+    let mut missed = 0u64;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for slot in &mut fleet {
+            match slot {
+                Some(mw) => {
+                    let before = mw.steps_run();
+                    match mw.step_batch(1, tick) {
+                        Ok(()) => live += 1,
+                        Err(_) => {
+                            live += mw.steps_run().saturating_sub(before);
+                            missed += 1;
+                            *slot = None;
+                        }
+                    }
+                }
+                None => missed += 1,
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let dead = fleet.iter().filter(|s| s.is_none()).count() as u64;
+    Unsupervised {
+        availability: live as f64 / (live + missed) as f64,
+        live_steps: live,
+        missed_steps: missed,
+        dead_instances: dead,
+        items_per_sec: live as f64 / secs,
+    }
+}
+
+fn measure(instances: usize, depth: usize, fault_rate: f64) -> Sample {
+    let supervised = run_supervised(instances, depth, fault_rate);
+    let unsupervised = run_unsupervised(instances, depth, fault_rate);
+    Sample {
+        instances: instances as u64,
+        depth: depth as u64,
+        fault_rate,
+        supervised,
+        unsupervised,
+    }
+}
+
+fn print_sample(s: &Sample) {
+    println!(
+        "{:>9} {:>6} {:>6.2} {:>12.4} {:>12.4} {:>7} {:>9} {:>11} {:>9.1} {:>12.0}",
+        s.instances,
+        s.depth,
+        s.fault_rate,
+        s.supervised.availability,
+        s.unsupervised.availability,
+        s.supervised.instance_faults,
+        s.supervised.restarts,
+        s.supervised.quarantines,
+        s.supervised.mean_recovery_steps,
+        s.supervised.items_per_sec,
+    );
+}
+
+/// The configuration the CI smoke re-runs and cross-checks.
+const SMOKE: (usize, usize, f64) = (2048, 1, 0.10);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("=== fleet: supervised soak vs unsupervised baseline ({cores} core(s)) ===\n");
+    println!(
+        "{:>9} {:>6} {:>6} {:>12} {:>12} {:>7} {:>9} {:>11} {:>9} {:>12}",
+        "instances",
+        "depth",
+        "rate",
+        "avail(sup)",
+        "avail(raw)",
+        "faults",
+        "restarts",
+        "quarantines",
+        "rec steps",
+        "items/s"
+    );
+    println!("{}", "-".repeat(102));
+
+    if smoke {
+        let (instances, depth, rate) = SMOKE;
+        let s = measure(instances, depth, rate);
+        print_sample(&s);
+        let mut failed = false;
+        if s.supervised.availability < 0.99 {
+            eprintln!(
+                "FAIL: supervised availability {:.4} under {rate} fault rate (floor 0.99)",
+                s.supervised.availability
+            );
+            failed = true;
+        }
+        if s.supervised.availability <= s.unsupervised.availability {
+            eprintln!("FAIL: supervision does not beat the unsupervised baseline");
+            failed = true;
+        }
+        // Regeneration check: the committed baseline must contain this
+        // exact configuration with the exact deterministic counters the
+        // re-run just produced (timing columns excluded by design).
+        match std::fs::read_to_string("BENCH_fleet.json") {
+            Ok(text) => {
+                let baseline: Doc = serde_json::from_str(&text).unwrap();
+                match baseline.results.iter().find(|r| {
+                    r.instances == instances as u64
+                        && r.depth == depth as u64
+                        && (r.fault_rate - rate).abs() < 1e-9
+                }) {
+                    Some(base) => {
+                        let same = base.supervised.live_steps == s.supervised.live_steps
+                            && base.supervised.missed_steps == s.supervised.missed_steps
+                            && base.supervised.instance_faults == s.supervised.instance_faults
+                            && base.supervised.restarts == s.supervised.restarts
+                            && base.supervised.cold_restarts == s.supervised.cold_restarts
+                            && base.supervised.quarantines == s.supervised.quarantines
+                            && base.unsupervised.live_steps == s.unsupervised.live_steps
+                            && base.unsupervised.dead_instances == s.unsupervised.dead_instances;
+                        if !same {
+                            eprintln!(
+                                "FAIL: BENCH_fleet.json counters diverge from a fresh run — \
+                                 regenerate with `cargo run -p perpos-bench --bin exp_fleet --release`"
+                            );
+                            failed = true;
+                        }
+                    }
+                    None => {
+                        eprintln!("FAIL: BENCH_fleet.json misses the smoke configuration");
+                        failed = true;
+                    }
+                }
+                // The flagship row the paper-scale claim rests on.
+                let flagship = baseline
+                    .results
+                    .iter()
+                    .find(|r| r.instances >= 10_000 && (r.fault_rate - 0.10).abs() < 1e-9);
+                match flagship {
+                    Some(f) if f.supervised.availability >= 0.99 => {}
+                    Some(f) => {
+                        eprintln!(
+                            "FAIL: committed flagship availability {:.4} below 0.99",
+                            f.supervised.availability
+                        );
+                        failed = true;
+                    }
+                    None => {
+                        eprintln!("FAIL: BENCH_fleet.json misses a >=10k-instance 10% row");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: no committed BENCH_fleet.json baseline to compare ({e})");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\nsmoke OK: floor held, baseline regenerates");
+        return;
+    }
+
+    let mut results = Vec::new();
+    for &instances in &[2048usize, 10_240] {
+        for &depth in &[1usize, 4] {
+            for &rate in &[0.0f64, 0.05, 0.10] {
+                let s = measure(instances, depth, rate);
+                print_sample(&s);
+                results.push(s);
+            }
+        }
+    }
+
+    let doc = Doc {
+        experiment: "fleet".to_string(),
+        cores: cores as u64,
+        rounds: ROUNDS,
+        step_fail_prob: STEP_FAIL_PROB,
+        results,
+    };
+    std::fs::write(
+        "BENCH_fleet.json",
+        serde_json::to_string_pretty(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("\nwrote BENCH_fleet.json");
+}

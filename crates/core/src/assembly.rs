@@ -97,6 +97,39 @@ pub struct ConnectionConfig {
     pub port: usize,
 }
 
+/// Declarative fleet deployment for a configuration: how many replicas
+/// of the described process a [`crate::fleet::FleetPool`] should run and
+/// how its supervision ladder is provisioned. The spec is deployment
+/// advice — [`GraphConfig::instantiate`] ignores it (it always builds
+/// one instance); [`GraphConfig::fleet_pool`] and fleet-aware tooling
+/// (`perpos-lint`'s P016 pass) consume it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Total middleware instances the pool replicates the process into.
+    pub instances: usize,
+    /// Shards to spread the instances over; absent lets the pool derive
+    /// a shard count from the instance count.
+    pub shards: Option<usize>,
+    /// Checkpoint cadence in shard rounds; absent uses the
+    /// [`crate::fleet::FleetConfig`] default.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl FleetSpec {
+    /// Resolves the spec into a concrete [`crate::fleet::FleetConfig`],
+    /// filling unspecified knobs from the fleet defaults (one shard per
+    /// ~320 instances, default watchdog thresholds and seed).
+    pub fn to_fleet_config(&self) -> crate::fleet::FleetConfig {
+        let defaults = crate::fleet::FleetConfig::default();
+        crate::fleet::FleetConfig {
+            shards: self.shards.unwrap_or_else(|| (self.instances / 320).max(1)),
+            instances: self.instances,
+            checkpoint_every: self.checkpoint_every.unwrap_or(defaults.checkpoint_every),
+            ..defaults
+        }
+    }
+}
+
 /// A declarative, serializable description of a positioning process —
 /// the paper's third composition path: "connections are established
 /// either by direct calls to the graph manipulation API, based on
@@ -120,6 +153,9 @@ pub struct GraphConfig {
     /// `"eager"`); absent keeps the current (default: lazy) policy. See
     /// [`crate::channel::TreePolicy`].
     pub tree_policy: Option<String>,
+    /// Fleet deployment for the process; absent means a single
+    /// unsupervised instance. See [`FleetSpec`].
+    pub fleet: Option<FleetSpec>,
 }
 
 impl GraphConfig {
@@ -220,6 +256,41 @@ impl GraphConfig {
     ) -> Result<BTreeMap<String, NodeId>, CoreError> {
         check(self)?;
         self.instantiate(mw, factories)
+    }
+
+    /// Stands the configuration up as a supervised
+    /// [`crate::fleet::FleetPool`], replicating the process per its
+    /// [`FleetSpec`] (one single-instance pool when the `fleet` block is
+    /// absent). The configuration is validated by instantiating it once
+    /// up front, so the pool's per-instance factory — also used by the
+    /// checkpoint-restart path — cannot fail later.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`GraphConfig::instantiate`], before
+    /// any pool is built.
+    pub fn fleet_pool(
+        &self,
+        factories: BTreeMap<String, Factory>,
+    ) -> Result<crate::fleet::FleetPool, CoreError> {
+        let spec = self.fleet.clone().unwrap_or(FleetSpec {
+            instances: 1,
+            shards: Some(1),
+            checkpoint_every: None,
+        });
+        let mut probe = Middleware::new();
+        self.instantiate(&mut probe, &factories)?;
+        let template = self.clone();
+        Ok(crate::fleet::FleetPool::new(
+            spec.to_fleet_config(),
+            move |_index| {
+                let mut mw = Middleware::new();
+                template
+                    .instantiate(&mut mw, &factories)
+                    .expect("template validated at pool construction");
+                mw
+            },
+        ))
     }
 }
 
@@ -479,6 +550,7 @@ mod tests {
             ],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         let mut mw = Middleware::new();
         let nodes = config.instantiate(&mut mw, &factories).unwrap();
@@ -487,6 +559,99 @@ mod tests {
             .unwrap();
         let p = mw.location_provider(Criteria::new()).unwrap();
         assert_eq!(p.last_item().unwrap().kind, kinds::NMEA_SENTENCE);
+    }
+
+    #[test]
+    fn graph_config_stands_up_a_fleet_pool() {
+        let mut factories: BTreeMap<String, Factory> = BTreeMap::new();
+        factories.insert("gps".into(), Box::new(gps_factory));
+        factories.insert("parser".into(), Box::new(parser_factory));
+        let config = GraphConfig {
+            components: vec![
+                ComponentConfig {
+                    name: "gps0".into(),
+                    kind: "gps".into(),
+                    fault_policy: Some("drop_item".into()),
+                    transfer: None,
+                },
+                ComponentConfig {
+                    name: "parse0".into(),
+                    kind: "parser".into(),
+                    fault_policy: None,
+                    transfer: None,
+                },
+                ComponentConfig {
+                    name: "app".into(),
+                    kind: "application".into(),
+                    fault_policy: None,
+                    transfer: None,
+                },
+            ],
+            connections: vec![
+                ConnectionConfig {
+                    from: "gps0".into(),
+                    to: "parse0".into(),
+                    port: 0,
+                },
+                ConnectionConfig {
+                    from: "parse0".into(),
+                    to: "app".into(),
+                    port: 0,
+                },
+            ],
+            executor: None,
+            tree_policy: None,
+            fleet: Some(FleetSpec {
+                instances: 12,
+                shards: Some(3),
+                checkpoint_every: Some(4),
+            }),
+        };
+        let mut pool = config.fleet_pool(factories).unwrap();
+        assert_eq!(pool.instances(), 12);
+        assert_eq!(pool.shards().len(), 3);
+        pool.run(8, SimDuration::from_millis(100));
+        let stats = pool.stats();
+        assert_eq!(stats.live_steps(), 12 * 8);
+        assert!((pool.availability() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn fleet_spec_resolves_defaults() {
+        let spec = FleetSpec {
+            instances: 1000,
+            shards: None,
+            checkpoint_every: None,
+        };
+        let resolved = spec.to_fleet_config();
+        assert_eq!(resolved.instances, 1000);
+        assert_eq!(resolved.shards, 3);
+        assert_eq!(
+            resolved.checkpoint_every,
+            crate::fleet::FleetConfig::default().checkpoint_every
+        );
+    }
+
+    #[test]
+    fn fleet_pool_rejects_invalid_templates_up_front() {
+        let factories: BTreeMap<String, Factory> = BTreeMap::new();
+        let config = GraphConfig {
+            components: vec![ComponentConfig {
+                name: "x".into(),
+                kind: "nope".into(),
+                fault_policy: None,
+                transfer: None,
+            }],
+            connections: vec![],
+            executor: None,
+            tree_policy: None,
+            fleet: Some(FleetSpec {
+                instances: 4,
+                shards: None,
+                checkpoint_every: None,
+            }),
+        };
+        assert!(config.fleet_pool(factories).is_err());
     }
 
     #[test]
@@ -504,6 +669,7 @@ mod tests {
             connections: vec![],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         assert!(bad_type.instantiate(&mut mw, &factories).is_err());
         // Unknown instance in a connection.
@@ -521,6 +687,7 @@ mod tests {
             }],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         assert!(bad_edge.instantiate(&mut mw, &factories).is_err());
         // Duplicate instance names.
@@ -542,6 +709,7 @@ mod tests {
             connections: vec![],
             executor: None,
             tree_policy: None,
+            fleet: None,
         };
         assert!(dup.instantiate(&mut mw, &factories).is_err());
     }
@@ -555,6 +723,7 @@ mod tests {
             connections: vec![],
             executor: Some("level-parallel".into()),
             tree_policy: None,
+            fleet: None,
         };
         config.instantiate(&mut mw, &factories).unwrap();
         assert_eq!(mw.executor_mode(), crate::executor::ExecMode::LevelParallel);
@@ -564,6 +733,7 @@ mod tests {
             connections: vec![],
             executor: Some("round-robin".into()),
             tree_policy: None,
+            fleet: None,
         };
         assert!(bad.instantiate(&mut mw, &factories).is_err());
     }

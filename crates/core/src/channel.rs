@@ -325,6 +325,20 @@ pub trait ChannelFeature: Send {
 
     /// Typed escape hatch (the paper's `inputChannel.getFeature(...)`).
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Serializes the feature's internal state for a
+    /// [`crate::Middleware::snapshot`] checkpoint; see
+    /// [`crate::component::Component::snapshot_state`]. Default: `None`
+    /// (stateless).
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Applies state previously captured by
+    /// [`ChannelFeature::snapshot_state`]. Default: no-op.
+    fn restore_state(&mut self, state: &Value) {
+        let _ = state;
+    }
 }
 
 /// Cap on unclaimed buffered entries per channel level; prevents unbounded
@@ -457,6 +471,41 @@ struct FeatureEntry {
     feature: Box<dyn ChannelFeature>,
 }
 
+/// Captured state of one [`LevelState`] (see
+/// [`ChannelLayer::snapshot`]).
+#[derive(Debug, Clone)]
+struct LevelSnapshot {
+    counter: u64,
+    claimed_upto: u64,
+    pending: Vec<PendingEntry>,
+    dropped: u64,
+}
+
+/// Captured state of one [`ChannelRuntime`].
+#[derive(Debug, Clone)]
+struct ChannelSnapshot {
+    id: ChannelId,
+    levels: Vec<LevelSnapshot>,
+    /// History ring `(capacity, trees)` when subscribed.
+    history: Option<(usize, Vec<DataTree>)>,
+    /// Attached channel-feature names, for restore-time validation.
+    feature_names: Vec<String>,
+    /// Per-feature opaque state, aligned with `feature_names`.
+    feature_state: Vec<Option<Value>>,
+    outputs: u64,
+    materialized: u64,
+    skipped: u64,
+}
+
+/// The channel layer's contribution to a [`crate::Middleware::snapshot`]
+/// checkpoint: every channel's logical-time state, buffers, counters and
+/// channel-feature state. Opaque outside the crate.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelLayerSnapshot {
+    policy: TreePolicy,
+    channels: Vec<ChannelSnapshot>,
+}
+
 /// The channel layer runtime: derives channels from the graph, performs
 /// logical-time bookkeeping and hosts Channel Features.
 ///
@@ -565,6 +614,115 @@ impl ChannelLayer {
     /// The active materialization policy.
     pub(crate) fn policy(&self) -> TreePolicy {
         self.policy
+    }
+
+    /// Captures the layer's full runtime state — per-level logical-time
+    /// counters, pending rings, eviction counts, output counters,
+    /// history rings and channel-feature state — for a
+    /// [`crate::Middleware::snapshot`] checkpoint.
+    pub(crate) fn snapshot(&self) -> ChannelLayerSnapshot {
+        ChannelLayerSnapshot {
+            policy: self.policy,
+            channels: self
+                .runtimes
+                .iter()
+                .map(|r| ChannelSnapshot {
+                    id: r.id,
+                    levels: r
+                        .levels
+                        .iter()
+                        .map(|l| LevelSnapshot {
+                            counter: l.counter,
+                            claimed_upto: l.claimed_upto,
+                            pending: l.pending.iter().cloned().collect(),
+                            dropped: l.dropped,
+                        })
+                        .collect(),
+                    history: r
+                        .history
+                        .as_ref()
+                        .map(|h| (h.capacity, h.trees.iter().cloned().collect())),
+                    feature_names: r
+                        .features
+                        .iter()
+                        .map(|f| f.descriptor.name.clone())
+                        .collect(),
+                    feature_state: r
+                        .features
+                        .iter()
+                        .map(|f| f.feature.snapshot_state())
+                        .collect(),
+                    outputs: r.outputs,
+                    materialized: r.materialized,
+                    skipped: r.skipped,
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies a state previously captured by
+    /// [`ChannelLayer::snapshot`]. The layer must already have the same
+    /// channel topology (same channel ids, level counts and attached
+    /// channel-feature names) — the caller validates graph structure
+    /// before calling this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ComponentFailure`] when the topology differs
+    /// from the snapshot's; the layer is left unchanged in that case.
+    pub(crate) fn restore(&mut self, snap: &ChannelLayerSnapshot) -> Result<(), CoreError> {
+        let mismatch = |reason: String| CoreError::ComponentFailure {
+            component: "channel-layer".into(),
+            reason,
+        };
+        if snap.channels.len() != self.runtimes.len() {
+            return Err(mismatch(format!(
+                "snapshot has {} channels, layer has {}",
+                snap.channels.len(),
+                self.runtimes.len()
+            )));
+        }
+        for (s, r) in snap.channels.iter().zip(&self.runtimes) {
+            if s.id != r.id || s.levels.len() != r.levels.len() {
+                return Err(mismatch(format!(
+                    "channel {} shape differs from the snapshot",
+                    r.id
+                )));
+            }
+            let names: Vec<String> = r
+                .features
+                .iter()
+                .map(|f| f.descriptor.name.clone())
+                .collect();
+            if names != s.feature_names {
+                return Err(mismatch(format!(
+                    "channel {} features {:?} differ from snapshot {:?}",
+                    r.id, names, s.feature_names
+                )));
+            }
+        }
+        self.policy = snap.policy;
+        for (s, r) in snap.channels.iter().zip(self.runtimes.iter_mut()) {
+            for (ls, level) in s.levels.iter().zip(r.levels.iter_mut()) {
+                level.counter = ls.counter;
+                level.claimed_upto = ls.claimed_upto;
+                level.pending = ls.pending.iter().cloned().collect();
+                level.dropped = ls.dropped;
+            }
+            r.history = s.history.as_ref().map(|(capacity, trees)| TreeHistory {
+                capacity: *capacity,
+                trees: trees.iter().cloned().collect(),
+            });
+            for (entry, state) in r.features.iter_mut().zip(&s.feature_state) {
+                if let Some(state) = state {
+                    entry.feature.restore_state(state);
+                }
+            }
+            r.outputs = s.outputs;
+            r.materialized = s.materialized;
+            r.skipped = s.skipped;
+        }
+        Ok(())
     }
 
     /// Records an emission from `node`. Returns the completed data tree

@@ -436,6 +436,24 @@ pub trait Component: Send {
     /// on quarantine entry; components with internal buffers or
     /// accumulated state should clear them here. Default: no-op.
     fn on_reset(&mut self) {}
+
+    /// Serializes the component's internal state for a
+    /// [`crate::Middleware::snapshot`] checkpoint. Components whose
+    /// behaviour depends on accumulated state (counters, RNG positions,
+    /// filters) return it as a [`Value`] here so a restored instance
+    /// replays byte-identically; stateless components keep the default
+    /// `None` and are skipped by the checkpointer.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Applies state previously captured by
+    /// [`Component::snapshot_state`]. Implementations must accept any
+    /// value their own `snapshot_state` can produce; the default ignores
+    /// the state (matching the default `None` capture).
+    fn restore_state(&mut self, state: &Value) {
+        let _ = state;
+    }
 }
 
 /// A source component driven by a closure: each tick the closure may

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::data::DataItem;
+use crate::data::{DataItem, Value};
 use crate::graph::NodeId;
 use crate::{SimDuration, SimTime};
 
@@ -59,10 +59,12 @@ pub struct LinkModel {
     /// Probability that a message is lost.
     pub loss_prob: f64,
     /// Ack/retransmit attempts after a loss before the message is given
-    /// up on. Each retransmission costs one extra `latency` round (the
-    /// sender waits an ack timeout before resending), so a message
-    /// delivered on attempt `n` arrives after `latency * (n + 1)`.
-    /// `0` reproduces the plain lossy link.
+    /// up on. The sender backs off exponentially between attempts: the
+    /// wait before retransmission `n` is `latency * 2^(n-1)` plus a
+    /// seeded jitter of up to half that, so a message delivered on
+    /// attempt `n` arrives after roughly `latency * 2^n` (exactly
+    /// `latency` for a first-attempt delivery). `0` reproduces the
+    /// plain lossy link.
     pub max_retries: u32,
 }
 
@@ -83,10 +85,14 @@ pub struct LinkStats {
     pub sent: u64,
     /// Messages delivered to the remote node.
     pub delivered: u64,
-    /// Messages dropped by loss after exhausting retransmissions.
+    /// Individual transmissions lost to the link, whether or not a
+    /// later retransmission recovered the message.
     pub lost: u64,
     /// Retransmission attempts after losses (recovered or not).
     pub retransmitted: u64,
+    /// Messages abandoned for good after exhausting `max_retries`
+    /// (previously folded into `lost`).
+    pub gave_up: u64,
 }
 
 /// Traffic counters aggregated over every host pair of a deployment.
@@ -96,13 +102,33 @@ pub struct DistStats {
     pub sent: u64,
     /// Messages delivered.
     pub delivered: u64,
-    /// Messages lost for good.
+    /// Transmissions lost across all links (recovered or not).
     pub lost: u64,
     /// Retransmission attempts across all links.
     pub retransmitted: u64,
+    /// Messages abandoned for good across all links.
+    pub gave_up: u64,
 }
 
-#[derive(Debug)]
+impl DistStats {
+    /// Renders the counters as a reflective [`Value`] map — the shape
+    /// served by `invoke("dist_stats")` on any node of a deployed
+    /// middleware.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("sent".to_string(), Value::Int(self.sent as i64));
+        map.insert("delivered".to_string(), Value::Int(self.delivered as i64));
+        map.insert("lost".to_string(), Value::Int(self.lost as i64));
+        map.insert(
+            "retransmitted".to_string(),
+            Value::Int(self.retransmitted as i64),
+        );
+        map.insert("gave_up".to_string(), Value::Int(self.gave_up as i64));
+        Value::Map(map)
+    }
+}
+
+#[derive(Debug, Clone)]
 struct InFlight {
     due: SimTime,
     pair: (Host, Host),
@@ -138,6 +164,7 @@ struct InFlight {
 /// assert_eq!(mw.deployment().unwrap().in_flight(), 1);
 /// # Ok::<(), perpos_core::CoreError>(())
 /// ```
+#[derive(Clone)]
 pub struct Deployment {
     assignments: BTreeMap<NodeId, Host>,
     default_host: Host,
@@ -218,6 +245,7 @@ impl Deployment {
                 delivered: acc.delivered + s.delivered,
                 lost: acc.lost + s.lost,
                 retransmitted: acc.retransmitted + s.retransmitted,
+                gave_up: acc.gave_up + s.gave_up,
             })
     }
 
@@ -243,31 +271,46 @@ impl Deployment {
     ) {
         let key = (self.host_of(from).clone(), self.host_of(target).clone());
         let model = self.links.get(&key).copied().unwrap_or(self.default_link);
-        // Roll the loss dice once per attempt; a message surviving on
-        // attempt n has waited n ack timeouts (one latency each) first.
+        // Roll the loss dice once per attempt. After losing attempt n the
+        // sender waits a seeded exponential backoff of latency * 2^n plus
+        // jitter of up to half that before retransmitting, so a message
+        // delivered on the first attempt still arrives after exactly one
+        // latency while retransmissions spread out instead of hammering
+        // the link on a fixed ack timeout.
         let mut attempt: u64 = 0;
-        let delivered_on = loop {
+        let mut lost_transmissions: u64 = 0;
+        let mut backoff_us: u64 = 0;
+        let delivered = loop {
             let lost = model.loss_prob > 0.0 && self.rng.gen::<f64>() < model.loss_prob;
             if !lost {
-                break Some(attempt);
+                break true;
             }
+            lost_transmissions += 1;
             if attempt >= u64::from(model.max_retries) {
-                break None;
+                break false;
             }
+            let base = model
+                .latency
+                .as_micros()
+                .saturating_mul(1 << attempt.min(20));
+            let jitter = (base as f64 * 0.5 * self.rng.gen::<f64>()) as u64;
+            backoff_us = backoff_us.saturating_add(base.saturating_add(jitter));
             attempt += 1;
         };
         let entry = self.stats.entry(key.clone()).or_default();
         entry.sent += 1;
         entry.retransmitted += attempt;
-        match delivered_on {
-            Some(n) => self.in_flight.push(InFlight {
-                due: now + SimDuration::from_micros(model.latency.as_micros() * (n + 1)),
+        entry.lost += lost_transmissions;
+        if delivered {
+            self.in_flight.push(InFlight {
+                due: now + SimDuration::from_micros(backoff_us + model.latency.as_micros()),
                 pair: key,
                 target,
                 port,
                 item,
-            }),
-            None => entry.lost += 1,
+            });
+        } else {
+            entry.gave_up += 1;
         }
     }
 
@@ -365,6 +408,7 @@ mod tests {
         let stats = d.stats().values().next().unwrap();
         assert_eq!(stats.sent, 10);
         assert_eq!(stats.lost, 10);
+        assert_eq!(stats.gave_up, 10, "every message abandoned for good");
     }
 
     #[test]
@@ -388,8 +432,14 @@ mod tests {
         }
         let stats = *d.stats().values().next().unwrap();
         assert_eq!(stats.sent, 100);
-        // With 8 retries at 50% loss, effectively everything survives.
-        assert_eq!(stats.lost, 0);
+        // With 8 retries at 50% loss, effectively everything survives:
+        // transmissions are lost (and counted) but no message gives up.
+        assert_eq!(stats.gave_up, 0);
+        assert!(stats.lost > 0, "individual transmissions were lost");
+        assert_eq!(
+            stats.lost, stats.retransmitted,
+            "with no give-ups every lost transmission was retried"
+        );
         assert_eq!(d.in_flight(), 100);
         assert!(
             stats.retransmitted > 50,
@@ -429,6 +479,61 @@ mod tests {
         assert_eq!(stats.sent, 50);
         assert_eq!(stats.lost + d.in_flight() as u64, 50);
         assert!(stats.lost > 0, "some messages lost without retries");
+        assert_eq!(
+            stats.gave_up, stats.lost,
+            "without retries every lost transmission is a give-up"
+        );
+    }
+
+    #[test]
+    fn retransmit_backoff_is_exponential_and_seeded() {
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let build = || {
+            Deployment::new("server")
+                .assign(a, "mobile")
+                .default_link(LinkModel {
+                    latency: SimDuration::from_millis(10),
+                    loss_prob: 0.5,
+                    max_retries: 8,
+                })
+                .with_seed(9)
+        };
+        let mut d = build();
+        for _ in 0..100 {
+            d.send(SimTime::ZERO, a, a, 0, item());
+        }
+        // First-attempt deliveries arrive after exactly one latency; any
+        // retransmitted message waits at least one full backoff (>= one
+        // extra latency) first.
+        let first_try = d.take_due(SimTime::from_secs_f64(0.010)).len();
+        assert!(first_try > 0, "some messages survive the first roll");
+        assert!(
+            d.take_due(SimTime::from_secs_f64(0.019)).is_empty(),
+            "no retransmission can arrive before latency * 2"
+        );
+        // Attempt-1 deliveries (backoff in [10, 15] ms plus latency) land
+        // within 25 ms; later attempts spread further out.
+        let second_wave = d.take_due(SimTime::from_secs_f64(0.025)).len();
+        assert!(second_wave > 0, "attempt-1 deliveries arrive after backoff");
+        let stats = *d.stats().values().next().unwrap();
+        assert_eq!(
+            first_try as u64 + second_wave as u64 + d.in_flight() as u64 + stats.gave_up,
+            100
+        );
+        // Same seed, same schedule: the backoff jitter is deterministic.
+        let mut e = build();
+        for _ in 0..100 {
+            e.send(SimTime::ZERO, a, a, 0, item());
+        }
+        assert_eq!(e.take_due(SimTime::from_secs_f64(0.010)).len(), first_try);
+        assert!(e.take_due(SimTime::from_secs_f64(0.019)).is_empty());
+        assert_eq!(e.take_due(SimTime::from_secs_f64(0.025)).len(), second_wave);
+        assert_eq!(*e.stats().values().next().unwrap(), stats);
     }
 
     #[test]

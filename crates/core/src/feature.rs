@@ -227,6 +227,20 @@ pub trait ComponentFeature: Send {
     /// Typed escape hatch for same-process callers that hold the concrete
     /// feature type (mirrors the paper's Java `getFeature(HDOP.class)`).
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Serializes the feature's internal state for a
+    /// [`crate::Middleware::snapshot`] checkpoint; see
+    /// [`crate::component::Component::snapshot_state`]. Default: `None`
+    /// (stateless).
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Applies state previously captured by
+    /// [`ComponentFeature::snapshot_state`]. Default: no-op.
+    fn restore_state(&mut self, state: &Value) {
+        let _ = state;
+    }
 }
 
 /// A feature that attaches a fixed attribute to every item produced by

@@ -1,0 +1,538 @@
+//! The fleet pool: builds the shards, drives them, and aggregates their
+//! supervision counters behind a reflective surface.
+
+use std::collections::BTreeMap;
+
+use crate::data::Value;
+use crate::fleet::shard::{InstanceFactory, Shard, ShardStats};
+use crate::fleet::watchdog::Watchdog;
+use crate::{CoreError, Middleware, SimDuration};
+
+/// Sizing and supervision knobs of a [`FleetPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of shards the instances are partitioned into.
+    pub shards: usize,
+    /// Total middleware instances across all shards.
+    pub instances: usize,
+    /// Checkpoint cadence in shard rounds: every instance refreshes its
+    /// [`Snapshot`](crate::fleet::Snapshot) at this interval, bounding
+    /// how far a restart can rewind.
+    pub checkpoint_every: u64,
+    /// Instance faults within [`FleetConfig::shard_fault_window`] rounds
+    /// that quarantine the whole shard.
+    pub shard_fault_threshold: u32,
+    /// Window, in shard rounds, over which faults count towards the
+    /// threshold.
+    pub shard_fault_window: u64,
+    /// Base quarantine pause in shard rounds; consecutive trips double
+    /// it (with seeded jitter) until a clean round resets the ladder.
+    pub shard_backoff: u64,
+    /// Seed feeding each shard watchdog's backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            instances: 64,
+            checkpoint_every: 8,
+            shard_fault_threshold: 16,
+            shard_fault_window: 16,
+            shard_backoff: 4,
+            seed: 0xf1ee7,
+        }
+    }
+}
+
+/// Aggregated supervision counters of a whole fleet, with the per-shard
+/// breakdown preserved.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetStats {
+    /// Total instances across shards.
+    pub fn instances(&self) -> u64 {
+        self.shards.iter().map(|s| s.instances).sum()
+    }
+
+    /// Total instance-steps completed.
+    pub fn live_steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_steps).sum()
+    }
+
+    /// Total instance-steps lost to faults or quarantine.
+    pub fn missed_steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.missed_steps).sum()
+    }
+
+    /// Total instance faults that escaped in-instance containment.
+    pub fn instance_faults(&self) -> u64 {
+        self.shards.iter().map(|s| s.instance_faults).sum()
+    }
+
+    /// Total restarts (checkpoint-recovered plus cold).
+    pub fn restarts(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.restarts + s.cold_restarts)
+            .sum()
+    }
+
+    /// Total shard quarantines.
+    pub fn quarantines(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantines).sum()
+    }
+
+    /// Fraction of attempted instance-steps that completed, across the
+    /// whole fleet (`1.0` for an idle fleet).
+    pub fn availability(&self) -> f64 {
+        let live = self.live_steps();
+        let attempted = live + self.missed_steps();
+        if attempted == 0 {
+            1.0
+        } else {
+            live as f64 / attempted as f64
+        }
+    }
+
+    /// Mean steps-to-healthy over all recoveries (`0.0` without any).
+    pub fn mean_recovery_steps(&self) -> f64 {
+        let restarts = self.restarts();
+        if restarts == 0 {
+            0.0
+        } else {
+            let total: u64 = self.shards.iter().map(|s| s.recovery_steps).sum();
+            total as f64 / restarts as f64
+        }
+    }
+
+    /// Renders fleet totals plus the per-shard breakdown as a
+    /// reflective [`Value`] map — the shape `invoke("fleet_stats")`
+    /// serves.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("instances".into(), Value::Int(self.instances() as i64));
+        map.insert("live_steps".into(), Value::Int(self.live_steps() as i64));
+        map.insert(
+            "missed_steps".into(),
+            Value::Int(self.missed_steps() as i64),
+        );
+        map.insert(
+            "instance_faults".into(),
+            Value::Int(self.instance_faults() as i64),
+        );
+        map.insert("restarts".into(), Value::Int(self.restarts() as i64));
+        map.insert("quarantines".into(), Value::Int(self.quarantines() as i64));
+        map.insert("availability".into(), Value::Float(self.availability()));
+        map.insert(
+            "mean_recovery_steps".into(),
+            Value::Float(self.mean_recovery_steps()),
+        );
+        map.insert(
+            "shards".into(),
+            Value::List(self.shards.iter().map(|s| s.to_value()).collect()),
+        );
+        Value::Map(map)
+    }
+}
+
+/// A supervised multi-instance engine: owns [`FleetConfig::shards`]
+/// shards of factory-built [`Middleware`](crate::Middleware) instances
+/// and steps them under the escalation ladder described in the
+/// [module docs](crate::fleet).
+pub struct FleetPool {
+    config: FleetConfig,
+    factory: InstanceFactory,
+    shards: Vec<Shard>,
+}
+
+impl FleetPool {
+    /// Builds the fleet: `config.instances` instances partitioned
+    /// contiguously over `config.shards` shards, each instance built by
+    /// `factory` from its fleet-wide index and checkpointed immediately.
+    pub fn new(config: FleetConfig, factory: impl Fn(usize) -> Middleware + 'static) -> Self {
+        let factory: InstanceFactory = Box::new(factory);
+        let shard_count = config.shards.max(1);
+        let per = config.instances / shard_count;
+        let extra = config.instances % shard_count;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut next = 0usize;
+        for s in 0..shard_count {
+            let count = per + usize::from(s < extra);
+            let watchdog = Watchdog::new(
+                config.shard_fault_threshold,
+                config.shard_fault_window,
+                config.shard_backoff,
+                config.seed.wrapping_add(s as u64),
+            );
+            shards.push(Shard::new(
+                s,
+                next..next + count,
+                &factory,
+                config.checkpoint_every,
+                watchdog,
+            ));
+            next += count;
+        }
+        FleetPool {
+            config,
+            factory,
+            shards,
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shards, in order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard (instance reflection, soak drivers).
+    pub fn shard_mut(&mut self, s: usize) -> Option<&mut Shard> {
+        self.shards.get_mut(s)
+    }
+
+    /// Total live instances.
+    pub fn instances(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Steps every shard `rounds` times with `tick` clock advance per
+    /// step (shards are independent; they step in order).
+    pub fn run(&mut self, rounds: u64, tick: SimDuration) {
+        for shard in &mut self.shards {
+            shard.run(&self.factory, rounds, tick);
+        }
+    }
+
+    /// Aggregated supervision counters with per-shard breakdown.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self.shards.iter().map(|s| s.stats()).collect(),
+        }
+    }
+
+    /// Fleet-wide availability so far.
+    pub fn availability(&self) -> f64 {
+        self.stats().availability()
+    }
+
+    /// The fleet's reflective surface, mirroring
+    /// [`Middleware::invoke`](crate::Middleware::invoke):
+    /// `"fleet_stats"` answers with [`FleetStats::to_value`],
+    /// `"availability"` with the fleet-wide fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchMethod`] for anything else.
+    pub fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+        match method {
+            "fleet_stats" => Ok(self.stats().to_value()),
+            "availability" => Ok(Value::Float(self.availability())),
+            m => Err(CoreError::NoSuchMethod {
+                target: "fleet".into(),
+                method: m.into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentCtx, FnSource};
+    use crate::data::{kinds, DataItem};
+    use crate::prelude::{Component, Criteria};
+    use crate::supervision::FaultPolicy;
+
+    /// Fails (uncontained) whenever `tick % period == phase`.
+    struct PeriodicFault {
+        counter: u64,
+        period: u64,
+        phase: u64,
+    }
+    impl Component for PeriodicFault {
+        fn descriptor(&self) -> crate::component::ComponentDescriptor {
+            crate::component::ComponentDescriptor::source("flaky", vec![kinds::RAW_STRING])
+        }
+        fn on_input(
+            &mut self,
+            _p: usize,
+            _i: DataItem,
+            _c: &mut ComponentCtx,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            self.counter += 1;
+            if self.period > 0 && self.counter % self.period == self.phase {
+                return Err(CoreError::ComponentFailure {
+                    component: "flaky".into(),
+                    reason: "periodic fault".into(),
+                });
+            }
+            ctx.emit_value(kinds::RAW_STRING, Value::Int(self.counter as i64));
+            Ok(())
+        }
+        fn snapshot_state(&self) -> Option<Value> {
+            Some(Value::Int(self.counter as i64))
+        }
+        fn restore_state(&mut self, state: &Value) {
+            if let Some(v) = state.as_i64() {
+                self.counter = v as u64;
+            }
+        }
+    }
+
+    /// Faults randomly at `rate` per tick. The RNG is *environmental*:
+    /// it is not part of the snapshot, and every incarnation gets a
+    /// fresh seed, so a restored instance does not replay the crash —
+    /// the shape real chaos has.
+    struct RandomFault {
+        counter: u64,
+        rng: rand::rngs::StdRng,
+        rate: f64,
+    }
+    impl Component for RandomFault {
+        fn descriptor(&self) -> crate::component::ComponentDescriptor {
+            crate::component::ComponentDescriptor::source("chaotic", vec![kinds::RAW_STRING])
+        }
+        fn on_input(
+            &mut self,
+            _p: usize,
+            _i: DataItem,
+            _c: &mut ComponentCtx,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            use rand::Rng;
+            self.counter += 1;
+            if self.rng.gen::<f64>() < self.rate {
+                return Err(CoreError::ComponentFailure {
+                    component: "chaotic".into(),
+                    reason: "random fault".into(),
+                });
+            }
+            ctx.emit_value(kinds::RAW_STRING, Value::Int(self.counter as i64));
+            Ok(())
+        }
+        fn snapshot_state(&self) -> Option<Value> {
+            Some(Value::Int(self.counter as i64))
+        }
+        fn restore_state(&mut self, state: &Value) {
+            if let Some(v) = state.as_i64() {
+                self.counter = v as u64;
+            }
+        }
+    }
+
+    fn flaky_factory(rate: f64, seed: u64) -> impl Fn(usize) -> Middleware {
+        use rand::SeedableRng;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let incarnations = Arc::new(AtomicU64::new(0));
+        move |index| {
+            let n = incarnations.fetch_add(1, Ordering::Relaxed);
+            let mut mw = Middleware::new();
+            let src = mw.add_boxed_component(Box::new(RandomFault {
+                counter: 0,
+                rng: rand::rngs::StdRng::seed_from_u64(
+                    seed ^ (index as u64).wrapping_mul(0x9E37) ^ n.wrapping_mul(0xC0FFEE),
+                ),
+                rate,
+            }));
+            let app = mw.application_sink();
+            mw.connect(src, app, 0).unwrap();
+            mw
+        }
+    }
+
+    fn healthy_factory() -> impl Fn(usize) -> Middleware {
+        |_| {
+            let mut mw = Middleware::new();
+            let src = mw.add_component(FnSource::new("src", kinds::RAW_STRING, |_| {
+                Some(Value::Int(1))
+            }));
+            let app = mw.application_sink();
+            mw.connect(src, app, 0).unwrap();
+            mw
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_has_full_availability() {
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 2,
+                instances: 10,
+                ..FleetConfig::default()
+            },
+            healthy_factory(),
+        );
+        pool.run(20, SimDuration::from_millis(10));
+        let stats = pool.stats();
+        assert_eq!(pool.instances(), 10);
+        assert_eq!(stats.live_steps(), 200);
+        assert_eq!(stats.missed_steps(), 0);
+        assert_eq!(stats.availability(), 1.0);
+        assert_eq!(stats.instance_faults(), 0);
+        // Every instance actually delivered every step.
+        let p = pool.shards()[0]
+            .instance(0)
+            .unwrap()
+            .location_provider(Criteria::new())
+            .unwrap();
+        assert_eq!(p.delivered_count(), 20);
+    }
+
+    #[test]
+    fn faulted_instances_restart_from_checkpoints() {
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 1,
+                instances: 4,
+                checkpoint_every: 4,
+                shard_fault_threshold: 100, // never quarantine here
+                ..FleetConfig::default()
+            },
+            flaky_factory(0.05, 21),
+        );
+        pool.run(40, SimDuration::from_millis(10));
+        let stats = pool.stats();
+        assert!(stats.instance_faults() > 0, "faults were injected");
+        assert_eq!(
+            stats.restarts(),
+            stats.instance_faults(),
+            "every fault recovered by a restart"
+        );
+        assert_eq!(stats.shards[0].cold_restarts, 0, "checkpoints all valid");
+        assert!(stats.availability() > 0.7, "most steps still completed");
+        assert!(stats.availability() < 1.0, "but faults cost steps");
+        assert!(stats.mean_recovery_steps() >= 1.0);
+    }
+
+    #[test]
+    fn storming_shard_gets_quarantined_and_recovers() {
+        // Every instance faults every 4th tick with the same phase: a
+        // coordinated storm that must trip the shard watchdog.
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 1,
+                instances: 8,
+                checkpoint_every: 2,
+                shard_fault_threshold: 8,
+                shard_fault_window: 4,
+                shard_backoff: 4,
+                seed: 11,
+            },
+            move |_| {
+                let mut mw = Middleware::new();
+                let src = mw.add_boxed_component(Box::new(PeriodicFault {
+                    counter: 0,
+                    period: 4,
+                    phase: 0,
+                }));
+                let app = mw.application_sink();
+                mw.connect(src, app, 0).unwrap();
+                mw
+            },
+        );
+        pool.run(64, SimDuration::from_millis(10));
+        let stats = pool.stats();
+        assert!(stats.quarantines() > 0, "storm tripped the watchdog");
+        assert!(
+            stats.missed_steps() > stats.instance_faults(),
+            "quarantine skipped whole rounds beyond the faults themselves"
+        );
+        // The shard is running again at the end (backoffs are finite).
+        assert!(stats.live_steps() > 0);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let build = || {
+            FleetPool::new(
+                FleetConfig {
+                    shards: 3,
+                    instances: 12,
+                    checkpoint_every: 4,
+                    shard_fault_threshold: 4,
+                    shard_fault_window: 8,
+                    shard_backoff: 4,
+                    seed: 99,
+                },
+                flaky_factory(0.1, 7),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        a.run(50, SimDuration::from_millis(10));
+        b.run(50, SimDuration::from_millis(10));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fleet_stats_are_reflective() {
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 2,
+                instances: 4,
+                ..FleetConfig::default()
+            },
+            healthy_factory(),
+        );
+        pool.run(5, SimDuration::from_millis(10));
+        let Value::Map(m) = pool.invoke("fleet_stats", &[]).unwrap() else {
+            panic!("fleet_stats must be a map");
+        };
+        assert_eq!(m["instances"], Value::Int(4));
+        assert_eq!(m["availability"], Value::Float(1.0));
+        let Value::List(shards) = &m["shards"] else {
+            panic!("per-shard breakdown present");
+        };
+        assert_eq!(shards.len(), 2);
+        assert!(matches!(
+            pool.invoke("nope", &[]),
+            Err(CoreError::NoSuchMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_policies_contain_faults_below_the_fleet() {
+        // The same flaky component under a DropItem policy never faults
+        // the instance, so the fleet sees full availability.
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 1,
+                instances: 4,
+                ..FleetConfig::default()
+            },
+            move |index| {
+                let mut mw = Middleware::new();
+                let src = mw.add_boxed_component(Box::new(PeriodicFault {
+                    counter: 0,
+                    period: 5,
+                    phase: (index as u64) % 5,
+                }));
+                let app = mw.application_sink();
+                mw.connect(src, app, 0).unwrap();
+                mw.set_fault_policy(src, FaultPolicy::DropItem).unwrap();
+                mw
+            },
+        );
+        pool.run(30, SimDuration::from_millis(10));
+        let stats = pool.stats();
+        assert_eq!(stats.instance_faults(), 0);
+        assert_eq!(stats.availability(), 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! One shard of the fleet: a slice of middleware instances stepped
+//! together, with checkpoint-based instance restart and a watchdog
+//! escalating clustered failures to shard quarantine.
+
+use std::collections::BTreeMap;
+
+use crate::data::Value;
+use crate::fleet::snapshot::Snapshot;
+use crate::fleet::watchdog::Watchdog;
+use crate::{Middleware, SimDuration};
+
+/// Builds the middleware instance with the given fleet-wide index.
+/// Called once per instance at fleet construction and again on every
+/// restart; it must rebuild the same structure each time (the restart
+/// path restores the instance's checkpoint into the rebuilt graph).
+pub type InstanceFactory = Box<dyn Fn(usize) -> Middleware>;
+
+/// Whether a shard is currently stepping or riding out a quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The shard steps its instances normally.
+    Running,
+    /// The watchdog tripped; the shard skips rounds until its backoff
+    /// elapses.
+    Quarantined,
+}
+
+/// Counters for one shard's supervision activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Instances owned by the shard.
+    pub instances: u64,
+    /// Shard step rounds attempted (including quarantined ones).
+    pub steps: u64,
+    /// Instance-steps that completed successfully.
+    pub live_steps: u64,
+    /// Instance-steps lost to faults or shard quarantine.
+    pub missed_steps: u64,
+    /// Instance step failures that escaped in-instance containment.
+    pub instance_faults: u64,
+    /// Restarts that recovered from a checkpoint.
+    pub restarts: u64,
+    /// Restarts that had to start cold (checkpoint rejected).
+    pub cold_restarts: u64,
+    /// Checkpoints captured.
+    pub checkpoints: u64,
+    /// Times the watchdog quarantined the whole shard.
+    pub quarantines: u64,
+    /// Total steps-to-healthy summed over recoveries (mean recovery
+    /// latency is `recovery_steps / (restarts + cold_restarts)`).
+    pub recovery_steps: u64,
+}
+
+impl ShardStats {
+    /// Fraction of attempted instance-steps that completed (`1.0` for
+    /// an idle shard).
+    pub fn availability(&self) -> f64 {
+        let attempted = self.live_steps + self.missed_steps;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.live_steps as f64 / attempted as f64
+        }
+    }
+
+    /// Renders the counters as a reflective [`Value`] map.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("instances".into(), Value::Int(self.instances as i64));
+        map.insert("steps".into(), Value::Int(self.steps as i64));
+        map.insert("live_steps".into(), Value::Int(self.live_steps as i64));
+        map.insert("missed_steps".into(), Value::Int(self.missed_steps as i64));
+        map.insert(
+            "instance_faults".into(),
+            Value::Int(self.instance_faults as i64),
+        );
+        map.insert("restarts".into(), Value::Int(self.restarts as i64));
+        map.insert(
+            "cold_restarts".into(),
+            Value::Int(self.cold_restarts as i64),
+        );
+        map.insert("checkpoints".into(), Value::Int(self.checkpoints as i64));
+        map.insert("quarantines".into(), Value::Int(self.quarantines as i64));
+        map.insert(
+            "recovery_steps".into(),
+            Value::Int(self.recovery_steps as i64),
+        );
+        map.insert("availability".into(), Value::Float(self.availability()));
+        Value::Map(map)
+    }
+}
+
+struct Instance {
+    /// Fleet-wide index, passed back to the factory on restart.
+    index: usize,
+    mw: Middleware,
+    checkpoint: Snapshot,
+    /// Shard step at which the instance last faulted, until its next
+    /// clean batch marks it healthy again.
+    down_since: Option<u64>,
+}
+
+/// A slice of the fleet: owns its instances, checkpoints them on a
+/// fixed cadence, restarts faulted instances from their checkpoints and
+/// escalates clustered failures to a shard-wide quarantine through its
+/// [`Watchdog`]. See the [module docs](crate::fleet) for the ladder.
+pub struct Shard {
+    id: usize,
+    instances: Vec<Instance>,
+    watchdog: Watchdog,
+    stats: ShardStats,
+    checkpoint_every: u64,
+    steps_run: u64,
+}
+
+impl Shard {
+    /// Creates a shard owning the instances with fleet-wide indices
+    /// `indices`, built through `factory`, checkpointing every
+    /// `checkpoint_every` rounds.
+    pub fn new(
+        id: usize,
+        indices: impl IntoIterator<Item = usize>,
+        factory: &InstanceFactory,
+        checkpoint_every: u64,
+        watchdog: Watchdog,
+    ) -> Self {
+        let instances: Vec<Instance> = indices
+            .into_iter()
+            .map(|index| {
+                let mw = factory(index);
+                let checkpoint = mw.snapshot();
+                Instance {
+                    index,
+                    mw,
+                    checkpoint,
+                    down_since: None,
+                }
+            })
+            .collect();
+        let stats = ShardStats {
+            instances: instances.len() as u64,
+            checkpoints: instances.len() as u64,
+            ..ShardStats::default()
+        };
+        Shard {
+            id,
+            instances,
+            watchdog,
+            stats,
+            checkpoint_every: checkpoint_every.max(1),
+            steps_run: 0,
+        }
+    }
+
+    /// The shard's id within the pool.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Shard step rounds executed (or skipped while quarantined).
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Running or quarantined, as of the current shard step.
+    pub fn state(&self) -> ShardState {
+        if self.watchdog.quarantined_until(self.steps_run).is_some() {
+            ShardState::Quarantined
+        } else {
+            ShardState::Running
+        }
+    }
+
+    /// The shard's supervision counters.
+    pub fn stats(&self) -> ShardStats {
+        let mut s = self.stats;
+        s.steps = self.steps_run;
+        s.quarantines = self.watchdog.quarantines();
+        s
+    }
+
+    /// Read access to an owned instance by shard-local position.
+    pub fn instance(&self, i: usize) -> Option<&Middleware> {
+        self.instances.get(i).map(|inst| &inst.mw)
+    }
+
+    /// Mutable access to an owned instance by shard-local position —
+    /// the fleet's door to per-instance reflection (`invoke`, feature
+    /// attachment, policy changes).
+    pub fn instance_mut(&mut self, i: usize) -> Option<&mut Middleware> {
+        self.instances.get_mut(i).map(|inst| &mut inst.mw)
+    }
+
+    /// Number of instances owned.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the shard owns no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Steps every instance `rounds` times, advancing each instance's
+    /// clock by `tick` per step, applying the full escalation ladder:
+    /// instance faults restart from checkpoints, clustered faults
+    /// quarantine the shard for a seeded backoff.
+    pub fn run(&mut self, factory: &InstanceFactory, rounds: u64, tick: SimDuration) {
+        let mut done = 0u64;
+        while done < rounds {
+            if let Some(until) = self.watchdog.quarantined_until(self.steps_run) {
+                let skip = (until - self.steps_run).min(rounds - done);
+                self.stats.missed_steps += skip * self.instances.len() as u64;
+                self.steps_run += skip;
+                done += skip;
+                continue;
+            }
+            let to_boundary = self.checkpoint_every - (self.steps_run % self.checkpoint_every);
+            let chunk = to_boundary.min(rounds - done);
+            let mut round_faults = 0u64;
+            for i in 0..self.instances.len() {
+                round_faults += self.step_instance(factory, i, chunk, tick);
+            }
+            self.steps_run += chunk;
+            done += chunk;
+            if round_faults == 0 {
+                self.watchdog.record_clean_round();
+            }
+            if self.steps_run.is_multiple_of(self.checkpoint_every) {
+                for inst in &mut self.instances {
+                    inst.checkpoint = inst.mw.snapshot();
+                }
+                self.stats.checkpoints += self.instances.len() as u64;
+            }
+        }
+    }
+
+    /// Steps one instance for `chunk` rounds; returns the number of
+    /// faults charged to the watchdog (0 or 1).
+    fn step_instance(
+        &mut self,
+        factory: &InstanceFactory,
+        i: usize,
+        chunk: u64,
+        tick: SimDuration,
+    ) -> u64 {
+        let shard_step = self.steps_run;
+        let inst = &mut self.instances[i];
+        let before = inst.mw.steps_run();
+        match inst.mw.step_batch(chunk, tick) {
+            Ok(()) => {
+                self.stats.live_steps += chunk;
+                if let Some(since) = inst.down_since.take() {
+                    self.stats.recovery_steps += (shard_step + chunk).saturating_sub(since);
+                }
+                0
+            }
+            Err(_) => {
+                // steps_run includes the failing step; everything before
+                // it completed.
+                let attempted = inst.mw.steps_run().saturating_sub(before);
+                let succeeded = attempted.saturating_sub(1);
+                self.stats.live_steps += succeeded;
+                self.stats.missed_steps += chunk - succeeded;
+                self.stats.instance_faults += 1;
+                let fault_step = shard_step + succeeded;
+                if inst.down_since.is_none() {
+                    inst.down_since = Some(fault_step);
+                }
+                let mut fresh = factory(inst.index);
+                match fresh.restore(&inst.checkpoint) {
+                    Ok(()) => {
+                        inst.mw = fresh;
+                        self.stats.restarts += 1;
+                    }
+                    Err(_) => {
+                        // The checkpoint no longer matches what the
+                        // factory builds (e.g. it predates a mid-run
+                        // structural change applied outside the factory):
+                        // restart cold from a fresh instance.
+                        inst.mw = factory(inst.index);
+                        inst.checkpoint = inst.mw.snapshot();
+                        self.stats.cold_restarts += 1;
+                    }
+                }
+                self.watchdog.record_fault(fault_step);
+                1
+            }
+        }
+    }
+}

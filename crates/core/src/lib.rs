@@ -61,6 +61,7 @@ pub mod distribution;
 mod error;
 pub mod executor;
 pub mod feature;
+pub mod fleet;
 pub mod graph;
 pub mod middleware;
 pub mod positioning;
@@ -87,6 +88,9 @@ pub mod prelude {
     pub use crate::data::{kinds, Attrs, DataItem, DataKind, Payload, Position, Value};
     pub use crate::executor::{ExecMode, Executor, LevelParallel, Sequential};
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
+    pub use crate::fleet::{
+        FleetConfig, FleetPool, FleetStats, ShardState, ShardStats, Snapshot, SNAPSHOT_VERSION,
+    };
     pub use crate::graph::{NodeId, ProcessingGraph};
     pub use crate::middleware::Middleware;
     pub use crate::positioning::{

@@ -25,6 +25,7 @@ use crate::data::{DataItem, Value};
 use crate::distribution::Deployment;
 use crate::executor::{executor_for, EngineCtx, ExecMode, Executor};
 use crate::feature::ComponentFeature;
+use crate::fleet::snapshot::{structure_signature, Snapshot, SNAPSHOT_VERSION};
 use crate::graph::{NodeId, NodeInfo, ProcessingGraph};
 use crate::positioning::{
     ApplicationSink, Criteria, FailoverInner, FailoverProvider, FailoverShared, LocationProvider,
@@ -352,6 +353,19 @@ impl Middleware {
             };
             map.insert("channel".to_string(), Value::from(cid.to_string()));
             return Ok(Value::Map(map));
+        }
+        if method == "dist_stats" {
+            if !self.graph.contains(id) {
+                return Err(CoreError::UnknownNode(id));
+            }
+            let dep = self
+                .deployment
+                .as_ref()
+                .ok_or_else(|| CoreError::BadArguments {
+                    method: "dist_stats".into(),
+                    reason: "the graph is not distributed (no deployment set)".into(),
+                })?;
+            return Ok(dep.dist_stats().to_value());
         }
         if method == "tree_policy" {
             if !self.graph.contains(id) {
@@ -800,6 +814,102 @@ impl Middleware {
     /// In-flight messages are dropped.
     pub fn clear_deployment(&mut self) -> Option<Deployment> {
         self.deployment.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (fleet runtime)
+    // ------------------------------------------------------------------
+
+    /// Captures a versioned checkpoint of this instance's dynamic state:
+    /// logical time, per-channel ring state and history, supervision
+    /// records, pending reflective emissions, the deployment's link state
+    /// and whatever opaque state components and features expose through
+    /// [`Component::snapshot_state`]. See [`crate::fleet::snapshot`] for
+    /// the format and its version rules.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut component_state = Vec::new();
+        let mut feature_state = Vec::new();
+        for id in self.graph.node_ids() {
+            if let Some(node) = self.graph.node(id) {
+                if let Some(state) = node.component.snapshot_state() {
+                    component_state.push((id, state));
+                }
+                for (fi, slot) in node.features.iter().enumerate() {
+                    if let Some(state) = slot.feature.snapshot_state() {
+                        feature_state.push(((id, fi), state));
+                    }
+                }
+            }
+        }
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            structure: structure_signature(&self.graph),
+            now: self.clock.now(),
+            steps_run: self.steps_run,
+            exec_mode: self.executor.mode(),
+            channels: self.channels.snapshot(),
+            health: self.health.clone(),
+            pending: self.pending.clone(),
+            deployment: self.deployment.clone(),
+            component_state,
+            feature_state,
+        }
+    }
+
+    /// Restores a checkpoint taken with [`Middleware::snapshot`] into
+    /// this instance, which must be structurally identical to the one
+    /// the snapshot was taken from — same nodes, wiring and feature
+    /// stacks, typically because both were built by the same factory.
+    ///
+    /// After a successful restore, stepping this instance produces
+    /// byte-identical trees, history and health to the original stepped
+    /// without interruption (the contract `tests/fleet_recovery.rs`
+    /// pins down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ComponentFailure`] without touching the
+    /// instance when the snapshot version or the graph structure does
+    /// not match.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CoreError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(CoreError::ComponentFailure {
+                component: "snapshot".into(),
+                reason: format!(
+                    "snapshot version {} does not match build version {SNAPSHOT_VERSION}",
+                    snap.version
+                ),
+            });
+        }
+        if snap.structure != structure_signature(&self.graph) {
+            return Err(CoreError::ComponentFailure {
+                component: "snapshot".into(),
+                reason: "snapshot structure does not match this graph".into(),
+            });
+        }
+        self.channels.restore(&snap.channels)?;
+        self.clock = SimClock::new();
+        self.clock.advance(snap.now.since(SimTime::ZERO));
+        self.steps_run = snap.steps_run;
+        self.pending = snap.pending.clone();
+        self.health = snap.health.clone();
+        self.deployment = snap.deployment.clone();
+        self.set_executor(snap.exec_mode);
+        for (id, state) in &snap.component_state {
+            if let Some(node) = self.graph.node_mut(*id) {
+                node.component.restore_state(state);
+            }
+        }
+        for ((id, fi), state) in &snap.feature_state {
+            if let Some(slot) = self
+                .graph
+                .node_mut(*id)
+                .and_then(|n| n.features.get_mut(*fi))
+            {
+                slot.feature.restore_state(state);
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

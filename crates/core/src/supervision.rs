@@ -25,6 +25,13 @@ use crate::{SimDuration, SimTime};
 /// saturate instead of overflowing (2^20 ≈ 10⁶× the base backoff).
 const MAX_BACKOFF_LEVEL: u32 = 20;
 
+/// Upper bound, in seconds of simulated time, on a single quarantine
+/// pause regardless of the backoff level. Without the cap the doubled
+/// pause grows to ~10⁶× the base backoff, which in practice means a node
+/// that failed a handful of probes is never looked at again; with it, a
+/// long-quarantined node is guaranteed another probe within this bound.
+pub const MAX_PROBE_PAUSE_SECS: u64 = 600;
+
 /// What the engine does when a component (or one of its features) fails.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum FaultPolicy {
@@ -164,7 +171,7 @@ pub(crate) enum FaultAction {
 /// Tracks fault policies and health for every node of one middleware
 /// instance, implementing the quarantine circuit breaker over simulated
 /// time.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HealthRegistry {
     policies: BTreeMap<NodeId, FaultPolicy>,
     records: BTreeMap<NodeId, NodeHealth>,
@@ -316,10 +323,13 @@ impl HealthRegistry {
     }
 }
 
-/// `backoff * 2^level`, saturating.
+/// `backoff * 2^level`, saturating, capped at
+/// [`MAX_PROBE_PAUSE_SECS`] so every quarantined node is re-probed
+/// within a bounded pause.
 fn backoff_at(backoff: SimDuration, level: u32) -> SimDuration {
     let factor = 1u64 << level.min(MAX_BACKOFF_LEVEL);
-    SimDuration::from_micros(backoff.as_micros().saturating_mul(factor))
+    let pause = backoff.as_micros().saturating_mul(factor);
+    SimDuration::from_micros(pause.min(MAX_PROBE_PAUSE_SECS * 1_000_000))
 }
 
 #[cfg(test)]
@@ -440,6 +450,73 @@ mod tests {
             reg.health(id).quarantined_until,
             Some(t3 + SimDuration::from_secs(2))
         );
+    }
+
+    #[test]
+    fn probe_pause_is_capped_for_long_quarantined_nodes() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        let backoff = SimDuration::from_secs(2);
+        reg.set_policy(
+            id,
+            FaultPolicy::Quarantine {
+                max_faults: 1,
+                window: SimDuration::from_secs(10),
+                backoff,
+            },
+        );
+        let cap = SimDuration::from_secs(MAX_PROBE_PAUSE_SECS);
+        let mut now = SimTime::ZERO;
+        assert_eq!(reg.on_fault(id, now, "e"), FaultAction::Quarantine);
+        let mut saturated = false;
+        // Fail every probe for far more rounds than it takes the doubled
+        // pause to pass the cap (2 s * 2^9 > 600 s).
+        for _ in 0..40 {
+            let until = reg.health(id).quarantined_until.expect("breaker open");
+            let pause = until.since(now);
+            assert!(
+                pause <= cap,
+                "pause {}s exceeds the {}s cap",
+                pause.as_secs_f64(),
+                cap.as_secs_f64()
+            );
+            saturated |= pause == cap;
+            // The node is re-probed no later than one cap after the
+            // quarantine opened: half-open by then, so not skipped.
+            assert!(!reg.is_quarantined(id, now + cap));
+            now += cap;
+            assert_eq!(reg.on_fault(id, now, "e"), FaultAction::Quarantine);
+        }
+        assert!(saturated, "backoff never reached the cap");
+        // A successful probe still resets the level to the base backoff.
+        let until = reg.health(id).quarantined_until.expect("breaker open");
+        now = until;
+        assert!(!reg.is_quarantined(id, now));
+        reg.record_success(id, now);
+        assert_eq!(reg.on_fault(id, now, "e"), FaultAction::Quarantine);
+        assert_eq!(reg.health(id).quarantined_until, Some(now + backoff));
+    }
+
+    #[test]
+    fn registry_clones_preserve_breaker_state() {
+        let mut reg = HealthRegistry::default();
+        let id = nid(&mut reg);
+        reg.set_policy(
+            id,
+            FaultPolicy::Quarantine {
+                max_faults: 1,
+                window: SimDuration::from_secs(10),
+                backoff: SimDuration::from_secs(2),
+            },
+        );
+        reg.on_fault(id, SimTime::ZERO, "e");
+        let mut a = reg.clone();
+        let mut b = reg;
+        // Clone and original evolve identically from the cloned state.
+        let t = SimTime::from_secs_f64(2.0);
+        assert_eq!(a.is_quarantined(id, t), b.is_quarantined(id, t));
+        assert_eq!(a.on_fault(id, t, "e"), b.on_fault(id, t, "e"));
+        assert_eq!(a.health(id), b.health(id));
     }
 
     #[test]

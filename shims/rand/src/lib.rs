@@ -171,6 +171,20 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The generator's internal state word, for checkpointing: a
+        /// generator rebuilt with [`StdRng::from_state`] continues the
+        /// exact same stream. (The real `rand` crate gets this via
+        /// serde on `StdRng`; the shim exposes the words directly.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state word previously read with
+        /// [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn from_splitmix(seed: u64) -> Self {
             let mut x = seed;
             let mut next = move || {

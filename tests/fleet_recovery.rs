@@ -1,0 +1,247 @@
+//! Checkpoint/restore determinism suite: a [`Middleware`] restored from
+//! a mid-run [`Snapshot`] and stepped to the end must be byte-identical
+//! — trees, channel history, health, clocks — to the same instance
+//! stepped without interruption. Pinned across both executors, both
+//! tree policies, with seeded panics in flight and with a Channel
+//! Feature attached mid-run after the restore point. This is the
+//! contract the fleet runtime's restart path relies on.
+
+#![allow(clippy::unwrap_used)]
+use std::any::Any;
+
+use perpos::core::channel::{ChannelFeature, ChannelHost, ChannelId, DataTree, TreePolicy};
+use perpos::core::component::{ComponentCtx, ComponentDescriptor};
+use perpos::prelude::*;
+
+/// A counting source whose counter participates in checkpoints.
+struct CountingSource(i64);
+
+impl Component for CountingSource {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source("counter", vec![kinds::RAW_STRING])
+    }
+    fn on_input(
+        &mut self,
+        _p: usize,
+        _i: DataItem,
+        _c: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Ok(())
+    }
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        self.0 += 1;
+        ctx.emit_value(kinds::RAW_STRING, Value::Int(self.0));
+        Ok(())
+    }
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(Value::Int(self.0))
+    }
+    fn restore_state(&mut self, state: &Value) {
+        if let Some(v) = state.as_i64() {
+            self.0 = v;
+        }
+    }
+}
+
+/// Records the rendered form of every tree it observes.
+#[derive(Default)]
+struct TreeLog(Vec<String>);
+
+impl TreeLog {
+    const NAME: &'static str = "TreeLog";
+}
+
+impl ChannelFeature for TreeLog {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new(Self::NAME)
+    }
+    fn apply(&mut self, tree: &DataTree, _host: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        self.0.push(tree.render());
+        Ok(())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn tick() -> SimDuration {
+    SimDuration::from_millis(100)
+}
+
+/// The factory every scenario (and the fleet restart path) uses: a
+/// counting source with a seeded panic-injecting feature, a pass-through
+/// processor, and a history subscription on the application channel.
+fn build(mode: ExecMode, policy: TreePolicy) -> (Middleware, NodeId, ChannelId) {
+    let mut mw = Middleware::new();
+    mw.set_executor(mode);
+    mw.set_tree_policy(policy);
+    let src = mw.add_boxed_component(Box::new(CountingSource(0)));
+    mw.attach_feature(src, FaultInjector::with_seed(0xcafe).with_panic_rate(0.15))
+        .unwrap();
+    mw.set_fault_policy(src, FaultPolicy::DropItem).unwrap();
+    let stage = mw.add_component(FnProcessor::new(
+        "stage",
+        vec![kinds::RAW_STRING],
+        kinds::RAW_STRING,
+        |i| Some(i.payload.clone()),
+    ));
+    let app = mw.application_sink();
+    mw.connect(src, stage, 0).unwrap();
+    let port = mw.connect_to_sink(stage, app).unwrap();
+    let channel = mw.channel_into(app, port).unwrap();
+    mw.subscribe_channel_history(channel, 64).unwrap();
+    (mw, src, channel)
+}
+
+fn run(mw: &mut Middleware, steps: u64) {
+    mw.step_batch(steps, tick()).unwrap();
+}
+
+/// Everything the contract is stated over: rendered history trees, the
+/// source's health record, logical clocks and step counters.
+fn observe(mw: &Middleware, src: NodeId, channel: ChannelId) -> (Vec<String>, Value, u64, SimTime) {
+    let trees = mw
+        .channel_history(channel)
+        .unwrap()
+        .iter()
+        .map(|t| t.render())
+        .collect();
+    (
+        trees,
+        mw.node_health(src).to_value(),
+        mw.steps_run(),
+        mw.now(),
+    )
+}
+
+fn assert_restore_equivalence(mode: ExecMode, policy: TreePolicy) {
+    let (mut reference, ref_src, ref_chan) = build(mode, policy);
+    run(&mut reference, 40);
+
+    let (mut original, _, _) = build(mode, policy);
+    run(&mut original, 17);
+    let snap = original.snapshot();
+    assert_eq!(snap.steps_run(), 17);
+
+    let (mut restored, src, chan) = build(mode, policy);
+    restored.restore(&snap).unwrap();
+    assert_eq!(restored.steps_run(), 17);
+    assert_eq!(restored.executor_mode(), mode);
+    assert_eq!(restored.tree_policy(), policy);
+    run(&mut restored, 23);
+
+    assert_eq!(
+        observe(&reference, ref_src, ref_chan),
+        observe(&restored, src, chan),
+        "restore-then-step must equal the uninterrupted run \
+         ({mode:?}, {policy:?})"
+    );
+}
+
+#[test]
+fn restore_equivalence_sequential_lazy() {
+    assert_restore_equivalence(ExecMode::Sequential, TreePolicy::Lazy);
+}
+
+#[test]
+fn restore_equivalence_sequential_eager() {
+    assert_restore_equivalence(ExecMode::Sequential, TreePolicy::Eager);
+}
+
+#[test]
+fn restore_equivalence_level_parallel_lazy() {
+    assert_restore_equivalence(ExecMode::LevelParallel, TreePolicy::Lazy);
+}
+
+#[test]
+fn restore_equivalence_level_parallel_eager() {
+    assert_restore_equivalence(ExecMode::LevelParallel, TreePolicy::Eager);
+}
+
+#[test]
+fn restored_instance_accepts_mid_run_feature_attach() {
+    // Attach a Channel Feature *after* the restore point, at the same
+    // logical step in both runs: the trees it observes must match, even
+    // under the lazy policy where the attachment itself creates the
+    // materialization demand.
+    for mode in [ExecMode::Sequential, ExecMode::LevelParallel] {
+        let (mut reference, _, ref_chan) = build(mode, TreePolicy::Lazy);
+        run(&mut reference, 20);
+        reference
+            .attach_channel_feature(ref_chan, TreeLog::default())
+            .unwrap();
+        run(&mut reference, 20);
+
+        let (mut original, _, _) = build(mode, TreePolicy::Lazy);
+        run(&mut original, 20);
+        let snap = original.snapshot();
+        let (mut restored, _, chan) = build(mode, TreePolicy::Lazy);
+        restored.restore(&snap).unwrap();
+        restored
+            .attach_channel_feature(chan, TreeLog::default())
+            .unwrap();
+        run(&mut restored, 20);
+
+        let logs = |mw: &mut Middleware, chan| {
+            mw.with_channel_feature_mut::<TreeLog, Vec<String>>(chan, TreeLog::NAME, |f| {
+                f.0.clone()
+            })
+            .unwrap()
+        };
+        let a = logs(&mut reference, ref_chan);
+        let b = logs(&mut restored, chan);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a, b,
+            "mid-run attached feature sees identical trees ({mode:?})"
+        );
+    }
+}
+
+#[test]
+fn snapshots_restore_across_executors() {
+    // A snapshot taken under one executor restores into an instance
+    // built with the other: the snapshot carries the mode, and the
+    // restored run still matches the uninterrupted reference.
+    let (mut reference, ref_src, ref_chan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut reference, 30);
+
+    let (mut original, _, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut original, 11);
+    let snap = original.snapshot();
+
+    let (mut restored, src, chan) = build(ExecMode::LevelParallel, TreePolicy::Lazy);
+    restored.restore(&snap).unwrap();
+    assert_eq!(restored.executor_mode(), ExecMode::Sequential);
+    run(&mut restored, 19);
+
+    assert_eq!(
+        observe(&reference, ref_src, ref_chan),
+        observe(&restored, src, chan)
+    );
+}
+
+#[test]
+fn restore_rejects_structural_mismatch() {
+    let (original, _, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    let snap = original.snapshot();
+    assert_eq!(snap.version(), SNAPSHOT_VERSION);
+    assert_eq!(snap.node_count(), 3);
+
+    // A different pipeline must refuse the snapshot, untouched.
+    let mut other = Middleware::new();
+    let src = other.add_boxed_component(Box::new(CountingSource(0)));
+    let app = other.application_sink();
+    other.connect_to_sink(src, app).unwrap();
+    let before = other.steps_run();
+    let err = other.restore(&snap).unwrap_err();
+    assert!(matches!(err, CoreError::ComponentFailure { .. }));
+    assert_eq!(other.steps_run(), before);
+
+    // And so must the same pipeline with an extra feature attached.
+    let (mut drifted, dsrc, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    drifted
+        .attach_feature(dsrc, perpos::sensors::HdopFeature::new())
+        .unwrap();
+    assert!(drifted.restore(&snap).is_err());
+}
