@@ -40,7 +40,7 @@ const USAGE: &str =
        perpos-lint --explain <PNNN|all>
 
 Lints a PerPos GraphConfig JSON file with the perpos-analysis passes
-(P001-P015). Without --catalog only the built-in \"application\" type is
+(P001-P019). Without --catalog only the built-in \"application\" type is
 known; pass a catalog (see perpos_analysis::TypeCatalog) describing the
 component types the configuration references.
 

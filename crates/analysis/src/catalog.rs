@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use perpos_core::assembly::ComponentFactory;
-use perpos_core::component::TransferSpec;
+use perpos_core::component::{EffectSpec, TransferSpec};
 use serde::{Deserialize, Serialize};
 
 /// The reserved configuration kind for the middleware's application sink.
@@ -46,6 +46,10 @@ pub struct ComponentTypeSpec {
     /// (mirrored from its descriptor by [`TypeCatalog::probe`]); absent
     /// means no declared semantics.
     pub transfer: Option<TransferSpec>,
+    /// Effect metadata declared by the component type (mirrored from
+    /// its descriptor by [`TypeCatalog::probe`]); absent means no
+    /// declared effects (pure, snapshot-safe, deterministic).
+    pub effects: Option<EffectSpec>,
 }
 
 impl ComponentTypeSpec {
@@ -104,6 +108,11 @@ impl TypeCatalog {
                 } else {
                     Some(d.transfer.clone())
                 },
+                effects: if d.effects.is_empty() {
+                    None
+                } else {
+                    Some(d.effects.clone())
+                },
             });
         }
         TypeCatalog { types }
@@ -143,6 +152,7 @@ pub fn application_spec() -> ComponentTypeSpec {
             .collect(),
         provides: Vec::new(),
         transfer: None,
+        effects: None,
     }
 }
 

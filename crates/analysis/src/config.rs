@@ -205,6 +205,10 @@ pub fn analyze_config(config: &GraphConfig, catalog: &TypeCatalog) -> Report {
     let (_, dataflow_report) = crate::domains::analyze_dataflow(&flow);
     report.merge(dataflow_report);
 
+    // Effect & determinism checks (P017-P019) against the executor and
+    // fleet deployment the configuration declares.
+    crate::effects::effect_diagnostics(&flow, &mut report);
+
     report
 }
 
@@ -494,6 +498,7 @@ mod tests {
             inputs: vec![],
             provides: vec!["raw.string".into()],
             transfer: None,
+            effects: None,
         });
         c.insert(ComponentTypeSpec {
             kind: "parser".into(),
@@ -505,6 +510,7 @@ mod tests {
             }],
             provides: vec!["nmea.sentence".into()],
             transfer: None,
+            effects: None,
         });
         c
     }
@@ -515,6 +521,7 @@ mod tests {
             kind: kind.into(),
             fault_policy: None,
             transfer: None,
+            effects: None,
         }
     }
 
@@ -524,6 +531,7 @@ mod tests {
             kind: kind.into(),
             fault_policy: Some("drop_item".into()),
             transfer: None,
+            effects: None,
         }
     }
 

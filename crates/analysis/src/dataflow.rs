@@ -29,7 +29,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use perpos_core::assembly::{FleetSpec, GraphConfig};
-use perpos_core::component::{ComponentRole, TransferSpec};
+use perpos_core::component::{ComponentRole, EffectSpec, TransferSpec};
 use perpos_core::graph::NodeInfo;
 
 use crate::catalog::TypeCatalog;
@@ -67,6 +67,9 @@ pub struct FlowNode {
     /// Whether the node anonymizes identifiable data: declared on the
     /// transfer spec, or (live) contributed by an attached feature.
     pub anonymizes: bool,
+    /// Effective effect metadata (type-level spec overlaid with any
+    /// per-instance override).
+    pub effects: EffectSpec,
 }
 
 /// One wire: output of `from` into input `port` of `to`.
@@ -98,7 +101,7 @@ pub struct FlowGraph {
 }
 
 impl FlowGraph {
-    fn finish(nodes: Vec<FlowNode>, edges: Vec<FlowEdge>) -> FlowGraph {
+    pub(crate) fn finish(nodes: Vec<FlowNode>, edges: Vec<FlowEdge>) -> FlowGraph {
         let mut preds = vec![Vec::new(); nodes.len()];
         let mut succs = vec![Vec::new(); nodes.len()];
         for (i, e) in edges.iter().enumerate() {
@@ -142,6 +145,11 @@ impl FlowGraph {
                 Some(over) => base.overlay(over),
                 None => base,
             };
+            let effects_base = spec.effects.clone().unwrap_or_default();
+            let effects = match &c.effects {
+                Some(over) => effects_base.overlay(over),
+                None => effects_base,
+            };
             let anonymizes = transfer.anonymizes == Some(true);
             index.insert(c.name.as_str(), nodes.len());
             nodes.push(FlowNode {
@@ -157,6 +165,7 @@ impl FlowGraph {
                 provides: spec.provides.clone(),
                 transfer,
                 anonymizes,
+                effects,
             });
         }
         let mut edges = Vec::new();
@@ -222,6 +231,7 @@ impl FlowGraph {
                 provides,
                 transfer: n.descriptor.transfer.clone(),
                 anonymizes,
+                effects: n.descriptor.effects.clone(),
             });
             for (port, producer) in n.inputs.iter().enumerate() {
                 let Some(pid) = producer else { continue };
@@ -464,6 +474,7 @@ mod tests {
                 .collect(),
             provides: provides.iter().map(|s| s.to_string()).collect(),
             transfer: None,
+            effects: None,
         }
     }
 
@@ -473,6 +484,7 @@ mod tests {
             kind: kind.into(),
             fault_policy: None,
             transfer: None,
+            effects: None,
         }
     }
 

@@ -16,8 +16,22 @@ use serde::{Content, Serialize};
 /// candidates, infeasibility explanation) and canonically sorted
 /// diagnostics/facts arrays (byte-reproducible output); version 5 adds
 /// code P016 and the facts document's `fleet` field (the resolved fleet
-/// deployment, `null` without a `fleet` block).
-pub const JSON_SCHEMA_VERSION: u32 = 5;
+/// deployment, `null` without a `fleet` block); version 6 adds codes
+/// P017–P019 and the facts document's `effects` block (per-node declared
+/// effects plus the wave-interference conflicts found over the
+/// level-parallel schedule).
+pub const JSON_SCHEMA_VERSION: u32 = 6;
+
+/// The one canonical-ordering primitive behind every byte-reproducible
+/// surface of this crate: sorts `items` by `key`, computing each key
+/// exactly once. [`Report::canonical_diagnostics`] and the facts
+/// serializer both order their arrays through this helper, so the two
+/// surfaces cannot drift apart on ordering semantics (ties keep a single,
+/// total ordering as long as the key is total — prefer keys that include
+/// every distinguishing field).
+pub fn canonical_sort<T, K: Ord>(items: &mut [T], key: impl FnMut(&T) -> K) {
+    items.sort_by_cached_key(key);
+}
 
 /// Defines [`Code`] from a single list, generating the enum, the
 /// [`Code::ALL`] table, [`Code::as_str`], [`Code::parse`] and
@@ -120,6 +134,19 @@ define_codes! {
     /// default `Propagate` policy, so every component fault escapes the
     /// instance and is paid for as a fleet-level checkpoint restart.
     P016 => "fleet deployment relies on checkpoint-restart for routine faults",
+    /// Wave interference: under a level-parallel executor two components
+    /// scheduled into the same wave declare a write-write or read-write
+    /// conflict on a named shared resource, so the schedule order is
+    /// observable and the executor's determinism contract breaks.
+    P017 => "same-wave components race on a shared resource under level-parallel",
+    /// Checkpoint blind spot: a component declared stateful but not
+    /// snapshot-capable runs inside a fleet deployment, so every
+    /// checkpoint restart silently diverges from the uninterrupted run.
+    P018 => "stateful fleet component has no snapshot hooks",
+    /// Hidden nondeterminism: a component declares exogenous inputs
+    /// (wall clock, live I/O) or unseeded randomness in a graph that
+    /// fleet checkpointing or synthesis treats as deterministic.
+    P019 => "exogenous or unseeded effects undermine assumed determinism",
 }
 
 /// Long-form documentation of a diagnostic code, served by
@@ -320,6 +347,55 @@ impl Code {
                       are absorbed inside the instance and the checkpoint-restart rung \
                       is reserved for genuine crashes.",
             },
+            Code::P017 => CodeExplanation {
+                detail: "The level-parallel executor runs mutually independent nodes \
+                         of each wave concurrently, relying on components only \
+                         touching their own state. Effect analysis layers the graph \
+                         exactly as the executor does (longest-path levels) and \
+                         checks every same-wave pair's declared shared-resource \
+                         effects: a write-write or read-write overlap on one resource \
+                         means the wave's worker schedule becomes observable, and the \
+                         executor's byte-identical determinism contract no longer \
+                         holds.",
+                example: "Two calibration stages in the same wave both declaring \
+                          writes on a shared \"bias-table\" resource while the \
+                          configuration selects the level-parallel executor.",
+                fix: "Serialize the conflicting components into different waves (wire \
+                      one downstream of the other), route the shared state through a \
+                      component of its own, or drop back to the sequential executor.",
+            },
+            Code::P018 => CodeExplanation {
+                detail: "Fleet checkpoint-restart rebuilds a faulted instance and \
+                         restores the last snapshot, which captures exactly the state \
+                         components export through snapshot_state/restore_state. A \
+                         component declared stateful but not snapshot-capable keeps \
+                         state the snapshot cannot carry: every restart silently \
+                         resets it, so the restored instance diverges from the \
+                         uninterrupted run and the fleet's restore-equivalence \
+                         guarantee is void — without any error being raised.",
+                example: "A drift-estimating filter that accumulates a bias estimate \
+                          but implements no snapshot hooks, deployed in a \
+                          10,000-instance fleet block.",
+                fix: "Implement snapshot_state/restore_state on the component (and \
+                      declare snapshot_capable), make the component stateless, or \
+                      remove the fleet block.",
+            },
+            Code::P019 => CodeExplanation {
+                detail: "Replay determinism — the property the fleet's \
+                         checkpoint-restart recovery and the synthesizer's candidate \
+                         ranking both assume — requires every effect to be a function \
+                         of the trace and the seed. A component declaring exogenous \
+                         inputs (host wall clock, live I/O) or unseeded randomness \
+                         can produce different output on each run of the same trace, \
+                         so restored instances drift from their reference and \
+                         synthesized pipelines stop being reproducible.",
+                example: "A source that timestamps items with the host wall clock \
+                          instead of the engine clock, inside a configuration that \
+                          declares a fleet deployment.",
+                fix: "Route the exogenous input through the simulated clock or a \
+                      recorded trace, seed the randomness from configuration, or \
+                      document the nondeterminism by dropping the fleet block.",
+            },
         }
     }
 }
@@ -482,9 +558,8 @@ impl Report {
     /// finding first (golden files and synthesis ranking rely on it).
     pub fn canonical_diagnostics(&self) -> Vec<Diagnostic> {
         let mut sorted = self.diagnostics.clone();
-        sorted.sort_by(|a, b| {
-            (a.code, &a.path, &a.message, a.severity)
-                .cmp(&(b.code, &b.path, &b.message, b.severity))
+        canonical_sort(&mut sorted, |d| {
+            (d.code, d.path.clone(), d.message.clone(), d.severity)
         });
         sorted
     }

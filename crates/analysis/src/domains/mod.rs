@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use serde::Serialize;
 
 use crate::dataflow::{solve, FlowGraph};
-use crate::diagnostic::{Report, JSON_SCHEMA_VERSION};
+use crate::diagnostic::{canonical_sort, Report, JSON_SCHEMA_VERSION};
 
 /// The solved facts of all four domains over one graph, indexed like
 /// [`FlowGraph::nodes`]. Each entry describes the component's *output*
@@ -132,6 +132,40 @@ struct JsonFleetFacts {
     checkpoint_every: u64,
 }
 
+/// One node's declared effects, with the `Option` defaults resolved
+/// (absent = pure/deterministic/snapshot-safe). Only nodes declaring
+/// *some* effect appear in the document.
+#[derive(Serialize)]
+struct JsonNodeEffects {
+    label: String,
+    reads: Vec<String>,
+    writes: Vec<String>,
+    wall_clock: bool,
+    io: bool,
+    unseeded: bool,
+    stateful: bool,
+    snapshot_capable: bool,
+}
+
+#[derive(Serialize)]
+struct JsonWaveConflict {
+    wave: u64,
+    resource: String,
+    kind: String,
+    a: String,
+    b: String,
+}
+
+/// The schema-v6 `effects` block: declared per-node effects plus the
+/// wave-interference conflicts (P017 material) found over the
+/// level-parallel schedule — reported whatever executor the
+/// configuration selects, so tooling can see latent interference.
+#[derive(Serialize)]
+struct JsonEffectsFacts {
+    nodes: Vec<JsonNodeEffects>,
+    conflicts: Vec<JsonWaveConflict>,
+}
+
 #[derive(Serialize)]
 struct JsonFactsDoc {
     schema_version: u64,
@@ -143,6 +177,7 @@ struct JsonFactsDoc {
     /// The resolved fleet deployment when the configuration declares
     /// one (`null` = a single unsupervised instance).
     fleet: Option<JsonFleetFacts>,
+    effects: JsonEffectsFacts,
     levels: Vec<Vec<String>>,
     nodes: Vec<JsonNodeFacts>,
     edges: Vec<JsonEdgeFacts>,
@@ -178,7 +213,7 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             overflow_s: rate::node_overflow_s(graph, &facts.rate, i),
         })
         .collect();
-    nodes.sort_by(|a, b| a.label.cmp(&b.label));
+    canonical_sort(&mut nodes, |n| n.label.clone());
     let mut edges: Vec<JsonEdgeFacts> = graph
         .edges
         .iter()
@@ -202,7 +237,33 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
             }
         })
         .collect();
-    edges.sort_by(|a, b| (&a.from, &a.to, a.port).cmp(&(&b.from, &b.to, b.port)));
+    canonical_sort(&mut edges, |e| (e.from.clone(), e.to.clone(), e.port));
+    let mut effect_nodes: Vec<JsonNodeEffects> = graph
+        .nodes
+        .iter()
+        .filter(|n| !n.effects.is_empty())
+        .map(|n| JsonNodeEffects {
+            label: n.label.clone(),
+            reads: n.effects.reads.clone().unwrap_or_default(),
+            writes: n.effects.writes.clone().unwrap_or_default(),
+            wall_clock: n.effects.wall_clock.unwrap_or(false),
+            io: n.effects.io.unwrap_or(false),
+            unseeded: n.effects.unseeded.unwrap_or(false),
+            stateful: n.effects.stateful.unwrap_or(false),
+            snapshot_capable: n.effects.snapshot_capable.unwrap_or(false),
+        })
+        .collect();
+    canonical_sort(&mut effect_nodes, |n| n.label.clone());
+    let conflicts = crate::effects::wave_conflicts(graph)
+        .into_iter()
+        .map(|c| JsonWaveConflict {
+            wave: c.wave as u64,
+            resource: c.resource,
+            kind: c.kind.as_str().to_string(),
+            a: c.a,
+            b: c.b,
+        })
+        .collect();
     let doc = JsonFactsDoc {
         schema_version: u64::from(JSON_SCHEMA_VERSION),
         converged: facts.converged,
@@ -219,6 +280,10 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
                 checkpoint_every: resolved.checkpoint_every,
             }
         }),
+        effects: JsonEffectsFacts {
+            nodes: effect_nodes,
+            conflicts,
+        },
         levels: graph
             .topo_levels()
             .into_iter()
@@ -227,7 +292,7 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
                     .into_iter()
                     .map(|i| graph.nodes[i].label.clone())
                     .collect();
-                labels.sort();
+                canonical_sort(&mut labels, Clone::clone);
                 labels
             })
             .collect(),

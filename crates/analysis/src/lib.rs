@@ -33,7 +33,15 @@
 //! and live structures, so config-time and adaptation-time findings
 //! agree.
 //!
-//! Every finding is a [`Diagnostic`] with a stable code (P001–P014), a
+//! An effect layer ([`effects`]) checks declared
+//! [`EffectSpec`](perpos_core::component::EffectSpec) metadata against
+//! the deployment the graph requests: shared-resource races between
+//! same-wave components under the level-parallel executor (P017),
+//! stateful-but-unsnapshotable components inside fleet deployments
+//! (P018) and exogenous/unseeded effects where deterministic replay is
+//! assumed (P019).
+//!
+//! Every finding is a [`Diagnostic`] with a stable code (P001–P019), a
 //! severity, the offending node/edge path and, where possible, a fix-it
 //! hint; a [`Report`] renders human-readable or JSON. The [`gate`]
 //! module adapts reports to the core's opt-in `*_checked` entry points.
@@ -49,6 +57,7 @@
 //!     inputs: vec![PortSpec { name: "in".into(), accepts: vec![], required_features: vec![] }],
 //!     provides: vec!["position.wgs84".into()],
 //!     transfer: None,
+//!     effects: None,
 //! });
 //! // A config wiring an instance to itself: cycle, caught before any
 //! // component is built.
@@ -58,6 +67,7 @@
 //!         kind: "smooth".into(),
 //!         fault_policy: None,
 //!         transfer: None,
+//!         effects: None,
 //!     }],
 //!     connections: vec![ConnectionConfig { from: "p".into(), to: "p".into(), port: 0 }],
 //!     executor: None,
@@ -74,6 +84,7 @@ pub mod config;
 pub mod dataflow;
 pub mod diagnostic;
 pub mod domains;
+pub mod effects;
 pub mod gate;
 pub mod live;
 pub mod probe;
@@ -87,6 +98,9 @@ pub use config::analyze_config;
 pub use dataflow::{solve, Domain, FlowGraph, Solution};
 pub use diagnostic::{Code, Diagnostic, Report, Severity, JSON_SCHEMA_VERSION};
 pub use domains::{analyze_dataflow, dataflow_diagnostics, facts_json, infer_facts, GraphFacts};
-pub use live::{analyze_structure, structure_levels};
+pub use effects::{
+    determinism_diagnostics, effect_diagnostics, wave_conflicts, ConflictKind, WaveConflict,
+};
+pub use live::{analyze_structure, analyze_structure_in, structure_levels, StructureContext};
 pub use probe::MonotonicityProbe;
 pub use synth::{synthesize, Infeasibility, RankedPipeline, Synthesis, SynthesisGoal};

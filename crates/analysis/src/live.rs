@@ -13,13 +13,55 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use perpos_core::assembly::FleetSpec;
 use perpos_core::component::ComponentRole;
+use perpos_core::executor::ExecMode;
 use perpos_core::graph::{NodeId, NodeInfo};
 
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
 
-/// Analyzes a live (or simulated) process structure.
+/// Deployment context of a live structure, for the effect checks
+/// (P017–P019). A reflected [`NodeInfo`] list records components and
+/// wires but not how the graph is *run* — which executor steps it and
+/// whether it is replicated into a fleet — so callers that know supply
+/// it here. The default (sequential executor, no fleet) makes the
+/// effect checks vacuous, matching [`analyze_structure`].
+#[derive(Debug, Clone, Default)]
+pub struct StructureContext {
+    /// Executor mode stepping the graph (`None` = sequential).
+    pub executor: Option<ExecMode>,
+    /// Fleet deployment the instance belongs to (`None` = standalone).
+    pub fleet: Option<FleetSpec>,
+}
+
+impl StructureContext {
+    /// Context for a graph stepped by `executor`, standalone.
+    pub fn for_executor(executor: ExecMode) -> StructureContext {
+        StructureContext {
+            executor: Some(executor),
+            fleet: None,
+        }
+    }
+
+    /// Declares the fleet deployment (builder style).
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> StructureContext {
+        self.fleet = Some(fleet);
+        self
+    }
+}
+
+/// Analyzes a live (or simulated) process structure with no deployment
+/// context: the effect checks (P017–P019) assume the default sequential
+/// executor and no fleet. Use [`analyze_structure_in`] when the
+/// executor mode or fleet membership is known.
 pub fn analyze_structure(nodes: &[NodeInfo]) -> Report {
+    analyze_structure_in(nodes, &StructureContext::default())
+}
+
+/// Analyzes a live (or simulated) process structure in a known
+/// deployment context, so the effect checks see the executor actually
+/// stepping the graph and the fleet it runs in.
+pub fn analyze_structure_in(nodes: &[NodeInfo], ctx: &StructureContext) -> Report {
     let mut report = Report::new();
     let by_id: BTreeMap<NodeId, &NodeInfo> = nodes.iter().map(|n| (n.id, n)).collect();
 
@@ -31,9 +73,15 @@ pub fn analyze_structure(nodes: &[NodeInfo]) -> Report {
     check_feature_conflicts(nodes, &mut report);
 
     // Semantic dataflow analyses (P010-P014) over the same structure.
-    let flow = crate::dataflow::FlowGraph::from_structure(nodes);
+    let mut flow = crate::dataflow::FlowGraph::from_structure(nodes);
+    flow.executor = ctx.executor.map(|m| m.as_str().to_string());
+    flow.fleet = ctx.fleet.clone();
     let (_, dataflow_report) = crate::domains::analyze_dataflow(&flow);
     report.merge(dataflow_report);
+
+    // Effect & determinism checks (P017-P019) against the declared
+    // deployment context.
+    crate::effects::effect_diagnostics(&flow, &mut report);
 
     report
 }

@@ -191,6 +191,7 @@ fn materialize(ctx: &Ctx<'_>, plan: &Plan, with_app: bool) -> GraphConfig {
             kind: t.kind.clone(),
             fault_policy: (t.role == "source").then(|| "drop_item".to_string()),
             transfer: None,
+            effects: None,
         });
         for (port, child) in child_names.into_iter().enumerate() {
             connections.push(ConnectionConfig {
@@ -212,6 +213,7 @@ fn materialize(ctx: &Ctx<'_>, plan: &Plan, with_app: bool) -> GraphConfig {
             kind: APPLICATION_KIND.into(),
             fault_policy: None,
             transfer: None,
+            effects: None,
         });
         connections.push(ConnectionConfig {
             from: root,
@@ -416,6 +418,14 @@ pub(crate) fn enumerate(goal: &SynthesisGoal, catalog: &TypeCatalog) -> Vec<Cand
             continue;
         }
         let flow = FlowGraph::from_config(&config, catalog);
+        // Synthesized pipelines must replay deterministically (candidate
+        // ranking and re-linting both assume it), so exogenous/unseeded
+        // effects (P019) reject a candidate even without a fleet block.
+        let mut determinism = crate::diagnostic::Report::new();
+        crate::effects::determinism_diagnostics(&flow, &mut determinism);
+        if !determinism.is_clean() {
+            continue;
+        }
         let facts = infer_facts(&flow);
         let Some(sink) = flow.nodes.iter().position(|n| n.label == "app") else {
             continue;

@@ -26,6 +26,7 @@ fn spec(kind: &str, role: &str, inputs: usize, provides: &[&str]) -> ComponentTy
             .collect(),
         provides: provides.iter().map(|s| s.to_string()).collect(),
         transfer: None,
+        effects: None,
     }
 }
 
@@ -35,6 +36,7 @@ fn instance(name: &str, kind: &str) -> ComponentConfig {
         kind: kind.into(),
         fault_policy: None,
         transfer: None,
+        effects: None,
     }
 }
 

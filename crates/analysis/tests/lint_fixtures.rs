@@ -105,6 +105,71 @@ fn p009_no_fault_policy_fires_exactly_once() {
 }
 
 #[test]
+fn p017_wave_interference_fires_exactly_once() {
+    // Two parallel parser branches at the same topological level, both
+    // declaring writes on "bias-table", under the level-parallel
+    // executor: the only finding is the P017 error naming the wave, the
+    // resource and both components.
+    let report = lint("p017_wave_interference.json");
+    assert_only(&report, Code::P017, Severity::Error);
+    let d = report.with_code(Code::P017)[0];
+    assert!(d.message.contains("bias-table"), "{}", d.message);
+    assert!(d.message.contains("wave 1"), "{}", d.message);
+    assert_eq!(d.path, vec!["parse0".to_string(), "parse1".to_string()]);
+}
+
+#[test]
+fn p017_is_silent_under_the_sequential_executor() {
+    // The identical interference, sequentially executed, is harmless:
+    // dropping the executor request must lint completely clean.
+    let mut config: GraphConfig =
+        serde_json::from_str(&fixture("p017_wave_interference.json")).unwrap();
+    config.executor = None;
+    let report = analyze_config(&config, &catalog());
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn p018_stateful_without_snapshot_fires_exactly_once() {
+    // pipeline_ok plus a fleet block, full containment coverage, and a
+    // decoder declared stateful with no snapshot capability: the only
+    // finding is the P018 error.
+    let report = lint("p018_fleet_unsnapshotable.json");
+    assert_only(&report, Code::P018, Severity::Error);
+    let d = report.with_code(Code::P018)[0];
+    assert_eq!(d.path, vec!["decode0".to_string()]);
+    assert!(d.message.contains("snapshot"), "{}", d.message);
+    assert!(
+        d.hint.as_deref().unwrap_or("").contains("snapshot_state"),
+        "{:?}",
+        d.hint
+    );
+}
+
+#[test]
+fn p018_is_silent_without_a_fleet_block() {
+    // Standalone, nothing checkpoints, nothing can silently reset.
+    let mut config: GraphConfig =
+        serde_json::from_str(&fixture("p018_fleet_unsnapshotable.json")).unwrap();
+    config.fleet = None;
+    let report = analyze_config(&config, &catalog());
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn p019_nondeterministic_effects_fire_exactly_once() {
+    // A wall-clock-reading decoder inside a fleet deployment: replay
+    // determinism is assumed but not deliverable, warned as P019.
+    let report = lint("p019_nondeterministic_fleet.json");
+    assert_only(&report, Code::P019, Severity::Warning);
+    let d = report.with_code(Code::P019)[0];
+    assert_eq!(d.path, vec!["decode0".to_string()]);
+    assert!(d.message.contains("wall-clock"), "{}", d.message);
+    // A warning alone does not fail a gate.
+    assert!(!report.has_errors());
+}
+
+#[test]
 fn p016_fleet_without_containment_fires_exactly_once() {
     // pipeline_ok.json plus a fleet block, with every component except
     // the parser carrying an explicit policy: the only finding is the
@@ -178,6 +243,43 @@ fn p013_rate_overrun_fires_with_buffer_prediction() {
     assert_eq!(report.diagnostics.len(), 2, "{}", report.render_human());
     // Warnings alone do not fail a gate.
     assert!(!report.has_errors());
+}
+
+#[test]
+fn facts_and_diagnostics_share_one_canonical_order() {
+    // Regression for the shared `canonical_sort` helper: both call
+    // sites — the diagnostics renderer and the facts serializer — must
+    // be insensitive to declaration order, so the same graph with its
+    // components and connections reversed renders byte-identically.
+    use perpos_analysis::{facts_json, infer_facts, FlowGraph};
+    let catalog = catalog();
+
+    let config: GraphConfig = serde_json::from_str(&fixture("dataflow_ok.json")).unwrap();
+    let mut reversed = config.clone();
+    reversed.components.reverse();
+    reversed.connections.reverse();
+    let flow = FlowGraph::from_config(&config, &catalog);
+    let rflow = FlowGraph::from_config(&reversed, &catalog);
+    assert_eq!(
+        facts_json(&flow, &infer_facts(&flow)),
+        facts_json(&rflow, &infer_facts(&rflow)),
+        "facts serialization must not depend on declaration order"
+    );
+
+    // A fixture with two findings: the canonical order survives the
+    // pass emitting them in a different sequence.
+    let noisy: GraphConfig = serde_json::from_str(&fixture("p013_rate_overrun.json")).unwrap();
+    let mut noisy_reversed = noisy.clone();
+    noisy_reversed.components.reverse();
+    noisy_reversed.connections.reverse();
+    let a = analyze_config(&noisy, &catalog);
+    let b = analyze_config(&noisy_reversed, &catalog);
+    assert_eq!(a.diagnostics.len(), 2);
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "diagnostic rendering must not depend on declaration order"
+    );
 }
 
 #[test]

@@ -295,12 +295,14 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
                 kind: "parser".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             },
         ],
         connections: vec![ConnectionConfig {
@@ -328,18 +330,21 @@ fn instantiate_checked_blocks_bad_config_without_touching_middleware() {
                 kind: "gps".into(),
                 fault_policy: Some("drop_item".into()),
                 transfer: None,
+                effects: None,
             },
             ComponentConfig {
                 name: "p0".into(),
                 kind: "parser".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             },
             ComponentConfig {
                 name: "app".into(),
                 kind: "application".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             },
         ],
         connections: vec![

@@ -84,6 +84,11 @@ pub struct ComponentConfig {
     /// here replace the corresponding type-level fields during
     /// whole-graph analysis. Absent means "use the type's spec".
     pub transfer: Option<crate::component::TransferSpec>,
+    /// Per-instance override of the component type's effect metadata
+    /// ([`crate::component::EffectSpec`]); fields declared here replace
+    /// the corresponding type-level fields during whole-graph analysis.
+    /// Absent means "use the type's spec".
+    pub effects: Option<crate::component::EffectSpec>,
 }
 
 /// One edge in a declarative graph configuration.
@@ -522,18 +527,21 @@ mod tests {
                     kind: "gps".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
                 ComponentConfig {
                     name: "parse0".into(),
                     kind: "parser".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
             ],
             connections: vec![
@@ -573,18 +581,21 @@ mod tests {
                     kind: "gps".into(),
                     fault_policy: Some("drop_item".into()),
                     transfer: None,
+                    effects: None,
                 },
                 ComponentConfig {
                     name: "parse0".into(),
                     kind: "parser".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
             ],
             connections: vec![
@@ -641,6 +652,7 @@ mod tests {
                 kind: "nope".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             }],
             connections: vec![],
             executor: None,
@@ -665,6 +677,7 @@ mod tests {
                 kind: "nope".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             }],
             connections: vec![],
             executor: None,
@@ -679,6 +692,7 @@ mod tests {
                 kind: "application".into(),
                 fault_policy: None,
                 transfer: None,
+                effects: None,
             }],
             connections: vec![ConnectionConfig {
                 from: "ghost".into(),
@@ -698,12 +712,14 @@ mod tests {
                     kind: "application".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
                 ComponentConfig {
                     name: "app".into(),
                     kind: "application".into(),
                     fault_policy: None,
                     transfer: None,
+                    effects: None,
                 },
             ],
             connections: vec![],

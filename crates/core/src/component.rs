@@ -238,6 +238,136 @@ impl TransferSpec {
     }
 }
 
+/// Effect-and-determinism metadata for a component type: which shared
+/// resources it touches, which exogenous inputs it samples, and whether
+/// its accumulated state survives a checkpoint. `perpos-analysis` uses
+/// this to prove execution-level assembly properties *before* running:
+/// wave interference under the level-parallel executor (P017), silent
+/// checkpoint-restart divergence in fleets (P018) and hidden
+/// nondeterminism in pipelines treated as deterministic (P019).
+///
+/// Every field is optional; an empty spec means "no declared effects"
+/// and the analyses treat the component as pure, snapshot-safe and
+/// deterministic — the behaviour all in-tree components actually have.
+/// Like [`TransferSpec`], the spec is declared on
+/// [`ComponentDescriptor`]s, mirrored into the analysis `TypeCatalog` by
+/// its factory probe, and may be overridden per instance in a
+/// `GraphConfig`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EffectSpec {
+    /// Named shared resources the component reads (e.g. a shared map
+    /// cache, a fingerprint database). Two same-wave components may both
+    /// read a resource; a read racing a write is a P017 conflict.
+    pub reads: Option<Vec<String>>,
+    /// Named shared resources the component writes. Any same-wave
+    /// reader or writer of the same resource is a P017 conflict.
+    pub writes: Option<Vec<String>>,
+    /// Whether the component samples the host wall clock (as opposed to
+    /// the engine's simulated clock) — an exogenous input that makes
+    /// replays diverge.
+    pub wall_clock: Option<bool>,
+    /// Whether the component performs live I/O (network, device files)
+    /// during ticks/inputs — exogenous input outside the trace.
+    pub io: Option<bool>,
+    /// Whether the component draws randomness that is *not* seeded
+    /// through its configuration, so two runs of the same trace can
+    /// differ.
+    pub unseeded: Option<bool>,
+    /// Whether the component accumulates internal state across items
+    /// (counters, filters, RNG positions). Stateful components must
+    /// implement `snapshot_state`/`restore_state` to survive fleet
+    /// checkpoint-restart.
+    pub stateful: Option<bool>,
+    /// Whether the component implements
+    /// [`Component::snapshot_state`]/[`Component::restore_state`] so a
+    /// restored instance replays byte-identically. Only meaningful
+    /// together with [`EffectSpec::stateful`]; a stateful component
+    /// without it trips P018 inside a fleet deployment.
+    pub snapshot_capable: Option<bool>,
+}
+
+impl EffectSpec {
+    /// An empty spec: no declared effects.
+    pub fn new() -> Self {
+        EffectSpec::default()
+    }
+
+    /// Whether no field is declared.
+    pub fn is_empty(&self) -> bool {
+        *self == EffectSpec::default()
+    }
+
+    /// Field-wise overlay: every field `over` declares replaces the
+    /// corresponding field of `self` (per-instance configuration
+    /// overrides beat per-type declarations).
+    pub fn overlay(&self, over: &EffectSpec) -> EffectSpec {
+        macro_rules! pick {
+            ($field:ident) => {
+                over.$field.clone().or_else(|| self.$field.clone())
+            };
+        }
+        EffectSpec {
+            reads: pick!(reads),
+            writes: pick!(writes),
+            wall_clock: pick!(wall_clock),
+            io: pick!(io),
+            unseeded: pick!(unseeded),
+            stateful: pick!(stateful),
+            snapshot_capable: pick!(snapshot_capable),
+        }
+    }
+
+    /// Whether the component declares any exogenous input or unseeded
+    /// randomness — the effects that break trace determinism.
+    pub fn is_nondeterministic(&self) -> bool {
+        self.wall_clock == Some(true) || self.io == Some(true) || self.unseeded == Some(true)
+    }
+
+    /// Declares a shared resource read (builder style).
+    pub fn reading(mut self, resource: impl Into<String>) -> Self {
+        self.reads
+            .get_or_insert_with(Vec::new)
+            .push(resource.into());
+        self
+    }
+
+    /// Declares a shared resource write (builder style).
+    pub fn writing(mut self, resource: impl Into<String>) -> Self {
+        self.writes
+            .get_or_insert_with(Vec::new)
+            .push(resource.into());
+        self
+    }
+
+    /// Marks the component as sampling the host wall clock (builder
+    /// style).
+    pub fn with_wall_clock(mut self) -> Self {
+        self.wall_clock = Some(true);
+        self
+    }
+
+    /// Marks the component as performing live I/O (builder style).
+    pub fn with_io(mut self) -> Self {
+        self.io = Some(true);
+        self
+    }
+
+    /// Marks the component as drawing unseeded randomness (builder
+    /// style).
+    pub fn with_unseeded(mut self) -> Self {
+        self.unseeded = Some(true);
+        self
+    }
+
+    /// Marks the component as stateful; `snapshot_capable` says whether
+    /// its state participates in checkpoints (builder style).
+    pub fn stateful(mut self, snapshot_capable: bool) -> Self {
+        self.stateful = Some(true);
+        self.snapshot_capable = Some(snapshot_capable);
+        self
+    }
+}
+
 /// A reflective method exposed by a component or feature.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MethodSpec {
@@ -271,6 +401,9 @@ pub struct ComponentDescriptor {
     /// Dataflow transfer metadata for whole-graph analysis (frames,
     /// accuracy, privacy, rates). Empty by default.
     pub transfer: TransferSpec,
+    /// Effect metadata for determinism analysis (shared resources,
+    /// exogenous inputs, snapshot capability). Empty by default.
+    pub effects: EffectSpec,
 }
 
 impl ComponentDescriptor {
@@ -282,6 +415,7 @@ impl ComponentDescriptor {
             inputs: Vec::new(),
             output: Some(OutputSpec::new(provides)),
             transfer: TransferSpec::default(),
+            effects: EffectSpec::default(),
         }
     }
 
@@ -293,6 +427,7 @@ impl ComponentDescriptor {
             inputs: vec![input],
             output: Some(OutputSpec::new(provides)),
             transfer: TransferSpec::default(),
+            effects: EffectSpec::default(),
         }
     }
 
@@ -304,6 +439,7 @@ impl ComponentDescriptor {
             inputs,
             output: Some(OutputSpec::new(provides)),
             transfer: TransferSpec::default(),
+            effects: EffectSpec::default(),
         }
     }
 
@@ -315,12 +451,19 @@ impl ComponentDescriptor {
             inputs: vec![input],
             output: None,
             transfer: TransferSpec::default(),
+            effects: EffectSpec::default(),
         }
     }
 
     /// Attaches dataflow transfer metadata (builder style).
     pub fn with_transfer(mut self, transfer: TransferSpec) -> Self {
         self.transfer = transfer;
+        self
+    }
+
+    /// Attaches effect metadata (builder style).
+    pub fn with_effects(mut self, effects: EffectSpec) -> Self {
+        self.effects = effects;
         self
     }
 }

@@ -51,6 +51,13 @@ impl From<&str> for Host {
     }
 }
 
+/// Exponent cap for the retransmission backoff: beyond this attempt the
+/// wait (and its jitter) stops doubling, so very large `max_retries`
+/// budgets cannot shift past the `u64` width or balloon the schedule.
+/// Exiting through these capped iterations still abandons the message
+/// through the single give-up path.
+const BACKOFF_SHIFT_CAP: u64 = 20;
+
 /// Network characteristics of the link between two hosts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
@@ -280,6 +287,12 @@ impl Deployment {
         let mut attempt: u64 = 0;
         let mut lost_transmissions: u64 = 0;
         let mut backoff_us: u64 = 0;
+        // The loop has exactly two exits — delivery, or abandonment at
+        // the retry budget — so the `gave_up` increment below runs at
+        // most once per message whatever path (including the capped
+        // backoff iterations past [`BACKOFF_SHIFT_CAP`]) led here. The
+        // per-pair identity `lost == retransmitted + gave_up` follows
+        // and is pinned by tests.
         let delivered = loop {
             let lost = model.loss_prob > 0.0 && self.rng.gen::<f64>() < model.loss_prob;
             if !lost {
@@ -292,7 +305,7 @@ impl Deployment {
             let base = model
                 .latency
                 .as_micros()
-                .saturating_mul(1 << attempt.min(20));
+                .saturating_mul(1 << attempt.min(BACKOFF_SHIFT_CAP));
             let jitter = (base as f64 * 0.5 * self.rng.gen::<f64>()) as u64;
             backoff_us = backoff_us.saturating_add(base.saturating_add(jitter));
             attempt += 1;
@@ -534,6 +547,74 @@ mod tests {
         assert!(e.take_due(SimTime::from_secs_f64(0.019)).is_empty());
         assert_eq!(e.take_due(SimTime::from_secs_f64(0.025)).len(), second_wave);
         assert_eq!(*e.stats().values().next().unwrap(), stats);
+    }
+
+    #[test]
+    fn give_up_at_the_retry_boundary_counts_once() {
+        // Certain loss exhausts the budget on every message, so each one
+        // walks the loop exactly `max_retries + 1` times and exits at
+        // the `attempt == max_retries` boundary. Abandonment must be
+        // counted once per message, never per loop iteration.
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let mut d = Deployment::new("server")
+            .assign(a, "mobile")
+            .default_link(LinkModel {
+                latency: SimDuration::from_millis(10),
+                loss_prob: 1.0,
+                max_retries: 3,
+            })
+            .with_seed(3);
+        for _ in 0..25 {
+            d.send(SimTime::ZERO, a, a, 0, item());
+        }
+        let stats = *d.stats().values().next().unwrap();
+        assert_eq!(stats.sent, 25);
+        assert_eq!(stats.gave_up, 25, "exactly one give-up per message");
+        assert_eq!(stats.retransmitted, 25 * 3, "max_retries retries each");
+        assert_eq!(stats.lost, 25 * 4, "initial transmission plus retries");
+        assert_eq!(
+            stats.lost,
+            stats.retransmitted + stats.gave_up,
+            "every lost transmission is either retried or the final give-up"
+        );
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn backoff_cap_exit_still_gives_up_exactly_once() {
+        // A retry budget far past BACKOFF_SHIFT_CAP drives the loop
+        // through the capped-backoff iterations (the shift stops growing
+        // at 2^20); exiting through that path must neither overflow the
+        // schedule arithmetic nor miscount the single give-up.
+        let mut g = crate::graph::ProcessingGraph::new();
+        let a = g.add(Box::new(crate::component::FnSource::new(
+            "a",
+            kinds::RAW_STRING,
+            |_| None,
+        )));
+        let retries = BACKOFF_SHIFT_CAP as u32 + 44;
+        let mut d = Deployment::new("server")
+            .assign(a, "mobile")
+            .default_link(LinkModel {
+                latency: SimDuration::from_secs(1),
+                loss_prob: 1.0,
+                max_retries: retries,
+            })
+            .with_seed(11);
+        for _ in 0..5 {
+            d.send(SimTime::ZERO, a, a, 0, item());
+        }
+        let stats = *d.stats().values().next().unwrap();
+        assert_eq!(stats.sent, 5);
+        assert_eq!(stats.gave_up, 5, "exactly one give-up per message");
+        assert_eq!(stats.retransmitted, 5 * u64::from(retries));
+        assert_eq!(stats.lost, stats.retransmitted + stats.gave_up);
+        assert_eq!(d.in_flight(), 0);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   processing order — and therefore every channel data tree — is
 //!   byte-identical to [`Sequential`] for the same trace.
 //!
+//! A third, test-oriented executor — [`PermutedParallel`] — replays
+//! [`LevelParallel`]'s waves under seeded unit-order permutations to
+//! *validate* the independence assumption the contract below rests on
+//! (the dynamic counterpart of the analysis crate's P017 lint).
+//!
 //! # Determinism contract
 //!
 //! Both executors produce identical channel data trees, identical
@@ -108,6 +113,9 @@ pub struct EngineCtx<'a> {
 
 /// A queue entry: deliver `item` to input `port` of node.
 type Entry = (NodeId, usize, DataItem);
+
+/// One executed unit's outcome plus whatever it emitted.
+type UnitOutcome = (Result<(), CoreError>, Vec<DataItem>);
 
 /// A scheduling policy for one engine step.
 ///
@@ -852,6 +860,226 @@ impl LevelParallel {
             for (id, unit, mut out) in ctx.run_wave_parallel(tasks, workers) {
                 ctx.finish_unit(id, unit, &mut out, queue)?;
             }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// PermutedParallel — the schedule-permutation sanitizer
+// ---------------------------------------------------------------------
+
+/// A loom-lite *schedule-permutation* executor: forms exactly the waves
+/// [`LevelParallel`] would, but runs each wave's node-local units
+/// serially in a seeded pseudo-random order instead of concurrently,
+/// while routing and health settlement stay in original wave order.
+///
+/// [`LevelParallel`]'s determinism contract rests on wave members
+/// commuting — no shared state between same-wave components (what the
+/// analysis layer's P017 lint checks statically). This executor turns
+/// that assumption into something *testable*: for an interference-free
+/// graph every seed yields byte-identical channel trees, sink
+/// deliveries and health outcomes (unit order between independent nodes
+/// is unobservable); a graph whose same-wave components do share state
+/// diverges across seeds deterministically — no thread-timing luck
+/// required, unlike racing real workers. `tests/schedule_permutation.rs`
+/// runs both directions against the P017 lint.
+///
+/// This is a sanitizer, not a production scheduler: units run serially,
+/// so it buys adversarial schedule coverage, not wall-clock.
+#[derive(Debug, Clone, Copy)]
+pub struct PermutedParallel {
+    /// splitmix64 state driving the per-wave Fisher–Yates shuffle.
+    rng: u64,
+    /// Waves with ≥ 2 members seen so far — i.e. how many shuffles the
+    /// run actually exercised. A permutation test asserting on a graph
+    /// that never forms a multi-entry wave proves nothing; suites check
+    /// this counter to keep themselves honest.
+    permuted_waves: u64,
+}
+
+impl PermutedParallel {
+    /// A permutation executor driven by `seed`. Equal seeds replay the
+    /// exact same schedule; different seeds explore different unit
+    /// orders.
+    pub fn with_seed(seed: u64) -> Self {
+        PermutedParallel {
+            // splitmix64 tolerates any seed, including 0.
+            rng: seed,
+            permuted_waves: 0,
+        }
+    }
+
+    /// How many multi-entry waves (actual shuffles) ran so far.
+    pub fn permuted_waves(&self) -> u64 {
+        self.permuted_waves
+    }
+
+    /// splitmix64 — tiny, seedable, and plenty for shuffling.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Seeded Fisher–Yates over the wave's unit indices.
+    fn shuffled_order(&mut self, len: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    /// Runs a wave's units serially in shuffled order, returning the
+    /// outcomes in *original* wave order (the caller routes and settles
+    /// in that order, exactly like [`EngineCtx::run_wave_parallel`]).
+    fn run_wave_permuted(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        wave: Vec<(NodeId, Task)>,
+    ) -> Vec<(NodeId, Result<(), CoreError>, Vec<DataItem>)> {
+        if wave.len() > 1 {
+            self.permuted_waves += 1;
+        }
+        let order = self.shuffled_order(wave.len());
+        let mut slots: Vec<(NodeId, Option<Task>)> = wave
+            .into_iter()
+            .map(|(id, task)| (id, Some(task)))
+            .collect();
+        let mut results: Vec<Option<UnitOutcome>> = slots.iter().map(|_| None).collect();
+        let now = ctx.now;
+        for i in order {
+            let (id, task) = (slots[i].0, slots[i].1.take());
+            let name = ctx.node_name(id);
+            let mut out = Vec::new();
+            let unit = match ctx.graph.node_mut(id) {
+                None => Err(CoreError::UnknownNode(id)),
+                Some(node) => {
+                    let mut emit = Vec::new();
+                    let caught = catch_unwind(AssertUnwindSafe(|| match task {
+                        Some(Task::Tick) | None => tick_unit(node, now, &mut out, &mut emit),
+                        Some(Task::Input(port, item)) => {
+                            input_unit(node, port, item, now, &mut out, &mut emit)
+                        }
+                    }));
+                    match caught {
+                        Ok(r) => r,
+                        Err(payload) => Err(CoreError::ComponentFailure {
+                            component: name,
+                            reason: format!("panic: {}", panic_message(payload.as_ref())),
+                        }),
+                    }
+                }
+            };
+            results[i] = Some((unit, out));
+        }
+        slots
+            .into_iter()
+            .zip(results)
+            .map(|((id, _), r)| {
+                let (unit, out) = r.expect("every wave index ran exactly once");
+                (id, unit, out)
+            })
+            .collect()
+    }
+
+    /// Wave extraction identical to [`LevelParallel::drain_waves`], with
+    /// the parallel unit phase replaced by the permuted serial one.
+    fn drain_waves_permuted(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        queue: &mut VecDeque<Entry>,
+        scratch: &mut Scratch,
+    ) -> Result<(), CoreError> {
+        // Source phase: quarantine-filter serially in id order, run the
+        // survivors' ticks in permuted order, route + settle in id order.
+        let mut live_sources = Vec::new();
+        for src in ctx.graph.sources() {
+            if !ctx.health.is_quarantined(src, ctx.now) {
+                live_sources.push(src);
+            }
+        }
+        if live_sources.len() <= 1 {
+            for src in live_sources {
+                ctx.run_source_inline(src, queue, scratch)?;
+            }
+        } else {
+            let wave = live_sources
+                .into_iter()
+                .map(|id| (id, Task::Tick))
+                .collect();
+            for (id, unit, mut out) in self.run_wave_permuted(ctx, wave) {
+                ctx.finish_unit(id, unit, &mut out, queue)?;
+            }
+        }
+
+        // Queue phase: longest distinct-node prefix waves, exactly as
+        // LevelParallel forms them.
+        while !queue.is_empty() {
+            let mut wave: Vec<Entry> = Vec::new();
+            let mut in_wave: BTreeSet<NodeId> = BTreeSet::new();
+            while let Some((node, _, _)) = queue.front() {
+                if in_wave.contains(node) {
+                    break;
+                }
+                let (node, port, item) = queue.pop_front().expect("front checked");
+                if ctx.health.is_quarantined(node, ctx.now) {
+                    continue;
+                }
+                in_wave.insert(node);
+                wave.push((node, port, item));
+            }
+            if wave.len() <= 1 {
+                if let Some((node, port, item)) = wave.pop() {
+                    ctx.run_entry_inline(node, port, item, queue, scratch)?;
+                }
+                continue;
+            }
+            let tasks = wave
+                .into_iter()
+                .map(|(id, port, item)| (id, Task::Input(port, item)))
+                .collect();
+            for (id, unit, mut out) in self.run_wave_permuted(ctx, tasks) {
+                ctx.finish_unit(id, unit, &mut out, queue)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Executor for PermutedParallel {
+    fn mode(&self) -> ExecMode {
+        ExecMode::LevelParallel
+    }
+
+    fn step(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        let mut scratch = Scratch::default();
+        ctx.drain_prelude(pending, &mut queue)?;
+        self.drain_waves_permuted(ctx, &mut queue, &mut scratch)
+    }
+
+    fn step_batch(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        mut pending: Vec<(NodeId, DataItem)>,
+        steps: u64,
+        tick: SimDuration,
+    ) -> Result<(), CoreError> {
+        let mut queue = VecDeque::new();
+        let mut scratch = Scratch::default();
+        for _ in 0..steps {
+            ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
+            self.drain_waves_permuted(ctx, &mut queue, &mut scratch)?;
+            ctx.now += tick;
         }
         Ok(())
     }

@@ -26,6 +26,14 @@ pub enum ShardState {
 }
 
 /// Counters for one shard's supervision activity.
+///
+/// These counters are *runtime* state of the shard, not instance state:
+/// they are never captured by a [`Snapshot`](crate::fleet::Snapshot),
+/// so an instance restarted from its checkpoint keeps its channel and
+/// component counters while the supervision history stays with the
+/// shard, and a rebuilt shard starts from the build-time baseline
+/// (`instances` owned, one construction checkpoint each, everything
+/// else zero).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardStats {
     /// Instances owned by the shard.

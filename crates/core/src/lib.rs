@@ -82,7 +82,7 @@ pub mod prelude {
         ChannelFeature, ChannelId, ChannelStats, DataNode, DataTree, TreePolicy,
     };
     pub use crate::component::{
-        Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole,
+        Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole, EffectSpec,
         FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,
     };
     pub use crate::data::{kinds, Attrs, DataItem, DataKind, Payload, Position, Value};

@@ -276,7 +276,11 @@ impl Component for ParticleFilter {
         let inputs = (0..self.inputs)
             .map(|i| InputSpec::new(format!("in{i}"), vec![kinds::POSITION_WGS84]))
             .collect();
+        // The particle population is state with no snapshot hooks yet:
+        // a checkpoint restart silently re-initializes the filter, which
+        // P018 surfaces for fleet deployments.
         ComponentDescriptor::merge(self.name.clone(), inputs, vec![kinds::POSITION_WGS84])
+            .with_effects(EffectSpec::new().stateful(false))
     }
 
     fn on_input(

@@ -262,7 +262,10 @@ impl EmulatorSource {
 
 impl Component for EmulatorSource {
     fn descriptor(&self) -> ComponentDescriptor {
+        // The replay cursor is state with no snapshot hooks: restored
+        // instances restart the trace from the top (P018 under a fleet).
         ComponentDescriptor::source(self.name.clone(), self.provides.clone())
+            .with_effects(EffectSpec::new().stateful(false))
     }
 
     fn on_input(

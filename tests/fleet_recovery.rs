@@ -222,6 +222,77 @@ fn snapshots_restore_across_executors() {
 }
 
 #[test]
+fn channel_stats_survive_snapshot_restore() {
+    // The channel counters (outputs / materialized / skipped) are part
+    // of the checkpoint contract: a restored instance reports exactly
+    // the counters the original had at snapshot time, and continuing it
+    // reproduces the uninterrupted run's counters.
+    let (mut original, _, chan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut original, 17);
+    let at_snapshot = original.channel_stats(chan).unwrap();
+    assert!(at_snapshot.outputs > 0, "the pipeline produced outputs");
+    assert_eq!(
+        at_snapshot.materialized + at_snapshot.skipped,
+        at_snapshot.outputs
+    );
+    let snap = original.snapshot();
+
+    let (mut restored, _, rchan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    restored.restore(&snap).unwrap();
+    assert_eq!(
+        restored.channel_stats(rchan).unwrap(),
+        at_snapshot,
+        "restore carries the channel counters, not just the buffers"
+    );
+
+    let (mut reference, _, ref_chan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut reference, 40);
+    run(&mut restored, 23);
+    assert_eq!(
+        restored.channel_stats(rchan).unwrap(),
+        reference.channel_stats(ref_chan).unwrap()
+    );
+}
+
+#[test]
+fn shard_stats_are_runtime_state_not_snapshot_state() {
+    // ShardStats counts supervision activity of the shard *runtime*; no
+    // instance Snapshot carries it (instances keep their channel and
+    // component counters instead — see above). A rebuilt fleet therefore
+    // starts its supervision counters from the build-time baseline:
+    // instances owned, one construction checkpoint each, nothing else.
+    let factory = |_: usize| build(ExecMode::Sequential, TreePolicy::Lazy).0;
+    let config = FleetConfig {
+        shards: 2,
+        instances: 6,
+        checkpoint_every: 4,
+        ..FleetConfig::default()
+    };
+    let mut pool = FleetPool::new(config, factory);
+    pool.run(12, tick());
+    let stats = pool.stats();
+    assert!(stats.live_steps() > 0, "the fleet actually ran");
+    assert!(stats.shards.iter().all(|s| s.steps == 12));
+    assert!(
+        stats.shards.iter().all(|s| s.checkpoints > s.instances),
+        "the cadence refreshed checkpoints beyond the construction ones"
+    );
+
+    let rebuilt = FleetPool::new(config, factory);
+    for (old, fresh) in stats.shards.iter().zip(&rebuilt.stats().shards) {
+        assert_eq!(
+            *fresh,
+            ShardStats {
+                instances: old.instances,
+                checkpoints: old.instances,
+                ..ShardStats::default()
+            },
+            "rebuilt shards start from the baseline, not the history"
+        );
+    }
+}
+
+#[test]
 fn restore_rejects_structural_mismatch() {
     let (original, _, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
     let snap = original.snapshot();

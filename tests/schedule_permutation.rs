@@ -1,0 +1,267 @@
+//! Schedule-permutation sanitizer suite: validates the P017
+//! wave-interference lint against real execution.
+//!
+//! [`PermutedParallel`] forms exactly the waves [`LevelParallel`] would,
+//! but runs each wave's units in a seeded pseudo-random order. Two
+//! directions, both tied to the static analysis:
+//!
+//! * A **P017-clean** graph (no shared state between same-wave
+//!   components) is byte-identical to the sequential reference across
+//!   ≥ 8 permutation seeds — the independence assumption the
+//!   level-parallel determinism contract rests on really holds.
+//! * An **interfering** graph — two same-wave sources bumping one shared
+//!   atomic counter, the live twin of the committed
+//!   `p017_wave_interference.json` lint fixture — both trips P017 under
+//!   the level-parallel context *and* observably diverges across seeds.
+//!
+//! Together they show the lint neither under- nor over-approximates on
+//! these graphs: clean means schedule-invariant, flagged means a real
+//! schedule dependence exists.
+
+#![allow(clippy::unwrap_used)]
+use std::any::Any;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use perpos::analysis::{analyze_structure_in, Code, StructureContext};
+use perpos::core::channel::{ChannelFeature, ChannelHost, DataTree};
+use perpos::core::component::EffectSpec;
+use perpos::core::executor::{ExecMode, PermutedParallel};
+use perpos::prelude::*;
+
+/// Seeds driving the permuted schedules. Distinct seeds explore
+/// distinct per-wave unit orders.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xdead_beef, u64::MAX];
+
+/// Records the exact rendered form of every data tree — the byte-level
+/// observable the parity claims are stated over.
+#[derive(Default)]
+struct TreeLog {
+    rendered: Vec<String>,
+}
+
+impl TreeLog {
+    const NAME: &'static str = "TreeLog";
+}
+
+impl ChannelFeature for TreeLog {
+    fn descriptor(&self) -> FeatureDescriptor {
+        FeatureDescriptor::new(Self::NAME)
+    }
+    fn apply(&mut self, tree: &DataTree, _host: &mut ChannelHost<'_>) -> Result<(), CoreError> {
+        self.rendered.push(tree.render());
+        Ok(())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A source whose ticks bump a counter *shared with its same-wave twin*
+/// and emit the observed value — the canonical P017 violation. The
+/// descriptor declares the interference (`writes: ["shared-counter"]`),
+/// so the static analysis sees exactly what the runtime does.
+struct SharedCounterSource {
+    name: &'static str,
+    counter: Arc<AtomicI64>,
+}
+
+impl Component for SharedCounterSource {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::source(self.name, vec![kinds::RAW_STRING])
+            .with_effects(EffectSpec::new().writing("shared-counter"))
+    }
+    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        let v = self.counter.fetch_add(1, Ordering::SeqCst);
+        ctx.emit_value(kinds::RAW_STRING, Value::Int(v));
+        Ok(())
+    }
+    fn on_input(
+        &mut self,
+        _port: usize,
+        _item: DataItem,
+        _ctx: &mut ComponentCtx,
+    ) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+fn source(name: &str, stride: i64) -> impl Component {
+    let mut i = 0i64;
+    FnSource::new(name.to_string(), kinds::RAW_STRING, move |_| {
+        i += stride;
+        Some(Value::Int(i))
+    })
+}
+
+fn stage(name: &str, mut f: impl FnMut(i64) -> i64 + Send + 'static) -> impl Component {
+    FnProcessor::new(
+        name.to_string(),
+        vec![kinds::RAW_STRING],
+        kinds::RAW_STRING,
+        move |item| item.payload.as_i64().map(|v| Value::Int(f(v)).into()),
+    )
+}
+
+/// Everything the parity claims quantify over, rendered to strings so
+/// comparison is byte-exact.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    trees: Vec<Vec<String>>,
+    history: String,
+    steps: u64,
+}
+
+/// Runs `build`'s graph for 100 steps under the given executor (None =
+/// the sequential reference) and collects every observable.
+fn run(
+    executor: Option<PermutedParallel>,
+    build: impl FnOnce(&mut Middleware),
+) -> (Observed, Vec<perpos::core::graph::NodeInfo>) {
+    let mut mw = Middleware::new();
+    if let Some(exec) = executor {
+        mw.install_executor(Box::new(exec));
+    }
+    build(&mut mw);
+    let channels: Vec<_> = mw.channels().iter().map(|c| c.id).collect();
+    for &ch in &channels {
+        mw.attach_channel_feature(ch, TreeLog::default()).unwrap();
+    }
+    let provider = mw.location_provider(Criteria::new()).unwrap();
+    mw.run_for(SimDuration::from_secs(10), SimDuration::from_millis(100))
+        .unwrap();
+    let trees = channels
+        .iter()
+        .map(|&ch| {
+            mw.with_channel_feature_mut(ch, TreeLog::NAME, |log: &mut TreeLog| log.rendered.clone())
+                .unwrap()
+        })
+        .collect();
+    let structure = mw.structure();
+    (
+        Observed {
+            trees,
+            history: format!("{:?}", provider.history()),
+            steps: mw.steps_run(),
+        },
+        structure,
+    )
+}
+
+/// The P017-clean scenario: three independent sources (so source waves
+/// hold three units and queue waves hold parallel branch stages — there
+/// is real schedule freedom to permute), two branches merging, no
+/// shared state anywhere.
+fn build_clean(mw: &mut Middleware) {
+    let src_a = mw.add_component(source("src-a", 1));
+    let src_b = mw.add_component(source("src-b", 10));
+    let src_c = mw.add_component(source("src-c", 100));
+    let pa1 = mw.add_component(stage("pa1", |v| v * 2));
+    let pb1 = mw.add_component(stage("pb1", |v| v - 1));
+    let pc1 = mw.add_component(stage("pc1", |v| v * 7));
+    let app = mw.application_sink();
+    mw.connect(src_a, pa1, 0).unwrap();
+    mw.connect(src_b, pb1, 0).unwrap();
+    mw.connect(src_c, pc1, 0).unwrap();
+    mw.connect_to_sink(pa1, app).unwrap();
+    mw.connect_to_sink(pb1, app).unwrap();
+    mw.connect_to_sink(pc1, app).unwrap();
+}
+
+/// The interfering scenario: two same-wave sources sharing one atomic
+/// counter (declared in their effect metadata), each feeding its own
+/// stage into the sink.
+fn build_interfering(mw: &mut Middleware) {
+    let counter = Arc::new(AtomicI64::new(0));
+    let cal_a = mw.add_component(SharedCounterSource {
+        name: "cal-a",
+        counter: Arc::clone(&counter),
+    });
+    let cal_b = mw.add_component(SharedCounterSource {
+        name: "cal-b",
+        counter,
+    });
+    let pa = mw.add_component(stage("pa", |v| v * 2));
+    let pb = mw.add_component(stage("pb", |v| v * 3));
+    let app = mw.application_sink();
+    mw.connect(cal_a, pa, 0).unwrap();
+    mw.connect(cal_b, pb, 0).unwrap();
+    mw.connect_to_sink(pa, app).unwrap();
+    mw.connect_to_sink(pb, app).unwrap();
+}
+
+#[test]
+fn clean_graph_is_byte_identical_across_permutations() {
+    let (reference, structure) = run(None, build_clean);
+    assert!(
+        reference.trees.iter().any(|t| !t.is_empty()),
+        "scenario must actually derive trees: {reference:?}"
+    );
+
+    // The analysis agrees there is nothing to fear: no P017 under the
+    // level-parallel deployment context.
+    let report = analyze_structure_in(
+        &structure,
+        &StructureContext::for_executor(ExecMode::LevelParallel),
+    );
+    assert!(
+        report.with_code(Code::P017).is_empty(),
+        "clean graph must not trip P017: {}",
+        report.render_human()
+    );
+
+    // And execution agrees with the analysis: every permuted schedule
+    // reproduces the sequential reference byte for byte.
+    for seed in SEEDS {
+        let (permuted, _) = run(Some(PermutedParallel::with_seed(seed)), build_clean);
+        assert_eq!(
+            reference, permuted,
+            "P017-clean graph diverged under permutation seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn interfering_fixture_trips_p017_and_diverges() {
+    let (reference, structure) = run(None, build_interfering);
+
+    // The static analysis flags the interference, naming the wave and
+    // the shared resource.
+    let report = analyze_structure_in(
+        &structure,
+        &StructureContext::for_executor(ExecMode::LevelParallel),
+    );
+    let p017 = report.with_code(Code::P017);
+    assert_eq!(
+        p017.len(),
+        1,
+        "interfering graph must trip P017 exactly once: {}",
+        report.render_human()
+    );
+    assert!(
+        p017[0].message.contains("shared-counter"),
+        "P017 names the conflicting resource: {}",
+        p017[0].message
+    );
+
+    // ...and without the level-parallel context the same structure is
+    // P017-silent: sequential execution cannot observe the schedule.
+    let sequential = analyze_structure_in(&structure, &StructureContext::default());
+    assert!(sequential.with_code(Code::P017).is_empty());
+
+    // Execution backs the finding: at least one permuted schedule
+    // observably diverges from the sequential reference.
+    let mut diverged = 0usize;
+    for seed in SEEDS {
+        let (permuted, _) = run(Some(PermutedParallel::with_seed(seed)), build_interfering);
+        assert_eq!(permuted.steps, reference.steps);
+        if permuted != reference {
+            diverged += 1;
+        }
+    }
+    assert!(
+        diverged > 0,
+        "interfering graph must diverge under at least one of {} permutation seeds",
+        SEEDS.len()
+    );
+}
