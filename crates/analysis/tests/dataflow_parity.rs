@@ -35,7 +35,7 @@ impl Component for Stub {
         &mut self,
         _port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
@@ -298,11 +298,11 @@ fn adapting_a_quarantined_node_warns() {
             &mut self,
             _port: usize,
             _item: DataItem,
-            _ctx: &mut ComponentCtx,
+            _ctx: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, _ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, _ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             Err(CoreError::ComponentFailure {
                 component: self.name.clone(),
                 reason: "sensor down".into(),

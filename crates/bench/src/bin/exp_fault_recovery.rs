@@ -53,12 +53,12 @@ impl Component for PosSource {
         &mut self,
         _port: usize,
         _item: DataItem,
-        _ctx: &mut perpos_core::component::ComponentCtx,
+        _ctx: &mut perpos_core::component::ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
 
-    fn on_tick(&mut self, ctx: &mut perpos_core::component::ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut perpos_core::component::ComponentCtx<'_>) -> Result<(), CoreError> {
         let coord = Wgs84::new(self.lat, 10.0, 0.0).unwrap();
         let item = DataItem::new(
             kinds::POSITION_WGS84,

@@ -60,11 +60,11 @@ impl Component for FlakySource {
         &mut self,
         _p: usize,
         _i: DataItem,
-        _c: &mut ComponentCtx,
+        _c: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         if let Some(rng) = self.rng.as_mut() {
             if rng.gen::<f64>() < STEP_FAIL_PROB {
                 return Err(CoreError::ComponentFailure {

@@ -93,6 +93,16 @@ pub struct DataNode {
 }
 
 impl DataNode {
+    /// Severs arena provenance on this node's item and all children —
+    /// applied when a tree is stored beyond the producing step (history
+    /// rings, snapshots), where slot provenance would be meaningless.
+    fn detach_payloads(&mut self) {
+        self.item.payload.detach_in_place();
+        for c in &mut self.children {
+            c.detach_payloads();
+        }
+    }
+
     fn render(&self, depth: usize, out: &mut String) {
         out.push_str(&"  ".repeat(depth));
         match self.range {
@@ -165,6 +175,17 @@ impl DataTree {
         let mut out = String::new();
         self.root.render(0, &mut out);
         out
+    }
+
+    /// A copy of the tree with every item's arena provenance severed
+    /// (see [`crate::data::Payload::detach`]) — the explicit conversion
+    /// at seams that retain trees past the producing step. Values stay
+    /// behind the same shared `Arc`s; equality and serialization are
+    /// unaffected.
+    pub fn detached(&self) -> DataTree {
+        let mut t = self.clone();
+        t.root.detach_payloads();
+        t
     }
 }
 
@@ -443,7 +464,29 @@ struct LevelState {
 struct PendingEntry {
     item: DataItem,
     logical: u64,
-    range: Option<(u64, u64)>,
+    /// Claimed previous-level range, packed: `lo > hi` encodes "no
+    /// contributors" (8 bytes smaller than `Option<(u64, u64)>`, and
+    /// the claim math produces the sentinel for free — an empty claim
+    /// window is exactly `lo = hi + 1`).
+    lo: u64,
+    hi: u64,
+}
+
+impl PendingEntry {
+    /// The claimed range in `Option` form (the public tree surface).
+    fn range(&self) -> Option<(u64, u64)> {
+        (self.lo <= self.hi).then_some((self.lo, self.hi))
+    }
+
+    /// A copy with the item's arena provenance severed (snapshot seam).
+    fn detached(&self) -> PendingEntry {
+        PendingEntry {
+            item: self.item.detached(),
+            logical: self.logical,
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
 }
 
 /// Bounded ring of the most recent materialized trees — the second
@@ -634,7 +677,9 @@ impl ChannelLayer {
                         .map(|l| LevelSnapshot {
                             counter: l.counter,
                             claimed_upto: l.claimed_upto,
-                            pending: l.pending.iter().cloned().collect(),
+                            // Snapshot seam: captured ring entries carry
+                            // no provenance into the live arena's slots.
+                            pending: l.pending.iter().map(PendingEntry::detached).collect(),
                             dropped: l.dropped,
                         })
                         .collect(),
@@ -739,20 +784,18 @@ impl ChannelLayer {
         let (cid, level) = (rt.id, level as usize);
         let is_last = level + 1 == rt.levels.len();
 
-        let range = if level == 0 {
-            None
+        // The claimed window in packed form: `lo > hi` is the natural
+        // encoding of "the producer emitted without fresh upstream data"
+        // (a timer-driven component) — and of level 0, which claims
+        // nothing by definition.
+        let (lo, hi) = if level == 0 {
+            (1, 0)
         } else {
             let prev = &mut rt.levels[level - 1];
             let lo = prev.claimed_upto + 1;
             let hi = prev.counter;
             prev.claimed_upto = hi.max(prev.claimed_upto);
-            if hi >= lo {
-                Some((lo, hi))
-            } else {
-                // The producer emitted without fresh upstream data (e.g. a
-                // timer-driven component): no contributors this time.
-                None
-            }
+            (lo, hi)
         };
 
         let state = &mut rt.levels[level];
@@ -768,7 +811,8 @@ impl ChannelLayer {
                 let entry = PendingEntry {
                     item: item.clone(),
                     logical,
-                    range,
+                    lo,
+                    hi,
                 };
                 let root = build_node(&rt.levels, &rt.members, &rt.member_names, level, &entry);
                 Some(DataTree { channel: cid, root })
@@ -776,19 +820,22 @@ impl ChannelLayer {
                 rt.skipped += 1;
                 None
             };
-            prune_claimed(&mut rt.levels, level, range);
+            prune_claimed(&mut rt.levels, level, lo, hi);
             if let (Some(t), Some(h)) = (&tree, rt.history.as_mut()) {
                 if h.trees.len() == h.capacity {
                     h.trees.pop_front();
                 }
-                h.trees.push_back(t.clone());
+                // History outlives the producing step: store the tree
+                // with arena provenance severed.
+                h.trees.push_back(t.detached());
             }
             tree
         } else {
             state.pending.push_back(PendingEntry {
                 item: item.clone(),
                 logical,
-                range,
+                lo,
+                hi,
             });
             if state.pending.len() > LEVEL_BUFFER_CAP {
                 state.pending.pop_front();
@@ -1072,7 +1119,7 @@ fn build_node(
     level: usize,
     entry: &PendingEntry,
 ) -> DataNode {
-    let children = match (level, entry.range) {
+    let children = match (level, entry.range()) {
         (0, _) | (_, None) => Vec::new(),
         (_, Some((lo, hi))) => {
             // Logical times are strictly increasing along the ring, so
@@ -1091,7 +1138,7 @@ fn build_node(
         component_name: names.get(level).cloned().unwrap_or_else(|| Arc::from("")),
         item: entry.item.clone(),
         logical: entry.logical,
-        range: entry.range,
+        range: entry.range(),
         children,
     }
 }
@@ -1100,26 +1147,29 @@ fn build_node(
 /// always cover a prefix of each ring (everything with logical ≤ hi), so
 /// draining is pure `pop_front` — the front of the ring never memmoves
 /// the way `Vec::retain`/`drain(..n)` did.
-fn prune_claimed(levels: &mut [LevelState], out_level: usize, out_range: Option<(u64, u64)>) {
-    let mut range = out_range;
+fn prune_claimed(levels: &mut [LevelState], out_level: usize, out_lo: u64, out_hi: u64) {
+    let (mut lo, mut hi) = (out_lo, out_hi);
     for level in (0..out_level).rev() {
-        let Some((_, hi)) = range else { break };
+        if lo > hi {
+            break;
+        }
         let state = &mut levels[level];
         // Fold the deepest range claimed transitively while popping.
-        let mut next_range: Option<(u64, u64)> = None;
+        // No-contributor entries (packed sentinel `lo > hi`) stay out of
+        // the fold: their `hi` reflects claims made by *siblings*, which
+        // may have been evicted, not claims of their own.
+        let (mut next_lo, mut next_hi) = (u64::MAX, 0);
         while let Some(front) = state.pending.front() {
             if front.logical > hi {
                 break;
             }
-            if let Some(r) = front.range {
-                next_range = Some(match next_range {
-                    None => r,
-                    Some((lo0, hi0)) => (lo0.min(r.0), hi0.max(r.1)),
-                });
+            if front.lo <= front.hi {
+                next_lo = next_lo.min(front.lo);
+                next_hi = next_hi.max(front.hi);
             }
             state.pending.pop_front();
         }
-        range = next_range;
+        (lo, hi) = (next_lo, next_hi);
     }
 }
 
@@ -1155,7 +1205,7 @@ mod tests {
                 &mut self,
                 _p: usize,
                 _i: DataItem,
-                _c: &mut ComponentCtx,
+                _c: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 Ok(())
             }

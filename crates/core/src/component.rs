@@ -16,7 +16,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::data::{DataItem, DataKind, Value};
+use crate::data::{DataItem, DataKind, Payload, PayloadArena, Value};
 use crate::{CoreError, SimTime};
 
 /// The role a component plays in the process tree; determines how the PCL
@@ -473,28 +473,50 @@ impl ComponentDescriptor {
 /// Components produce data by calling [`ComponentCtx::emit`]; the engine
 /// then routes the emissions through attached features, channel
 /// bookkeeping and downstream ports.
-#[derive(Debug)]
-pub struct ComponentCtx {
+///
+/// On the sequential/batched execution paths the context additionally
+/// carries the engine's [`PayloadArena`], so owned-value emissions
+/// ([`ComponentCtx::emit_owned`], [`ComponentCtx::emit_with`]) land in
+/// recycled slots instead of fresh allocations. Components never see the
+/// difference: an interned and a plain payload holding the same value
+/// are observationally identical.
+pub struct ComponentCtx<'a> {
     now: SimTime,
     emitted: Vec<DataItem>,
+    arena: Option<&'a mut PayloadArena>,
 }
 
-impl ComponentCtx {
+impl fmt::Debug for ComponentCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentCtx")
+            .field("now", &self.now)
+            .field("emitted", &self.emitted)
+            .field("arena", &self.arena.is_some())
+            .finish()
+    }
+}
+
+impl<'a> ComponentCtx<'a> {
     /// Creates a context at `now`. Primarily useful when unit-testing
     /// custom components outside an engine.
     pub fn new(now: SimTime) -> Self {
         ComponentCtx {
             now,
             emitted: Vec::new(),
+            arena: None,
         }
     }
 
     /// Creates a context at `now` reusing `emitted`'s allocation — the
     /// engine loans one buffer across units so the per-item hot path
     /// allocates nothing. The buffer is cleared before use.
-    pub(crate) fn with_buffer(now: SimTime, mut emitted: Vec<DataItem>) -> Self {
+    pub(crate) fn with_buffer(
+        now: SimTime,
+        mut emitted: Vec<DataItem>,
+        arena: Option<&'a mut PayloadArena>,
+    ) -> Self {
         emitted.clear();
-        ComponentCtx { now, emitted }
+        ComponentCtx { now, emitted, arena }
     }
 
     /// The current simulated time.
@@ -509,9 +531,45 @@ impl ComponentCtx {
 
     /// Convenience: emits `payload` as a fresh item of `kind` stamped with
     /// the current time.
-    pub fn emit_value(&mut self, kind: DataKind, payload: impl Into<crate::data::Payload>) {
+    pub fn emit_value(&mut self, kind: DataKind, payload: impl Into<Payload>) {
         let item = DataItem::new(kind, self.now, payload);
         self.emit(item);
+    }
+
+    /// Emits an owned value as a fresh item of `kind`, interning it into
+    /// the engine's payload arena when one is attached (recycling a slot
+    /// instead of allocating). Equivalent to [`ComponentCtx::emit_value`]
+    /// in every observable way.
+    pub fn emit_owned(&mut self, kind: DataKind, value: Value) {
+        let payload = match self.arena.as_deref_mut() {
+            Some(arena) => arena.intern(value),
+            None => Payload::new(value),
+        };
+        self.emitted.push(DataItem::new(kind, self.now, payload));
+    }
+
+    /// Emits by writing the payload value in place — the zero-allocation
+    /// emission path. With an arena attached, `write` receives a recycled
+    /// slot whose previous heap capacity (e.g. a retained `Value::Text`
+    /// buffer) can be reused; without one it receives a fresh
+    /// [`Value::Null`]. The closure must fully overwrite the slot: the
+    /// previous *contents* are arbitrary, only the capacity is useful.
+    pub fn emit_with(&mut self, kind: DataKind, write: impl FnOnce(&mut Value)) {
+        let payload = match self.arena.as_deref_mut() {
+            Some(arena) => arena.intern_with(write),
+            None => {
+                let mut value = Value::Null;
+                write(&mut value);
+                Payload::new(value)
+            }
+        };
+        self.emitted.push(DataItem::new(kind, self.now, payload));
+    }
+
+    /// Whether a payload arena is attached (sequential/batched engine
+    /// paths only; wave workers and bare test contexts run without one).
+    pub fn has_arena(&self) -> bool {
+        self.arena.is_some()
     }
 
     /// Drains everything emitted so far. The engine calls this after
@@ -541,7 +599,7 @@ pub trait Component: Send {
         &mut self,
         port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError>;
 
     /// Called once per engine step; sources override this to sample and
@@ -550,7 +608,7 @@ pub trait Component: Send {
     /// # Errors
     ///
     /// Same contract as [`Component::on_input`].
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         let _ = ctx;
         Ok(())
     }
@@ -648,7 +706,7 @@ where
         &mut self,
         port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Err(CoreError::ComponentFailure {
             component: self.name.clone(),
@@ -656,9 +714,11 @@ where
         })
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         if let Some(v) = (self.f)(ctx.now()) {
-            ctx.emit_value(self.kind.clone(), v);
+            // Owned-value emission: lands in the engine's payload arena
+            // when the sequential path provides one.
+            ctx.emit_owned(self.kind.clone(), v);
         }
         Ok(())
     }
@@ -712,7 +772,7 @@ where
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         if let Some(v) = (self.f)(&item) {
             ctx.emit_value(self.provides.clone(), v);
@@ -726,6 +786,60 @@ impl<F> fmt::Debug for FnProcessor<F> {
         f.debug_struct("FnProcessor")
             .field("name", &self.name)
             .finish()
+    }
+}
+
+/// A pure pass-through stage: re-emits every input item's payload under
+/// its own output kind, stamped with the current time.
+///
+/// The payload is *moved* from input to output rather than cloned, so a
+/// relay hop adds no reference-count traffic — the shared value travels
+/// through the graph by handle. This is the cheapest faithful model of a
+/// forwarding stage (a protocol bridge, a kind re-labeller, a channel
+/// member that hands sentences down a pipeline).
+pub struct FnRelay {
+    name: String,
+    accepts: Vec<DataKind>,
+    provides: DataKind,
+}
+
+impl FnRelay {
+    /// Creates a relay stage accepting `accepts` and re-emitting as
+    /// `provides`.
+    pub fn new(name: impl Into<String>, accepts: Vec<DataKind>, provides: DataKind) -> Self {
+        FnRelay {
+            name: name.into(),
+            accepts,
+            provides,
+        }
+    }
+}
+
+impl Component for FnRelay {
+    fn descriptor(&self) -> ComponentDescriptor {
+        ComponentDescriptor::processor(
+            self.name.clone(),
+            InputSpec::new("in", self.accepts.clone()),
+            vec![self.provides.clone()],
+        )
+    }
+
+    fn on_input(
+        &mut self,
+        _port: usize,
+        item: DataItem,
+        ctx: &mut ComponentCtx<'_>,
+    ) -> Result<(), CoreError> {
+        // Move the payload handle through; attrs and timestamp are
+        // re-derived (fresh item at the relay's own emission time).
+        ctx.emit_value(self.provides.clone(), item.payload);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for FnRelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnRelay").field("name", &self.name).finish()
     }
 }
 

@@ -13,14 +13,37 @@
 //!   they accept and provide,
 //! * [`DataItem`] — a kind + timestamp + payload + feature-attached
 //!   attributes, the unit that travels along graph edges.
+//!
+//! # The v3 data plane: arena-interned payloads and flattened attrs
+//!
+//! Steady-state throughput is bounded by representation, not scheduling:
+//! a naive `Arc<Value>` payload plus `Arc<BTreeMap>` attrs pays one
+//! allocation per produced item and pointer-chasing on every read. Two
+//! structures remove that cost while keeping observable behavior
+//! byte-identical:
+//!
+//! * [`PayloadArena`] — a per-shard slab of recycled `Value` slots keyed
+//!   by logical time. Sources intern hot-path values
+//!   ([`PayloadArena::intern`] / [`PayloadArena::intern_with`]); the slab
+//!   reclaims whole generations at a logical-time watermark with the same
+//!   prefix-claim discipline the channel level rings use
+//!   ([`PayloadArena::advance`]) — no per-item refcount traffic on the hot
+//!   path. A [`Payload`] remembers its arena provenance in a copyable
+//!   [`PayloadRef`]; [`Payload::detach`] severs it at cross-shard seams
+//!   (distribution links, snapshots, history materialization), after
+//!   which the value behaves exactly like a plain shared `Arc`.
+//! * [`Attrs`] — flattened from a string-keyed B-tree into a small sorted
+//!   vec of ([`InternedKey`], [`Value`]) pairs behind one optional `Arc`.
+//!   Attribute names are a tiny closed set at runtime (feature names), so
+//!   a process-wide key interner turns every key into a copyable token;
+//!   the empty map — the common case on the hot path — allocates nothing.
 
 use perpos_geo::Wgs84;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::{CoreError, SimTime};
 
@@ -28,7 +51,10 @@ use crate::{CoreError, SimTime};
 ///
 /// Kinds are cheap to clone and compare. By convention they are
 /// dot-namespaced lowercase, e.g. `"position.wgs84"`. The well-known kinds
-/// used across the PerPos crates live in [`kinds`].
+/// used across the PerPos crates live in [`kinds`]. Edge routing does not
+/// compare kind strings on the hot path: the graph interns every kind that
+/// can appear on an edge into a dense `u16` id table at build time (see
+/// `ProcessingGraph`), and `as_str()` stays for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DataKind(Cow<'static, str>);
 
@@ -46,6 +72,17 @@ impl DataKind {
     /// The kind name.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// The kind name when it is a static borrow (the `kinds::*`
+    /// constants and `from_static` kinds). Statics are never freed, so
+    /// callers may use the returned reference's address as an identity
+    /// key — equal address and length imply equal strings forever.
+    pub fn as_static(&self) -> Option<&'static str> {
+        match self.0 {
+            Cow::Borrowed(s) => Some(s),
+            Cow::Owned(_) => None,
+        }
     }
 }
 
@@ -290,6 +327,252 @@ impl fmt::Display for Position {
     }
 }
 
+// ---------------------------------------------------------------------
+// Payload arena
+// ---------------------------------------------------------------------
+
+/// Copyable provenance token linking a [`Payload`] to the arena slot it
+/// was interned into: a (generation, slot) pair resolved against the
+/// owning [`PayloadArena`]. [`PayloadRef::DETACHED`] marks payloads with
+/// no arena provenance — plain shared values, or values explicitly
+/// [`Payload::detach`]ed at a cross-shard seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PayloadRef {
+    generation: u32,
+    slot: u32,
+}
+
+impl PayloadRef {
+    /// The token carried by payloads with no arena provenance.
+    pub const DETACHED: PayloadRef = PayloadRef {
+        generation: u32::MAX,
+        slot: u32::MAX,
+    };
+
+    /// Whether this token marks a detached (non-arena) payload.
+    pub fn is_detached(self) -> bool {
+        self == PayloadRef::DETACHED
+    }
+
+    /// The logical-time generation the slot belongs to (low 32 bits).
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// The slot index within its generation.
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+impl Default for PayloadRef {
+    fn default() -> Self {
+        PayloadRef::DETACHED
+    }
+}
+
+/// Counters describing a [`PayloadArena`]'s slot traffic; see
+/// [`PayloadArena::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Values interned into arena slots since creation.
+    pub interned: u64,
+    /// Slots returned to the free list for reuse.
+    pub recycled: u64,
+    /// Slots abandoned because a holder outlived the cooling window
+    /// (their memory is freed by the holder's final drop — abandoned,
+    /// not leaked).
+    pub escaped: u64,
+    /// Slots registered in not-yet-retired generations.
+    pub live: usize,
+    /// Retired slots still referenced, awaiting recycling.
+    pub cooling: usize,
+    /// Recycled slots ready for reuse.
+    pub free: usize,
+}
+
+/// Watermark distance before a sealed generation is retired: slots from
+/// generation `g` are reclaimed once the watermark passes `g + LAG`,
+/// giving level rings and other same-shard transients time to release
+/// their clones so slots recycle instead of cooling.
+pub const ARENA_RETIRE_LAG: u64 = 4;
+
+/// Upper bound on pooled free slots; beyond this, retired slots drop
+/// their buffers instead of hoarding them.
+const ARENA_FREE_CAP: usize = 512;
+
+/// Upper bound on the cooling queue (retired-but-still-referenced
+/// slots). Sized past the application sink's 1024-item history ring so
+/// sink-retained payloads cycle back instead of escaping.
+const ARENA_COOLING_CAP: usize = 4096;
+
+/// How many cooling slots one [`PayloadArena::advance`] call reinspects.
+const ARENA_SCAN_BUDGET: usize = 32;
+
+/// A per-shard slab of recycled payload slots keyed by logical time.
+///
+/// The arena's contract mirrors the channel layer's prefix-claim rings:
+/// values interned during logical time `t` join generation `t`; when the
+/// watermark advances past `t + `[`ARENA_RETIRE_LAG`], the whole
+/// generation is retired in one sweep — slots nobody else references go
+/// back to the free list (keeping their `String`/`Vec` capacity for the
+/// next intern), slots still shared move to a bounded cooling queue that
+/// is drained opportunistically. There is no per-item bookkeeping on the
+/// hot path and no unsafety: a slot is only ever rewritten while the
+/// arena holds the sole reference, so stashing an interned payload
+/// anywhere (history, snapshots, application code) is always safe — the
+/// slot simply degrades to plain shared-`Arc` semantics instead of
+/// recycling.
+///
+/// The arena changes *where bytes live*, never *what they are*: a
+/// pipeline run with and without an arena produces byte-identical trees,
+/// history and snapshots (pinned by `tests/channel_equivalence.rs`).
+#[derive(Debug, Default)]
+pub struct PayloadArena {
+    /// Uniquely-held slots ready for rewriting.
+    free: Vec<Arc<Value>>,
+    /// Sealed generations awaiting retirement, oldest first, keyed by
+    /// the watermark at seal time (strictly increasing).
+    generations: VecDeque<(u64, Vec<Arc<Value>>)>,
+    /// Slots interned since the last watermark advance.
+    current: Vec<Arc<Value>>,
+    current_gen: u64,
+    /// Retired slots that were still referenced, oldest first. Holders
+    /// release in roughly FIFO order (rings and the sink history are
+    /// FIFO), so draining from the front recovers them in O(1) amortized.
+    cooling: VecDeque<Arc<Value>>,
+    /// Emptied generation buckets kept for reuse, so sealing a
+    /// generation per step costs a pointer swap instead of a heap
+    /// allocation.
+    spare_buckets: Vec<Vec<Arc<Value>>>,
+    interned: u64,
+    recycled: u64,
+    escaped: u64,
+}
+
+impl PayloadArena {
+    /// Creates an empty arena at watermark 0.
+    pub fn new() -> Self {
+        PayloadArena::default()
+    }
+
+    /// Interns `value` into a recycled slot (or a fresh one when the
+    /// free list is dry) and returns the payload carrying its
+    /// [`PayloadRef`].
+    pub fn intern(&mut self, value: Value) -> Payload {
+        self.intern_with(|slot| *slot = value)
+    }
+
+    /// Interns by writing into the recycled slot in place. The closure
+    /// receives the slot's previous `Value` (arbitrary, typically the
+    /// variant it held last generation) so callers can reuse its heap
+    /// capacity — e.g. `write!` into a retained `Value::Text` buffer
+    /// instead of formatting into a fresh `String`.
+    pub fn intern_with(&mut self, write: impl FnOnce(&mut Value)) -> Payload {
+        let mut arc = self.free.pop().unwrap_or_else(|| Arc::new(Value::Null));
+        // Free-list slots are uniquely held by construction.
+        write(Arc::get_mut(&mut arc).expect("free arena slot uniquely held"));
+        let origin = PayloadRef {
+            generation: self.current_gen as u32,
+            slot: self.current.len() as u32,
+        };
+        self.current.push(arc.clone());
+        self.interned += 1;
+        Payload { value: arc, origin }
+    }
+
+    /// Advances the logical-time watermark: seals the current generation,
+    /// retires every generation older than `watermark -`
+    /// [`ARENA_RETIRE_LAG`] in one prefix sweep, and reinspects a bounded
+    /// number of cooling slots.
+    pub fn advance(&mut self, watermark: u64) {
+        if !self.current.is_empty() {
+            let fresh = self.spare_buckets.pop().unwrap_or_default();
+            let bucket = std::mem::replace(&mut self.current, fresh);
+            self.generations.push_back((self.current_gen, bucket));
+        }
+        self.current_gen = watermark;
+        while let Some((sealed_at, _)) = self.generations.front() {
+            if sealed_at.saturating_add(ARENA_RETIRE_LAG) > watermark {
+                break;
+            }
+            let (_, mut bucket) = self.generations.pop_front().expect("checked front");
+            for arc in bucket.drain(..) {
+                if Arc::strong_count(&arc) == 1 {
+                    self.push_free(arc);
+                } else {
+                    self.cooling.push_back(arc);
+                }
+            }
+            // The emptied bucket keeps its capacity for a later seal.
+            if self.spare_buckets.len() < 8 {
+                self.spare_buckets.push(bucket);
+            }
+        }
+        for _ in 0..ARENA_SCAN_BUDGET {
+            match self.cooling.front() {
+                Some(arc) if Arc::strong_count(arc) == 1 => {
+                    let arc = self.cooling.pop_front().expect("checked front");
+                    self.push_free(arc);
+                }
+                Some(_) if self.cooling.len() > ARENA_COOLING_CAP => {
+                    // A holder outlived the cooling window (e.g. a
+                    // component stashed the payload indefinitely); stop
+                    // tracking the slot — its memory is the holder's.
+                    self.cooling.pop_front();
+                    self.escaped += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Drops every generation and the cooling queue, keeping the free
+    /// list. Used when a shard restores from a snapshot: outstanding
+    /// interned payloads stay valid (they own their `Arc`s); the arena
+    /// just stops trying to recycle them.
+    pub fn reset(&mut self) {
+        for (_, bucket) in self.generations.drain(..) {
+            self.escaped += bucket.len() as u64;
+        }
+        self.escaped += (self.current.len() + self.cooling.len()) as u64;
+        self.current.clear();
+        self.cooling.clear();
+        self.current_gen = 0;
+    }
+
+    /// Slot-traffic counters and queue depths.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            interned: self.interned,
+            recycled: self.recycled,
+            escaped: self.escaped,
+            live: self.current.len()
+                + self
+                    .generations
+                    .iter()
+                    .map(|(_, b)| b.len())
+                    .sum::<usize>(),
+            cooling: self.cooling.len(),
+            free: self.free.len(),
+        }
+    }
+
+    /// The current logical-time watermark.
+    pub fn watermark(&self) -> u64 {
+        self.current_gen
+    }
+
+    fn push_free(&mut self, arc: Arc<Value>) {
+        if self.free.len() < ARENA_FREE_CAP {
+            self.recycled += 1;
+            self.free.push(arc);
+        } else {
+            self.escaped += 1;
+        }
+    }
+}
+
 /// A [`DataItem`] payload: a [`Value`] behind an [`Arc`], so fanning an
 /// item out to many downstream edges shares one allocation instead of
 /// deep-cloning the value per edge.
@@ -298,44 +581,86 @@ impl fmt::Display for Position {
 /// (`as_text`, `as_position`, …) work unchanged. It is immutable by
 /// sharing; the rare mutation site goes through [`Payload::make_mut`]
 /// (copy-on-write).
+///
+/// A payload produced by [`PayloadArena::intern`] additionally carries
+/// its [`PayloadRef`] provenance; equality, serialization and display
+/// ignore it (an interned and a detached payload holding the same value
+/// are indistinguishable to observers). [`Payload::detach`] severs the
+/// provenance at seams that move items across shard/process boundaries.
 #[derive(Debug, Clone, Default)]
-pub struct Payload(Arc<Value>);
+pub struct Payload {
+    value: Arc<Value>,
+    origin: PayloadRef,
+}
 
 impl Payload {
     /// Wraps a value (one allocation; every subsequent clone is an
     /// `Arc` reference-count bump).
     pub fn new(value: Value) -> Self {
-        Payload(Arc::new(value))
+        Payload {
+            value: Arc::new(value),
+            origin: PayloadRef::DETACHED,
+        }
     }
 
     /// Borrow of the wrapped value (also available via `Deref`).
     pub fn as_value(&self) -> &Value {
-        &self.0
+        &self.value
     }
 
     /// An owned deep copy of the wrapped value, for APIs that need a
     /// bare [`Value`].
     pub fn to_value(&self) -> Value {
-        (*self.0).clone()
+        (*self.value).clone()
     }
 
     /// Copy-on-write mutable access: clones the inner value only when
-    /// the payload is currently shared with another item.
+    /// the payload is currently shared with another item. Detaches the
+    /// arena provenance — the mutated value no longer matches any slot.
     pub fn make_mut(&mut self) -> &mut Value {
-        Arc::make_mut(&mut self.0)
+        self.origin = PayloadRef::DETACHED;
+        Arc::make_mut(&mut self.value)
     }
 
     /// Whether two payloads share the same allocation (zero-copy
     /// fan-out diagnostic; implies equality).
     pub fn shares_with(&self, other: &Payload) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.value, &other.value)
+    }
+
+    /// The arena provenance token ([`PayloadRef::DETACHED`] for plain
+    /// shared payloads).
+    pub fn origin(&self) -> PayloadRef {
+        self.origin
+    }
+
+    /// Whether the payload still carries arena provenance.
+    pub fn is_interned(&self) -> bool {
+        !self.origin.is_detached()
+    }
+
+    /// A copy of this payload with the arena provenance severed — the
+    /// explicit conversion applied at cross-shard seams (distribution
+    /// links, snapshot capture, history materialization). Cheap: the
+    /// value stays behind the same shared `Arc`; the arena will observe
+    /// the outstanding reference and leave the slot alone.
+    pub fn detach(&self) -> Payload {
+        Payload {
+            value: self.value.clone(),
+            origin: PayloadRef::DETACHED,
+        }
+    }
+
+    /// In-place [`Payload::detach`].
+    pub fn detach_in_place(&mut self) {
+        self.origin = PayloadRef::DETACHED;
     }
 }
 
-impl Deref for Payload {
+impl std::ops::Deref for Payload {
     type Target = Value;
     fn deref(&self) -> &Value {
-        &self.0
+        &self.value
     }
 }
 
@@ -373,31 +698,31 @@ payload_from!(
 
 impl PartialEq for Payload {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+        Arc::ptr_eq(&self.value, &other.value) || *self.value == *other.value
     }
 }
 
 impl PartialEq<Value> for Payload {
     fn eq(&self, other: &Value) -> bool {
-        *self.0 == *other
+        *self.value == *other
     }
 }
 
 impl PartialEq<Payload> for Value {
     fn eq(&self, other: &Payload) -> bool {
-        *self == *other.0
+        *self == *other.value
     }
 }
 
 impl fmt::Display for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Display::fmt(&*self.0, f)
+        fmt::Display::fmt(&*self.value, f)
     }
 }
 
 impl Serialize for Payload {
     fn to_content(&self) -> serde::Content {
-        self.0.to_content()
+        self.value.to_content()
     }
 }
 
@@ -407,85 +732,276 @@ impl Deserialize for Payload {
     }
 }
 
-/// Feature-attached attributes of a [`DataItem`], copy-on-write behind
-/// an [`Arc`]: edges and history buffers share one map; the first
-/// mutation after a share clones it.
-///
-/// Dereferences to [`BTreeMap`] for all read access; writes go through
-/// [`Attrs::insert`] / [`Attrs::remove`], which trigger the
-/// copy-on-write.
-#[derive(Debug, Clone, Default)]
-pub struct Attrs(Arc<BTreeMap<String, Value>>);
+// ---------------------------------------------------------------------
+// Interned attribute keys and flattened attrs
+// ---------------------------------------------------------------------
 
-impl Attrs {
-    /// An empty attribute map.
-    pub fn new() -> Self {
-        Attrs::default()
+/// A process-wide interned attribute key: a copyable token holding a
+/// `&'static str`. Attribute names form a tiny closed set at runtime
+/// (feature names like `"hdop"`, `"satellites"`, `"source"`), so the
+/// interner leaks each distinct name once and every later use is a
+/// pointer copy. Ordering and display follow the name string, so
+/// iteration order over [`Attrs`] is identical to the old
+/// `BTreeMap<String, _>` representation.
+#[derive(Debug, Clone, Copy, Eq)]
+pub struct InternedKey {
+    id: u32,
+    name: &'static str,
+}
+
+fn key_interner() -> &'static Mutex<BTreeMap<&'static str, InternedKey>> {
+    static KEYS: OnceLock<Mutex<BTreeMap<&'static str, InternedKey>>> = OnceLock::new();
+    KEYS.get_or_init(Mutex::default)
+}
+
+impl InternedKey {
+    /// Interns `name`, returning the process-wide token for it. The
+    /// first intern of a distinct name allocates (and intentionally
+    /// leaks) one copy; every subsequent intern is a lookup.
+    pub fn intern(name: &str) -> Self {
+        let mut keys = key_interner().lock().expect("key interner poisoned");
+        if let Some(k) = keys.get(name) {
+            return *k;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let key = InternedKey {
+            id: keys.len() as u32,
+            name: leaked,
+        };
+        keys.insert(leaked, key);
+        key
     }
 
-    /// Sets an attribute (copy-on-write when shared).
-    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
-        Arc::make_mut(&mut self.0).insert(key.into(), value)
+    /// The key name.
+    pub fn as_str(self) -> &'static str {
+        self.name
+    }
+
+    /// The dense process-wide id (assigned in first-intern order).
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for InternedKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Ids are unique per name within the process-wide interner.
+        self.id == other.id
+    }
+}
+
+impl PartialOrd for InternedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InternedKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order by name, not id, so Attrs iterate in the same order the
+        // BTreeMap representation did.
+        self.name.cmp(other.name)
+    }
+}
+
+impl std::hash::Hash for InternedKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for InternedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Feature-attached attributes of a [`DataItem`]: a flat vec of
+/// ([`InternedKey`], [`Value`]) pairs sorted by key name, behind one
+/// optional shared `Arc`.
+///
+/// The representation is tuned for the two real access patterns: the
+/// empty map (every freshly produced item — `None`, zero allocation,
+/// copied by `Clone` without touching a refcount) and a handful of
+/// feature-attached entries (one small allocation, binary-searched).
+/// Copy-on-write semantics and the observable iteration order of the
+/// previous `Arc<BTreeMap<String, Value>>` representation are preserved;
+/// serialization still renders a string-keyed map.
+#[derive(Debug, Clone, Default)]
+pub struct Attrs(Option<Arc<Vec<(InternedKey, Value)>>>);
+
+impl Attrs {
+    /// An empty attribute map (no allocation).
+    pub fn new() -> Self {
+        Attrs(None)
+    }
+
+    /// Sets an attribute (copy-on-write when shared). Returns the
+    /// previous value, if any.
+    pub fn insert(&mut self, key: impl AsRef<str>, value: Value) -> Option<Value> {
+        let key = InternedKey::intern(key.as_ref());
+        match &mut self.0 {
+            None => {
+                self.0 = Some(Arc::new(vec![(key, value)]));
+                None
+            }
+            Some(entries) => {
+                let entries = Arc::make_mut(entries);
+                match entries.binary_search_by(|(k, _)| k.as_str().cmp(key.as_str())) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        None
+                    }
+                }
+            }
+        }
     }
 
     /// Removes an attribute (copy-on-write when shared).
     pub fn remove(&mut self, key: &str) -> Option<Value> {
-        if !self.0.contains_key(key) {
-            return None;
+        let entries = self.0.as_mut()?;
+        let i = entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()?;
+        let entries = Arc::make_mut(entries);
+        let (_, v) = entries.remove(i);
+        if entries.is_empty() {
+            self.0 = None;
         }
-        Arc::make_mut(&mut self.0).remove(key)
+        Some(v)
     }
 
-    /// Whether two attribute maps share the same allocation.
+    /// Reads an attribute by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        let entries = self.0.as_ref()?;
+        let i = entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()?;
+        Some(&entries[i].1)
+    }
+
+    /// Whether an attribute with this name is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |e| e.len())
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Iterates attribute names in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates `(name, value)` pairs in sorted name order.
+    pub fn iter(&self) -> AttrsIter<'_> {
+        AttrsIter {
+            entries: self.0.as_deref().map_or(&[], |e| e.as_slice()),
+            next: 0,
+        }
+    }
+
+    /// An owned `BTreeMap` copy, for callers that need the map form
+    /// (e.g. embedding attrs in a [`Value::Map`]).
+    pub fn to_map(&self) -> BTreeMap<String, Value> {
+        self.iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Whether two attribute maps share the same allocation (both-empty
+    /// counts as shared).
     pub fn shares_with(&self, other: &Attrs) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
-impl Deref for Attrs {
-    type Target = BTreeMap<String, Value>;
-    fn deref(&self) -> &BTreeMap<String, Value> {
-        &self.0
+/// Iterator over [`Attrs`] entries in sorted name order.
+#[derive(Debug, Clone)]
+pub struct AttrsIter<'a> {
+    entries: &'a [(InternedKey, Value)],
+    next: usize,
+}
+
+impl<'a> Iterator for AttrsIter<'a> {
+    type Item = (&'a str, &'a Value);
+    fn next(&mut self) -> Option<Self::Item> {
+        let (k, v) = self.entries.get(self.next)?;
+        self.next += 1;
+        Some((k.as_str(), v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.entries.len() - self.next;
+        (rem, Some(rem))
     }
 }
 
 impl From<BTreeMap<String, Value>> for Attrs {
     fn from(m: BTreeMap<String, Value>) -> Self {
-        Attrs(Arc::new(m))
+        if m.is_empty() {
+            return Attrs(None);
+        }
+        // BTreeMap iterates sorted by name, matching the vec invariant.
+        Attrs(Some(Arc::new(
+            m.into_iter()
+                .map(|(k, v)| (InternedKey::intern(&k), v))
+                .collect(),
+        )))
     }
 }
 
 impl<'a> IntoIterator for &'a Attrs {
-    type Item = (&'a String, &'a Value);
-    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    type Item = (&'a str, &'a Value);
+    type IntoIter = AttrsIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.iter()
     }
 }
 
 impl PartialEq for Attrs {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+        self.shares_with(other)
+            || (self.len() == other.len() && self.iter().eq(other.iter()))
     }
 }
 
 impl Serialize for Attrs {
     fn to_content(&self) -> serde::Content {
-        self.0.to_content()
+        // Render the same string-keyed map the BTreeMap representation
+        // produced (entries are already name-sorted).
+        serde::Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
     }
 }
 
 impl Deserialize for Attrs {
     fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
-        BTreeMap::from_content(c).map(|m| Attrs(Arc::new(m)))
+        BTreeMap::from_content(c).map(Attrs::from)
     }
 }
 
 /// The unit of data travelling along processing-graph edges.
 ///
-/// Cloning a `DataItem` is cheap: the payload and attributes live
-/// behind shared [`Arc`]s, so fan-out to N consumers bumps reference
-/// counts instead of deep-copying the data N times.
+/// Cloning a `DataItem` is cheap: the payload lives behind a shared
+/// [`Arc`] (possibly arena-interned) and the attrs behind an optional
+/// one, so fan-out to N consumers bumps reference counts instead of
+/// deep-copying the data N times.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataItem {
     /// What the payload is.
@@ -513,14 +1029,26 @@ impl DataItem {
     }
 
     /// Builder-style attribute attachment.
-    pub fn with_attr(mut self, key: impl Into<String>, value: Value) -> Self {
-        self.attrs.insert(key.into(), value);
+    pub fn with_attr(mut self, key: impl AsRef<str>, value: Value) -> Self {
+        self.attrs.insert(key, value);
         self
     }
 
     /// Reads an attribute.
     pub fn attr(&self, key: &str) -> Option<&Value> {
         self.attrs.get(key)
+    }
+
+    /// A copy of this item with arena provenance severed (see
+    /// [`Payload::detach`]) — applied at distribution, snapshot and
+    /// history seams.
+    pub fn detached(&self) -> DataItem {
+        DataItem {
+            kind: self.kind.clone(),
+            timestamp: self.timestamp,
+            payload: self.payload.detach(),
+            attrs: self.attrs.clone(),
+        }
     }
 
     /// The payload as a position.
@@ -589,6 +1117,112 @@ mod tests {
         assert_eq!(item.attr("hdop").and_then(Value::as_f64), Some(1.5));
         assert_eq!(item.attr("nope"), None);
         assert!(format!("{item}").contains("hdop"));
+    }
+
+    #[test]
+    fn interned_keys_dedupe_and_order_by_name() {
+        let a = InternedKey::intern("zeta");
+        let b = InternedKey::intern("alpha");
+        let a2 = InternedKey::intern("zeta");
+        assert_eq!(a, a2);
+        assert_eq!(a.as_str(), "zeta");
+        assert!(b < a, "keys order by name, not intern order");
+    }
+
+    #[test]
+    fn attrs_preserve_sorted_iteration_and_cow() {
+        let mut attrs = Attrs::new();
+        assert!(attrs.is_empty());
+        attrs.insert("zeta", Value::Int(1));
+        attrs.insert("alpha", Value::Int(2));
+        attrs.insert("mid", Value::Int(3));
+        let names: Vec<&str> = attrs.keys().collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        assert_eq!(attrs.get("mid"), Some(&Value::Int(3)));
+        assert_eq!(attrs.insert("mid", Value::Int(4)), Some(Value::Int(3)));
+
+        // Copy-on-write: a clone is untouched by later inserts.
+        let shared = attrs.clone();
+        assert!(shared.shares_with(&attrs));
+        attrs.insert("new", Value::Bool(true));
+        assert!(!shared.shares_with(&attrs));
+        assert_eq!(shared.len(), 3);
+        assert_eq!(attrs.len(), 4);
+
+        assert_eq!(attrs.remove("alpha"), Some(Value::Int(2)));
+        assert_eq!(attrs.remove("alpha"), None);
+    }
+
+    #[test]
+    fn attrs_match_btreemap_serialization() {
+        let mut map = BTreeMap::new();
+        map.insert("b".to_string(), Value::Int(2));
+        map.insert("a".to_string(), Value::from("x"));
+        let attrs = Attrs::from(map.clone());
+        assert_eq!(attrs.to_content(), map.to_content());
+        assert_eq!(attrs.to_map(), map);
+        let back = Attrs::from_content(&attrs.to_content()).unwrap();
+        assert_eq!(back, attrs);
+    }
+
+    #[test]
+    fn arena_recycles_slots_at_watermark() {
+        let mut arena = PayloadArena::new();
+        let p = arena.intern(Value::Text("hello".into()));
+        assert!(p.is_interned());
+        assert_eq!(p.as_text(), Some("hello"));
+        drop(p);
+        // Generation 0 retires once the watermark passes the lag.
+        arena.advance(ARENA_RETIRE_LAG);
+        let s = arena.stats();
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.free, 1);
+        // The next intern reuses the slot; the closure sees the retained
+        // buffer.
+        let p2 = arena.intern_with(|v| {
+            assert_eq!(v.as_text(), Some("hello"));
+            if let Value::Text(s) = v {
+                s.clear();
+                s.push_str("world");
+            }
+        });
+        assert_eq!(p2.as_text(), Some("world"));
+        assert_eq!(arena.stats().free, 0);
+    }
+
+    #[test]
+    fn arena_leaves_shared_slots_alone() {
+        let mut arena = PayloadArena::new();
+        let p = arena.intern(Value::Int(7));
+        arena.advance(ARENA_RETIRE_LAG + 1);
+        // Still held by `p`: the slot cools instead of recycling and the
+        // payload stays readable.
+        assert_eq!(arena.stats().cooling, 1);
+        assert_eq!(p.as_i64(), Some(7));
+        drop(p);
+        arena.advance(ARENA_RETIRE_LAG + 2);
+        assert_eq!(arena.stats().cooling, 0);
+        assert_eq!(arena.stats().free, 1);
+    }
+
+    #[test]
+    fn detach_severs_provenance_not_value() {
+        let mut arena = PayloadArena::new();
+        let p = arena.intern(Value::from("x"));
+        let d = p.detach();
+        assert!(p.is_interned());
+        assert!(!d.is_interned());
+        assert!(d.shares_with(&p));
+        assert_eq!(d, p);
+    }
+
+    #[test]
+    fn interned_and_plain_payloads_serialize_identically() {
+        let mut arena = PayloadArena::new();
+        let interned = arena.intern(Value::from("nmea"));
+        let plain = Payload::new(Value::from("nmea"));
+        assert_eq!(interned.to_content(), plain.to_content());
+        assert_eq!(interned, plain);
     }
 
     #[test]

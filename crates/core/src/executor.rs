@@ -51,7 +51,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::channel::ChannelLayer;
 use crate::component::ComponentCtx;
-use crate::data::{DataItem, DataKind};
+use crate::data::{DataItem, DataKind, Payload, PayloadArena, Value};
 use crate::distribution::Deployment;
 use crate::feature::{FeatureAction, FeatureHost};
 use crate::graph::{Node, NodeId, ProcessingGraph};
@@ -109,10 +109,74 @@ pub struct EngineCtx<'a> {
     pub(crate) health: &'a mut HealthRegistry,
     pub(crate) deployment: Option<&'a mut Deployment>,
     pub(crate) now: SimTime,
+    /// The shard's payload arena, when interning is enabled. Only the
+    /// inline (sequential) unit paths consume it; wave workers run
+    /// without it — byte-identical output either way, since an interned
+    /// and a plain payload holding the same value are indistinguishable.
+    pub(crate) arena: Option<&'a mut PayloadArena>,
+    /// Logical time driving arena reclamation: advanced once per
+    /// completed step ([`EngineCtx::end_step`]), seeded from the
+    /// middleware's step counter.
+    pub(crate) watermark: u64,
+    /// One-entry memo for [`ProcessingGraph::kind_id`] resolution,
+    /// keyed by the address and length of a `Cow::Borrowed(&'static
+    /// str)` kind. Statics are never freed, so pointer identity implies
+    /// string identity; owned kinds bypass the memo. `(0, 0, None)`
+    /// matches nothing. Sound across the context's lifetime because the
+    /// kind table cannot change while the engine mutably borrows the
+    /// graph.
+    kind_memo: (usize, usize, Option<u16>),
 }
+
+/// How many completed steps between arena reclamation sweeps (a power
+/// of two so the stride check folds to a mask). See
+/// [`EngineCtx::end_step`].
+const ARENA_ADVANCE_STRIDE: u64 = 8;
 
 /// A queue entry: deliver `item` to input `port` of node.
 type Entry = (NodeId, usize, DataItem);
+
+/// FIFO entry queue with an inline head slot. In a linear pipeline the
+/// queue never holds more than one in-flight entry, so the common case
+/// stays out of the ring buffer entirely: no growth check, no index
+/// arithmetic, no heap allocation — one `Option` on the stack. Order is
+/// exactly FIFO: the slot is filled only when it is free *and* the ring
+/// is empty (so everything in `rest` is younger than `head`), and pops
+/// always drain the slot first.
+#[derive(Default)]
+struct RunQueue {
+    head: Option<Entry>,
+    rest: VecDeque<Entry>,
+}
+
+impl RunQueue {
+    #[inline]
+    fn push_back(&mut self, entry: Entry) {
+        if self.head.is_none() && self.rest.is_empty() {
+            self.head = Some(entry);
+        } else {
+            self.rest.push_back(entry);
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<Entry> {
+        match self.head.take() {
+            Some(e) => Some(e),
+            None => self.rest.pop_front(),
+        }
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&Entry> {
+        self.head.as_ref().or_else(|| self.rest.front())
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head.is_none() && self.rest.is_empty()
+    }
+}
 
 /// One executed unit's outcome plus whatever it emitted.
 type UnitOutcome = (Result<(), CoreError>, Vec<DataItem>);
@@ -165,6 +229,32 @@ pub trait Executor: Send {
             ctx.now += tick;
         }
         Ok(())
+    }
+
+    /// Ingests a pre-lexed block of trace lines: each line runs as one
+    /// engine step in which `source` emits the line (as [`Value::Text`]
+    /// of `kind`) instead of being ticked — the batch entry point behind
+    /// [`Middleware::ingest_batch`](crate::Middleware::ingest_batch).
+    ///
+    /// Injection is inherently serial (routing order is the determinism
+    /// contract), so every executor shares the sequential implementation;
+    /// the results are byte-identical to a source ticking out the same
+    /// lines under any executor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownNode`] when `source` is not in the graph;
+    /// otherwise the same fault semantics as [`Executor::step_batch`].
+    fn ingest_batch(
+        &mut self,
+        ctx: &mut EngineCtx<'_>,
+        pending: Vec<(NodeId, DataItem)>,
+        source: NodeId,
+        kind: &DataKind,
+        lines: &[&str],
+        tick: SimDuration,
+    ) -> Result<u64, CoreError> {
+        ctx.run_ingest(source, kind, lines, tick, pending)
     }
 }
 
@@ -272,8 +362,23 @@ fn tick_unit(
     now: SimTime,
     out: &mut Vec<DataItem>,
     emit: &mut Vec<DataItem>,
+    arena: Option<&mut PayloadArena>,
 ) -> Result<(), CoreError> {
-    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit));
+    // Featureless nodes — the common case — emit straight into the
+    // routing buffer: no per-emission feature pass, no second move.
+    if node.features.is_empty() {
+        let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(out), arena);
+        let r = node.component.on_tick(&mut ctx);
+        let mut buf = ctx.take_emitted();
+        if r.is_err() {
+            // A failing tick routes nothing, same as the feature path
+            // where `emitted` dies with the context.
+            buf.clear();
+        }
+        *out = buf;
+        return r;
+    }
+    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit), arena);
     node.component.on_tick(&mut ctx)?;
     let mut emitted = ctx.take_emitted();
     for item in emitted.drain(..) {
@@ -294,11 +399,26 @@ fn input_unit(
     now: SimTime,
     out: &mut Vec<DataItem>,
     emit: &mut Vec<DataItem>,
+    arena: Option<&mut PayloadArena>,
 ) -> Result<(), CoreError> {
+    // Featureless fast path, mirroring `tick_unit`: deliver and emit
+    // straight into the routing buffer.
+    if node.features.is_empty() {
+        let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(out), arena);
+        let r = node.component.on_input(port, item, &mut ctx);
+        let mut buf = ctx.take_emitted();
+        if r.is_err() {
+            // A failing delivery routes nothing, matching the feature
+            // path where `emitted` dies with the context.
+            buf.clear();
+        }
+        *out = buf;
+        return r;
+    }
     let (passed, extras) = consume_features(node, item, now)?;
     out.extend(extras);
     let Some(item) = passed else { return Ok(()) };
-    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit));
+    let mut ctx = ComponentCtx::with_buffer(now, std::mem::take(emit), arena);
     node.component.on_input(port, item, &mut ctx)?;
     let mut emitted = ctx.take_emitted();
     for item in emitted.drain(..) {
@@ -347,8 +467,8 @@ fn run_cell(cell: &mut Cell<'_>, now: SimTime) {
     let out = &mut cell.out;
     let mut emit = Vec::new();
     let caught = catch_unwind(AssertUnwindSafe(|| match task {
-        Some(Task::Tick) | None => tick_unit(node, now, out, &mut emit),
-        Some(Task::Input(port, item)) => input_unit(node, port, item, now, out, &mut emit),
+        Some(Task::Tick) | None => tick_unit(node, now, out, &mut emit, None),
+        Some(Task::Input(port, item)) => input_unit(node, port, item, now, out, &mut emit, None),
     }));
     cell.result = match caught {
         Ok(r) => r,
@@ -371,13 +491,6 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Whether `target` declares an input at `port` accepting `kind`.
-fn accepts_input(graph: &ProcessingGraph, target: NodeId, port: usize, kind: &DataKind) -> bool {
-    graph
-        .node(target)
-        .and_then(|n| n.descriptor.inputs.get(port))
-        .is_some_and(|spec| spec.accepts_kind(kind))
-}
 
 // ---------------------------------------------------------------------
 // EngineCtx — routing, supervision bookkeeping, shared step scaffolding
@@ -390,6 +503,8 @@ impl EngineCtx<'_> {
         health: &'a mut HealthRegistry,
         deployment: Option<&'a mut Deployment>,
         now: SimTime,
+        arena: Option<&'a mut PayloadArena>,
+        watermark: u64,
     ) -> EngineCtx<'a> {
         EngineCtx {
             graph,
@@ -397,6 +512,27 @@ impl EngineCtx<'_> {
             health,
             deployment,
             now,
+            arena,
+            watermark,
+            kind_memo: (0, 0, None),
+        }
+    }
+
+    /// Marks one step complete: bumps the logical-time watermark and
+    /// periodically lets the arena seal/retire generations against it.
+    /// Executors call this after every successfully drained step.
+    ///
+    /// Reclamation is amortized over [`ARENA_ADVANCE_STRIDE`] steps:
+    /// sealing less often only delays when slots recycle (the free list
+    /// self-balances by allocating fresh slots in the meantime) — the
+    /// bytes flowing through the graph are untouched either way, since
+    /// the arena changes where values live, never what they are.
+    fn end_step(&mut self) {
+        self.watermark += 1;
+        if self.watermark % ARENA_ADVANCE_STRIDE == 0 {
+            if let Some(arena) = self.arena.as_deref_mut() {
+                arena.advance(self.watermark);
+            }
         }
     }
 
@@ -413,11 +549,28 @@ impl EngineCtx<'_> {
         &mut self,
         id: NodeId,
         item: DataItem,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
     ) -> Result<(), CoreError> {
         let now = self.now;
         if let Some(tree) = self.channels.record(id, &item) {
-            let emitted = self.channels.apply_features(self.graph, &tree, now)?;
+            // Channel Features are the only user code on the routing
+            // path; the panic fence sits exactly here so the pure
+            // bookkeeping around it stays fence-free.
+            let EngineCtx {
+                graph, channels, ..
+            } = self;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                channels.apply_features(graph, &tree, now)
+            }));
+            let emitted = match caught {
+                Ok(r) => r?,
+                Err(payload) => {
+                    return Err(CoreError::ComponentFailure {
+                        component: self.node_name(id),
+                        reason: format!("panic: {}", panic_message(payload.as_ref())),
+                    })
+                }
+            };
             for (node, extra) in emitted {
                 self.route_item(node, extra, queue)?;
             }
@@ -425,15 +578,35 @@ impl EngineCtx<'_> {
         // Split the borrows so the downstream slice resolves once per
         // item while the deployment stays mutably reachable.
         let EngineCtx {
-            graph, deployment, ..
+            graph,
+            deployment,
+            kind_memo,
+            ..
         } = self;
         let downstream = graph.downstream(id);
-        let kind = item.kind.clone();
+        // Resolve the item's kind against the dense kind table once;
+        // each edge check is then a `u16` comparison, not a string one.
+        // Static kinds (the `kinds::*` constants, i.e. every hot path)
+        // resolve by pointer identity against the memo instead of a
+        // string search.
+        let kind_id = match item.kind.as_static() {
+            Some(s) => {
+                let key = (s.as_ptr() as usize, s.len());
+                if (key.0, key.1) == (kind_memo.0, kind_memo.1) {
+                    kind_memo.2
+                } else {
+                    let resolved = graph.kind_id(&item.kind);
+                    *kind_memo = (key.0, key.1, resolved);
+                    resolved
+                }
+            }
+            None => graph.kind_id(&item.kind),
+        };
         // Single-edge fast path — the overwhelmingly common shape in a
         // linear pipeline: one acceptance check, item moved, no counting
         // pass.
         if let [(target, port)] = *downstream {
-            if accepts_input(graph, target, port, &kind) {
+            if graph.accepts_by_id(target, port, kind_id) {
                 match deployment.as_deref_mut() {
                     Some(d) if d.crosses_hosts(id, target) => {
                         d.send(now, id, target, port, item);
@@ -445,11 +618,11 @@ impl EngineCtx<'_> {
         }
         let mut remaining = downstream
             .iter()
-            .filter(|&&(t, p)| accepts_input(graph, t, p, &kind))
+            .filter(|&&(t, p)| graph.accepts_by_id(t, p, kind_id))
             .count();
         let mut item = Some(item);
         for &(target, port) in downstream {
-            if !accepts_input(graph, target, port, &kind) {
+            if !graph.accepts_by_id(target, port, kind_id) {
                 continue;
             }
             remaining -= 1;
@@ -479,7 +652,7 @@ impl EngineCtx<'_> {
     fn drain_prelude(
         &mut self,
         pending: Vec<(NodeId, DataItem)>,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
     ) -> Result<(), CoreError> {
         let now = self.now;
         if let Some(dep) = self.deployment.as_deref_mut() {
@@ -515,30 +688,29 @@ impl EngineCtx<'_> {
     ///
     /// Routing happens even when the unit faulted mid-way: `out` holds
     /// exactly the items the sequential engine had already routed before
-    /// the fault hit. Routing errors and panics are attributed to the
-    /// node like any other fault. `out` is drained, not consumed, so
-    /// callers can reuse one buffer across units.
+    /// the fault hit. Routing errors — including Channel Feature panics,
+    /// fenced inside [`route_item`](Self::route_item) — are attributed
+    /// to the node like any other fault. `out` is drained, not consumed,
+    /// so callers can reuse one buffer across units.
     fn finish_unit(
         &mut self,
         id: NodeId,
         unit: Result<(), CoreError>,
         out: &mut Vec<DataItem>,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
     ) -> Result<(), CoreError> {
-        let route = catch_unwind(AssertUnwindSafe(|| {
-            for item in out.drain(..) {
-                self.route_item(id, item, queue)?;
+        let mut route = Ok(());
+        for item in out.drain(..) {
+            route = self.route_item(id, item, queue);
+            if route.is_err() {
+                // The drain guard discards what's left unrouted.
+                break;
             }
-            Ok(())
-        }));
+        }
         let err = match (route, unit) {
-            (Err(payload), _) => Some(CoreError::ComponentFailure {
-                component: self.node_name(id),
-                reason: format!("panic: {}", panic_message(payload.as_ref())),
-            }),
-            (Ok(Err(e)), _) => Some(e),
-            (Ok(Ok(())), Err(e)) => Some(e),
-            (Ok(Ok(())), Ok(())) => None,
+            (Err(e), _) => Some(e),
+            (Ok(()), Err(e)) => Some(e),
+            (Ok(()), Ok(())) => None,
         };
         match err {
             Some(e) => self.resolve_fault(id, e),
@@ -554,15 +726,17 @@ impl EngineCtx<'_> {
     fn run_source_inline(
         &mut self,
         id: NodeId,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
         scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
         let unit = match self.graph.node_mut(id) {
             None => Err(CoreError::UnknownNode(id)),
             Some(node) => {
                 let now = self.now;
+                let arena = self.arena.as_deref_mut();
                 let Scratch { out, emit } = scratch;
-                let caught = catch_unwind(AssertUnwindSafe(|| tick_unit(node, now, out, emit)));
+                let caught =
+                    catch_unwind(AssertUnwindSafe(|| tick_unit(node, now, out, emit, arena)));
                 match caught {
                     Ok(r) => r,
                     Err(payload) => Err(CoreError::ComponentFailure {
@@ -582,16 +756,17 @@ impl EngineCtx<'_> {
         id: NodeId,
         port: usize,
         item: DataItem,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
         scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
         let unit = match self.graph.node_mut(id) {
             None => Err(CoreError::UnknownNode(id)),
             Some(node) => {
                 let now = self.now;
+                let arena = self.arena.as_deref_mut();
                 let Scratch { out, emit } = scratch;
                 let caught = catch_unwind(AssertUnwindSafe(|| {
-                    input_unit(node, port, item, now, out, emit)
+                    input_unit(node, port, item, now, out, emit, arena)
                 }));
                 match caught {
                     Ok(r) => r,
@@ -613,7 +788,7 @@ impl EngineCtx<'_> {
     fn run_sequential_from(
         &mut self,
         sources: &[NodeId],
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
         scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
         for &src in sources {
@@ -635,10 +810,129 @@ impl EngineCtx<'_> {
 
     /// One-shot sequential drain. Shared by [`Sequential`] and by
     /// [`LevelParallel`]'s single-worker / linear-graph fast path.
-    fn run_sequential(&mut self, queue: &mut VecDeque<Entry>) -> Result<(), CoreError> {
+    fn run_sequential(&mut self, queue: &mut RunQueue) -> Result<(), CoreError> {
         let sources = self.graph.sources();
         let mut scratch = Scratch::default();
         self.run_sequential_from(&sources, queue, &mut scratch)
+    }
+
+    /// Block ingest: every `lines` element becomes one engine step in
+    /// which `source` emits the line as a [`Value::Text`] item of `kind`
+    /// — interned straight into the arena when one is attached — instead
+    /// of being ticked. Produce features, routing, channel bookkeeping,
+    /// supervision and the watermark advance are exactly the per-step
+    /// machinery, with the queue and routing scratch hoisted across the
+    /// whole block (the same hoisting [`Executor::step_batch`] does), so
+    /// the per-line path allocates nothing in steady state.
+    ///
+    /// Returns the number of lines ingested (= steps run). Lines offered
+    /// while the source is quarantined are consumed and dropped, exactly
+    /// as a quarantined source's tick is skipped.
+    pub(crate) fn run_ingest(
+        &mut self,
+        source: NodeId,
+        kind: &DataKind,
+        lines: &[&str],
+        tick: SimDuration,
+        mut pending: Vec<(NodeId, DataItem)>,
+    ) -> Result<u64, CoreError> {
+        if !self.graph.contains(source) {
+            return Err(CoreError::UnknownNode(source));
+        }
+        let mut queue = RunQueue::default();
+        let mut scratch = Scratch::default();
+        let mut ingested = 0u64;
+        for &line in lines {
+            self.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
+            if !self.health.is_quarantined(source, self.now) {
+                // Build the item as if `source` emitted it this tick.
+                let payload = match self.arena.as_deref_mut() {
+                    Some(arena) => arena.intern_with(|slot| match slot {
+                        // Reuse the recycled slot's String capacity.
+                        Value::Text(s) => {
+                            s.clear();
+                            s.push_str(line);
+                        }
+                        other => *other = Value::Text(line.to_string()),
+                    }),
+                    None => Payload::new(Value::Text(line.to_string())),
+                };
+                let item = DataItem::new(kind.clone(), self.now, payload);
+                // The unit for an injected emission is the produce-feature
+                // pass alone (there is no on_tick); panics are contained
+                // and attributed to the source like any tick fault. A
+                // featureless source runs no user code here, so the
+                // panic fence is skipped.
+                let unit = match self.graph.node_mut(source) {
+                    None => Err(CoreError::UnknownNode(source)),
+                    Some(node) if node.features.is_empty() => {
+                        scratch.out.push(item);
+                        Ok(())
+                    }
+                    Some(node) => {
+                        let now = self.now;
+                        let out = &mut scratch.out;
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            produce_features(node, item, now, out)
+                        }));
+                        match caught {
+                            Ok(r) => r,
+                            Err(payload) => Err(CoreError::ComponentFailure {
+                                component: self.node_name(source),
+                                reason: format!("panic: {}", panic_message(payload.as_ref())),
+                            }),
+                        }
+                    }
+                };
+                self.finish_unit(source, unit, &mut scratch.out, &mut queue)?;
+                // One panic fence around the whole drain instead of one
+                // per unit: `current` names the node whose unit is in
+                // flight, so a caught unwind is attributed and settled
+                // exactly as the per-unit fence in
+                // [`run_entry_inline`](Self::run_entry_inline) would —
+                // the unit's partial emissions still route, the fault
+                // policy still applies, and the drain resumes.
+                let mut current = source;
+                loop {
+                    let caught = {
+                        let (cur, q, s) = (&mut current, &mut queue, &mut scratch);
+                        catch_unwind(AssertUnwindSafe(|| -> Result<(), CoreError> {
+                            while let Some((node, port, item)) = q.pop_front() {
+                                if self.health.is_quarantined(node, self.now) {
+                                    continue;
+                                }
+                                *cur = node;
+                                let unit = match self.graph.node_mut(node) {
+                                    None => Err(CoreError::UnknownNode(node)),
+                                    Some(n) => {
+                                        input_unit(n, port, item, self.now, &mut s.out, &mut s.emit, self.arena.as_deref_mut())
+                                    }
+                                };
+                                self.finish_unit(node, unit, &mut s.out, q)?;
+                            }
+                            Ok(())
+                        }))
+                    };
+                    match caught {
+                        Ok(r) => {
+                            r?;
+                            break;
+                        }
+                        Err(payload) => {
+                            let err = CoreError::ComponentFailure {
+                                component: self.node_name(current),
+                                reason: format!("panic: {}", panic_message(payload.as_ref())),
+                            };
+                            self.finish_unit(current, Err(err), &mut scratch.out, &mut queue)?;
+                        }
+                    }
+                }
+            }
+            ingested += 1;
+            self.now += tick;
+            self.end_step();
+        }
+        Ok(ingested)
     }
 
     /// Runs a wave of units over pairwise-distinct nodes on `workers`
@@ -709,9 +1003,11 @@ impl Executor for Sequential {
         ctx: &mut EngineCtx<'_>,
         pending: Vec<(NodeId, DataItem)>,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         ctx.drain_prelude(pending, &mut queue)?;
-        ctx.run_sequential(&mut queue)
+        ctx.run_sequential(&mut queue)?;
+        ctx.end_step();
+        Ok(())
     }
 
     fn step_batch(
@@ -726,12 +1022,13 @@ impl Executor for Sequential {
         // routing scratch. The inner loop then allocates nothing of its
         // own — per-item cost is the unit itself plus ring pushes.
         let sources = ctx.graph.sources();
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         let mut scratch = Scratch::default();
         for _ in 0..steps {
             ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
             ctx.run_sequential_from(&sources, &mut queue, &mut scratch)?;
             ctx.now += tick;
+            ctx.end_step();
         }
         Ok(())
     }
@@ -795,7 +1092,7 @@ impl LevelParallel {
     fn drain_waves(
         &mut self,
         ctx: &mut EngineCtx<'_>,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
         scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
         let workers = self.workers;
@@ -961,9 +1258,9 @@ impl PermutedParallel {
                 Some(node) => {
                     let mut emit = Vec::new();
                     let caught = catch_unwind(AssertUnwindSafe(|| match task {
-                        Some(Task::Tick) | None => tick_unit(node, now, &mut out, &mut emit),
+                        Some(Task::Tick) | None => tick_unit(node, now, &mut out, &mut emit, None),
                         Some(Task::Input(port, item)) => {
-                            input_unit(node, port, item, now, &mut out, &mut emit)
+                            input_unit(node, port, item, now, &mut out, &mut emit, None)
                         }
                     }));
                     match caught {
@@ -992,7 +1289,7 @@ impl PermutedParallel {
     fn drain_waves_permuted(
         &mut self,
         ctx: &mut EngineCtx<'_>,
-        queue: &mut VecDeque<Entry>,
+        queue: &mut RunQueue,
         scratch: &mut Scratch,
     ) -> Result<(), CoreError> {
         // Source phase: quarantine-filter serially in id order, run the
@@ -1061,10 +1358,12 @@ impl Executor for PermutedParallel {
         ctx: &mut EngineCtx<'_>,
         pending: Vec<(NodeId, DataItem)>,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         let mut scratch = Scratch::default();
         ctx.drain_prelude(pending, &mut queue)?;
-        self.drain_waves_permuted(ctx, &mut queue, &mut scratch)
+        self.drain_waves_permuted(ctx, &mut queue, &mut scratch)?;
+        ctx.end_step();
+        Ok(())
     }
 
     fn step_batch(
@@ -1074,12 +1373,13 @@ impl Executor for PermutedParallel {
         steps: u64,
         tick: SimDuration,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         let mut scratch = Scratch::default();
         for _ in 0..steps {
             ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
             self.drain_waves_permuted(ctx, &mut queue, &mut scratch)?;
             ctx.now += tick;
+            ctx.end_step();
         }
         Ok(())
     }
@@ -1095,10 +1395,12 @@ impl Executor for LevelParallel {
         ctx: &mut EngineCtx<'_>,
         pending: Vec<(NodeId, DataItem)>,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         let mut scratch = Scratch::default();
         ctx.drain_prelude(pending, &mut queue)?;
-        self.drain_waves(ctx, &mut queue, &mut scratch)
+        self.drain_waves(ctx, &mut queue, &mut scratch)?;
+        ctx.end_step();
+        Ok(())
     }
 
     fn step_batch(
@@ -1108,12 +1410,13 @@ impl Executor for LevelParallel {
         steps: u64,
         tick: SimDuration,
     ) -> Result<(), CoreError> {
-        let mut queue = VecDeque::new();
+        let mut queue = RunQueue::default();
         let mut scratch = Scratch::default();
         for _ in 0..steps {
             ctx.drain_prelude(std::mem::take(&mut pending), &mut queue)?;
             self.drain_waves(ctx, &mut queue, &mut scratch)?;
             ctx.now += tick;
+            ctx.end_step();
         }
         Ok(())
     }

@@ -387,7 +387,7 @@ mod tests {
                 &mut self,
                 _p: usize,
                 _i: DataItem,
-                _c: &mut ComponentCtx,
+                _c: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 Ok(())
             }

@@ -268,11 +268,11 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             self.counter += 1;
             if self.period > 0 && self.counter % self.period == self.phase {
                 return Err(CoreError::ComponentFailure {
@@ -310,11 +310,11 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             use rand::Rng;
             self.counter += 1;
             if self.rng.gen::<f64>() < self.rate {

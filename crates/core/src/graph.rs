@@ -54,6 +54,11 @@ pub(crate) struct Node {
     /// per-item connect/accepts checks on the hot path stay
     /// allocation-free.
     provides: Vec<DataKind>,
+    /// Per input port, the accepted kinds as dense ids into the graph's
+    /// kind table (`None` = the port accepts any kind). Rebuilt by
+    /// [`ProcessingGraph::refresh_kind_table`] on every structural
+    /// mutation, so edge routing compares `u16`s instead of strings.
+    pub(crate) accept_ids: Vec<Option<Box<[u16]>>>,
 }
 
 impl Node {
@@ -67,6 +72,7 @@ impl Node {
             inputs,
             outputs: Vec::new(),
             provides: Vec::new(),
+            accept_ids: Vec::new(),
         };
         node.refresh_provides();
         node
@@ -230,6 +236,11 @@ pub struct ProcessingGraph {
     /// invalidated by every structural mutation (add / remove / connect /
     /// disconnect) and recomputed lazily on next access.
     levels: Option<Vec<Vec<NodeId>>>,
+    /// The interned kind namespace: every kind string any input port
+    /// accepts, sorted, so `id = sorted index`. Rebuilt eagerly with
+    /// each structural mutation; per-item routing then resolves an
+    /// item's kind to an id once and compares `u16`s per edge.
+    kind_names: Vec<Box<str>>,
 }
 
 impl fmt::Debug for ProcessingGraph {
@@ -252,6 +263,7 @@ impl ProcessingGraph {
         let id = NodeId(self.next_id);
         self.nodes.insert(id, Node::new(component));
         self.levels = None;
+        self.refresh_kind_table();
         id
     }
 
@@ -272,6 +284,7 @@ impl ProcessingGraph {
             }
         }
         self.levels = None;
+        self.refresh_kind_table();
         Ok(node.component)
     }
 
@@ -336,6 +349,7 @@ impl ProcessingGraph {
             .ok_or(CoreError::UnknownNode(to))?
             .inputs[port] = Some(from);
         self.levels = None;
+        self.refresh_kind_table();
         Ok(())
     }
 
@@ -359,6 +373,7 @@ impl ProcessingGraph {
             }
         }
         self.levels = None;
+        self.refresh_kind_table();
         Ok(producer)
     }
 
@@ -454,6 +469,89 @@ impl ProcessingGraph {
         let feature = node.features.remove(idx).feature;
         node.refresh_provides();
         Ok(feature)
+    }
+
+    /// Rebuilds the dense kind-id table: collects every kind string any
+    /// input port accepts, sorts it, and stores each port's accepted set
+    /// as ids into that table. Runs on structural mutation (the kind
+    /// namespace is closed between mutations), so per-item routing pays
+    /// one id resolution per item and a `u16` comparison per edge.
+    fn refresh_kind_table(&mut self) {
+        let mut names: Vec<Box<str>> = Vec::new();
+        for (_, node) in self.nodes.iter() {
+            for spec in &node.descriptor.inputs {
+                for kind in &spec.accepts {
+                    if !names.iter().any(|n| n.as_ref() == kind.as_str()) {
+                        names.push(kind.as_str().into());
+                    }
+                }
+            }
+        }
+        names.sort_unstable();
+        debug_assert!(
+            names.len() <= u16::MAX as usize,
+            "kind namespace exceeds the dense u16 id space"
+        );
+        for node in self.nodes.values_mut() {
+            node.accept_ids = node
+                .descriptor
+                .inputs
+                .iter()
+                .map(|spec| {
+                    if spec.accepts.is_empty() {
+                        None // accepts any kind
+                    } else {
+                        Some(
+                            spec.accepts
+                                .iter()
+                                .filter_map(|k| {
+                                    names
+                                        .binary_search_by(|n| n.as_ref().cmp(k.as_str()))
+                                        .ok()
+                                        .map(|i| i as u16)
+                                })
+                                .collect(),
+                        )
+                    }
+                })
+                .collect();
+        }
+        self.kind_names = names;
+    }
+
+    /// Resolves a kind to its dense id, if any input port in the graph
+    /// accepts it by name. Kinds outside the table can only be consumed
+    /// by accepts-any ports.
+    pub fn kind_id(&self, kind: &DataKind) -> Option<u16> {
+        self.kind_names
+            .binary_search_by(|n| n.as_ref().cmp(kind.as_str()))
+            .ok()
+            .map(|i| i as u16)
+    }
+
+    /// The interned kind namespace as `(name, id)` pairs, for
+    /// diagnostics.
+    pub fn kind_table(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.kind_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_ref(), i as u16))
+    }
+
+    /// Whether `target` declares an input at `port` accepting the kind
+    /// with dense id `kind_id` — the routing-hot-path equivalent of the
+    /// string-comparing `InputSpec::accepts_kind`.
+    pub(crate) fn accepts_by_id(
+        &self,
+        target: NodeId,
+        port: usize,
+        kind_id: Option<u16>,
+    ) -> bool {
+        match self.nodes.get(&target).and_then(|n| n.accept_ids.get(port)) {
+            Some(None) => true,
+            Some(Some(ids)) => kind_id.is_some_and(|k| ids.contains(&k)),
+            None => false,
+        }
     }
 
     /// All node ids in insertion order, without allocating.
@@ -857,7 +955,7 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
@@ -978,7 +1076,7 @@ mod tests {
                 &mut self,
                 _p: usize,
                 _i: DataItem,
-                _c: &mut ComponentCtx,
+                _c: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 Ok(())
             }

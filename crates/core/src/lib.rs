@@ -83,9 +83,12 @@ pub mod prelude {
     };
     pub use crate::component::{
         Component, ComponentCtx, ComponentCtxProbe, ComponentDescriptor, ComponentRole, EffectSpec,
-        FnProcessor, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,
+        FnProcessor, FnRelay, FnSource, InputSpec, MethodSpec, OutputSpec, TransferSpec,
     };
-    pub use crate::data::{kinds, Attrs, DataItem, DataKind, Payload, Position, Value};
+    pub use crate::data::{
+        kinds, ArenaStats, Attrs, DataItem, DataKind, InternedKey, Payload, PayloadArena,
+        PayloadRef, Position, Value,
+    };
     pub use crate::executor::{ExecMode, Executor, LevelParallel, Sequential};
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
     pub use crate::fleet::{

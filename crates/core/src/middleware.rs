@@ -21,7 +21,7 @@ use crate::channel::{
     ChannelFeature, ChannelId, ChannelInfo, ChannelLayer, ChannelStats, DataTree, TreePolicy,
 };
 use crate::component::{Component, MethodSpec};
-use crate::data::{DataItem, Value};
+use crate::data::{ArenaStats, DataItem, DataKind, PayloadArena, Value};
 use crate::distribution::Deployment;
 use crate::executor::{executor_for, EngineCtx, ExecMode, Executor};
 use crate::feature::ComponentFeature;
@@ -93,6 +93,15 @@ pub struct Middleware {
     /// The scheduling policy running each step (paper translucency
     /// applied to execution: inspectable and swappable at runtime).
     executor: Box<dyn Executor>,
+    /// Per-shard slab of recycled payload slots, keyed by step count.
+    /// Sequential/batched unit paths intern owned-value emissions here;
+    /// retired generations recycle their slots instead of freeing them.
+    arena: PayloadArena,
+    /// Whether the engine hands the arena to steps. Off, every emission
+    /// allocates fresh (the plain-`Arc` representation); output is
+    /// byte-identical either way — the toggle exists so the equivalence
+    /// suite can run both representations over one trace.
+    arena_enabled: bool,
 }
 
 impl fmt::Debug for Middleware {
@@ -131,6 +140,8 @@ impl Middleware {
             health: HealthRegistry::default(),
             failovers: Vec::new(),
             executor: executor_for(ExecMode::Sequential),
+            arena: PayloadArena::new(),
+            arena_enabled: true,
         }
     }
 
@@ -849,7 +860,9 @@ impl Middleware {
             exec_mode: self.executor.mode(),
             channels: self.channels.snapshot(),
             health: self.health.clone(),
-            pending: self.pending.clone(),
+            // Snapshot seam: captured items must not carry provenance
+            // into arena slots the restored instance will never own.
+            pending: self.pending.iter().map(|(n, i)| (*n, i.detached())).collect(),
             deployment: self.deployment.clone(),
             component_state,
             feature_state,
@@ -888,6 +901,9 @@ impl Middleware {
             });
         }
         self.channels.restore(&snap.channels)?;
+        // Outstanding interned payloads stay valid behind their Arcs;
+        // the arena just stops trying to recycle their slots.
+        self.arena.reset();
         self.clock = SimClock::new();
         self.clock.advance(snap.now.since(SimTime::ZERO));
         self.steps_run = snap.steps_run;
@@ -933,12 +949,15 @@ impl Middleware {
         let now = self.clock.now();
         self.steps_run += 1;
         let pending = std::mem::take(&mut self.pending);
+        let arena = self.arena_enabled.then_some(&mut self.arena);
         let mut ctx = EngineCtx::new(
             &mut self.graph,
             &mut self.channels,
             &mut self.health,
             self.deployment.as_mut(),
             now,
+            arena,
+            self.steps_run - 1,
         );
         self.executor.step(&mut ctx, pending)?;
         self.update_failovers(now);
@@ -994,12 +1013,15 @@ impl Middleware {
         }
         let start = self.clock.now();
         let pending = std::mem::take(&mut self.pending);
+        let arena = self.arena_enabled.then_some(&mut self.arena);
         let mut ctx = EngineCtx::new(
             &mut self.graph,
             &mut self.channels,
             &mut self.health,
             self.deployment.as_mut(),
             start,
+            arena,
+            self.steps_run,
         );
         let result = self.executor.step_batch(&mut ctx, pending, steps, tick);
         // The executor advances ctx.now past each completed step, so the
@@ -1009,6 +1031,78 @@ impl Middleware {
         self.steps_run += completed + u64::from(result.is_err());
         self.clock.advance(elapsed);
         result
+    }
+
+    /// Ingests a pre-lexed block of trace lines through `source`: each
+    /// line runs as one engine step in which the source emits the line
+    /// as a [`Value::Text`] item of `kind` instead of being ticked. The
+    /// engine machinery is exactly [`Middleware::step_batch`]'s — produce
+    /// features, routing, channel bookkeeping, supervision, failover
+    /// re-resolution — with the line text interned straight into the
+    /// payload arena, so the per-line path allocates nothing in steady
+    /// state. Returns the number of lines ingested (= steps run).
+    ///
+    /// Pair with a block lexer (e.g. `perpos-sensors`' `scan_block`)
+    /// that validates raw chunks and strips malformed lines first.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownNode`] when `source` is not in the graph;
+    /// otherwise the same fault semantics as [`Middleware::step_batch`].
+    pub fn ingest_batch(
+        &mut self,
+        source: NodeId,
+        kind: DataKind,
+        lines: &[&str],
+        tick: SimDuration,
+    ) -> Result<u64, CoreError> {
+        let start = self.clock.now();
+        let pending = std::mem::take(&mut self.pending);
+        let arena = self.arena_enabled.then_some(&mut self.arena);
+        let mut ctx = EngineCtx::new(
+            &mut self.graph,
+            &mut self.channels,
+            &mut self.health,
+            self.deployment.as_mut(),
+            start,
+            arena,
+            self.steps_run,
+        );
+        let result = self
+            .executor
+            .ingest_batch(&mut ctx, pending, source, &kind, lines, tick);
+        let elapsed = ctx.now.since(start);
+        self.clock.advance(elapsed);
+        // On a propagated fault the completed-line count is recovered
+        // from the elapsed time, mirroring `step_batch`'s accounting.
+        let completed = match &result {
+            Ok(n) => *n,
+            Err(_) if !tick.is_zero() => elapsed.as_micros() / tick.as_micros(),
+            Err(_) => 0,
+        };
+        self.steps_run += completed + u64::from(result.is_err());
+        self.update_failovers(self.clock.now());
+        result
+    }
+
+    /// Slot-traffic counters of the payload arena (interned, recycled,
+    /// escaped, live/cooling/free depths) — the observability surface the
+    /// reclamation tests assert against.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Enables or disables payload-arena interning for subsequent steps
+    /// (default: enabled). Disabled, every owned-value emission allocates
+    /// fresh behind a plain `Arc`; all observable output is byte-identical
+    /// either way. The equivalence suite flips this to prove it.
+    pub fn set_arena_enabled(&mut self, enabled: bool) {
+        self.arena_enabled = enabled;
+    }
+
+    /// Whether payload-arena interning is enabled.
+    pub fn arena_enabled(&self) -> bool {
+        self.arena_enabled
     }
 
     /// Advances simulated time by `tick` after each step until `total`
@@ -1387,7 +1481,7 @@ mod tests {
                 &mut self,
                 _p: usize,
                 item: DataItem,
-                ctx: &mut ComponentCtx,
+                ctx: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 ctx.emit(DataItem::new(
                     kinds::POSITION_WGS84,
@@ -1495,11 +1589,11 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             self.counter += 1;
             if (self.fail)(self.counter) {
                 return Err(CoreError::ComponentFailure {
@@ -1577,11 +1671,11 @@ mod tests {
                 &mut self,
                 _p: usize,
                 _i: DataItem,
-                _c: &mut ComponentCtx,
+                _c: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 Ok(())
             }
-            fn on_tick(&mut self, _ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            fn on_tick(&mut self, _ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
                 panic!("boom in on_tick");
             }
         }
@@ -1715,11 +1809,11 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             if self.failing.load(std::sync::atomic::Ordering::Relaxed) {
                 return Err(CoreError::ComponentFailure {
                     component: self.name.clone(),
@@ -1838,11 +1932,11 @@ mod tests {
                 &mut self,
                 _p: usize,
                 _i: DataItem,
-                _c: &mut ComponentCtx,
+                _c: &mut ComponentCtx<'_>,
             ) -> Result<(), CoreError> {
                 Ok(())
             }
-            fn on_tick(&mut self, _ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+            fn on_tick(&mut self, _ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
                 Err(CoreError::ComponentFailure {
                     component: "failing".into(),
                     reason: "simulated fault".into(),

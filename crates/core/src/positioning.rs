@@ -238,7 +238,7 @@ impl Component for ApplicationSink {
         &mut self,
         _port: usize,
         item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         self.shared.deliver(&item);
         Ok(())

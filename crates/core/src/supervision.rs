@@ -223,6 +223,12 @@ impl HealthRegistry {
     /// Whether the engine must skip `id` this step. Expired quarantines
     /// transition to the half-open (probing) state, which allows one run.
     pub(crate) fn is_quarantined(&mut self, id: NodeId, now: SimTime) -> bool {
+        // Health records only exist for nodes that have faulted; a
+        // healthy fleet answers every per-step probe from this one
+        // branch instead of a tree lookup per node per step.
+        if self.records.is_empty() {
+            return false;
+        }
         let Some(r) = self.records.get_mut(&id) else {
             return false;
         };
@@ -245,6 +251,12 @@ impl HealthRegistry {
     /// quarantined node; otherwise a degraded node recovers once its
     /// fault window has drained.
     pub(crate) fn record_success(&mut self, id: NodeId, now: SimTime) {
+        // Same healthy-fleet fast path as `is_quarantined`: with no
+        // fault records and no half-open probes there is nothing to
+        // reinstate or recover.
+        if self.records.is_empty() && self.probing.is_empty() {
+            return;
+        }
         if self.probing.remove(&id) {
             self.backoff_level.remove(&id);
             self.windows.remove(&id);

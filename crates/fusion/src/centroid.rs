@@ -55,7 +55,7 @@ impl Component for CentroidFusion {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let position = item.position()?;
         let p = self.frame.to_local(position.coord());

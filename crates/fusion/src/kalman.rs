@@ -145,7 +145,7 @@ impl Component for KalmanFilter {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let position = item.position()?;
         let z = self.frame.to_local(position.coord());

@@ -287,7 +287,7 @@ impl Component for ParticleFilter {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let position = item.position()?;
         let measurement = self.frame.to_local(position.coord());

@@ -103,7 +103,7 @@ impl Segmenter {
         self
     }
 
-    fn flush(&mut self, ctx: &mut ComponentCtx) {
+    fn flush(&mut self, ctx: &mut ComponentCtx<'_>) {
         if self.buffer.len() < 2 {
             self.buffer.clear();
             self.window_start = None;
@@ -157,7 +157,7 @@ impl Component for Segmenter {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let position = item.position()?;
         let p = self.frame.to_local(position.coord());
@@ -259,7 +259,7 @@ impl Component for ModeClassifier {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let Some(map) = item.payload.as_map() else {
             return Ok(());
@@ -373,7 +373,7 @@ impl Component for HmmSmoother {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let Some(mode) = item.payload.as_text().and_then(Mode::parse) else {
             return Ok(());

@@ -272,7 +272,7 @@ impl Component for EmulatorSource {
         &mut self,
         port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Err(CoreError::ComponentFailure {
             component: self.name.clone(),
@@ -280,7 +280,7 @@ impl Component for EmulatorSource {
         })
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         while self.cursor < self.trace.items.len()
             && self.trace.items[self.cursor].timestamp <= ctx.now()
         {

@@ -262,7 +262,7 @@ impl ComponentFeature for FaultInjector {
                 Value::Int(last.timestamp.since(SimTime::ZERO).as_micros() as i64),
             );
             lm.insert("payload".to_string(), (*last.payload).clone());
-            lm.insert("attrs".to_string(), Value::Map((*last.attrs).clone()));
+            lm.insert("attrs".to_string(), Value::Map(last.attrs.to_map()));
             map.insert("last".to_string(), Value::Map(lm));
         }
         Some(Value::Map(map))

@@ -162,7 +162,7 @@ impl GpsSimulator {
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
-    fn emit_sentence(&mut self, ctx: &mut ComponentCtx, s: &Sentence) {
+    fn emit_sentence(&mut self, ctx: &mut ComponentCtx<'_>, s: &Sentence) {
         self.sentences_emitted += 1;
         ctx.emit_value(kinds::RAW_STRING, Value::from(s.to_nmea_string()));
     }
@@ -185,7 +185,7 @@ impl Component for GpsSimulator {
         &mut self,
         port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Err(CoreError::ComponentFailure {
             component: self.name.clone(),
@@ -193,7 +193,7 @@ impl Component for GpsSimulator {
         })
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         let now = ctx.now();
         if !self.enabled {
             return Ok(());

@@ -82,7 +82,7 @@ impl Component for MotionSensor {
         &mut self,
         port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Err(CoreError::ComponentFailure {
             component: self.name.clone(),
@@ -90,7 +90,7 @@ impl Component for MotionSensor {
         })
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         if !self.enabled || ctx.now() < self.next_at {
             return Ok(());
         }

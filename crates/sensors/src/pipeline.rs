@@ -45,7 +45,7 @@ impl Component for Parser {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let Some(text) = item.payload.as_text() else {
             self.errors += 1;
@@ -117,7 +117,7 @@ impl Component for Interpreter {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let Some(Sentence::Gga(gga)) = codec::sentence_of(&item) else {
             return Ok(());
@@ -195,7 +195,7 @@ impl Component for Resolver {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let position = item.position()?;
         if let Some(room) = self.building.resolve_wgs84(position.coord(), self.floor) {
@@ -292,7 +292,7 @@ impl Component for SensorWrapper {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         if !self.active {
             self.dropped += 1;
@@ -516,7 +516,7 @@ impl Component for SatelliteFilter {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         match item.attr("satellites").and_then(Value::as_i64) {
             Some(n) if n < self.threshold => {

@@ -343,7 +343,7 @@ impl Component for WifiScanner {
         &mut self,
         port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Err(CoreError::ComponentFailure {
             component: self.name.clone(),
@@ -351,7 +351,7 @@ impl Component for WifiScanner {
         })
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         if !self.enabled || ctx.now() < self.next_at {
             return Ok(());
         }
@@ -449,7 +449,7 @@ impl Component for WifiPositioning {
         &mut self,
         _port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         let Some(map) = item.payload.as_map() else {
             return Ok(());

@@ -81,9 +81,19 @@ struct Observed {
 /// materialization entirely; everything observed in phase two must be
 /// byte-identical to an eager run of the same trace.
 fn run_scenario(policy: TreePolicy, parallel: bool, faulty: bool) -> Observed {
+    run_scenario_with_arena(policy, parallel, faulty, true)
+}
+
+fn run_scenario_with_arena(
+    policy: TreePolicy,
+    parallel: bool,
+    faulty: bool,
+    arena: bool,
+) -> Observed {
     let tick = SimDuration::from_millis(100);
     let mut mw = Middleware::new();
     mw.set_tree_policy(policy);
+    mw.set_arena_enabled(arena);
     if parallel {
         // Explicit worker count: the auto default degrades to the
         // sequential path on a single-core machine.
@@ -197,6 +207,27 @@ fn mid_run_attach_equivalence_holds_under_injected_faults() {
         run_scenario(TreePolicy::Eager, true, true),
         run_scenario(TreePolicy::Lazy, true, true)
     );
+}
+
+#[test]
+fn arena_interning_is_observationally_invisible() {
+    // The payload arena is a pure allocation strategy: with interning
+    // disabled every emission allocates fresh behind a plain `Arc`, and
+    // every observable — trees, history, stats, health — must come out
+    // byte-identical, under both policies, both executors, and with
+    // faults in flight.
+    for policy in [TreePolicy::Eager, TreePolicy::Lazy] {
+        for parallel in [false, true] {
+            for faulty in [false, true] {
+                let arena = run_scenario_with_arena(policy, parallel, faulty, true);
+                let plain = run_scenario_with_arena(policy, parallel, faulty, false);
+                assert_eq!(
+                    arena, plain,
+                    "arena/plain divergence at {policy:?} parallel={parallel} faulty={faulty}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -293,6 +293,50 @@ fn shard_stats_are_runtime_state_not_snapshot_state() {
 }
 
 #[test]
+fn snapshots_cross_the_arena_boundary_intact() {
+    // A snapshot captures payloads that live in the donor's arena (the
+    // pending rings and history hold interned slots). The snapshot must
+    // detach them: the donor running on — recycling those very slots —
+    // cannot retroactively corrupt it, and restoring into an instance
+    // whose own arena is mid-flight (or disabled) resets cleanly and
+    // continues byte-identical to the uninterrupted reference.
+    let (mut reference, ref_src, ref_chan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut reference, 40);
+
+    let (mut donor, _, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut donor, 17);
+    let snap = donor.snapshot();
+    // Donor keeps running long past the retire lag: every slot its
+    // arena held at snapshot time is rewritten many times over. If the
+    // snapshot aliased arena slots instead of detaching, this would
+    // scramble its payload bytes.
+    run(&mut donor, 200);
+
+    // Restore into an instance with its own arena traffic in flight.
+    let (mut restored, src, chan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    run(&mut restored, 31);
+    restored.restore(&snap).unwrap();
+    assert_eq!(restored.steps_run(), 17);
+    run(&mut restored, 23);
+    assert_eq!(
+        observe(&reference, ref_src, ref_chan),
+        observe(&restored, src, chan),
+        "restore across a dirty arena must equal the uninterrupted run"
+    );
+
+    // And into an instance that interns nothing at all: arena on or off
+    // is invisible to the restored trace.
+    let (mut plain, psrc, pchan) = build(ExecMode::Sequential, TreePolicy::Lazy);
+    plain.set_arena_enabled(false);
+    plain.restore(&snap).unwrap();
+    run(&mut plain, 23);
+    assert_eq!(
+        observe(&reference, ref_src, ref_chan),
+        observe(&plain, psrc, pchan)
+    );
+}
+
+#[test]
 fn restore_rejects_structural_mismatch() {
     let (original, _, _) = build(ExecMode::Sequential, TreePolicy::Lazy);
     let snap = original.snapshot();
