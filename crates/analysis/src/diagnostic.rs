@@ -19,8 +19,12 @@ use serde::{Content, Serialize};
 /// deployment, `null` without a `fleet` block); version 6 adds codes
 /// P017–P019 and the facts document's `effects` block (per-node declared
 /// effects plus the wave-interference conflicts found over the
-/// level-parallel schedule).
-pub const JSON_SCHEMA_VERSION: u32 = 6;
+/// level-parallel schedule); version 7 adds code P020 and the fleet
+/// facts' `scheduler`/`workers` fields (the resolved fleet scheduler
+/// name and its *requested* worker cap, 0 meaning machine-sized — the
+/// requested value is recorded, not the machine-resolved one, so the
+/// document stays host-independent).
+pub const JSON_SCHEMA_VERSION: u32 = 7;
 
 /// The one canonical-ordering primitive behind every byte-reproducible
 /// surface of this crate: sorts `items` by `key`, computing each key
@@ -147,6 +151,11 @@ define_codes! {
     /// (wall clock, live I/O) or unseeded randomness in a graph that
     /// fleet checkpointing or synthesis treats as deterministic.
     P019 => "exogenous or unseeded effects undermine assumed determinism",
+    /// Fleet-parallel interference: the fleet block requests parallel
+    /// shard stepping while a template component declares writes on a
+    /// named shared resource, so the component's per-instance replicas
+    /// in concurrently stepped shards race on that resource.
+    P020 => "parallel fleet replicas race on a declared shared resource",
 }
 
 /// Long-form documentation of a diagnostic code, served by
@@ -395,6 +404,25 @@ impl Code {
                 fix: "Route the exogenous input through the simulated clock or a \
                       recorded trace, seed the randomness from configuration, or \
                       document the nondeterminism by dropping the fleet block.",
+            },
+            Code::P020 => CodeExplanation {
+                detail: "The fleet runtime's byte-equality contract — serial and \
+                         work-stealing schedulers produce identical stats, checkpoints \
+                         and histories — rests on shards sharing nothing. A fleet block \
+                         that requests more than one worker replicates the template \
+                         into every instance, so a component declaring writes on a \
+                         named shared resource exists once per instance; replicas in \
+                         concurrently stepped shards then hit the same resource with \
+                         no wave ordering to serialize them. This is the \
+                         cross-instance analogue of P017, and a single writing \
+                         component suffices: it races with its own replicas.",
+                example: "A calibration stage declaring writes on a shared \
+                          \"bias-table\" resource inside a fleet block with \
+                          \"workers\": 4.",
+                fix: "Set the fleet scheduler to \"serial\" (or workers to 1), move \
+                      the shared state into per-instance component state, or drop the \
+                      shared-resource write declaration if each replica actually owns \
+                      a private copy.",
             },
         }
     }

@@ -130,6 +130,14 @@ struct JsonFleetFacts {
     instances: u64,
     shards: u64,
     checkpoint_every: u64,
+    /// Resolved fleet scheduler name (`"serial"`, `"work_stealing"`,
+    /// `"permuted"`).
+    scheduler: String,
+    /// The *requested* worker cap — `0` means machine-sized under
+    /// `work_stealing`, `1` for the serial-execution schedulers. The
+    /// machine-resolved count is deliberately not recorded: the facts
+    /// document must be byte-reproducible across hosts.
+    workers: u64,
 }
 
 /// One node's declared effects, with the `Option` defaults resolved
@@ -278,6 +286,8 @@ pub fn facts_json(graph: &FlowGraph, facts: &GraphFacts) -> String {
                 instances: resolved.instances as u64,
                 shards: resolved.shards as u64,
                 checkpoint_every: resolved.checkpoint_every,
+                scheduler: resolved.scheduler.as_str().to_string(),
+                workers: resolved.scheduler.requested_workers() as u64,
             }
         }),
         effects: JsonEffectsFacts {

@@ -1,4 +1,4 @@
-//! Effect & determinism analysis (P017–P019).
+//! Effect & determinism analysis (P017–P020).
 //!
 //! The executor layer and the fleet runtime both lean on properties no
 //! earlier pass verified: `LevelParallel` assumes same-wave components
@@ -18,6 +18,10 @@
 //! - **P019** (warning) — exogenous inputs (wall clock, live I/O) or
 //!   unseeded randomness in a graph whose deployment (fleet replay) or
 //!   origin (the synthesis gate) assumes deterministic re-execution.
+//! - **P020** (warning) — the fleet block requests parallel shard
+//!   stepping while a template component declares shared-resource
+//!   writes: the component's replicas in concurrently stepped shards
+//!   race on the named resource (the cross-instance analogue of P017).
 //!
 //! The conflict computation layers the graph with
 //! [`FlowGraph::topo_levels`] — the same longest-path layering the
@@ -220,7 +224,66 @@ pub fn effect_diagnostics(graph: &FlowGraph, report: &mut Report) {
                 );
             }
         }
+        fleet_parallel_diagnostics(graph, report);
         determinism_diagnostics(graph, report);
+    }
+}
+
+/// **P020** (warning) — the fleet block requests parallel shard
+/// stepping (a `work_stealing` scheduler, or `workers` other than 1)
+/// while a template component declares `writes` on a named shared
+/// resource. Every fleet instance replicates the template, so the
+/// writing component exists once *per instance*; with shards stepped
+/// concurrently, replicas in different shards hit the same named
+/// resource with no wave to serialize them — the cross-instance
+/// analogue of P017, and it does not even need two components: a single
+/// writer races with its own replicas. The fleet's byte-equality
+/// contract (serial ≡ work-stealing) only covers state the instances
+/// actually own.
+pub fn fleet_parallel_diagnostics(graph: &FlowGraph, report: &mut Report) {
+    let Some(spec) = &graph.fleet else {
+        return;
+    };
+    let workers = match spec.resolved_scheduler() {
+        perpos_core::fleet::FleetScheduler::WorkStealing { workers } => workers,
+        _ => return,
+    };
+    if workers == 1 {
+        return;
+    }
+    let workers_txt = if workers == 0 {
+        "machine-sized".to_string()
+    } else {
+        workers.to_string()
+    };
+    for n in &graph.nodes {
+        let written = writes(&n.effects);
+        if written.is_empty() {
+            continue;
+        }
+        let resources = written
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        report.push(
+            Diagnostic::new(
+                Code::P020,
+                Severity::Warning,
+                format!(
+                    "component {:?} declares writes on shared resource(s) {} while the \
+                     fleet block requests {}-worker parallel stepping; its replicas in \
+                     concurrently stepped shards race on the shared resource",
+                    n.label, resources, workers_txt
+                ),
+                vec![n.label.clone()],
+            )
+            .with_hint(
+                "set the fleet scheduler to \"serial\" (or workers to 1), move the shared \
+                 state into per-instance component state, or drop the shared-resource \
+                 write declaration if each replica really owns a private copy",
+            ),
+        );
     }
 }
 
@@ -276,6 +339,16 @@ mod tests {
 
     fn graph_of(nodes: Vec<FlowNode>) -> FlowGraph {
         FlowGraph::finish(nodes, Vec::new())
+    }
+
+    fn fleet_spec(instances: usize) -> FleetSpec {
+        FleetSpec {
+            instances,
+            shards: None,
+            checkpoint_every: None,
+            scheduler: None,
+            workers: None,
+        }
     }
 
     #[test]
@@ -352,11 +425,7 @@ mod tests {
         assert!(report.is_clean());
 
         let mut fleet = graph_of(nodes);
-        fleet.fleet = Some(FleetSpec {
-            instances: 8,
-            shards: None,
-            checkpoint_every: None,
-        });
+        fleet.fleet = Some(fleet_spec(8));
         let mut report = Report::new();
         effect_diagnostics(&fleet, &mut report);
         let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
@@ -366,13 +435,77 @@ mod tests {
     #[test]
     fn snapshot_capable_stateful_component_is_fine_in_a_fleet() {
         let mut g = graph_of(vec![node("filter", EffectSpec::new().stateful(true))]);
-        g.fleet = Some(FleetSpec {
-            instances: 8,
-            shards: None,
-            checkpoint_every: None,
-        });
+        g.fleet = Some(fleet_spec(8));
         let mut report = Report::new();
         effect_diagnostics(&g, &mut report);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn p020_fires_only_for_parallel_fleets_with_shared_writes() {
+        let nodes = vec![node("calib", EffectSpec::new().writing("bias-table"))];
+
+        // No fleet block: nothing to step in parallel.
+        let plain = graph_of(nodes.clone());
+        let mut report = Report::new();
+        fleet_parallel_diagnostics(&plain, &mut report);
+        assert!(report.is_clean());
+
+        // Serial fleet: replicas never step concurrently.
+        let mut serial = graph_of(nodes.clone());
+        serial.fleet = Some(fleet_spec(512));
+        let mut report = Report::new();
+        fleet_parallel_diagnostics(&serial, &mut report);
+        assert!(report.is_clean());
+
+        // Parallel fleet via explicit workers: the writer's replicas race.
+        let mut parallel = graph_of(nodes.clone());
+        parallel.fleet = Some(FleetSpec {
+            workers: Some(4),
+            ..fleet_spec(512)
+        });
+        let mut report = Report::new();
+        effect_diagnostics(&parallel, &mut report);
+        let p020: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::P020)
+            .collect();
+        assert_eq!(p020.len(), 1);
+        assert_eq!(p020[0].severity, Severity::Warning);
+        assert!(p020[0].message.contains("\"bias-table\""));
+        assert!(p020[0].message.contains("4-worker"));
+
+        // Machine-sized work stealing (workers absent) counts as parallel.
+        let mut machine = graph_of(nodes.clone());
+        machine.fleet = Some(FleetSpec {
+            scheduler: Some("work_stealing".into()),
+            ..fleet_spec(512)
+        });
+        let mut report = Report::new();
+        fleet_parallel_diagnostics(&machine, &mut report);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].message.contains("machine-sized"));
+
+        // Explicit workers: 1 pins the fleet serial — clean again.
+        let mut one = graph_of(nodes);
+        one.fleet = Some(FleetSpec {
+            scheduler: Some("work_stealing".into()),
+            workers: Some(1),
+            ..fleet_spec(512)
+        });
+        let mut report = Report::new();
+        fleet_parallel_diagnostics(&one, &mut report);
+        assert!(report.is_clean());
+
+        // Pure readers don't trip it: only declared writes race.
+        let mut readers = graph_of(vec![node("lookup", EffectSpec::new().reading("map"))]);
+        readers.fleet = Some(FleetSpec {
+            workers: Some(8),
+            ..fleet_spec(512)
+        });
+        let mut report = Report::new();
+        fleet_parallel_diagnostics(&readers, &mut report);
         assert!(report.is_clean());
     }
 

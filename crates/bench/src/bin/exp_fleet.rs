@@ -1,4 +1,5 @@
-//! Experiment "fleet" — supervised fleet soak under deterministic chaos.
+//! Experiment "fleet" — supervised fleet soak under deterministic chaos,
+//! plus the parallel-stepping scaling sweep.
 //!
 //! A [`FleetPool`] shards thousands of middleware instances and walks the
 //! escalation ladder when they fault: in-instance containment first,
@@ -11,16 +12,28 @@
 //! recovery latency in steps-to-healthy, and sustained items/s, against
 //! an unsupervised baseline where the first escaped fault kills the
 //! instance for the rest of the run. Swept over instances x pipeline
-//! depth x fault-rate. All counters are deterministic (seeded shim RNG,
-//! deterministic restart order); only the wall-clock columns vary by
-//! machine.
+//! depth x fault-rate.
+//!
+//! The `scaling` section steps a 102,400-instance fleet under the
+//! serial and work-stealing schedulers at several worker counts; the
+//! sweep *asserts* the supervision counters are identical across
+//! schedulers (the byte-equality contract of
+//! `perpos_core::fleet::scheduler`) and records the wall-clock scaling
+//! that determinism buys. All counters are deterministic (seeded shim
+//! RNG, per-index incarnation counters so restart reseeding is a pure
+//! function of the instance, never of scheduler interleaving); only the
+//! wall-clock columns vary by machine.
 //!
 //! Run with: `cargo run -p perpos-bench --bin exp_fleet --release`
 //! (pass `--smoke` for the reduced CI check, which re-runs the smoke
-//! configuration, fails unless supervised availability stays >= 0.99
-//! under the 10 % fault rate while beating the unsupervised baseline,
-//! and cross-checks the deterministic counters against the committed
-//! `BENCH_fleet.json` so the baseline provably regenerates).
+//! configuration under the serial *and* work-stealing schedulers,
+//! fails unless supervised availability stays >= 0.99 under the 10 %
+//! fault rate while beating the unsupervised baseline, fails unless
+//! the work-stealing counters match the serial ones, cross-checks the
+//! deterministic counters against the committed `BENCH_fleet.json` so
+//! the baseline provably regenerates, and — on hosts with >= 2 cores —
+//! fails unless 2-worker work stealing beats serial stepping by a
+//! calibrated margin).
 //!
 //! The full sweep (re)writes `BENCH_fleet.json`; the smoke sweep only
 //! reads it.
@@ -40,8 +53,17 @@ use rand::{Rng, SeedableRng};
 /// checkpoint-restart but falls well below it without.
 const STEP_FAIL_PROB: f64 = 0.015;
 
-/// Rounds each configuration runs for.
+/// Rounds each availability configuration runs for.
 const ROUNDS: u64 = 96;
+
+/// Rounds each scaling configuration runs for — enough work that the
+/// per-round scheduler overhead (cursor churn, chunk barrier) is
+/// amortized the way a long soak would amortize it.
+const SCALING_ROUNDS: u64 = 48;
+
+/// Instance count of the scaling sweep. Large enough that a shard is a
+/// meaningful unit of work and the fleet dwarfs every cache level.
+const SCALING_INSTANCES: usize = 102_400;
 
 /// A counting source whose counter rides through checkpoints while its
 /// fault schedule stays environmental: the RNG is *not* snapshotted and
@@ -88,15 +110,24 @@ impl Component for FlakySource {
 }
 
 /// Instance factory: every `1/fault_rate`-th instance gets a faulty
-/// source, the rest run clean. The incarnation counter makes restart
-/// reseeding deterministic without replaying checkpointed schedules.
-fn factory(depth: usize, fault_rate: f64, seed: u64) -> impl Fn(usize) -> Middleware {
-    let incarnation = Arc::new(AtomicU64::new(0));
+/// source, the rest run clean. Restart reseeding uses one incarnation
+/// counter *per instance index* — never a factory-global counter — so
+/// the seed of incarnation `n` of instance `i` is a pure function of
+/// `(i, n)` and the counters stay byte-identical whatever order a
+/// parallel scheduler rebuilds crashed instances in.
+fn factory(
+    depth: usize,
+    fault_rate: f64,
+    seed: u64,
+    capacity: usize,
+) -> impl Fn(usize) -> Middleware {
+    let incarnations: Arc<Vec<AtomicU64>> =
+        Arc::new((0..capacity).map(|_| AtomicU64::new(0)).collect());
     move |index| {
         let stripe = (fault_rate * 100.0).round() as usize;
         let faulty = stripe > 0 && index % 100 < stripe;
         let rng = faulty.then(|| {
-            let n = incarnation.fetch_add(1, Ordering::Relaxed);
+            let n = incarnations[index].fetch_add(1, Ordering::Relaxed);
             StdRng::seed_from_u64(
                 seed ^ (index as u64).wrapping_mul(0x9E37_79B9) ^ n.wrapping_mul(0xC0FF_EE11),
             )
@@ -131,6 +162,7 @@ struct Supervised {
     quarantines: u64,
     checkpoints: u64,
     mean_recovery_steps: f64,
+    wall_s: f64,
     items_per_sec: f64,
 }
 
@@ -140,6 +172,7 @@ struct Unsupervised {
     live_steps: u64,
     missed_steps: u64,
     dead_instances: u64,
+    wall_s: f64,
     items_per_sec: f64,
 }
 
@@ -148,8 +181,41 @@ struct Sample {
     instances: u64,
     depth: u64,
     fault_rate: f64,
+    /// Scheduler the supervised column ran under (availability rows are
+    /// all serial; the threads axis lives in the `scaling` section).
+    scheduler: String,
+    /// Requested worker cap (`1` for serial execution).
+    workers: u64,
     supervised: Supervised,
     unsupervised: Unsupervised,
+}
+
+/// One row of the threads-axis sweep: the same fleet, the same rounds,
+/// a different scheduler. The deterministic counters are asserted equal
+/// to the serial row's before the document is written — a scaling row
+/// that diverged would be a determinism bug, not a measurement.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ScalingSample {
+    instances: u64,
+    depth: u64,
+    fault_rate: f64,
+    rounds: u64,
+    scheduler: String,
+    /// Requested worker cap (`0` = machine-sized).
+    workers: u64,
+    /// What the cap resolved to on the machine that wrote the document.
+    resolved_workers: u64,
+    live_steps: u64,
+    missed_steps: u64,
+    instance_faults: u64,
+    restarts: u64,
+    cold_restarts: u64,
+    quarantines: u64,
+    wall_s: f64,
+    items_per_sec: f64,
+    /// Serial wall time over this row's wall time (1.0 for the serial
+    /// row itself).
+    speedup_vs_serial: f64,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -159,9 +225,10 @@ struct Doc {
     rounds: u64,
     step_fail_prob: f64,
     results: Vec<Sample>,
+    scaling: Vec<ScalingSample>,
 }
 
-fn fleet_config(instances: usize) -> FleetConfig {
+fn fleet_config(instances: usize, scheduler: FleetScheduler) -> FleetConfig {
     FleetConfig {
         shards: (instances / 320).max(1),
         instances,
@@ -170,17 +237,24 @@ fn fleet_config(instances: usize) -> FleetConfig {
         shard_fault_window: 16,
         shard_backoff: 4,
         seed: 0xf1ee7,
+        scheduler,
     }
 }
 
-fn run_supervised(instances: usize, depth: usize, fault_rate: f64) -> Supervised {
+fn run_supervised(
+    instances: usize,
+    depth: usize,
+    fault_rate: f64,
+    scheduler: FleetScheduler,
+    rounds: u64,
+) -> Supervised {
     let mut pool = FleetPool::new(
-        fleet_config(instances),
-        factory(depth, fault_rate, 0xbad5eed),
+        fleet_config(instances, scheduler),
+        factory(depth, fault_rate, 0xbad5eed, instances),
     );
     let tick = SimDuration::from_millis(100);
     let start = Instant::now();
-    pool.run(ROUNDS, tick);
+    pool.run(rounds, tick);
     let secs = start.elapsed().as_secs_f64();
     let stats = pool.stats();
     let cold: u64 = stats.shards.iter().map(|s| s.cold_restarts).sum();
@@ -196,6 +270,7 @@ fn run_supervised(instances: usize, depth: usize, fault_rate: f64) -> Supervised
         quarantines: stats.quarantines(),
         checkpoints,
         mean_recovery_steps: stats.mean_recovery_steps(),
+        wall_s: secs,
         items_per_sec: stats.live_steps() as f64 / secs,
     }
 }
@@ -205,7 +280,7 @@ fn run_supervised(instances: usize, depth: usize, fault_rate: f64) -> Supervised
 /// fault that escapes containment leaves the instance down for the rest
 /// of the soak.
 fn run_unsupervised(instances: usize, depth: usize, fault_rate: f64) -> Unsupervised {
-    let build = factory(depth, fault_rate, 0xbad5eed);
+    let build = factory(depth, fault_rate, 0xbad5eed, instances);
     let mut fleet: Vec<Option<Middleware>> = (0..instances).map(|i| Some(build(i))).collect();
     let tick = SimDuration::from_millis(100);
     let mut live = 0u64;
@@ -236,17 +311,21 @@ fn run_unsupervised(instances: usize, depth: usize, fault_rate: f64) -> Unsuperv
         live_steps: live,
         missed_steps: missed,
         dead_instances: dead,
+        wall_s: secs,
         items_per_sec: live as f64 / secs,
     }
 }
 
 fn measure(instances: usize, depth: usize, fault_rate: f64) -> Sample {
-    let supervised = run_supervised(instances, depth, fault_rate);
+    let scheduler = FleetScheduler::Serial;
+    let supervised = run_supervised(instances, depth, fault_rate, scheduler, ROUNDS);
     let unsupervised = run_unsupervised(instances, depth, fault_rate);
     Sample {
         instances: instances as u64,
         depth: depth as u64,
         fault_rate,
+        scheduler: scheduler.as_str().to_string(),
+        workers: scheduler.requested_workers() as u64,
         supervised,
         unsupervised,
     }
@@ -268,12 +347,145 @@ fn print_sample(s: &Sample) {
     );
 }
 
+/// Runs the threads-axis sweep at [`SCALING_INSTANCES`]: serial first,
+/// then work stealing at several worker caps, asserting every parallel
+/// row reproduces the serial counters to the last fault before its
+/// timing is accepted as a measurement.
+fn run_scaling() -> Vec<ScalingSample> {
+    let mut rows = Vec::new();
+    for &rate in &[0.0f64, 0.10] {
+        let schedulers = [
+            FleetScheduler::Serial,
+            FleetScheduler::WorkStealing { workers: 1 },
+            FleetScheduler::WorkStealing { workers: 2 },
+            FleetScheduler::WorkStealing { workers: 4 },
+            FleetScheduler::WorkStealing { workers: 8 },
+        ];
+        let counters = |s: &Supervised| {
+            (
+                s.live_steps,
+                s.missed_steps,
+                s.instance_faults,
+                s.restarts,
+                s.cold_restarts,
+                s.quarantines,
+                s.checkpoints,
+            )
+        };
+        let mut serial: Option<Supervised> = None;
+        for scheduler in schedulers {
+            // Best-of-3 on the wall clock (the counters must agree
+            // across repeats — they are deterministic); a shared or
+            // frequency-scaled host makes single passes unusable.
+            let mut s = run_supervised(SCALING_INSTANCES, 1, rate, scheduler, SCALING_ROUNDS);
+            for _ in 0..2 {
+                let again = run_supervised(SCALING_INSTANCES, 1, rate, scheduler, SCALING_ROUNDS);
+                assert_eq!(counters(&s), counters(&again), "repeat diverged");
+                if again.wall_s < s.wall_s {
+                    s = again;
+                }
+            }
+            let speedup = match &serial {
+                None => 1.0,
+                Some(base) => {
+                    assert_eq!(
+                        counters(base),
+                        counters(&s),
+                        "work-stealing counters diverged from serial at rate {rate}"
+                    );
+                    base.wall_s / s.wall_s
+                }
+            };
+            let row = ScalingSample {
+                instances: SCALING_INSTANCES as u64,
+                depth: 1,
+                fault_rate: rate,
+                rounds: SCALING_ROUNDS,
+                scheduler: scheduler.as_str().to_string(),
+                workers: scheduler.requested_workers() as u64,
+                resolved_workers: scheduler.resolved_workers() as u64,
+                live_steps: s.live_steps,
+                missed_steps: s.missed_steps,
+                instance_faults: s.instance_faults,
+                restarts: s.restarts,
+                cold_restarts: s.cold_restarts,
+                quarantines: s.quarantines,
+                wall_s: s.wall_s,
+                items_per_sec: s.items_per_sec,
+                speedup_vs_serial: speedup,
+            };
+            println!(
+                "{:>9} {:>6.2} {:>14} {:>7} {:>9.2}s {:>12.0} {:>8.2}x",
+                row.instances,
+                row.fault_rate,
+                row.scheduler,
+                row.workers,
+                row.wall_s,
+                row.items_per_sec,
+                row.speedup_vs_serial,
+            );
+            if serial.is_none() {
+                serial = Some(s);
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Fixed deterministic integer kernel used to normalize step times
+/// across machines of different speed (same kernel as `exp_channel`).
+fn calibrate_once() -> f64 {
+    let start = Instant::now();
+    let mut v = 0x9e3779b97f4a7c15u64;
+    for _ in 0..2_000_000 {
+        v = std::hint::black_box(v.wrapping_mul(6_364_136_223_846_793_005).rotate_left(17));
+    }
+    std::hint::black_box(v);
+    start.elapsed().as_nanos() as f64 / 1e3
+}
+
+/// Calibrated cost (µs per soak pass over kernel µs) of stepping a
+/// modest clean fleet under `scheduler`, measured against *bracketing*
+/// kernel passes: each timed pass is framed by calibration kernels, its
+/// ratio uses the faster of the two frames, and the smallest ratio
+/// across passes wins — the same guard idiom as `exp_channel`, so a
+/// transient load spike on the CI host cannot fake (or mask) a scaling
+/// regression.
+fn scheduler_cost(scheduler: FleetScheduler) -> f64 {
+    let instances = 8192;
+    let mut pool = FleetPool::new(
+        fleet_config(instances, scheduler),
+        factory(2, 0.0, 0xbad5eed, instances),
+    );
+    let tick = SimDuration::from_millis(100);
+    pool.run(8, tick); // warmup: populate caches, spawn nothing yet
+    let mut best = f64::INFINITY;
+    let mut frame = calibrate_once();
+    for _ in 0..5 {
+        let start = Instant::now();
+        pool.run(8, tick);
+        let us = start.elapsed().as_nanos() as f64 / 1e3;
+        let next = calibrate_once();
+        best = best.min(us / frame.min(next));
+        frame = next;
+    }
+    best
+}
+
 /// The configuration the CI smoke re-runs and cross-checks.
 const SMOKE: (usize, usize, f64) = (2048, 1, 0.10);
 
+/// Minimum calibrated serial/work-stealing cost ratio the smoke demands
+/// on a host with >= 2 cores. Two honest workers on a share-nothing
+/// fleet should approach 2.0; 1.3 leaves room for barrier overhead and
+/// a noisy CI neighbour while still catching a scheduler that
+/// serializes (ratio ~1.0) or regresses outright.
+const SMOKE_MIN_SPEEDUP: f64 = 1.3;
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = machine_parallelism();
 
     println!("=== fleet: supervised soak vs unsupervised baseline ({cores} core(s)) ===\n");
     println!(
@@ -306,6 +518,58 @@ fn main() {
         if s.supervised.availability <= s.unsupervised.availability {
             eprintln!("FAIL: supervision does not beat the unsupervised baseline");
             failed = true;
+        }
+        // Parallel determinism: the same configuration stepped by two
+        // stealing workers must land on the exact serial counters.
+        let ws = run_supervised(
+            instances,
+            depth,
+            rate,
+            FleetScheduler::WorkStealing { workers: 2 },
+            ROUNDS,
+        );
+        let serial_counters = (
+            s.supervised.live_steps,
+            s.supervised.missed_steps,
+            s.supervised.instance_faults,
+            s.supervised.restarts,
+            s.supervised.cold_restarts,
+            s.supervised.quarantines,
+            s.supervised.checkpoints,
+        );
+        let ws_counters = (
+            ws.live_steps,
+            ws.missed_steps,
+            ws.instance_faults,
+            ws.restarts,
+            ws.cold_restarts,
+            ws.quarantines,
+            ws.checkpoints,
+        );
+        if serial_counters != ws_counters {
+            eprintln!(
+                "FAIL: work-stealing counters diverge from serial: {serial_counters:?} vs {ws_counters:?}"
+            );
+            failed = true;
+        }
+        // Scaling guard: on a multi-core host, two stealing workers
+        // must actually be faster than the serial scheduler. Calibrated
+        // and bracketed so host speed and transient load cancel.
+        if cores >= 2 {
+            let serial_cost = scheduler_cost(FleetScheduler::Serial);
+            let ws_cost = scheduler_cost(FleetScheduler::WorkStealing { workers: 2 });
+            let speedup = serial_cost / ws_cost;
+            println!(
+                "\nscaling guard: serial cost {serial_cost:.2}, 2-worker cost {ws_cost:.2}, speedup {speedup:.2}x"
+            );
+            if speedup < SMOKE_MIN_SPEEDUP {
+                eprintln!(
+                    "FAIL: 2-worker work stealing speedup {speedup:.2}x below the {SMOKE_MIN_SPEEDUP}x floor"
+                );
+                failed = true;
+            }
+        } else {
+            println!("\nscaling guard skipped: single-core host cannot demonstrate a speedup");
         }
         // Regeneration check: the committed baseline must contain this
         // exact configuration with the exact deterministic counters the
@@ -359,6 +623,49 @@ fn main() {
                         failed = true;
                     }
                 }
+                // The committed scaling section must carry the threads
+                // axis at paper scale, and its parallel rows must have
+                // recorded the same deterministic counters as serial.
+                let scale_rows: Vec<&ScalingSample> = baseline
+                    .scaling
+                    .iter()
+                    .filter(|r| r.instances >= SCALING_INSTANCES as u64)
+                    .collect();
+                if !scale_rows.iter().any(|r| r.scheduler == "serial")
+                    || !scale_rows
+                        .iter()
+                        .any(|r| r.scheduler == "work_stealing" && r.workers == 4)
+                {
+                    eprintln!(
+                        "FAIL: BENCH_fleet.json scaling section misses the serial or \
+                         4-worker row at >= {SCALING_INSTANCES} instances"
+                    );
+                    failed = true;
+                }
+                for row in &scale_rows {
+                    let serial = scale_rows.iter().find(|r| {
+                        r.scheduler == "serial" && (r.fault_rate - row.fault_rate).abs() < 1e-9
+                    });
+                    let counters = |r: &ScalingSample| {
+                        (
+                            r.live_steps,
+                            r.missed_steps,
+                            r.instance_faults,
+                            r.restarts,
+                            r.cold_restarts,
+                            r.quarantines,
+                        )
+                    };
+                    if let Some(serial) = serial {
+                        if counters(row) != counters(serial) {
+                            eprintln!(
+                                "FAIL: committed scaling row ({} workers {}) diverges from serial",
+                                row.scheduler, row.workers
+                            );
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("FAIL: no committed BENCH_fleet.json baseline to compare ({e})");
@@ -368,7 +675,7 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("\nsmoke OK: floor held, baseline regenerates");
+        println!("\nsmoke OK: floor held, schedulers agree, baseline regenerates");
         return;
     }
 
@@ -383,12 +690,21 @@ fn main() {
         }
     }
 
+    println!("\n=== fleet: threads axis at {SCALING_INSTANCES} instances ===\n");
+    println!(
+        "{:>9} {:>6} {:>14} {:>7} {:>10} {:>12} {:>9}",
+        "instances", "rate", "scheduler", "workers", "wall", "items/s", "speedup"
+    );
+    println!("{}", "-".repeat(74));
+    let scaling = run_scaling();
+
     let doc = Doc {
         experiment: "fleet".to_string(),
         cores: cores as u64,
         rounds: ROUNDS,
         step_fail_prob: STEP_FAIL_PROB,
         results,
+        scaling,
     };
     std::fs::write(
         "BENCH_fleet.json",

@@ -118,6 +118,17 @@ pub struct FleetSpec {
     /// Checkpoint cadence in shard rounds; absent uses the
     /// [`crate::fleet::FleetConfig`] default.
     pub checkpoint_every: Option<u64>,
+    /// Fleet scheduler name (`"serial"`, `"work_stealing"` or
+    /// `"permuted"`); absent defaults to serial unless
+    /// [`FleetSpec::workers`] asks for more than one worker, which
+    /// implies work stealing. Unknown names resolve to serial (the
+    /// lint layer flags them; the runtime never guesses at
+    /// parallelism). See [`crate::fleet::FleetScheduler`].
+    pub scheduler: Option<String>,
+    /// Worker-thread cap for the work-stealing scheduler; `0` (or
+    /// absent under `"work_stealing"`) means machine-sized. Ignored by
+    /// the serial-execution schedulers.
+    pub workers: Option<usize>,
 }
 
 impl FleetSpec {
@@ -130,7 +141,33 @@ impl FleetSpec {
             shards: self.shards.unwrap_or_else(|| (self.instances / 320).max(1)),
             instances: self.instances,
             checkpoint_every: self.checkpoint_every.unwrap_or(defaults.checkpoint_every),
+            scheduler: self.resolved_scheduler(),
             ..defaults
+        }
+    }
+
+    /// The [`crate::fleet::FleetScheduler`] this spec requests. An
+    /// explicit `scheduler` name wins; with no name, `workers` other
+    /// than 1 implies work stealing (that is what asking for workers
+    /// means), and everything else is serial. The `permuted` scheduler
+    /// takes its shuffle seed from the fleet default seed so declarative
+    /// configurations stay reproducible.
+    pub fn resolved_scheduler(&self) -> crate::fleet::FleetScheduler {
+        use crate::fleet::FleetScheduler;
+        match self.scheduler.as_deref() {
+            Some(name) => match FleetScheduler::from_name(name) {
+                Some(FleetScheduler::WorkStealing { .. }) => FleetScheduler::WorkStealing {
+                    workers: self.workers.unwrap_or(0),
+                },
+                Some(FleetScheduler::Permuted { .. }) => FleetScheduler::Permuted {
+                    seed: crate::fleet::FleetConfig::default().seed,
+                },
+                Some(FleetScheduler::Serial) | None => FleetScheduler::Serial,
+            },
+            None => match self.workers {
+                Some(workers) if workers != 1 => FleetScheduler::WorkStealing { workers },
+                _ => FleetScheduler::Serial,
+            },
         }
     }
 }
@@ -282,6 +319,8 @@ impl GraphConfig {
             instances: 1,
             shards: Some(1),
             checkpoint_every: None,
+            scheduler: None,
+            workers: None,
         });
         let mut probe = Middleware::new();
         self.instantiate(&mut probe, &factories)?;
@@ -616,6 +655,8 @@ mod tests {
                 instances: 12,
                 shards: Some(3),
                 checkpoint_every: Some(4),
+                scheduler: Some("work_stealing".into()),
+                workers: Some(2),
             }),
         };
         let mut pool = config.fleet_pool(factories).unwrap();
@@ -633,6 +674,8 @@ mod tests {
             instances: 1000,
             shards: None,
             checkpoint_every: None,
+            scheduler: None,
+            workers: None,
         };
         let resolved = spec.to_fleet_config();
         assert_eq!(resolved.instances, 1000);
@@ -661,6 +704,8 @@ mod tests {
                 instances: 4,
                 shards: None,
                 checkpoint_every: None,
+                scheduler: None,
+                workers: None,
             }),
         };
         assert!(config.fleet_pool(factories).is_err());

@@ -529,7 +529,7 @@ impl EngineCtx<'_> {
     /// the arena changes where values live, never what they are.
     fn end_step(&mut self) {
         self.watermark += 1;
-        if self.watermark % ARENA_ADVANCE_STRIDE == 0 {
+        if self.watermark.is_multiple_of(ARENA_ADVANCE_STRIDE) {
             if let Some(arena) = self.arena.as_deref_mut() {
                 arena.advance(self.watermark);
             }
@@ -1077,12 +1077,23 @@ impl LevelParallel {
         let workers = if workers > 0 {
             workers
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            machine_parallelism()
         };
         LevelParallel { workers }
     }
+}
+
+/// The machine's effective core count: `available_parallelism`, which
+/// honours cgroup CPU quotas and affinity masks, falling back to 1 when
+/// the probe fails. Probing is *not* free on Linux (it re-reads the
+/// cgroup quota files), so callers must resolve once at construction —
+/// never on a per-step or per-round path. Shared by
+/// [`LevelParallel::with_workers`], the fleet's work-stealing scheduler
+/// ([`crate::fleet::FleetScheduler`]) and benchmark metadata.
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl LevelParallel {

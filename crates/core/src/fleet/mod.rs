@@ -27,16 +27,27 @@
 //! Everything is seeded and stepped on simulated time, so a chaos soak
 //! (`exp_fleet` in `perpos-bench`) replays bit-for-bit.
 //!
+//! Shards are **share-nothing**: instances, checkpoints, watchdog (and
+//! its shard-local RNG) and counters all live inside one shard, and the
+//! only shared object is the immutable instance factory. That is what
+//! lets [`FleetPool::run`] distribute shards over cores through a
+//! pluggable [`FleetScheduler`] — serial, work-stealing parallel, or
+//! seed-permuted — with *byte-identical* observables under every
+//! scheduler and worker count (`tests/fleet_parallel_determinism.rs`
+//! proves it under faults, checkpoints and restores).
+//!
 //! [`FaultPolicy`]: crate::supervision::FaultPolicy
 //! [`Middleware`]: crate::Middleware
 //! [`Middleware::step_batch`]: crate::Middleware::step_batch
 
 pub mod pool;
+pub mod scheduler;
 pub mod shard;
 pub mod snapshot;
 pub mod watchdog;
 
-pub use pool::{FleetConfig, FleetPool, FleetStats};
+pub use pool::{FleetConfig, FleetPool, FleetStats, FleetTotals};
+pub use scheduler::FleetScheduler;
 pub use shard::{Shard, ShardState, ShardStats};
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use watchdog::Watchdog;

@@ -2,8 +2,11 @@
 //! supervision counters behind a reflective surface.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use crate::data::Value;
+use crate::fleet::scheduler::{chunk_plan, shuffled_indices, FleetScheduler};
 use crate::fleet::shard::{InstanceFactory, Shard, ShardStats};
 use crate::fleet::watchdog::Watchdog;
 use crate::{CoreError, Middleware, SimDuration};
@@ -30,6 +33,10 @@ pub struct FleetConfig {
     pub shard_backoff: u64,
     /// Seed feeding each shard watchdog's backoff jitter.
     pub seed: u64,
+    /// How [`FleetPool::run`] distributes shards over cores. Every
+    /// scheduler produces byte-identical [`ShardStats`], checkpoints
+    /// and instance histories; only wall-clock differs.
+    pub scheduler: FleetScheduler,
 }
 
 impl Default for FleetConfig {
@@ -42,6 +49,7 @@ impl Default for FleetConfig {
             shard_fault_window: 16,
             shard_backoff: 4,
             seed: 0xf1ee7,
+            scheduler: FleetScheduler::Serial,
         }
     }
 }
@@ -141,6 +149,77 @@ impl FleetStats {
     }
 }
 
+/// Flat fleet-wide counter totals, cached on the pool so stats polling
+/// inside a soak loop is O(1) instead of re-collecting (and summing)
+/// every shard's counters per probe. Refreshed at construction and at
+/// the end of every [`FleetPool::run`] call; after mutating shards
+/// directly (via [`FleetPool::shard_mut`]) call
+/// [`FleetPool::refresh_totals`]. `tests` pin the cache to the value
+/// recomputed from the per-shard breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetTotals {
+    /// Instances across all shards.
+    pub instances: u64,
+    /// Instance-steps completed.
+    pub live_steps: u64,
+    /// Instance-steps lost to faults or quarantine.
+    pub missed_steps: u64,
+    /// Faults that escaped in-instance containment.
+    pub instance_faults: u64,
+    /// Checkpoint-recovered restarts.
+    pub restarts: u64,
+    /// Cold restarts (checkpoint rejected).
+    pub cold_restarts: u64,
+    /// Checkpoints captured.
+    pub checkpoints: u64,
+    /// Shard quarantines.
+    pub quarantines: u64,
+    /// Steps-to-healthy summed over recoveries.
+    pub recovery_steps: u64,
+}
+
+impl FleetTotals {
+    /// Sums one shard's counters into the totals.
+    fn absorb(&mut self, s: &ShardStats) {
+        self.instances += s.instances;
+        self.live_steps += s.live_steps;
+        self.missed_steps += s.missed_steps;
+        self.instance_faults += s.instance_faults;
+        self.restarts += s.restarts;
+        self.cold_restarts += s.cold_restarts;
+        self.checkpoints += s.checkpoints;
+        self.quarantines += s.quarantines;
+        self.recovery_steps += s.recovery_steps;
+    }
+
+    /// Restarts of either kind (warm plus cold).
+    pub fn total_restarts(&self) -> u64 {
+        self.restarts + self.cold_restarts
+    }
+
+    /// Fraction of attempted instance-steps that completed (`1.0` for
+    /// an idle fleet) — the same quantity as
+    /// [`FleetStats::availability`], served from the cache.
+    pub fn availability(&self) -> f64 {
+        let attempted = self.live_steps + self.missed_steps;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.live_steps as f64 / attempted as f64
+        }
+    }
+
+    /// Mean steps-to-healthy over all recoveries (`0.0` without any).
+    pub fn mean_recovery_steps(&self) -> f64 {
+        let restarts = self.total_restarts();
+        if restarts == 0 {
+            0.0
+        } else {
+            self.recovery_steps as f64 / restarts as f64
+        }
+    }
+}
+
 /// A supervised multi-instance engine: owns [`FleetConfig::shards`]
 /// shards of factory-built [`Middleware`](crate::Middleware) instances
 /// and steps them under the escalation ladder described in the
@@ -149,13 +228,21 @@ pub struct FleetPool {
     config: FleetConfig,
     factory: InstanceFactory,
     shards: Vec<Shard>,
+    /// Rounds run so far — every shard's `steps_run` in lockstep; the
+    /// schedulers use it to align their chunk plans to checkpoint
+    /// boundaries across multiple `run` calls.
+    rounds_run: u64,
+    totals: FleetTotals,
 }
 
 impl FleetPool {
     /// Builds the fleet: `config.instances` instances partitioned
     /// contiguously over `config.shards` shards, each instance built by
     /// `factory` from its fleet-wide index and checkpointed immediately.
-    pub fn new(config: FleetConfig, factory: impl Fn(usize) -> Middleware + 'static) -> Self {
+    pub fn new(
+        config: FleetConfig,
+        factory: impl Fn(usize) -> Middleware + Send + Sync + 'static,
+    ) -> Self {
         let factory: InstanceFactory = Box::new(factory);
         let shard_count = config.shards.max(1);
         let per = config.instances / shard_count;
@@ -179,11 +266,15 @@ impl FleetPool {
             ));
             next += count;
         }
-        FleetPool {
+        let mut pool = FleetPool {
             config,
             factory,
             shards,
-        }
+            rounds_run: 0,
+            totals: FleetTotals::default(),
+        };
+        pool.refresh_totals();
+        pool
     }
 
     /// The fleet's configuration.
@@ -206,11 +297,98 @@ impl FleetPool {
         self.shards.iter().map(|s| s.len()).sum()
     }
 
+    /// The scheduler [`FleetPool::run`] currently uses.
+    pub fn scheduler(&self) -> FleetScheduler {
+        self.config.scheduler
+    }
+
+    /// Switches the scheduler for subsequent [`FleetPool::run`] calls.
+    /// Safe at any round boundary: schedulers are observationally
+    /// interchangeable, so a mid-soak switch changes wall-clock only.
+    pub fn set_scheduler(&mut self, scheduler: FleetScheduler) {
+        self.config.scheduler = scheduler;
+    }
+
     /// Steps every shard `rounds` times with `tick` clock advance per
-    /// step (shards are independent; they step in order).
+    /// step, distributing shards over cores per the configured
+    /// [`FleetScheduler`]. `run` is a round barrier: whatever the
+    /// scheduler, every shard has completed all `rounds` when it
+    /// returns, and the per-shard observables ([`ShardStats`],
+    /// checkpoints, watchdog schedules, instance histories) are
+    /// byte-identical across schedulers and worker counts.
     pub fn run(&mut self, rounds: u64, tick: SimDuration) {
-        for shard in &mut self.shards {
-            shard.run(&self.factory, rounds, tick);
+        match self.config.scheduler {
+            FleetScheduler::Serial => {
+                for shard in &mut self.shards {
+                    shard.run(&self.factory, rounds, tick);
+                }
+            }
+            FleetScheduler::WorkStealing { .. } => self.run_work_stealing(rounds, tick),
+            FleetScheduler::Permuted { seed } => self.run_permuted(seed, rounds, tick),
+        }
+        self.rounds_run += rounds;
+        self.refresh_totals();
+    }
+
+    /// Work-stealing parallel stepping: for each checkpoint-aligned
+    /// round-chunk, scoped workers pull shard indices off a shared
+    /// atomic cursor until the chunk drains, then meet at a barrier
+    /// before the next chunk — so a worker stuck on a heavy shard
+    /// cannot idle the others (they steal the remaining indices), and
+    /// rebalancing happens every chunk without moving shard state. The
+    /// chunk alignment (see [`chunk_plan`]) is what keeps every shard's
+    /// internal fault/checkpoint accounting identical to one serial
+    /// `run(rounds)` call.
+    fn run_work_stealing(&mut self, rounds: u64, tick: SimDuration) {
+        let workers = self
+            .config
+            .scheduler
+            .resolved_workers()
+            .clamp(1, self.shards.len().max(1));
+        if workers <= 1 {
+            for shard in &mut self.shards {
+                shard.run(&self.factory, rounds, tick);
+            }
+            return;
+        }
+        let plan = chunk_plan(self.rounds_run, rounds, self.config.checkpoint_every);
+        // Each cell is locked exactly once per chunk (the cursor hands
+        // every index to exactly one worker), so the mutexes are
+        // uncontended — they exist to prove disjoint access to the
+        // borrow checker, not to serialize work.
+        let cells: Vec<Mutex<&mut Shard>> = self.shards.iter_mut().map(Mutex::new).collect();
+        let cursors: Vec<AtomicUsize> = plan.iter().map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(workers);
+        let factory = &self.factory;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    for (ci, &chunk) in plan.iter().enumerate() {
+                        loop {
+                            let i = cursors[ci].fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = cells.get(i) else { break };
+                            let mut shard = cell.lock().unwrap_or_else(|p| p.into_inner());
+                            shard.run(factory, chunk, tick);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    /// The interleaving sanitizer: serial execution, but each
+    /// checkpoint-aligned chunk visits the shards in a seeded permuted
+    /// order. Any cross-shard coupling shows up as a deterministic
+    /// divergence from [`FleetScheduler::Serial`] — no thread timing
+    /// involved.
+    fn run_permuted(&mut self, seed: u64, rounds: u64, tick: SimDuration) {
+        let plan = chunk_plan(self.rounds_run, rounds, self.config.checkpoint_every);
+        let mut state = seed;
+        for &chunk in &plan {
+            for i in shuffled_indices(&mut state, self.shards.len()) {
+                self.shards[i].run(&self.factory, chunk, tick);
+            }
         }
     }
 
@@ -221,23 +399,89 @@ impl FleetPool {
         }
     }
 
-    /// Fleet-wide availability so far.
+    /// The cached fleet-wide totals — O(1), no per-shard collection.
+    /// Current as of the last [`FleetPool::run`] /
+    /// [`FleetPool::refresh_totals`] call.
+    pub fn totals(&self) -> FleetTotals {
+        self.totals
+    }
+
+    /// Recomputes the cached [`FleetTotals`] from the shards. `run`
+    /// calls this once per invocation (O(shards), amortized O(1) per
+    /// polled round); call it manually after mutating shards through
+    /// [`FleetPool::shard_mut`].
+    pub fn refresh_totals(&mut self) {
+        let mut totals = FleetTotals::default();
+        for shard in &self.shards {
+            totals.absorb(&shard.stats());
+        }
+        self.totals = totals;
+    }
+
+    /// Fleet-wide availability so far, served from the cached totals.
     pub fn availability(&self) -> f64 {
-        self.stats().availability()
+        self.totals.availability()
     }
 
     /// The fleet's reflective surface, mirroring
     /// [`Middleware::invoke`](crate::Middleware::invoke):
     /// `"fleet_stats"` answers with [`FleetStats::to_value`],
-    /// `"availability"` with the fleet-wide fraction.
+    /// `"availability"` with the fleet-wide fraction (from the cached
+    /// totals), `"scheduler"` with the active scheduler's name and
+    /// `"workers"` with the worker count the next `run` will use.
+    /// `"set_scheduler"` takes the scheduler name plus an optional
+    /// integer (worker cap for `"work_stealing"`, where 0 means
+    /// machine-sized; shuffle seed for `"permuted"`) and answers with
+    /// the name it installed.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NoSuchMethod`] for anything else.
-    pub fn invoke(&mut self, method: &str, _args: &[Value]) -> Result<Value, CoreError> {
+    /// Returns [`CoreError::NoSuchMethod`] for unknown methods and
+    /// [`CoreError::BadArguments`] for a malformed `"set_scheduler"`
+    /// call.
+    pub fn invoke(&mut self, method: &str, args: &[Value]) -> Result<Value, CoreError> {
         match method {
             "fleet_stats" => Ok(self.stats().to_value()),
             "availability" => Ok(Value::Float(self.availability())),
+            "scheduler" => Ok(Value::from(self.config.scheduler.as_str())),
+            "workers" => Ok(Value::Int(self.config.scheduler.resolved_workers() as i64)),
+            "set_scheduler" => {
+                let name = args.first().and_then(|v| v.as_text()).ok_or_else(|| {
+                    CoreError::BadArguments {
+                        method: "set_scheduler".into(),
+                        reason: "expected a text argument naming the scheduler".into(),
+                    }
+                })?;
+                let mut scheduler =
+                    FleetScheduler::from_name(name).ok_or_else(|| CoreError::BadArguments {
+                        method: "set_scheduler".into(),
+                        reason: format!("unknown fleet scheduler {name:?}"),
+                    })?;
+                if let Some(n) = args.get(1).and_then(|v| v.as_i64()) {
+                    if n < 0 {
+                        return Err(CoreError::BadArguments {
+                            method: "set_scheduler".into(),
+                            reason: "numeric argument must be non-negative".into(),
+                        });
+                    }
+                    scheduler = match scheduler {
+                        FleetScheduler::WorkStealing { .. } => FleetScheduler::WorkStealing {
+                            workers: n as usize,
+                        },
+                        FleetScheduler::Permuted { .. } => {
+                            FleetScheduler::Permuted { seed: n as u64 }
+                        }
+                        FleetScheduler::Serial => {
+                            return Err(CoreError::BadArguments {
+                                method: "set_scheduler".into(),
+                                reason: "the serial scheduler takes no argument".into(),
+                            })
+                        }
+                    };
+                }
+                self.set_scheduler(scheduler);
+                Ok(Value::from(scheduler.as_str()))
+            }
             m => Err(CoreError::NoSuchMethod {
                 target: "fleet".into(),
                 method: m.into(),
@@ -336,13 +580,21 @@ mod tests {
         }
     }
 
-    fn flaky_factory(rate: f64, seed: u64) -> impl Fn(usize) -> Middleware {
+    /// Chaos factory with *per-index* incarnation counters: the RNG
+    /// reseed of incarnation `n` of instance `index` is a pure function
+    /// of `(seed, index, n)`, so the fault schedule is invariant to the
+    /// order in which other instances restart — the order-freedom the
+    /// [`InstanceFactory`] contract demands of parallel schedulers. (A
+    /// single shared counter would make reseeds depend on global
+    /// interleaving and diverge under work stealing.)
+    fn flaky_factory(rate: f64, seed: u64, capacity: usize) -> impl Fn(usize) -> Middleware {
         use rand::SeedableRng;
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
-        let incarnations = Arc::new(AtomicU64::new(0));
+        let incarnations: Arc<Vec<AtomicU64>> =
+            Arc::new((0..capacity).map(|_| AtomicU64::new(0)).collect());
         move |index| {
-            let n = incarnations.fetch_add(1, Ordering::Relaxed);
+            let n = incarnations[index].fetch_add(1, Ordering::Relaxed);
             let mut mw = Middleware::new();
             let src = mw.add_boxed_component(Box::new(RandomFault {
                 counter: 0,
@@ -405,7 +657,7 @@ mod tests {
                 shard_fault_threshold: 100, // never quarantine here
                 ..FleetConfig::default()
             },
-            flaky_factory(0.05, 21),
+            flaky_factory(0.05, 21, 4),
         );
         pool.run(40, SimDuration::from_millis(10));
         let stats = pool.stats();
@@ -434,6 +686,7 @@ mod tests {
                 shard_fault_window: 4,
                 shard_backoff: 4,
                 seed: 11,
+                scheduler: FleetScheduler::Serial,
             },
             move |_| {
                 let mut mw = Middleware::new();
@@ -470,8 +723,9 @@ mod tests {
                     shard_fault_window: 8,
                     shard_backoff: 4,
                     seed: 99,
+                    scheduler: FleetScheduler::Serial,
                 },
-                flaky_factory(0.1, 7),
+                flaky_factory(0.1, 7, 12),
             )
         };
         let mut a = build();
@@ -534,5 +788,111 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.instance_faults(), 0);
         assert_eq!(stats.availability(), 1.0);
+    }
+
+    fn chaotic_config(scheduler: FleetScheduler) -> FleetConfig {
+        FleetConfig {
+            shards: 5,
+            instances: 20,
+            checkpoint_every: 4,
+            shard_fault_threshold: 3,
+            shard_fault_window: 8,
+            shard_backoff: 4,
+            seed: 77,
+            scheduler,
+        }
+    }
+
+    #[test]
+    fn schedulers_are_observationally_identical() {
+        // The same chaotic fleet under every scheduler: per-shard stats
+        // must match to the last counter (the full byte-equality suite
+        // lives in tests/fleet_parallel_determinism.rs; this is the
+        // in-crate smoke).
+        let run = |scheduler| {
+            let mut pool = FleetPool::new(chaotic_config(scheduler), flaky_factory(0.08, 13, 20));
+            pool.run(50, SimDuration::from_millis(10));
+            pool.stats()
+        };
+        let serial = run(FleetScheduler::Serial);
+        assert!(
+            serial.instance_faults() > 0,
+            "chaos must actually fire for the comparison to mean anything"
+        );
+        for scheduler in [
+            FleetScheduler::WorkStealing { workers: 2 },
+            FleetScheduler::WorkStealing { workers: 8 },
+            FleetScheduler::Permuted { seed: 0xdead },
+        ] {
+            assert_eq!(serial, run(scheduler), "{scheduler:?} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn totals_cache_matches_recomputed_stats() {
+        let mut pool = FleetPool::new(
+            chaotic_config(FleetScheduler::WorkStealing { workers: 2 }),
+            flaky_factory(0.08, 13, 20),
+        );
+        // Multiple run calls, including a round count that is not a
+        // checkpoint multiple, keep the cache fresh.
+        pool.run(10, SimDuration::from_millis(10));
+        pool.run(3, SimDuration::from_millis(10));
+        let totals = pool.totals();
+        let stats = pool.stats();
+        assert_eq!(totals.instances, stats.instances());
+        assert_eq!(totals.live_steps, stats.live_steps());
+        assert_eq!(totals.missed_steps, stats.missed_steps());
+        assert_eq!(totals.instance_faults, stats.instance_faults());
+        assert_eq!(totals.total_restarts(), stats.restarts());
+        assert_eq!(totals.quarantines, stats.quarantines());
+        assert_eq!(totals.availability(), stats.availability());
+        assert_eq!(totals.mean_recovery_steps(), stats.mean_recovery_steps());
+        // And the O(1) availability getter serves the cached value.
+        assert_eq!(pool.availability(), totals.availability());
+    }
+
+    #[test]
+    fn scheduler_is_reflective() {
+        let mut pool = FleetPool::new(
+            FleetConfig {
+                shards: 2,
+                instances: 4,
+                ..FleetConfig::default()
+            },
+            healthy_factory(),
+        );
+        assert_eq!(
+            pool.invoke("scheduler", &[]).unwrap(),
+            Value::from("serial")
+        );
+        assert_eq!(pool.invoke("workers", &[]).unwrap(), Value::Int(1));
+        let installed = pool
+            .invoke(
+                "set_scheduler",
+                &[Value::from("work_stealing"), Value::Int(2)],
+            )
+            .unwrap();
+        assert_eq!(installed, Value::from("work_stealing"));
+        assert_eq!(
+            pool.scheduler(),
+            FleetScheduler::WorkStealing { workers: 2 }
+        );
+        assert_eq!(pool.invoke("workers", &[]).unwrap(), Value::Int(2));
+        // A mid-soak switch is safe and changes nothing observable.
+        pool.run(7, SimDuration::from_millis(10));
+        assert_eq!(pool.availability(), 1.0);
+        assert!(matches!(
+            pool.invoke("set_scheduler", &[Value::from("threads")]),
+            Err(CoreError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            pool.invoke("set_scheduler", &[Value::from("serial"), Value::Int(3)]),
+            Err(CoreError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            pool.invoke("set_scheduler", &[]),
+            Err(CoreError::BadArguments { .. })
+        ));
     }
 }

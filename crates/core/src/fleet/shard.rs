@@ -13,7 +13,18 @@ use crate::{Middleware, SimDuration};
 /// Called once per instance at fleet construction and again on every
 /// restart; it must rebuild the same structure each time (the restart
 /// path restores the instance's checkpoint into the rebuilt graph).
-pub type InstanceFactory = Box<dyn Fn(usize) -> Middleware>;
+///
+/// The factory is the *only* thing shards share, and parallel
+/// schedulers call it from several worker threads at once — hence
+/// `Send + Sync`. For the fleet's byte-equality contract
+/// (`Serial` ≡ `WorkStealing` ≡ `Permuted`, see
+/// [`FleetScheduler`](crate::fleet::FleetScheduler)) the factory must
+/// also be *order-free*: what it builds may depend on the instance
+/// index and on how often that index was rebuilt, but not on how many
+/// times *other* indices were built in between. A shared global
+/// counter consulted on every call breaks the contract; a per-index
+/// incarnation counter keeps it.
+pub type InstanceFactory = Box<dyn Fn(usize) -> Middleware + Send + Sync>;
 
 /// Whether a shard is currently stepping or riding out a quarantine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +130,10 @@ pub struct Shard {
     stats: ShardStats,
     checkpoint_every: u64,
     steps_run: u64,
+    /// Wall-clock nanoseconds spent inside [`Shard::run`], accumulated
+    /// across calls. Deliberately *not* part of [`ShardStats`]: stats
+    /// are scheduler-invariant by contract, wall time is not.
+    wall_ns: u64,
 }
 
 impl Shard {
@@ -157,6 +172,7 @@ impl Shard {
             stats,
             checkpoint_every: checkpoint_every.max(1),
             steps_run: 0,
+            wall_ns: 0,
         }
     }
 
@@ -187,9 +203,26 @@ impl Shard {
         s
     }
 
+    /// Wall-clock nanoseconds spent stepping this shard so far,
+    /// accumulated across [`Shard::run`] calls. Divide by
+    /// [`Shard::steps_run`] for the per-round cost. Kept outside
+    /// [`ShardStats`] on purpose: the stats are byte-equal across
+    /// schedulers, the wall clock is machine- and schedule-dependent.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
     /// Read access to an owned instance by shard-local position.
     pub fn instance(&self, i: usize) -> Option<&Middleware> {
         self.instances.get(i).map(|inst| &inst.mw)
+    }
+
+    /// The last checkpoint captured for the instance at shard-local
+    /// position `i` — what a restart would restore. Exposed read-only
+    /// so equivalence suites can compare checkpoint contents across
+    /// schedulers.
+    pub fn checkpoint(&self, i: usize) -> Option<&crate::fleet::Snapshot> {
+        self.instances.get(i).map(|inst| &inst.checkpoint)
     }
 
     /// Mutable access to an owned instance by shard-local position —
@@ -214,6 +247,7 @@ impl Shard {
     /// instance faults restart from checkpoints, clustered faults
     /// quarantine the shard for a seeded backoff.
     pub fn run(&mut self, factory: &InstanceFactory, rounds: u64, tick: SimDuration) {
+        let started = std::time::Instant::now();
         let mut done = 0u64;
         while done < rounds {
             if let Some(until) = self.watchdog.quarantined_until(self.steps_run) {
@@ -241,6 +275,7 @@ impl Shard {
                 self.stats.checkpoints += self.instances.len() as u64;
             }
         }
+        self.wall_ns += started.elapsed().as_nanos() as u64;
     }
 
     /// Steps one instance for `chunk` rounds; returns the number of

@@ -29,6 +29,15 @@ pub struct Watchdog {
 impl Watchdog {
     /// Creates a watchdog tripping after `threshold` faults within
     /// `window` steps, pausing `base_backoff` steps at first.
+    ///
+    /// The `seed` is **shard-local** by contract: the pool derives it
+    /// as `FleetConfig::seed + shard_id` at construction, each watchdog
+    /// owns its own RNG, and jitter draws are a pure function of this
+    /// seed and the shard's own fault history. No draw ever depends on
+    /// another shard's activity or on shard visitation order — which is
+    /// exactly why backoff schedules stay byte-identical when a
+    /// parallel [`FleetScheduler`](crate::fleet::FleetScheduler) steps
+    /// the shards concurrently or in permuted order.
     pub fn new(threshold: u32, window: u64, base_backoff: u64, seed: u64) -> Self {
         Watchdog {
             threshold: threshold.max(1),

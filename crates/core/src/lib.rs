@@ -89,10 +89,11 @@ pub mod prelude {
         kinds, ArenaStats, Attrs, DataItem, DataKind, InternedKey, Payload, PayloadArena,
         PayloadRef, Position, Value,
     };
-    pub use crate::executor::{ExecMode, Executor, LevelParallel, Sequential};
+    pub use crate::executor::{machine_parallelism, ExecMode, Executor, LevelParallel, Sequential};
     pub use crate::feature::{ComponentFeature, FeatureAction, FeatureDescriptor, FeatureHost};
     pub use crate::fleet::{
-        FleetConfig, FleetPool, FleetStats, ShardState, ShardStats, Snapshot, SNAPSHOT_VERSION,
+        FleetConfig, FleetPool, FleetScheduler, FleetStats, FleetTotals, ShardState, ShardStats,
+        Snapshot, SNAPSHOT_VERSION,
     };
     pub use crate::graph::{NodeId, ProcessingGraph};
     pub use crate::middleware::Middleware;

@@ -214,7 +214,7 @@ proptest! {
                     &mut self,
                     _p: usize,
                     item: DataItem,
-                    ctx: &mut perpos_core::component::ComponentCtx,
+                    ctx: &mut perpos_core::component::ComponentCtx<'_>,
                 ) -> Result<(), CoreError> {
                     ctx.emit(item);
                     Ok(())

@@ -444,13 +444,13 @@ mod tests {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut perpos_core::component::ComponentCtx,
+            _c: &mut perpos_core::component::ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
         fn on_tick(
             &mut self,
-            ctx: &mut perpos_core::component::ComponentCtx,
+            ctx: &mut perpos_core::component::ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             self.0 += 1;
             ctx.emit_value(kinds::RAW_STRING, Value::Int(self.0));

@@ -83,7 +83,7 @@ impl Component for XorMerge {
         &mut self,
         port: usize,
         item: DataItem,
-        ctx: &mut ComponentCtx,
+        ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         if let Some(v) = item.payload.as_i64() {
             ctx.emit_value(

@@ -24,12 +24,12 @@ impl Component for GarbageGps {
         &mut self,
         _p: usize,
         _i: DataItem,
-        _c: &mut ComponentCtx,
+        _c: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
 
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         self.counter += 1;
         match self.counter % 4 {
             0 => ctx.emit_value(kinds::RAW_STRING, Value::from("$GARBAGE*ZZ")),
@@ -178,11 +178,11 @@ fn failing_component_surfaces_error_once() {
             &mut self,
             _p: usize,
             _i: DataItem,
-            _c: &mut ComponentCtx,
+            _c: &mut ComponentCtx<'_>,
         ) -> Result<(), CoreError> {
             Ok(())
         }
-        fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+        fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
             if self.remaining == 0 {
                 return Err(CoreError::ComponentFailure {
                     component: "flaky".into(),
@@ -228,11 +228,11 @@ impl Component for TaggedSource {
         &mut self,
         _p: usize,
         _i: DataItem,
-        _c: &mut ComponentCtx,
+        _c: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         let coord = Wgs84::new(self.lat, 10.0, 0.0).unwrap();
         ctx.emit(
             DataItem::new(

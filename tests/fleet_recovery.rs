@@ -24,11 +24,11 @@ impl Component for CountingSource {
         &mut self,
         _p: usize,
         _i: DataItem,
-        _c: &mut ComponentCtx,
+        _c: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         self.0 += 1;
         ctx.emit_value(kinds::RAW_STRING, Value::Int(self.0));
         Ok(())

@@ -71,7 +71,7 @@ impl Component for SharedCounterSource {
         ComponentDescriptor::source(self.name, vec![kinds::RAW_STRING])
             .with_effects(EffectSpec::new().writing("shared-counter"))
     }
-    fn on_tick(&mut self, ctx: &mut ComponentCtx) -> Result<(), CoreError> {
+    fn on_tick(&mut self, ctx: &mut ComponentCtx<'_>) -> Result<(), CoreError> {
         let v = self.counter.fetch_add(1, Ordering::SeqCst);
         ctx.emit_value(kinds::RAW_STRING, Value::Int(v));
         Ok(())
@@ -80,7 +80,7 @@ impl Component for SharedCounterSource {
         &mut self,
         _port: usize,
         _item: DataItem,
-        _ctx: &mut ComponentCtx,
+        _ctx: &mut ComponentCtx<'_>,
     ) -> Result<(), CoreError> {
         Ok(())
     }
